@@ -1,0 +1,217 @@
+// bench_common.hpp - shared machinery for the paper-reproduction benches.
+//
+// Reimplements the paper's blackbox setup (section 5): "a simple private
+// device class that is instantiated on one node and continuously floods a
+// remote instance of this class with messages. The second instance
+// responds by replying to each received message with exactly the same
+// content."
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/executive.hpp"
+#include "util/clock.hpp"
+#include "util/stats.hpp"
+
+namespace xdaq::bench {
+
+inline constexpr std::uint16_t kXfnPing = 0x0001;
+
+/// The responder half of the blackbox pair. Optionally stamps handler
+/// entry/exit ticks (whitebox instrumentation, Table 1).
+class EchoDevice final : public core::Device {
+ public:
+  EchoDevice() : Device("BenchEcho") {
+    bind(i2o::OrgId::kBench, kXfnPing,
+         [this](const core::MessageContext& ctx) {
+           if (record_) {
+             entry_ticks_.push_back(rdtsc());
+           }
+           (void)frame_reply(ctx, ctx.payload);
+           if (record_) {
+             exit_ticks_.push_back(rdtsc());
+           }
+         });
+  }
+
+  void enable_recording(std::size_t expected) {
+    record_ = true;
+    entry_ticks_.reserve(expected);
+    exit_ticks_.reserve(expected);
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& entry_ticks() const {
+    return entry_ticks_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& exit_ticks() const {
+    return exit_ticks_;
+  }
+
+ private:
+  bool record_ = false;
+  std::vector<std::uint64_t> entry_ticks_;
+  std::vector<std::uint64_t> exit_ticks_;
+};
+
+/// The flooding half: sends a ping, awaits the reply (on_reply), records
+/// the round-trip time, sends the next. The measurement loop lives inside
+/// the device; the main thread blocks on wait_done().
+class PingerDevice final : public core::Device {
+ public:
+  PingerDevice() : Device("BenchPinger") {}
+
+  void configure_run(i2o::Tid target, std::size_t payload_bytes,
+                     std::uint64_t calls) {
+    target_ = target;
+    payload_.assign(payload_bytes, std::byte{0x5A});
+    calls_ = calls;
+    rtts_ns_.clear();
+    rtts_ns_.reserve(calls);
+    completed_.store(0);
+    done_.store(false);
+  }
+
+  /// Fires the first ping (call once the executives are running).
+  Status begin() { return send_ping(); }
+
+  bool wait_done(std::chrono::nanoseconds timeout) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, timeout, [this] { return done_.load(); });
+  }
+
+  [[nodiscard]] const std::vector<double>& rtts_ns() const {
+    return rtts_ns_;
+  }
+  [[nodiscard]] std::uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void on_reply(const core::MessageContext& ctx) override {
+    (void)ctx;
+    rtts_ns_.push_back(static_cast<double>(now_ns() - sent_at_ns_));
+    const std::uint64_t n =
+        completed_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n < calls_) {
+      (void)send_ping();
+    } else {
+      {
+        const std::scoped_lock lock(mutex_);
+        done_.store(true);
+      }
+      cv_.notify_all();
+    }
+  }
+
+ private:
+  Status send_ping() {
+    sent_at_ns_ = now_ns();
+    auto frame =
+        make_private_frame(target_, i2o::OrgId::kBench, kXfnPing, payload_);
+    if (!frame.is_ok()) {
+      return frame.status();
+    }
+    return frame_send(std::move(frame).value());
+  }
+
+  i2o::Tid target_ = i2o::kNullTid;
+  std::vector<std::byte> payload_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t sent_at_ns_ = 0;
+  std::vector<double> rtts_ns_;
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<bool> done_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// Keeps `window` messages in flight; the sink acknowledges each message
+/// (reply frame), and every ack refills the window.
+class FloodSource final : public core::Device {
+ public:
+  FloodSource() : Device("FloodSource") {}
+
+  void configure_run(i2o::Tid target, std::size_t payload_bytes,
+                     std::uint64_t total, std::uint32_t window) {
+    target_ = target;
+    payload_.assign(payload_bytes, std::byte{0x7E});
+    total_ = total;
+    window_ = window;
+    sent_ = 0;
+    acked_.store(0);
+    done_.store(false);
+  }
+
+  void begin() {
+    for (std::uint32_t i = 0; i < window_ && sent_ < total_; ++i) {
+      (void)send_one();
+    }
+  }
+
+  bool wait_done(std::chrono::nanoseconds timeout) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, timeout, [this] { return done_.load(); });
+  }
+
+  [[nodiscard]] std::uint64_t acked() const { return acked_.load(); }
+
+ protected:
+  void on_reply(const core::MessageContext&) override {
+    const std::uint64_t n = acked_.fetch_add(1) + 1;
+    if (sent_ < total_) {
+      (void)send_one();
+    } else if (n >= total_) {
+      {
+        const std::scoped_lock lock(mutex_);
+        done_.store(true);
+      }
+      cv_.notify_all();
+    }
+  }
+
+ private:
+  Status send_one() {
+    ++sent_;
+    auto frame =
+        make_private_frame(target_, i2o::OrgId::kBench, kXfnPing, payload_);
+    if (!frame.is_ok()) {
+      return frame.status();
+    }
+    return frame_send(std::move(frame).value());
+  }
+
+  i2o::Tid target_ = i2o::kNullTid;
+  std::vector<std::byte> payload_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint32_t window_ = 1;
+  std::atomic<std::uint64_t> acked_{0};
+  std::atomic<bool> done_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// Acknowledges every message with an empty reply.
+class AckSink final : public core::Device {
+ public:
+  AckSink() : Device("AckSink") {
+    bind(i2o::OrgId::kBench, kXfnPing,
+         [this](const core::MessageContext& ctx) {
+           (void)frame_reply(ctx, {});
+         });
+  }
+};
+
+/// Formats microseconds with two decimals.
+inline std::string us(double nanoseconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%8.2f", nanoseconds / 1000.0);
+  return buf;
+}
+
+}  // namespace xdaq::bench

@@ -1,0 +1,214 @@
+// microbench.cpp - google-benchmark suite for the framework's hot-path
+// primitives: frame encode/decode, pool allocation, scheduler operations,
+// the SPSC ring, parameter lists, and the simulated fabric. These are the
+// building blocks whose costs compose into Table 1's stages.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/address_table.hpp"
+#include "core/device.hpp"
+#include "core/scheduler.hpp"
+#include "gmsim/gmsim.hpp"
+#include "i2o/chain.hpp"
+#include "i2o/frame.hpp"
+#include "i2o/paramlist.hpp"
+#include "mem/pool.hpp"
+#include "rmi/marshal.hpp"
+#include "util/ring.hpp"
+
+namespace xdaq {
+namespace {
+
+void BM_FrameEncodeHeader(benchmark::State& state) {
+  i2o::FrameHeader hdr;
+  hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+  hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kBench);
+  hdr.xfunction = 1;
+  hdr.target = 5;
+  hdr.initiator = 6;
+  std::vector<std::byte> buf(i2o::frame_bytes_for_payload(64, true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(i2o::encode_header(hdr, buf));
+  }
+}
+BENCHMARK(BM_FrameEncodeHeader);
+
+void BM_FrameDecodeHeader(benchmark::State& state) {
+  i2o::FrameHeader hdr;
+  hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+  hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kBench);
+  hdr.xfunction = 1;
+  hdr.target = 5;
+  std::vector<std::byte> buf(i2o::frame_bytes_for_payload(64, true));
+  (void)i2o::encode_header(hdr, buf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(i2o::decode_header(buf));
+  }
+}
+BENCHMARK(BM_FrameDecodeHeader);
+
+void BM_TablePoolAllocFree(benchmark::State& state) {
+  mem::TablePool pool;
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto frame = pool.allocate(size);
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_TablePoolAllocFree)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_SimplePoolAllocFree(benchmark::State& state) {
+  mem::SimplePool pool;
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto frame = pool.allocate(size);
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_SimplePoolAllocFree)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_SchedulerEnqueueNext(benchmark::State& state) {
+  core::Scheduler sched;
+  core::ScheduledItem item;
+  item.header.target = 7;
+  for (auto _ : state) {
+    core::ScheduledItem copy;
+    copy.header = item.header;
+    sched.enqueue(3, std::move(copy));
+    benchmark::DoNotOptimize(sched.next());
+  }
+}
+BENCHMARK(BM_SchedulerEnqueueNext);
+
+void BM_SchedulerRoundRobin(benchmark::State& state) {
+  // Many devices with pending traffic: cost of one scheduling decision.
+  core::Scheduler sched;
+  const int devices = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int d = 0; d < devices; ++d) {
+      core::ScheduledItem item;
+      item.header.target = static_cast<i2o::Tid>(d + 2);
+      sched.enqueue(3, std::move(item));
+    }
+    state.ResumeTiming();
+    while (auto it = sched.next()) {
+      benchmark::DoNotOptimize(it);
+    }
+  }
+}
+BENCHMARK(BM_SchedulerRoundRobin)->Arg(4)->Arg(64);
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  SpscRing<std::uint64_t> ring(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    (void)ring.try_push(v++);
+    benchmark::DoNotOptimize(ring.try_pop());
+  }
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_ParamListRoundTrip(benchmark::State& state) {
+  const i2o::ParamList params{
+      {"class", "EchoDevice"}, {"instance", "echo0"}, {"state", "Enabled"}};
+  std::vector<std::byte> buf(i2o::param_list_bytes(params));
+  for (auto _ : state) {
+    (void)i2o::encode_param_list(params, buf);
+    benchmark::DoNotOptimize(i2o::decode_param_list(buf));
+  }
+}
+BENCHMARK(BM_ParamListRoundTrip);
+
+class NullDevice final : public core::Device {
+ public:
+  NullDevice() : Device("Null") {}
+};
+
+void BM_AddressTableLookup(benchmark::State& state) {
+  // Lookup cost with a populated table: the per-message routing step.
+  core::AddressTable table;
+  NullDevice dev;
+  std::vector<i2o::Tid> tids;
+  for (int i = 0; i < 256; ++i) {
+    tids.push_back(table.allocate_local(&dev).value());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(tids[i++ & 255]));
+  }
+}
+BENCHMARK(BM_AddressTableLookup);
+
+void BM_ProxyInternExisting(benchmark::State& state) {
+  // Re-interning an existing proxy: the receive-path cost per message.
+  core::AddressTable table;
+  NullDevice pt;
+  const auto pt_tid = table.allocate_local(&pt).value();
+  (void)table.intern_proxy(7, 42, pt_tid);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.intern_proxy(7, 42, pt_tid));
+  }
+}
+BENCHMARK(BM_ProxyInternExisting);
+
+void BM_ChainReassemble(benchmark::State& state) {
+  // Full reassembly of a message split into 16 fragments.
+  const std::size_t total = static_cast<std::size_t>(state.range(0));
+  const std::size_t frag = total / 16;
+  std::vector<std::vector<std::byte>> fragments;
+  std::size_t off = 0;
+  for (int i = 0; i < 16; ++i) {
+    i2o::ChainHeader ch;
+    ch.chain_id = 1;
+    ch.index = static_cast<std::uint16_t>(i);
+    ch.total = 16;
+    ch.total_bytes = static_cast<std::uint32_t>(total);
+    ch.offset = static_cast<std::uint32_t>(off);
+    std::vector<std::byte> payload(i2o::kChainHeaderBytes + frag);
+    i2o::encode_chain_header(ch, payload);
+    fragments.push_back(std::move(payload));
+    off += frag;
+  }
+  for (auto _ : state) {
+    i2o::ChainReassembler r;
+    for (const auto& f : fragments) {
+      benchmark::DoNotOptimize(r.feed(5, f));
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_ChainReassemble)->Arg(16 * 1024)->Arg(256 * 1024);
+
+void BM_RmiMarshalArgs(benchmark::State& state) {
+  for (auto _ : state) {
+    rmi::Marshaller m;
+    m.put_i64(42);
+    m.put_string("method arguments");
+    m.put_f64(3.14);
+    benchmark::DoNotOptimize(m.bytes());
+  }
+}
+BENCHMARK(BM_RmiMarshalArgs);
+
+void BM_GmsimSendPoll(benchmark::State& state) {
+  gmsim::Fabric fabric;
+  auto a = fabric.open_port(1).value();
+  auto b = fabric.open_port(2).value();
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> payload(size, std::byte{1});
+  std::vector<std::byte> rx(size + 64);
+  for (auto _ : state) {
+    b->provide_receive_buffer(rx);
+    (void)a->send(2, payload);
+    benchmark::DoNotOptimize(b->poll());
+  }
+}
+BENCHMARK(BM_GmsimSendPoll)->Arg(64)->Arg(4096);
+
+}  // namespace
+}  // namespace xdaq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// ptmode_ablation.cpp - polling vs task mode (paper section 4).
+//
+// "Concerning Peer Transports we distinguish two ways of operation. In
+// polling mode, the executive periodically scans all registered PTs for
+// pending data. In task mode each PT has its own thread of control ...
+// To allow efficient operation in polling mode it is advisable not to
+// use more than one PT in this mode ... Otherwise a slow PT, e.g. a poll
+// operation on a TCP socket would negate the benefits of checking
+// periodically a lightweight user level network interface."
+//
+// Four configurations of the same blackbox ping-pong:
+//   1. GM PT, polling mode (the paper's recommended low-latency setup)
+//   2. GM PT, task mode (thread hand-off on every message)
+//   3. GM PT polling + one extra slow polling PT (the anti-pattern)
+//   4. GM PT polling + three extra slow polling PTs (worse)
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/transport.hpp"
+#include "pt/cluster.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+namespace xdaq::bench {
+namespace {
+
+/// Models polling a heavyweight interface (e.g. a TCP socket) inside the
+/// executive's scan loop: every poll burns a fixed busy-wait.
+class SlowPollTransport final : public core::TransportDevice {
+ public:
+  explicit SlowPollTransport(std::uint64_t poll_cost_ns)
+      : TransportDevice("SlowPollTransport", Mode::Polling),
+        poll_cost_ns_(poll_cost_ns) {}
+
+  Status transport_send(i2o::NodeId, std::span<const std::byte>) override {
+    return {Errc::Unsupported, "slow PT carries no traffic"};
+  }
+
+  void poll_transport() override {
+    const std::uint64_t until = now_ns() + poll_cost_ns_;
+    while (now_ns() < until) {
+    }
+  }
+
+ private:
+  std::uint64_t poll_cost_ns_;
+};
+
+double oneway_us(core::TransportDevice::Mode mode, int slow_pts,
+                 std::uint64_t slow_cost_ns, std::size_t payload,
+                 std::uint64_t calls) {
+  pt::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.transport.mode = mode;
+  pt::Cluster cluster(cfg);
+  for (int i = 0; i < slow_pts; ++i) {
+    for (std::size_t node = 0; node < 2; ++node) {
+      (void)cluster.install(
+          node, std::make_unique<SlowPollTransport>(slow_cost_ns),
+          "slow_pt" + std::to_string(i));
+    }
+  }
+  (void)cluster.install(1, std::make_unique<EchoDevice>(), "echo");
+  auto pinger = std::make_unique<PingerDevice>();
+  PingerDevice* pinger_raw = pinger.get();
+  (void)cluster.install(0, std::move(pinger), "pinger");
+  const auto proxy = cluster.connect(0, 1, "echo").value();
+  (void)cluster.enable_all();
+  cluster.start_all();
+  pinger_raw->configure_run(proxy, payload, calls);
+  (void)pinger_raw->begin();
+  (void)pinger_raw->wait_done(std::chrono::seconds(120));
+  cluster.stop_all();
+  Sampler s;
+  s.add_all(pinger_raw->rtts_ns());
+  return s.median() / 2.0 / 1000.0;
+}
+
+int run(int argc, const char* const* argv) {
+  CliParser cli;
+  cli.flag("calls", "round trips per configuration", std::int64_t{20000})
+      .flag("payload", "ping payload bytes", std::int64_t{64})
+      .flag("slow-poll-us", "busy cost of one slow PT poll",
+            std::int64_t{20});
+  if (Status st = cli.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n%s", st.to_string().c_str(),
+                 cli.usage("ptmode_ablation").c_str());
+    return 1;
+  }
+  const auto calls = static_cast<std::uint64_t>(cli.get_int("calls"));
+  const auto payload = static_cast<std::size_t>(cli.get_int("payload"));
+  const auto slow_ns =
+      static_cast<std::uint64_t>(cli.get_int("slow-poll-us")) * 1000;
+
+  std::printf("=== Peer-transport mode ablation (paper section 4) ===\n");
+  std::printf("calls=%llu payload=%zuB slow-poll=%lluus\n\n",
+              static_cast<unsigned long long>(calls), payload,
+              static_cast<unsigned long long>(slow_ns / 1000));
+  std::printf("%-44s %14s\n", "configuration", "one-way (us)");
+
+  const double polling =
+      oneway_us(core::TransportDevice::Mode::Polling, 0, 0, payload, calls);
+  std::printf("%-44s %14.2f\n", "GM PT, polling mode (recommended)",
+              polling);
+  const double task =
+      oneway_us(core::TransportDevice::Mode::Task, 0, 0, payload, calls);
+  std::printf("%-44s %14.2f\n", "GM PT, task mode (thread hand-off)", task);
+  const double one_slow = oneway_us(core::TransportDevice::Mode::Polling, 1,
+                                    slow_ns, payload, calls);
+  std::printf("%-44s %14.2f\n", "GM PT polling + 1 slow polling PT",
+              one_slow);
+  const double three_slow = oneway_us(core::TransportDevice::Mode::Polling,
+                                      3, slow_ns, payload, calls);
+  std::printf("%-44s %14.2f\n", "GM PT polling + 3 slow polling PTs",
+              three_slow);
+
+  std::printf("\nshape checks (paper's qualitative claims):\n");
+  std::printf("  slow co-polled PTs degrade latency -> %s\n",
+              (one_slow > polling && three_slow > one_slow) ? "PASS"
+                                                            : "CHECK");
+  std::printf("  degradation scales with slow PT count -> %s\n",
+              three_slow > 2 * one_slow - polling ? "PASS" : "CHECK");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xdaq::bench
+
+int main(int argc, char** argv) { return xdaq::bench::run(argc, argv); }

@@ -1,0 +1,189 @@
+// table1_whitebox.cpp - reproduces Table 1 of the paper.
+//
+// "For pinpointing the overhead in the XDAQ framework, we instrumented
+// our code with time probes. ... The values are then again averaged over
+// the 100,000 calls. ... Table 1 shows the results for receiving an event
+// and activating the associated code on the receiver side in usec. All
+// given values are the medians of 100,000 samples."
+//
+// Paper's rows (medians, Pentium II 400 MHz):
+//   PT GM processing                      2.92
+//   Demultiplexing to functor             0.22
+//   Upcall of functor                     0.47
+//   Application (incl. frameSend)         3.60
+//   Release frame, call postprocessing    2.49
+//   Sum of application overhead           9.53
+//   frameAlloc (cross check)              2.18
+//   frameFree  (cross check)              1.78
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "mem/pool.hpp"
+#include "pt/cluster.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+namespace xdaq::bench {
+namespace {
+
+double median_us(Sampler& s) { return s.median() / 1000.0; }
+
+struct AllocCost {
+  double alloc_us = 0;
+  double free_us = 0;
+};
+
+/// frameAlloc/frameFree cross-check measurement on a bare pool.
+AllocCost measure_pool(mem::Pool& pool, std::uint64_t calls,
+                       std::size_t bytes, double ticks_per_ns) {
+  TimeProbe alloc_probe(2 * calls);
+  TimeProbe free_probe(2 * calls);
+  for (std::uint64_t i = 0; i < calls; ++i) {
+    alloc_probe.stamp();
+    auto frame = pool.allocate(bytes);
+    alloc_probe.stamp();
+    if (!frame.is_ok()) {
+      break;
+    }
+    free_probe.stamp();
+    frame.value().reset();
+    free_probe.stamp();
+  }
+  (void)ticks_per_ns;
+  Sampler alloc_s;
+  alloc_s.add_all(alloc_probe.deltas_ns());
+  Sampler free_s;
+  free_s.add_all(free_probe.deltas_ns());
+  return AllocCost{median_us(alloc_s), median_us(free_s)};
+}
+
+int run(int argc, const char* const* argv) {
+  CliParser cli;
+  cli.flag("calls", "round trips to sample", std::int64_t{100000})
+      .flag("payload", "ping payload bytes", std::int64_t{64})
+      .flag("pool", "allocator: table|simple", std::string("table"));
+  if (Status st = cli.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n%s", st.to_string().c_str(),
+                 cli.usage("table1_whitebox").c_str());
+    return 1;
+  }
+  const auto calls = static_cast<std::uint64_t>(cli.get_int("calls"));
+  const auto payload = static_cast<std::size_t>(cli.get_int("payload"));
+  const auto pool_kind = cli.get_string("pool") == "simple"
+                             ? core::ExecutiveConfig::PoolKind::Simple
+                             : core::ExecutiveConfig::PoolKind::Table;
+
+  // --- instrumented ping-pong -------------------------------------------
+  pt::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.exec.pool_kind = pool_kind;
+  cfg.exec.instrument = true;
+  cfg.exec.probe_capacity = calls + 64;
+  pt::Cluster cluster(cfg);
+
+  auto echo = std::make_unique<EchoDevice>();
+  EchoDevice* echo_raw = echo.get();
+  echo_raw->enable_recording(calls + 64);
+  (void)cluster.install(1, std::move(echo), "echo");
+  auto pinger = std::make_unique<PingerDevice>();
+  PingerDevice* pinger_raw = pinger.get();
+  (void)cluster.install(0, std::move(pinger), "pinger");
+  const auto proxy = cluster.connect(0, 1, "echo").value();
+  (void)cluster.enable_all();
+  cluster.start_all();
+
+  pinger_raw->configure_run(proxy, payload, calls);
+  (void)pinger_raw->begin();
+  if (!pinger_raw->wait_done(std::chrono::seconds(
+          60 + static_cast<long>(calls / 2000)))) {
+    std::fprintf(stderr, "WARNING: timed out at %llu/%llu calls\n",
+                 static_cast<unsigned long long>(pinger_raw->completed()),
+                 static_cast<unsigned long long>(calls));
+  }
+  cluster.stop_all();
+
+  const double tpn = calibrate_ticks_per_ns();
+  const auto& records = cluster.node(1).probe_log().records();
+  const auto& entries = echo_raw->entry_ticks();
+  const auto& exits = echo_raw->exit_ticks();
+
+  Sampler pt_proc;
+  Sampler scheduling;
+  Sampler demux;
+  Sampler upcall;
+  Sampler app;
+  Sampler release;
+  const std::size_t n =
+      std::min(records.size(), std::min(entries.size(), exits.size()));
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::DispatchProbe& p = records[i];
+    if (p.t_wire == 0 || p.t_upcall == 0) {
+      continue;  // not a wire-received application message
+    }
+    pt_proc.add(static_cast<double>(p.t_posted - p.t_wire) / tpn);
+    scheduling.add(static_cast<double>(p.t_demux - p.t_posted) / tpn);
+    demux.add(static_cast<double>(p.t_upcall - p.t_demux) / tpn);
+    if (entries[i] >= p.t_upcall) {
+      upcall.add(static_cast<double>(entries[i] - p.t_upcall) / tpn);
+    }
+    app.add(static_cast<double>(exits[i] - entries[i]) / tpn);
+    release.add(static_cast<double>(p.t_released - p.t_app_done) / tpn);
+  }
+
+  std::printf("=== Table 1: whitebox time probes on the receiver ===\n");
+  std::printf("calls=%llu payload=%zuB pool=%s samples=%zu "
+              "(medians in usec)\n\n",
+              static_cast<unsigned long long>(calls), payload,
+              cli.get_string("pool").c_str(), pt_proc.count());
+  std::printf("%-42s %10s %10s\n", "activity", "paper", "measured");
+  std::printf("%-42s %10.2f %10.2f\n", "PT GM processing", 2.92,
+              median_us(pt_proc));
+  std::printf("%-42s %10s %10.2f\n",
+              "Scheduling (inbound queue, not in paper)", "-",
+              median_us(scheduling));
+  std::printf("%-42s %10.2f %10.2f\n", "Demultiplexing to functor", 0.22,
+              median_us(demux));
+  std::printf("%-42s %10.2f %10.2f\n", "Upcall of functor", 0.47,
+              median_us(upcall));
+  std::printf("%-42s %10.2f %10.2f\n", "Application (incl. frameSend)",
+              3.60, median_us(app));
+  std::printf("%-42s %10.2f %10.2f\n", "Release frame, postprocessing",
+              2.49, median_us(release));
+  const double sum = median_us(pt_proc) + median_us(scheduling) +
+                     median_us(demux) + median_us(upcall) + median_us(app) +
+                     median_us(release);
+  std::printf("%-42s %10.2f %10.2f\n", "Sum of application overhead", 9.53,
+              sum);
+
+  // --- frameAlloc / frameFree cross check ---------------------------------
+  const std::size_t frame_bytes =
+      i2o::frame_bytes_for_payload(payload, true);
+  mem::TablePool table_pool;
+  mem::SimplePool simple_pool;
+  const AllocCost table_cost =
+      measure_pool(table_pool, calls, frame_bytes, tpn);
+  const AllocCost simple_cost =
+      measure_pool(simple_pool, calls, frame_bytes, tpn);
+  std::printf("\ncross check (paper: frameAlloc 2.18, frameFree 1.78; "
+              "original = best-fit search scheme):\n");
+  std::printf("%-42s %10.2f %10.2f\n", "frameAlloc (original/simple pool)",
+              2.18, simple_cost.alloc_us);
+  std::printf("%-42s %10.2f %10.2f\n", "frameFree  (original/simple pool)",
+              1.78, simple_cost.free_us);
+  std::printf("%-42s %10s %10.2f\n", "frameAlloc (optimized/table pool)",
+              "-", table_cost.alloc_us);
+  std::printf("%-42s %10s %10.2f\n", "frameFree  (optimized/table pool)",
+              "-", table_cost.free_us);
+  std::printf("\nshape check: demux+upcall small relative to PT "
+              "processing and release -> %s\n",
+              (median_us(demux) + median_us(upcall) <
+               median_us(pt_proc) + median_us(release))
+                  ? "PASS"
+                  : "CHECK");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xdaq::bench
+
+int main(int argc, char** argv) { return xdaq::bench::run(argc, argv); }

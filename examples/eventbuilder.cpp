@@ -1,0 +1,146 @@
+// eventbuilder.cpp - the paper's motivating workload: distributed event
+// building for a physics data-acquisition system.
+//
+// n readout units each hold one fragment of every event; m builder units
+// assemble complete events; an event manager hands out assignments. The
+// crossing peer-to-peer channels between RUs and BUs are where the XDAQ
+// name comes from ("n nodes talk to m other nodes in both directions,
+// thus resulting in communication channels that cross over").
+//
+//   ./eventbuilder --readouts=3 --builders=2 --events=5000 ...
+//     ... --fragment=4096
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "daq/protocol.hpp"
+#include "daq/topology.hpp"
+#include "i2o/wire.hpp"
+#include "util/cli.hpp"
+#include "util/clock.hpp"
+
+namespace {
+
+/// Live run monitoring via I2O event notifications: subscribes to every
+/// builder's kEvBuilderProgress events and prints them as they arrive.
+class RunMonitor final : public xdaq::core::Device {
+ public:
+  RunMonitor() : Device("RunMonitor") {}
+
+  void on_event(xdaq::i2o::Tid source, std::uint32_t code,
+                std::span<const std::byte> payload) override {
+    if (code == xdaq::daq::kEvBuilderProgress && payload.size() >= 8) {
+      std::printf("  [monitor] builder tid=%u reports %llu events built\n",
+                  source,
+                  static_cast<unsigned long long>(
+                      xdaq::i2o::get_u64(payload, 0)));
+    } else if (code == xdaq::daq::kEvCorruptFragment) {
+      corrupt_seen_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  xdaq::Status watch(xdaq::i2o::Tid builder_proxy) {
+    return subscribe_events(builder_proxy, ~0u);
+  }
+
+ private:
+  std::atomic<int> corrupt_seen_{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xdaq;
+  CliParser cli;
+  cli.flag("readouts", "number of readout units", std::int64_t{2})
+      .flag("builders", "number of builder units", std::int64_t{2})
+      .flag("events", "events to build", std::int64_t{2000})
+      .flag("fragment", "fragment payload bytes", std::int64_t{2048})
+      .flag("batch", "event assignments per Allocate", std::int64_t{16});
+  if (Status st = cli.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n%s", st.to_string().c_str(),
+                 cli.usage("eventbuilder").c_str());
+    return 1;
+  }
+
+  daq::EventBuilderParams params;
+  params.readouts = static_cast<std::size_t>(cli.get_int("readouts"));
+  params.builders = static_cast<std::size_t>(cli.get_int("builders"));
+  params.max_events = static_cast<std::uint64_t>(cli.get_int("events"));
+  params.fragment_bytes = static_cast<std::size_t>(cli.get_int("fragment"));
+  params.batch = static_cast<std::uint32_t>(cli.get_int("batch"));
+
+  const std::size_t nodes = daq::EventBuilderTopology::nodes_required(params);
+  std::printf("event builder: %zu RUs x %zu BUs + 1 EVM = %zu nodes, "
+              "%llu events of %zu x %zu bytes\n",
+              params.readouts, params.builders, nodes,
+              static_cast<unsigned long long>(params.max_events),
+              params.readouts, params.fragment_bytes);
+
+  pt::Cluster cluster(pt::ClusterConfig{.nodes = nodes});
+  auto topo = daq::EventBuilderTopology::build(cluster, params);
+  if (!topo.is_ok()) {
+    std::fprintf(stderr, "topology setup failed: %s\n",
+                 topo.status().to_string().c_str());
+    return 1;
+  }
+  // A monitor on the EVM node watches each builder via I2O event
+  // notifications (progress every quarter of the run).
+  auto monitor_dev = std::make_unique<RunMonitor>();
+  RunMonitor* monitor = monitor_dev.get();
+  const std::size_t evm_node = params.readouts + params.builders;
+  (void)cluster.install(evm_node, std::move(monitor_dev), "monitor");
+  for (std::size_t j = 0; j < params.builders; ++j) {
+    const std::size_t bu_node = params.readouts + j;
+    const auto bu_tid = cluster.node(bu_node).tid_of("bu").value();
+    (void)cluster.node(bu_node).configure(
+        bu_tid, {{"progress_every",
+                  std::to_string(std::max<std::uint64_t>(
+                      1, params.max_events / params.builders / 4))}});
+  }
+
+  if (Status st = cluster.enable_all(); !st.is_ok()) {
+    std::fprintf(stderr, "enable failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  const std::uint64_t t0 = now_ns();
+  cluster.start_all();
+  for (std::size_t j = 0; j < params.builders; ++j) {
+    const auto bu_proxy =
+        cluster.connect(evm_node, params.readouts + j, "bu");
+    if (bu_proxy.is_ok()) {
+      (void)monitor->watch(bu_proxy.value());
+    }
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(2);
+  while (!topo.value().complete() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  const double secs = static_cast<double>(now_ns() - t0) / 1e9;
+  cluster.stop_all();
+
+  const auto& topology = topo.value();
+  std::printf("\nresults after %.2f s:\n", secs);
+  std::printf("  events built:      %llu / %llu\n",
+              static_cast<unsigned long long>(topology.events_built()),
+              static_cast<unsigned long long>(params.max_events));
+  std::printf("  aggregate data:    %.1f MB (%.1f MB/s)\n",
+              static_cast<double>(topology.bytes_built()) / 1e6,
+              static_cast<double>(topology.bytes_built()) / 1e6 / secs);
+  std::printf("  event rate:        %.0f events/s\n",
+              static_cast<double>(topology.events_built()) / secs);
+  std::printf("  corrupt fragments: %llu\n",
+              static_cast<unsigned long long>(
+                  topology.corrupt_fragments()));
+  for (std::size_t j = 0; j < topology.builders.size(); ++j) {
+    std::printf("  builder %zu: %llu events, %llu fragments\n", j,
+                static_cast<unsigned long long>(
+                    topology.builders[j]->events_built()),
+                static_cast<unsigned long long>(
+                    topology.builders[j]->fragments_received()));
+  }
+  return topology.complete() ? 0 : 2;
+}

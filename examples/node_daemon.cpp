@@ -1,0 +1,149 @@
+// node_daemon.cpp - a standalone XDAQ cluster node as an OS process.
+//
+// Runs one executive with a TCP peer transport and waits to be driven by
+// a primary host: everything else - loading device classes, configuring,
+// enabling, halting - happens through I2O executive messages over the
+// socket, exactly as the paper deploys nodes ("a primary host controls
+// all processing nodes").
+//
+//   ./node_daemon --node=2 --listen=9102 ...
+//                 --peer=1:127.0.0.1:9101 --peer=3:127.0.0.1:9103
+//
+// The daemon exits when its kernel receives ExecHalt with
+// instance=shutdown (sent by xdaqsh's `xdaq_shutdown <node>`), or
+// on SIGINT/SIGTERM.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/executive.hpp"
+#include "daq/register.hpp"
+#include "pt/tcp_pt.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+/// Watches for a remote shutdown request: a device that halts the whole
+/// process when it is halted itself.
+class ShutdownHook final : public xdaq::core::Device {
+ public:
+  ShutdownHook() : Device("ShutdownHook") {}
+
+ protected:
+  xdaq::Status on_halt() override {
+    g_stop.store(true);
+    return xdaq::Status::ok();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xdaq;
+  CliParser cli;
+  cli.flag("node", "this node's id", std::int64_t{1})
+      .flag("listen", "TCP listen port (0 = ephemeral)", std::int64_t{0})
+      .flag("name", "executive name (default nodeN)", std::string(""))
+      .flag("verbose", "info-level logging", false);
+  if (Status st = cli.parse(argc, argv); !st.is_ok()) {
+    // --peer flags are repeatable and parsed manually below.
+    bool only_peers = true;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--peer", 0) != 0 && arg.rfind("--node", 0) != 0 &&
+          arg.rfind("--listen", 0) != 0 && arg.rfind("--name", 0) != 0 &&
+          arg.rfind("--verbose", 0) != 0) {
+        only_peers = false;
+      }
+    }
+    if (!only_peers) {
+      std::fprintf(stderr, "%s\n%s  --peer=<node>:<host>:<port> "
+                           "(repeatable)\n",
+                   st.to_string().c_str(),
+                   cli.usage("node_daemon").c_str());
+      return 1;
+    }
+  }
+  if (cli.get_bool("verbose")) {
+    set_log_level(LogLevel::Info);
+  }
+
+  const auto node_id = static_cast<i2o::NodeId>(cli.get_int("node"));
+  std::string name = cli.get_string("name");
+  if (name.empty()) {
+    name = "node" + std::to_string(node_id);
+  }
+
+  daq::register_device_classes();
+
+  core::ExecutiveConfig cfg;
+  cfg.node_id = node_id;
+  cfg.name = name;
+  core::Executive exec(cfg);
+
+  pt::TcpTransportConfig tcp_cfg;
+  tcp_cfg.listen_port = static_cast<std::uint16_t>(cli.get_int("listen"));
+  auto transport = std::make_unique<pt::TcpPeerTransport>(tcp_cfg);
+  pt::TcpPeerTransport* pt = transport.get();
+  auto pt_tid = exec.install(std::move(transport), "pt_tcp");
+  if (!pt_tid.is_ok()) {
+    std::fprintf(stderr, "transport install failed: %s\n",
+                 pt_tid.status().to_string().c_str());
+    return 1;
+  }
+
+  // Repeatable --peer=<node>:<host>:<port> flags wire the mesh.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--peer=", 0) != 0) {
+      continue;
+    }
+    const std::string spec = arg.substr(7);
+    const auto c1 = spec.find(':');
+    const auto c2 = spec.rfind(':');
+    if (c1 == std::string::npos || c2 == c1) {
+      std::fprintf(stderr, "bad --peer spec: %s\n", spec.c_str());
+      return 1;
+    }
+    const auto peer_node = static_cast<i2o::NodeId>(
+        std::strtoul(spec.substr(0, c1).c_str(), nullptr, 10));
+    const std::string host = spec.substr(c1 + 1, c2 - c1 - 1);
+    const auto port = static_cast<std::uint16_t>(
+        std::strtoul(spec.substr(c2 + 1).c_str(), nullptr, 10));
+    pt->add_peer(peer_node, host, port);
+    if (Status st = exec.set_route(peer_node, pt_tid.value());
+        !st.is_ok()) {
+      std::fprintf(stderr, "route to %u failed: %s\n", peer_node,
+                   st.to_string().c_str());
+      return 1;
+    }
+  }
+
+  if (Status st = exec.enable(pt_tid.value()); !st.is_ok()) {
+    std::fprintf(stderr, "transport enable failed: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+  (void)exec.install(std::make_unique<ShutdownHook>(), "shutdown");
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::printf("xdaq node %u ('%s') listening on 127.0.0.1:%u\n", node_id,
+              name.c_str(), pt->listen_port());
+  std::fflush(stdout);
+
+  exec.start();
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  exec.stop();
+  std::printf("xdaq node %u shutting down\n", node_id);
+  return 0;
+}

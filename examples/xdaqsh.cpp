@@ -1,0 +1,155 @@
+// xdaqsh.cpp - the primary host's control shell for out-of-process nodes.
+//
+// Connects to node_daemon processes over TCP and runs XCL scripts (or an
+// interactive read-eval-print loop) against them. Together with
+// node_daemon this is the paper's deployment picture: executives on every
+// cluster node, a Tcl-driven primary host steering them over the network.
+//
+//   # terminal 1 and 2: the cluster
+//   ./node_daemon --node=2 --listen=9102
+//   ./node_daemon --node=3 --listen=9103
+//   # terminal 3: the primary host
+//   ./xdaqsh --node=w1:2:... --node=w2:3:... script.xcl
+//
+//
+// Extra commands registered on top of the standard `xdaq` ensemble:
+//   xdaq shutdown <node>   - halts the remote daemon process.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/executive.hpp"
+#include "pt/tcp_pt.hpp"
+#include "xcl/control.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xdaq;
+
+  struct NodeSpec {
+    std::string name;
+    i2o::NodeId node;
+    std::string host;
+    std::uint16_t port;
+  };
+  std::vector<NodeSpec> nodes;
+  std::string script_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--node=", 0) == 0) {
+      // --node=<name>:<id>:<host>:<port>
+      const std::string spec = arg.substr(7);
+      std::vector<std::string> parts;
+      std::istringstream iss(spec);
+      std::string tok;
+      while (std::getline(iss, tok, ':')) {
+        parts.push_back(tok);
+      }
+      if (parts.size() != 4) {
+        std::fprintf(stderr, "bad --node spec: %s\n", spec.c_str());
+        return 1;
+      }
+      nodes.push_back(NodeSpec{
+          parts[0],
+          static_cast<i2o::NodeId>(std::strtoul(parts[1].c_str(), nullptr,
+                                                10)),
+          parts[2],
+          static_cast<std::uint16_t>(
+              std::strtoul(parts[3].c_str(), nullptr, 10))});
+    } else {
+      script_path = arg;
+    }
+  }
+  if (nodes.empty()) {
+    std::fprintf(stderr,
+                 "usage: xdaqsh --node=<name>:<id>:<host>:<port> ... "
+                 "[script.xcl]\n(no script: interactive REPL)\n");
+    return 1;
+  }
+
+  // The primary host is itself an executive with a TCP transport.
+  core::Executive host(core::ExecutiveConfig{.node_id = 0xFFE,
+                                             .name = "primary"});
+  auto transport = std::make_unique<pt::TcpPeerTransport>();
+  pt::TcpPeerTransport* pt = transport.get();
+  auto pt_tid = host.install(std::move(transport), "pt_tcp");
+  if (!pt_tid.is_ok()) {
+    std::fprintf(stderr, "%s\n", pt_tid.status().to_string().c_str());
+    return 1;
+  }
+  if (Status st = host.enable(pt_tid.value()); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  xcl::ControlSession session(host, std::chrono::seconds(5));
+  for (const NodeSpec& spec : nodes) {
+    pt->add_peer(spec.node, spec.host, spec.port);
+    if (Status st = host.set_route(spec.node, pt_tid.value());
+        !st.is_ok()) {
+      std::fprintf(stderr, "route to %s failed: %s\n", spec.name.c_str(),
+                   st.to_string().c_str());
+      return 1;
+    }
+    if (Status st = session.add_node(spec.name, spec.node); !st.is_ok()) {
+      std::fprintf(stderr, "add_node %s failed: %s\n", spec.name.c_str(),
+                   st.to_string().c_str());
+      return 1;
+    }
+  }
+  host.start();
+
+  xcl::Interp interp;
+  session.bind(interp);
+  // `xdaq shutdown <node>`: halt the daemon's ShutdownHook device.
+  interp.register_command(
+      "xdaq_shutdown",
+      [&session](xcl::Interp&, const std::vector<std::string>& w) {
+        if (w.size() != 2) {
+          return xcl::EvalResult::error("usage: xdaq_shutdown node");
+        }
+        const Status st =
+            session.state_op(w[1], "shutdown", i2o::Function::ExecHalt);
+        return st.is_ok() ? xcl::EvalResult::ok("ok")
+                          : xcl::EvalResult::error(st.to_string());
+      });
+
+  int rc = 0;
+  if (!script_path.empty()) {
+    std::ifstream file(script_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", script_path.c_str());
+      host.stop();
+      return 1;
+    }
+    std::ostringstream oss;
+    oss << file.rdbuf();
+    const xcl::EvalResult r = interp.eval(oss.str());
+    if (r.is_error()) {
+      std::fprintf(stderr, "error: %s\n", r.value.c_str());
+      rc = 1;
+    } else if (!r.value.empty()) {
+      std::printf("%s\n", r.value.c_str());
+    }
+  } else {
+    std::printf("xdaqsh: %zu node(s); XCL commands, 'exit' to quit\n",
+                nodes.size());
+    std::string line;
+    while (std::printf("xdaq> "), std::fflush(stdout),
+           std::getline(std::cin, line)) {
+      if (line == "exit" || line == "quit") {
+        break;
+      }
+      const xcl::EvalResult r = interp.eval(line);
+      if (r.is_error()) {
+        std::printf("error: %s\n", r.value.c_str());
+      } else if (!r.value.empty()) {
+        std::printf("%s\n", r.value.c_str());
+      }
+    }
+  }
+  host.stop();
+  return rc;
+}

@@ -1,0 +1,111 @@
+#include "core/address_table.hpp"
+
+namespace xdaq::core {
+
+namespace {
+std::uint64_t proxy_key(i2o::NodeId node, i2o::Tid tid,
+                        i2o::Tid via) noexcept {
+  return (static_cast<std::uint64_t>(node) << 32) |
+         (static_cast<std::uint64_t>(tid) << 16) | via;
+}
+}  // namespace
+
+Result<i2o::Tid> AddressTable::next_tid_locked() {
+  if (!free_list_.empty()) {
+    const i2o::Tid tid = free_list_.back();
+    free_list_.pop_back();
+    return tid;
+  }
+  if (next_ > i2o::kMaxTid) {
+    return {Errc::ResourceExhausted, "12-bit TiD space exhausted"};
+  }
+  return next_++;
+}
+
+Result<i2o::Tid> AddressTable::allocate_local(Device* device) {
+  if (device == nullptr) {
+    return {Errc::InvalidArgument, "null device"};
+  }
+  const std::scoped_lock lock(mutex_);
+  auto tid = next_tid_locked();
+  if (!tid.is_ok()) {
+    return tid;
+  }
+  AddressEntry e;
+  e.kind = AddressEntry::Kind::Local;
+  e.local = device;
+  entries_[tid.value()] = e;
+  return tid;
+}
+
+Result<i2o::Tid> AddressTable::intern_proxy(i2o::NodeId node,
+                                            i2o::Tid remote_tid,
+                                            i2o::Tid via_pt) {
+  if (node == i2o::kNullNode || remote_tid == i2o::kNullTid) {
+    return {Errc::InvalidArgument, "invalid proxy coordinates"};
+  }
+  const std::scoped_lock lock(mutex_);
+  const auto key = proxy_key(node, remote_tid, via_pt);
+  if (const auto it = proxy_index_.find(key); it != proxy_index_.end()) {
+    return it->second;
+  }
+  auto tid = next_tid_locked();
+  if (!tid.is_ok()) {
+    return tid;
+  }
+  AddressEntry e;
+  e.kind = AddressEntry::Kind::Proxy;
+  e.node = node;
+  e.remote_tid = remote_tid;
+  e.via_pt = via_pt;
+  entries_[tid.value()] = e;
+  proxy_index_[key] = tid.value();
+  return tid;
+}
+
+Result<AddressEntry> AddressTable::lookup(i2o::Tid tid) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(tid);
+  if (it == entries_.end()) {
+    return {Errc::NotFound, "no address entry for TiD"};
+  }
+  return it->second;
+}
+
+std::optional<i2o::Tid> AddressTable::find_proxy(i2o::NodeId node,
+                                                 i2o::Tid remote_tid,
+                                                 i2o::Tid via_pt) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = proxy_index_.find(proxy_key(node, remote_tid, via_pt));
+  if (it == proxy_index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+Status AddressTable::release(i2o::Tid tid) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(tid);
+  if (it == entries_.end()) {
+    return {Errc::NotFound, "releasing unknown TiD"};
+  }
+  if (it->second.kind == AddressEntry::Kind::Proxy) {
+    proxy_index_.erase(proxy_key(it->second.node, it->second.remote_tid,
+                                 it->second.via_pt));
+  }
+  entries_.erase(it);
+  free_list_.push_back(tid);
+  return Status::ok();
+}
+
+std::size_t AddressTable::size() const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t AddressTable::proxy_count() const {
+  const std::scoped_lock lock(mutex_);
+  return proxy_index_.size();
+}
+
+}  // namespace xdaq::core

@@ -1,0 +1,78 @@
+// address_table.hpp - TiD allocation and local/proxy resolution.
+//
+// Paper section 3.4: every device instance gets a numeric Target ID unique
+// within one IOP. "To communicate with a remote device, the executive
+// creates a local TiD for the target device along with information how to
+// reach this device" - the proxy entry. The caller never learns whether a
+// TiD is local or proxied (Proxy pattern, location transparency).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "i2o/types.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::core {
+
+class Device;
+
+/// One resolution result.
+struct AddressEntry {
+  enum class Kind : std::uint8_t { Local, Proxy };
+  Kind kind = Kind::Local;
+  Device* local = nullptr;          ///< Kind::Local
+  i2o::NodeId node = i2o::kNullNode;  ///< Kind::Proxy: remote node id
+  i2o::Tid remote_tid = i2o::kNullTid;  ///< Kind::Proxy: TiD on that node
+  i2o::Tid via_pt = i2o::kNullTid;  ///< Kind::Proxy: local PT that reaches it
+};
+
+/// Thread-safe TiD table. TiD 1 is reserved for the executive kernel and
+/// allocated through allocate_local like any other device.
+class AddressTable {
+ public:
+  AddressTable() = default;
+
+  /// Registers a local device, returning its new TiD. Fails with
+  /// ResourceExhausted when the 12-bit space is full.
+  Result<i2o::Tid> allocate_local(Device* device);
+
+  /// Returns the existing proxy TiD for (node, remote_tid, via_pt) or
+  /// creates one. Idempotent per route: re-interning the same remote
+  /// device through the same peer transport yields the same local TiD,
+  /// while a different transport yields a distinct proxy — this is what
+  /// lets one node "use multiple transports to send and receive in
+  /// parallel" (paper section 4).
+  Result<i2o::Tid> intern_proxy(i2o::NodeId node, i2o::Tid remote_tid,
+                                i2o::Tid via_pt);
+
+  /// Resolves a TiD; NotFound for unknown/released ids.
+  Result<AddressEntry> lookup(i2o::Tid tid) const;
+
+  /// Proxy lookup by remote coordinates and route.
+  std::optional<i2o::Tid> find_proxy(i2o::NodeId node, i2o::Tid remote_tid,
+                                     i2o::Tid via_pt) const;
+
+  /// Releases a TiD (device unload). Proxies pointing through a released
+  /// PT are left to fail at send time (Unroutable), matching I2O's lazy
+  /// teardown.
+  Status release(i2o::Tid tid);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t proxy_count() const;
+
+ private:
+  Result<i2o::Tid> next_tid_locked();
+
+  mutable std::mutex mutex_;
+  std::map<i2o::Tid, AddressEntry> entries_;
+  /// (node, remote tid, via pt) -> local proxy TiD.
+  std::map<std::uint64_t, i2o::Tid> proxy_index_;
+  i2o::Tid next_ = 1;  ///< 1 goes to the executive kernel first
+  std::vector<i2o::Tid> free_list_;
+};
+
+}  // namespace xdaq::core

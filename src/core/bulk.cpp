@@ -1,0 +1,103 @@
+#include "core/bulk.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "core/executive.hpp"
+#include "i2o/wire.hpp"
+
+namespace xdaq::core {
+
+namespace {
+
+std::uint32_t next_chain_id() {
+  static std::atomic<std::uint32_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status send_one(Device& dev, i2o::Tid target, i2o::OrgId org,
+                std::uint16_t xfunction, std::uint8_t flags,
+                std::span<const std::byte> head,
+                std::span<const std::byte> body,
+                std::uint32_t transaction_context) {
+  const std::size_t payload_bytes = head.size() + body.size();
+  auto frame = dev.executive().alloc_frame(payload_bytes,
+                                           /*is_private=*/true);
+  if (!frame.is_ok()) {
+    return frame.status();
+  }
+  i2o::FrameHeader hdr;
+  hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+  hdr.organization = static_cast<std::uint16_t>(org);
+  hdr.xfunction = xfunction;
+  hdr.target = target;
+  hdr.initiator = dev.tid();
+  hdr.flags = flags;
+  hdr.transaction_context = transaction_context;
+  auto bytes = frame.value().bytes();
+  if (Status st = i2o::encode_header(hdr, bytes); !st.is_ok()) {
+    return st;
+  }
+  auto payload = bytes.subspan(i2o::kPrivateHeaderBytes);
+  if (!head.empty()) {
+    std::memcpy(payload.data(), head.data(), head.size());
+  }
+  if (!body.empty()) {
+    std::memcpy(payload.data() + head.size(), body.data(), body.size());
+  }
+  return dev.executive().frame_send(std::move(frame).value());
+}
+
+}  // namespace
+
+Status bulk_send(Device& dev, i2o::Tid target, i2o::OrgId org,
+                 std::uint16_t xfunction, std::span<const std::byte> data,
+                 std::size_t max_fragment_bytes,
+                 std::uint32_t transaction_context) {
+  if (!dev.attached()) {
+    return {Errc::FailedPrecondition, "device not installed"};
+  }
+  if (max_fragment_bytes == 0 ||
+      max_fragment_bytes + i2o::kChainHeaderBytes > i2o::kMaxPayloadBytes) {
+    return {Errc::InvalidArgument, "fragment size out of range"};
+  }
+  // Always use the chain format, even for a single fragment: the chain
+  // header carries the exact byte count, which the padded frame payload
+  // cannot (frames round up to 32-bit words).
+  const std::uint32_t chain_id = next_chain_id();
+  const auto sizes = i2o::chain_fragment_sizes(data.size(),
+                                               max_fragment_bytes);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    i2o::ChainHeader ch;
+    ch.chain_id = chain_id;
+    ch.index = static_cast<std::uint16_t>(i);
+    ch.total = static_cast<std::uint16_t>(sizes.size());
+    ch.total_bytes = static_cast<std::uint32_t>(data.size());
+    ch.offset = static_cast<std::uint32_t>(offset);
+    std::byte head[i2o::kChainHeaderBytes];
+    i2o::encode_chain_header(ch, head);
+    if (Status st = send_one(dev, target, org, xfunction,
+                             i2o::kFlagChained, head,
+                             data.subspan(offset, sizes[i]),
+                             transaction_context);
+        !st.is_ok()) {
+      return st;  // partial chain times out / is aborted at the receiver
+    }
+    offset += sizes[i];
+  }
+  return Status::ok();
+}
+
+Result<std::optional<std::vector<std::byte>>> BulkReceiver::feed(
+    const MessageContext& ctx) {
+  if ((ctx.header.flags & i2o::kFlagChained) == 0) {
+    // Plain message from a non-bulk sender: complete immediately (length
+    // is the padded frame payload).
+    return std::optional<std::vector<std::byte>>(
+        std::vector<std::byte>(ctx.payload.begin(), ctx.payload.end()));
+  }
+  return reassembler_.feed(ctx.header.initiator, ctx.payload);
+}
+
+}  // namespace xdaq::core

@@ -1,0 +1,49 @@
+// bulk.hpp - arbitrary-length transfers over chained frames.
+//
+// One I2O frame carries at most 256 KiB. Paper section 4: "Making use of
+// I2O's Scatter-Gather Lists (SGL) or chaining blocks helps to transmit
+// arbitrary length information." bulk_send splits any payload into
+// chained frames (kFlagChained + i2o::ChainHeader); the receiving device
+// funnels them through a BulkReceiver, which yields the reassembled
+// message when the last fragment lands. Small payloads skip the chain
+// machinery entirely.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/device.hpp"
+#include "i2o/chain.hpp"
+
+namespace xdaq::core {
+
+/// Default fragment payload: comfortably under one frame, word aligned.
+inline constexpr std::size_t kDefaultBulkFragmentBytes = 64 * 1024;
+
+/// Sends `data` from `dev` to `target` under (org, xfunction). Payloads
+/// that fit one fragment go as a single plain frame; larger ones as a
+/// chain. All fragments share one transaction context.
+Status bulk_send(Device& dev, i2o::Tid target, i2o::OrgId org,
+                 std::uint16_t xfunction, std::span<const std::byte> data,
+                 std::size_t max_fragment_bytes = kDefaultBulkFragmentBytes,
+                 std::uint32_t transaction_context = 0);
+
+/// Receiver-side counterpart: feed every message arriving at the bound
+/// (org, xfunction). Returns the complete message when one finishes
+/// (single-frame messages complete immediately), nullopt while a chain is
+/// still partial, or an error for protocol violations.
+class BulkReceiver {
+ public:
+  Result<std::optional<std::vector<std::byte>>> feed(
+      const MessageContext& ctx);
+
+  /// Chains currently being reassembled.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return reassembler_.pending();
+  }
+
+ private:
+  i2o::ChainReassembler reassembler_;
+};
+
+}  // namespace xdaq::core

@@ -1,0 +1,151 @@
+#include "core/device.hpp"
+
+#include <cstring>
+
+#include "core/executive.hpp"
+#include "i2o/wire.hpp"
+
+namespace xdaq::core {
+
+std::string_view to_string(DeviceState s) noexcept {
+  switch (s) {
+    case DeviceState::Loaded:
+      return "Loaded";
+    case DeviceState::Configured:
+      return "Configured";
+    case DeviceState::Enabled:
+      return "Enabled";
+    case DeviceState::Suspended:
+      return "Suspended";
+    case DeviceState::Halted:
+      return "Halted";
+    case DeviceState::Failed:
+      return "Failed";
+  }
+  return "?";
+}
+
+i2o::ParamList Device::on_params_get() {
+  return {
+      {"class", class_name_},
+      {"instance", instance_name_},
+      {"tid", std::to_string(tid_)},
+      {"state", std::string(to_string(state_))},
+  };
+}
+
+void Device::bind(i2o::OrgId org, std::uint16_t xfunction, Handler handler) {
+  const std::uint32_t key =
+      (static_cast<std::uint32_t>(org) << 16) | xfunction;
+  private_handlers_[key] = std::move(handler);
+}
+
+bool Device::dispatch_private(const MessageContext& ctx) {
+  const std::uint32_t key =
+      (static_cast<std::uint32_t>(ctx.header.organization) << 16) |
+      ctx.header.xfunction;
+  const auto it = private_handlers_.find(key);
+  if (it == private_handlers_.end()) {
+    return false;
+  }
+  it->second(ctx);
+  return true;
+}
+
+Result<mem::FrameRef> Device::make_private_frame(
+    i2o::Tid target, i2o::OrgId org, std::uint16_t xfunction,
+    std::span<const std::byte> payload, std::uint32_t transaction_context) {
+  if (!attached()) {
+    return {Errc::FailedPrecondition, "device not installed in an executive"};
+  }
+  auto frame = executive_->alloc_frame(payload.size(), /*is_private=*/true);
+  if (!frame.is_ok()) {
+    return frame;
+  }
+  i2o::FrameHeader hdr;
+  hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+  hdr.organization = static_cast<std::uint16_t>(org);
+  hdr.xfunction = xfunction;
+  hdr.target = target;
+  hdr.initiator = tid_;
+  hdr.transaction_context = transaction_context;
+  auto bytes = frame.value().bytes();
+  if (Status s = i2o::encode_header(hdr, bytes); !s.is_ok()) {
+    return s;
+  }
+  if (!payload.empty()) {
+    std::memcpy(bytes.data() + i2o::kPrivateHeaderBytes, payload.data(),
+                payload.size());
+  }
+  return frame;
+}
+
+std::size_t Device::post_event(std::uint32_t event_code,
+                               std::span<const std::byte> payload) {
+  if (!attached()) {
+    return 0;
+  }
+  return executive_->post_event(tid_, event_code, payload);
+}
+
+Status Device::subscribe_events(i2o::Tid source, std::uint32_t mask) {
+  if (!attached()) {
+    return {Errc::FailedPrecondition, "device not installed"};
+  }
+  const i2o::ParamList params{{"mask", std::to_string(mask)}};
+  auto frame = executive_->alloc_frame(i2o::param_list_bytes(params),
+                                       /*is_private=*/false);
+  if (!frame.is_ok()) {
+    return frame.status();
+  }
+  i2o::FrameHeader hdr;
+  hdr.function =
+      static_cast<std::uint8_t>(i2o::Function::UtilEventRegister);
+  hdr.target = source;
+  hdr.initiator = tid_;
+  auto bytes = frame.value().bytes();
+  if (Status st = i2o::encode_header(hdr, bytes); !st.is_ok()) {
+    return st;
+  }
+  if (Status st = i2o::encode_param_list(
+          params, bytes.subspan(i2o::kStdHeaderBytes));
+      !st.is_ok()) {
+    return st;
+  }
+  return executive_->frame_send(std::move(frame).value());
+}
+
+Status Device::frame_send(mem::FrameRef frame) {
+  if (!attached()) {
+    return {Errc::FailedPrecondition, "device not installed in an executive"};
+  }
+  return executive_->frame_send(std::move(frame));
+}
+
+Status Device::frame_reply(const MessageContext& request,
+                           std::span<const std::byte> payload, bool failed) {
+  if (!attached()) {
+    return {Errc::FailedPrecondition, "device not installed in an executive"};
+  }
+  if (request.header.initiator == i2o::kNullTid) {
+    return {Errc::Unroutable, "request carries no initiator to reply to"};
+  }
+  const i2o::FrameHeader reply_hdr =
+      i2o::make_reply_header(request.header, failed);
+  auto frame =
+      executive_->alloc_frame(payload.size(), reply_hdr.is_private());
+  if (!frame.is_ok()) {
+    return frame.status();
+  }
+  auto bytes = frame.value().bytes();
+  if (Status s = i2o::encode_header(reply_hdr, bytes); !s.is_ok()) {
+    return s;
+  }
+  if (!payload.empty()) {
+    std::memcpy(bytes.data() + reply_hdr.header_bytes(), payload.data(),
+                payload.size());
+  }
+  return executive_->frame_send(std::move(frame).value());
+}
+
+}  // namespace xdaq::core

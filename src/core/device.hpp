@@ -1,0 +1,183 @@
+// device.hpp - the device-class model (the paper's i2oListener).
+//
+// Paper section 3.3: "an application is merely a new, private 'device'
+// class. In addition to the standard messages it provides code for all the
+// private messages that are defined for this application class." Every
+// device implements the executive and utility interfaces (with default
+// procedures supplied by the framework when no code is given) plus its own
+// private function codes, registered in a per-device dispatch table
+// ("Each device module ... is an active object that contains a local
+// dispatcher").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "i2o/frame.hpp"
+#include "i2o/paramlist.hpp"
+#include "i2o/types.hpp"
+#include "mem/pool.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::core {
+
+class Executive;
+
+/// Everything a handler needs about one delivered message. The FrameRef
+/// keeps the underlying pool block alive; payload views into it (zero copy).
+struct MessageContext {
+  i2o::FrameHeader header;
+  mem::FrameRef frame;
+  std::span<const std::byte> payload;
+};
+
+/// I2O-style device lifecycle. Private (application) messages are only
+/// delivered in the Enabled state; control messages work in any state.
+enum class DeviceState : std::uint8_t {
+  Loaded,      ///< installed, TiD assigned, not yet configured
+  Configured,  ///< parameters applied
+  Enabled,     ///< processing application messages
+  Suspended,   ///< application traffic paused
+  Halted,      ///< stopped; requires reset to Loaded
+  Failed,      ///< quarantined (handler fault / watchdog trip)
+};
+
+std::string_view to_string(DeviceState s) noexcept;
+
+/// Base class for every addressable module: applications, peer transports,
+/// and the executive kernel itself ("they are all valid I2O devices").
+class Device {
+ public:
+  using Handler = std::function<void(const MessageContext&)>;
+
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const std::string& class_name() const noexcept {
+    return class_name_;
+  }
+  [[nodiscard]] const std::string& instance_name() const noexcept {
+    return instance_name_;
+  }
+  [[nodiscard]] i2o::Tid tid() const noexcept { return tid_; }
+  [[nodiscard]] DeviceState state() const noexcept { return state_; }
+  [[nodiscard]] bool attached() const noexcept { return executive_ != nullptr; }
+
+  /// The executive this device is installed in. Precondition: attached().
+  [[nodiscard]] Executive& executive() const noexcept { return *executive_; }
+
+ protected:
+  explicit Device(std::string class_name)
+      : class_name_(std::move(class_name)) {}
+
+  // --- standard-interface hooks (defaults are the "default procedures") ---
+
+  /// Called once after installation, when the TiD is known (the paper's
+  /// plugin method "which allows us to register the downloaded object").
+  virtual void plugin() {}
+
+  /// ExecConfigure / initial parameters. Default accepts anything.
+  virtual Status on_configure(const i2o::ParamList& params) {
+    (void)params;
+    return Status::ok();
+  }
+  virtual Status on_enable() { return Status::ok(); }
+  virtual Status on_suspend() { return Status::ok(); }
+  virtual Status on_resume() { return Status::ok(); }
+  virtual Status on_halt() { return Status::ok(); }
+
+  /// UtilParamsGet. Default exposes identity and state.
+  virtual i2o::ParamList on_params_get();
+  /// UtilParamsSet. Default accepts and ignores.
+  virtual Status on_params_set(const i2o::ParamList& params) {
+    (void)params;
+    return Status::ok();
+  }
+
+  /// Replies (frames with kFlagReply) addressed to this device. Default
+  /// drops them; request/reply helpers override this.
+  virtual void on_reply(const MessageContext& ctx) { (void)ctx; }
+
+  /// Core-timer expiry (armed via Executive::arm_timer). Default ignores.
+  virtual void on_timer(std::uint32_t timer_id) { (void)timer_id; }
+
+  /// Event notification from a device this one registered with
+  /// (UtilEventRegister). `source` is the emitting device's TiD (a proxy
+  /// when it lives on another node). Default ignores.
+  virtual void on_event(i2o::Tid source, std::uint32_t event_code,
+                        std::span<const std::byte> payload) {
+    (void)source;
+    (void)event_code;
+    (void)payload;
+  }
+
+  /// Emits an event to every listener registered with this device whose
+  /// mask matches `event_code` (paper section 3.2: "essentially every
+  /// occurrence in the system is mapped to an I2O message ... sent to
+  /// device modules, if they have registered to listen to such an
+  /// event"). Returns the number of listeners notified.
+  std::size_t post_event(std::uint32_t event_code,
+                         std::span<const std::byte> payload = {});
+
+  /// Sends a UtilEventRegister frame subscribing this device to events
+  /// of `source` (local or proxy TiD) with the given mask; mask 0
+  /// unsubscribes. Notifications arrive through on_event.
+  Status subscribe_events(i2o::Tid source, std::uint32_t mask);
+
+  // --- local dispatcher -------------------------------------------------
+
+  /// Binds a private (org, xfunction) pair to a handler. Adding an entry
+  /// is all that is needed to add an event: "it is not even necessary to
+  /// register a new event with the executive framework. It is sufficient
+  /// to add it to the device module."
+  void bind(i2o::OrgId org, std::uint16_t xfunction, Handler handler);
+
+  // --- messaging conveniences --------------------------------------------
+
+  /// Allocates a private frame from the executive pool and fills header +
+  /// payload. The header's initiator is this device.
+  Result<mem::FrameRef> make_private_frame(i2o::Tid target, i2o::OrgId org,
+                                           std::uint16_t xfunction,
+                                           std::span<const std::byte> payload,
+                                           std::uint32_t transaction_context =
+                                               0);
+
+  /// frameSend: hands the frame to the executive for routing.
+  Status frame_send(mem::FrameRef frame);
+
+  /// frameReply: builds and sends the reply to `request` with `payload`.
+  Status frame_reply(const MessageContext& request,
+                     std::span<const std::byte> payload, bool failed = false);
+
+ private:
+  friend class Executive;
+
+  void attach(Executive* executive, i2o::Tid tid, std::string instance_name) {
+    executive_ = executive;
+    tid_ = tid;
+    instance_name_ = std::move(instance_name);
+  }
+
+  /// Executive-side delivery of a private, non-reply message: looks up the
+  /// local dispatch table. Returns false when no handler is bound.
+  bool dispatch_private(const MessageContext& ctx);
+
+  void set_state(DeviceState s) noexcept { state_ = s; }
+
+  std::string class_name_;
+  std::string instance_name_;
+  Executive* executive_ = nullptr;
+  i2o::Tid tid_ = i2o::kNullTid;
+  DeviceState state_ = DeviceState::Loaded;
+
+  /// Local dispatch table: (org << 16 | xfunction) -> handler.
+  std::map<std::uint32_t, Handler> private_handlers_;
+};
+
+}  // namespace xdaq::core

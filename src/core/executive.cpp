@@ -1,0 +1,1127 @@
+#include "core/executive.hpp"
+
+#include <cstring>
+
+#include "core/factory.hpp"
+#include "core/transport.hpp"
+#include "i2o/wire.hpp"
+#include "util/clock.hpp"
+
+namespace xdaq::core {
+
+namespace {
+
+/// Patches the 12-bit target field of an encoded frame in place.
+void patch_target(std::span<std::byte> frame, i2o::Tid tid) noexcept {
+  std::uint32_t word = i2o::get_u32(frame, 4);
+  word = (word & ~0x00000FFFu) | tid;
+  i2o::put_u32(frame, 4, word);
+}
+
+/// Patches the 12-bit initiator field of an encoded frame in place.
+void patch_initiator(std::span<std::byte> frame, i2o::Tid tid) noexcept {
+  std::uint32_t word = i2o::get_u32(frame, 4);
+  word = (word & ~0x00FFF000u) | (static_cast<std::uint32_t>(tid) << 12);
+  i2o::put_u32(frame, 4, word);
+}
+
+std::unique_ptr<mem::Pool> make_pool(ExecutiveConfig::PoolKind kind) {
+  if (kind == ExecutiveConfig::PoolKind::Simple) {
+    return std::make_unique<mem::SimplePool>();
+  }
+  return std::make_unique<mem::TablePool>();
+}
+
+}  // namespace
+
+Executive::Executive(ExecutiveConfig config)
+    : config_(std::move(config)),
+      log_("exec/" + config_.name),
+      pool_(make_pool(config_.pool_kind)),
+      inbound_(config_.inbound_capacity),
+      probes_(config_.probe_capacity) {
+  instrument_.store(config_.instrument, std::memory_order_relaxed);
+  if (config_.trace_capacity > 0) {
+    trace_ring_.resize(config_.trace_capacity);
+  }
+
+  // The kernel occupies TiD 1, like any other device ("even the executive
+  // gets such a TiD").
+  auto kernel = std::make_unique<KernelDevice>();
+  auto tid = table_.allocate_local(kernel.get());
+  // The very first allocation of a fresh table cannot fail or collide.
+  kernel->attach(this, tid.value(), config_.name);
+  kernel->set_state(DeviceState::Enabled);
+  {
+    const std::scoped_lock lock(devices_mutex_);
+    names_[config_.name] = tid.value();
+    devices_[tid.value()] = std::move(kernel);
+  }
+
+  timers_ = std::make_unique<TimerService>(
+      [this](i2o::Tid target, std::uint32_t timer_id) {
+        auto frame = alloc_frame(sizeof(std::uint32_t), /*is_private=*/true);
+        if (!frame.is_ok()) {
+          log_.warn("timer expiry dropped: ", frame.status().to_string());
+          return;
+        }
+        i2o::FrameHeader hdr;
+        hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+        hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kXdaq);
+        hdr.xfunction = kXfnTimerExpired;
+        hdr.target = target;
+        hdr.initiator = kernel_tid();
+        auto bytes = frame.value().bytes();
+        if (!i2o::encode_header(hdr, bytes).is_ok()) {
+          return;
+        }
+        i2o::put_u32(bytes, i2o::kPrivateHeaderBytes, timer_id);
+        stats_.timer_fires.fetch_add(1, std::memory_order_relaxed);
+        (void)post(std::move(frame).value());
+      });
+
+  if (config_.handler_deadline.count() > 0) {
+    watchdog_thread_ = std::thread(
+        [this, deadline = config_.handler_deadline] {
+          watchdog_main(deadline);
+        });
+  }
+}
+
+Executive::~Executive() {
+  stop();
+  watchdog_stop_.store(true, std::memory_order_relaxed);
+  if (watchdog_thread_.joinable()) {
+    watchdog_thread_.join();
+  }
+  timers_->shutdown();
+  // Stop task-mode transports before tearing down devices.
+  {
+    const std::scoped_lock lock(devices_mutex_);
+    for (auto& [tid, dev] : devices_) {
+      if (auto* pt = dynamic_cast<TransportDevice*>(dev.get())) {
+        pt->stop_transport();
+      }
+    }
+  }
+  // Drop queued frames before the pool goes away (members destruct in
+  // reverse declaration order; being explicit keeps the invariant obvious).
+  inbound_.close();
+  while (inbound_.try_pop()) {
+  }
+  while (scheduler_.next()) {
+  }
+}
+
+// ------------------------------------------------------------ device admin
+
+Result<i2o::Tid> Executive::install(std::unique_ptr<Device> device,
+                                    const std::string& instance_name,
+                                    const i2o::ParamList& params) {
+  if (device == nullptr) {
+    return {Errc::InvalidArgument, "null device"};
+  }
+  if (instance_name.empty()) {
+    return {Errc::InvalidArgument, "instance name required"};
+  }
+  Device* raw = device.get();
+  {
+    const std::scoped_lock lock(devices_mutex_);
+    if (names_.contains(instance_name)) {
+      return {Errc::AlreadyExists,
+              "instance name in use: " + instance_name};
+    }
+    auto tid = table_.allocate_local(raw);
+    if (!tid.is_ok()) {
+      return tid;
+    }
+    raw->attach(this, tid.value(), instance_name);
+    names_[instance_name] = tid.value();
+    devices_[tid.value()] = std::move(device);
+  }
+  if (auto* pt = dynamic_cast<TransportDevice*>(raw);
+      pt != nullptr && pt->mode() == TransportDevice::Mode::Polling) {
+    const std::scoped_lock lock(polling_mutex_);
+    polling_pts_.push_back(pt);
+  }
+  // plugin() runs unlocked: "At this point the newly created class can
+  // obtain its TiD and retrieve parameter settings from the executive."
+  raw->plugin();
+  if (!params.empty()) {
+    if (Status s = configure(raw->tid(), params); !s.is_ok()) {
+      return s;
+    }
+  }
+  log_.info("installed ", raw->class_name(), " as '", instance_name,
+            "' tid=", raw->tid());
+  return raw->tid();
+}
+
+Result<i2o::Tid> Executive::install_class(const std::string& class_name,
+                                          const std::string& instance_name,
+                                          const i2o::ParamList& params) {
+  auto device = DeviceFactory::instance().create(class_name);
+  if (!device.is_ok()) {
+    return device.status();
+  }
+  return install(std::move(device).value(), instance_name, params);
+}
+
+Device* Executive::device(i2o::Tid tid) const {
+  const std::scoped_lock lock(devices_mutex_);
+  const auto it = devices_.find(tid);
+  return it == devices_.end() ? nullptr : it->second.get();
+}
+
+Result<i2o::Tid> Executive::tid_of(const std::string& instance_name) const {
+  const std::scoped_lock lock(devices_mutex_);
+  const auto it = names_.find(instance_name);
+  if (it == names_.end()) {
+    return {Errc::NotFound, "unknown instance: " + instance_name};
+  }
+  return it->second;
+}
+
+Status Executive::apply_state_op(Device& dev, i2o::Function fn) {
+  const DeviceState s = dev.state();
+  switch (fn) {
+    case i2o::Function::ExecConfigure:
+      return {Errc::Internal, "configure handled separately"};
+    case i2o::Function::ExecEnable:
+      if (s != DeviceState::Loaded && s != DeviceState::Configured) {
+        return {Errc::FailedPrecondition,
+                "enable requires Loaded/Configured state"};
+      }
+      if (Status st = dev.on_enable(); !st.is_ok()) {
+        return st;
+      }
+      dev.set_state(DeviceState::Enabled);
+      return Status::ok();
+    case i2o::Function::ExecSuspend:
+      if (s != DeviceState::Enabled) {
+        return {Errc::FailedPrecondition, "suspend requires Enabled state"};
+      }
+      if (Status st = dev.on_suspend(); !st.is_ok()) {
+        return st;
+      }
+      dev.set_state(DeviceState::Suspended);
+      return Status::ok();
+    case i2o::Function::ExecResume:
+      if (s != DeviceState::Suspended) {
+        return {Errc::FailedPrecondition, "resume requires Suspended state"};
+      }
+      if (Status st = dev.on_resume(); !st.is_ok()) {
+        return st;
+      }
+      dev.set_state(DeviceState::Enabled);
+      return Status::ok();
+    case i2o::Function::ExecHalt:
+      if (Status st = dev.on_halt(); !st.is_ok()) {
+        return st;
+      }
+      dev.set_state(DeviceState::Halted);
+      return Status::ok();
+    case i2o::Function::ExecReset:
+      dev.set_state(DeviceState::Loaded);
+      return Status::ok();
+    default:
+      return {Errc::Unsupported, "not a state operation"};
+  }
+}
+
+Status Executive::configure(i2o::Tid tid, const i2o::ParamList& params) {
+  Device* dev = device(tid);
+  if (dev == nullptr) {
+    return {Errc::NotFound, "no local device with that TiD"};
+  }
+  const DeviceState s = dev->state();
+  if (s != DeviceState::Loaded && s != DeviceState::Configured) {
+    return {Errc::FailedPrecondition, "configure requires Loaded state"};
+  }
+  if (Status st = dev->on_configure(params); !st.is_ok()) {
+    return st;
+  }
+  dev->set_state(DeviceState::Configured);
+  return Status::ok();
+}
+
+Status Executive::enable(i2o::Tid tid) {
+  Device* dev = device(tid);
+  if (dev == nullptr) {
+    return {Errc::NotFound, "no local device with that TiD"};
+  }
+  return apply_state_op(*dev, i2o::Function::ExecEnable);
+}
+
+Status Executive::suspend(i2o::Tid tid) {
+  Device* dev = device(tid);
+  if (dev == nullptr) {
+    return {Errc::NotFound, "no local device with that TiD"};
+  }
+  return apply_state_op(*dev, i2o::Function::ExecSuspend);
+}
+
+Status Executive::resume(i2o::Tid tid) {
+  Device* dev = device(tid);
+  if (dev == nullptr) {
+    return {Errc::NotFound, "no local device with that TiD"};
+  }
+  return apply_state_op(*dev, i2o::Function::ExecResume);
+}
+
+Status Executive::halt(i2o::Tid tid) {
+  Device* dev = device(tid);
+  if (dev == nullptr) {
+    return {Errc::NotFound, "no local device with that TiD"};
+  }
+  return apply_state_op(*dev, i2o::Function::ExecHalt);
+}
+
+Status Executive::reset(i2o::Tid tid) {
+  Device* dev = device(tid);
+  if (dev == nullptr) {
+    return {Errc::NotFound, "no local device with that TiD"};
+  }
+  return apply_state_op(*dev, i2o::Function::ExecReset);
+}
+
+Status Executive::enable_all() {
+  std::vector<i2o::Tid> tids;
+  {
+    const std::scoped_lock lock(devices_mutex_);
+    for (const auto& [tid, dev] : devices_) {
+      if (tid != kernel_tid()) {
+        tids.push_back(tid);
+      }
+    }
+  }
+  for (const i2o::Tid tid : tids) {
+    Device* dev = device(tid);
+    if (dev == nullptr) {
+      continue;
+    }
+    const DeviceState s = dev->state();
+    if (s == DeviceState::Enabled) {
+      continue;
+    }
+    if (Status st = enable(tid); !st.is_ok()) {
+      return st;
+    }
+  }
+  return Status::ok();
+}
+
+// ----------------------------------------------------- transports & remotes
+
+Status Executive::set_route(i2o::NodeId node, i2o::Tid pt_tid) {
+  auto pt = transport_for(pt_tid);
+  if (!pt.is_ok()) {
+    return pt.status();
+  }
+  const std::scoped_lock lock(devices_mutex_);
+  routes_[node] = pt_tid;
+  return Status::ok();
+}
+
+Result<i2o::Tid> Executive::register_remote(i2o::NodeId node,
+                                            i2o::Tid remote_tid,
+                                            const std::string& name) {
+  i2o::Tid via = i2o::kNullTid;
+  {
+    const std::scoped_lock lock(devices_mutex_);
+    const auto it = routes_.find(node);
+    if (it == routes_.end()) {
+      return {Errc::Unroutable, "no route to node"};
+    }
+    via = it->second;
+  }
+  auto proxy = table_.intern_proxy(node, remote_tid, via);
+  if (!proxy.is_ok()) {
+    return proxy;
+  }
+  if (!name.empty()) {
+    const std::scoped_lock lock(devices_mutex_);
+    names_[name] = proxy.value();
+  }
+  return proxy;
+}
+
+Result<i2o::Tid> Executive::register_remote_via(i2o::NodeId node,
+                                                i2o::Tid remote_tid,
+                                                i2o::Tid pt_tid,
+                                                const std::string& name) {
+  auto pt = transport_for(pt_tid);
+  if (!pt.is_ok()) {
+    return pt.status();
+  }
+  auto proxy = table_.intern_proxy(node, remote_tid, pt_tid);
+  if (!proxy.is_ok()) {
+    return proxy;
+  }
+  if (!name.empty()) {
+    const std::scoped_lock lock(devices_mutex_);
+    names_[name] = proxy.value();
+  }
+  return proxy;
+}
+
+Result<TransportDevice*> Executive::transport_for(i2o::Tid pt_tid) const {
+  Device* dev = device(pt_tid);
+  if (dev == nullptr) {
+    return {Errc::NotFound, "no device with PT TiD"};
+  }
+  auto* pt = dynamic_cast<TransportDevice*>(dev);
+  if (pt == nullptr) {
+    return {Errc::InvalidArgument, "device is not a peer transport"};
+  }
+  return pt;
+}
+
+// ----------------------------------------------------------------- messaging
+
+Result<mem::FrameRef> Executive::alloc_frame(std::size_t payload_bytes,
+                                             bool is_private) {
+  if (payload_bytes > i2o::kMaxPayloadBytes) {
+    return {Errc::InvalidArgument,
+            "payload exceeds one-frame limit; use chaining or an SGL"};
+  }
+  return pool_->allocate(
+      i2o::frame_bytes_for_payload(payload_bytes, is_private));
+}
+
+Status Executive::post(mem::FrameRef frame) {
+  auto hdr = i2o::decode_header(frame.bytes());
+  if (!hdr.is_ok()) {
+    stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
+return hdr.status();
+  }
+  ScheduledItem in;
+  in.header = hdr.value();
+  in.frame = std::move(frame);
+  if (!inbound_.try_push(std::move(in))) {
+    stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
+// backpressure surfaces as a drop
+    return {Errc::ResourceExhausted, "inbound queue full"};
+  }
+  stats_.posted.fetch_add(1, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+Status Executive::frame_send(mem::FrameRef frame) {
+  auto hdr = i2o::decode_header(frame.bytes());
+  if (!hdr.is_ok()) {
+    return hdr.status();
+  }
+  auto entry = table_.lookup(hdr.value().target);
+  if (!entry.is_ok()) {
+    stats_.dropped_unknown.fetch_add(1, std::memory_order_relaxed);
+return {Errc::Unroutable, "target TiD not in address table"};
+  }
+  if (entry.value().kind == AddressEntry::Kind::Local) {
+    ScheduledItem in;
+    in.header = hdr.value();
+    in.frame = std::move(frame);
+    if (!inbound_.try_push(std::move(in))) {
+      return {Errc::ResourceExhausted, "inbound queue full"};
+    }
+    stats_.posted.fetch_add(1, std::memory_order_relaxed);
+    stats_.sent_local.fetch_add(1, std::memory_order_relaxed);
+return Status::ok();
+  }
+
+  // Proxy: rewrite the target to the remote node's local TiD and push the
+  // encoded frame through the routed peer transport.
+  const AddressEntry& proxy = entry.value();
+  auto pt = transport_for(proxy.via_pt);
+  if (!pt.is_ok()) {
+    return {Errc::Unroutable, "proxy's peer transport is gone"};
+  }
+  patch_target(frame.bytes(), proxy.remote_tid);
+  Status sent = pt.value()->transport_send(
+      proxy.node, std::span<const std::byte>(frame.bytes()));
+  if (sent.is_ok()) stats_.sent_remote.fetch_add(1, std::memory_order_relaxed);
+  return sent;
+}
+
+Status Executive::deliver_from_wire(i2o::NodeId src_node, i2o::Tid pt_tid,
+                                    std::span<const std::byte> wire,
+                                    std::uint64_t t_wire) {
+  auto hdr = i2o::decode_header(wire);
+  if (!hdr.is_ok()) {
+    stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
+return hdr.status();
+  }
+  auto frame = pool_->allocate(wire.size());
+  if (!frame.is_ok()) {
+    return frame.status();
+  }
+  std::memcpy(frame.value().bytes().data(), wire.data(), wire.size());
+
+  // Transparent reply routing: intern a proxy for the remote initiator and
+  // substitute it, so local code can reply without knowing about nodes.
+  i2o::FrameHeader header = hdr.value();
+  if (header.initiator != i2o::kNullTid) {
+    auto proxy = table_.intern_proxy(src_node, header.initiator, pt_tid);
+    if (!proxy.is_ok()) {
+      return proxy.status();
+    }
+    patch_initiator(frame.value().bytes(), proxy.value());
+    header.initiator = proxy.value();
+  }
+
+  ScheduledItem in;
+  in.header = header;
+  in.frame = std::move(frame).value();
+  if (instrument_.load(std::memory_order_relaxed)) {
+    in.probe.t_wire = t_wire != 0 ? t_wire : rdtsc();
+    in.probe.t_posted = rdtsc();
+  }
+  if (!inbound_.try_push(std::move(in))) {
+    return {Errc::ResourceExhausted, "inbound queue full"};
+  }
+  stats_.posted.fetch_add(1, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+// -------------------------------------------------------------------- timers
+
+std::uint32_t Executive::arm_timer(i2o::Tid target,
+                                   std::chrono::nanoseconds delay,
+                                   std::chrono::nanoseconds period) {
+  return timers_->arm(target, delay, period);
+}
+
+bool Executive::cancel_timer(std::uint32_t timer_id) {
+  return timers_->cancel(timer_id);
+}
+
+// --------------------------------------------------------------- events
+
+Status Executive::register_event_listener(i2o::Tid source,
+                                          i2o::Tid listener,
+                                          std::uint32_t mask) {
+  if (listener == i2o::kNullTid) {
+    return {Errc::InvalidArgument, "listener TiD required"};
+  }
+  const std::scoped_lock lock(events_mutex_);
+  auto& listeners = event_listeners_[source];
+  for (auto it = listeners.begin(); it != listeners.end(); ++it) {
+    if (it->listener == listener) {
+      if (mask == 0) {
+        listeners.erase(it);  // mask 0 = unregister
+      } else {
+        it->mask = mask;
+      }
+      return Status::ok();
+    }
+  }
+  if (mask != 0) {
+    listeners.push_back(EventListener{listener, mask});
+  }
+  return Status::ok();
+}
+
+std::size_t Executive::post_event(i2o::Tid source, std::uint32_t event_code,
+                                  std::span<const std::byte> payload) {
+  std::vector<i2o::Tid> targets;
+  {
+    const std::scoped_lock lock(events_mutex_);
+    const auto it = event_listeners_.find(source);
+    if (it == event_listeners_.end()) {
+      return 0;
+    }
+    for (const EventListener& l : it->second) {
+      if ((l.mask & event_code) != 0 || l.mask == ~0u) {
+        targets.push_back(l.listener);
+      }
+    }
+  }
+  std::size_t notified = 0;
+  for (const i2o::Tid target : targets) {
+    auto frame = alloc_frame(4 + payload.size(), /*is_private=*/true);
+    if (!frame.is_ok()) {
+      continue;
+    }
+    i2o::FrameHeader hdr;
+    hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+    hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kXdaq);
+    hdr.xfunction = kXfnEventNotify;
+    hdr.target = target;
+    hdr.initiator = source;
+    auto bytes = frame.value().bytes();
+    if (!i2o::encode_header(hdr, bytes).is_ok()) {
+      continue;
+    }
+    i2o::put_u32(bytes, i2o::kPrivateHeaderBytes, event_code);
+    if (!payload.empty()) {
+      std::memcpy(bytes.data() + i2o::kPrivateHeaderBytes + 4,
+                  payload.data(), payload.size());
+    }
+    if (frame_send(std::move(frame).value()).is_ok()) {
+      ++notified;
+    }
+  }
+  return notified;
+}
+
+std::size_t Executive::event_listener_count(i2o::Tid source) const {
+  const std::scoped_lock lock(events_mutex_);
+  const auto it = event_listeners_.find(source);
+  return it == event_listeners_.end() ? 0 : it->second.size();
+}
+
+// ------------------------------------------------------------ loop of control
+
+void Executive::run() {
+  running_.store(true, std::memory_order_relaxed);
+  while (running_.load(std::memory_order_relaxed)) {
+    pump(/*allow_block=*/true);
+  }
+}
+
+void Executive::start() {
+  if (loop_thread_.joinable()) {
+    return;  // already started
+  }
+  running_.store(true, std::memory_order_relaxed);
+  loop_thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_relaxed)) {
+      pump(/*allow_block=*/true);
+    }
+  });
+}
+
+void Executive::stop() {
+  running_.store(false, std::memory_order_relaxed);
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+}
+
+bool Executive::run_once() { return pump(/*allow_block=*/false); }
+
+bool Executive::pump(bool allow_block) {
+  // 1. Drain a bounded batch from the messaging instance into the
+  //    scheduler's priority FIFOs.
+  for (int i = 0; i < 256; ++i) {
+    auto in = inbound_.try_pop();
+    if (!in.has_value()) {
+      break;
+    }
+    scheduler_.enqueue(default_priority_for(in->header), std::move(*in));
+  }
+
+  // 2. Scan polling-mode peer transports (paper section 4: "In polling
+  //    mode, the executive periodically scans all registered PTs").
+  bool have_polling = false;
+  {
+    const std::scoped_lock lock(polling_mutex_);
+    for (TransportDevice* pt : polling_pts_) {
+      if (pt->state() == DeviceState::Enabled) {
+        have_polling = true;
+        pt->poll_transport();
+      }
+    }
+  }
+
+  // 3. Dispatch one message per the I2O priority/round-robin algorithm.
+  if (auto item = scheduler_.next()) {
+    idle_pumps_ = 0;
+    dispatch(std::move(*item));
+    return true;
+  }
+
+  // 4. Idle policy: spin when a polling PT needs low-latency scanning
+  //    (yielding occasionally so co-located executives make progress on
+  //    machines with fewer cores than nodes), otherwise sleep on the
+  //    inbound queue's condition variable.
+  if (allow_block) {
+    if (have_polling) {
+      if (++idle_pumps_ > 4096) {
+        idle_pumps_ = 0;
+        std::this_thread::yield();
+      }
+    } else if (auto in = inbound_.pop_for(std::chrono::microseconds(200))) {
+      scheduler_.enqueue(default_priority_for(in->header), std::move(*in));
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------ dispatch
+
+void Executive::dispatch(ScheduledItem item) {
+  const bool inst = instrument_.load(std::memory_order_relaxed) &&
+                    item.probe.t_wire != 0;
+  if (inst) {
+    item.probe.t_demux = rdtsc();
+  }
+
+  MessageContext ctx;
+  ctx.header = item.header;
+  ctx.frame = item.frame;  // shared reference, zero copy
+  ctx.payload = i2o::payload_of(
+      ctx.header, std::span<const std::byte>(item.frame.bytes()));
+
+  auto entry = table_.lookup(ctx.header.target);
+  Device* dev = nullptr;
+  if (entry.is_ok() && entry.value().kind == AddressEntry::Kind::Local) {
+    dev = entry.value().local;
+  }
+  if (dev == nullptr) {
+    stats_.dropped_unknown.fetch_add(1, std::memory_order_relaxed);
+    if (!ctx.header.is_reply()) {
+      send_fail_reply(ctx, "unknown target TiD");
+    }
+    trace(ctx.header, TraceEntry::Outcome::Dropped);
+    return;
+  }
+  TraceEntry::Outcome outcome = TraceEntry::Outcome::Delivered;
+
+  if (ctx.header.is_reply()) {
+    dev->on_reply(ctx);
+    stats_.dispatched.fetch_add(1, std::memory_order_relaxed);
+} else if (ctx.header.is_private()) {
+    // Core timer expiries and event notifications surface through their
+    // dedicated hooks in every live state.
+    if (ctx.header.org() == i2o::OrgId::kXdaq &&
+        ctx.header.xfunction == kXfnTimerExpired) {
+      const DeviceState s = dev->state();
+      if (s != DeviceState::Halted && s != DeviceState::Failed &&
+          ctx.payload.size() >= 4) {
+        dev->on_timer(i2o::get_u32(ctx.payload, 0));
+      }
+    } else if (ctx.header.org() == i2o::OrgId::kXdaq &&
+               ctx.header.xfunction == kXfnEventNotify) {
+      const DeviceState s = dev->state();
+      if (s != DeviceState::Halted && s != DeviceState::Failed &&
+          ctx.payload.size() >= 4) {
+        dev->on_event(ctx.header.initiator, i2o::get_u32(ctx.payload, 0),
+                      ctx.payload.subspan(4));
+      }
+    } else if (dev->state() != DeviceState::Enabled) {
+      stats_.rejected_disabled.fetch_add(1, std::memory_order_relaxed);
+      send_fail_reply(ctx, "device not enabled");
+      outcome = TraceEntry::Outcome::FailReplied;
+    } else {
+      // Watchdog bracket around the untrusted user handler.
+      handler_tid_.store(dev->tid(), std::memory_order_relaxed);
+      handler_start_ns_.store(now_ns(), std::memory_order_release);
+      if (inst) {
+        item.probe.t_upcall = rdtsc();
+      }
+      bool handled = false;
+      bool faulted = false;
+      try {
+        handled = dev->dispatch_private(ctx);
+      } catch (const std::exception& e) {
+        faulted = true;
+        log_.error("handler threw in '", dev->instance_name(), "': ",
+                   e.what());
+      } catch (...) {
+        faulted = true;
+        log_.error("handler threw in '", dev->instance_name(), "'");
+      }
+      if (inst) {
+        item.probe.t_app_done = rdtsc();
+      }
+      handler_start_ns_.store(0, std::memory_order_release);
+      if (handler_overrun_.exchange(false, std::memory_order_acq_rel)) {
+        faulted = true;
+        log_.error("watchdog: handler overran deadline in '",
+                   dev->instance_name(), "'");
+        stats_.watchdog_trips.fetch_add(1, std::memory_order_relaxed);
+}
+      if (faulted) {
+        // Quarantine: the paper notes a misbehaving handler must not stall
+        // the system; the device is failed and its backlog discarded.
+        dev->set_state(DeviceState::Failed);
+        scheduler_.discard_for(dev->tid());
+        send_fail_reply(ctx, "handler fault");
+        outcome = TraceEntry::Outcome::FailReplied;
+      } else if (!handled) {
+        // "The system can provide default procedures if for a given event
+        // no code is supplied": the default is a failure report.
+        stats_.default_handled.fetch_add(1, std::memory_order_relaxed);
+        send_fail_reply(ctx, "no handler bound for xfunction");
+      } else stats_.dispatched.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    deliver_standard(*dev, ctx);
+  }
+
+  trace(ctx.header, outcome);
+
+  // Release: drop both frame references, then stamp postprocessing time.
+  ctx.frame.reset();
+  item.frame.reset();
+  if (inst) {
+    item.probe.t_released = rdtsc();
+    probes_.append(item.probe);
+  }
+}
+
+void Executive::deliver_standard(Device& dev, const MessageContext& ctx) {
+  const auto fn = ctx.header.fn();
+  const bool is_exec =
+      static_cast<std::uint8_t>(fn) >=
+      static_cast<std::uint8_t>(i2o::Function::ExecStatusGet);
+  if (is_exec) {
+    if (dev.tid() != kernel_tid()) {
+      send_fail_reply(ctx, "executive messages must target the kernel");
+      return;
+    }
+    handle_exec(ctx);
+  } else {
+    handle_util(dev, ctx);
+  }
+  stats_.dispatched.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Executive::handle_util(Device& dev, const MessageContext& ctx) {
+  switch (ctx.header.fn()) {
+    case i2o::Function::UtilNop:
+      // NOP doubles as a liveness ping; answer when a reply path exists.
+      (void)send_param_reply(ctx, {});
+      return;
+    case i2o::Function::UtilParamsGet:
+      (void)send_param_reply(ctx, dev.on_params_get());
+      return;
+    case i2o::Function::UtilParamsSet: {
+      auto params = i2o::decode_param_list(ctx.payload);
+      if (!params.is_ok()) {
+        send_fail_reply(ctx, "malformed parameter list");
+        return;
+      }
+      const Status st = dev.on_params_set(params.value());
+      if (st.is_ok()) {
+        (void)send_param_reply(ctx, {});
+      } else {
+        send_fail_reply(ctx, st.to_string());
+      }
+      return;
+    }
+    case i2o::Function::UtilAbort:
+      // Abort outstanding requests: flush the device's scheduled backlog.
+      scheduler_.discard_for(dev.tid());
+      (void)send_param_reply(ctx, {});
+      return;
+    case i2o::Function::UtilEventRegister: {
+      // Subscribe the initiator to this device's events. The mask rides
+      // in the parameter list; 0 unregisters.
+      auto params = i2o::decode_param_list(ctx.payload);
+      if (!params.is_ok()) {
+        send_fail_reply(ctx, "malformed parameter list");
+        return;
+      }
+      const std::uint32_t mask = static_cast<std::uint32_t>(std::strtoul(
+          i2o::param_value(params.value(), "mask").c_str(), nullptr, 0));
+      const Status st =
+          register_event_listener(dev.tid(), ctx.header.initiator, mask);
+      if (st.is_ok()) {
+        (void)send_param_reply(ctx, {});
+      } else {
+        send_fail_reply(ctx, st.to_string());
+      }
+      return;
+    }
+    case i2o::Function::UtilClaim:
+    case i2o::Function::UtilEventAck:
+      (void)send_param_reply(ctx, {});
+      return;
+    default:
+      send_fail_reply(ctx, "unsupported utility function");
+      return;
+  }
+}
+
+void Executive::handle_exec(const MessageContext& ctx) {
+  i2o::ParamList params;
+  if (!ctx.payload.empty()) {
+    auto decoded = i2o::decode_param_list(ctx.payload);
+    if (!decoded.is_ok()) {
+      send_fail_reply(ctx, "malformed parameter list");
+      return;
+    }
+    params = std::move(decoded).value();
+  }
+
+  switch (ctx.header.fn()) {
+    case i2o::Function::ExecStatusGet:
+      (void)send_param_reply(ctx, exec_status());
+      return;
+    case i2o::Function::ExecConfigure:
+    case i2o::Function::ExecEnable:
+    case i2o::Function::ExecSuspend:
+    case i2o::Function::ExecResume:
+    case i2o::Function::ExecHalt:
+    case i2o::Function::ExecReset: {
+      const Status st = exec_apply(params, ctx.header.fn());
+      if (st.is_ok()) {
+        (void)send_param_reply(ctx, {});
+      } else {
+        send_fail_reply(ctx, st.to_string());
+      }
+      return;
+    }
+    case i2o::Function::ExecPluginLoad: {
+      const Status st = exec_plugin_load(params);
+      if (st.is_ok()) {
+        (void)send_param_reply(ctx, {});
+      } else {
+        send_fail_reply(ctx, st.to_string());
+      }
+      return;
+    }
+    case i2o::Function::ExecTidLookup: {
+      auto tid = tid_of(i2o::param_value(params, "instance"));
+      if (tid.is_ok()) {
+        (void)send_param_reply(ctx,
+                               {{"tid", std::to_string(tid.value())}});
+      } else {
+        send_fail_reply(ctx, tid.status().to_string());
+      }
+      return;
+    }
+    case i2o::Function::ExecSysTabSet: {
+      const Status st = exec_systab_set(params);
+      if (st.is_ok()) {
+        (void)send_param_reply(ctx, {});
+      } else {
+        send_fail_reply(ctx, st.to_string());
+      }
+      return;
+    }
+    case i2o::Function::ExecTimerSet: {
+      auto target = tid_of(i2o::param_value(params, "instance"));
+      if (!target.is_ok()) {
+        send_fail_reply(ctx, target.status().to_string());
+        return;
+      }
+      const auto delay = std::chrono::nanoseconds(
+          std::strtoll(i2o::param_value(params, "delay_ns").c_str(), nullptr,
+                       10));
+      const auto period = std::chrono::nanoseconds(
+          std::strtoll(i2o::param_value(params, "period_ns").c_str(), nullptr,
+                       10));
+      const std::uint32_t id = arm_timer(target.value(), delay, period);
+      (void)send_param_reply(ctx, {{"timer", std::to_string(id)}});
+      return;
+    }
+    case i2o::Function::ExecTimerCancel: {
+      const auto id = static_cast<std::uint32_t>(
+          std::strtoul(i2o::param_value(params, "timer").c_str(), nullptr,
+                       10));
+      if (cancel_timer(id)) {
+        (void)send_param_reply(ctx, {});
+      } else {
+        send_fail_reply(ctx, "timer not pending");
+      }
+      return;
+    }
+    default:
+      send_fail_reply(ctx, "unsupported executive function");
+      return;
+  }
+}
+
+i2o::ParamList Executive::exec_status() const {
+  i2o::ParamList out;
+  out.emplace_back("node", std::to_string(config_.node_id));
+  out.emplace_back("name", config_.name);
+  const ExecutiveStats snap = stats_.snapshot();
+  out.emplace_back("posted", std::to_string(snap.posted));
+  out.emplace_back("dispatched", std::to_string(snap.dispatched));
+  const std::scoped_lock lock(devices_mutex_);
+  out.emplace_back("devices", std::to_string(devices_.size()));
+  for (const auto& [tid, dev] : devices_) {
+    out.emplace_back("device." + dev->instance_name(),
+                     dev->class_name() + "/" +
+                         std::string(to_string(dev->state())));
+  }
+  return out;
+}
+
+Status Executive::exec_apply(const i2o::ParamList& params, i2o::Function fn) {
+  const std::string instance = i2o::param_value(params, "instance");
+  if (instance.empty()) {
+    return {Errc::InvalidArgument, "missing 'instance' parameter"};
+  }
+  if (instance == "*") {
+    // The wildcard addresses application devices only: peer transports
+    // are infrastructure - suspending or halting them wholesale would cut
+    // the very control plane delivering this message. Control transports
+    // explicitly by instance name.
+    std::vector<i2o::Tid> tids;
+    {
+      const std::scoped_lock lock(devices_mutex_);
+      for (const auto& [tid, dev] : devices_) {
+        if (tid != kernel_tid() &&
+            dynamic_cast<TransportDevice*>(dev.get()) == nullptr) {
+          tids.push_back(tid);
+        }
+      }
+    }
+    for (const i2o::Tid tid : tids) {
+      Device* dev = device(tid);
+      if (dev == nullptr) {
+        continue;
+      }
+      const Status st = (fn == i2o::Function::ExecConfigure)
+                            ? configure(tid, params)
+                            : apply_state_op(*dev, fn);
+      if (!st.is_ok()) {
+        return st;
+      }
+    }
+    return Status::ok();
+  }
+  auto tid = tid_of(instance);
+  if (!tid.is_ok()) {
+    return tid.status();
+  }
+  if (fn == i2o::Function::ExecConfigure) {
+    return configure(tid.value(), params);
+  }
+  Device* dev = device(tid.value());
+  if (dev == nullptr) {
+    return {Errc::NotFound, "instance is not a local device"};
+  }
+  return apply_state_op(*dev, fn);
+}
+
+Status Executive::exec_plugin_load(const i2o::ParamList& params) {
+  const std::string class_name = i2o::param_value(params, "class");
+  const std::string instance = i2o::param_value(params, "instance");
+  if (class_name.empty() || instance.empty()) {
+    return {Errc::InvalidArgument, "plugin load needs 'class' and 'instance'"};
+  }
+  auto tid = install_class(class_name, instance, params);
+  return tid.is_ok() ? Status::ok() : tid.status();
+}
+
+Status Executive::exec_systab_set(const i2o::ParamList& params) {
+  // Routes first ("route.<node>" = "<pt instance>"), then remote device
+  // registrations ("remote.<name>" = "<node>:<tid>").
+  for (const auto& [key, value] : params) {
+    if (key.rfind("route.", 0) == 0) {
+      const auto node =
+          static_cast<i2o::NodeId>(std::strtoul(key.c_str() + 6, nullptr, 10));
+      auto pt_tid = tid_of(value);
+      if (!pt_tid.is_ok()) {
+        return pt_tid.status();
+      }
+      if (Status st = set_route(node, pt_tid.value()); !st.is_ok()) {
+        return st;
+      }
+    }
+  }
+  for (const auto& [key, value] : params) {
+    if (key.rfind("remote.", 0) == 0) {
+      const std::string name = key.substr(7);
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) {
+        return {Errc::InvalidArgument, "remote entry needs '<node>:<tid>'"};
+      }
+      const auto node = static_cast<i2o::NodeId>(
+          std::strtoul(value.substr(0, colon).c_str(), nullptr, 10));
+      const auto rtid = static_cast<i2o::Tid>(
+          std::strtoul(value.substr(colon + 1).c_str(), nullptr, 10));
+      auto proxy = register_remote(node, rtid, name);
+      if (!proxy.is_ok()) {
+        return proxy.status();
+      }
+    }
+  }
+  return Status::ok();
+}
+
+void Executive::send_fail_reply(const MessageContext& ctx,
+                                std::string_view reason) {
+  if (ctx.header.initiator == i2o::kNullTid || ctx.header.is_reply()) {
+    return;  // nobody to tell, or replying to a reply would loop
+  }
+  stats_.failed_replies.fetch_add(1, std::memory_order_relaxed);
+  (void)send_param_reply(ctx, {{"error", std::string(reason)}},
+                         /*failed=*/true);
+}
+
+Status Executive::send_param_reply(const MessageContext& ctx,
+                                   const i2o::ParamList& params,
+                                   bool failed) {
+  if (ctx.header.initiator == i2o::kNullTid) {
+    return {Errc::Unroutable, "no initiator to reply to"};
+  }
+  const i2o::FrameHeader reply_hdr =
+      i2o::make_reply_header(ctx.header, failed);
+  const std::size_t payload_bytes = i2o::param_list_bytes(params);
+  auto frame = alloc_frame(payload_bytes, reply_hdr.is_private());
+  if (!frame.is_ok()) {
+    return frame.status();
+  }
+  auto bytes = frame.value().bytes();
+  if (Status st = i2o::encode_header(reply_hdr, bytes); !st.is_ok()) {
+    return st;
+  }
+  if (Status st = i2o::encode_param_list(
+          params, bytes.subspan(reply_hdr.header_bytes()));
+      !st.is_ok()) {
+    return st;
+  }
+  return frame_send(std::move(frame).value());
+}
+
+ExecutiveStats Executive::stats() const { return stats_.snapshot(); }
+
+void Executive::trace(const i2o::FrameHeader& hdr,
+                      TraceEntry::Outcome outcome) {
+  const std::scoped_lock lock(trace_mutex_);
+  if (trace_ring_.empty()) {
+    return;
+  }
+  TraceEntry& e = trace_ring_[trace_next_];
+  e.t_ns = now_ns();
+  e.target = hdr.target;
+  e.initiator = hdr.initiator;
+  e.function = hdr.function;
+  e.xfunction = hdr.is_private() ? hdr.xfunction : 0;
+  e.organization = hdr.is_private() ? hdr.organization : 0;
+  e.is_reply = hdr.is_reply();
+  e.outcome = outcome;
+  trace_next_ = (trace_next_ + 1) % trace_ring_.size();
+  ++trace_total_;
+}
+
+std::vector<TraceEntry> Executive::recent_dispatches() const {
+  const std::scoped_lock lock(trace_mutex_);
+  std::vector<TraceEntry> out;
+  if (trace_ring_.empty()) {
+    return out;
+  }
+  const std::size_t n =
+      std::min<std::uint64_t>(trace_total_, trace_ring_.size());
+  out.reserve(n);
+  // Oldest first: entries wrap around trace_next_.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx =
+        (trace_next_ + trace_ring_.size() - n + i) % trace_ring_.size();
+    out.push_back(trace_ring_[idx]);
+  }
+  return out;
+}
+
+void Executive::watchdog_main(std::chrono::nanoseconds deadline) {
+  const auto tick = std::chrono::nanoseconds(
+      std::max<std::int64_t>(deadline.count() / 4, 100'000));
+  while (!watchdog_stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(tick);
+    const std::uint64_t start =
+        handler_start_ns_.load(std::memory_order_acquire);
+    if (start != 0 &&
+        now_ns() - start > static_cast<std::uint64_t>(deadline.count())) {
+      handler_overrun_.store(true, std::memory_order_release);
+    }
+  }
+}
+
+}  // namespace xdaq::core

@@ -1,0 +1,362 @@
+// executive.hpp - the per-node I2O executive.
+//
+// Paper section 4: "Each processing node runs an executive program that
+// routes all application generated messages according to their destination
+// information to the software or hardware device modules that are
+// registered with the executive. ... the loop of control remains in the
+// executive framework. There exist multiple dispatch tables for all the
+// device class instances, but the executive performs the dispatching.
+// Furthermore the executive has control over all the memory that can be
+// accessed by the registered modules."
+//
+// One Executive is one node (IOP). It owns:
+//  * the memory pool every frame is drawn from,
+//  * the address table (local devices and proxies for remote ones),
+//  * the messaging instance (thread-safe inbound queue),
+//  * the seven-priority round-robin scheduler and the dispatch loop,
+//  * the core timer service and the handler watchdog,
+//  * routes from node ids to peer-transport devices.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/address_table.hpp"
+#include "core/device.hpp"
+#include "core/probes.hpp"
+#include "core/scheduler.hpp"
+#include "core/timer.hpp"
+#include "i2o/frame.hpp"
+#include "i2o/paramlist.hpp"
+#include "i2o/types.hpp"
+#include "mem/pool.hpp"
+#include "util/logging.hpp"
+#include "util/queue.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::core {
+
+class TransportDevice;
+
+struct ExecutiveConfig {
+  i2o::NodeId node_id = 0;
+  std::string name = "exec";
+  enum class PoolKind { Simple, Table } pool_kind = PoolKind::Table;
+  std::size_t inbound_capacity = 8192;
+  /// Watchdog: a handler running longer than this quarantines its device
+  /// (0 disables the watchdog thread entirely).
+  std::chrono::nanoseconds handler_deadline{0};
+  /// Whitebox instrumentation (paper Table 1): record per-dispatch probes.
+  bool instrument = false;
+  std::size_t probe_capacity = 0;
+  /// Dispatch trace: keep the last N dispatched message summaries for
+  /// diagnostics (0 disables tracing).
+  std::size_t trace_capacity = 0;
+};
+
+/// One dispatched message, as kept by the trace ring.
+struct TraceEntry {
+  std::uint64_t t_ns = 0;  ///< wall time at dispatch
+  i2o::Tid target = i2o::kNullTid;
+  i2o::Tid initiator = i2o::kNullTid;
+  std::uint8_t function = 0;
+  std::uint16_t xfunction = 0;
+  std::uint16_t organization = 0;
+  bool is_reply = false;
+  enum class Outcome : std::uint8_t {
+    Delivered,      ///< handler ran (or reply consumed)
+    FailReplied,    ///< rejected with a failure report
+    Dropped,        ///< no target / quarantined
+  } outcome = Outcome::Delivered;
+};
+
+struct ExecutiveStats {
+  std::uint64_t posted = 0;            ///< frames entering the inbound queue
+  std::uint64_t dispatched = 0;        ///< upcalls performed
+  std::uint64_t sent_local = 0;        ///< frame_send resolved locally
+  std::uint64_t sent_remote = 0;       ///< frame_send routed through a PT
+  std::uint64_t failed_replies = 0;    ///< fail replies generated
+  std::uint64_t dropped_unknown = 0;   ///< no address entry for target
+  std::uint64_t dropped_malformed = 0; ///< wire frames failing validation
+  std::uint64_t default_handled = 0;   ///< no handler bound; default path
+  std::uint64_t rejected_disabled = 0; ///< private msg to non-enabled device
+  std::uint64_t watchdog_trips = 0;    ///< devices quarantined
+  std::uint64_t timer_fires = 0;
+};
+
+/// Internal lock-free counterpart of ExecutiveStats: senders and the
+/// dispatch thread bump counters on every message, so a mutex here would
+/// serialize the hot path.
+struct AtomicExecutiveStats {
+  std::atomic<std::uint64_t> posted{0};
+  std::atomic<std::uint64_t> dispatched{0};
+  std::atomic<std::uint64_t> sent_local{0};
+  std::atomic<std::uint64_t> sent_remote{0};
+  std::atomic<std::uint64_t> failed_replies{0};
+  std::atomic<std::uint64_t> dropped_unknown{0};
+  std::atomic<std::uint64_t> dropped_malformed{0};
+  std::atomic<std::uint64_t> default_handled{0};
+  std::atomic<std::uint64_t> rejected_disabled{0};
+  std::atomic<std::uint64_t> watchdog_trips{0};
+  std::atomic<std::uint64_t> timer_fires{0};
+
+  [[nodiscard]] ExecutiveStats snapshot() const {
+    ExecutiveStats s;
+    s.posted = posted.load(std::memory_order_relaxed);
+    s.dispatched = dispatched.load(std::memory_order_relaxed);
+    s.sent_local = sent_local.load(std::memory_order_relaxed);
+    s.sent_remote = sent_remote.load(std::memory_order_relaxed);
+    s.failed_replies = failed_replies.load(std::memory_order_relaxed);
+    s.dropped_unknown = dropped_unknown.load(std::memory_order_relaxed);
+    s.dropped_malformed = dropped_malformed.load(std::memory_order_relaxed);
+    s.default_handled = default_handled.load(std::memory_order_relaxed);
+    s.rejected_disabled = rejected_disabled.load(std::memory_order_relaxed);
+    s.watchdog_trips = watchdog_trips.load(std::memory_order_relaxed);
+    s.timer_fires = timer_fires.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+class Executive {
+ public:
+  explicit Executive(ExecutiveConfig config = {});
+  ~Executive();
+
+  Executive(const Executive&) = delete;
+  Executive& operator=(const Executive&) = delete;
+
+  // --- identity -----------------------------------------------------------
+
+  [[nodiscard]] i2o::NodeId node_id() const noexcept {
+    return config_.node_id;
+  }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return config_.name;
+  }
+  /// The kernel's TiD (always i2o::kExecutiveTid).
+  [[nodiscard]] i2o::Tid kernel_tid() const noexcept {
+    return i2o::kExecutiveTid;
+  }
+
+  // --- device lifecycle ----------------------------------------------------
+
+  /// Installs a device: assigns a TiD, registers the instance name, calls
+  /// plugin(). Equivalent of the paper's runtime download + registration.
+  Result<i2o::Tid> install(std::unique_ptr<Device> device,
+                           const std::string& instance_name,
+                           const i2o::ParamList& params = {});
+
+  /// Instantiates `class_name` from the DeviceFactory and installs it.
+  Result<i2o::Tid> install_class(const std::string& class_name,
+                                 const std::string& instance_name,
+                                 const i2o::ParamList& params = {});
+
+  /// Direct state operations (setup/teardown convenience; the runtime path
+  /// is ExecConfigure/ExecEnable/... messages).
+  Status configure(i2o::Tid tid, const i2o::ParamList& params);
+  Status enable(i2o::Tid tid);
+  Status suspend(i2o::Tid tid);
+  Status resume(i2o::Tid tid);
+  Status halt(i2o::Tid tid);
+  Status reset(i2o::Tid tid);
+
+  /// Enables every non-kernel device (test/bench convenience).
+  Status enable_all();
+
+  /// Local device lookup; nullptr for proxies/unknown TiDs.
+  [[nodiscard]] Device* device(i2o::Tid tid) const;
+  /// Instance-name lookup (covers named proxies too).
+  Result<i2o::Tid> tid_of(const std::string& instance_name) const;
+
+  // --- remote addressing / transports --------------------------------------
+
+  /// Routes frames for `node` through the PT with `pt_tid` (which must be
+  /// an installed TransportDevice).
+  Status set_route(i2o::NodeId node, i2o::Tid pt_tid);
+
+  /// Interns a proxy TiD for a device on a remote node, using the route
+  /// configured for that node. Optionally registers `name` for tid_of().
+  Result<i2o::Tid> register_remote(i2o::NodeId node, i2o::Tid remote_tid,
+                                   const std::string& name = {});
+
+  /// Like register_remote, but pins the proxy to a specific peer
+  /// transport instead of the node's default route. Paper section 4: "it
+  /// is possible to configure each device instance with a route, we can
+  /// use multiple transports to send and receive in parallel." Because
+  /// proxies are keyed by (node, remote TiD), a pinned proxy must not
+  /// collide with an existing one for the same remote device.
+  Result<i2o::Tid> register_remote_via(i2o::NodeId node,
+                                       i2o::Tid remote_tid, i2o::Tid pt_tid,
+                                       const std::string& name = {});
+
+  [[nodiscard]] AddressTable& address_table() noexcept { return table_; }
+
+  // --- messaging ------------------------------------------------------------
+
+  [[nodiscard]] mem::Pool& pool() noexcept { return *pool_; }
+
+  /// Allocates a frame sized for `payload_bytes` (word-padded).
+  Result<mem::FrameRef> alloc_frame(std::size_t payload_bytes,
+                                    bool is_private);
+
+  /// Thread-safe entry into the messaging instance's inbound queue.
+  Status post(mem::FrameRef frame);
+
+  /// frameSend: routes by the frame's target TiD - into the local inbound
+  /// queue or through a peer transport ("The caller never needs to know,
+  /// if a device is really local or if the call is redirected").
+  Status frame_send(mem::FrameRef frame);
+
+  /// Peer transports deliver received wire frames here: validates, copies
+  /// into a pool frame, interns a proxy for the remote initiator, rewrites
+  /// the initiator field, and posts. `t_wire` is the PT's rdtsc stamp at
+  /// wire-event time (0 when not instrumenting).
+  Status deliver_from_wire(i2o::NodeId src_node, i2o::Tid pt_tid,
+                           std::span<const std::byte> wire,
+                           std::uint64_t t_wire = 0);
+
+  // --- timers ----------------------------------------------------------------
+
+  /// Arms a core timer; expiry arrives at `target` as a private kXdaq
+  /// frame and surfaces through Device::on_timer.
+  std::uint32_t arm_timer(i2o::Tid target, std::chrono::nanoseconds delay,
+                          std::chrono::nanoseconds period = {});
+  bool cancel_timer(std::uint32_t timer_id);
+
+  // --- event notifications --------------------------------------------------
+
+  /// Registers `listener` for events of `source` whose code ANDs with
+  /// `mask` (UtilEventRegister semantics; mask 0 unregisters). `listener`
+  /// may be a proxy, so remote subscriptions work transparently.
+  Status register_event_listener(i2o::Tid source, i2o::Tid listener,
+                                 std::uint32_t mask);
+
+  /// Sends an event notification from `source` to every matching
+  /// listener. Returns the number notified. Used by Device::post_event.
+  std::size_t post_event(i2o::Tid source, std::uint32_t event_code,
+                         std::span<const std::byte> payload);
+
+  [[nodiscard]] std::size_t event_listener_count(i2o::Tid source) const;
+
+  // --- loop of control ---------------------------------------------------------
+
+  /// Runs the dispatch loop on the calling thread until stop().
+  void run();
+  /// Spawns the dispatch thread.
+  void start();
+  /// Stops the loop (joins the thread when start() was used).
+  void stop();
+  /// Single non-blocking pump: drain inbound, poll PTs, dispatch at most
+  /// one message. Returns true if a message was dispatched.
+  bool run_once();
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  // --- diagnostics ---------------------------------------------------------------
+
+  [[nodiscard]] ExecutiveStats stats() const;
+  [[nodiscard]] const Scheduler& scheduler() const noexcept {
+    return scheduler_;
+  }
+  [[nodiscard]] ProbeLog& probe_log() noexcept { return probes_; }
+  void set_instrument(bool on) noexcept {
+    instrument_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the dispatch trace, oldest first (empty when tracing is
+  /// disabled). Thread-safe.
+  [[nodiscard]] std::vector<TraceEntry> recent_dispatches() const;
+
+ private:
+  /// The device occupying TiD 1. Exec-class messages addressed to it are
+  /// handled by the owning Executive.
+  class KernelDevice final : public Device {
+   public:
+    KernelDevice() : Device("Executive") {}
+  };
+
+  // Dispatch pipeline.
+  bool pump(bool allow_block);
+  void dispatch(ScheduledItem item);
+  void deliver_standard(Device& dev, const MessageContext& ctx);
+  void handle_util(Device& dev, const MessageContext& ctx);
+  void handle_exec(const MessageContext& ctx);
+  void send_fail_reply(const MessageContext& ctx, std::string_view reason);
+  Status send_param_reply(const MessageContext& ctx,
+                          const i2o::ParamList& params, bool failed = false);
+
+  // Exec-message implementations (kernel-targeted).
+  i2o::ParamList exec_status() const;
+  Status exec_apply(const i2o::ParamList& params, i2o::Function fn);
+  Status exec_plugin_load(const i2o::ParamList& params);
+  Status exec_systab_set(const i2o::ParamList& params);
+
+  Status apply_state_op(Device& dev, i2o::Function fn);
+
+  Result<TransportDevice*> transport_for(i2o::Tid pt_tid) const;
+  void watchdog_main(std::chrono::nanoseconds deadline);
+
+  ExecutiveConfig config_;
+  Logger log_;
+  std::unique_ptr<mem::Pool> pool_;
+  AddressTable table_;
+  Scheduler scheduler_;
+  BoundedQueue<ScheduledItem> inbound_;
+
+  mutable std::mutex devices_mutex_;
+  std::map<i2o::Tid, std::unique_ptr<Device>> devices_;
+  std::map<std::string, i2o::Tid> names_;
+  std::map<i2o::NodeId, i2o::Tid> routes_;
+
+  /// Guarded separately from devices_mutex_: the dispatch loop scans the
+  /// polling list every iteration and must not contend with senders doing
+  /// device lookups.
+  mutable std::mutex polling_mutex_;
+  std::vector<TransportDevice*> polling_pts_;
+
+  /// Event subscriptions: source TiD -> (listener TiD, mask).
+  struct EventListener {
+    i2o::Tid listener;
+    std::uint32_t mask;
+  };
+  mutable std::mutex events_mutex_;
+  std::map<i2o::Tid, std::vector<EventListener>> event_listeners_;
+
+  std::unique_ptr<TimerService> timers_;
+
+  std::size_t idle_pumps_ = 0;  ///< dispatch-thread local
+  std::atomic<bool> running_{false};
+  std::atomic<bool> instrument_{false};
+  std::thread loop_thread_;
+
+  // Watchdog state: what the dispatch thread is doing right now.
+  std::atomic<std::uint64_t> handler_start_ns_{0};
+  std::atomic<std::uint16_t> handler_tid_{i2o::kNullTid};
+  std::atomic<bool> handler_overrun_{false};
+  std::atomic<bool> watchdog_stop_{false};
+  std::thread watchdog_thread_;
+
+  void trace(const i2o::FrameHeader& hdr, TraceEntry::Outcome outcome);
+
+  AtomicExecutiveStats stats_;
+  ProbeLog probes_;
+
+  /// Fixed ring of recent dispatches (mutex-guarded; the trace is a
+  /// diagnostic path, not a hot one... but entries are written by the
+  /// dispatch thread only, so the lock is uncontended in practice).
+  mutable std::mutex trace_mutex_;
+  std::vector<TraceEntry> trace_ring_;
+  std::size_t trace_next_ = 0;
+  std::uint64_t trace_total_ = 0;
+};
+
+}  // namespace xdaq::core

@@ -1,0 +1,51 @@
+#include "core/factory.hpp"
+
+#include "core/device.hpp"
+
+namespace xdaq::core {
+
+DeviceFactory& DeviceFactory::instance() {
+  static DeviceFactory factory;
+  return factory;
+}
+
+Status DeviceFactory::register_class(const std::string& class_name,
+                                     Creator creator) {
+  const std::scoped_lock lock(mutex_);
+  if (creators_.contains(class_name)) {
+    return {Errc::AlreadyExists, "device class already registered"};
+  }
+  creators_[class_name] = std::move(creator);
+  return Status::ok();
+}
+
+Result<std::unique_ptr<Device>> DeviceFactory::create(
+    const std::string& class_name) const {
+  Creator creator;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = creators_.find(class_name);
+    if (it == creators_.end()) {
+      return {Errc::NotFound, "unknown device class: " + class_name};
+    }
+    creator = it->second;
+  }
+  return creator();
+}
+
+bool DeviceFactory::has(const std::string& class_name) const {
+  const std::scoped_lock lock(mutex_);
+  return creators_.contains(class_name);
+}
+
+std::vector<std::string> DeviceFactory::class_names() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(creators_.size());
+  for (const auto& [name, fn] : creators_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace xdaq::core

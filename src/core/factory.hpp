@@ -1,0 +1,58 @@
+// factory.hpp - device-class registry ("dynamic download").
+//
+// Paper section 3.2/4: "The procedure for a given message can be specified
+// dynamically by downloading a software module at runtime. ... the device
+// class is compiled and the object code is downloaded dynamically into the
+// running executives." In this reproduction the transport for object code
+// is a link-time registry instead of a wire download: ExecPluginLoad
+// frames name a registered class and the executive instantiates it. The
+// registration macro gives device classes the same one-line opt-in an .so
+// drop-in would.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace xdaq::core {
+
+class Device;
+
+class DeviceFactory {
+ public:
+  using Creator = std::function<std::unique_ptr<Device>()>;
+
+  /// Process-wide registry (device classes register at static-init time).
+  static DeviceFactory& instance();
+
+  /// Registers a class; AlreadyExists if the name is taken.
+  Status register_class(const std::string& class_name, Creator creator);
+
+  /// Instantiates a registered class.
+  Result<std::unique_ptr<Device>> create(const std::string& class_name) const;
+
+  [[nodiscard]] bool has(const std::string& class_name) const;
+  [[nodiscard]] std::vector<std::string> class_names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Creator> creators_;
+};
+
+/// Registers `ClassName` (a Device subclass with a default constructor)
+/// under its own name at program start.
+#define XDAQ_REGISTER_DEVICE(ClassName)                                    \
+  namespace {                                                              \
+  const bool xdaq_registered_##ClassName = [] {                            \
+    (void)::xdaq::core::DeviceFactory::instance().register_class(          \
+        #ClassName, [] { return std::make_unique<ClassName>(); });         \
+    return true;                                                           \
+  }();                                                                     \
+  }
+
+}  // namespace xdaq::core

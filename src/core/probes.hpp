@@ -1,0 +1,58 @@
+// probes.hpp - whitebox instrumentation records (paper Table 1).
+//
+// The paper pinpoints framework overhead by placing lightweight time
+// probes around each dispatch stage and reporting the median over 100,000
+// calls. DispatchProbe mirrors that: when an executive has instrumentation
+// enabled, every dispatched message appends one record of raw rdtsc stamps
+// to a preallocated log; conversion and statistics happen offline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xdaq::core {
+
+/// Raw tick stamps for one dispatched message. Stage boundaries follow
+/// Table 1 of the paper.
+struct DispatchProbe {
+  std::uint64_t t_wire = 0;       ///< PT saw the wire event (set by PTs)
+  std::uint64_t t_posted = 0;     ///< frame allocated+copied+posted (PT done)
+  std::uint64_t t_demux = 0;      ///< dispatch table lookup started
+  std::uint64_t t_upcall = 0;     ///< entering the user functor
+  std::uint64_t t_app_done = 0;   ///< user functor returned
+  std::uint64_t t_released = 0;   ///< frame released / postprocessing done
+};
+
+/// Fixed-capacity probe log; dropping is preferable to reallocation noise.
+class ProbeLog {
+ public:
+  explicit ProbeLog(std::size_t capacity = 0) { records_.reserve(capacity); }
+
+  void set_capacity(std::size_t capacity) {
+    records_.clear();
+    records_.reserve(capacity);
+  }
+
+  bool append(const DispatchProbe& p) {
+    if (records_.size() == records_.capacity()) {
+      ++dropped_;
+      return false;
+    }
+    records_.push_back(p);
+    return true;
+  }
+
+  void clear() noexcept { records_.clear(); dropped_ = 0; }
+
+  [[nodiscard]] const std::vector<DispatchProbe>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::vector<DispatchProbe> records_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace xdaq::core

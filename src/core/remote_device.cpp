@@ -1,0 +1,152 @@
+#include "core/remote_device.hpp"
+
+#include "core/executive.hpp"
+
+namespace xdaq::core {
+
+Result<RemoteDevice> RemoteDevice::open(Requester& requester,
+                                        i2o::Tid kernel,
+                                        const std::string& instance_name,
+                                        std::chrono::nanoseconds timeout) {
+  if (!requester.attached()) {
+    return {Errc::FailedPrecondition, "requester not installed"};
+  }
+  auto reply = requester.call_standard(kernel, i2o::Function::ExecTidLookup,
+                                       {{"instance", instance_name}},
+                                       timeout);
+  if (!reply.is_ok()) {
+    return reply.status();
+  }
+  if (reply.value().failed()) {
+    return {Errc::NotFound, "no instance '" + instance_name +
+                                "' on the target executive"};
+  }
+  auto params = reply.value().params();
+  if (!params.is_ok()) {
+    return params.status();
+  }
+  const auto resolved = static_cast<i2o::Tid>(std::strtoul(
+      i2o::param_value(params.value(), "tid").c_str(), nullptr, 10));
+  if (resolved == i2o::kNullTid) {
+    return {Errc::Internal, "TiD lookup reply carried no tid"};
+  }
+
+  // If the kernel is a proxy, the resolved TiD lives on that node and
+  // needs a local proxy of its own (through the same route).
+  Executive& exec = requester.executive();
+  i2o::Tid target = resolved;
+  auto kernel_entry = exec.address_table().lookup(kernel);
+  if (kernel_entry.is_ok() &&
+      kernel_entry.value().kind == AddressEntry::Kind::Proxy) {
+    auto proxy = exec.register_remote_via(kernel_entry.value().node,
+                                          resolved,
+                                          kernel_entry.value().via_pt);
+    if (!proxy.is_ok()) {
+      return proxy.status();
+    }
+    target = proxy.value();
+  }
+  return RemoteDevice(requester, target, kernel, instance_name, timeout);
+}
+
+Result<Requester::Reply> RemoteDevice::util_call(
+    i2o::Function fn, const i2o::ParamList& params) {
+  auto reply = requester_->call_standard(target_, fn, params, timeout_);
+  if (!reply.is_ok()) {
+    return reply;
+  }
+  if (reply.value().failed()) {
+    auto error_params = reply.value().params();
+    std::string reason = "remote utility call failed";
+    if (error_params.is_ok()) {
+      const std::string msg = i2o::param_value(error_params.value(),
+                                               "error");
+      if (!msg.empty()) {
+        reason = msg;
+      }
+    }
+    return {Errc::Internal, reason};
+  }
+  return reply;
+}
+
+Status RemoteDevice::ping() {
+  auto reply = util_call(i2o::Function::UtilNop, {});
+  return reply.is_ok() ? Status::ok() : reply.status();
+}
+
+Result<i2o::ParamList> RemoteDevice::params() {
+  auto reply = util_call(i2o::Function::UtilParamsGet, {});
+  if (!reply.is_ok()) {
+    return reply.status();
+  }
+  return reply.value().params();
+}
+
+Result<std::string> RemoteDevice::param(const std::string& key) {
+  auto all = params();
+  if (!all.is_ok()) {
+    return all.status();
+  }
+  return i2o::param_value(all.value(), key);
+}
+
+Status RemoteDevice::set_params(const i2o::ParamList& params) {
+  auto reply = util_call(i2o::Function::UtilParamsSet, params);
+  return reply.is_ok() ? Status::ok() : reply.status();
+}
+
+Result<std::string> RemoteDevice::state() { return param("state"); }
+
+Status RemoteDevice::exec_op(i2o::Function fn) {
+  auto reply = requester_->call_standard(kernel_, fn,
+                                         {{"instance", instance_}},
+                                         timeout_);
+  if (!reply.is_ok()) {
+    return reply.status();
+  }
+  if (reply.value().failed()) {
+    auto error_params = reply.value().params();
+    std::string reason = "remote executive call failed";
+    if (error_params.is_ok()) {
+      const std::string msg = i2o::param_value(error_params.value(),
+                                               "error");
+      if (!msg.empty()) {
+        reason = msg;
+      }
+    }
+    return {Errc::FailedPrecondition, reason};
+  }
+  return Status::ok();
+}
+
+Status RemoteDevice::configure(const i2o::ParamList& params) {
+  i2o::ParamList full = params;
+  full.emplace_back("instance", instance_);
+  auto reply = requester_->call_standard(
+      kernel_, i2o::Function::ExecConfigure, full, timeout_);
+  if (!reply.is_ok()) {
+    return reply.status();
+  }
+  if (reply.value().failed()) {
+    return {Errc::FailedPrecondition, "remote configure failed"};
+  }
+  return Status::ok();
+}
+
+Status RemoteDevice::enable() { return exec_op(i2o::Function::ExecEnable); }
+Status RemoteDevice::suspend() {
+  return exec_op(i2o::Function::ExecSuspend);
+}
+Status RemoteDevice::resume() { return exec_op(i2o::Function::ExecResume); }
+Status RemoteDevice::halt() { return exec_op(i2o::Function::ExecHalt); }
+Status RemoteDevice::reset() { return exec_op(i2o::Function::ExecReset); }
+
+Result<Requester::Reply> RemoteDevice::call(
+    i2o::OrgId org, std::uint16_t xfunction,
+    std::span<const std::byte> payload) {
+  return requester_->call_private(target_, org, xfunction, payload,
+                                  timeout_);
+}
+
+}  // namespace xdaq::core

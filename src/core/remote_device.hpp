@@ -1,0 +1,87 @@
+// remote_device.hpp - the OSM-style host view of a device.
+//
+// Paper section 3.1: the Operating System Module "presents the
+// application programmer a common interface to communicate with an I2O
+// device". RemoteDevice is that interface: a typed handle over a TiD
+// (local or proxy) that exposes the standard executive/utility message
+// classes as blocking calls through a Requester. It is pure convenience -
+// everything it does is plain frames, so it works unchanged across every
+// peer transport.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "core/requester.hpp"
+
+namespace xdaq::core {
+
+class RemoteDevice {
+ public:
+  /// `requester` must be installed on the calling side's executive and
+  /// outlive this handle. `target` addresses the device (proxy TiDs make
+  /// it remote); control operations go to `kernel` (the executive kernel
+  /// managing the device - also possibly a proxy).
+  RemoteDevice(Requester& requester, i2o::Tid target, i2o::Tid kernel,
+               std::string instance_name,
+               std::chrono::nanoseconds timeout = std::chrono::seconds(2))
+      : requester_(&requester),
+        target_(target),
+        kernel_(kernel),
+        instance_(std::move(instance_name)),
+        timeout_(timeout) {}
+
+  /// Resolves `instance_name` on the executive behind `kernel` and
+  /// returns a handle to it. On the caller's executive, the resolved TiD
+  /// is interned as a proxy when `kernel` itself is one.
+  static Result<RemoteDevice> open(Requester& requester, i2o::Tid kernel,
+                                   const std::string& instance_name,
+                                   std::chrono::nanoseconds timeout =
+                                       std::chrono::seconds(2));
+
+  [[nodiscard]] i2o::Tid tid() const noexcept { return target_; }
+  [[nodiscard]] const std::string& instance() const noexcept {
+    return instance_;
+  }
+
+  // --- utility message class ------------------------------------------------
+
+  /// UtilNop round trip (liveness).
+  Status ping();
+  /// UtilParamsGet.
+  Result<i2o::ParamList> params();
+  /// Convenience: one parameter by key ("" when missing).
+  Result<std::string> param(const std::string& key);
+  /// UtilParamsSet.
+  Status set_params(const i2o::ParamList& params);
+  /// Device lifecycle state as reported by UtilParamsGet.
+  Result<std::string> state();
+
+  // --- executive message class (via the managing kernel) ---------------------
+
+  Status configure(const i2o::ParamList& params = {});
+  Status enable();
+  Status suspend();
+  Status resume();
+  Status halt();
+  Status reset();
+
+  // --- application traffic ---------------------------------------------------
+
+  /// Sends a private frame and waits for the reply.
+  Result<Requester::Reply> call(i2o::OrgId org, std::uint16_t xfunction,
+                                std::span<const std::byte> payload = {});
+
+ private:
+  Status exec_op(i2o::Function fn);
+  Result<Requester::Reply> util_call(i2o::Function fn,
+                                     const i2o::ParamList& params);
+
+  Requester* requester_;
+  i2o::Tid target_;
+  i2o::Tid kernel_;
+  std::string instance_;
+  std::chrono::nanoseconds timeout_;
+};
+
+}  // namespace xdaq::core

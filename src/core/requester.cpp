@@ -1,0 +1,101 @@
+#include "core/requester.hpp"
+
+#include <cstring>
+
+#include "core/executive.hpp"
+
+namespace xdaq::core {
+
+Result<Requester::Reply> Requester::call_standard(
+    i2o::Tid target, i2o::Function fn, const i2o::ParamList& params,
+    std::chrono::nanoseconds timeout) {
+  if (!attached()) {
+    return {Errc::FailedPrecondition, "requester not installed"};
+  }
+  std::uint32_t txn = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    txn = next_txn_++;
+  }
+  const std::size_t payload_bytes = i2o::param_list_bytes(params);
+  auto frame = executive().alloc_frame(payload_bytes, /*is_private=*/false);
+  if (!frame.is_ok()) {
+    return frame.status();
+  }
+  i2o::FrameHeader hdr;
+  hdr.function = static_cast<std::uint8_t>(fn);
+  hdr.target = target;
+  hdr.initiator = tid();
+  hdr.transaction_context = txn;
+  auto bytes = frame.value().bytes();
+  if (Status st = i2o::encode_header(hdr, bytes); !st.is_ok()) {
+    return st;
+  }
+  if (Status st = i2o::encode_param_list(
+          params, bytes.subspan(i2o::kStdHeaderBytes));
+      !st.is_ok()) {
+    return st;
+  }
+  return send_and_wait(std::move(frame).value(), txn, timeout);
+}
+
+Result<Requester::Reply> Requester::call_private(
+    i2o::Tid target, i2o::OrgId org, std::uint16_t xfunction,
+    std::span<const std::byte> payload, std::chrono::nanoseconds timeout) {
+  std::uint32_t txn = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    txn = next_txn_++;
+  }
+  auto frame = make_private_frame(target, org, xfunction, payload, txn);
+  if (!frame.is_ok()) {
+    return frame.status();
+  }
+  return send_and_wait(std::move(frame).value(), txn, timeout);
+}
+
+Result<Requester::Reply> Requester::send_and_wait(
+    mem::FrameRef frame, std::uint32_t txn,
+    std::chrono::nanoseconds timeout) {
+  {
+    const std::scoped_lock lock(mutex_);
+    pending_.emplace(txn, Pending{});
+  }
+  if (Status st = frame_send(std::move(frame)); !st.is_ok()) {
+    const std::scoped_lock lock(mutex_);
+    pending_.erase(txn);
+    return st;
+  }
+  std::unique_lock lock(mutex_);
+  const bool got = cv_.wait_for(lock, timeout, [this, txn] {
+    const auto it = pending_.find(txn);
+    return it != pending_.end() && it->second.done;
+  });
+  const auto it = pending_.find(txn);
+  if (!got || it == pending_.end()) {
+    pending_.erase(txn);
+    return Status{Errc::Timeout, "no reply within timeout"};
+  }
+  Reply out = std::move(it->second.reply);
+  pending_.erase(it);
+  return out;
+}
+
+void Requester::on_reply(const MessageContext& ctx) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = pending_.find(ctx.header.transaction_context);
+  if (it == pending_.end()) {
+    return;  // late reply after timeout; drop
+  }
+  it->second.reply.header = ctx.header;
+  it->second.reply.payload.assign(ctx.payload.begin(), ctx.payload.end());
+  it->second.done = true;
+  cv_.notify_all();
+}
+
+std::size_t Requester::outstanding() const {
+  const std::scoped_lock lock(mutex_);
+  return pending_.size();
+}
+
+}  // namespace xdaq::core

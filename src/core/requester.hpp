@@ -1,0 +1,75 @@
+// requester.hpp - synchronous request/reply over I2O frames.
+//
+// The frame protocol is asynchronous: frameSend and, eventually, a reply
+// frame matched by TransactionContext. Control sessions (the primary
+// host's Tcl-driven configuration, RMI stubs) want a blocking call
+// instead. Requester is an ordinary device that fabricates a transaction
+// context per call, parks the calling thread on a condition variable, and
+// is woken by its on_reply override.
+//
+// Must be called from a thread other than the executive's dispatch thread:
+// a handler blocking on call() would be waiting for a reply that only the
+// same dispatch loop could deliver.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/device.hpp"
+
+namespace xdaq::core {
+
+class Requester : public Device {
+ public:
+  Requester() : Device("Requester") {}
+
+  /// A reply with its payload copied out of the pool frame (the frame is
+  /// recycled as soon as dispatch finishes; the waiter is another thread).
+  struct Reply {
+    i2o::FrameHeader header;
+    std::vector<std::byte> payload;
+    [[nodiscard]] bool failed() const noexcept { return header.is_failed(); }
+
+    /// Convenience for parameter-list replies.
+    [[nodiscard]] Result<i2o::ParamList> params() const {
+      return i2o::decode_param_list(payload);
+    }
+  };
+
+  /// Sends a standard-function frame (executive or utility class) with a
+  /// parameter-list payload and waits for the reply.
+  Result<Reply> call_standard(i2o::Tid target, i2o::Function fn,
+                              const i2o::ParamList& params,
+                              std::chrono::nanoseconds timeout);
+
+  /// Sends a private frame and waits for the reply.
+  Result<Reply> call_private(i2o::Tid target, i2o::OrgId org,
+                             std::uint16_t xfunction,
+                             std::span<const std::byte> payload,
+                             std::chrono::nanoseconds timeout);
+
+  /// Outstanding (unanswered) calls.
+  [[nodiscard]] std::size_t outstanding() const;
+
+ protected:
+  void on_reply(const MessageContext& ctx) override;
+
+ private:
+  struct Pending {
+    bool done = false;
+    Reply reply;
+  };
+
+  Result<Reply> send_and_wait(mem::FrameRef frame, std::uint32_t txn,
+                              std::chrono::nanoseconds timeout);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint32_t, Pending> pending_;
+  std::uint32_t next_txn_ = 1;
+};
+
+}  // namespace xdaq::core

@@ -1,0 +1,77 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+namespace xdaq::core {
+
+void Scheduler::enqueue(int priority, ScheduledItem item) {
+  const int p = std::clamp(priority, i2o::kHighestPriority,
+                           i2o::kLowestPriority);
+  Level& level = levels_[static_cast<std::size_t>(p)];
+  auto& fifo = level.fifos[item.header.target];
+  if (fifo.empty()) {
+    level.rotation.push_back(item.header.target);
+  }
+  fifo.push_back(std::move(item));
+  ++pending_;
+}
+
+std::optional<ScheduledItem> Scheduler::next() {
+  for (std::size_t p = 0; p < levels_.size(); ++p) {
+    Level& level = levels_[p];
+    if (level.rotation.empty()) {
+      continue;
+    }
+    const i2o::Tid tid = level.rotation.front();
+    level.rotation.pop_front();
+    auto it = level.fifos.find(tid);
+    // Invariant: a device is in the rotation iff its FIFO is non-empty.
+    ScheduledItem item = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) {
+      level.fifos.erase(it);
+    } else {
+      level.rotation.push_back(tid);  // round robin
+    }
+    --pending_;
+    ++served_[p];
+    return item;
+  }
+  return std::nullopt;
+}
+
+std::size_t Scheduler::pending_at(int priority) const {
+  const int p = std::clamp(priority, i2o::kHighestPriority,
+                           i2o::kLowestPriority);
+  const Level& level = levels_[static_cast<std::size_t>(p)];
+  std::size_t n = 0;
+  for (const auto& [tid, fifo] : level.fifos) {
+    n += fifo.size();
+  }
+  return n;
+}
+
+std::size_t Scheduler::discard_for(i2o::Tid tid) {
+  std::size_t dropped = 0;
+  for (Level& level : levels_) {
+    const auto it = level.fifos.find(tid);
+    if (it != level.fifos.end()) {
+      dropped += it->second.size();
+      level.fifos.erase(it);
+    }
+    level.rotation.erase(
+        std::remove(level.rotation.begin(), level.rotation.end(), tid),
+        level.rotation.end());
+  }
+  pending_ -= dropped;
+  return dropped;
+}
+
+int default_priority_for(const i2o::FrameHeader& hdr) noexcept {
+  if (!hdr.is_private()) {
+    return i2o::kControlPriority;  // executive/utility message classes
+  }
+  return i2o::kDefaultPriority;
+}
+
+}  // namespace xdaq::core

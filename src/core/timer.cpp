@@ -1,0 +1,113 @@
+#include "core/timer.hpp"
+
+#include <algorithm>
+
+#include "util/clock.hpp"
+
+namespace xdaq::core {
+
+TimerService::TimerService(FireFn fire)
+    : fire_(std::move(fire)), thread_([this] { thread_main(); }) {}
+
+TimerService::~TimerService() { shutdown(); }
+
+std::uint32_t TimerService::arm(i2o::Tid target,
+                                std::chrono::nanoseconds delay,
+                                std::chrono::nanoseconds period) {
+  const std::uint64_t deadline =
+      now_ns() + static_cast<std::uint64_t>(std::max<std::int64_t>(
+                     0, delay.count()));
+  std::uint32_t id = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    id = next_id_++;
+    heap_.push(Entry{deadline, id, target,
+                     static_cast<std::uint64_t>(
+                         std::max<std::int64_t>(0, period.count()))});
+    armed_ids_.push_back(id);
+  }
+  cv_.notify_one();
+  return id;
+}
+
+bool TimerService::cancel(std::uint32_t timer_id) {
+  const std::scoped_lock lock(mutex_);
+  // Heap entries cannot be removed in place; mark the id and skip it when
+  // it surfaces. armed_ids_ mirrors live entries so we can tell a pending
+  // timer from one that already fired.
+  if (std::find(cancelled_.begin(), cancelled_.end(), timer_id) !=
+      cancelled_.end()) {
+    return false;  // already cancelled
+  }
+  const bool pending = std::find(armed_ids_.begin(), armed_ids_.end(),
+                                 timer_id) != armed_ids_.end();
+  if (pending) {
+    cancelled_.push_back(timer_id);
+  }
+  return pending;
+}
+
+std::size_t TimerService::armed() const {
+  const std::scoped_lock lock(mutex_);
+  return armed_ids_.size();
+}
+
+void TimerService::shutdown() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void TimerService::thread_main() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    if (heap_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !heap_.empty(); });
+      continue;
+    }
+    const Entry top = heap_.top();
+    const std::uint64_t now = now_ns();
+    if (top.deadline_ns > now) {
+      cv_.wait_for(lock,
+                   std::chrono::nanoseconds(top.deadline_ns - now),
+                   [this, &top] {
+                     return stopping_ || heap_.empty() ||
+                            heap_.top().deadline_ns < top.deadline_ns;
+                   });
+      continue;
+    }
+    heap_.pop();
+    const auto cancelled_it =
+        std::find(cancelled_.begin(), cancelled_.end(), top.id);
+    const bool is_cancelled = cancelled_it != cancelled_.end();
+    if (is_cancelled) {
+      cancelled_.erase(cancelled_it);
+      forget_armed(top.id);
+      continue;
+    }
+    if (top.period_ns > 0) {
+      heap_.push(Entry{top.deadline_ns + top.period_ns, top.id, top.target,
+                       top.period_ns});
+    } else {
+      forget_armed(top.id);
+    }
+    lock.unlock();
+    fire_(top.target, top.id);
+    lock.lock();
+  }
+}
+
+void TimerService::forget_armed(std::uint32_t id) {
+  armed_ids_.erase(std::remove(armed_ids_.begin(), armed_ids_.end(), id),
+                   armed_ids_.end());
+}
+
+}  // namespace xdaq::core

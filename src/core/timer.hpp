@@ -1,0 +1,79 @@
+// timer.hpp - I2O core timer facilities.
+//
+// Paper section 3.2: "Even interrupts or timer expirations trigger
+// messages that are sent to device modules, if they have registered to
+// listen to such an event." A dedicated thread keeps a deadline heap;
+// expiries are delivered as private kXdaq frames (xfunction
+// kXfnTimerExpired) through the normal inbound path, so devices see them
+// exactly like any other message.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "i2o/types.hpp"
+
+namespace xdaq::core {
+
+/// xfunction codes in the kXdaq private organization.
+inline constexpr std::uint16_t kXfnTimerExpired = 0x0001;
+inline constexpr std::uint16_t kXfnEventNotify = 0x0002;
+
+class TimerService {
+ public:
+  /// `fire` posts the expiry message for (target, timer_id); it runs on
+  /// the timer thread and must be thread-safe and non-blocking.
+  using FireFn = std::function<void(i2o::Tid target, std::uint32_t timer_id)>;
+
+  explicit TimerService(FireFn fire);
+  ~TimerService();
+
+  TimerService(const TimerService&) = delete;
+  TimerService& operator=(const TimerService&) = delete;
+
+  /// Arms a timer for `target`. period == 0 -> one shot. Returns the
+  /// timer id carried in the expiry message.
+  std::uint32_t arm(i2o::Tid target, std::chrono::nanoseconds delay,
+                    std::chrono::nanoseconds period = {});
+
+  /// Cancels a timer; false if it already fired (one-shot) or is unknown.
+  bool cancel(std::uint32_t timer_id);
+
+  /// Currently armed timers.
+  [[nodiscard]] std::size_t armed() const;
+
+  /// Stops the thread; no expiries fire after this returns.
+  void shutdown();
+
+ private:
+  struct Entry {
+    std::uint64_t deadline_ns;
+    std::uint32_t id;
+    i2o::Tid target;
+    std::uint64_t period_ns;
+    bool operator>(const Entry& o) const noexcept {
+      return deadline_ns > o.deadline_ns;
+    }
+  };
+
+  void thread_main();
+  void forget_armed(std::uint32_t id);
+
+  FireFn fire_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<std::uint32_t> cancelled_;
+  std::vector<std::uint32_t> armed_ids_;  ///< mirrors live heap entries
+  std::uint32_t next_id_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace xdaq::core

@@ -1,0 +1,52 @@
+// transport.hpp - the peer-transport contract seen by the executive.
+//
+// Paper section 3.5/4: "The modules that take care of performing the
+// actual communication are designed as Device Driver Modules themselves.
+// They are just granted a special name: the Peer Transports." A transport
+// is therefore a Device (it has a TiD, is configurable and controllable)
+// with two extra duties: pushing an encoded frame towards a remote node,
+// and - in polling mode - being scanned by the executive's loop of
+// control. Concrete transports (loopback, simulated Myrinet/GM, TCP) live
+// in src/pt.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/device.hpp"
+#include "i2o/types.hpp"
+
+namespace xdaq::core {
+
+class TransportDevice : public Device {
+ public:
+  /// Paper section 4: "In polling mode, the executive periodically scans
+  /// all registered PTs for pending data. In task mode each PT has its own
+  /// thread of control."
+  enum class Mode { Polling, Task };
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  /// Pushes one fully encoded frame (target already rewritten to the
+  /// remote TiD) towards `dst`. Called on the sender's thread; must be
+  /// thread-safe.
+  virtual Status transport_send(i2o::NodeId dst,
+                                std::span<const std::byte> frame) = 0;
+
+  /// Polling mode: drain pending wire traffic, delivering through
+  /// Executive::deliver_from_wire. Called from the executive loop.
+  virtual void poll_transport() {}
+
+  /// Task mode: start/stop the transport's own thread of control.
+  virtual Status start_transport() { return Status::ok(); }
+  virtual void stop_transport() {}
+
+ protected:
+  TransportDevice(std::string class_name, Mode mode)
+      : Device(std::move(class_name)), mode_(mode) {}
+
+ private:
+  Mode mode_;
+};
+
+}  // namespace xdaq::core

@@ -1,0 +1,97 @@
+#include "daq/builder_unit.hpp"
+
+#include "core/factory.hpp"
+#include "daq/protocol.hpp"
+#include "i2o/wire.hpp"
+
+namespace xdaq::daq {
+
+BuilderUnit::BuilderUnit() : Device("BuilderUnit") {
+  bind(i2o::OrgId::kDaq, kXfnFragment,
+       [this](const core::MessageContext& ctx) { handle_fragment(ctx); });
+}
+
+Status BuilderUnit::on_configure(const i2o::ParamList& params) {
+  for (const auto& [key, value] : params) {
+    if (key == "evm_tid") {
+      evm_tid_ = static_cast<i2o::Tid>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "verify") {
+      verify_ = (value == "1" || value == "true");
+    } else if (key == "progress_every") {
+      progress_every_ = std::strtoull(value.c_str(), nullptr, 10);
+    }
+  }
+  return Status::ok();
+}
+
+void BuilderUnit::handle_fragment(const core::MessageContext& ctx) {
+  auto header = decode_fragment_header(ctx.payload);
+  if (!header.is_ok()) {
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    (void)post_event(kEvCorruptFragment);
+    return;
+  }
+  const FragmentHeader& fh = header.value();
+  const auto data =
+      ctx.payload.subspan(kFragmentHeaderBytes, fh.data_bytes);
+  if (verify_ && fnv1a(data) != fh.checksum) {
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    (void)post_event(kEvCorruptFragment);
+    return;
+  }
+  fragments_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(fh.data_bytes, std::memory_order_relaxed);
+
+  auto [it, inserted] = partial_.try_emplace(fh.event_id);
+  Partial& p = it->second;
+  if (inserted) {
+    p.total = fh.total_sources;
+  } else if (p.total != fh.total_sources) {
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    partial_.erase(it);
+    return;
+  }
+  const std::uint64_t bit = 1ULL << (fh.source_id % 64);
+  if ((p.seen_mask & bit) != 0) {
+    return;  // duplicate fragment; drop
+  }
+  p.seen_mask |= bit;
+  ++p.received;
+  if (p.received == p.total) {
+    partial_.erase(it);
+    const std::uint64_t built =
+        built_.fetch_add(1, std::memory_order_relaxed) + 1;
+    notify_done(fh.event_id);
+    if (progress_every_ != 0 && built % progress_every_ == 0) {
+      std::byte payload[8];
+      i2o::put_u64(payload, 0, built);
+      (void)post_event(kEvBuilderProgress, payload);
+    }
+  }
+}
+
+void BuilderUnit::notify_done(std::uint64_t event_id) {
+  if (evm_tid_ == i2o::kNullTid) {
+    return;
+  }
+  const auto payload = encode_event_done(EventDoneMsg{event_id});
+  auto frame =
+      make_private_frame(evm_tid_, i2o::OrgId::kDaq, kXfnEventDone, payload);
+  if (frame.is_ok()) {
+    (void)frame_send(std::move(frame).value());
+  }
+}
+
+i2o::ParamList BuilderUnit::on_params_get() {
+  auto params = Device::on_params_get();
+  params.emplace_back("built", std::to_string(events_built()));
+  params.emplace_back("fragments", std::to_string(fragments_received()));
+  params.emplace_back("bytes", std::to_string(bytes_received()));
+  params.emplace_back("corrupt", std::to_string(corrupt_fragments()));
+  return params;
+}
+
+XDAQ_REGISTER_DEVICE(BuilderUnit)
+
+}  // namespace xdaq::daq

@@ -1,0 +1,71 @@
+// builder_unit.hpp - the BU device class: assembles complete events.
+//
+// Collects one fragment per readout unit for every event assigned to it,
+// verifies fragment integrity (FNV-1a checksum), and notifies the event
+// manager when an event is complete.
+//
+// Configuration parameters:
+//   evm_tid        - (proxy) TiD of the event manager (0 = no
+//                    notifications)
+//   verify         - "1" to recompute checksums on receipt (default on)
+//   progress_every - emit a kEvBuilderProgress event notification every N
+//                    built events (0 = off); corrupt fragments always
+//                    emit kEvCorruptFragment
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+
+#include "core/device.hpp"
+
+namespace xdaq::daq {
+
+class BuilderUnit : public core::Device {
+ public:
+  BuilderUnit();
+
+  [[nodiscard]] std::uint64_t events_built() const noexcept {
+    return built_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fragments_received() const noexcept {
+    return fragments_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t corrupt_fragments() const noexcept {
+    return corrupt_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t events_in_progress() const noexcept {
+    return partial_.size();
+  }
+
+ protected:
+  Status on_configure(const i2o::ParamList& params) override;
+  i2o::ParamList on_params_get() override;
+
+ private:
+  void handle_fragment(const core::MessageContext& ctx);
+  void notify_done(std::uint64_t event_id);
+
+  i2o::Tid evm_tid_ = i2o::kNullTid;
+  bool verify_ = true;
+  std::uint64_t progress_every_ = 0;
+
+  /// event id -> fragments received so far (bitmask over source ids keeps
+  /// duplicates from double-counting; up to 64 sources).
+  struct Partial {
+    std::uint64_t seen_mask = 0;
+    std::uint16_t received = 0;
+    std::uint16_t total = 0;
+  };
+  std::map<std::uint64_t, Partial> partial_;
+
+  std::atomic<std::uint64_t> built_{0};
+  std::atomic<std::uint64_t> fragments_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> corrupt_{0};
+};
+
+}  // namespace xdaq::daq

@@ -1,0 +1,88 @@
+#include "daq/event_manager.hpp"
+
+#include <algorithm>
+
+#include "core/factory.hpp"
+#include "daq/protocol.hpp"
+
+namespace xdaq::daq {
+
+EventManager::EventManager() : Device("EventManager") {
+  bind(i2o::OrgId::kDaq, kXfnAllocate,
+       [this](const core::MessageContext& ctx) { handle_allocate(ctx); });
+  bind(i2o::OrgId::kDaq, kXfnEventDone,
+       [this](const core::MessageContext& ctx) { handle_event_done(ctx); });
+}
+
+Status EventManager::on_configure(const i2o::ParamList& params) {
+  if (const std::string v = i2o::param_value(params, "builders");
+      !v.empty()) {
+    builders_ = static_cast<std::uint32_t>(
+        std::strtoul(v.c_str(), nullptr, 10));
+    if (builders_ == 0) {
+      return {Errc::InvalidArgument, "builders must be >= 1"};
+    }
+  }
+  if (const std::string v = i2o::param_value(params, "max_in_flight");
+      !v.empty()) {
+    max_in_flight_ = std::strtoull(v.c_str(), nullptr, 10);
+  }
+  return Status::ok();
+}
+
+i2o::ParamList EventManager::on_params_get() {
+  auto params = Device::on_params_get();
+  params.emplace_back("builders", std::to_string(builders_));
+  params.emplace_back("assigned", std::to_string(events_assigned()));
+  params.emplace_back("completed", std::to_string(events_completed()));
+  params.emplace_back("in_flight", std::to_string(in_flight()));
+  return params;
+}
+
+void EventManager::handle_allocate(const core::MessageContext& ctx) {
+  auto msg = decode_allocate(ctx.payload);
+  if (!msg.is_ok()) {
+    (void)frame_reply(ctx, {}, /*failed=*/true);
+    return;
+  }
+  std::uint32_t grant = msg.value().count;
+  auto [it, inserted] = next_per_ru_.try_emplace(ctx.header.initiator, 1);
+  std::uint64_t& next = it->second;
+  if (max_in_flight_ != 0) {
+    const std::uint64_t outstanding =
+        next - 1 > completed_.load(std::memory_order_relaxed)
+            ? next - 1 - completed_.load(std::memory_order_relaxed)
+            : 0;
+    const std::uint64_t free_slots =
+        max_in_flight_ > outstanding ? max_in_flight_ - outstanding : 0;
+    grant = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(grant, free_slots));
+  }
+  ConfirmMsg confirm;
+  confirm.assignments.reserve(grant);
+  for (std::uint32_t i = 0; i < grant; ++i) {
+    Assignment a;
+    a.event_id = next++;
+    a.builder_index = static_cast<std::uint16_t>(a.event_id % builders_);
+    confirm.assignments.push_back(a);
+  }
+  // Progress = highest event id granted to any RU.
+  std::uint64_t prev = assigned_.load(std::memory_order_relaxed);
+  while (next - 1 > prev &&
+         !assigned_.compare_exchange_weak(prev, next - 1,
+                                          std::memory_order_relaxed)) {
+  }
+  (void)frame_reply(ctx, encode_confirm(confirm));
+}
+
+void EventManager::handle_event_done(const core::MessageContext& ctx) {
+  auto msg = decode_event_done(ctx.payload);
+  if (!msg.is_ok()) {
+    return;
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+XDAQ_REGISTER_DEVICE(EventManager)
+
+}  // namespace xdaq::daq

@@ -1,0 +1,56 @@
+// event_manager.hpp - the EVM device class.
+//
+// Hands out event assignments to readout units (Allocate -> Confirm) and
+// tracks completion notices from builder units (EventDone).
+//
+// Every readout unit holds one fragment of every event (the detector
+// trigger is global), so each RU is granted ids from its own sequence
+// starting at 1, and builder assignment is the deterministic
+// event_id % builders - fragments of one event from every RU therefore
+// converge on the same builder without the EVM addressing RUs directly.
+// The Allocate/Confirm handshake is the per-RU flow control.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+
+#include "core/device.hpp"
+
+namespace xdaq::daq {
+
+class EventManager : public core::Device {
+ public:
+  EventManager();
+
+  [[nodiscard]] std::uint64_t events_assigned() const noexcept {
+    return assigned_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t events_completed() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t in_flight() const noexcept {
+    return assigned_.load(std::memory_order_relaxed) -
+           completed_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  Status on_configure(const i2o::ParamList& params) override;
+  i2o::ParamList on_params_get() override;
+
+ private:
+  void handle_allocate(const core::MessageContext& ctx);
+  void handle_event_done(const core::MessageContext& ctx);
+
+  std::uint32_t builders_ = 1;
+  /// Cap on events granted to one RU but not yet completed anywhere
+  /// (approximate flow control); 0 disables the cap.
+  std::uint64_t max_in_flight_ = 0;
+  /// Per-RU grant sequence (keyed by the requesting initiator TiD); all
+  /// sequences start at event 1.
+  std::map<i2o::Tid, std::uint64_t> next_per_ru_;
+  std::atomic<std::uint64_t> assigned_{0};  ///< highest event id granted
+  std::atomic<std::uint64_t> completed_{0};
+};
+
+}  // namespace xdaq::daq

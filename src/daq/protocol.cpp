@@ -1,0 +1,127 @@
+#include "daq/protocol.hpp"
+
+#include "i2o/wire.hpp"
+
+namespace xdaq::daq {
+
+std::vector<std::byte> encode_allocate(const AllocateMsg& m) {
+  std::vector<std::byte> out(4);
+  i2o::put_u32(out, 0, m.count);
+  return out;
+}
+
+Result<AllocateMsg> decode_allocate(std::span<const std::byte> in) {
+  if (in.size() < 4) {
+    return {Errc::MalformedFrame, "Allocate truncated"};
+  }
+  AllocateMsg m;
+  m.count = i2o::get_u32(in, 0);
+  if (m.count == 0) {
+    return {Errc::MalformedFrame, "Allocate for zero events"};
+  }
+  return m;
+}
+
+std::vector<std::byte> encode_confirm(const ConfirmMsg& m) {
+  std::vector<std::byte> out(4 + m.assignments.size() * 10);
+  i2o::put_u32(out, 0, static_cast<std::uint32_t>(m.assignments.size()));
+  std::size_t off = 4;
+  for (const Assignment& a : m.assignments) {
+    i2o::put_u64(out, off, a.event_id);
+    i2o::put_u16(out, off + 8, a.builder_index);
+    off += 10;
+  }
+  return out;
+}
+
+Result<ConfirmMsg> decode_confirm(std::span<const std::byte> in) {
+  if (in.size() < 4) {
+    return {Errc::MalformedFrame, "Confirm truncated"};
+  }
+  const std::uint32_t count = i2o::get_u32(in, 0);
+  if (in.size() < 4 + static_cast<std::size_t>(count) * 10) {
+    return {Errc::MalformedFrame, "Confirm shorter than its count"};
+  }
+  ConfirmMsg m;
+  m.assignments.reserve(count);
+  std::size_t off = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Assignment a;
+    a.event_id = i2o::get_u64(in, off);
+    a.builder_index = i2o::get_u16(in, off + 8);
+    m.assignments.push_back(a);
+    off += 10;
+  }
+  return m;
+}
+
+void encode_fragment_header(const FragmentHeader& h,
+                            std::span<std::byte> out) {
+  i2o::put_u64(out, 0, h.event_id);
+  i2o::put_u16(out, 8, h.source_id);
+  i2o::put_u16(out, 10, h.total_sources);
+  i2o::put_u32(out, 12, h.data_bytes);
+  i2o::put_u64(out, 16, h.checksum);
+}
+
+Result<FragmentHeader> decode_fragment_header(std::span<const std::byte> in) {
+  if (in.size() < kFragmentHeaderBytes) {
+    return {Errc::MalformedFrame, "Fragment header truncated"};
+  }
+  FragmentHeader h;
+  h.event_id = i2o::get_u64(in, 0);
+  h.source_id = i2o::get_u16(in, 8);
+  h.total_sources = i2o::get_u16(in, 10);
+  h.data_bytes = i2o::get_u32(in, 12);
+  h.checksum = i2o::get_u64(in, 16);
+  if (h.total_sources == 0) {
+    return {Errc::MalformedFrame, "Fragment with zero total sources"};
+  }
+  if (h.source_id >= h.total_sources) {
+    return {Errc::MalformedFrame, "Fragment source id out of range"};
+  }
+  if (in.size() - kFragmentHeaderBytes < h.data_bytes) {
+    return {Errc::MalformedFrame, "Fragment data truncated"};
+  }
+  return h;
+}
+
+std::vector<std::byte> encode_event_done(const EventDoneMsg& m) {
+  std::vector<std::byte> out(8);
+  i2o::put_u64(out, 0, m.event_id);
+  return out;
+}
+
+Result<EventDoneMsg> decode_event_done(std::span<const std::byte> in) {
+  if (in.size() < 8) {
+    return {Errc::MalformedFrame, "EventDone truncated"};
+  }
+  EventDoneMsg m;
+  m.event_id = i2o::get_u64(in, 0);
+  return m;
+}
+
+std::uint64_t fnv1a(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void fill_fragment_data(std::span<std::byte> out, std::uint64_t event_id,
+                        std::uint16_t source_id) noexcept {
+  // xorshift64 seeded by (event, source): cheap and reproducible.
+  std::uint64_t x = event_id * 0x9E3779B97F4A7C15ULL + source_id + 1;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i % 8 == 0) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    out[i] = static_cast<std::byte>(x >> ((i % 8) * 8));
+  }
+}
+
+}  // namespace xdaq::daq

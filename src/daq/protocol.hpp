@@ -1,0 +1,89 @@
+// protocol.hpp - wire messages of the event-builder application classes.
+//
+// The paper's framework was built for the CMS data-acquisition system,
+// whose canonical workload is event building: n readout units (RU) hold
+// one fragment each of every physics event, and m builder units (BU)
+// assemble complete events - "n nodes talk to m other nodes in both
+// directions, thus resulting in communication channels that cross over"
+// (the origin of the XDAQ name). An event manager (EVM) hands out event
+// assignments so fragments of one event converge on one builder.
+//
+// All messages are private frames in OrgId::kDaq.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "i2o/types.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::daq {
+
+// xfunction codes.
+inline constexpr std::uint16_t kXfnAllocate = 0x0010;  ///< RU -> EVM
+inline constexpr std::uint16_t kXfnConfirm = 0x0011;   ///< EVM -> RU (reply)
+inline constexpr std::uint16_t kXfnFragment = 0x0012;  ///< RU -> BU
+inline constexpr std::uint16_t kXfnEventDone = 0x0013; ///< BU -> EVM
+
+// I2O event-notification codes emitted by the daq device classes
+// (subscribe with Device::subscribe_events / UtilEventRegister).
+inline constexpr std::uint32_t kEvBuilderProgress = 0x0001;
+inline constexpr std::uint32_t kEvCorruptFragment = 0x0002;
+
+/// Allocate: how many event assignments the RU wants.
+struct AllocateMsg {
+  std::uint32_t count = 0;
+};
+
+/// One event assignment: event id plus the index of the builder that will
+/// assemble it (an index into the RU's configured builder list, so the
+/// EVM never needs to know per-node proxy TiDs).
+struct Assignment {
+  std::uint64_t event_id = 0;
+  std::uint16_t builder_index = 0;
+};
+
+/// Confirm: the assignments granted for one Allocate.
+struct ConfirmMsg {
+  std::vector<Assignment> assignments;
+};
+
+/// Fragment header preceding the fragment data.
+struct FragmentHeader {
+  std::uint64_t event_id = 0;
+  std::uint16_t source_id = 0;      ///< which RU produced it
+  std::uint16_t total_sources = 0;  ///< fragments per complete event
+  std::uint32_t data_bytes = 0;
+  std::uint64_t checksum = 0;  ///< FNV-1a of the data, integrity check
+};
+inline constexpr std::size_t kFragmentHeaderBytes = 24;
+
+/// EventDone: a builder completed this event.
+struct EventDoneMsg {
+  std::uint64_t event_id = 0;
+};
+
+// Encoding (little-endian, validated on decode).
+std::vector<std::byte> encode_allocate(const AllocateMsg& m);
+Result<AllocateMsg> decode_allocate(std::span<const std::byte> in);
+
+std::vector<std::byte> encode_confirm(const ConfirmMsg& m);
+Result<ConfirmMsg> decode_confirm(std::span<const std::byte> in);
+
+/// Writes the fragment header into out[0..24); data follows externally.
+void encode_fragment_header(const FragmentHeader& h, std::span<std::byte> out);
+Result<FragmentHeader> decode_fragment_header(std::span<const std::byte> in);
+
+std::vector<std::byte> encode_event_done(const EventDoneMsg& m);
+Result<EventDoneMsg> decode_event_done(std::span<const std::byte> in);
+
+/// FNV-1a, the integrity check carried in every fragment.
+std::uint64_t fnv1a(std::span<const std::byte> data) noexcept;
+
+/// Deterministic fragment payload for (event, source): reproducible at
+/// the builder, which lets tests verify end-to-end integrity.
+void fill_fragment_data(std::span<std::byte> out, std::uint64_t event_id,
+                        std::uint16_t source_id) noexcept;
+
+}  // namespace xdaq::daq

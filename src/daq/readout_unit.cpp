@@ -1,0 +1,166 @@
+#include "daq/readout_unit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/executive.hpp"
+#include "core/factory.hpp"
+#include "daq/protocol.hpp"
+
+namespace xdaq::daq {
+
+ReadoutUnit::ReadoutUnit() : Device("ReadoutUnit") {}
+
+Status ReadoutUnit::on_configure(const i2o::ParamList& params) {
+  // Parse into locals and commit only after validation, so a rejected
+  // configure leaves the device unchanged.
+  auto evm_tid = evm_tid_;
+  auto bu_tids = bu_tids_;
+  auto fragment_bytes = fragment_bytes_;
+  auto source_id = source_id_;
+  auto total_sources = total_sources_;
+  auto batch = batch_;
+  auto max_events = max_events_;
+  for (const auto& [key, value] : params) {
+    if (key == "evm_tid") {
+      evm_tid = static_cast<i2o::Tid>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "bu_tids") {
+      bu_tids.clear();
+      std::istringstream iss(value);
+      std::string tok;
+      while (iss >> tok) {
+        bu_tids.push_back(static_cast<i2o::Tid>(
+            std::strtoul(tok.c_str(), nullptr, 10)));
+      }
+    } else if (key == "fragment_bytes") {
+      fragment_bytes = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "source_id") {
+      source_id = static_cast<std::uint16_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "total_sources") {
+      total_sources = static_cast<std::uint16_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "batch") {
+      batch = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "max_events") {
+      max_events = std::strtoull(value.c_str(), nullptr, 10);
+    }
+  }
+  if (total_sources == 0 || source_id >= total_sources) {
+    return {Errc::InvalidArgument, "source_id/total_sources inconsistent"};
+  }
+  if (batch == 0) {
+    return {Errc::InvalidArgument, "batch must be >= 1"};
+  }
+  if (fragment_bytes > i2o::kMaxPayloadBytes - kFragmentHeaderBytes) {
+    return {Errc::InvalidArgument, "fragment exceeds one-frame capacity"};
+  }
+  evm_tid_ = evm_tid;
+  bu_tids_ = std::move(bu_tids);
+  fragment_bytes_ = fragment_bytes;
+  source_id_ = source_id;
+  total_sources_ = total_sources;
+  batch_ = batch;
+  max_events_ = max_events;
+  return Status::ok();
+}
+
+Status ReadoutUnit::on_enable() {
+  if (evm_tid_ == i2o::kNullTid || bu_tids_.empty()) {
+    return {Errc::FailedPrecondition, "evm_tid and bu_tids must be set"};
+  }
+  request_assignments();
+  return Status::ok();
+}
+
+void ReadoutUnit::request_assignments() {
+  std::uint32_t want = batch_;
+  if (max_events_ != 0) {
+    const std::uint64_t generated = generated_.load();
+    if (generated >= max_events_) {
+      return;
+    }
+    want = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(want, max_events_ - generated));
+  }
+  const auto payload = encode_allocate(AllocateMsg{want});
+  auto frame =
+      make_private_frame(evm_tid_, i2o::OrgId::kDaq, kXfnAllocate, payload);
+  if (!frame.is_ok()) {
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!frame_send(std::move(frame).value()).is_ok()) {
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ReadoutUnit::on_reply(const core::MessageContext& ctx) {
+  if (!ctx.header.is_private() ||
+      ctx.header.org() != i2o::OrgId::kDaq ||
+      ctx.header.xfunction != kXfnAllocate || ctx.header.is_failed()) {
+    return;
+  }
+  auto confirm = decode_confirm(ctx.payload);
+  if (!confirm.is_ok()) {
+    return;
+  }
+  for (const Assignment& a : confirm.value().assignments) {
+    if (send_fragment(a.event_id,
+                      static_cast<std::uint16_t>(
+                          a.builder_index % bu_tids_.size()))
+            .is_ok()) {
+      generated_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      send_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Pipeline: immediately request the next batch until done.
+  request_assignments();
+}
+
+Status ReadoutUnit::send_fragment(std::uint64_t event_id,
+                                  std::uint16_t builder_index) {
+  const std::size_t payload_bytes = kFragmentHeaderBytes + fragment_bytes_;
+  auto frame = executive().alloc_frame(payload_bytes, /*is_private=*/true);
+  if (!frame.is_ok()) {
+    return frame.status();
+  }
+  i2o::FrameHeader hdr;
+  hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+  hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kDaq);
+  hdr.xfunction = kXfnFragment;
+  hdr.target = bu_tids_[builder_index];
+  hdr.initiator = tid();
+  auto bytes = frame.value().bytes();
+  if (Status st = i2o::encode_header(hdr, bytes); !st.is_ok()) {
+    return st;
+  }
+  auto payload = bytes.subspan(i2o::kPrivateHeaderBytes);
+  auto data = payload.subspan(kFragmentHeaderBytes, fragment_bytes_);
+  fill_fragment_data(data, event_id, source_id_);
+
+  FragmentHeader fh;
+  fh.event_id = event_id;
+  fh.source_id = source_id_;
+  fh.total_sources = total_sources_;
+  fh.data_bytes = static_cast<std::uint32_t>(fragment_bytes_);
+  fh.checksum = fnv1a(data);
+  encode_fragment_header(fh, payload);
+  return frame_send(std::move(frame).value());
+}
+
+i2o::ParamList ReadoutUnit::on_params_get() {
+  auto params = Device::on_params_get();
+  params.emplace_back("generated", std::to_string(events_generated()));
+  params.emplace_back("send_failures", std::to_string(send_failures()));
+  params.emplace_back("fragment_bytes", std::to_string(fragment_bytes_));
+  params.emplace_back("max_events", std::to_string(max_events_));
+  return params;
+}
+
+XDAQ_REGISTER_DEVICE(ReadoutUnit)
+
+}  // namespace xdaq::daq

@@ -1,0 +1,64 @@
+// readout_unit.hpp - the RU device class: a synthetic detector source.
+//
+// Substitutes the paper's custom embedded readout hardware with a
+// deterministic data generator exercising the identical framework path:
+// on enable, the RU requests event assignments from the EVM
+// (Allocate), and for every confirmed event it pushes one fragment to the
+// assigned builder unit (peer-to-peer frame, crossing channels).
+//
+// Configuration parameters:
+//   evm_tid         - (proxy) TiD of the event manager
+//   bu_tids         - space-separated (proxy) TiDs of the builder units
+//   fragment_bytes  - payload per fragment (default 2048)
+//   source_id       - this RU's index among all RUs
+//   total_sources   - number of RUs (fragments per complete event)
+//   batch           - assignments requested per Allocate (default 8)
+//   max_events      - stop after this many events (0 = unlimited)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/device.hpp"
+
+namespace xdaq::daq {
+
+class ReadoutUnit : public core::Device {
+ public:
+  ReadoutUnit();
+
+  [[nodiscard]] std::uint64_t events_generated() const noexcept {
+    return generated_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t send_failures() const noexcept {
+    return send_failures_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool finished() const noexcept {
+    return max_events_ != 0 &&
+           generated_.load(std::memory_order_relaxed) >= max_events_;
+  }
+
+ protected:
+  Status on_configure(const i2o::ParamList& params) override;
+  Status on_enable() override;
+  void on_reply(const core::MessageContext& ctx) override;
+  i2o::ParamList on_params_get() override;
+
+ private:
+  void request_assignments();
+  Status send_fragment(std::uint64_t event_id, std::uint16_t builder_index);
+
+  i2o::Tid evm_tid_ = i2o::kNullTid;
+  std::vector<i2o::Tid> bu_tids_;
+  std::size_t fragment_bytes_ = 2048;
+  std::uint16_t source_id_ = 0;
+  std::uint16_t total_sources_ = 1;
+  std::uint32_t batch_ = 8;
+  std::uint64_t max_events_ = 0;
+
+  std::atomic<std::uint64_t> generated_{0};
+  std::atomic<std::uint64_t> send_failures_{0};
+};
+
+}  // namespace xdaq::daq

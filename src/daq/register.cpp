@@ -1,0 +1,21 @@
+#include "daq/register.hpp"
+
+#include "core/factory.hpp"
+#include "daq/builder_unit.hpp"
+#include "daq/event_manager.hpp"
+#include "daq/readout_unit.hpp"
+
+namespace xdaq::daq {
+
+void register_device_classes() {
+  auto& factory = core::DeviceFactory::instance();
+  // AlreadyExists simply means the static registration was linked in.
+  (void)factory.register_class(
+      "EventManager", [] { return std::make_unique<EventManager>(); });
+  (void)factory.register_class(
+      "ReadoutUnit", [] { return std::make_unique<ReadoutUnit>(); });
+  (void)factory.register_class(
+      "BuilderUnit", [] { return std::make_unique<BuilderUnit>(); });
+}
+
+}  // namespace xdaq::daq

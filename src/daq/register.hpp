@@ -1,0 +1,15 @@
+// register.hpp - explicit factory registration of the daq device classes.
+//
+// Static-initializer registration (XDAQ_REGISTER_DEVICE) is dropped by
+// the linker when nothing else references the object file in a static
+// archive. Programs that load daq classes by name (ExecPluginLoad / xcl
+// `xdaq load`) call this once instead; it is idempotent.
+#pragma once
+
+namespace xdaq::daq {
+
+/// Registers EventManager, ReadoutUnit, and BuilderUnit with the
+/// process-wide DeviceFactory. Safe to call more than once.
+void register_device_classes();
+
+}  // namespace xdaq::daq

@@ -1,0 +1,110 @@
+#include "daq/topology.hpp"
+
+#include <sstream>
+
+namespace xdaq::daq {
+
+Result<EventBuilderTopology> EventBuilderTopology::build(
+    pt::Cluster& cluster, const EventBuilderParams& p) {
+  if (cluster.size() != nodes_required(p)) {
+    return {Errc::InvalidArgument,
+            "cluster size does not match topology (need readouts + "
+            "builders + 1 nodes)"};
+  }
+  EventBuilderTopology topo;
+  topo.params = p;
+  const std::size_t evm_node = p.readouts + p.builders;
+
+  // Event manager first, so its name resolves for connect().
+  {
+    auto evm = std::make_unique<EventManager>();
+    topo.evm = evm.get();
+    auto tid = cluster.install(evm_node, std::move(evm), "evm",
+                               {{"builders", std::to_string(p.builders)}});
+    if (!tid.is_ok()) {
+      return tid.status();
+    }
+  }
+
+  // Builder units.
+  for (std::size_t j = 0; j < p.builders; ++j) {
+    const std::size_t node = p.readouts + j;
+    auto evm_proxy = cluster.connect(node, evm_node, "evm");
+    if (!evm_proxy.is_ok()) {
+      return evm_proxy.status();
+    }
+    auto bu = std::make_unique<BuilderUnit>();
+    topo.builders.push_back(bu.get());
+    auto tid = cluster.install(
+        node, std::move(bu), "bu",
+        {{"evm_tid", std::to_string(evm_proxy.value())},
+         {"verify", p.verify ? "1" : "0"}});
+    if (!tid.is_ok()) {
+      return tid.status();
+    }
+  }
+
+  // Readout units: each needs the EVM proxy plus a proxy per builder.
+  for (std::size_t i = 0; i < p.readouts; ++i) {
+    auto evm_proxy = cluster.connect(i, evm_node, "evm");
+    if (!evm_proxy.is_ok()) {
+      return evm_proxy.status();
+    }
+    std::ostringstream bu_tids;
+    for (std::size_t j = 0; j < p.builders; ++j) {
+      auto bu_proxy = cluster.connect(i, p.readouts + j, "bu");
+      if (!bu_proxy.is_ok()) {
+        return bu_proxy.status();
+      }
+      if (j != 0) {
+        bu_tids << ' ';
+      }
+      bu_tids << bu_proxy.value();
+    }
+    auto ru = std::make_unique<ReadoutUnit>();
+    topo.readouts.push_back(ru.get());
+    auto tid = cluster.install(
+        i, std::move(ru), "ru",
+        {{"evm_tid", std::to_string(evm_proxy.value())},
+         {"bu_tids", bu_tids.str()},
+         {"fragment_bytes", std::to_string(p.fragment_bytes)},
+         {"source_id", std::to_string(i)},
+         {"total_sources", std::to_string(p.readouts)},
+         {"batch", std::to_string(p.batch)},
+         {"max_events", std::to_string(p.max_events)}});
+    if (!tid.is_ok()) {
+      return tid.status();
+    }
+  }
+  return topo;
+}
+
+std::uint64_t EventBuilderTopology::events_built() const {
+  std::uint64_t total = 0;
+  for (const BuilderUnit* bu : builders) {
+    total += bu->events_built();
+  }
+  return total;
+}
+
+std::uint64_t EventBuilderTopology::bytes_built() const {
+  std::uint64_t total = 0;
+  for (const BuilderUnit* bu : builders) {
+    total += bu->bytes_received();
+  }
+  return total;
+}
+
+std::uint64_t EventBuilderTopology::corrupt_fragments() const {
+  std::uint64_t total = 0;
+  for (const BuilderUnit* bu : builders) {
+    total += bu->corrupt_fragments();
+  }
+  return total;
+}
+
+bool EventBuilderTopology::complete() const {
+  return params.max_events != 0 && events_built() >= params.max_events;
+}
+
+}  // namespace xdaq::daq

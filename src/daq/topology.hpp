@@ -1,0 +1,54 @@
+// topology.hpp - canonical event-builder deployment over a Cluster.
+//
+// Lays out the paper's n x m crossing-channel workload on an in-process
+// cluster: nodes [0, n) run readout units, nodes [n, n+m) run builder
+// units, node n+m runs the event manager. All proxies and configuration
+// parameters are wired so enable_all() starts the flow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "daq/builder_unit.hpp"
+#include "daq/event_manager.hpp"
+#include "daq/readout_unit.hpp"
+#include "pt/cluster.hpp"
+
+namespace xdaq::daq {
+
+struct EventBuilderParams {
+  std::size_t readouts = 2;
+  std::size_t builders = 2;
+  std::size_t fragment_bytes = 2048;
+  std::uint64_t max_events = 1000;  ///< per-RU event count (0 = unlimited)
+  std::uint32_t batch = 8;
+  bool verify = true;
+};
+
+/// Installed devices (owned by their executives; raw pointers are views).
+struct EventBuilderTopology {
+  std::vector<ReadoutUnit*> readouts;
+  std::vector<BuilderUnit*> builders;
+  EventManager* evm = nullptr;
+  EventBuilderParams params;
+
+  /// Nodes needed in the cluster for `p`.
+  static std::size_t nodes_required(const EventBuilderParams& p) {
+    return p.readouts + p.builders + 1;
+  }
+
+  /// Installs and wires everything. The cluster must have exactly
+  /// nodes_required() nodes and not be started yet.
+  static Result<EventBuilderTopology> build(pt::Cluster& cluster,
+                                            const EventBuilderParams& p);
+
+  /// Total events fully assembled across all builders.
+  [[nodiscard]] std::uint64_t events_built() const;
+  /// Total payload bytes assembled across all builders.
+  [[nodiscard]] std::uint64_t bytes_built() const;
+  [[nodiscard]] std::uint64_t corrupt_fragments() const;
+  /// True once every RU generated max_events and all were built.
+  [[nodiscard]] bool complete() const;
+};
+
+}  // namespace xdaq::daq

@@ -1,0 +1,218 @@
+#include "gmsim/gmsim.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+namespace xdaq::gmsim {
+
+// --------------------------------------------------------------------- Port
+
+Port::~Port() {
+  if (fabric_ != nullptr) {
+    fabric_->close_port(id_);
+  }
+}
+
+Status Port::send(PortId dst, std::span<const std::byte> data) {
+  if (data.size() > fabric_->config().max_message_bytes) {
+    return {Errc::InvalidArgument, "message exceeds fabric maximum"};
+  }
+  Port* target = fabric_->find_port(dst);
+  if (target == nullptr) {
+    return {Errc::NotFound, "destination port not open"};
+  }
+  if (!fabric_->try_take_token(id_)) {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.send_rejects;
+    return {Errc::ResourceExhausted, "no send token available"};
+  }
+
+  InFlight msg;
+  msg.src = id_;
+  const auto& cfg = fabric_->config();
+  msg.deliver_at_ns =
+      now_ns() + cfg.wire_latency_ns +
+      static_cast<std::uint64_t>(cfg.ns_per_byte *
+                                 static_cast<double>(data.size()));
+  msg.data.assign(data.begin(), data.end());  // models DMA out of host RAM
+  target->enqueue(std::move(msg));
+
+  const std::scoped_lock lock(mutex_);
+  ++stats_.sends;
+  stats_.bytes_sent += data.size();
+  return Status::ok();
+}
+
+void Port::enqueue(InFlight msg) {
+  {
+    const std::scoped_lock lock(mutex_);
+    inbound_.push_back(std::move(msg));
+    head_deliver_at_.store(inbound_.front().deliver_at_ns,
+                           std::memory_order_relaxed);
+    pending_.store(inbound_.size(), std::memory_order_release);
+  }
+  cv_.notify_one();
+}
+
+void Port::provide_receive_buffer(std::span<std::byte> buf) {
+  const std::scoped_lock lock(mutex_);
+  rx_buffers_.push_back(buf);
+}
+
+std::optional<RecvEvent> Port::poll() {
+  // Lock-free fast path: nothing pending, or the head is still "on the
+  // wire". Touching the mutex here would convoy concurrent senders.
+  if (pending_.load(std::memory_order_acquire) == 0) {
+    return std::nullopt;
+  }
+  if (head_deliver_at_.load(std::memory_order_acquire) > now_ns()) {
+    return std::nullopt;
+  }
+  std::unique_lock lock(mutex_);
+  if (inbound_.empty() || rx_buffers_.empty()) {
+    return std::nullopt;
+  }
+  InFlight& head = inbound_.front();
+  if (head.deliver_at_ns > now_ns()) {
+    return std::nullopt;  // still "on the wire"
+  }
+  InFlight msg = std::move(head);
+  inbound_.pop_front();
+  head_deliver_at_.store(inbound_.empty() ? ~std::uint64_t{0}
+                                          : inbound_.front().deliver_at_ns,
+                         std::memory_order_relaxed);
+  pending_.store(inbound_.size(), std::memory_order_release);
+  std::span<std::byte> buf = rx_buffers_.front();
+  rx_buffers_.pop_front();
+
+  RecvEvent ev;
+  ev.src = msg.src;
+  ev.buffer = buf;
+  ev.length = std::min(msg.data.size(), buf.size());
+  if (ev.length < msg.data.size()) {
+    ++stats_.truncations;
+  }
+  ++stats_.receives;
+  stats_.bytes_received += ev.length;
+  lock.unlock();
+
+  if (ev.length != 0) {
+    std::memcpy(buf.data(), msg.data.data(), ev.length);  // DMA into buffer
+  }
+  fabric_->return_token(msg.src);
+  return ev;
+}
+
+std::optional<RecvEvent> Port::receive(std::chrono::nanoseconds timeout) {
+  const std::uint64_t deadline = now_ns() + timeout.count();
+  // Brief spin catches the co-located back-to-back case cheaply.
+  for (int i = 0; i < 512; ++i) {
+    if (auto ev = poll()) {
+      return ev;
+    }
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+  for (;;) {
+    if (auto ev = poll()) {
+      return ev;
+    }
+    const std::uint64_t now = now_ns();
+    if (now >= deadline) {
+      return std::nullopt;
+    }
+    const std::uint64_t head =
+        head_deliver_at_.load(std::memory_order_acquire);
+    if (head != ~std::uint64_t{0} && head > now) {
+      // A message is "on the wire": wait out the modeled latency. Short
+      // residues are spun for precision; long ones sleep.
+      const std::uint64_t wait_until = std::min(head, deadline);
+      if (wait_until - now > 100'000) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(wait_until - now - 50'000));
+      }
+      while (now_ns() < wait_until) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+      continue;
+    }
+    // Nothing pending (or no receive buffer yet): block until a sender
+    // notifies, bounded so the deadline is honoured.
+    std::unique_lock lock(mutex_);
+    const std::uint64_t remaining = deadline - now;
+    cv_.wait_for(lock,
+                 std::chrono::nanoseconds(std::min<std::uint64_t>(
+                     remaining, 1'000'000)),
+                 [this] {
+                   return pending_.load(std::memory_order_acquire) > 0;
+                 });
+  }
+}
+
+PortStats Port::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+std::size_t Port::available_receive_buffers() const {
+  const std::scoped_lock lock(mutex_);
+  return rx_buffers_.size();
+}
+
+// ------------------------------------------------------------------- Fabric
+
+Fabric::Fabric(FabricConfig config) : config_(config) {}
+
+Fabric::~Fabric() = default;
+
+Result<std::unique_ptr<Port>> Fabric::open_port(PortId id) {
+  const std::scoped_lock lock(mutex_);
+  if (ports_.contains(id)) {
+    return {Errc::AlreadyExists, "port id already open"};
+  }
+  auto port = std::unique_ptr<Port>(new Port(this, id));
+  ports_[id] = port.get();
+  in_flight_[id] = 0;
+  return port;
+}
+
+std::size_t Fabric::port_count() const {
+  const std::scoped_lock lock(mutex_);
+  return ports_.size();
+}
+
+Port* Fabric::find_port(PortId id) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = ports_.find(id);
+  return it == ports_.end() ? nullptr : it->second;
+}
+
+void Fabric::close_port(PortId id) {
+  const std::scoped_lock lock(mutex_);
+  ports_.erase(id);
+  in_flight_.erase(id);
+}
+
+bool Fabric::try_take_token(PortId src) {
+  const std::scoped_lock lock(mutex_);
+  auto it = in_flight_.find(src);
+  if (it == in_flight_.end() || it->second >= config_.send_tokens) {
+    return false;
+  }
+  ++it->second;
+  return true;
+}
+
+void Fabric::return_token(PortId src) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = in_flight_.find(src);
+  if (it != in_flight_.end() && it->second > 0) {
+    --it->second;
+  }
+}
+
+}  // namespace xdaq::gmsim

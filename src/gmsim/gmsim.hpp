@@ -1,0 +1,167 @@
+// gmsim.hpp - simulated Myrinet/GM message-passing substrate.
+//
+// The paper benchmarks XDAQ over Myricom's GM 1.1.3 user-level library on
+// M2M-PCI64 hardware. That hardware is unavailable, so this module provides
+// the closest synthetic equivalent exercising the same code path:
+//
+//  * ports opened on a shared fabric (the "switch"),
+//  * token-limited non-blocking sends (gm_send_with_callback's token
+//    discipline becomes an in-flight cap with ResourceExhausted),
+//  * receive buffers provided up front (gm_provide_receive_buffer),
+//  * non-blocking event polling (gm_receive returning NO_EVENT),
+//  * FIFO, lossless delivery per sender/receiver pair,
+//  * an optional latency model (fixed per-message cost plus a per-byte
+//    serialization cost) so latency-vs-payload curves have the paper's
+//    linear shape.
+//
+// Both the raw-GM baseline and the XDAQ GmPeerTransport in the Fig. 6
+// benchmark run on exactly this API, so their difference isolates the
+// framework overhead the same way the paper's subtraction does.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::gmsim {
+
+using PortId = std::uint16_t;
+
+struct FabricConfig {
+  std::size_t send_tokens = 64;   ///< max in-flight messages per sender port
+  std::size_t max_message_bytes = 300 * 1024;
+  std::uint64_t wire_latency_ns = 0;  ///< fixed cost per message
+  double ns_per_byte = 0.0;           ///< serialization cost per payload byte
+};
+
+struct PortStats {
+  std::uint64_t sends = 0;
+  std::uint64_t send_rejects = 0;  ///< token starvation
+  std::uint64_t receives = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t truncations = 0;  ///< message larger than receive buffer
+};
+
+/// A received message, copied into one of the provided receive buffers.
+struct RecvEvent {
+  PortId src = 0;
+  std::size_t length = 0;            ///< valid bytes in `buffer`
+  std::span<std::byte> buffer;       ///< the buffer the caller provided
+};
+
+class Fabric;
+
+/// A communication endpoint. poll()/receive() must be called from a single
+/// consumer thread; send() may be called from any thread.
+class Port {
+ public:
+  ~Port();
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  [[nodiscard]] PortId id() const noexcept { return id_; }
+
+  /// Non-blocking send. Fails with ResourceExhausted when all send tokens
+  /// are in flight (caller retries, as a GM application would), NotFound
+  /// when the destination port does not exist, InvalidArgument when the
+  /// message exceeds the fabric's maximum size.
+  Status send(PortId dst, std::span<const std::byte> data);
+
+  /// Hands a buffer to the port for a future incoming message. Buffers are
+  /// consumed in FIFO order; the memory must stay valid until the buffer
+  /// comes back through a RecvEvent.
+  void provide_receive_buffer(std::span<std::byte> buf);
+
+  /// Non-blocking receive. Returns nullopt when no message is deliverable
+  /// (none pending, the head's modeled arrival time is still in the
+  /// future, or no receive buffer is available).
+  std::optional<RecvEvent> poll();
+
+  /// Blocking receive with timeout. Spins briefly for the co-located
+  /// low-latency case, then sleeps on a condition variable until a sender
+  /// notifies (the analogue of gm_blocking_receive) - a dedicated
+  /// receiver thread must not spin, or it starves other threads on small
+  /// machines.
+  std::optional<RecvEvent> receive(std::chrono::nanoseconds timeout);
+
+  [[nodiscard]] PortStats stats() const;
+
+  /// Provided-but-unused receive buffers (tests).
+  [[nodiscard]] std::size_t available_receive_buffers() const;
+
+ private:
+  friend class Fabric;
+  Port(Fabric* fabric, PortId id) : fabric_(fabric), id_(id) {}
+
+  struct InFlight {
+    PortId src;
+    std::uint64_t deliver_at_ns;
+    std::vector<std::byte> data;
+  };
+
+  void enqueue(InFlight msg);
+
+  Fabric* fabric_;
+  PortId id_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;  ///< signalled by enqueue for receive()
+  std::deque<InFlight> inbound_;
+  std::deque<std::span<std::byte>> rx_buffers_;
+  PortStats stats_;
+
+  // Lock-free gate in front of the mutex: a consumer polling an empty or
+  // not-yet-deliverable port must not touch the mutex at all, or its spin
+  // loop would convoy senders into futex sleeps (tens of us per message).
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> head_deliver_at_{
+      ~std::uint64_t{0}};  ///< earliest deliverable time of the head
+};
+
+/// The shared interconnect: a registry of ports plus the latency model.
+/// Create one Fabric per simulated network; open one Port per node.
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config = {});
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Opens a port with the given id; fails if the id is in use.
+  Result<std::unique_ptr<Port>> open_port(PortId id);
+
+  [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }
+
+  /// Number of currently open ports.
+  [[nodiscard]] std::size_t port_count() const;
+
+ private:
+  friend class Port;
+
+  Port* find_port(PortId id) const;
+  void close_port(PortId id);
+
+  /// Send-token accounting: in-flight messages per source port.
+  bool try_take_token(PortId src);
+  void return_token(PortId src);
+
+  FabricConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<PortId, Port*> ports_;
+  std::unordered_map<PortId, std::size_t> in_flight_;
+};
+
+}  // namespace xdaq::gmsim

@@ -1,0 +1,121 @@
+#include "i2o/chain.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "i2o/wire.hpp"
+
+namespace xdaq::i2o {
+
+void encode_chain_header(const ChainHeader& ch,
+                         std::span<std::byte> out) noexcept {
+  put_u32(out, 0, ch.chain_id);
+  put_u16(out, 4, ch.index);
+  put_u16(out, 6, ch.total);
+  put_u32(out, 8, ch.total_bytes);
+  put_u32(out, 12, ch.offset);
+}
+
+Result<ChainHeader> decode_chain_header(std::span<const std::byte> in) {
+  if (in.size() < kChainHeaderBytes) {
+    return {Errc::MalformedFrame, "chained payload shorter than chain header"};
+  }
+  ChainHeader ch;
+  ch.chain_id = get_u32(in, 0);
+  ch.index = get_u16(in, 4);
+  ch.total = get_u16(in, 6);
+  ch.total_bytes = get_u32(in, 8);
+  ch.offset = get_u32(in, 12);
+  if (ch.total == 0) {
+    return {Errc::MalformedFrame, "chain with zero fragments"};
+  }
+  if (ch.index >= ch.total) {
+    return {Errc::MalformedFrame, "chain index out of range"};
+  }
+  return ch;
+}
+
+std::vector<std::size_t> chain_fragment_sizes(std::size_t total_bytes,
+                                              std::size_t max_fragment_bytes) {
+  std::vector<std::size_t> out;
+  if (max_fragment_bytes == 0) {
+    return out;
+  }
+  if (total_bytes == 0) {
+    out.push_back(0);  // a chain always has at least one (empty) fragment
+    return out;
+  }
+  std::size_t remaining = total_bytes;
+  while (remaining > 0) {
+    const std::size_t take = std::min(remaining, max_fragment_bytes);
+    out.push_back(take);
+    remaining -= take;
+  }
+  return out;
+}
+
+Result<std::optional<std::vector<std::byte>>> ChainReassembler::feed(
+    Tid initiator, std::span<const std::byte> payload) {
+  auto hdr = decode_chain_header(payload);
+  if (!hdr.is_ok()) {
+    return hdr.status();
+  }
+  const ChainHeader& ch = hdr.value();
+  const std::span<const std::byte> body = payload.subspan(kChainHeaderBytes);
+
+  const Key key{initiator, ch.chain_id};
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    Partial p;
+    p.total = ch.total;
+    p.total_bytes = ch.total_bytes;
+    p.data.resize(ch.total_bytes);
+    p.seen.assign(ch.total, false);
+    it = pending_.emplace(key, std::move(p)).first;
+  }
+  Partial& p = it->second;
+  if (ch.total != p.total || ch.total_bytes != p.total_bytes) {
+    pending_.erase(it);
+    return {Errc::MalformedFrame, "inconsistent chain metadata"};
+  }
+  if (p.seen[ch.index]) {
+    pending_.erase(it);
+    return {Errc::MalformedFrame, "duplicate chain fragment"};
+  }
+
+  // The explicit offset makes reassembly order-independent; only bounds
+  // need checking. Frames pad payloads to 32-bit words, so up to three
+  // trailing pad bytes beyond the declared total are tolerated; anything
+  // more is a protocol violation.
+  const std::size_t offset = ch.offset;
+  if (offset > p.data.size()) {
+    pending_.erase(it);
+    return {Errc::MalformedFrame, "chain fragment outside message bounds"};
+  }
+  std::size_t body_bytes = body.size();
+  if (body_bytes > p.data.size() - offset) {
+    if (body_bytes - (p.data.size() - offset) > 3) {
+      pending_.erase(it);
+      return {Errc::MalformedFrame, "chain fragment outside message bounds"};
+    }
+    body_bytes = p.data.size() - offset;  // strip word padding
+  }
+  if (body_bytes != 0) {
+    std::memcpy(p.data.data() + offset, body.data(), body_bytes);
+  }
+  p.seen[ch.index] = true;
+  ++p.received;
+
+  if (p.received < p.total) {
+    return std::optional<std::vector<std::byte>>(std::nullopt);
+  }
+  std::optional<std::vector<std::byte>> done(std::move(p.data));
+  pending_.erase(it);
+  return done;
+}
+
+void ChainReassembler::abort(Tid initiator, std::uint32_t chain_id) {
+  pending_.erase(Key{initiator, chain_id});
+}
+
+}  // namespace xdaq::i2o

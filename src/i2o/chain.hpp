@@ -1,0 +1,85 @@
+// chain.hpp - multi-frame chaining for arbitrary-length information.
+//
+// One I2O frame is bounded at 256 KiB (16-bit word count). The paper:
+// "Making use of I2O's Scatter-Gather Lists (SGL) or chaining blocks helps
+// to transmit arbitrary length information." This module defines the
+// chain header that rides at the start of every chained frame's payload
+// and a reassembler that restores the original byte stream.
+//
+// Chain header layout (16 bytes, little-endian):
+//   u32 chain_id      - initiator-chosen, unique per (initiator, chain)
+//   u16 index         - 0-based fragment index
+//   u16 total         - number of fragments in the chain
+//   u32 total_bytes   - length of the full reassembled message
+//   u32 offset        - byte offset of this fragment in the full message
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "i2o/types.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::i2o {
+
+inline constexpr std::size_t kChainHeaderBytes = 16;
+
+struct ChainHeader {
+  std::uint32_t chain_id = 0;
+  std::uint16_t index = 0;
+  std::uint16_t total = 0;
+  std::uint32_t total_bytes = 0;
+  std::uint32_t offset = 0;
+};
+
+void encode_chain_header(const ChainHeader& ch,
+                         std::span<std::byte> out) noexcept;
+Result<ChainHeader> decode_chain_header(std::span<const std::byte> in);
+
+/// Splits `total_bytes` across fragments whose payload (after the chain
+/// header) is at most `max_fragment_bytes`. Returns per-fragment sizes.
+std::vector<std::size_t> chain_fragment_sizes(std::size_t total_bytes,
+                                              std::size_t max_fragment_bytes);
+
+/// Reassembles chained payloads. Keyed by (initiator TiD, chain id) so
+/// interleaved chains from different senders do not mix.
+class ChainReassembler {
+ public:
+  /// Feed one chained fragment (payload beginning with the chain header).
+  /// Returns the completed message when the last fragment arrives,
+  /// nullopt while the chain is still partial, or an error on protocol
+  /// violations (inconsistent totals, duplicate or out-of-range index).
+  Result<std::optional<std::vector<std::byte>>> feed(
+      Tid initiator, std::span<const std::byte> payload);
+
+  /// Chains currently being assembled (for tests and leak detection).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size();
+  }
+
+  /// Drops a partially assembled chain (e.g. when its sender disconnects).
+  void abort(Tid initiator, std::uint32_t chain_id);
+
+ private:
+  struct Key {
+    Tid initiator;
+    std::uint32_t chain_id;
+    bool operator<(const Key& o) const noexcept {
+      return initiator != o.initiator ? initiator < o.initiator
+                                      : chain_id < o.chain_id;
+    }
+  };
+  struct Partial {
+    std::vector<std::byte> data;
+    std::vector<bool> seen;
+    std::uint16_t total = 0;
+    std::uint32_t total_bytes = 0;
+    std::size_t received = 0;
+  };
+  std::map<Key, Partial> pending_;
+};
+
+}  // namespace xdaq::i2o

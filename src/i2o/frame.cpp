@@ -1,0 +1,181 @@
+#include "i2o/frame.hpp"
+
+#include <sstream>
+
+#include "i2o/wire.hpp"
+
+namespace xdaq::i2o {
+
+std::size_t frame_bytes_for_payload(std::size_t payload_bytes,
+                                    bool is_private) noexcept {
+  const std::size_t header =
+      is_private ? kPrivateHeaderBytes : kStdHeaderBytes;
+  const std::size_t raw = header + payload_bytes;
+  return (raw + kWordBytes - 1) / kWordBytes * kWordBytes;
+}
+
+std::uint16_t frame_words_for_payload(std::size_t payload_bytes,
+                                      bool is_private) noexcept {
+  return static_cast<std::uint16_t>(
+      frame_bytes_for_payload(payload_bytes, is_private) / kWordBytes);
+}
+
+bool is_known_function(std::uint8_t fn) noexcept {
+  switch (static_cast<Function>(fn)) {
+    case Function::UtilNop:
+    case Function::UtilAbort:
+    case Function::UtilParamsSet:
+    case Function::UtilParamsGet:
+    case Function::UtilClaim:
+    case Function::UtilEventRegister:
+    case Function::UtilEventAck:
+    case Function::ExecStatusGet:
+    case Function::ExecConfigure:
+    case Function::ExecEnable:
+    case Function::ExecSuspend:
+    case Function::ExecResume:
+    case Function::ExecHalt:
+    case Function::ExecReset:
+    case Function::ExecSysTabSet:
+    case Function::ExecPluginLoad:
+    case Function::ExecTidLookup:
+    case Function::ExecTimerSet:
+    case Function::ExecTimerCancel:
+    case Function::Private:
+      return true;
+  }
+  return false;
+}
+
+Status encode_header(const FrameHeader& hdr, std::span<std::byte> frame) {
+  const std::size_t header_bytes = hdr.header_bytes();
+  if (frame.size() < header_bytes) {
+    return {Errc::InvalidArgument, "frame buffer smaller than header"};
+  }
+  if (hdr.target > kMaxTid || hdr.initiator > kMaxTid) {
+    return {Errc::InvalidArgument, "TiD exceeds 12-bit address space"};
+  }
+  if (hdr.sgl_offset_words > 0x0F) {
+    return {Errc::InvalidArgument, "SGL offset exceeds 4-bit field"};
+  }
+  std::uint16_t size_words = hdr.size_words;
+  if (size_words == 0) {
+    if (frame.size() / kWordBytes > kMaxFrameWords) {
+      return {Errc::InvalidArgument, "frame exceeds 256 KiB limit"};
+    }
+    size_words = static_cast<std::uint16_t>(frame.size() / kWordBytes);
+  }
+  if (static_cast<std::size_t>(size_words) * kWordBytes < header_bytes) {
+    return {Errc::InvalidArgument, "MessageSize smaller than header"};
+  }
+
+  const auto version_offset = static_cast<std::uint8_t>(
+      (hdr.version & 0x0F) | (hdr.sgl_offset_words << 4));
+  put_u8(frame, 0, version_offset);
+  put_u8(frame, 1, hdr.flags);
+  put_u16(frame, 2, size_words);
+
+  const std::uint32_t addr = static_cast<std::uint32_t>(hdr.target & 0x0FFF) |
+                             (static_cast<std::uint32_t>(hdr.initiator & 0x0FFF)
+                              << 12) |
+                             (static_cast<std::uint32_t>(hdr.function) << 24);
+  put_u32(frame, 4, addr);
+  put_u32(frame, 8, hdr.initiator_context);
+  put_u32(frame, 12, hdr.transaction_context);
+  if (hdr.is_private()) {
+    put_u16(frame, 16, hdr.xfunction);
+    put_u16(frame, 18, hdr.organization);
+  }
+  return Status::ok();
+}
+
+Result<FrameHeader> decode_header(std::span<const std::byte> frame) {
+  if (frame.size() < kStdHeaderBytes) {
+    return {Errc::MalformedFrame, "frame shorter than standard header"};
+  }
+  FrameHeader hdr;
+  const std::uint8_t version_offset = get_u8(frame, 0);
+  hdr.version = version_offset & 0x0F;
+  hdr.sgl_offset_words = version_offset >> 4;
+  if (hdr.version != kI2oVersion) {
+    return {Errc::MalformedFrame, "unsupported I2O version"};
+  }
+  hdr.flags = get_u8(frame, 1);
+  hdr.size_words = get_u16(frame, 2);
+
+  const std::uint32_t addr = get_u32(frame, 4);
+  hdr.target = static_cast<Tid>(addr & 0x0FFF);
+  hdr.initiator = static_cast<Tid>((addr >> 12) & 0x0FFF);
+  hdr.function = static_cast<std::uint8_t>(addr >> 24);
+  hdr.initiator_context = get_u32(frame, 8);
+  hdr.transaction_context = get_u32(frame, 12);
+
+  if (!is_known_function(hdr.function)) {
+    return {Errc::MalformedFrame, "unknown function code"};
+  }
+  const std::size_t declared = hdr.frame_bytes();
+  if (declared < hdr.header_bytes()) {
+    return {Errc::MalformedFrame, "MessageSize smaller than header"};
+  }
+  if (declared > frame.size()) {
+    return {Errc::MalformedFrame, "MessageSize exceeds buffer"};
+  }
+  if (hdr.is_private()) {
+    hdr.xfunction = get_u16(frame, 16);
+    hdr.organization = get_u16(frame, 18);
+  }
+  if (hdr.sgl_offset_words != 0 &&
+      static_cast<std::size_t>(hdr.sgl_offset_words) * kWordBytes >=
+          declared) {
+    return {Errc::MalformedFrame, "SGL offset outside frame"};
+  }
+  return hdr;
+}
+
+std::span<const std::byte> payload_of(const FrameHeader& hdr,
+                                      std::span<const std::byte> frame)
+    noexcept {
+  const std::size_t hb = hdr.header_bytes();
+  const std::size_t fb = hdr.frame_bytes();
+  if (fb <= hb || fb > frame.size()) {
+    return {};
+  }
+  return frame.subspan(hb, fb - hb);
+}
+
+std::span<std::byte> payload_of(const FrameHeader& hdr,
+                                std::span<std::byte> frame) noexcept {
+  const std::size_t hb = hdr.header_bytes();
+  const std::size_t fb = hdr.frame_bytes();
+  if (fb <= hb || fb > frame.size()) {
+    return {};
+  }
+  return frame.subspan(hb, fb - hb);
+}
+
+FrameHeader make_reply_header(const FrameHeader& request,
+                              bool failed) noexcept {
+  FrameHeader reply = request;
+  reply.target = request.initiator;
+  reply.initiator = request.target;
+  reply.flags = static_cast<std::uint8_t>(request.flags | kFlagReply);
+  if (failed) {
+    reply.flags |= kFlagFail;
+  }
+  reply.size_words = 0;  // recomputed on encode
+  return reply;
+}
+
+std::string describe(const FrameHeader& hdr) {
+  std::ostringstream oss;
+  oss << "frame{fn=0x" << std::hex << static_cast<int>(hdr.function);
+  if (hdr.is_private()) {
+    oss << " org=0x" << hdr.organization << " xfn=0x" << hdr.xfunction;
+  }
+  oss << std::dec << " tgt=" << hdr.target << " ini=" << hdr.initiator
+      << " words=" << hdr.size_words << " flags=0x" << std::hex
+      << static_cast<int>(hdr.flags) << std::dec << "}";
+  return oss.str();
+}
+
+}  // namespace xdaq::i2o

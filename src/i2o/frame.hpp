@@ -1,0 +1,112 @@
+// frame.hpp - the standard I2O message frame layout (paper Fig. 5).
+//
+// Wire layout, little-endian, in 32-bit words:
+//
+//   word 0:  VersionOffset(8) | MsgFlags(8) | MessageSize(16, in words)
+//   word 1:  TargetAddress(12) | InitiatorAddress(12) | Function(8)
+//   word 2:  InitiatorContext(32)
+//   word 3:  TransactionContext(32)
+//   -- only when Function == 0xFF (private frame extension):
+//   word 4:  XFunctionCode(16) | OrganizationID(16)
+//   payload follows, padded to a word boundary by MessageSize
+//
+// VersionOffset carries the I2O version in the low nibble and the SGL
+// offset (in words from frame start, 0 = no SGL) in the high nibble.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "i2o/types.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::i2o {
+
+inline constexpr std::size_t kStdHeaderBytes = 16;      // 4 words
+inline constexpr std::size_t kPrivateHeaderBytes = 20;  // 5 words
+inline constexpr std::size_t kMaxPayloadBytes =
+    kMaxFrameBytes - kPrivateHeaderBytes;
+
+/// Decoded frame header. Field names follow the specification.
+struct FrameHeader {
+  std::uint8_t version = kI2oVersion;
+  std::uint8_t sgl_offset_words = 0;  ///< 0 = no scatter-gather list
+  std::uint8_t flags = kFlagNone;
+  std::uint16_t size_words = 0;  ///< total frame length in 32-bit words
+  Tid target = kNullTid;
+  Tid initiator = kNullTid;
+  std::uint8_t function = static_cast<std::uint8_t>(Function::UtilNop);
+  std::uint32_t initiator_context = 0;
+  std::uint32_t transaction_context = 0;
+  // Private extension; meaningful only when function == Function::Private.
+  std::uint16_t xfunction = 0;
+  std::uint16_t organization = 0;
+
+  [[nodiscard]] bool is_private() const noexcept {
+    return function == static_cast<std::uint8_t>(Function::Private);
+  }
+  [[nodiscard]] bool is_reply() const noexcept {
+    return (flags & kFlagReply) != 0;
+  }
+  [[nodiscard]] bool is_failed() const noexcept {
+    return (flags & kFlagFail) != 0;
+  }
+  [[nodiscard]] std::size_t header_bytes() const noexcept {
+    return is_private() ? kPrivateHeaderBytes : kStdHeaderBytes;
+  }
+  [[nodiscard]] std::size_t frame_bytes() const noexcept {
+    return static_cast<std::size_t>(size_words) * kWordBytes;
+  }
+  [[nodiscard]] std::size_t payload_bytes() const noexcept {
+    const std::size_t fb = frame_bytes();
+    const std::size_t hb = header_bytes();
+    return fb > hb ? fb - hb : 0;
+  }
+  [[nodiscard]] Function fn() const noexcept {
+    return static_cast<Function>(function);
+  }
+  [[nodiscard]] OrgId org() const noexcept {
+    return static_cast<OrgId>(organization);
+  }
+};
+
+/// Bytes needed for a frame with the given payload, rounded up to words.
+[[nodiscard]] std::size_t frame_bytes_for_payload(std::size_t payload_bytes,
+                                                  bool is_private) noexcept;
+
+/// Words needed for the same (what goes in MessageSize).
+[[nodiscard]] std::uint16_t frame_words_for_payload(std::size_t payload_bytes,
+                                                    bool is_private) noexcept;
+
+/// Writes `hdr` into `frame` (which must hold at least header_bytes()).
+/// Computes size_words from the buffer length if hdr.size_words == 0.
+Status encode_header(const FrameHeader& hdr, std::span<std::byte> frame);
+
+/// Parses and validates a header from raw bytes.
+///
+/// Rejects: short buffers, bad version, size_words smaller than the header
+/// or larger than the buffer, non-private frames with unknown function
+/// codes, and SGL offsets pointing outside the frame.
+Result<FrameHeader> decode_header(std::span<const std::byte> frame);
+
+/// Payload portion of an already validated frame.
+[[nodiscard]] std::span<const std::byte> payload_of(
+    const FrameHeader& hdr, std::span<const std::byte> frame) noexcept;
+[[nodiscard]] std::span<std::byte> payload_of(
+    const FrameHeader& hdr, std::span<std::byte> frame) noexcept;
+
+/// Builds the header of a reply: swaps target/initiator, copies both
+/// contexts (the initiator uses them to match replies to requests), sets
+/// kFlagReply, and adds kFlagFail when `failed`.
+[[nodiscard]] FrameHeader make_reply_header(const FrameHeader& request,
+                                            bool failed = false) noexcept;
+
+/// True for function codes this implementation understands.
+[[nodiscard]] bool is_known_function(std::uint8_t fn) noexcept;
+
+/// Short human-readable rendering for diagnostics.
+[[nodiscard]] std::string describe(const FrameHeader& hdr);
+
+}  // namespace xdaq::i2o

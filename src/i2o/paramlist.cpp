@@ -1,0 +1,97 @@
+#include "i2o/paramlist.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "i2o/wire.hpp"
+
+namespace xdaq::i2o {
+
+std::size_t param_list_bytes(const ParamList& params) noexcept {
+  std::size_t total = 2;
+  for (const auto& [k, v] : params) {
+    total += 4 + k.size() + v.size();
+  }
+  return total;
+}
+
+Status encode_param_list(const ParamList& params, std::span<std::byte> out) {
+  if (params.size() > std::numeric_limits<std::uint16_t>::max()) {
+    return {Errc::InvalidArgument, "too many parameters"};
+  }
+  if (out.size() < param_list_bytes(params)) {
+    return {Errc::InvalidArgument, "buffer too small for parameter list"};
+  }
+  std::size_t off = 0;
+  put_u16(out, off, static_cast<std::uint16_t>(params.size()));
+  off += 2;
+  for (const auto& [k, v] : params) {
+    if (k.size() > std::numeric_limits<std::uint16_t>::max() ||
+        v.size() > std::numeric_limits<std::uint16_t>::max()) {
+      return {Errc::InvalidArgument, "parameter key/value too long"};
+    }
+    put_u16(out, off, static_cast<std::uint16_t>(k.size()));
+    off += 2;
+    std::memcpy(out.data() + off, k.data(), k.size());
+    off += k.size();
+    put_u16(out, off, static_cast<std::uint16_t>(v.size()));
+    off += 2;
+    std::memcpy(out.data() + off, v.data(), v.size());
+    off += v.size();
+  }
+  return Status::ok();
+}
+
+Result<ParamList> decode_param_list(std::span<const std::byte> in) {
+  if (in.size() < 2) {
+    return {Errc::MalformedFrame, "parameter list truncated (count)"};
+  }
+  const std::uint16_t count = get_u16(in, 0);
+  std::size_t off = 2;
+  ParamList out;
+  out.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    if (off + 2 > in.size()) {
+      return {Errc::MalformedFrame, "parameter list truncated (key length)"};
+    }
+    const std::uint16_t klen = get_u16(in, off);
+    off += 2;
+    if (off + klen > in.size()) {
+      return {Errc::MalformedFrame, "parameter list truncated (key)"};
+    }
+    std::string key(reinterpret_cast<const char*>(in.data() + off), klen);
+    off += klen;
+    if (off + 2 > in.size()) {
+      return {Errc::MalformedFrame, "parameter list truncated (value length)"};
+    }
+    const std::uint16_t vlen = get_u16(in, off);
+    off += 2;
+    if (off + vlen > in.size()) {
+      return {Errc::MalformedFrame, "parameter list truncated (value)"};
+    }
+    std::string value(reinterpret_cast<const char*>(in.data() + off), vlen);
+    off += vlen;
+    out.emplace_back(std::move(key), std::move(value));
+  }
+  return out;
+}
+
+std::string param_value(const ParamList& params, const std::string& key) {
+  for (const auto& [k, v] : params) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return {};
+}
+
+bool param_has(const ParamList& params, const std::string& key) {
+  for (const auto& [k, v] : params) {
+    if (k == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace xdaq::i2o

@@ -1,0 +1,39 @@
+// paramlist.hpp - parameter-list payload encoding.
+//
+// UtilParamsGet/UtilParamsSet and ExecConfigure carry key/value pairs in
+// their payload. Native I2O uses numbered parameter groups; this
+// implementation keeps the same request/reply discipline but encodes the
+// pairs as length-prefixed strings, which is what the paper's Tcl-driven
+// configuration ultimately needs.
+//
+// Layout: u16 count, then per pair { u16 klen, bytes key, u16 vlen,
+// bytes value }.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace xdaq::i2o {
+
+using ParamList = std::vector<std::pair<std::string, std::string>>;
+
+/// Bytes needed to encode `params`.
+[[nodiscard]] std::size_t param_list_bytes(const ParamList& params) noexcept;
+
+/// Encodes into `out`; fails when out is too small or count exceeds u16.
+Status encode_param_list(const ParamList& params, std::span<std::byte> out);
+
+/// Decodes; validates every length field against the buffer.
+Result<ParamList> decode_param_list(std::span<const std::byte> in);
+
+/// Convenience lookup; returns empty string when missing.
+[[nodiscard]] std::string param_value(const ParamList& params,
+                                      const std::string& key);
+[[nodiscard]] bool param_has(const ParamList& params, const std::string& key);
+
+}  // namespace xdaq::i2o

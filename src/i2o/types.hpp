@@ -1,0 +1,96 @@
+// types.hpp - core identifiers and constants of the I2O message model.
+//
+// The paper maps the I2O split-driver architecture onto a cluster: every
+// module (application device class, peer transport, the executive itself)
+// is addressed by a TiD that is unique within one node ("IOP"). Remote
+// devices appear behind locally created proxy TiDs, so a sender never needs
+// to know whether its target is local (Proxy pattern, paper section 3.4).
+#pragma once
+
+#include <cstdint>
+
+namespace xdaq::i2o {
+
+/// Target identifier: 12 bits of address space per node, as in native I2O.
+using Tid = std::uint16_t;
+
+inline constexpr Tid kNullTid = 0;       ///< never a valid destination
+inline constexpr Tid kExecutiveTid = 1;  ///< the executive's own TiD
+inline constexpr Tid kMaxTid = 0x0FFF;   ///< 12-bit address space
+
+/// Cluster node identifier. Native I2O has no node concept (everything sits
+/// on one PCI segment); the paper's Peer Operation extension introduces it.
+/// Node ids travel only in transport envelopes, never in frame headers.
+using NodeId = std::uint16_t;
+
+inline constexpr NodeId kNullNode = 0xFFFF;
+
+/// I2O message version carried in the low nibble of VersionOffset.
+inline constexpr std::uint8_t kI2oVersion = 0x01;
+
+/// Frame sizes are measured in 32-bit words (native I2O convention).
+/// A 16-bit word count bounds one frame at 256 KiB, which is exactly the
+/// paper's maximum pool block length.
+inline constexpr std::size_t kWordBytes = 4;
+inline constexpr std::size_t kMaxFrameWords = 0xFFFF;
+inline constexpr std::size_t kMaxFrameBytes = kMaxFrameWords * kWordBytes;
+
+/// MsgFlags bits.
+enum MsgFlags : std::uint8_t {
+  kFlagNone = 0x00,
+  kFlagReply = 0x01,    ///< this frame answers a request
+  kFlagFail = 0x02,     ///< reply carries a failure report
+  kFlagChained = 0x04,  ///< part of a multi-frame chain (arbitrary-length)
+  kFlagControl = 0x08,  ///< configuration/control plane traffic
+};
+
+/// Function codes. 0x00-0x9F utility class, 0xA0-0xFE executive class,
+/// 0xFF marks a private frame whose XFunctionCode is interpreted instead
+/// (paper Fig. 5: "Function=FFh if it is private").
+enum class Function : std::uint8_t {
+  // Utility message class: every device must implement these.
+  UtilNop = 0x00,
+  UtilAbort = 0x01,
+  UtilParamsSet = 0x05,
+  UtilParamsGet = 0x06,
+  UtilClaim = 0x09,
+  UtilEventRegister = 0x13,
+  UtilEventAck = 0x14,
+
+  // Executive message class: configuration and control of a node.
+  ExecStatusGet = 0xA0,
+  ExecConfigure = 0xA1,
+  ExecEnable = 0xA2,
+  ExecSuspend = 0xA3,
+  ExecResume = 0xA4,
+  ExecHalt = 0xA5,
+  ExecReset = 0xA6,
+  ExecSysTabSet = 0xA7,    ///< distribute the cluster address table
+  ExecPluginLoad = 0xA8,   ///< "download" a device class at runtime
+  ExecTidLookup = 0xA9,    ///< resolve instance name -> TiD
+  ExecTimerSet = 0xAA,     ///< arm a core timer (expiry becomes a message)
+  ExecTimerCancel = 0xAB,
+
+  Private = 0xFF,
+};
+
+/// Organization ids scope private function code spaces (paper Fig. 5).
+enum class OrgId : std::uint16_t {
+  kNone = 0x0000,
+  kXdaq = 0x7D01,   ///< framework-internal private messages
+  kBench = 0x7D02,  ///< benchmark device classes
+  kRmi = 0x7D03,    ///< remote-method-invocation adapters
+  kDaq = 0x7D04,    ///< data-acquisition application classes
+  kTest = 0x7D7F,   ///< unit-test device classes
+};
+
+/// Seven priority levels, as mandated by the I2O dispatch algorithm the
+/// paper follows ("There exist seven priority levels and for each one the
+/// messages are scheduled to a FIFO").
+inline constexpr int kNumPriorities = 7;
+inline constexpr int kDefaultPriority = 3;
+inline constexpr int kControlPriority = 1;  // numerically lower = served first
+inline constexpr int kHighestPriority = 0;
+inline constexpr int kLowestPriority = kNumPriorities - 1;
+
+}  // namespace xdaq::i2o

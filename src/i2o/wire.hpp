@@ -1,0 +1,68 @@
+// wire.hpp - endian-explicit scalar encoding.
+//
+// All multi-byte fields on the wire are little-endian, matching the PCI
+// heritage of I2O. memcpy-based accessors keep this free of alignment and
+// strict-aliasing hazards on any platform.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace xdaq::i2o {
+
+inline void put_u8(std::span<std::byte> buf, std::size_t off,
+                   std::uint8_t v) noexcept {
+  buf[off] = static_cast<std::byte>(v);
+}
+
+inline void put_u16(std::span<std::byte> buf, std::size_t off,
+                    std::uint16_t v) noexcept {
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                             static_cast<std::uint8_t>(v >> 8)};
+  std::memcpy(buf.data() + off, b, 2);
+}
+
+inline void put_u32(std::span<std::byte> buf, std::size_t off,
+                    std::uint32_t v) noexcept {
+  const std::uint8_t b[4] = {
+      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  std::memcpy(buf.data() + off, b, 4);
+}
+
+inline void put_u64(std::span<std::byte> buf, std::size_t off,
+                    std::uint64_t v) noexcept {
+  put_u32(buf, off, static_cast<std::uint32_t>(v));
+  put_u32(buf, off + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint8_t get_u8(std::span<const std::byte> buf,
+                           std::size_t off) noexcept {
+  return static_cast<std::uint8_t>(buf[off]);
+}
+
+inline std::uint16_t get_u16(std::span<const std::byte> buf,
+                             std::size_t off) noexcept {
+  std::uint8_t b[2];
+  std::memcpy(b, buf.data() + off, 2);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+inline std::uint32_t get_u32(std::span<const std::byte> buf,
+                             std::size_t off) noexcept {
+  std::uint8_t b[4];
+  std::memcpy(b, buf.data() + off, 4);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+inline std::uint64_t get_u64(std::span<const std::byte> buf,
+                             std::size_t off) noexcept {
+  return static_cast<std::uint64_t>(get_u32(buf, off)) |
+         (static_cast<std::uint64_t>(get_u32(buf, off + 4)) << 32);
+}
+
+}  // namespace xdaq::i2o

@@ -1,0 +1,235 @@
+#include "mem/pool.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <new>
+
+namespace xdaq::mem {
+
+void FrameRef::release() noexcept {
+  if (!blk_) {
+    return;
+  }
+  if (blk_->refcount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    blk_->owner->recycle(blk_);
+  }
+  blk_ = nullptr;
+}
+
+BlockHeader* new_raw_block(Pool* owner, std::size_t data_bytes,
+                           std::uint32_t size_class) {
+  // Keep the data area 16-byte aligned: header size is a multiple of 16 on
+  // LP64 (asserted below), and operator new returns max_align_t alignment.
+  static_assert(sizeof(BlockHeader) % 16 == 0 || alignof(std::max_align_t) >= 16,
+                "data area alignment");
+  void* raw = ::operator new(sizeof(BlockHeader) + data_bytes, std::nothrow);
+  if (raw == nullptr) {
+    return nullptr;
+  }
+  auto* blk = ::new (raw) BlockHeader();
+  blk->owner = owner;
+  blk->capacity = static_cast<std::uint32_t>(data_bytes);
+  blk->size = 0;
+  blk->size_class = size_class;
+  return blk;
+}
+
+void delete_raw_block(BlockHeader* blk) noexcept {
+  blk->~BlockHeader();
+  ::operator delete(static_cast<void*>(blk));
+}
+
+// ---------------------------------------------------------------- SimplePool
+
+namespace {
+std::vector<BinSpec> default_bins() {
+  // Small control frames, medium event fragments, bulk blocks up to the
+  // I2O 256 KiB ceiling. A few hundred blocks total: enough that the
+  // original scheme's best-fit walk has a visible cost, as it did in the
+  // paper's Table 1.
+  return {
+      {256, 128}, {1024, 64}, {4096, 64},
+      {16384, 32}, {65536, 16}, {kMaxBlockBytes, 8},
+  };
+}
+}  // namespace
+
+SimplePool::SimplePool() : SimplePool(default_bins()) {}
+
+SimplePool::SimplePool(const std::vector<BinSpec>& bins) {
+  // Provision in the given order; every block goes onto the single free
+  // list (LIFO, so the last-provisioned block is at the head).
+  for (const auto& spec : bins) {
+    for (std::size_t i = 0; i < spec.block_count; ++i) {
+      BlockHeader* blk = new_raw_block(this, spec.block_bytes, 0);
+      if (blk == nullptr) {
+        break;  // provision as much as memory allows
+      }
+      storage_.push_back(blk);
+      blk->next_free = free_head_;
+      free_head_ = blk;
+      ++free_count_;
+      stats_.bytes_reserved += spec.block_bytes;
+    }
+  }
+}
+
+SimplePool::~SimplePool() {
+  for (void* raw : storage_) {
+    delete_raw_block(static_cast<BlockHeader*>(raw));
+  }
+}
+
+Result<FrameRef> SimplePool::allocate(std::size_t bytes) {
+  if (bytes > kMaxBlockBytes) {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.failures;
+    return {Errc::InvalidArgument, "request exceeds 256 KiB block limit"};
+  }
+  const std::scoped_lock lock(mutex_);
+  // The original scheme: walk the whole list for the best (smallest
+  // adequate) block. This linear matching from requested size to block is
+  // what the optimized table scheme replaces with an index.
+  BlockHeader* best = nullptr;
+  BlockHeader* best_prev = nullptr;
+  BlockHeader* prev = nullptr;
+  for (BlockHeader* cur = free_head_; cur != nullptr;
+       prev = cur, cur = cur->next_free) {
+    if (cur->capacity >= bytes &&
+        (best == nullptr || cur->capacity < best->capacity)) {
+      best = cur;
+      best_prev = prev;
+    }
+  }
+  if (best == nullptr) {
+    ++stats_.failures;
+    return {Errc::ResourceExhausted, "no free block large enough"};
+  }
+  if (best_prev == nullptr) {
+    free_head_ = best->next_free;
+  } else {
+    best_prev->next_free = best->next_free;
+  }
+  --free_count_;
+  best->next_free = nullptr;
+  best->size = static_cast<std::uint32_t>(bytes);
+  best->refcount.store(1, std::memory_order_relaxed);
+  ++stats_.allocs;
+  ++stats_.outstanding;
+  return FrameRef::adopt(best);
+}
+
+void SimplePool::recycle(BlockHeader* blk) noexcept {
+  const std::scoped_lock lock(mutex_);
+  blk->size = 0;
+  blk->next_free = free_head_;
+  free_head_ = blk;
+  ++free_count_;
+  ++stats_.frees;
+  --stats_.outstanding;
+}
+
+PoolStats SimplePool::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+std::size_t SimplePool::free_count() const {
+  const std::scoped_lock lock(mutex_);
+  return free_count_;
+}
+
+std::size_t SimplePool::block_count() const {
+  const std::scoped_lock lock(mutex_);
+  return storage_.size();
+}
+
+// ----------------------------------------------------------------- TablePool
+
+TablePool::TablePool(std::size_t min_class_bytes)
+    : min_class_bytes_(std::bit_ceil(std::max<std::size_t>(min_class_bytes,
+                                                           16))) {
+  min_class_shift_ =
+      static_cast<unsigned>(std::countr_zero(min_class_bytes_));
+  std::size_t sz = min_class_bytes_;
+  while (sz < kMaxBlockBytes) {
+    classes_.push_back(SizeClass{sz, nullptr, 0, {}});
+    sz <<= 1;
+  }
+  classes_.push_back(SizeClass{kMaxBlockBytes, nullptr, 0, {}});
+}
+
+TablePool::~TablePool() {
+  for (SizeClass& cls : classes_) {
+    for (void* raw : cls.storage) {
+      delete_raw_block(static_cast<BlockHeader*>(raw));
+    }
+  }
+}
+
+std::size_t TablePool::size_class_of(std::size_t bytes) const {
+  if (bytes <= min_class_bytes_) {
+    return 0;
+  }
+  // Index = position of the highest set bit relative to the minimum class,
+  // i.e. the table-based size -> class matching the paper describes.
+  const std::size_t rounded = std::bit_ceil(bytes);
+  const auto shift =
+      static_cast<unsigned>(std::countr_zero(rounded)) - min_class_shift_;
+  return std::min<std::size_t>(shift, classes_.size() - 1);
+}
+
+std::size_t TablePool::class_block_bytes(std::size_t cls) const {
+  return classes_.at(cls).block_bytes;
+}
+
+Result<FrameRef> TablePool::allocate(std::size_t bytes) {
+  if (bytes > kMaxBlockBytes) {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.failures;
+    return {Errc::InvalidArgument, "request exceeds 256 KiB block limit"};
+  }
+  const std::size_t idx = size_class_of(bytes);
+  const std::scoped_lock lock(mutex_);
+  SizeClass& cls = classes_[idx];
+  BlockHeader* blk = cls.free_list;
+  if (blk != nullptr) {
+    cls.free_list = blk->next_free;
+    --cls.free_count;
+  } else {
+    // On-demand growth: the first allocation in a class creates its block.
+    blk = new_raw_block(this, cls.block_bytes,
+                        static_cast<std::uint32_t>(idx));
+    if (blk == nullptr) {
+      ++stats_.failures;
+      return {Errc::ResourceExhausted, "out of memory growing pool"};
+    }
+    cls.storage.push_back(blk);
+    ++stats_.grows;
+    stats_.bytes_reserved += cls.block_bytes;
+  }
+  blk->next_free = nullptr;
+  blk->size = static_cast<std::uint32_t>(bytes);
+  blk->refcount.store(1, std::memory_order_relaxed);
+  ++stats_.allocs;
+  ++stats_.outstanding;
+  return FrameRef::adopt(blk);
+}
+
+void TablePool::recycle(BlockHeader* blk) noexcept {
+  const std::scoped_lock lock(mutex_);
+  SizeClass& cls = classes_[blk->size_class];
+  blk->size = 0;
+  blk->next_free = cls.free_list;
+  cls.free_list = blk;
+  ++cls.free_count;
+  ++stats_.frees;
+  --stats_.outstanding;
+}
+
+PoolStats TablePool::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace xdaq::mem

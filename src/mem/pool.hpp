@@ -1,0 +1,252 @@
+// pool.hpp - executive-owned buffer pools and the zero-copy frame handle.
+//
+// Paper section 4: "All communication employs a zero-copy scheme as the
+// message buffers are taken from the executive's memory pool. Memory is
+// allocated in fixed sized blocks with a maximum length of 256 KB. ...
+// Automatic garbage collection is provided, such that blocks are recycled
+// if they are not referenced anymore."
+//
+// Two allocator schemes are provided, matching the evaluation:
+//  * SimplePool  - the original scheme: statically provisioned blocks of
+//    assorted fixed sizes on ONE free list, searched best-fit on every
+//    allocation. The search is what made the paper's frameAlloc cost
+//    2.18 us and dominate Table 1; the optimized scheme's contribution
+//    was precisely to replace it with an indexed lookup.
+//  * TablePool   - the optimized scheme: "allocates memory for the buffer
+//    pool on demand. Furthermore it relies on a table based matching from
+//    requested memory size to pool buffer size" (paper section 5).
+//
+// FrameRef is an intrusively reference-counted handle; when the last
+// reference drops, the block returns to its pool (the paper's "automatic
+// garbage collection").
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace xdaq::mem {
+
+/// Largest usable block: one full I2O frame (256 KiB).
+inline constexpr std::size_t kMaxBlockBytes = 256 * 1024;
+
+class Pool;
+
+/// Header stored in front of every pooled block's data area.
+struct BlockHeader {
+  Pool* owner = nullptr;
+  BlockHeader* next_free = nullptr;  ///< intrusive free-list link
+  std::atomic<std::uint32_t> refcount{0};
+  std::uint32_t capacity = 0;   ///< usable data bytes following the header
+  std::uint32_t size = 0;       ///< current logical frame length
+  std::uint32_t size_class = 0; ///< owning bin/class index
+
+  std::byte* data() noexcept {
+    return reinterpret_cast<std::byte*>(this + 1);
+  }
+  const std::byte* data() const noexcept {
+    return reinterpret_cast<const std::byte*>(this + 1);
+  }
+};
+
+/// Reference-counted handle to a pooled block. Copying shares the block;
+/// the block is recycled when the last handle goes away.
+class FrameRef {
+ public:
+  FrameRef() noexcept = default;
+
+  /// Takes over a block whose refcount was already set to 1 by the pool.
+  static FrameRef adopt(BlockHeader* blk) noexcept { return FrameRef(blk); }
+
+  FrameRef(const FrameRef& other) noexcept : blk_(other.blk_) { retain(); }
+  FrameRef(FrameRef&& other) noexcept : blk_(other.blk_) {
+    other.blk_ = nullptr;
+  }
+  FrameRef& operator=(const FrameRef& other) noexcept {
+    if (this != &other) {
+      release();
+      blk_ = other.blk_;
+      retain();
+    }
+    return *this;
+  }
+  FrameRef& operator=(FrameRef&& other) noexcept {
+    if (this != &other) {
+      release();
+      blk_ = other.blk_;
+      other.blk_ = nullptr;
+    }
+    return *this;
+  }
+  ~FrameRef() { release(); }
+
+  [[nodiscard]] bool valid() const noexcept { return blk_ != nullptr; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return blk_ ? blk_->size : 0;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return blk_ ? blk_->capacity : 0;
+  }
+
+  /// Logical resize within capacity. Returns false if it does not fit.
+  bool resize(std::size_t bytes) noexcept {
+    if (!blk_ || bytes > blk_->capacity) {
+      return false;
+    }
+    blk_->size = static_cast<std::uint32_t>(bytes);
+    return true;
+  }
+
+  [[nodiscard]] std::span<std::byte> bytes() noexcept {
+    return blk_ ? std::span<std::byte>(blk_->data(), blk_->size)
+                : std::span<std::byte>{};
+  }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return blk_ ? std::span<const std::byte>(blk_->data(), blk_->size)
+                : std::span<const std::byte>{};
+  }
+
+  /// Current number of handles on the block (diagnostics/tests only).
+  [[nodiscard]] std::uint32_t use_count() const noexcept {
+    return blk_ ? blk_->refcount.load(std::memory_order_relaxed) : 0;
+  }
+
+  void reset() noexcept {
+    release();
+    blk_ = nullptr;
+  }
+
+ private:
+  explicit FrameRef(BlockHeader* blk) noexcept : blk_(blk) {}
+
+  void retain() noexcept {
+    if (blk_) {
+      blk_->refcount.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void release() noexcept;
+
+  BlockHeader* blk_ = nullptr;
+};
+
+/// Counters exposed by every pool.
+struct PoolStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t grows = 0;        ///< on-demand block creations (TablePool)
+  std::uint64_t failures = 0;     ///< allocation failures
+  std::uint64_t outstanding = 0;  ///< blocks currently referenced
+  std::uint64_t bytes_reserved = 0;
+};
+
+/// Allocator interface. Implementations must be thread-safe: device
+/// handlers in the executive thread and task-mode peer transports allocate
+/// concurrently.
+class Pool {
+ public:
+  virtual ~Pool() = default;
+
+  /// Allocates a block with capacity >= bytes; size is preset to `bytes`.
+  virtual Result<FrameRef> allocate(std::size_t bytes) = 0;
+
+  /// Called by the last FrameRef; returns the block to the free store.
+  virtual void recycle(BlockHeader* blk) noexcept = 0;
+
+  [[nodiscard]] virtual PoolStats stats() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Bin description for SimplePool provisioning.
+struct BinSpec {
+  std::size_t block_bytes;
+  std::size_t block_count;
+};
+
+/// The original scheme: all blocks, of assorted fixed sizes, live on one
+/// free list; every allocation walks the whole list for the best fit
+/// (smallest adequate block), under one global lock. Recycled blocks are
+/// pushed at the head, so the list loses its initial size ordering over
+/// time - exactly the behaviour the optimized table scheme eliminates.
+class SimplePool final : public Pool {
+ public:
+  /// Default provisioning mirrors a DAQ node: many small control blocks,
+  /// fewer bulk-data blocks.
+  SimplePool();
+  explicit SimplePool(const std::vector<BinSpec>& bins);
+  ~SimplePool() override;
+
+  SimplePool(const SimplePool&) = delete;
+  SimplePool& operator=(const SimplePool&) = delete;
+
+  Result<FrameRef> allocate(std::size_t bytes) override;
+  void recycle(BlockHeader* blk) noexcept override;
+  [[nodiscard]] PoolStats stats() const override;
+  [[nodiscard]] std::string name() const override { return "simple"; }
+
+  /// Free blocks currently on the list (tests).
+  [[nodiscard]] std::size_t free_count() const;
+  /// Total provisioned blocks.
+  [[nodiscard]] std::size_t block_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  BlockHeader* free_head_ = nullptr;
+  std::size_t free_count_ = 0;
+  std::vector<void*> storage_;  ///< owned raw allocations
+  PoolStats stats_;
+};
+
+/// The optimized scheme: power-of-two size classes indexed by a lookup
+/// table, per-class free lists, blocks created on demand the first time a
+/// class is used. This is the allocator the paper reports as cutting the
+/// framework overhead from 8.9 us to 4.9 us per call.
+class TablePool final : public Pool {
+ public:
+  /// min_class_bytes: smallest block size (default 64 B).
+  explicit TablePool(std::size_t min_class_bytes = 64);
+  ~TablePool() override;
+
+  TablePool(const TablePool&) = delete;
+  TablePool& operator=(const TablePool&) = delete;
+
+  Result<FrameRef> allocate(std::size_t bytes) override;
+  void recycle(BlockHeader* blk) noexcept override;
+  [[nodiscard]] PoolStats stats() const override;
+  [[nodiscard]] std::string name() const override { return "table"; }
+
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] std::size_t class_block_bytes(std::size_t cls) const;
+  [[nodiscard]] std::size_t size_class_of(std::size_t bytes) const;
+
+ private:
+  struct SizeClass {
+    std::size_t block_bytes = 0;
+    BlockHeader* free_list = nullptr;
+    std::size_t free_count = 0;
+    std::vector<void*> storage;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<SizeClass> classes_;
+  std::size_t min_class_bytes_;
+  unsigned min_class_shift_ = 0;
+  PoolStats stats_;
+};
+
+/// Allocates `bytes` of raw storage holding a BlockHeader + data area and
+/// initializes the header (refcount 0). Shared by both pool types.
+BlockHeader* new_raw_block(Pool* owner, std::size_t data_bytes,
+                           std::uint32_t size_class);
+void delete_raw_block(BlockHeader* blk) noexcept;
+
+}  // namespace xdaq::mem

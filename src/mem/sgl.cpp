@@ -1,0 +1,75 @@
+#include "mem/sgl.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace xdaq::mem {
+
+void ScatterGatherList::append(FrameRef buffer) {
+  const std::size_t len = buffer.size();
+  segments_.push_back(Segment{std::move(buffer), 0, len});
+  total_bytes_ += len;
+}
+
+Status ScatterGatherList::append(FrameRef buffer, std::size_t offset,
+                                 std::size_t length) {
+  if (!buffer.valid()) {
+    return {Errc::InvalidArgument, "null buffer in SGL"};
+  }
+  if (offset > buffer.size() || length > buffer.size() - offset) {
+    return {Errc::InvalidArgument, "SGL segment outside buffer"};
+  }
+  segments_.push_back(Segment{std::move(buffer), offset, length});
+  total_bytes_ += length;
+  return Status::ok();
+}
+
+std::span<const std::byte> ScatterGatherList::segment(std::size_t i) const {
+  const Segment& s = segments_.at(i);
+  return s.buffer.bytes().subspan(s.offset, s.length);
+}
+
+Status ScatterGatherList::gather_into(std::span<std::byte> out) const {
+  if (out.size() < total_bytes_) {
+    return {Errc::InvalidArgument, "gather target too small"};
+  }
+  std::size_t off = 0;
+  for (const Segment& s : segments_) {
+    if (s.length != 0) {
+      std::memcpy(out.data() + off, s.buffer.bytes().data() + s.offset,
+                  s.length);
+    }
+    off += s.length;
+  }
+  return Status::ok();
+}
+
+std::vector<std::byte> ScatterGatherList::gather() const {
+  std::vector<std::byte> out(total_bytes_);
+  (void)gather_into(out);
+  return out;
+}
+
+Result<ScatterGatherList> ScatterGatherList::scatter(
+    Pool& pool, std::span<const std::byte> data, std::size_t max_segment) {
+  if (max_segment == 0) {
+    return {Errc::InvalidArgument, "max_segment must be positive"};
+  }
+  ScatterGatherList out;
+  std::size_t off = 0;
+  do {
+    const std::size_t take = std::min(max_segment, data.size() - off);
+    auto blk = pool.allocate(take);
+    if (!blk.is_ok()) {
+      return blk.status();
+    }
+    if (take != 0) {
+      std::memcpy(blk.value().bytes().data(), data.data() + off, take);
+    }
+    out.append(std::move(blk).value());
+    off += take;
+  } while (off < data.size());
+  return out;
+}
+
+}  // namespace xdaq::mem

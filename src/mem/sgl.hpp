@@ -1,0 +1,69 @@
+// sgl.hpp - scatter-gather lists over pooled blocks.
+//
+// The I2O architecture transmits data larger than one frame either by
+// chaining frames (i2o/chain.hpp) or by attaching a Scatter-Gather List
+// that references separately owned buffers. Inside a node the SGL is the
+// zero-copy path: references are shared, nothing moves. Crossing a node
+// boundary, a peer transport gathers the segments into the wire stream
+// (the software analogue of DMA gather).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mem/pool.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::mem {
+
+/// An ordered list of pooled-buffer segments forming one logical message.
+class ScatterGatherList {
+ public:
+  ScatterGatherList() = default;
+
+  /// Appends a whole buffer as the next segment (shares the reference).
+  void append(FrameRef buffer);
+
+  /// Appends a sub-range [offset, offset+length) of a buffer.
+  Status append(FrameRef buffer, std::size_t offset, std::size_t length);
+
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return segments_.size();
+  }
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+
+  /// Read-only view of segment i.
+  [[nodiscard]] std::span<const std::byte> segment(std::size_t i) const;
+
+  /// Copies all segments, in order, into `out` (must be >= total_bytes()).
+  Status gather_into(std::span<std::byte> out) const;
+
+  /// Convenience: gather into a fresh vector.
+  [[nodiscard]] std::vector<std::byte> gather() const;
+
+  /// Splits `data` over blocks allocated from `pool`, each at most
+  /// `max_segment` bytes, and returns the resulting list (used to stage a
+  /// large application payload without one oversized copy).
+  static Result<ScatterGatherList> scatter(Pool& pool,
+                                           std::span<const std::byte> data,
+                                           std::size_t max_segment);
+
+  void clear() noexcept {
+    segments_.clear();
+    total_bytes_ = 0;
+  }
+
+ private:
+  struct Segment {
+    FrameRef buffer;
+    std::size_t offset = 0;
+    std::size_t length = 0;
+  };
+  std::vector<Segment> segments_;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace xdaq::mem

@@ -1,0 +1,230 @@
+#include "netio/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace xdaq::netio {
+
+namespace {
+Status errno_status(Errc code, const char* what) {
+  return {code, std::string(what) + ": " + std::strerror(errno)};
+}
+
+Status resolve_v4(const std::string& host, std::uint16_t port,
+                  sockaddr_in& out) {
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  const std::string addr = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, addr.c_str(), &out.sin_addr) != 1) {
+    return {Errc::InvalidArgument, "cannot parse IPv4 address: " + host};
+  }
+  return Status::ok();
+}
+}  // namespace
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpStream> TcpStream::connect(const std::string& host,
+                                     std::uint16_t port) {
+  sockaddr_in sa{};
+  if (Status s = resolve_v4(host, port, sa); !s.is_ok()) {
+    return s;
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return errno_status(Errc::IoError, "socket");
+  }
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) !=
+      0) {
+    return errno_status(Errc::IoError, "connect");
+  }
+  return TcpStream(std::move(sock));
+}
+
+Status TcpStream::set_nodelay(bool on) {
+  const int v = on ? 1 : 0;
+  if (::setsockopt(sock_.fd(), IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) != 0) {
+    return errno_status(Errc::IoError, "setsockopt(TCP_NODELAY)");
+  }
+  return Status::ok();
+}
+
+Status TcpStream::set_nonblocking(bool on) {
+  const int flags = ::fcntl(sock_.fd(), F_GETFL, 0);
+  if (flags < 0) {
+    return errno_status(Errc::IoError, "fcntl(F_GETFL)");
+  }
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(sock_.fd(), F_SETFL, next) != 0) {
+    return errno_status(Errc::IoError, "fcntl(F_SETFL)");
+  }
+  return Status::ok();
+}
+
+Status TcpStream::write_all(std::span<const std::byte> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(sock_.fd(), data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return errno_status(Errc::IoError, "send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status TcpStream::read_exact(std::span<std::byte> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::recv(sock_.fd(), data.data() + off,
+                             data.size() - off, 0);
+    if (n == 0) {
+      return {Errc::ConnectionClosed, "peer closed during read_exact"};
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return errno_status(Errc::IoError, "recv");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Result<std::size_t> TcpStream::read_some(std::span<std::byte> data) {
+  for (;;) {
+    const ssize_t n = ::recv(sock_.fd(), data.data(), data.size(), 0);
+    if (n >= 0) {
+      return static_cast<std::size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status{Errc::Timeout, "no data available"};
+    }
+    return errno_status(Errc::IoError, "recv");
+  }
+}
+
+Result<TcpListener> TcpListener::bind(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return errno_status(Errc::IoError, "socket");
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    return errno_status(Errc::IoError, "bind");
+  }
+  if (::listen(sock.fd(), 64) != 0) {
+    return errno_status(Errc::IoError, "listen");
+  }
+  socklen_t len = sizeof(sa);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    return errno_status(Errc::IoError, "getsockname");
+  }
+  TcpListener out;
+  out.sock_ = std::move(sock);
+  out.port_ = ntohs(sa.sin_port);
+  return out;
+}
+
+Result<TcpStream> TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      return TcpStream(Socket(fd));
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return errno_status(Errc::IoError, "accept");
+  }
+}
+
+Result<std::optional<TcpStream>> TcpListener::try_accept() {
+  const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd >= 0) {
+    return std::optional<TcpStream>(TcpStream(Socket(fd)));
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    return std::optional<TcpStream>(std::nullopt);
+  }
+  return errno_status(Errc::IoError, "accept");
+}
+
+Status TcpListener::set_nonblocking(bool on) {
+  const int flags = ::fcntl(sock_.fd(), F_GETFL, 0);
+  if (flags < 0) {
+    return errno_status(Errc::IoError, "fcntl(F_GETFL)");
+  }
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(sock_.fd(), F_SETFL, next) != 0) {
+    return errno_status(Errc::IoError, "fcntl(F_SETFL)");
+  }
+  return Status::ok();
+}
+
+void Poller::watch(int fd) {
+  if (std::find(fds_.begin(), fds_.end(), fd) == fds_.end()) {
+    fds_.push_back(fd);
+  }
+}
+
+void Poller::unwatch(int fd) {
+  fds_.erase(std::remove(fds_.begin(), fds_.end(), fd), fds_.end());
+}
+
+void Poller::clear() noexcept { fds_.clear(); }
+
+Result<std::vector<int>> Poller::wait_readable(int timeout_ms) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const int fd : fds_) {
+    pfds.push_back(pollfd{fd, POLLIN, 0});
+  }
+  for (;;) {
+    const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return errno_status(Errc::IoError, "poll");
+    }
+    std::vector<int> ready;
+    for (const pollfd& p : pfds) {
+      if ((p.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        ready.push_back(p.fd);
+      }
+    }
+    return ready;
+  }
+}
+
+}  // namespace xdaq::netio

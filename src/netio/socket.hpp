@@ -1,0 +1,129 @@
+// socket.hpp - RAII TCP sockets for the TCP peer transport and the
+// cluster control plane.
+//
+// Thin, dependency-free wrappers over POSIX sockets: a listener, a stream
+// with exact-read/exact-write helpers, and a poll(2)-based readiness
+// multiplexer. Everything reports through Status; nothing throws on I/O.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace xdaq::netio {
+
+/// Owns a file descriptor; closes on destruction.
+class Socket {
+ public:
+  Socket() noexcept = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Releases ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(Socket sock) : sock_(std::move(sock)) {}
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost").
+  static Result<TcpStream> connect(const std::string& host,
+                                   std::uint16_t port);
+
+  [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
+
+  Status set_nodelay(bool on);
+  Status set_nonblocking(bool on);
+
+  /// Writes the whole span (loops over partial writes). Blocking socket.
+  Status write_all(std::span<const std::byte> data);
+
+  /// Reads exactly data.size() bytes. Returns ConnectionClosed on EOF.
+  Status read_exact(std::span<std::byte> data);
+
+  /// Single read; returns bytes read (0 = EOF) or error. Works in both
+  /// blocking and non-blocking mode (non-blocking: 0 bytes + Ok means
+  /// "try again" is reported as Errc::Timeout).
+  Result<std::size_t> read_some(std::span<std::byte> data);
+
+  void close() noexcept { sock_.close(); }
+
+ private:
+  Socket sock_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port.
+  static Result<TcpListener> bind(std::uint16_t port);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
+
+  /// Blocking accept.
+  Result<TcpStream> accept();
+
+  /// Non-blocking accept; nullopt when no connection is pending.
+  Result<std::optional<TcpStream>> try_accept();
+
+  Status set_nonblocking(bool on);
+
+  void close() noexcept { sock_.close(); }
+  [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// poll(2) wrapper: registers fds for readability, returns the ready set.
+class Poller {
+ public:
+  void watch(int fd);
+  void unwatch(int fd);
+  void clear() noexcept;
+
+  /// Returns fds readable within timeout_ms (-1 = block indefinitely).
+  Result<std::vector<int>> wait_readable(int timeout_ms);
+
+  [[nodiscard]] std::size_t watched() const noexcept { return fds_.size(); }
+
+ private:
+  std::vector<int> fds_;
+};
+
+}  // namespace xdaq::netio

@@ -1,0 +1,82 @@
+#include "pt/cluster.hpp"
+
+#include <stdexcept>
+
+namespace xdaq::pt {
+
+Cluster::Cluster(ClusterConfig config)
+    : fabric_(std::make_unique<gmsim::Fabric>(config.fabric)) {
+  execs_.reserve(config.nodes);
+  pts_.reserve(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    core::ExecutiveConfig ec = config.exec;
+    ec.node_id = node_id(i);
+    ec.name = "node" + std::to_string(ec.node_id);
+    execs_.push_back(std::make_unique<core::Executive>(ec));
+
+    auto pt = std::make_unique<GmPeerTransport>(*fabric_, config.transport);
+    GmPeerTransport* raw = pt.get();
+    auto tid = execs_[i]->install(std::move(pt), "pt_gm");
+    if (!tid.is_ok()) {
+      throw std::runtime_error("Cluster: PT install failed: " +
+                               tid.status().to_string());
+    }
+    pts_.push_back(raw);
+  }
+  // Full mesh: every node reaches every other node through its GM PT.
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    for (std::size_t j = 0; j < config.nodes; ++j) {
+      if (i == j) {
+        continue;
+      }
+      const Status st = execs_[i]->set_route(node_id(j), pts_[i]->tid());
+      if (!st.is_ok()) {
+        throw std::runtime_error("Cluster: route setup failed: " +
+                                 st.to_string());
+      }
+    }
+  }
+}
+
+Cluster::~Cluster() { stop_all(); }
+
+Result<i2o::Tid> Cluster::install(std::size_t i,
+                                  std::unique_ptr<core::Device> device,
+                                  const std::string& instance,
+                                  const i2o::ParamList& params) {
+  return execs_.at(i)->install(std::move(device), instance, params);
+}
+
+Result<i2o::Tid> Cluster::connect(std::size_t from, std::size_t to,
+                                  const std::string& remote_instance,
+                                  const std::string& local_name) {
+  auto remote_tid = execs_.at(to)->tid_of(remote_instance);
+  if (!remote_tid.is_ok()) {
+    return remote_tid;
+  }
+  return execs_.at(from)->register_remote(node_id(to), remote_tid.value(),
+                                          local_name);
+}
+
+Status Cluster::enable_all() {
+  for (auto& exec : execs_) {
+    if (Status st = exec->enable_all(); !st.is_ok()) {
+      return st;
+    }
+  }
+  return Status::ok();
+}
+
+void Cluster::start_all() {
+  for (auto& exec : execs_) {
+    exec->start();
+  }
+}
+
+void Cluster::stop_all() {
+  for (auto& exec : execs_) {
+    exec->stop();
+  }
+}
+
+}  // namespace xdaq::pt

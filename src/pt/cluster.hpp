@@ -1,0 +1,70 @@
+// cluster.hpp - in-process multi-node harness.
+//
+// Stands up N executives ("IOPs"), one simulated-GM peer transport each,
+// full-mesh routes, and name-based proxy wiring. This is the scaffolding
+// every test, example, and benchmark uses to model the paper's deployment
+// of one executive per cluster node.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/executive.hpp"
+#include "gmsim/gmsim.hpp"
+#include "pt/gm_pt.hpp"
+
+namespace xdaq::pt {
+
+struct ClusterConfig {
+  std::size_t nodes = 2;
+  gmsim::FabricConfig fabric;
+  GmTransportConfig transport;
+  /// Template for each node's executive (node_id and name are overwritten).
+  core::ExecutiveConfig exec;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return execs_.size(); }
+  [[nodiscard]] core::Executive& node(std::size_t i) { return *execs_.at(i); }
+  [[nodiscard]] gmsim::Fabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] i2o::NodeId node_id(std::size_t i) const {
+    return static_cast<i2o::NodeId>(i + 1);
+  }
+  [[nodiscard]] GmPeerTransport& transport(std::size_t i) {
+    return *pts_.at(i);
+  }
+
+  /// Installs a device on node `i` (thin forwarder).
+  Result<i2o::Tid> install(std::size_t i,
+                           std::unique_ptr<core::Device> device,
+                           const std::string& instance,
+                           const i2o::ParamList& params = {});
+
+  /// Creates (or reuses) a proxy on node `from` for the device named
+  /// `remote_instance` on node `to`. Optionally names the proxy locally.
+  Result<i2o::Tid> connect(std::size_t from, std::size_t to,
+                           const std::string& remote_instance,
+                           const std::string& local_name = {});
+
+  /// Enables every device on every node (PTs included).
+  Status enable_all();
+
+  /// Starts/stops all dispatch threads.
+  void start_all();
+  void stop_all();
+
+ private:
+  std::unique_ptr<gmsim::Fabric> fabric_;
+  std::vector<std::unique_ptr<core::Executive>> execs_;
+  std::vector<GmPeerTransport*> pts_;  ///< owned by their executives
+};
+
+}  // namespace xdaq::pt

@@ -1,0 +1,67 @@
+#include "pt/fifo_pt.hpp"
+
+#include "util/clock.hpp"
+
+namespace xdaq::pt {
+
+FifoLink::FifoLink(std::size_t depth)
+    : fifo_to_0_(depth), fifo_to_1_(depth) {}
+
+FifoTransport::FifoTransport(FifoLink& link, int endpoint)
+    : TransportDevice("FifoTransport", Mode::Polling),
+      link_(&link),
+      endpoint_(endpoint & 1) {}
+
+FifoTransport::~FifoTransport() {
+  const std::scoped_lock lock(link_->attach_mutex_);
+  if (link_->endpoints_[endpoint_] == this) {
+    link_->endpoints_[endpoint_] = nullptr;
+  }
+}
+
+void FifoTransport::plugin() {
+  const std::scoped_lock lock(link_->attach_mutex_);
+  link_->endpoints_[endpoint_] = this;
+}
+
+Status FifoTransport::transport_send(i2o::NodeId dst,
+                                     std::span<const std::byte> frame) {
+  // A point-to-point segment: the only reachable node is the other end.
+  const int other = endpoint_ ^ 1;
+  FifoTransport* peer = nullptr;
+  {
+    const std::scoped_lock lock(link_->attach_mutex_);
+    peer = link_->endpoints_[other];
+  }
+  if (peer == nullptr || peer->executive().node_id() != dst) {
+    return {Errc::Unroutable, "node is not on this PCI segment"};
+  }
+  FifoLink::Slot slot;
+  slot.src = executive().node_id();
+  slot.frame.assign(frame.begin(), frame.end());
+  const std::scoped_lock lock(link_->producer_mutex_[other]);
+  if (!link_->fifo_towards(other).try_push(std::move(slot))) {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return {Errc::ResourceExhausted, "outbound FIFO full"};
+  }
+  return Status::ok();
+}
+
+void FifoTransport::poll_transport() {
+  auto& fifo = link_->fifo_towards(endpoint_);
+  while (auto slot = fifo.try_pop()) {
+    (void)executive().deliver_from_wire(slot->src, tid(), slot->frame,
+                                        rdtsc());
+  }
+}
+
+i2o::ParamList FifoTransport::on_params_get() {
+  auto params = Device::on_params_get();
+  params.emplace_back("endpoint", std::to_string(endpoint_));
+  params.emplace_back("fifo_depth", std::to_string(link_->depth()));
+  params.emplace_back("fifo_full_rejects",
+                      std::to_string(fifo_full_rejects()));
+  return params;
+}
+
+}  // namespace xdaq::pt

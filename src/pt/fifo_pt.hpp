@@ -1,0 +1,92 @@
+// fifo_pt.hpp - PCI peer transport over hardware-style FIFOs.
+//
+// Paper section 7 (ongoing work): "members of our team designed a PLX IOP
+// 480 based processor board with a local PCI board ... The board gives
+// I2O support through hardware FIFOs, which will allow us to provide
+// communication efficiency measurements with and without hardware
+// support. ... We are now implementing a PCI Peer Transport for providing
+// communication with the host."
+//
+// That board is unavailable; the closest synthetic equivalent is a pair
+// of fixed-depth SPSC rings (the inbound/outbound hardware FIFOs of
+// Fig. 2) connecting exactly two executives - a host and an intelligent
+// I/O processor. Posting a frame is one ring slot write; the consumer
+// side polls its inbound FIFO exactly as an I2O IOP polls its port.
+// A full FIFO rejects the post (hardware FIFOs do not grow).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/executive.hpp"
+#include "core/transport.hpp"
+#include "util/ring.hpp"
+
+namespace xdaq::pt {
+
+class FifoTransport;
+
+/// The "PCI segment": two hardware FIFOs between two endpoints.
+/// Endpoint 0 is conventionally the host, endpoint 1 the IOP board.
+class FifoLink {
+ public:
+  /// depth: FIFO slots per direction (a power of two is used).
+  explicit FifoLink(std::size_t depth = 256);
+
+  FifoLink(const FifoLink&) = delete;
+  FifoLink& operator=(const FifoLink&) = delete;
+
+  [[nodiscard]] std::size_t depth() const noexcept {
+    return fifo_to_0_.capacity();
+  }
+
+ private:
+  friend class FifoTransport;
+
+  struct Slot {
+    i2o::NodeId src = i2o::kNullNode;
+    std::vector<std::byte> frame;
+  };
+
+  /// FIFO carrying traffic *towards* endpoint e (rings are not movable,
+  /// hence two named members).
+  SpscRing<Slot>& fifo_towards(int e) noexcept {
+    return e == 0 ? fifo_to_0_ : fifo_to_1_;
+  }
+
+  SpscRing<Slot> fifo_to_0_;
+  SpscRing<Slot> fifo_to_1_;
+  /// One producer lock per FIFO: several device threads may post on the
+  /// same side (the "bus arbitration" of the segment).
+  std::mutex producer_mutex_[2];
+  FifoTransport* endpoints_[2] = {nullptr, nullptr};
+  std::mutex attach_mutex_;
+};
+
+class FifoTransport final : public core::TransportDevice {
+ public:
+  /// `endpoint` is this side's index on the link (0 = host, 1 = IOP).
+  FifoTransport(FifoLink& link, int endpoint);
+  ~FifoTransport() override;
+
+  Status transport_send(i2o::NodeId dst,
+                        std::span<const std::byte> frame) override;
+  void poll_transport() override;
+
+  /// Frames rejected because the FIFO was full.
+  [[nodiscard]] std::uint64_t fifo_full_rejects() const noexcept {
+    return rejects_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void plugin() override;
+  i2o::ParamList on_params_get() override;
+
+ private:
+  FifoLink* link_;
+  int endpoint_;
+  std::atomic<std::uint64_t> rejects_{0};
+};
+
+}  // namespace xdaq::pt

@@ -1,0 +1,141 @@
+#include "pt/gm_pt.hpp"
+
+#include "util/clock.hpp"
+
+namespace xdaq::pt {
+
+GmPeerTransport::GmPeerTransport(gmsim::Fabric& fabric,
+                                 GmTransportConfig config)
+    : TransportDevice("GmPeerTransport", config.mode),
+      fabric_(&fabric),
+      config_(config) {}
+
+GmPeerTransport::~GmPeerTransport() { stop_transport(); }
+
+void GmPeerTransport::plugin() {
+  auto port = fabric_->open_port(executive().node_id());
+  if (!port.is_ok()) {
+    Logger("pt/gm").error("cannot open GM port: ",
+                          port.status().to_string());
+    return;
+  }
+  port_ = std::move(port).value();
+  rx_storage_.assign(config_.receive_buffers,
+                     std::vector<std::byte>(config_.buffer_bytes));
+  for (auto& buf : rx_storage_) {
+    port_->provide_receive_buffer(buf);
+  }
+}
+
+Status GmPeerTransport::on_configure(const i2o::ParamList& params) {
+  if (const std::string mode = i2o::param_value(params, "mode");
+      !mode.empty()) {
+    // Mode is fixed at construction (it decides how the executive treats
+    // this PT); configuring a different one is a deployment error.
+    const bool want_polling = (mode == "polling");
+    if (want_polling != (this->mode() == Mode::Polling)) {
+      return {Errc::InvalidArgument,
+              "transport mode is fixed at construction"};
+    }
+  }
+  return Status::ok();
+}
+
+Status GmPeerTransport::on_enable() {
+  if (port_ == nullptr) {
+    return {Errc::FailedPrecondition, "GM port not open"};
+  }
+  if (mode() == Mode::Task) {
+    return start_transport();
+  }
+  return Status::ok();
+}
+
+Status GmPeerTransport::on_halt() {
+  stop_transport();
+  return Status::ok();
+}
+
+i2o::ParamList GmPeerTransport::on_params_get() {
+  auto params = Device::on_params_get();
+  params.emplace_back("mode", mode() == Mode::Polling ? "polling" : "task");
+  if (port_ != nullptr) {
+    const auto s = port_->stats();
+    params.emplace_back("sends", std::to_string(s.sends));
+    params.emplace_back("receives", std::to_string(s.receives));
+    params.emplace_back("send_rejects", std::to_string(s.send_rejects));
+  }
+  return params;
+}
+
+Status GmPeerTransport::transport_send(i2o::NodeId dst,
+                                       std::span<const std::byte> frame) {
+  if (port_ == nullptr) {
+    return {Errc::FailedPrecondition, "GM port not open"};
+  }
+  // GM semantics: send needs a token; a real GM application retries after
+  // pumping completions. Yield periodically while starved - the consumer
+  // returning our tokens may need this core (machines with fewer cores
+  // than executives would otherwise livelock).
+  for (std::size_t spin = 0; spin < config_.send_retry_spins; ++spin) {
+    const Status st = port_->send(dst, frame);
+    if (st.code() != Errc::ResourceExhausted) {
+      return st;
+    }
+    if ((spin & 0x3FF) == 0x3FF) {
+      std::this_thread::yield();
+    }
+  }
+  return {Errc::ResourceExhausted, "send tokens exhausted (peer stalled?)"};
+}
+
+void GmPeerTransport::poll_transport() {
+  if (port_ == nullptr) {
+    return;
+  }
+  // Drain everything deliverable this scan.
+  while (auto ev = port_->poll()) {
+    deliver(*ev, rdtsc());
+  }
+}
+
+void GmPeerTransport::deliver(const gmsim::RecvEvent& ev,
+                              std::uint64_t t_wire) {
+  (void)executive().deliver_from_wire(
+      static_cast<i2o::NodeId>(ev.src), tid(),
+      std::span<const std::byte>(ev.buffer.data(), ev.length), t_wire);
+  // Hand the buffer back for the next message
+  // (gm_provide_receive_buffer).
+  port_->provide_receive_buffer(ev.buffer);
+}
+
+Status GmPeerTransport::start_transport() {
+  if (mode() != Mode::Task || task_running_.load()) {
+    return Status::ok();
+  }
+  task_running_.store(true);
+  task_thread_ = std::thread([this] { receive_loop(); });
+  return Status::ok();
+}
+
+void GmPeerTransport::stop_transport() {
+  task_running_.store(false);
+  if (task_thread_.joinable()) {
+    task_thread_.join();
+  }
+}
+
+void GmPeerTransport::receive_loop() {
+  while (task_running_.load(std::memory_order_relaxed)) {
+    auto ev = port_->receive(std::chrono::milliseconds(1));
+    if (ev.has_value()) {
+      deliver(*ev, rdtsc());
+    }
+  }
+}
+
+gmsim::PortStats GmPeerTransport::port_stats() const {
+  return port_ != nullptr ? port_->stats() : gmsim::PortStats{};
+}
+
+}  // namespace xdaq::pt

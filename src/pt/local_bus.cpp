@@ -1,0 +1,50 @@
+#include "pt/local_bus.hpp"
+
+namespace xdaq::pt {
+
+std::size_t LocalBus::attached() const {
+  const std::scoped_lock lock(mutex_);
+  return nodes_.size();
+}
+
+Status LocalBus::attach(i2o::NodeId node, LocalBusTransport* pt) {
+  const std::scoped_lock lock(mutex_);
+  if (nodes_.contains(node)) {
+    return {Errc::AlreadyExists, "node already on the local bus"};
+  }
+  nodes_[node] = pt;
+  return Status::ok();
+}
+
+void LocalBus::detach(i2o::NodeId node) {
+  const std::scoped_lock lock(mutex_);
+  nodes_.erase(node);
+}
+
+LocalBusTransport* LocalBus::find(i2o::NodeId node) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+LocalBusTransport::~LocalBusTransport() {
+  if (attached_to_bus_) {
+    bus_->detach(executive().node_id());
+  }
+}
+
+void LocalBusTransport::plugin() {
+  attached_to_bus_ = bus_->attach(executive().node_id(), this).is_ok();
+}
+
+Status LocalBusTransport::transport_send(i2o::NodeId dst,
+                                         std::span<const std::byte> frame) {
+  LocalBusTransport* peer = bus_->find(dst);
+  if (peer == nullptr) {
+    return {Errc::Unroutable, "destination node not on the local bus"};
+  }
+  return peer->executive().deliver_from_wire(executive().node_id(),
+                                             peer->tid(), frame);
+}
+
+}  // namespace xdaq::pt

@@ -1,0 +1,60 @@
+// local_bus.hpp - peer transport for executives sharing one process.
+//
+// Models the paper's figure 3a: peer operation through the messaging
+// instance when IOPs sit on the same bus segment. Delivery is a direct,
+// synchronous handoff into the destination executive's inbound queue -
+// no wire, no serialization beyond the frame itself. Useful for tests
+// and as the fastest baseline a transport can be.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/executive.hpp"
+#include "core/transport.hpp"
+
+namespace xdaq::pt {
+
+class LocalBusTransport;
+
+/// The shared "bus segment": a registry of transports by node id.
+/// Create one per process (or per simulated segment).
+class LocalBus {
+ public:
+  LocalBus() = default;
+  LocalBus(const LocalBus&) = delete;
+  LocalBus& operator=(const LocalBus&) = delete;
+
+  [[nodiscard]] std::size_t attached() const;
+
+ private:
+  friend class LocalBusTransport;
+
+  Status attach(i2o::NodeId node, LocalBusTransport* pt);
+  void detach(i2o::NodeId node);
+  LocalBusTransport* find(i2o::NodeId node) const;
+
+  mutable std::mutex mutex_;
+  std::map<i2o::NodeId, LocalBusTransport*> nodes_;
+};
+
+class LocalBusTransport final : public core::TransportDevice {
+ public:
+  explicit LocalBusTransport(LocalBus& bus)
+      : TransportDevice("LocalBusTransport", Mode::Task), bus_(&bus) {}
+  ~LocalBusTransport() override;
+
+  Status transport_send(i2o::NodeId dst,
+                        std::span<const std::byte> frame) override;
+
+ protected:
+  /// Joins the bus under the executive's node id when installed.
+  void plugin() override;
+
+ private:
+  LocalBus* bus_;
+  bool attached_to_bus_ = false;
+};
+
+}  // namespace xdaq::pt

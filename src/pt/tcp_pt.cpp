@@ -1,0 +1,252 @@
+#include "pt/tcp_pt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "i2o/wire.hpp"
+#include "util/clock.hpp"
+
+namespace xdaq::pt {
+
+namespace {
+constexpr std::uint32_t kHelloMagic = 0x58444151;  // "XDAQ"
+constexpr std::size_t kHelloBytes = 6;             // magic + node id
+}  // namespace
+
+TcpPeerTransport::TcpPeerTransport(TcpTransportConfig config)
+    : TransportDevice("TcpPeerTransport", Mode::Task),
+      config_(std::move(config)),
+      log_("pt/tcp") {}
+
+TcpPeerTransport::~TcpPeerTransport() { stop_transport(); }
+
+Status TcpPeerTransport::on_configure(const i2o::ParamList& params) {
+  for (const auto& [key, value] : params) {
+    if (key == "listen_port") {
+      config_.listen_port =
+          static_cast<std::uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key.rfind("peer.", 0) == 0) {
+      const auto node = static_cast<i2o::NodeId>(
+          std::strtoul(key.c_str() + 5, nullptr, 10));
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) {
+        return {Errc::InvalidArgument, "peer entry needs host:port"};
+      }
+      add_peer(node, value.substr(0, colon),
+               static_cast<std::uint16_t>(
+                   std::strtoul(value.substr(colon + 1).c_str(), nullptr,
+                                10)));
+    }
+  }
+  return Status::ok();
+}
+
+void TcpPeerTransport::add_peer(i2o::NodeId node, const std::string& host,
+                                std::uint16_t port) {
+  const std::scoped_lock lock(conns_mutex_);
+  config_.peers[node] = TcpPeer{host, port};
+}
+
+Status TcpPeerTransport::on_enable() { return start_transport(); }
+
+Status TcpPeerTransport::on_halt() {
+  stop_transport();
+  return Status::ok();
+}
+
+i2o::ParamList TcpPeerTransport::on_params_get() {
+  auto params = Device::on_params_get();
+  params.emplace_back("listen_port", std::to_string(listen_port()));
+  params.emplace_back("connections", std::to_string(connection_count()));
+  return params;
+}
+
+Status TcpPeerTransport::start_transport() {
+  if (running_.load()) {
+    return Status::ok();
+  }
+  auto listener = netio::TcpListener::bind(config_.listen_port);
+  if (!listener.is_ok()) {
+    return listener.status();
+  }
+  {
+    const std::scoped_lock lock(conns_mutex_);
+    listener_ = std::move(listener).value();
+  }
+  if (Status st = listener_.set_nonblocking(true); !st.is_ok()) {
+    return st;
+  }
+  running_.store(true);
+  reader_thread_ = std::thread([this] { reader_loop(); });
+  return Status::ok();
+}
+
+void TcpPeerTransport::stop_transport() {
+  running_.store(false);
+  if (reader_thread_.joinable()) {
+    reader_thread_.join();
+  }
+  const std::scoped_lock lock(conns_mutex_);
+  listener_.close();
+  conns_.clear();
+}
+
+std::uint16_t TcpPeerTransport::listen_port() const {
+  const std::scoped_lock lock(conns_mutex_);
+  return listener_.valid() ? listener_.port() : 0;
+}
+
+std::size_t TcpPeerTransport::connection_count() const {
+  const std::scoped_lock lock(conns_mutex_);
+  return conns_.size();
+}
+
+Status TcpPeerTransport::send_hello(Connection& conn) {
+  std::array<std::byte, kHelloBytes> hello{};
+  i2o::put_u32(hello, 0, kHelloMagic);
+  i2o::put_u16(hello, 4, executive().node_id());
+  return conn.stream.write_all(hello);
+}
+
+Result<TcpPeerTransport::Connection*> TcpPeerTransport::connection_to(
+    i2o::NodeId node) {
+  const std::scoped_lock lock(conns_mutex_);
+  for (const auto& conn : conns_) {
+    if (conn->node == node) {
+      return conn.get();
+    }
+  }
+  const auto it = config_.peers.find(node);
+  if (it == config_.peers.end()) {
+    return {Errc::Unroutable, "no TCP endpoint configured for node"};
+  }
+  auto stream = netio::TcpStream::connect(it->second.host, it->second.port);
+  if (!stream.is_ok()) {
+    return stream.status();
+  }
+  (void)stream.value().set_nodelay(true);
+  auto conn = std::make_shared<Connection>();
+  conn->stream = std::move(stream).value();
+  conn->node = node;
+  if (Status st = send_hello(*conn); !st.is_ok()) {
+    return st;
+  }
+  conns_.push_back(conn);
+  return conn.get();
+}
+
+Status TcpPeerTransport::transport_send(i2o::NodeId dst,
+                                        std::span<const std::byte> frame) {
+  if (!running_.load()) {
+    return {Errc::FailedPrecondition, "TCP transport not enabled"};
+  }
+  if (frame.size() > config_.max_frame_bytes) {
+    return {Errc::InvalidArgument, "frame exceeds TCP transport maximum"};
+  }
+  // Hold a shared reference so a concurrent disconnect cannot free the
+  // connection under us.
+  std::shared_ptr<Connection> conn;
+  {
+    auto found = connection_to(dst);
+    if (!found.is_ok()) {
+      return found.status();
+    }
+    const std::scoped_lock lock(conns_mutex_);
+    for (const auto& c : conns_) {
+      if (c.get() == found.value()) {
+        conn = c;
+        break;
+      }
+    }
+  }
+  if (conn == nullptr) {
+    return {Errc::ConnectionClosed, "connection vanished during send"};
+  }
+  std::array<std::byte, 4> len{};
+  i2o::put_u32(len, 0, static_cast<std::uint32_t>(frame.size()));
+  const std::scoped_lock wlock(*conn->write_mutex);
+  if (Status st = conn->stream.write_all(len); !st.is_ok()) {
+    return st;
+  }
+  return conn->stream.write_all(frame);
+}
+
+bool TcpPeerTransport::service_connection(Connection& conn) {
+  if (conn.node == i2o::kNullNode) {
+    // First message on an accepted connection must be the hello.
+    std::array<std::byte, kHelloBytes> hello{};
+    if (!conn.stream.read_exact(hello).is_ok()) {
+      return false;
+    }
+    if (i2o::get_u32(hello, 0) != kHelloMagic) {
+      log_.warn("rejecting connection with bad hello magic");
+      return false;
+    }
+    conn.node = i2o::get_u16(hello, 4);
+    return true;
+  }
+  std::array<std::byte, 4> lenbuf{};
+  if (!conn.stream.read_exact(lenbuf).is_ok()) {
+    return false;
+  }
+  const std::uint32_t len = i2o::get_u32(lenbuf, 0);
+  if (len == 0 || len > config_.max_frame_bytes) {
+    log_.warn("dropping connection announcing bad frame length ", len);
+    return false;
+  }
+  std::vector<std::byte> frame(len);
+  if (!conn.stream.read_exact(frame).is_ok()) {
+    return false;
+  }
+  (void)executive().deliver_from_wire(conn.node, tid(), frame, rdtsc());
+  return true;
+}
+
+void TcpPeerTransport::reader_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    // Snapshot the fd set; shared_ptrs keep connections alive through the
+    // unlocked service phase.
+    netio::Poller poller;
+    std::vector<std::shared_ptr<Connection>> snapshot;
+    int listener_fd = -1;
+    {
+      const std::scoped_lock lock(conns_mutex_);
+      listener_fd = listener_.fd();
+      poller.watch(listener_fd);
+      for (const auto& conn : conns_) {
+        poller.watch(conn->stream.fd());
+        snapshot.push_back(conn);
+      }
+    }
+    auto ready = poller.wait_readable(20);
+    if (!ready.is_ok()) {
+      continue;
+    }
+    for (const int fd : ready.value()) {
+      if (fd == listener_fd) {
+        auto accepted = listener_.try_accept();
+        if (accepted.is_ok() && accepted.value().has_value()) {
+          auto conn = std::make_shared<Connection>();
+          conn->stream = std::move(*accepted.value());
+          (void)conn->stream.set_nodelay(true);
+          const std::scoped_lock lock(conns_mutex_);
+          conns_.push_back(std::move(conn));
+        }
+        continue;
+      }
+      for (const auto& conn : snapshot) {
+        if (conn->stream.fd() == fd) {
+          if (!service_connection(*conn)) {
+            const std::scoped_lock lock(conns_mutex_);
+            conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                         conns_.end());
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace xdaq::pt

@@ -1,0 +1,94 @@
+// tcp_pt.hpp - peer transport over TCP sockets.
+//
+// The paper runs a TCP PT alongside the Myrinet/GM PT ("Another PT thread
+// was handling TCP communication for configuration and control purposes")
+// and warns that polling a TCP socket in polling mode would negate the
+// benefits of a lightweight interface - hence this transport is task mode:
+// one reader thread multiplexes the listening socket and all peer
+// connections with poll(2).
+//
+// Wire protocol per connection:
+//   on connect: hello { u32 magic, u16 node_id }
+//   then frames: { u32 length, frame bytes }
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/executive.hpp"
+#include "core/transport.hpp"
+#include "netio/socket.hpp"
+
+namespace xdaq::pt {
+
+struct TcpPeer {
+  std::string host;
+  std::uint16_t port;
+};
+
+struct TcpTransportConfig {
+  std::uint16_t listen_port = 0;  ///< 0 = ephemeral
+  std::map<i2o::NodeId, TcpPeer> peers;
+  std::size_t max_frame_bytes = 300 * 1024;
+};
+
+class TcpPeerTransport final : public core::TransportDevice {
+ public:
+  explicit TcpPeerTransport(TcpTransportConfig config = {});
+  ~TcpPeerTransport() override;
+
+  Status transport_send(i2o::NodeId dst,
+                        std::span<const std::byte> frame) override;
+  Status start_transport() override;
+  void stop_transport() override;
+
+  /// Port actually bound (after enable); 0 before that.
+  [[nodiscard]] std::uint16_t listen_port() const;
+
+  /// Adds/replaces a peer endpoint (before or after enable).
+  void add_peer(i2o::NodeId node, const std::string& host,
+                std::uint16_t port);
+
+  [[nodiscard]] std::size_t connection_count() const;
+
+ protected:
+  Status on_configure(const i2o::ParamList& params) override;
+  Status on_enable() override;
+  Status on_halt() override;
+  i2o::ParamList on_params_get() override;
+
+ private:
+  struct Connection {
+    netio::TcpStream stream;
+    i2o::NodeId node = i2o::kNullNode;  ///< kNullNode until hello received
+    std::unique_ptr<std::mutex> write_mutex =
+        std::make_unique<std::mutex>();
+  };
+
+  void reader_loop();
+  /// Returns the connection for `node`, dialing it if necessary.
+  Result<Connection*> connection_to(i2o::NodeId node);
+  Status send_hello(Connection& conn);
+  /// Reads one message from a readable connection; false = drop it.
+  bool service_connection(Connection& conn);
+
+  TcpTransportConfig config_;
+  Logger log_;
+
+  mutable std::mutex conns_mutex_;
+  netio::TcpListener listener_;
+  /// shared_ptr so a send in flight keeps its connection alive while the
+  /// reader thread drops it from the registry.
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::atomic<bool> running_{false};
+  std::thread reader_thread_;
+};
+
+}  // namespace xdaq::pt

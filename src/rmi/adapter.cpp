@@ -1,0 +1,37 @@
+#include "rmi/adapter.hpp"
+
+namespace xdaq::rmi {
+
+void Skeleton::expose(std::uint16_t method_id, Method method) {
+  bind(i2o::OrgId::kRmi, method_id,
+       [this, method = std::move(method)](const core::MessageContext& ctx) {
+         Unmarshaller args(ctx.payload);
+         Marshaller out;
+         const Status st = method(args, out);
+         if (st.is_ok()) {
+           (void)frame_reply(ctx, out.bytes());
+         } else {
+           Marshaller err;
+           err.put_string(st.to_string());
+           (void)frame_reply(ctx, err.bytes(), /*failed=*/true);
+         }
+       });
+}
+
+Result<std::vector<std::byte>> Stub::invoke(std::uint16_t method_id,
+                                            const Marshaller& args) {
+  auto reply = requester_->call_private(target_, i2o::OrgId::kRmi, method_id,
+                                        args.bytes(), timeout_);
+  if (!reply.is_ok()) {
+    return reply.status();
+  }
+  if (reply.value().failed()) {
+    Unmarshaller err(reply.value().payload);
+    auto message = err.get_string();
+    return {Errc::Internal, message.is_ok() ? message.value()
+                                            : "remote invocation failed"};
+  }
+  return std::move(reply.value().payload);
+}
+
+}  // namespace xdaq::rmi

@@ -1,0 +1,64 @@
+// adapter.hpp - RMI stub and skeleton adapters over I2O frames.
+//
+// The skeleton is a device class whose private dispatch table maps method
+// ids (xfunction codes in the kRmi organization) to typed functions; the
+// stub is a thin client that marshals arguments, sends one private frame,
+// and blocks on the reply through a Requester. Remote invocation is
+// indistinguishable from local: the stub only holds a TiD, which may be a
+// proxy ("The caller never needs to know, if a device is really local or
+// if the call is redirected").
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "core/device.hpp"
+#include "core/requester.hpp"
+#include "rmi/marshal.hpp"
+
+namespace xdaq::rmi {
+
+/// Server side: exposes methods under (OrgId::kRmi, method id).
+class Skeleton : public core::Device {
+ public:
+  /// A method unmarshals its arguments and marshals its results; a
+  /// non-Ok Status becomes a failure reply carrying the message.
+  using Method = std::function<Status(Unmarshaller& args, Marshaller& out)>;
+
+ protected:
+  explicit Skeleton(std::string class_name) : Device(std::move(class_name)) {}
+
+  /// Exposes `method` under `method_id`.
+  void expose(std::uint16_t method_id, Method method);
+};
+
+/// A failure reply's payload: a marshalled error string.
+struct RemoteError {
+  std::string message;
+};
+
+/// Client side: synchronous method invocation via a Requester.
+class Stub {
+ public:
+  /// `requester` must be installed on the caller's executive; `target` is
+  /// the (possibly proxied) TiD of the skeleton.
+  Stub(core::Requester& requester, i2o::Tid target,
+       std::chrono::nanoseconds timeout = std::chrono::seconds(2))
+      : requester_(&requester), target_(target), timeout_(timeout) {}
+
+  /// Invokes a remote method. On success the returned buffer holds the
+  /// marshalled results; on remote failure the Status carries the error
+  /// message raised by the skeleton.
+  Result<std::vector<std::byte>> invoke(std::uint16_t method_id,
+                                        const Marshaller& args);
+
+  [[nodiscard]] i2o::Tid target() const noexcept { return target_; }
+
+ private:
+  core::Requester* requester_;
+  i2o::Tid target_;
+  std::chrono::nanoseconds timeout_;
+};
+
+}  // namespace xdaq::rmi

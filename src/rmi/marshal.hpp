@@ -1,0 +1,178 @@
+// marshal.hpp - typed (un)marshalling over I2O frame payloads.
+//
+// Paper section 4: "adapters can be provided that allow a remote method
+// invocation style communication scheme. The stub part will take the call
+// parameters and marshal them into a standard message, whereas the
+// skeleton part scans the message and provides typed pointers to its
+// contents." Unmarshaller::view_bytes is the buffer-loaning path: it
+// returns a span into the received frame instead of copying.
+//
+// Encoding: little-endian scalars; strings and byte blobs are u32
+// length-prefixed; vectors are u32 count-prefixed elements.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace xdaq::rmi {
+
+class Marshaller {
+ public:
+  Marshaller() = default;
+
+  void put_u8(std::uint8_t v) { append(&v, 1); }
+  void put_u16(std::uint16_t v) { put_le(v); }
+  void put_u32(std::uint32_t v) { put_le(v); }
+  void put_u64(std::uint64_t v) { put_le(v); }
+  void put_i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+  void put_i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+  }
+  void put_string(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    append(s.data(), s.size());
+  }
+  void put_bytes(std::span<const std::byte> b) {
+    put_u32(static_cast<std::uint32_t>(b.size()));
+    append(b.data(), b.size());
+  }
+  template <typename T, typename PutFn>
+  void put_vector(const std::vector<T>& v, PutFn put) {
+    put_u32(static_cast<std::uint32_t>(v.size()));
+    for (const T& x : v) {
+      put(*this, x);
+    }
+  }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  void clear() noexcept { buf_.clear(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  void append(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  std::vector<std::byte> buf_;
+};
+
+class Unmarshaller {
+ public:
+  explicit Unmarshaller(std::span<const std::byte> data) : data_(data) {}
+
+  Result<std::uint8_t> get_u8() {
+    if (!have(1)) {
+      return short_read();
+    }
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  Result<std::uint16_t> get_u16() { return get_le<std::uint16_t>(); }
+  Result<std::uint32_t> get_u32() { return get_le<std::uint32_t>(); }
+  Result<std::uint64_t> get_u64() { return get_le<std::uint64_t>(); }
+  Result<std::int32_t> get_i32() {
+    auto v = get_u32();
+    if (!v.is_ok()) {
+      return v.status();
+    }
+    return static_cast<std::int32_t>(v.value());
+  }
+  Result<std::int64_t> get_i64() {
+    auto v = get_u64();
+    if (!v.is_ok()) {
+      return v.status();
+    }
+    return static_cast<std::int64_t>(v.value());
+  }
+  Result<bool> get_bool() {
+    auto v = get_u8();
+    if (!v.is_ok()) {
+      return v.status();
+    }
+    return v.value() != 0;
+  }
+  Result<double> get_f64() {
+    auto v = get_u64();
+    if (!v.is_ok()) {
+      return v.status();
+    }
+    double d = 0;
+    const std::uint64_t bits = v.value();
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+  Result<std::string> get_string() {
+    auto len = get_u32();
+    if (!len.is_ok()) {
+      return len.status();
+    }
+    if (!have(len.value())) {
+      return short_read();
+    }
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_),
+                    len.value());
+    pos_ += len.value();
+    return out;
+  }
+  /// Buffer loaning: a typed pointer into the frame, no copy. The span is
+  /// valid only while the underlying frame is referenced.
+  Result<std::span<const std::byte>> view_bytes() {
+    auto len = get_u32();
+    if (!len.is_ok()) {
+      return len.status();
+    }
+    if (!have(len.value())) {
+      return short_read();
+    }
+    auto out = data_.subspan(pos_, len.value());
+    pos_ += len.value();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  [[nodiscard]] bool have(std::size_t n) const noexcept {
+    return data_.size() - pos_ >= n;
+  }
+  static Status short_read() {
+    return {Errc::MalformedFrame, "marshalled data truncated"};
+  }
+  template <typename T>
+  Result<T> get_le() {
+    if (!have(sizeof(T))) {
+      return short_read();
+    }
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace xdaq::rmi

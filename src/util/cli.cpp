@@ -1,0 +1,95 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace xdaq {
+
+CliParser& CliParser::flag(const std::string& name, const std::string& help,
+                           std::string default_value) {
+  specs_[name] = Spec{Kind::String, help, std::move(default_value)};
+  return *this;
+}
+
+CliParser& CliParser::flag(const std::string& name, const std::string& help,
+                           std::int64_t default_value) {
+  specs_[name] = Spec{Kind::Int, help, std::to_string(default_value)};
+  return *this;
+}
+
+CliParser& CliParser::flag(const std::string& name, const std::string& help,
+                           bool default_value) {
+  specs_[name] = Spec{Kind::Bool, help, default_value ? "true" : "false"};
+  return *this;
+}
+
+Status CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      return {Errc::InvalidArgument, "unknown flag --" + name};
+    }
+    if (!has_value) {
+      if (it->second.kind == Kind::Bool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return {Errc::InvalidArgument, "flag --" + name + " needs a value"};
+      }
+    }
+    if (it->second.kind == Kind::Int) {
+      char* end = nullptr;
+      (void)std::strtoll(value.c_str(), &end, 0);
+      if (end == value.c_str() || *end != '\0') {
+        return {Errc::InvalidArgument,
+                "flag --" + name + " expects an integer, got '" + value + "'"};
+      }
+    }
+    it->second.value = std::move(value);
+  }
+  return Status::ok();
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    throw std::logic_error("CliParser: undeclared flag --" + name);
+  }
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::strtoll(get_string(name).c_str(), nullptr, 0);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::ostringstream oss;
+  oss << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    oss << "  --" << name << "  " << spec.help << " (default: " << spec.value
+        << ")\n";
+  }
+  return oss.str();
+}
+
+}  // namespace xdaq

@@ -1,0 +1,50 @@
+// cli.hpp - tiny flag parser for examples and benchmark binaries.
+//
+// Supports --name=value, --name value, and boolean --name. Unknown flags are
+// an error so typos in benchmark sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace xdaq {
+
+class CliParser {
+ public:
+  CliParser& flag(const std::string& name, const std::string& help,
+                  std::string default_value);
+  CliParser& flag(const std::string& name, const std::string& help,
+                  std::int64_t default_value);
+  CliParser& flag(const std::string& name, const std::string& help,
+                  bool default_value);
+
+  /// Parses argv; on error returns the problem (and usage() explains flags).
+  Status parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { String, Int, Bool };
+  struct Spec {
+    Kind kind;
+    std::string help;
+    std::string value;  // stored as text; converted on access
+  };
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace xdaq

@@ -1,0 +1,33 @@
+#include "util/clock.hpp"
+
+namespace xdaq {
+
+double calibrate_ticks_per_ns() {
+  // One warmup pass, then measure over ~10 ms of wall time.
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::uint64_t t0_ns = now_ns();
+    const std::uint64_t t0_tk = rdtsc();
+    // Busy spin: sleeping would let the measurement include wakeup jitter.
+    while (now_ns() - t0_ns < 10'000'000) {
+    }
+    const std::uint64_t dt_tk = rdtsc() - t0_tk;
+    const std::uint64_t dt_ns = now_ns() - t0_ns;
+    if (pass == 1 && dt_ns > 0) {
+      return static_cast<double>(dt_tk) / static_cast<double>(dt_ns);
+    }
+  }
+  return 1.0;
+}
+
+std::vector<double> TimeProbe::deltas_ns() const {
+  static const double ticks_per_ns = calibrate_ticks_per_ns();
+  std::vector<double> out;
+  out.reserve(stamps_.size() / 2);
+  for (std::size_t i = 0; i + 1 < stamps_.size(); i += 2) {
+    const auto dt = static_cast<double>(stamps_[i + 1] - stamps_[i]);
+    out.push_back(dt / ticks_per_ns);
+  }
+  return out;
+}
+
+}  // namespace xdaq

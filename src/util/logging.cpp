@@ -1,0 +1,53 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace xdaq::log_detail {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::Warn)};
+std::mutex g_sink_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace:
+      return "TRACE";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO ";
+    case LogLevel::Warn:
+      return "WARN ";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel threshold() noexcept {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void set_threshold(LogLevel level) noexcept {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void emit(LogLevel level, std::string_view component, std::string_view text) {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  const std::scoped_lock lock(g_sink_mutex);
+  std::fprintf(stderr, "[%lld.%06lld] %s %.*s: %.*s\n",
+               static_cast<long long>(us / 1000000),
+               static_cast<long long>(us % 1000000), level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(text.size()), text.data());
+}
+
+}  // namespace xdaq::log_detail

@@ -1,0 +1,72 @@
+// logging.hpp - minimal thread-safe leveled logging.
+//
+// Deliberately tiny: the hot path never logs (the executive would lose its
+// microsecond budget), so there is no async machinery — a single mutex
+// around the sink is enough for configuration/control/diagnostic traffic.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace xdaq {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+namespace log_detail {
+/// Global threshold; messages below it are discarded before formatting.
+LogLevel threshold() noexcept;
+void set_threshold(LogLevel level) noexcept;
+void emit(LogLevel level, std::string_view component, std::string_view text);
+}  // namespace log_detail
+
+inline void set_log_level(LogLevel level) noexcept {
+  log_detail::set_threshold(level);
+}
+
+/// Named logger handle. Cheap to construct; holds only the component name.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  template <typename... Args>
+  void log(LogLevel level, Args&&... args) const {
+    if (level < log_detail::threshold()) {
+      return;
+    }
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    log_detail::emit(level, component_, oss.str());
+  }
+
+  template <typename... Args>
+  void trace(Args&&... args) const {
+    log(LogLevel::Trace, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void debug(Args&&... args) const {
+    log(LogLevel::Debug, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(Args&&... args) const {
+    log(LogLevel::Info, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(Args&&... args) const {
+    log(LogLevel::Warn, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void error(Args&&... args) const {
+    log(LogLevel::Error, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] const std::string& component() const noexcept {
+    return component_;
+  }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace xdaq

@@ -1,0 +1,138 @@
+// queue.hpp - bounded multi-producer blocking queue.
+//
+// Used where more than one thread posts into an executive (task-mode peer
+// transports, control sessions). Follows CP.42: every wait has a predicate.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace xdaq {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks until space is available or the queue is closed.
+  /// Returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(value));
+    size_.store(items_.size(), std::memory_order_release);
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T value) {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(value));
+      size_.store(items_.size(), std::memory_order_release);
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;  // closed and drained
+    }
+    T out = std::move(items_.front());
+    items_.pop_front();
+    size_.store(items_.size(), std::memory_order_release);
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Pop with timeout; nullopt when the deadline passes or the queue is
+  /// closed and drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [this] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T out = std::move(items_.front());
+    items_.pop_front();
+    size_.store(items_.size(), std::memory_order_release);
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Non-blocking pop. A lock-free empty check guards the mutex so that a
+  /// consumer polling an empty queue cannot convoy producers.
+  std::optional<T> try_pop() {
+    if (size_.load(std::memory_order_acquire) == 0) {
+      return std::nullopt;
+    }
+    std::optional<T> out;
+    {
+      const std::scoped_lock lock(mutex_);
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+      size_.store(items_.size(), std::memory_order_release);
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain then return null.
+  void close() {
+    {
+      const std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::atomic<std::size_t> size_{0};  ///< mirrors items_.size()
+};
+
+}  // namespace xdaq

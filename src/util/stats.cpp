@@ -1,0 +1,166 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xdaq {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Sampler::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+double Sampler::mean() const noexcept {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Sampler::stddev() const noexcept {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) {
+    acc += (s - m) * (s - m);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void Sampler::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Sampler::percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+double Sampler::min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Sampler::max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  ensure_sorted();
+  return samples_.back();
+}
+
+LinearFit LinearFit::fit(const std::vector<double>& xs,
+                         const std::vector<double>& ys) {
+  LinearFit out;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) {
+    if (n == 1) {
+      out.intercept = ys[0];
+      out.r2 = 1.0;
+    }
+    return out;
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) {
+    out.intercept = sy / dn;
+    return out;
+  }
+  out.slope = (dn * sxy - sx * sy) / denom;
+  out.intercept = (sy - out.slope * sx) / dn;
+  const double sstot = syy - sy * sy / dn;
+  if (sstot > 0.0) {
+    double ssres = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = ys[i] - (out.slope * xs[i] + out.intercept);
+      ssres += r * r;
+    }
+    out.r2 = 1.0 - ssres / sstot;
+  } else {
+    out.r2 = 1.0;
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: need bins>0 and hi>lo");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++under_;
+    return;
+  }
+  if (x >= hi_) {
+    ++over_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) {
+    bin = counts_.size() - 1;  // guard against FP edge at hi_
+  }
+  ++counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+}  // namespace xdaq

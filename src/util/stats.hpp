@@ -1,0 +1,106 @@
+// stats.hpp - statistics used by the evaluation harness: running
+// mean/stddev, sample medians and percentiles, and least-squares linear fits
+// (the paper reports linear fits of latency vs payload in Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xdaq {
+
+/// Welford running mean / variance. O(1) space, numerically stable.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples for order statistics (median, percentiles).
+class Sampler {
+ public:
+  Sampler() = default;
+  explicit Sampler(std::size_t expected) { samples_.reserve(expected); }
+
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// p in [0,100]; linear interpolation between ranks. 0 samples -> 0.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+  void clear() noexcept { samples_.clear(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+
+  static LinearFit fit(const std::vector<double>& xs,
+                       const std::vector<double>& ys);
+};
+
+/// Fixed-range histogram for latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t count_at(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return under_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return over_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_high(std::size_t bin) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t under_ = 0;
+  std::uint64_t over_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace xdaq

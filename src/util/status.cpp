@@ -1,0 +1,49 @@
+#include "util/status.hpp"
+
+namespace xdaq {
+
+std::string_view to_string(Errc c) noexcept {
+  switch (c) {
+    case Errc::Ok:
+      return "Ok";
+    case Errc::InvalidArgument:
+      return "InvalidArgument";
+    case Errc::NotFound:
+      return "NotFound";
+    case Errc::AlreadyExists:
+      return "AlreadyExists";
+    case Errc::ResourceExhausted:
+      return "ResourceExhausted";
+    case Errc::MalformedFrame:
+      return "MalformedFrame";
+    case Errc::Unroutable:
+      return "Unroutable";
+    case Errc::Timeout:
+      return "Timeout";
+    case Errc::ConnectionClosed:
+      return "ConnectionClosed";
+    case Errc::IoError:
+      return "IoError";
+    case Errc::Unsupported:
+      return "Unsupported";
+    case Errc::Internal:
+      return "Internal";
+    case Errc::FailedPrecondition:
+      return "FailedPrecondition";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) {
+    return "Ok";
+  }
+  std::string out(xdaq::to_string(code()));
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+}  // namespace xdaq

@@ -1,0 +1,104 @@
+// status.hpp - lightweight error propagation for hot paths.
+//
+// The executive's dispatch and transport paths must not throw: a malformed
+// frame arriving from a remote node is an expected runtime condition, not an
+// exceptional one. Status/Result carry an error code plus a short message and
+// are cheap to return by value (a success Status is a single pointer-sized
+// load).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xdaq {
+
+/// Error categories used across the framework.
+enum class Errc : std::uint8_t {
+  Ok = 0,
+  InvalidArgument,
+  NotFound,
+  AlreadyExists,
+  ResourceExhausted,  ///< pool empty, queue full, token starvation
+  MalformedFrame,     ///< wire-format violation
+  Unroutable,         ///< no address-table entry / no transport route
+  Timeout,
+  ConnectionClosed,
+  IoError,
+  Unsupported,
+  Internal,
+  FailedPrecondition,  ///< device in wrong state for the request
+};
+
+/// Human-readable name of an error category.
+std::string_view to_string(Errc c) noexcept;
+
+/// A success-or-error value. Success carries no allocation.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;  // Ok
+
+  Status(Errc code, std::string message)
+      : rep_(code == Errc::Ok
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return rep_ == nullptr; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] Errc code() const noexcept {
+    return rep_ ? rep_->code : Errc::Ok;
+  }
+  [[nodiscard]] std::string_view message() const noexcept {
+    return rep_ ? std::string_view(rep_->message) : std::string_view{};
+  }
+
+  /// "Ok" or "<category>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Rep {
+    Errc code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == Ok; shared so copies are cheap
+};
+
+/// A value or an error. Modeled after std::expected (unavailable in C++20).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}             // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {      // NOLINT implicit
+    if (status_.is_ok()) {
+      status_ = Status(Errc::Internal, "Result constructed from Ok status");
+    }
+  }
+  Result(Errc code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  [[nodiscard]] bool is_ok() const noexcept { return status_.is_ok(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  /// Precondition: is_ok().
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T value_or(T fallback) const& {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;  ///< engaged iff status_ is Ok
+  Status status_;
+};
+
+}  // namespace xdaq

@@ -1,0 +1,872 @@
+// builtins.cpp - XCL core commands and the expr evaluator.
+#include <cctype>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "xcl/interp.hpp"
+
+namespace xdaq::xcl {
+
+namespace {
+
+// ----------------------------------------------------------- expr machinery
+
+/// Expression values: integers, doubles, or strings (for eq/ne).
+using Value = std::variant<std::int64_t, double, std::string>;
+
+struct ExprParser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  bool match(std::string_view op) {
+    skip_ws();
+    if (text.substr(pos, op.size()) == op) {
+      // Do not split ">=" into ">" etc.: reject if a longer operator fits.
+      if ((op == "<" || op == ">") && pos + 1 < text.size() &&
+          text[pos + 1] == '=') {
+        return false;
+      }
+      if (op == "!" && pos + 1 < text.size() && text[pos + 1] == '=') {
+        return false;
+      }
+      if ((op == "&" || op == "|") && op.size() == 1) {
+        return false;  // only && and || exist
+      }
+      pos += op.size();
+      return true;
+    }
+    return false;
+  }
+
+  static bool truthy(const Value& v) {
+    if (std::holds_alternative<std::int64_t>(v)) {
+      return std::get<std::int64_t>(v) != 0;
+    }
+    if (std::holds_alternative<double>(v)) {
+      return std::get<double>(v) != 0.0;
+    }
+    return !std::get<std::string>(v).empty();
+  }
+
+  static double as_double(const Value& v) {
+    if (std::holds_alternative<std::int64_t>(v)) {
+      return static_cast<double>(std::get<std::int64_t>(v));
+    }
+    if (std::holds_alternative<double>(v)) {
+      return std::get<double>(v);
+    }
+    return 0.0;
+  }
+
+  static bool both_int(const Value& a, const Value& b) {
+    return std::holds_alternative<std::int64_t>(a) &&
+           std::holds_alternative<std::int64_t>(b);
+  }
+
+  static bool is_num(const Value& v) {
+    return !std::holds_alternative<std::string>(v);
+  }
+
+  static std::string as_string(const Value& v) {
+    if (std::holds_alternative<std::int64_t>(v)) {
+      return std::to_string(std::get<std::int64_t>(v));
+    }
+    if (std::holds_alternative<double>(v)) {
+      std::string s = std::to_string(std::get<double>(v));
+      return s;
+    }
+    return std::get<std::string>(v);
+  }
+
+  Value parse_primary() {
+    skip_ws();
+    if (pos >= text.size()) {
+      error = "unexpected end of expression";
+      return std::int64_t{0};
+    }
+    const char c = text[pos];
+    if (c == '(') {
+      ++pos;
+      Value v = parse_or();
+      skip_ws();
+      if (pos >= text.size() || text[pos] != ')') {
+        error = "missing close parenthesis";
+        return std::int64_t{0};
+      }
+      ++pos;
+      return v;
+    }
+    if (c == '!') {
+      ++pos;
+      return static_cast<std::int64_t>(truthy(parse_primary()) ? 0 : 1);
+    }
+    if (c == '-') {
+      ++pos;
+      Value v = parse_primary();
+      if (std::holds_alternative<std::int64_t>(v)) {
+        return -std::get<std::int64_t>(v);
+      }
+      if (std::holds_alternative<double>(v)) {
+        return -std::get<double>(v);
+      }
+      error = "cannot negate a string";
+      return std::int64_t{0};
+    }
+    if (c == '+') {
+      ++pos;
+      return parse_primary();
+    }
+    if (c == '"') {
+      const std::size_t close = text.find('"', pos + 1);
+      if (close == std::string_view::npos) {
+        error = "unterminated string in expression";
+        return std::int64_t{0};
+      }
+      std::string s(text.substr(pos + 1, close - pos - 1));
+      pos = close + 1;
+      return s;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '.') {
+      const std::size_t start = pos;
+      bool is_float = false;
+      while (pos < text.size()) {
+        const char d = text[pos];
+        if (std::isdigit(static_cast<unsigned char>(d)) != 0) {
+          ++pos;
+        } else if (d == '.' || d == 'e' || d == 'E') {
+          is_float = true;
+          ++pos;
+          if (d != '.' && pos < text.size() &&
+              (text[pos] == '+' || text[pos] == '-')) {
+            ++pos;
+          }
+        } else if (d == 'x' || d == 'X') {
+          ++pos;  // hex
+          while (pos < text.size() &&
+                 std::isxdigit(static_cast<unsigned char>(text[pos])) != 0) {
+            ++pos;
+          }
+          break;
+        } else {
+          break;
+        }
+      }
+      const std::string token(text.substr(start, pos - start));
+      if (is_float) {
+        return std::strtod(token.c_str(), nullptr);
+      }
+      return static_cast<std::int64_t>(
+          std::strtoll(token.c_str(), nullptr, 0));
+    }
+    // Bare word: a string operand (used with eq/ne).
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '_' || text[pos] == '.' || text[pos] == ':')) {
+      ++pos;
+    }
+    if (pos == start) {
+      error = std::string("unexpected character '") + c + "' in expression";
+      ++pos;
+      return std::int64_t{0};
+    }
+    std::string word(text.substr(start, pos - start));
+    return word;
+  }
+
+  Value parse_mul() {
+    Value v = parse_primary();
+    for (;;) {
+      skip_ws();
+      if (match("*")) {
+        Value r = parse_primary();
+        if (both_int(v, r)) {
+          v = std::get<std::int64_t>(v) * std::get<std::int64_t>(r);
+        } else {
+          v = as_double(v) * as_double(r);
+        }
+      } else if (pos < text.size() && text[pos] == '/' ) {
+        ++pos;
+        Value r = parse_primary();
+        if (both_int(v, r)) {
+          const auto d = std::get<std::int64_t>(r);
+          if (d == 0) {
+            error = "divide by zero";
+            return std::int64_t{0};
+          }
+          v = std::get<std::int64_t>(v) / d;
+        } else {
+          const double d = as_double(r);
+          if (d == 0.0) {
+            error = "divide by zero";
+            return std::int64_t{0};
+          }
+          v = as_double(v) / d;
+        }
+      } else if (pos < text.size() && text[pos] == '%') {
+        ++pos;
+        Value r = parse_primary();
+        if (!both_int(v, r)) {
+          error = "% needs integer operands";
+          return std::int64_t{0};
+        }
+        const auto d = std::get<std::int64_t>(r);
+        if (d == 0) {
+          error = "divide by zero";
+          return std::int64_t{0};
+        }
+        v = std::get<std::int64_t>(v) % d;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  Value parse_add() {
+    Value v = parse_mul();
+    for (;;) {
+      skip_ws();
+      if (pos < text.size() && text[pos] == '+') {
+        ++pos;
+        Value r = parse_mul();
+        if (both_int(v, r)) {
+          v = std::get<std::int64_t>(v) + std::get<std::int64_t>(r);
+        } else {
+          v = as_double(v) + as_double(r);
+        }
+      } else if (pos < text.size() && text[pos] == '-') {
+        ++pos;
+        Value r = parse_mul();
+        if (both_int(v, r)) {
+          v = std::get<std::int64_t>(v) - std::get<std::int64_t>(r);
+        } else {
+          v = as_double(v) - as_double(r);
+        }
+      } else {
+        return v;
+      }
+    }
+  }
+
+  Value parse_relational() {
+    Value v = parse_add();
+    for (;;) {
+      skip_ws();
+      int cmp_kind = 0;  // 1: <, 2: <=, 3: >, 4: >=
+      if (match("<=")) {
+        cmp_kind = 2;
+      } else if (match(">=")) {
+        cmp_kind = 4;
+      } else if (match("<")) {
+        cmp_kind = 1;
+      } else if (match(">")) {
+        cmp_kind = 3;
+      } else {
+        return v;
+      }
+      Value r = parse_add();
+      const double a = as_double(v);
+      const double b = as_double(r);
+      bool res = false;
+      switch (cmp_kind) {
+        case 1:
+          res = a < b;
+          break;
+        case 2:
+          res = a <= b;
+          break;
+        case 3:
+          res = a > b;
+          break;
+        case 4:
+          res = a >= b;
+          break;
+        default:
+          break;
+      }
+      v = static_cast<std::int64_t>(res ? 1 : 0);
+    }
+  }
+
+  Value parse_equality() {
+    Value v = parse_relational();
+    for (;;) {
+      skip_ws();
+      bool eq = false;
+      bool string_cmp = false;
+      if (match("==")) {
+        eq = true;
+      } else if (match("!=")) {
+        eq = false;
+      } else if (text.substr(pos, 2) == "eq" &&
+                 (pos + 2 >= text.size() ||
+                  !std::isalnum(static_cast<unsigned char>(text[pos + 2])))) {
+        pos += 2;
+        eq = true;
+        string_cmp = true;
+      } else if (text.substr(pos, 2) == "ne" &&
+                 (pos + 2 >= text.size() ||
+                  !std::isalnum(static_cast<unsigned char>(text[pos + 2])))) {
+        pos += 2;
+        eq = false;
+        string_cmp = true;
+      } else {
+        return v;
+      }
+      Value r = parse_relational();
+      bool equal = false;
+      if (!string_cmp && is_num(v) && is_num(r)) {
+        equal = as_double(v) == as_double(r);
+      } else {
+        equal = as_string(v) == as_string(r);
+      }
+      v = static_cast<std::int64_t>((equal == eq) ? 1 : 0);
+    }
+  }
+
+  Value parse_and() {
+    Value v = parse_equality();
+    for (;;) {
+      skip_ws();
+      if (text.substr(pos, 2) == "&&") {
+        pos += 2;
+        Value r = parse_equality();
+        v = static_cast<std::int64_t>((truthy(v) && truthy(r)) ? 1 : 0);
+      } else {
+        return v;
+      }
+    }
+  }
+
+  Value parse_or() {
+    Value v = parse_and();
+    for (;;) {
+      skip_ws();
+      if (text.substr(pos, 2) == "||") {
+        pos += 2;
+        Value r = parse_and();
+        v = static_cast<std::int64_t>((truthy(v) || truthy(r)) ? 1 : 0);
+      } else {
+        return v;
+      }
+    }
+  }
+};
+
+std::string value_to_string(const Value& v) {
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return std::to_string(std::get<std::int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) {
+    // Trim trailing zeros the way Tcl prints clean doubles.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v));
+    return buf;
+  }
+  return std::get<std::string>(v);
+}
+
+std::string join_words(const std::vector<std::string>& words,
+                       std::size_t from) {
+  std::string out;
+  for (std::size_t i = from; i < words.size(); ++i) {
+    if (i != from) {
+      out.push_back(' ');
+    }
+    out += words[i];
+  }
+  return out;
+}
+
+EvalResult wrong_args(const std::string& usage) {
+  return EvalResult::error("wrong # args: should be \"" + usage + "\"");
+}
+
+}  // namespace
+
+EvalResult Interp::eval_expr(const std::string& expr) {
+  // Like Tcl's expr, run a substitution round first: conditions are
+  // usually brace-quoted ({$i < 10}), which defers $/[] substitution to
+  // evaluation time.
+  auto substituted = substitute(expr, 0);
+  if (!substituted.is_ok()) {
+    return EvalResult::error(std::string(substituted.status().message()));
+  }
+  ExprParser parser{substituted.value(), 0, {}};
+  const Value v = parser.parse_or();
+  if (!parser.error.empty()) {
+    return EvalResult::error(parser.error);
+  }
+  parser.skip_ws();
+  if (parser.pos != parser.text.size()) {
+    return EvalResult::error("trailing characters in expression: " + expr);
+  }
+  return EvalResult::ok(value_to_string(v));
+}
+
+void Interp::register_builtins() {
+  register_command("set", [](Interp& in, const std::vector<std::string>& w) {
+    if (w.size() == 2) {
+      auto v = in.get_var(w[1]);
+      if (!v.is_ok()) {
+        return EvalResult::error(std::string(v.status().message()));
+      }
+      return EvalResult::ok(v.value());
+    }
+    if (w.size() != 3) {
+      return wrong_args("set varName ?newValue?");
+    }
+    in.set_var(w[1], w[2]);
+    return EvalResult::ok(w[2]);
+  });
+
+  register_command("unset",
+                   [](Interp& in, const std::vector<std::string>& w) {
+                     for (std::size_t i = 1; i < w.size(); ++i) {
+                       in.unset_var(w[i]);
+                     }
+                     return EvalResult::ok();
+                   });
+
+  register_command("incr", [](Interp& in, const std::vector<std::string>& w) {
+    if (w.size() != 2 && w.size() != 3) {
+      return wrong_args("incr varName ?increment?");
+    }
+    std::int64_t amount = 1;
+    if (w.size() == 3) {
+      amount = std::strtoll(w[2].c_str(), nullptr, 10);
+    }
+    auto current = in.get_var(w[1]);
+    const std::int64_t base =
+        current.is_ok() ? std::strtoll(current.value().c_str(), nullptr, 10)
+                        : 0;
+    const std::string next = std::to_string(base + amount);
+    in.set_var(w[1], next);
+    return EvalResult::ok(next);
+  });
+
+  register_command("puts", [](Interp& in, const std::vector<std::string>& w) {
+    if (w.size() == 2) {
+      in.write_output(w[1]);
+      return EvalResult::ok();
+    }
+    if (w.size() == 3 && w[1] == "-nonewline") {
+      in.write_output(w[2]);  // sink decides about newlines
+      return EvalResult::ok();
+    }
+    return wrong_args("puts ?-nonewline? string");
+  });
+
+  register_command("expr", [](Interp& in, const std::vector<std::string>& w) {
+    if (w.size() < 2) {
+      return wrong_args("expr arg ?arg ...?");
+    }
+    return in.eval_expr(join_words(w, 1));
+  });
+
+  register_command("if", [](Interp& in, const std::vector<std::string>& w) {
+    // if cond body ?elseif cond body ...? ?else body?
+    std::size_t i = 1;
+    while (i < w.size()) {
+      if (i + 1 >= w.size()) {
+        return wrong_args("if cond body ?elseif cond body? ?else body?");
+      }
+      EvalResult cond = in.eval_expr(w[i]);
+      if (cond.is_error()) {
+        return cond;
+      }
+      const bool take = cond.value != "0" && !cond.value.empty();
+      if (take) {
+        return in.eval(w[i + 1]);
+      }
+      i += 2;
+      if (i >= w.size()) {
+        return EvalResult::ok();
+      }
+      if (w[i] == "elseif") {
+        ++i;
+        continue;
+      }
+      if (w[i] == "else") {
+        if (i + 1 >= w.size()) {
+          return wrong_args("else body");
+        }
+        return in.eval(w[i + 1]);
+      }
+      return EvalResult::error("expected elseif/else, got \"" + w[i] + "\"");
+    }
+    return EvalResult::ok();
+  });
+
+  register_command("while",
+                   [](Interp& in, const std::vector<std::string>& w) {
+    if (w.size() != 3) {
+      return wrong_args("while cond body");
+    }
+    for (int guard = 0; guard < 1'000'000; ++guard) {
+      EvalResult cond = in.eval_expr(w[1]);
+      if (cond.is_error()) {
+        return cond;
+      }
+      if (cond.value == "0" || cond.value.empty()) {
+        return EvalResult::ok();
+      }
+      EvalResult body = in.eval(w[2]);
+      if (body.code == EvalResult::Code::Break) {
+        return EvalResult::ok();
+      }
+      if (body.code == EvalResult::Code::Continue) {
+        continue;
+      }
+      if (body.code != EvalResult::Code::Ok) {
+        return body;
+      }
+    }
+    return EvalResult::error("while loop exceeded iteration guard");
+  });
+
+  register_command("for", [](Interp& in, const std::vector<std::string>& w) {
+    if (w.size() != 5) {
+      return wrong_args("for init cond next body");
+    }
+    EvalResult init = in.eval(w[1]);
+    if (init.code != EvalResult::Code::Ok) {
+      return init;
+    }
+    for (int guard = 0; guard < 1'000'000; ++guard) {
+      EvalResult cond = in.eval_expr(w[2]);
+      if (cond.is_error()) {
+        return cond;
+      }
+      if (cond.value == "0" || cond.value.empty()) {
+        return EvalResult::ok();
+      }
+      EvalResult body = in.eval(w[4]);
+      if (body.code == EvalResult::Code::Break) {
+        return EvalResult::ok();
+      }
+      if (body.code != EvalResult::Code::Ok &&
+          body.code != EvalResult::Code::Continue) {
+        return body;
+      }
+      EvalResult next = in.eval(w[3]);
+      if (next.code != EvalResult::Code::Ok) {
+        return next;
+      }
+    }
+    return EvalResult::error("for loop exceeded iteration guard");
+  });
+
+  register_command("foreach",
+                   [](Interp& in, const std::vector<std::string>& w) {
+    if (w.size() != 4) {
+      return wrong_args("foreach varName list body");
+    }
+    auto elems = split_list(w[2]);
+    if (!elems.is_ok()) {
+      return EvalResult::error(std::string(elems.status().message()));
+    }
+    for (const std::string& e : elems.value()) {
+      in.set_var(w[1], e);
+      EvalResult body = in.eval(w[3]);
+      if (body.code == EvalResult::Code::Break) {
+        return EvalResult::ok();
+      }
+      if (body.code != EvalResult::Code::Ok &&
+          body.code != EvalResult::Code::Continue) {
+        return body;
+      }
+    }
+    return EvalResult::ok();
+  });
+
+  register_command("proc", [](Interp& in, const std::vector<std::string>& w) {
+    if (w.size() != 4) {
+      return wrong_args("proc name args body");
+    }
+    auto arg_names = split_list(w[2]);
+    if (!arg_names.is_ok()) {
+      return EvalResult::error(std::string(arg_names.status().message()));
+    }
+    const std::string name = w[1];
+    in.register_command(
+        name, [name, args = arg_names.value(),
+               body = w[3]](Interp& interp,
+                            const std::vector<std::string>& call) {
+          const bool variadic = !args.empty() && args.back() == "args";
+          const std::size_t fixed = variadic ? args.size() - 1 : args.size();
+          if (call.size() - 1 < fixed ||
+              (!variadic && call.size() - 1 > fixed)) {
+            return EvalResult::error("wrong # args for proc \"" + name +
+                                     "\"");
+          }
+          interp.push_scope();
+          for (std::size_t i = 0; i < fixed; ++i) {
+            interp.set_var(args[i], call[i + 1]);
+          }
+          if (variadic) {
+            std::vector<std::string> rest(call.begin() + 1 +
+                                              static_cast<std::ptrdiff_t>(
+                                                  fixed),
+                                          call.end());
+            interp.set_var("args", join_list(rest));
+          }
+          EvalResult r = interp.eval(body);
+          interp.pop_scope();
+          if (r.code == EvalResult::Code::Return) {
+            return EvalResult::ok(r.value);
+          }
+          if (r.code == EvalResult::Code::Break ||
+              r.code == EvalResult::Code::Continue) {
+            return EvalResult::error(
+                "invoked \"break\"/\"continue\" outside of a loop");
+          }
+          return r;
+        });
+    return EvalResult::ok();
+  });
+
+  register_command("return",
+                   [](Interp&, const std::vector<std::string>& w) {
+                     EvalResult r;
+                     r.code = EvalResult::Code::Return;
+                     if (w.size() > 1) {
+                       r.value = w[1];
+                     }
+                     return r;
+                   });
+  register_command("break", [](Interp&, const std::vector<std::string>&) {
+    EvalResult r;
+    r.code = EvalResult::Code::Break;
+    return r;
+  });
+  register_command("continue",
+                   [](Interp&, const std::vector<std::string>&) {
+                     EvalResult r;
+                     r.code = EvalResult::Code::Continue;
+                     return r;
+                   });
+
+  register_command("catch",
+                   [](Interp& in, const std::vector<std::string>& w) {
+    if (w.size() != 2 && w.size() != 3) {
+      return wrong_args("catch script ?resultVarName?");
+    }
+    EvalResult r = in.eval(w[1]);
+    if (w.size() == 3) {
+      in.set_var(w[2], r.value);
+    }
+    return EvalResult::ok(r.is_error() ? "1" : "0");
+  });
+
+  register_command("list", [](Interp&, const std::vector<std::string>& w) {
+    std::vector<std::string> elems(w.begin() + 1, w.end());
+    return EvalResult::ok(join_list(elems));
+  });
+
+  register_command("lindex",
+                   [](Interp&, const std::vector<std::string>& w) {
+    if (w.size() != 3) {
+      return wrong_args("lindex list index");
+    }
+    auto elems = split_list(w[1]);
+    if (!elems.is_ok()) {
+      return EvalResult::error(std::string(elems.status().message()));
+    }
+    const auto idx = std::strtoll(w[2].c_str(), nullptr, 10);
+    if (idx < 0 ||
+        static_cast<std::size_t>(idx) >= elems.value().size()) {
+      return EvalResult::ok();
+    }
+    return EvalResult::ok(elems.value()[static_cast<std::size_t>(idx)]);
+  });
+
+  register_command("llength",
+                   [](Interp&, const std::vector<std::string>& w) {
+    if (w.size() != 2) {
+      return wrong_args("llength list");
+    }
+    auto elems = split_list(w[1]);
+    if (!elems.is_ok()) {
+      return EvalResult::error(std::string(elems.status().message()));
+    }
+    return EvalResult::ok(std::to_string(elems.value().size()));
+  });
+
+  register_command("lappend",
+                   [](Interp& in, const std::vector<std::string>& w) {
+    if (w.size() < 3) {
+      return wrong_args("lappend varName value ?value ...?");
+    }
+    auto current = in.get_var(w[1]);
+    std::string list = current.is_ok() ? current.value() : std::string();
+    for (std::size_t i = 2; i < w.size(); ++i) {
+      if (!list.empty()) {
+        list.push_back(' ');
+      }
+      list += quote_word(w[i]);
+    }
+    in.set_var(w[1], list);
+    return EvalResult::ok(list);
+  });
+
+  register_command("string",
+                   [](Interp&, const std::vector<std::string>& w) {
+    if (w.size() < 2) {
+      return wrong_args("string subcommand ?arg ...?");
+    }
+    if (w[1] == "length" && w.size() == 3) {
+      return EvalResult::ok(std::to_string(w[2].size()));
+    }
+    if (w[1] == "equal" && w.size() == 4) {
+      return EvalResult::ok(w[2] == w[3] ? "1" : "0");
+    }
+    if (w[1] == "toupper" && w.size() == 3) {
+      std::string s = w[2];
+      for (char& c : s) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      return EvalResult::ok(s);
+    }
+    if (w[1] == "tolower" && w.size() == 3) {
+      std::string s = w[2];
+      for (char& c : s) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      return EvalResult::ok(s);
+    }
+    return EvalResult::error("unknown string subcommand \"" + w[1] + "\"");
+  });
+
+  register_command("error",
+                   [](Interp&, const std::vector<std::string>& w) {
+                     return EvalResult::error(w.size() > 1 ? w[1]
+                                                           : "error");
+                   });
+
+  // Control scripts poll hardware; `after ms` is how Tcl sleeps.
+  register_command("after", [](Interp&, const std::vector<std::string>& w) {
+    if (w.size() != 2) {
+      return wrong_args("after milliseconds");
+    }
+    const auto ms = std::strtoll(w[1].c_str(), nullptr, 10);
+    if (ms < 0 || ms > 60'000) {
+      return EvalResult::error("after: milliseconds out of range [0,60000]");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return EvalResult::ok();
+  });
+
+  register_command("append",
+                   [](Interp& in, const std::vector<std::string>& w) {
+    if (w.size() < 2) {
+      return wrong_args("append varName ?value ...?");
+    }
+    auto current = in.get_var(w[1]);
+    std::string out = current.is_ok() ? current.value() : std::string();
+    for (std::size_t i = 2; i < w.size(); ++i) {
+      out += w[i];
+    }
+    in.set_var(w[1], out);
+    return EvalResult::ok(out);
+  });
+
+  register_command("split", [](Interp&, const std::vector<std::string>& w) {
+    if (w.size() != 2 && w.size() != 3) {
+      return wrong_args("split string ?splitChars?");
+    }
+    const std::string& text = w[1];
+    const std::string seps = w.size() == 3 ? w[2] : " \t\n";
+    std::vector<std::string> parts;
+    std::string cur;
+    for (const char c : text) {
+      if (seps.find(c) != std::string::npos) {
+        parts.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    parts.push_back(cur);
+    return EvalResult::ok(join_list(parts));
+  });
+
+  register_command("join", [](Interp&, const std::vector<std::string>& w) {
+    if (w.size() != 2 && w.size() != 3) {
+      return wrong_args("join list ?joinString?");
+    }
+    auto elems = split_list(w[1]);
+    if (!elems.is_ok()) {
+      return EvalResult::error(std::string(elems.status().message()));
+    }
+    const std::string sep = w.size() == 3 ? w[2] : " ";
+    std::string out;
+    for (std::size_t i = 0; i < elems.value().size(); ++i) {
+      if (i != 0) {
+        out += sep;
+      }
+      out += elems.value()[i];
+    }
+    return EvalResult::ok(out);
+  });
+
+  register_command("lrange",
+                   [](Interp&, const std::vector<std::string>& w) {
+    if (w.size() != 4) {
+      return wrong_args("lrange list first last");
+    }
+    auto elems = split_list(w[1]);
+    if (!elems.is_ok()) {
+      return EvalResult::error(std::string(elems.status().message()));
+    }
+    const auto size = static_cast<std::int64_t>(elems.value().size());
+    auto parse_index = [size](const std::string& s) -> std::int64_t {
+      if (s == "end") {
+        return size - 1;
+      }
+      if (s.rfind("end-", 0) == 0) {
+        return size - 1 - std::strtoll(s.c_str() + 4, nullptr, 10);
+      }
+      return std::strtoll(s.c_str(), nullptr, 10);
+    };
+    std::int64_t first = std::max<std::int64_t>(0, parse_index(w[2]));
+    std::int64_t last = std::min(size - 1, parse_index(w[3]));
+    std::vector<std::string> out;
+    for (std::int64_t i = first; i <= last; ++i) {
+      out.push_back(elems.value()[static_cast<std::size_t>(i)]);
+    }
+    return EvalResult::ok(join_list(out));
+  });
+
+  register_command("info", [](Interp& in,
+                              const std::vector<std::string>& w) {
+    if (w.size() >= 2 && w[1] == "exists" && w.size() == 3) {
+      return EvalResult::ok(in.get_var(w[2]).is_ok() ? "1" : "0");
+    }
+    if (w.size() == 3 && w[1] == "commands") {
+      return EvalResult::ok(in.has_command(w[2]) ? "1" : "0");
+    }
+    return wrong_args("info exists varName | info commands name");
+  });
+}
+
+}  // namespace xdaq::xcl

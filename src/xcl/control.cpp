@@ -1,0 +1,303 @@
+#include "xcl/control.hpp"
+
+#include <stdexcept>
+
+namespace xdaq::xcl {
+
+namespace {
+
+/// Parses trailing "key value key value..." words into a ParamList.
+Result<i2o::ParamList> params_from_words(
+    const std::vector<std::string>& words, std::size_t from) {
+  if ((words.size() - from) % 2 != 0) {
+    return {Errc::InvalidArgument, "parameters must come in key/value pairs"};
+  }
+  i2o::ParamList out;
+  for (std::size_t i = from; i + 1 < words.size(); i += 2) {
+    out.emplace_back(words[i], words[i + 1]);
+  }
+  return out;
+}
+
+EvalResult status_to_eval(const Status& st) {
+  if (st.is_ok()) {
+    return EvalResult::ok("ok");
+  }
+  return EvalResult::error(st.to_string());
+}
+
+std::string params_to_list(const i2o::ParamList& params) {
+  std::vector<std::string> pairs;
+  pairs.reserve(params.size());
+  for (const auto& [k, v] : params) {
+    pairs.push_back(join_list({k, v}));
+  }
+  return join_list(pairs);
+}
+
+}  // namespace
+
+ControlSession::ControlSession(core::Executive& host,
+                               std::chrono::nanoseconds timeout)
+    : host_(host), timeout_(timeout) {
+  auto requester = std::make_unique<core::Requester>();
+  requester_ = requester.get();
+  auto tid = host_.install(std::move(requester), "xcl_requester");
+  if (!tid.is_ok()) {
+    throw std::runtime_error("ControlSession: requester install failed: " +
+                             tid.status().to_string());
+  }
+}
+
+Status ControlSession::add_node(const std::string& name, i2o::NodeId node) {
+  auto proxy = host_.register_remote(node, i2o::kExecutiveTid,
+                                     "kernel@" + name);
+  if (!proxy.is_ok()) {
+    return proxy.status();
+  }
+  nodes_[name] = NodeInfo{node, proxy.value()};
+  return Status::ok();
+}
+
+std::vector<std::string> ControlSession::node_names() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [name, info] : nodes_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+Result<ControlSession::NodeInfo> ControlSession::info_of(
+    const std::string& node) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    return {Errc::NotFound, "unknown node: " + node};
+  }
+  return it->second;
+}
+
+Result<core::Requester::Reply> ControlSession::exec_call(
+    const NodeInfo& info, i2o::Function fn, const i2o::ParamList& params) {
+  auto reply =
+      requester_->call_standard(info.kernel_proxy, fn, params, timeout_);
+  if (!reply.is_ok()) {
+    return reply;
+  }
+  if (reply.value().failed()) {
+    auto error_params = reply.value().params();
+    std::string reason = "remote failure";
+    if (error_params.is_ok()) {
+      const std::string msg =
+          i2o::param_value(error_params.value(), "error");
+      if (!msg.empty()) {
+        reason = msg;
+      }
+    }
+    return {Errc::Internal, reason};
+  }
+  return reply;
+}
+
+Result<i2o::ParamList> ControlSession::status(const std::string& node) {
+  auto info = info_of(node);
+  if (!info.is_ok()) {
+    return info.status();
+  }
+  auto reply = exec_call(info.value(), i2o::Function::ExecStatusGet, {});
+  if (!reply.is_ok()) {
+    return reply.status();
+  }
+  return reply.value().params();
+}
+
+Status ControlSession::configure(const std::string& node,
+                                 const std::string& instance,
+                                 const i2o::ParamList& params) {
+  auto info = info_of(node);
+  if (!info.is_ok()) {
+    return info.status();
+  }
+  i2o::ParamList full = params;
+  full.emplace_back("instance", instance);
+  auto reply =
+      exec_call(info.value(), i2o::Function::ExecConfigure, full);
+  return reply.is_ok() ? Status::ok() : reply.status();
+}
+
+Status ControlSession::state_op(const std::string& node,
+                                const std::string& instance,
+                                i2o::Function fn) {
+  auto info = info_of(node);
+  if (!info.is_ok()) {
+    return info.status();
+  }
+  auto reply = exec_call(info.value(), fn, {{"instance", instance}});
+  return reply.is_ok() ? Status::ok() : reply.status();
+}
+
+Status ControlSession::load(const std::string& node,
+                            const std::string& class_name,
+                            const std::string& instance,
+                            const i2o::ParamList& params) {
+  auto info = info_of(node);
+  if (!info.is_ok()) {
+    return info.status();
+  }
+  i2o::ParamList full = params;
+  full.emplace_back("class", class_name);
+  full.emplace_back("instance", instance);
+  auto reply =
+      exec_call(info.value(), i2o::Function::ExecPluginLoad, full);
+  return reply.is_ok() ? Status::ok() : reply.status();
+}
+
+Result<i2o::Tid> ControlSession::device_proxy(const std::string& node,
+                                              const std::string& instance) {
+  auto info = info_of(node);
+  if (!info.is_ok()) {
+    return info.status();
+  }
+  auto reply = exec_call(info.value(), i2o::Function::ExecTidLookup,
+                         {{"instance", instance}});
+  if (!reply.is_ok()) {
+    return reply.status();
+  }
+  auto params = reply.value().params();
+  if (!params.is_ok()) {
+    return params.status();
+  }
+  const std::string tid_text = i2o::param_value(params.value(), "tid");
+  if (tid_text.empty()) {
+    return {Errc::Internal, "TiD lookup reply carried no tid"};
+  }
+  const auto remote_tid = static_cast<i2o::Tid>(
+      std::strtoul(tid_text.c_str(), nullptr, 10));
+  return host_.register_remote(info.value().node, remote_tid);
+}
+
+Result<i2o::ParamList> ControlSession::param_get(
+    const std::string& node, const std::string& instance) {
+  auto proxy = device_proxy(node, instance);
+  if (!proxy.is_ok()) {
+    return proxy.status();
+  }
+  auto reply = requester_->call_standard(
+      proxy.value(), i2o::Function::UtilParamsGet, {}, timeout_);
+  if (!reply.is_ok()) {
+    return reply.status();
+  }
+  if (reply.value().failed()) {
+    return {Errc::Internal, "UtilParamsGet failed on remote device"};
+  }
+  return reply.value().params();
+}
+
+Status ControlSession::param_set(const std::string& node,
+                                 const std::string& instance,
+                                 const i2o::ParamList& params) {
+  auto proxy = device_proxy(node, instance);
+  if (!proxy.is_ok()) {
+    return proxy.status();
+  }
+  auto reply = requester_->call_standard(
+      proxy.value(), i2o::Function::UtilParamsSet, params, timeout_);
+  if (!reply.is_ok()) {
+    return reply.status();
+  }
+  if (reply.value().failed()) {
+    return {Errc::Internal, "UtilParamsSet failed on remote device"};
+  }
+  return Status::ok();
+}
+
+Status ControlSession::ping(const std::string& node) {
+  auto info = info_of(node);
+  if (!info.is_ok()) {
+    return info.status();
+  }
+  auto reply = exec_call(info.value(), i2o::Function::UtilNop, {});
+  return reply.is_ok() ? Status::ok() : reply.status();
+}
+
+void ControlSession::bind(Interp& interp) {
+  interp.register_command(
+      "xdaq", [this](Interp&, const std::vector<std::string>& w) {
+        if (w.size() < 2) {
+          return EvalResult::error(
+              "wrong # args: should be \"xdaq subcommand ?arg ...?\"");
+        }
+        const std::string& sub = w[1];
+
+        if (sub == "nodes") {
+          return EvalResult::ok(join_list(node_names()));
+        }
+        if (sub == "ping" && w.size() == 3) {
+          return status_to_eval(ping(w[2]));
+        }
+        if (sub == "status" && w.size() == 3) {
+          auto params = status(w[2]);
+          if (!params.is_ok()) {
+            return EvalResult::error(params.status().to_string());
+          }
+          return EvalResult::ok(params_to_list(params.value()));
+        }
+        if (sub == "configure" && w.size() >= 4) {
+          auto params = params_from_words(w, 4);
+          if (!params.is_ok()) {
+            return EvalResult::error(params.status().to_string());
+          }
+          return status_to_eval(configure(w[2], w[3], params.value()));
+        }
+        if ((sub == "enable" || sub == "suspend" || sub == "resume" ||
+             sub == "halt" || sub == "reset") &&
+            w.size() == 4) {
+          i2o::Function fn = i2o::Function::ExecEnable;
+          if (sub == "suspend") {
+            fn = i2o::Function::ExecSuspend;
+          } else if (sub == "resume") {
+            fn = i2o::Function::ExecResume;
+          } else if (sub == "halt") {
+            fn = i2o::Function::ExecHalt;
+          } else if (sub == "reset") {
+            fn = i2o::Function::ExecReset;
+          }
+          return status_to_eval(state_op(w[2], w[3], fn));
+        }
+        if (sub == "load" && w.size() >= 5) {
+          auto params = params_from_words(w, 5);
+          if (!params.is_ok()) {
+            return EvalResult::error(params.status().to_string());
+          }
+          return status_to_eval(load(w[2], w[3], w[4], params.value()));
+        }
+        if (sub == "tid" && w.size() == 4) {
+          auto proxy = device_proxy(w[2], w[3]);
+          if (!proxy.is_ok()) {
+            return EvalResult::error(proxy.status().to_string());
+          }
+          return EvalResult::ok(std::to_string(proxy.value()));
+        }
+        if (sub == "paramget" && (w.size() == 4 || w.size() == 5)) {
+          auto params = param_get(w[2], w[3]);
+          if (!params.is_ok()) {
+            return EvalResult::error(params.status().to_string());
+          }
+          if (w.size() == 5) {
+            return EvalResult::ok(i2o::param_value(params.value(), w[4]));
+          }
+          return EvalResult::ok(params_to_list(params.value()));
+        }
+        if (sub == "paramset" && w.size() >= 6) {
+          auto params = params_from_words(w, 4);
+          if (!params.is_ok()) {
+            return EvalResult::error(params.status().to_string());
+          }
+          return status_to_eval(param_set(w[2], w[3], params.value()));
+        }
+        return EvalResult::error("unknown or malformed xdaq subcommand \"" +
+                                 sub + "\"");
+      });
+}
+
+}  // namespace xdaq::xcl

@@ -1,0 +1,80 @@
+// control.hpp - the primary host's cluster-control session.
+//
+// Paper section 3.5: "In a distributed I2O environment ... a primary host
+// controls all processing nodes." ControlSession is that primary host's
+// toolset: it talks to every node's executive kernel through proxy TiDs
+// using the standard executive/utility message classes, and exposes the
+// whole thing to XCL scripts as the `xdaq` command ensemble.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "core/executive.hpp"
+#include "core/requester.hpp"
+#include "xcl/interp.hpp"
+
+namespace xdaq::xcl {
+
+class ControlSession {
+ public:
+  /// `host` is the primary host's executive. A Requester device is
+  /// installed on it (instance "xcl_requester"). Routes to controlled
+  /// nodes must be configured on `host` before add_node.
+  explicit ControlSession(core::Executive& host,
+                          std::chrono::nanoseconds timeout =
+                              std::chrono::seconds(2));
+
+  ControlSession(const ControlSession&) = delete;
+  ControlSession& operator=(const ControlSession&) = delete;
+
+  /// Registers a controllable node under a script-visible name. Interns a
+  /// proxy for the remote kernel.
+  Status add_node(const std::string& name, i2o::NodeId node);
+
+  [[nodiscard]] std::vector<std::string> node_names() const;
+
+  // --- programmatic control operations ------------------------------------
+
+  Result<i2o::ParamList> status(const std::string& node);
+  Status configure(const std::string& node, const std::string& instance,
+                   const i2o::ParamList& params);
+  Status state_op(const std::string& node, const std::string& instance,
+                  i2o::Function fn);
+  Status load(const std::string& node, const std::string& class_name,
+              const std::string& instance, const i2o::ParamList& params);
+  /// Proxy TiD (on the host) for a named device on a controlled node.
+  Result<i2o::Tid> device_proxy(const std::string& node,
+                                const std::string& instance);
+  Result<i2o::ParamList> param_get(const std::string& node,
+                                   const std::string& instance);
+  Status param_set(const std::string& node, const std::string& instance,
+                   const i2o::ParamList& params);
+  /// UtilNop round trip to the node's kernel.
+  Status ping(const std::string& node);
+
+  /// Registers the `xdaq` command ensemble on an interpreter.
+  void bind(Interp& interp);
+
+  [[nodiscard]] core::Executive& host() noexcept { return host_; }
+  [[nodiscard]] core::Requester& requester() noexcept { return *requester_; }
+
+ private:
+  struct NodeInfo {
+    i2o::NodeId node = i2o::kNullNode;
+    i2o::Tid kernel_proxy = i2o::kNullTid;
+  };
+
+  Result<NodeInfo> info_of(const std::string& node) const;
+  Result<core::Requester::Reply> exec_call(const NodeInfo& info,
+                                           i2o::Function fn,
+                                           const i2o::ParamList& params);
+
+  core::Executive& host_;
+  core::Requester* requester_ = nullptr;  ///< owned by host_
+  std::chrono::nanoseconds timeout_;
+  std::map<std::string, NodeInfo> nodes_;
+};
+
+}  // namespace xdaq::xcl

@@ -1,0 +1,414 @@
+#include "xcl/interp.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace xdaq::xcl {
+
+namespace {
+
+bool is_word_separator(char c) noexcept { return c == ' ' || c == '\t'; }
+bool is_command_separator(char c) noexcept {
+  return c == '\n' || c == ';' || c == '\r';
+}
+bool is_var_char(char c) noexcept {
+  // Note: ':' is deliberately not a variable character - "$n:" must parse
+  // as the variable n followed by a literal colon (XCL has no namespaces).
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Finds the matching close brace for text[start] == '{'. Returns the
+/// index of the close brace or npos. Backslash escapes the next char.
+std::size_t match_brace(std::string_view text, std::size_t start) {
+  int depth = 0;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\\') {
+      ++i;
+      continue;
+    }
+    if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Finds the matching close bracket for text[start] == '['.
+std::size_t match_bracket(std::string_view text, std::size_t start) {
+  int depth = 0;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\\') {
+      ++i;
+      continue;
+    }
+    if (c == '[') {
+      ++depth;
+    } else if (c == ']') {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return std::string_view::npos;
+}
+
+char escape_of(char c) noexcept {
+  switch (c) {
+    case 'n':
+      return '\n';
+    case 't':
+      return '\t';
+    case 'r':
+      return '\r';
+    case '0':
+      return '\0';
+    default:
+      return c;  // \$ \[ \" \\ \{ etc. produce the literal character
+  }
+}
+
+}  // namespace
+
+Interp::Interp() : scopes_(1) {
+  output_ = [](const std::string& line) {
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+  };
+  register_builtins();
+}
+
+void Interp::register_command(const std::string& name, Command fn) {
+  commands_[name] = std::move(fn);
+}
+
+bool Interp::has_command(const std::string& name) const {
+  return commands_.contains(name);
+}
+
+void Interp::set_var(const std::string& name, const std::string& value) {
+  scopes_.back()[name] = value;
+}
+
+Result<std::string> Interp::get_var(const std::string& name) const {
+  const auto& local = scopes_.back();
+  if (const auto it = local.find(name); it != local.end()) {
+    return it->second;
+  }
+  if (scopes_.size() > 1) {
+    const auto& global = scopes_.front();
+    if (const auto it = global.find(name); it != global.end()) {
+      return it->second;
+    }
+  }
+  return {Errc::NotFound, "can't read \"" + name + "\": no such variable"};
+}
+
+void Interp::unset_var(const std::string& name) {
+  scopes_.back().erase(name);
+  if (scopes_.size() > 1) {
+    // Tcl semantics would need upvar machinery; XCL unsets only visible
+    // bindings (local first, else global).
+    if (!scopes_.back().contains(name)) {
+      scopes_.front().erase(name);
+    }
+  } else {
+    scopes_.front().erase(name);
+  }
+}
+
+void Interp::write_output(const std::string& line) { output_(line); }
+
+void Interp::push_scope() { scopes_.emplace_back(); }
+
+void Interp::pop_scope() {
+  if (scopes_.size() > 1) {
+    scopes_.pop_back();
+  }
+}
+
+EvalResult Interp::eval(const std::string& script) {
+  return eval_script(script, 0);
+}
+
+EvalResult Interp::eval_script(std::string_view script, int depth) {
+  // depth tracks substitution nesting within one statement; depth_ tracks
+  // total evaluation recursion (proc bodies re-enter through eval()).
+  if (depth > kMaxDepth || depth_ >= kMaxDepth) {
+    return EvalResult::error("too many nested evaluations");
+  }
+  struct DepthGuard {
+    int& d;
+    explicit DepthGuard(int& depth_ref) : d(depth_ref) { ++d; }
+    ~DepthGuard() { --d; }
+  } guard(depth_);
+  EvalResult last = EvalResult::ok();
+  std::size_t i = 0;
+  while (i < script.size()) {
+    // Skip leading separators and blank space.
+    while (i < script.size() && (is_word_separator(script[i]) ||
+                                 is_command_separator(script[i]))) {
+      ++i;
+    }
+    if (i >= script.size()) {
+      break;
+    }
+    // Comment to end of line.
+    if (script[i] == '#') {
+      while (i < script.size() && script[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    // Collect one command: up to an unquoted separator at depth 0.
+    const std::size_t start = i;
+    int brace = 0;
+    int bracket = 0;
+    bool quote = false;
+    while (i < script.size()) {
+      const char c = script[i];
+      if (c == '\\') {
+        i += 2;
+        continue;
+      }
+      if (quote) {
+        if (c == '"') {
+          quote = false;
+        }
+      } else if (c == '"') {
+        quote = true;
+      } else if (c == '{') {
+        ++brace;
+      } else if (c == '}') {
+        --brace;
+      } else if (c == '[') {
+        ++bracket;
+      } else if (c == ']') {
+        --bracket;
+      } else if (is_command_separator(c) && brace == 0 && bracket == 0) {
+        break;
+      }
+      ++i;
+    }
+    if (brace != 0) {
+      return EvalResult::error("missing close-brace");
+    }
+    if (bracket != 0) {
+      return EvalResult::error("missing close-bracket");
+    }
+    if (quote) {
+      return EvalResult::error("missing closing quote");
+    }
+    const std::string_view command = script.substr(start, i - start);
+    auto words = parse_words(command, depth);
+    if (!words.is_ok()) {
+      return EvalResult::error(std::string(words.status().message()));
+    }
+    if (words.value().empty()) {
+      continue;
+    }
+    last = eval_command(words.value());
+    if (last.code != EvalResult::Code::Ok) {
+      return last;  // Error/Return/Break/Continue propagate
+    }
+  }
+  return last;
+}
+
+Result<std::vector<std::string>> Interp::parse_words(
+    std::string_view command, int depth) {
+  std::vector<std::string> words;
+  std::size_t i = 0;
+  while (i < command.size()) {
+    while (i < command.size() && is_word_separator(command[i])) {
+      ++i;
+    }
+    if (i >= command.size()) {
+      break;
+    }
+    if (command[i] == '{') {
+      const std::size_t close = match_brace(command, i);
+      if (close == std::string_view::npos) {
+        return {Errc::InvalidArgument, "missing close-brace"};
+      }
+      words.emplace_back(command.substr(i + 1, close - i - 1));
+      i = close + 1;
+    } else if (command[i] == '"') {
+      std::size_t j = i + 1;
+      while (j < command.size() && command[j] != '"') {
+        if (command[j] == '\\') {
+          ++j;
+        }
+        ++j;
+      }
+      if (j >= command.size()) {
+        return {Errc::InvalidArgument, "missing closing quote"};
+      }
+      auto sub = substitute(command.substr(i + 1, j - i - 1), depth);
+      if (!sub.is_ok()) {
+        return sub.status();
+      }
+      words.push_back(std::move(sub).value());
+      i = j + 1;
+    } else {
+      // Bare word: runs to the next separator at bracket depth 0.
+      const std::size_t start = i;
+      int bracket = 0;
+      while (i < command.size() &&
+             (bracket > 0 || !is_word_separator(command[i]))) {
+        if (command[i] == '\\') {
+          ++i;
+        } else if (command[i] == '[') {
+          ++bracket;
+        } else if (command[i] == ']') {
+          --bracket;
+        }
+        ++i;
+      }
+      auto sub = substitute(command.substr(start, i - start), depth);
+      if (!sub.is_ok()) {
+        return sub.status();
+      }
+      words.push_back(std::move(sub).value());
+    }
+  }
+  return words;
+}
+
+Result<std::string> Interp::substitute(std::string_view text, int depth) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\\' && i + 1 < text.size()) {
+      out.push_back(escape_of(text[i + 1]));
+      i += 2;
+    } else if (c == '$') {
+      ++i;
+      std::string name;
+      if (i < text.size() && text[i] == '{') {
+        const std::size_t close = text.find('}', i);
+        if (close == std::string_view::npos) {
+          return {Errc::InvalidArgument, "missing close-brace for ${"};
+        }
+        name.assign(text.substr(i + 1, close - i - 1));
+        i = close + 1;
+      } else {
+        while (i < text.size() && is_var_char(text[i])) {
+          name.push_back(text[i]);
+          ++i;
+        }
+      }
+      if (name.empty()) {
+        out.push_back('$');  // bare dollar
+        continue;
+      }
+      auto value = get_var(name);
+      if (!value.is_ok()) {
+        return value.status();
+      }
+      out += value.value();
+    } else if (c == '[') {
+      const std::size_t close = match_bracket(text, i);
+      if (close == std::string_view::npos) {
+        return {Errc::InvalidArgument, "missing close-bracket"};
+      }
+      EvalResult r =
+          eval_script(text.substr(i + 1, close - i - 1), depth + 1);
+      if (r.code != EvalResult::Code::Ok) {
+        return {Errc::InvalidArgument, r.value};
+      }
+      out += r.value;
+      i = close + 1;
+    } else {
+      out.push_back(c);
+      ++i;
+    }
+  }
+  return out;
+}
+
+EvalResult Interp::eval_command(const std::vector<std::string>& words) {
+  const auto it = commands_.find(words[0]);
+  if (it == commands_.end()) {
+    return EvalResult::error("invalid command name \"" + words[0] + "\"");
+  }
+  return it->second(*this, words);
+}
+
+// ------------------------------------------------------------- list helpers
+
+Result<std::vector<std::string>> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  const std::string_view sv = text;
+  while (i < sv.size()) {
+    while (i < sv.size() &&
+           (is_word_separator(sv[i]) || sv[i] == '\n' || sv[i] == '\r')) {
+      ++i;
+    }
+    if (i >= sv.size()) {
+      break;
+    }
+    if (sv[i] == '{') {
+      const std::size_t close = match_brace(sv, i);
+      if (close == std::string_view::npos) {
+        return {Errc::InvalidArgument, "unmatched open brace in list"};
+      }
+      out.emplace_back(sv.substr(i + 1, close - i - 1));
+      i = close + 1;
+    } else if (sv[i] == '"') {
+      std::size_t j = i + 1;
+      while (j < sv.size() && sv[j] != '"') {
+        if (sv[j] == '\\') {
+          ++j;
+        }
+        ++j;
+      }
+      if (j >= sv.size()) {
+        return {Errc::InvalidArgument, "unmatched quote in list"};
+      }
+      out.emplace_back(sv.substr(i + 1, j - i - 1));
+      i = j + 1;
+    } else {
+      const std::size_t start = i;
+      while (i < sv.size() && !is_word_separator(sv[i]) && sv[i] != '\n' &&
+             sv[i] != '\r') {
+        ++i;
+      }
+      out.emplace_back(sv.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+std::string quote_word(const std::string& word) {
+  if (word.empty()) {
+    return "{}";
+  }
+  const bool needs_quoting =
+      word.find_first_of(" \t\n\r{}\"[]$\\") != std::string::npos;
+  if (!needs_quoting) {
+    return word;
+  }
+  return "{" + word + "}";
+}
+
+std::string join_list(const std::vector<std::string>& elems) {
+  std::string out;
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    if (i != 0) {
+      out.push_back(' ');
+    }
+    out += quote_word(elems[i]);
+  }
+  return out;
+}
+
+}  // namespace xdaq::xcl

@@ -1,0 +1,115 @@
+// interp.hpp - the XCL interpreter: a small Tcl-like command language.
+//
+// Paper section 4: "Configuration and control of the executive is done
+// through I2O executive messages. They are sent from a Tcl script that
+// resides on the primary host to all executives in the distributed
+// system. We chose Tcl because it is the I2O recommended way for
+// configuration and control."
+//
+// XCL implements the Tcl evaluation model (everything is a command; words
+// are formed by brace quoting {no substitution}, double quoting "with
+// substitution", variable substitution $var/${var}, and command
+// substitution [cmd]) with the core commands a control script needs:
+// set/unset/incr, expr, if/while/for/foreach, proc/return/break/continue,
+// puts, list/lindex/llength. Cluster-control commands are registered on
+// top by xcl::ControlSession (control.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace xdaq::xcl {
+
+/// Evaluation outcome. Break/Continue/Return propagate through control
+/// structures exactly like Tcl's result codes.
+struct EvalResult {
+  enum class Code : std::uint8_t { Ok, Error, Return, Break, Continue };
+  Code code = Code::Ok;
+  std::string value;  ///< result string (or error message when Error)
+
+  static EvalResult ok(std::string v = {}) {
+    return {Code::Ok, std::move(v)};
+  }
+  static EvalResult error(std::string msg) {
+    return {Code::Error, std::move(msg)};
+  }
+  [[nodiscard]] bool is_ok() const noexcept { return code == Code::Ok; }
+  [[nodiscard]] bool is_error() const noexcept {
+    return code == Code::Error;
+  }
+};
+
+class Interp {
+ public:
+  using Command =
+      std::function<EvalResult(Interp&, const std::vector<std::string>&)>;
+
+  Interp();
+
+  /// Evaluates a script (commands separated by newlines or semicolons).
+  /// The result is the last command's result.
+  EvalResult eval(const std::string& script);
+
+  /// Registers/overrides a command.
+  void register_command(const std::string& name, Command fn);
+  [[nodiscard]] bool has_command(const std::string& name) const;
+
+  // Variables (current scope; falls back to global for reads).
+  void set_var(const std::string& name, const std::string& value);
+  Result<std::string> get_var(const std::string& name) const;
+  void unset_var(const std::string& name);
+
+  /// Output sink for `puts` (defaults to stdout); tests capture it.
+  void set_output(std::function<void(const std::string&)> sink) {
+    output_ = std::move(sink);
+  }
+  void write_output(const std::string& line);
+
+  /// Evaluates a Tcl-style arithmetic/logic expression.
+  EvalResult eval_expr(const std::string& expr);
+
+  /// Used by proc invocation: pushes/pops a local variable scope.
+  void push_scope();
+  void pop_scope();
+  [[nodiscard]] std::size_t scope_depth() const noexcept {
+    return scopes_.size();
+  }
+
+  /// Recursion/eval-depth guard (runaway scripts error out).
+  static constexpr int kMaxDepth = 200;
+
+ private:
+  friend struct InterpDetail;
+
+  EvalResult eval_script(std::string_view script, int depth);
+  EvalResult eval_command(const std::vector<std::string>& words);
+  Result<std::vector<std::string>> parse_words(std::string_view command,
+                                               int depth);
+  /// Performs $, [] and backslash substitution on a word fragment.
+  Result<std::string> substitute(std::string_view text, int depth);
+
+  void register_builtins();
+
+  std::map<std::string, Command> commands_;
+  std::vector<std::map<std::string, std::string>> scopes_;  ///< [0]=global
+  std::function<void(const std::string&)> output_;
+  int depth_ = 0;
+};
+
+/// Splits a Tcl list (whitespace-separated words with brace/quote
+/// grouping) into elements. Used by foreach and the list commands.
+Result<std::vector<std::string>> split_list(const std::string& text);
+
+/// Quotes a word so it survives a round trip through split_list.
+std::string quote_word(const std::string& word);
+
+/// Joins elements into a list string.
+std::string join_list(const std::vector<std::string>& elems);
+
+}  // namespace xdaq::xcl

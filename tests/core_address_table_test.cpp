@@ -1,0 +1,153 @@
+#include "core/address_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/device.hpp"
+
+namespace xdaq::core {
+namespace {
+
+class DummyDevice : public Device {
+ public:
+  DummyDevice() : Device("Dummy") {}
+};
+
+TEST(AddressTable, AllocatesSequentialTids) {
+  AddressTable t;
+  DummyDevice d1;
+  DummyDevice d2;
+  auto a = t.allocate_local(&d1);
+  auto b = t.allocate_local(&d2);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a.value(), 1);  // first TiD goes to the executive kernel
+  EXPECT_EQ(b.value(), 2);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(AddressTable, RejectsNullDevice) {
+  AddressTable t;
+  EXPECT_EQ(t.allocate_local(nullptr).status().code(), Errc::InvalidArgument);
+}
+
+TEST(AddressTable, LookupLocal) {
+  AddressTable t;
+  DummyDevice d;
+  const auto tid = t.allocate_local(&d).value();
+  auto e = t.lookup(tid);
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_EQ(e.value().kind, AddressEntry::Kind::Local);
+  EXPECT_EQ(e.value().local, &d);
+}
+
+TEST(AddressTable, LookupUnknownFails) {
+  AddressTable t;
+  EXPECT_EQ(t.lookup(99).status().code(), Errc::NotFound);
+}
+
+TEST(AddressTable, ProxyInterningIsIdempotent) {
+  AddressTable t;
+  DummyDevice pt;
+  const auto pt_tid = t.allocate_local(&pt).value();
+  auto p1 = t.intern_proxy(7, 42, pt_tid);
+  auto p2 = t.intern_proxy(7, 42, pt_tid);
+  ASSERT_TRUE(p1.is_ok());
+  ASSERT_TRUE(p2.is_ok());
+  EXPECT_EQ(p1.value(), p2.value());
+  EXPECT_EQ(t.proxy_count(), 1u);
+
+  auto e = t.lookup(p1.value());
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_EQ(e.value().kind, AddressEntry::Kind::Proxy);
+  EXPECT_EQ(e.value().node, 7);
+  EXPECT_EQ(e.value().remote_tid, 42);
+  EXPECT_EQ(e.value().via_pt, pt_tid);
+}
+
+TEST(AddressTable, DistinctRemotesGetDistinctProxies) {
+  AddressTable t;
+  DummyDevice pt;
+  const auto pt_tid = t.allocate_local(&pt).value();
+  const auto p1 = t.intern_proxy(7, 42, pt_tid).value();
+  const auto p2 = t.intern_proxy(7, 43, pt_tid).value();
+  const auto p3 = t.intern_proxy(8, 42, pt_tid).value();
+  EXPECT_NE(p1, p2);
+  EXPECT_NE(p1, p3);
+  EXPECT_NE(p2, p3);
+  EXPECT_EQ(t.proxy_count(), 3u);
+}
+
+TEST(AddressTable, ProxyRejectsInvalidCoordinates) {
+  AddressTable t;
+  EXPECT_EQ(t.intern_proxy(i2o::kNullNode, 5, 1).status().code(),
+            Errc::InvalidArgument);
+  EXPECT_EQ(t.intern_proxy(3, i2o::kNullTid, 1).status().code(),
+            Errc::InvalidArgument);
+}
+
+TEST(AddressTable, FindProxy) {
+  AddressTable t;
+  DummyDevice pt;
+  const auto pt_tid = t.allocate_local(&pt).value();
+  EXPECT_FALSE(t.find_proxy(9, 9, pt_tid).has_value());
+  const auto p = t.intern_proxy(9, 9, pt_tid).value();
+  ASSERT_TRUE(t.find_proxy(9, 9, pt_tid).has_value());
+  EXPECT_EQ(*t.find_proxy(9, 9, pt_tid), p);
+}
+
+TEST(AddressTable, SameRemoteViaDifferentTransportsGetsDistinctProxies) {
+  // Paper section 4: per-route proxies let one node use multiple
+  // transports to the same remote device in parallel.
+  AddressTable t;
+  DummyDevice pt1;
+  DummyDevice pt2;
+  const auto pt1_tid = t.allocate_local(&pt1).value();
+  const auto pt2_tid = t.allocate_local(&pt2).value();
+  const auto via1 = t.intern_proxy(7, 42, pt1_tid).value();
+  const auto via2 = t.intern_proxy(7, 42, pt2_tid).value();
+  EXPECT_NE(via1, via2);
+  EXPECT_EQ(t.proxy_count(), 2u);
+  EXPECT_EQ(t.lookup(via1).value().via_pt, pt1_tid);
+  EXPECT_EQ(t.lookup(via2).value().via_pt, pt2_tid);
+}
+
+TEST(AddressTable, ReleaseRecyclesTid) {
+  AddressTable t;
+  DummyDevice d1;
+  DummyDevice d2;
+  const auto a = t.allocate_local(&d1).value();
+  ASSERT_TRUE(t.release(a).is_ok());
+  EXPECT_EQ(t.lookup(a).status().code(), Errc::NotFound);
+  const auto b = t.allocate_local(&d2).value();
+  EXPECT_EQ(b, a);  // recycled from the free list
+}
+
+TEST(AddressTable, ReleaseProxyClearsIndex) {
+  AddressTable t;
+  DummyDevice pt;
+  const auto pt_tid = t.allocate_local(&pt).value();
+  const auto p = t.intern_proxy(5, 6, pt_tid).value();
+  ASSERT_TRUE(t.release(p).is_ok());
+  EXPECT_FALSE(t.find_proxy(5, 6, pt_tid).has_value());
+  EXPECT_EQ(t.proxy_count(), 0u);
+}
+
+TEST(AddressTable, ReleaseUnknownFails) {
+  AddressTable t;
+  EXPECT_EQ(t.release(77).code(), Errc::NotFound);
+}
+
+TEST(AddressTable, TidSpaceExhaustion) {
+  AddressTable t;
+  DummyDevice d;
+  for (i2o::Tid i = 1; i <= i2o::kMaxTid; ++i) {
+    ASSERT_TRUE(t.allocate_local(&d).is_ok()) << i;
+  }
+  EXPECT_EQ(t.allocate_local(&d).status().code(), Errc::ResourceExhausted);
+  // Releasing one frees the space again.
+  ASSERT_TRUE(t.release(100).is_ok());
+  EXPECT_TRUE(t.allocate_local(&d).is_ok());
+}
+
+}  // namespace
+}  // namespace xdaq::core

@@ -1,0 +1,184 @@
+#include "core/bulk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "pt/cluster.hpp"
+#include "util/random.hpp"
+
+namespace xdaq::core {
+namespace {
+
+constexpr std::uint16_t kXfnBulk = 0x0042;
+
+/// Accumulates bulk messages and records their exact contents.
+/// Handler state is mutex-protected: the tests read it from the main
+/// thread while the dispatch thread appends.
+class BulkSink final : public Device {
+ public:
+  BulkSink() : Device("BulkSink") {
+    bind(i2o::OrgId::kTest, kXfnBulk, [this](const MessageContext& ctx) {
+      auto fed = receiver_.feed(ctx);
+      const std::scoped_lock lock(mutex_);
+      if (!fed.is_ok()) {
+        ++errors_;
+        return;
+      }
+      if (fed.value().has_value()) {
+        messages_.push_back(std::move(*fed.value()));
+      }
+    });
+  }
+
+  std::size_t message_count() const {
+    const std::scoped_lock lock(mutex_);
+    return messages_.size();
+  }
+  std::vector<std::vector<std::byte>> messages() const {
+    const std::scoped_lock lock(mutex_);
+    return messages_;
+  }
+  int errors() const {
+    const std::scoped_lock lock(mutex_);
+    return errors_;
+  }
+  void clear() {
+    const std::scoped_lock lock(mutex_);
+    messages_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::byte>> messages_;
+  int errors_ = 0;
+  BulkReceiver receiver_;
+};
+
+/// Sends bulk data on demand (must run on the dispatch thread or before
+/// start; here tests drive executives manually with run_once).
+class BulkSource final : public Device {
+ public:
+  BulkSource() : Device("BulkSource") {}
+  Status send_to(i2o::Tid target, std::span<const std::byte> data,
+                 std::size_t max_fragment) {
+    return bulk_send(*this, target, i2o::OrgId::kTest, kXfnBulk, data,
+                     max_fragment);
+  }
+};
+
+std::vector<std::byte> as_bytes(const std::vector<std::uint8_t>& v) {
+  std::vector<std::byte> out(v.size());
+  std::memcpy(out.data(), v.data(), v.size());
+  return out;
+}
+
+struct BulkFixture : ::testing::Test {
+  pt::Cluster cluster;
+  BulkSink* sink = nullptr;
+  BulkSource* source = nullptr;
+
+  void SetUp() override {
+    auto sink_dev = std::make_unique<BulkSink>();
+    sink = sink_dev.get();
+    ASSERT_TRUE(cluster.install(1, std::move(sink_dev), "sink").is_ok());
+    auto source_dev = std::make_unique<BulkSource>();
+    source = source_dev.get();
+    ASSERT_TRUE(cluster.install(0, std::move(source_dev), "src").is_ok());
+    ASSERT_TRUE(cluster.enable_all().is_ok());
+    cluster.start_all();
+  }
+
+  void TearDown() override { cluster.stop_all(); }
+
+  i2o::Tid sink_proxy() { return cluster.connect(0, 1, "sink").value(); }
+
+  void pump_until_messages(std::size_t n) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (sink->message_count() < n &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+};
+
+TEST_F(BulkFixture, ExactSizeSurvivesSingleFragment) {
+  // 5 bytes: well under one fragment, but NOT word aligned - the chain
+  // header must preserve the exact length through frame padding.
+  const auto msg = as_bytes(make_payload(5, 1));
+  ASSERT_TRUE(source->send_to(sink_proxy(), msg, 1024).is_ok());
+  pump_until_messages(1);
+  ASSERT_EQ(sink->message_count(), 1u);
+  EXPECT_EQ(sink->messages()[0], msg);  // exact, no padding bytes
+}
+
+TEST_F(BulkFixture, EmptyMessage) {
+  ASSERT_TRUE(source->send_to(sink_proxy(), {}, 1024).is_ok());
+  pump_until_messages(1);
+  ASSERT_EQ(sink->message_count(), 1u);
+  EXPECT_TRUE(sink->messages()[0].empty());
+}
+
+TEST_F(BulkFixture, MultiFragmentRoundTrip) {
+  const auto msg = as_bytes(make_payload(10000, 2));
+  ASSERT_TRUE(source->send_to(sink_proxy(), msg, 1024).is_ok());
+  pump_until_messages(1);
+  ASSERT_EQ(sink->message_count(), 1u);
+  EXPECT_EQ(sink->messages()[0], msg);
+  EXPECT_EQ(sink->errors(), 0);
+}
+
+TEST_F(BulkFixture, MessageLargerThanOneFrame) {
+  // Beyond the 256 KiB single-frame ceiling: the whole point of chaining.
+  const auto msg = as_bytes(make_payload(1'000'000, 3));
+  ASSERT_TRUE(
+      source->send_to(sink_proxy(), msg, kDefaultBulkFragmentBytes)
+          .is_ok());
+  pump_until_messages(1);
+  ASSERT_EQ(sink->message_count(), 1u);
+  EXPECT_EQ(sink->messages()[0].size(), msg.size());
+  EXPECT_EQ(sink->messages()[0], msg);
+}
+
+TEST_F(BulkFixture, BackToBackMessagesDoNotMix) {
+  const auto m1 = as_bytes(make_payload(5000, 4));
+  const auto m2 = as_bytes(make_payload(7000, 5));
+  ASSERT_TRUE(source->send_to(sink_proxy(), m1, 512).is_ok());
+  ASSERT_TRUE(source->send_to(sink_proxy(), m2, 512).is_ok());
+  pump_until_messages(2);
+  ASSERT_EQ(sink->message_count(), 2u);
+  EXPECT_EQ(sink->messages()[0], m1);
+  EXPECT_EQ(sink->messages()[1], m2);
+}
+
+TEST_F(BulkFixture, OddFragmentSizesPreserveContent) {
+  // Fragment sizes that are not word multiples stress the padding path.
+  for (const std::size_t frag : {1u, 3u, 7u, 333u}) {
+    sink->clear();
+    const auto msg = as_bytes(make_payload(1000, frag));
+    ASSERT_TRUE(source->send_to(sink_proxy(), msg, frag).is_ok());
+    pump_until_messages(1);
+    ASSERT_EQ(sink->message_count(), 1u) << "frag=" << frag;
+    EXPECT_EQ(sink->messages()[0], msg) << "frag=" << frag;
+  }
+}
+
+TEST_F(BulkFixture, RejectsBadFragmentSize) {
+  EXPECT_EQ(source->send_to(sink_proxy(), {}, 0).code(),
+            Errc::InvalidArgument);
+  EXPECT_EQ(
+      source->send_to(sink_proxy(), {}, i2o::kMaxPayloadBytes).code(),
+      Errc::InvalidArgument);
+}
+
+TEST(Bulk, UnattachedDeviceFails) {
+  BulkSource loose;
+  std::vector<std::byte> data(10);
+  EXPECT_EQ(loose.send_to(5, data, 64).code(), Errc::FailedPrecondition);
+}
+
+}  // namespace
+}  // namespace xdaq::core

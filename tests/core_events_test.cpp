@@ -1,0 +1,196 @@
+// core_events_test.cpp - I2O event notifications (UtilEventRegister).
+//
+// Paper section 3.2: "essentially every occurrence in the system is
+// mapped to an I2O message. Even interrupts or timer expirations trigger
+// messages that are sent to device modules, if they have registered to
+// listen to such an event."
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "core/executive.hpp"
+#include "core/requester.hpp"
+#include "pt/cluster.hpp"
+#include "test_devices.hpp"
+
+namespace xdaq::core {
+namespace {
+
+using xdaq::testing::pump_until;
+
+constexpr std::uint32_t kEvAlarm = 0x01;
+constexpr std::uint32_t kEvProgress = 0x02;
+
+/// Emits events on request (public wrapper over the protected hook).
+class Emitter final : public Device {
+ public:
+  Emitter() : Device("Emitter") {}
+  std::size_t emit(std::uint32_t code, std::span<const std::byte> data = {}) {
+    return post_event(code, data);
+  }
+};
+
+/// Records every notification it receives.
+class Listener final : public Device {
+ public:
+  Listener() : Device("Listener") {}
+
+  void on_event(i2o::Tid source, std::uint32_t code,
+                std::span<const std::byte> payload) override {
+    last_source_ = source;
+    last_code_ = code;
+    last_payload_.assign(payload.begin(), payload.end());
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Status subscribe(i2o::Tid source, std::uint32_t mask) {
+    return subscribe_events(source, mask);
+  }
+
+  std::atomic<int> count_{0};
+  i2o::Tid last_source_ = i2o::kNullTid;
+  std::uint32_t last_code_ = 0;
+  std::vector<std::byte> last_payload_;
+};
+
+struct LocalEvents : ::testing::Test {
+  Executive exec;
+  Emitter* emitter = nullptr;
+  Listener* listener = nullptr;
+
+  void SetUp() override {
+    auto e = std::make_unique<Emitter>();
+    emitter = e.get();
+    ASSERT_TRUE(exec.install(std::move(e), "emitter").is_ok());
+    auto l = std::make_unique<Listener>();
+    listener = l.get();
+    ASSERT_TRUE(exec.install(std::move(l), "listener").is_ok());
+    ASSERT_TRUE(exec.enable_all().is_ok());
+  }
+};
+
+TEST_F(LocalEvents, NoListenersNoNotifications) {
+  EXPECT_EQ(emitter->emit(kEvAlarm), 0u);
+  EXPECT_EQ(exec.event_listener_count(emitter->tid()), 0u);
+}
+
+TEST_F(LocalEvents, RegisteredListenerReceivesEvent) {
+  ASSERT_TRUE(exec.register_event_listener(emitter->tid(), listener->tid(),
+                                           kEvAlarm)
+                  .is_ok());
+  const char* text = "overheat";
+  EXPECT_EQ(emitter->emit(kEvAlarm,
+                          std::span(reinterpret_cast<const std::byte*>(text),
+                                    8)),
+            1u);
+  ASSERT_TRUE(pump_until(exec, [&] { return listener->count_.load() == 1; }));
+  EXPECT_EQ(listener->last_code_, kEvAlarm);
+  EXPECT_EQ(listener->last_source_, emitter->tid());
+  ASSERT_GE(listener->last_payload_.size(), 8u);
+  EXPECT_EQ(std::memcmp(listener->last_payload_.data(), text, 8), 0);
+}
+
+TEST_F(LocalEvents, MaskFiltersEventCodes) {
+  ASSERT_TRUE(exec.register_event_listener(emitter->tid(), listener->tid(),
+                                           kEvAlarm)
+                  .is_ok());
+  EXPECT_EQ(emitter->emit(kEvProgress), 0u);  // masked out
+  EXPECT_EQ(emitter->emit(kEvAlarm), 1u);
+  ASSERT_TRUE(pump_until(exec, [&] { return listener->count_.load() == 1; }));
+  EXPECT_EQ(listener->last_code_, kEvAlarm);
+}
+
+TEST_F(LocalEvents, MaskZeroUnregisters) {
+  ASSERT_TRUE(exec.register_event_listener(emitter->tid(), listener->tid(),
+                                           ~0u)
+                  .is_ok());
+  EXPECT_EQ(exec.event_listener_count(emitter->tid()), 1u);
+  ASSERT_TRUE(
+      exec.register_event_listener(emitter->tid(), listener->tid(), 0)
+          .is_ok());
+  EXPECT_EQ(exec.event_listener_count(emitter->tid()), 0u);
+  EXPECT_EQ(emitter->emit(kEvAlarm), 0u);
+}
+
+TEST_F(LocalEvents, ReRegisterUpdatesMask) {
+  ASSERT_TRUE(exec.register_event_listener(emitter->tid(), listener->tid(),
+                                           kEvAlarm)
+                  .is_ok());
+  ASSERT_TRUE(exec.register_event_listener(emitter->tid(), listener->tid(),
+                                           kEvProgress)
+                  .is_ok());
+  EXPECT_EQ(exec.event_listener_count(emitter->tid()), 1u);  // updated
+  EXPECT_EQ(emitter->emit(kEvAlarm), 0u);
+  EXPECT_EQ(emitter->emit(kEvProgress), 1u);
+}
+
+TEST_F(LocalEvents, MultipleListeners) {
+  auto l2 = std::make_unique<Listener>();
+  Listener* listener2 = l2.get();
+  ASSERT_TRUE(exec.install(std::move(l2), "listener2").is_ok());
+  ASSERT_TRUE(exec.enable(listener2->tid()).is_ok());
+  ASSERT_TRUE(exec.register_event_listener(emitter->tid(), listener->tid(),
+                                           ~0u)
+                  .is_ok());
+  ASSERT_TRUE(exec.register_event_listener(emitter->tid(),
+                                           listener2->tid(), ~0u)
+                  .is_ok());
+  EXPECT_EQ(emitter->emit(kEvAlarm), 2u);
+  ASSERT_TRUE(pump_until(exec, [&] {
+    return listener->count_.load() == 1 && listener2->count_.load() == 1;
+  }));
+}
+
+TEST_F(LocalEvents, RejectsNullListener) {
+  EXPECT_EQ(exec.register_event_listener(emitter->tid(), i2o::kNullTid, 1)
+                .code(),
+            Errc::InvalidArgument);
+}
+
+TEST(RemoteEvents, SubscriptionAcrossNodesViaUtilEventRegister) {
+  // A listener on node 0 subscribes to an emitter on node 1 with a
+  // UtilEventRegister frame; notifications come back over the wire
+  // through the initiator proxy.
+  pt::Cluster cluster;
+  auto e = std::make_unique<Emitter>();
+  Emitter* emitter = e.get();
+  ASSERT_TRUE(cluster.install(1, std::move(e), "emitter").is_ok());
+  auto l = std::make_unique<Listener>();
+  Listener* listener = l.get();
+  ASSERT_TRUE(cluster.install(0, std::move(l), "listener").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(cluster.install(0, std::move(req), "req").is_ok());
+  const auto emitter_proxy = cluster.connect(0, 1, "emitter").value();
+  ASSERT_TRUE(cluster.enable_all().is_ok());
+  cluster.start_all();
+
+  // UtilEventRegister subscribes the *initiator*, so the registration
+  // frame is sent from the listener device itself; the emitter's node
+  // interns an initiator proxy, which notifications then route through.
+  ASSERT_TRUE(listener->subscribe(emitter_proxy, ~0u).is_ok());
+  // Wait until the remote executive has processed the registration.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (cluster.node(1).event_listener_count(emitter->tid()) == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(cluster.node(1).event_listener_count(emitter->tid()), 1u);
+
+  EXPECT_EQ(emitter->emit(kEvAlarm), 1u);
+  const auto deadline2 =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (listener->count_.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  cluster.stop_all();
+  EXPECT_EQ(listener->count_.load(), 1);
+  EXPECT_EQ(listener->last_code_, kEvAlarm);
+  (void)req_raw;
+}
+
+}  // namespace
+}  // namespace xdaq::core

@@ -1,0 +1,405 @@
+#include "core/executive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/factory.hpp"
+#include "core/requester.hpp"
+#include "i2o/wire.hpp"
+#include "test_devices.hpp"
+#include "util/random.hpp"
+
+namespace xdaq::core {
+namespace {
+
+using testing::CounterDevice;
+using testing::EchoDevice;
+using testing::kXfnCount;
+using testing::kXfnEcho;
+using testing::kXfnSleep;
+using testing::kXfnThrow;
+using testing::pump_until;
+using testing::RogueDevice;
+
+XDAQ_REGISTER_DEVICE(CounterDevice)
+
+std::vector<std::byte> bytes_of(const std::vector<std::uint8_t>& v) {
+  std::vector<std::byte> out(v.size());
+  std::memcpy(out.data(), v.data(), v.size());
+  return out;
+}
+
+TEST(Executive, KernelOccupiesTidOne) {
+  Executive exec;
+  Device* kernel = exec.device(i2o::kExecutiveTid);
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->class_name(), "Executive");
+  EXPECT_EQ(kernel->state(), DeviceState::Enabled);
+  EXPECT_EQ(exec.tid_of("exec").value(), i2o::kExecutiveTid);
+}
+
+TEST(Executive, InstallAssignsTidAndCallsPlugin) {
+  Executive exec;
+  auto dev = std::make_unique<CounterDevice>();
+  CounterDevice* raw = dev.get();
+  auto tid = exec.install(std::move(dev), "counter0");
+  ASSERT_TRUE(tid.is_ok());
+  EXPECT_GT(tid.value(), i2o::kExecutiveTid);
+  EXPECT_TRUE(raw->attached());
+  EXPECT_EQ(raw->tid(), tid.value());
+  EXPECT_EQ(exec.device(tid.value()), raw);
+  EXPECT_EQ(exec.tid_of("counter0").value(), tid.value());
+}
+
+TEST(Executive, InstallRejectsDuplicateNameAndNull) {
+  Executive exec;
+  ASSERT_TRUE(
+      exec.install(std::make_unique<CounterDevice>(), "dup").is_ok());
+  EXPECT_EQ(
+      exec.install(std::make_unique<CounterDevice>(), "dup").status().code(),
+      Errc::AlreadyExists);
+  EXPECT_EQ(exec.install(nullptr, "x").status().code(),
+            Errc::InvalidArgument);
+  EXPECT_EQ(exec.install(std::make_unique<CounterDevice>(), "").status()
+                .code(),
+            Errc::InvalidArgument);
+}
+
+TEST(Executive, InstallWithParamsConfigures) {
+  Executive exec;
+  auto dev = std::make_unique<CounterDevice>();
+  CounterDevice* raw = dev.get();
+  ASSERT_TRUE(
+      exec.install(std::move(dev), "c", {{"rate", "100"}}).is_ok());
+  EXPECT_EQ(raw->configured_.load(), 1);
+  EXPECT_EQ(i2o::param_value(raw->last_params_, "rate"), "100");
+  EXPECT_EQ(raw->state(), DeviceState::Configured);
+}
+
+TEST(Executive, StateMachineTransitions) {
+  Executive exec;
+  auto tid = exec.install(std::make_unique<CounterDevice>(), "c").value();
+  Device* dev = exec.device(tid);
+
+  // Enable straight from Loaded is allowed (default configuration).
+  ASSERT_TRUE(exec.enable(tid).is_ok());
+  EXPECT_EQ(dev->state(), DeviceState::Enabled);
+  // Enable twice is a precondition failure.
+  EXPECT_EQ(exec.enable(tid).code(), Errc::FailedPrecondition);
+  ASSERT_TRUE(exec.suspend(tid).is_ok());
+  EXPECT_EQ(dev->state(), DeviceState::Suspended);
+  EXPECT_EQ(exec.suspend(tid).code(), Errc::FailedPrecondition);
+  ASSERT_TRUE(exec.resume(tid).is_ok());
+  EXPECT_EQ(dev->state(), DeviceState::Enabled);
+  ASSERT_TRUE(exec.halt(tid).is_ok());
+  EXPECT_EQ(dev->state(), DeviceState::Halted);
+  ASSERT_TRUE(exec.reset(tid).is_ok());
+  EXPECT_EQ(dev->state(), DeviceState::Loaded);
+  // Configure only in Loaded/Configured.
+  ASSERT_TRUE(exec.configure(tid, {}).is_ok());
+  EXPECT_EQ(dev->state(), DeviceState::Configured);
+  ASSERT_TRUE(exec.enable(tid).is_ok());
+  EXPECT_EQ(exec.configure(tid, {}).code(), Errc::FailedPrecondition);
+}
+
+TEST(Executive, InstallClassFromFactory) {
+  Executive exec;
+  auto tid = exec.install_class("CounterDevice", "from_factory");
+  ASSERT_TRUE(tid.is_ok()) << tid.status().to_string();
+  EXPECT_EQ(exec.device(tid.value())->class_name(), "CounterDevice");
+  EXPECT_EQ(exec.install_class("NoSuchClass", "x").status().code(),
+            Errc::NotFound);
+}
+
+TEST(Executive, LocalPrivateDispatch) {
+  Executive exec;
+  auto echo = std::make_unique<EchoDevice>();
+  auto counter = std::make_unique<CounterDevice>();
+  CounterDevice* counter_raw = counter.get();
+  const auto echo_tid = exec.install(std::move(echo), "echo").value();
+  const auto counter_tid = exec.install(std::move(counter), "cnt").value();
+  (void)echo_tid;
+  ASSERT_TRUE(exec.enable_all().is_ok());
+
+  // Build a count message from the counter device itself (self-send).
+  Device* dev = exec.device(counter_tid);
+  auto* cd = dynamic_cast<CounterDevice*>(dev);
+  ASSERT_NE(cd, nullptr);
+  const auto payload = bytes_of(make_payload(16, 1));
+  for (int i = 0; i < 3; ++i) {
+    // make_private_frame is protected; go through a requester-less path:
+    auto frame = exec.alloc_frame(payload.size(), true);
+    ASSERT_TRUE(frame.is_ok());
+    i2o::FrameHeader hdr;
+    hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+    hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kTest);
+    hdr.xfunction = kXfnCount;
+    hdr.target = counter_tid;
+    auto bytes = frame.value().bytes();
+    ASSERT_TRUE(i2o::encode_header(hdr, bytes).is_ok());
+    std::memcpy(bytes.data() + i2o::kPrivateHeaderBytes, payload.data(),
+                payload.size());
+    ASSERT_TRUE(exec.frame_send(std::move(frame).value()).is_ok());
+  }
+  ASSERT_TRUE(pump_until(exec, [&] { return counter_raw->count() == 3; }));
+  EXPECT_EQ(exec.stats().dispatched, 3u);
+  EXPECT_EQ(exec.stats().sent_local, 3u);
+}
+
+TEST(Executive, RequesterPrivateEcho) {
+  Executive exec;
+  const auto echo_tid =
+      exec.install(std::make_unique<EchoDevice>(), "echo").value();
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(exec.install(std::move(req), "req").is_ok());
+  ASSERT_TRUE(exec.enable_all().is_ok());
+  exec.start();
+
+  const auto payload = bytes_of(make_payload(64, 2));
+  auto reply = req_raw->call_private(echo_tid, i2o::OrgId::kTest, kXfnEcho,
+                                     payload, std::chrono::seconds(2));
+  exec.stop();
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_FALSE(reply.value().failed());
+  // Padding rounds payloads up to words; the prefix must match exactly.
+  ASSERT_GE(reply.value().payload.size(), payload.size());
+  EXPECT_EQ(std::memcmp(reply.value().payload.data(), payload.data(),
+                        payload.size()),
+            0);
+}
+
+TEST(Executive, UnboundXfunctionGetsFailReply) {
+  Executive exec;
+  const auto echo_tid =
+      exec.install(std::make_unique<EchoDevice>(), "echo").value();
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(exec.install(std::move(req), "req").is_ok());
+  ASSERT_TRUE(exec.enable_all().is_ok());
+  exec.start();
+  auto reply = req_raw->call_private(echo_tid, i2o::OrgId::kTest, 0x7777, {},
+                                     std::chrono::seconds(2));
+  exec.stop();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_TRUE(reply.value().failed());
+  EXPECT_GE(exec.stats().default_handled, 1u);
+}
+
+TEST(Executive, DisabledDeviceRejectsPrivateTraffic) {
+  Executive exec;
+  const auto echo_tid =
+      exec.install(std::make_unique<EchoDevice>(), "echo").value();
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(exec.install(std::move(req), "req").is_ok());
+  // echo NOT enabled.
+  exec.start();
+  auto reply = req_raw->call_private(echo_tid, i2o::OrgId::kTest, kXfnEcho,
+                                     {}, std::chrono::seconds(2));
+  exec.stop();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_TRUE(reply.value().failed());
+  EXPECT_GE(exec.stats().rejected_disabled, 1u);
+}
+
+TEST(Executive, UnknownTargetDropsAndCounts) {
+  Executive exec;
+  auto frame = exec.alloc_frame(0, true);
+  ASSERT_TRUE(frame.is_ok());
+  i2o::FrameHeader hdr;
+  hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+  hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kTest);
+  hdr.xfunction = kXfnEcho;
+  hdr.target = 999;
+  auto bytes = frame.value().bytes();
+  ASSERT_TRUE(i2o::encode_header(hdr, bytes).is_ok());
+  EXPECT_EQ(exec.frame_send(std::move(frame).value()).code(),
+            Errc::Unroutable);
+  EXPECT_EQ(exec.stats().dropped_unknown, 1u);
+}
+
+TEST(Executive, UtilParamsGetRoundTrip) {
+  Executive exec;
+  ASSERT_TRUE(exec.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(exec.install(std::move(req), "req").is_ok());
+  exec.start();
+  const auto echo_tid = exec.tid_of("echo").value();
+  auto reply =
+      req_raw->call_standard(echo_tid, i2o::Function::UtilParamsGet, {},
+                             std::chrono::seconds(2));
+  exec.stop();
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  ASSERT_FALSE(reply.value().failed());
+  auto params = reply.value().params();
+  ASSERT_TRUE(params.is_ok());
+  EXPECT_EQ(i2o::param_value(params.value(), "class"), "EchoDevice");
+  EXPECT_EQ(i2o::param_value(params.value(), "instance"), "echo");
+}
+
+TEST(Executive, ExecStatusGetViaMessage) {
+  Executive exec;
+  ASSERT_TRUE(exec.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(exec.install(std::move(req), "req").is_ok());
+  exec.start();
+  auto reply = req_raw->call_standard(exec.kernel_tid(),
+                                      i2o::Function::ExecStatusGet, {},
+                                      std::chrono::seconds(2));
+  exec.stop();
+  ASSERT_TRUE(reply.is_ok());
+  auto params = reply.value().params();
+  ASSERT_TRUE(params.is_ok());
+  EXPECT_EQ(i2o::param_value(params.value(), "devices"), "3");
+  EXPECT_TRUE(i2o::param_has(params.value(), "device.echo"));
+}
+
+TEST(Executive, ExecEnableViaMessage) {
+  Executive exec;
+  ASSERT_TRUE(exec.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(exec.install(std::move(req), "req").is_ok());
+  exec.start();
+  auto reply = req_raw->call_standard(
+      exec.kernel_tid(), i2o::Function::ExecEnable,
+      {{"instance", "echo"}}, std::chrono::seconds(2));
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_FALSE(reply.value().failed());
+  exec.stop();
+  EXPECT_EQ(exec.device(exec.tid_of("echo").value())->state(),
+            DeviceState::Enabled);
+}
+
+TEST(Executive, ExecPluginLoadViaMessage) {
+  Executive exec;
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(exec.install(std::move(req), "req").is_ok());
+  exec.start();
+  auto reply = req_raw->call_standard(
+      exec.kernel_tid(), i2o::Function::ExecPluginLoad,
+      {{"class", "CounterDevice"}, {"instance", "loaded0"}},
+      std::chrono::seconds(2));
+  exec.stop();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_FALSE(reply.value().failed());
+  EXPECT_TRUE(exec.tid_of("loaded0").is_ok());
+}
+
+TEST(Executive, ExecMessagesToNonKernelFail) {
+  Executive exec;
+  ASSERT_TRUE(exec.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(exec.install(std::move(req), "req").is_ok());
+  exec.start();
+  auto reply = req_raw->call_standard(exec.tid_of("echo").value(),
+                                      i2o::Function::ExecStatusGet, {},
+                                      std::chrono::seconds(2));
+  exec.stop();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_TRUE(reply.value().failed());
+}
+
+TEST(Executive, TimerDeliversOnTimerMessage) {
+  Executive exec;
+  auto dev = std::make_unique<CounterDevice>();
+  CounterDevice* raw = dev.get();
+  const auto tid = exec.install(std::move(dev), "cnt").value();
+  ASSERT_TRUE(exec.enable(tid).is_ok());
+  const auto id = exec.arm_timer(tid, std::chrono::milliseconds(10));
+  EXPECT_GT(id, 0u);
+  ASSERT_TRUE(pump_until(exec, [&] { return raw->timer_fires_.load() >= 1; }));
+  EXPECT_EQ(raw->last_timer_.load(), id);
+}
+
+TEST(Executive, PeriodicTimerFiresRepeatedly) {
+  Executive exec;
+  auto dev = std::make_unique<CounterDevice>();
+  CounterDevice* raw = dev.get();
+  const auto tid = exec.install(std::move(dev), "cnt").value();
+  ASSERT_TRUE(exec.enable(tid).is_ok());
+  const auto id = exec.arm_timer(tid, std::chrono::milliseconds(5),
+                                 std::chrono::milliseconds(5));
+  ASSERT_TRUE(pump_until(exec, [&] { return raw->timer_fires_.load() >= 3; }));
+  EXPECT_TRUE(exec.cancel_timer(id));
+  // Cancelling again reports false.
+  EXPECT_FALSE(exec.cancel_timer(id));
+}
+
+TEST(Executive, ThrowingHandlerIsQuarantined) {
+  Executive exec;
+  auto rogue = std::make_unique<RogueDevice>();
+  const auto tid = exec.install(std::move(rogue), "rogue").value();
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(exec.install(std::move(req), "req").is_ok());
+  ASSERT_TRUE(exec.enable_all().is_ok());
+  exec.start();
+  auto reply = req_raw->call_private(tid, i2o::OrgId::kTest, kXfnThrow, {},
+                                     std::chrono::seconds(2));
+  exec.stop();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_TRUE(reply.value().failed());
+  EXPECT_EQ(exec.device(tid)->state(), DeviceState::Failed);
+}
+
+TEST(Executive, WatchdogTripsOnSlowHandler) {
+  ExecutiveConfig cfg;
+  cfg.handler_deadline = std::chrono::milliseconds(20);
+  Executive exec(cfg);
+  auto rogue = std::make_unique<RogueDevice>();
+  const auto tid = exec.install(std::move(rogue), "rogue").value();
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(exec.install(std::move(req), "req").is_ok());
+  ASSERT_TRUE(exec.enable_all().is_ok());
+  exec.start();
+  // kXfnSleep stalls 100 ms >> 20 ms deadline.
+  auto reply = req_raw->call_private(tid, i2o::OrgId::kTest, kXfnSleep, {},
+                                     std::chrono::seconds(5));
+  exec.stop();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_TRUE(reply.value().failed());
+  EXPECT_EQ(exec.device(tid)->state(), DeviceState::Failed);
+  EXPECT_GE(exec.stats().watchdog_trips, 1u);
+}
+
+TEST(Executive, AllocFrameRejectsOversizedPayload) {
+  Executive exec;
+  EXPECT_EQ(exec.alloc_frame(i2o::kMaxPayloadBytes + 1, true).status().code(),
+            Errc::InvalidArgument);
+}
+
+TEST(Executive, PostRejectsMalformedFrame) {
+  Executive exec;
+  auto frame = exec.pool().allocate(8);  // too short for a header
+  ASSERT_TRUE(frame.is_ok());
+  EXPECT_EQ(exec.post(std::move(frame).value()).code(), Errc::MalformedFrame);
+  EXPECT_EQ(exec.stats().dropped_malformed, 1u);
+}
+
+TEST(Executive, RequesterTimesOutWithoutResponder) {
+  Executive exec;
+  auto dev = std::make_unique<CounterDevice>();  // never replies to kXfnCount
+  const auto tid = exec.install(std::move(dev), "cnt").value();
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(exec.install(std::move(req), "req").is_ok());
+  ASSERT_TRUE(exec.enable_all().is_ok());
+  exec.start();
+  auto reply = req_raw->call_private(tid, i2o::OrgId::kTest, kXfnCount, {},
+                                     std::chrono::milliseconds(100));
+  exec.stop();
+  EXPECT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), Errc::Timeout);
+  EXPECT_EQ(req_raw->outstanding(), 0u);  // pending entry cleaned up
+}
+
+}  // namespace
+}  // namespace xdaq::core

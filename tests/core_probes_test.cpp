@@ -1,0 +1,103 @@
+// core_probes_test.cpp - whitebox instrumentation (the Table 1 machinery).
+#include <gtest/gtest.h>
+
+#include "core/probes.hpp"
+#include "core/requester.hpp"
+#include "pt/cluster.hpp"
+#include "test_devices.hpp"
+
+namespace xdaq::core {
+namespace {
+
+using xdaq::testing::EchoDevice;
+using xdaq::testing::kXfnEcho;
+
+TEST(ProbeLog, CapacityBoundsAppends) {
+  ProbeLog log(2);
+  DispatchProbe p;
+  p.t_wire = 1;
+  EXPECT_TRUE(log.append(p));
+  EXPECT_TRUE(log.append(p));
+  EXPECT_FALSE(log.append(p));  // full: dropped, no reallocation
+  EXPECT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  log.clear();
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_TRUE(log.append(p));
+}
+
+TEST(Instrumentation, RecordsStagesForWireMessages) {
+  pt::ClusterConfig cfg;
+  cfg.exec.instrument = true;
+  cfg.exec.probe_capacity = 256;
+  pt::Cluster cluster(cfg);
+  ASSERT_TRUE(
+      cluster.install(1, std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(cluster.install(0, std::move(req), "req").is_ok());
+  const auto proxy = cluster.connect(0, 1, "echo").value();
+  ASSERT_TRUE(cluster.enable_all().is_ok());
+  cluster.start_all();
+  for (int i = 0; i < 10; ++i) {
+    auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
+                                       {}, std::chrono::seconds(5));
+    ASSERT_TRUE(reply.is_ok());
+  }
+  cluster.stop_all();
+
+  // The echoing node received 10 wire messages; every record must carry
+  // monotonic stage stamps covering the full dispatch path.
+  const auto& records = cluster.node(1).probe_log().records();
+  ASSERT_GE(records.size(), 10u);
+  for (const DispatchProbe& p : records) {
+    EXPECT_NE(p.t_wire, 0u);
+    EXPECT_LE(p.t_wire, p.t_posted);
+    EXPECT_LE(p.t_posted, p.t_demux);
+    if (p.t_upcall != 0) {  // private application messages only
+      EXPECT_LE(p.t_demux, p.t_upcall);
+      EXPECT_LE(p.t_upcall, p.t_app_done);
+      EXPECT_LE(p.t_app_done, p.t_released);
+    }
+  }
+}
+
+TEST(Instrumentation, OffByDefaultRecordsNothing) {
+  pt::Cluster cluster;
+  ASSERT_TRUE(
+      cluster.install(1, std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(cluster.install(0, std::move(req), "req").is_ok());
+  const auto proxy = cluster.connect(0, 1, "echo").value();
+  ASSERT_TRUE(cluster.enable_all().is_ok());
+  cluster.start_all();
+  auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho, {},
+                                     std::chrono::seconds(5));
+  cluster.stop_all();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_TRUE(cluster.node(1).probe_log().records().empty());
+}
+
+TEST(Instrumentation, CanBeTurnedOnAtRuntime) {
+  pt::Cluster cluster;
+  cluster.node(1).probe_log().set_capacity(64);
+  cluster.node(1).set_instrument(true);
+  ASSERT_TRUE(
+      cluster.install(1, std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(cluster.install(0, std::move(req), "req").is_ok());
+  const auto proxy = cluster.connect(0, 1, "echo").value();
+  ASSERT_TRUE(cluster.enable_all().is_ok());
+  cluster.start_all();
+  auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho, {},
+                                     std::chrono::seconds(5));
+  cluster.stop_all();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_FALSE(cluster.node(1).probe_log().records().empty());
+}
+
+}  // namespace
+}  // namespace xdaq::core

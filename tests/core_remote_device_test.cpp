@@ -1,0 +1,135 @@
+// core_remote_device_test.cpp - the OSM-style RemoteDevice handle.
+#include "core/remote_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pt/cluster.hpp"
+#include "test_devices.hpp"
+#include "util/random.hpp"
+
+namespace xdaq::core {
+namespace {
+
+using xdaq::testing::CounterDevice;
+using xdaq::testing::EchoDevice;
+using xdaq::testing::kXfnEcho;
+
+struct RemoteDeviceFixture : ::testing::Test {
+  pt::Cluster cluster;
+  Requester* req = nullptr;
+  i2o::Tid remote_kernel = i2o::kNullTid;
+
+  void SetUp() override {
+    ASSERT_TRUE(cluster
+                    .install(1, std::make_unique<EchoDevice>(), "echo")
+                    .is_ok());
+    auto r = std::make_unique<Requester>();
+    req = r.get();
+    ASSERT_TRUE(cluster.install(0, std::move(r), "req").is_ok());
+    remote_kernel = cluster.node(0)
+                        .register_remote(cluster.node_id(1),
+                                         i2o::kExecutiveTid)
+                        .value();
+    // Enable the transports; the echo device stays under handle control.
+    for (std::size_t i = 0; i < 2; ++i) {
+      ASSERT_TRUE(cluster.node(i)
+                      .enable(cluster.node(i).tid_of("pt_gm").value())
+                      .is_ok());
+    }
+    cluster.start_all();
+  }
+  void TearDown() override { cluster.stop_all(); }
+};
+
+TEST_F(RemoteDeviceFixture, OpenResolvesRemoteInstance) {
+  auto dev = RemoteDevice::open(*req, remote_kernel, "echo",
+                                std::chrono::seconds(5));
+  ASSERT_TRUE(dev.is_ok()) << dev.status().to_string();
+  EXPECT_EQ(dev.value().instance(), "echo");
+  EXPECT_NE(dev.value().tid(), i2o::kNullTid);
+  EXPECT_TRUE(dev.value().ping().is_ok());
+}
+
+TEST_F(RemoteDeviceFixture, OpenUnknownInstanceFails) {
+  auto dev = RemoteDevice::open(*req, remote_kernel, "ghost",
+                                std::chrono::seconds(5));
+  EXPECT_FALSE(dev.is_ok());
+  EXPECT_EQ(dev.status().code(), Errc::NotFound);
+}
+
+TEST_F(RemoteDeviceFixture, FullLifecycleThroughHandle) {
+  auto opened = RemoteDevice::open(*req, remote_kernel, "echo",
+                                   std::chrono::seconds(5));
+  ASSERT_TRUE(opened.is_ok());
+  RemoteDevice dev = std::move(opened).value();
+
+  EXPECT_EQ(dev.state().value_or(""), "Loaded");
+  ASSERT_TRUE(dev.configure({{"some_param", "7"}}).is_ok());
+  EXPECT_EQ(dev.state().value_or(""), "Configured");
+  ASSERT_TRUE(dev.enable().is_ok());
+  EXPECT_EQ(dev.state().value_or(""), "Enabled");
+
+  // Application traffic through the same handle.
+  const auto raw = make_payload(64, 3);
+  std::vector<std::byte> payload(64);
+  std::memcpy(payload.data(), raw.data(), 64);
+  auto reply = dev.call(i2o::OrgId::kTest, kXfnEcho, payload);
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_FALSE(reply.value().failed());
+  EXPECT_EQ(
+      std::memcmp(reply.value().payload.data(), payload.data(), 64), 0);
+
+  ASSERT_TRUE(dev.suspend().is_ok());
+  EXPECT_EQ(dev.state().value_or(""), "Suspended");
+  ASSERT_TRUE(dev.resume().is_ok());
+  ASSERT_TRUE(dev.halt().is_ok());
+  EXPECT_EQ(dev.state().value_or(""), "Halted");
+  ASSERT_TRUE(dev.reset().is_ok());
+  EXPECT_EQ(dev.state().value_or(""), "Loaded");
+}
+
+TEST_F(RemoteDeviceFixture, IllegalTransitionSurfacesError) {
+  auto dev = RemoteDevice::open(*req, remote_kernel, "echo",
+                                std::chrono::seconds(5));
+  ASSERT_TRUE(dev.is_ok());
+  ASSERT_TRUE(dev.value().enable().is_ok());
+  const Status again = dev.value().enable();
+  EXPECT_FALSE(again.is_ok());
+  EXPECT_NE(again.message().find("enable requires"),
+            std::string_view::npos);
+}
+
+TEST_F(RemoteDeviceFixture, ParamsRoundTrip) {
+  auto dev = RemoteDevice::open(*req, remote_kernel, "echo",
+                                std::chrono::seconds(5));
+  ASSERT_TRUE(dev.is_ok());
+  auto params = dev.value().params();
+  ASSERT_TRUE(params.is_ok());
+  EXPECT_EQ(i2o::param_value(params.value(), "class"), "EchoDevice");
+  EXPECT_EQ(dev.value().param("instance").value_or(""), "echo");
+  EXPECT_TRUE(dev.value().set_params({{"anything", "x"}}).is_ok());
+}
+
+TEST(RemoteDeviceLocal, WorksForLocalDevicesToo) {
+  // The same handle drives a device on the caller's own node: the kernel
+  // is local, no proxies involved ("The caller never needs to know").
+  Executive exec;
+  ASSERT_TRUE(
+      exec.install(std::make_unique<CounterDevice>(), "cnt").is_ok());
+  auto r = std::make_unique<Requester>();
+  Requester* req = r.get();
+  ASSERT_TRUE(exec.install(std::move(r), "req").is_ok());
+  exec.start();
+  auto dev = RemoteDevice::open(*req, exec.kernel_tid(), "cnt",
+                                std::chrono::seconds(5));
+  ASSERT_TRUE(dev.is_ok()) << dev.status().to_string();
+  EXPECT_EQ(dev.value().tid(), exec.tid_of("cnt").value());
+  EXPECT_TRUE(dev.value().enable().is_ok());
+  EXPECT_EQ(dev.value().state().value_or(""), "Enabled");
+  exec.stop();
+}
+
+}  // namespace
+}  // namespace xdaq::core

@@ -1,0 +1,165 @@
+// core_timer_test.cpp - TimerService unit tests (deadline heap, periodic
+// re-arming, cancellation, shutdown).
+#include "core/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace xdaq::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct FireRecorder {
+  std::mutex mutex;
+  std::vector<std::pair<i2o::Tid, std::uint32_t>> fires;
+  std::atomic<int> count{0};
+
+  TimerService::FireFn fn() {
+    return [this](i2o::Tid target, std::uint32_t id) {
+      {
+        const std::scoped_lock lock(mutex);
+        fires.emplace_back(target, id);
+      }
+      count.fetch_add(1, std::memory_order_release);
+    };
+  }
+
+  bool wait_for_count(int n, std::chrono::milliseconds budget = 2000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (count.load(std::memory_order_acquire) < n) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        return false;
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+    return true;
+  }
+};
+
+TEST(TimerService, OneShotFiresOnceWithIdAndTarget) {
+  FireRecorder rec;
+  TimerService svc(rec.fn());
+  const auto id = svc.arm(42, 5ms);
+  EXPECT_GT(id, 0u);
+  EXPECT_EQ(svc.armed(), 1u);
+  ASSERT_TRUE(rec.wait_for_count(1));
+  std::this_thread::sleep_for(20ms);  // must not fire again
+  EXPECT_EQ(rec.count.load(), 1);
+  const std::scoped_lock lock(rec.mutex);
+  EXPECT_EQ(rec.fires[0].first, 42);
+  EXPECT_EQ(rec.fires[0].second, id);
+  EXPECT_EQ(svc.armed(), 0u);
+}
+
+TEST(TimerService, ZeroDelayFiresImmediately) {
+  FireRecorder rec;
+  TimerService svc(rec.fn());
+  svc.arm(1, 0ns);
+  EXPECT_TRUE(rec.wait_for_count(1));
+}
+
+TEST(TimerService, PeriodicKeepsFiring) {
+  FireRecorder rec;
+  TimerService svc(rec.fn());
+  const auto id = svc.arm(7, 2ms, 2ms);
+  ASSERT_TRUE(rec.wait_for_count(5));
+  EXPECT_TRUE(svc.cancel(id));
+  const int at_cancel = rec.count.load();
+  std::this_thread::sleep_for(30ms);
+  // At most one more fire can race the cancellation.
+  EXPECT_LE(rec.count.load(), at_cancel + 1);
+}
+
+TEST(TimerService, CancelBeforeFire) {
+  FireRecorder rec;
+  TimerService svc(rec.fn());
+  const auto id = svc.arm(3, 200ms);
+  EXPECT_TRUE(svc.cancel(id));
+  EXPECT_FALSE(svc.cancel(id));  // second cancel reports not pending
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(rec.count.load(), 0);
+}
+
+TEST(TimerService, CancelAfterOneShotFiredReportsFalse) {
+  FireRecorder rec;
+  TimerService svc(rec.fn());
+  const auto id = svc.arm(3, 1ms);
+  ASSERT_TRUE(rec.wait_for_count(1));
+  EXPECT_FALSE(svc.cancel(id));
+}
+
+TEST(TimerService, ManyTimersFireInDeadlineOrder) {
+  FireRecorder rec;
+  TimerService svc(rec.fn());
+  // Arm in reverse deadline order.
+  svc.arm(3, 30ms);
+  svc.arm(2, 20ms);
+  svc.arm(1, 10ms);
+  ASSERT_TRUE(rec.wait_for_count(3));
+  const std::scoped_lock lock(rec.mutex);
+  ASSERT_EQ(rec.fires.size(), 3u);
+  EXPECT_EQ(rec.fires[0].first, 1);
+  EXPECT_EQ(rec.fires[1].first, 2);
+  EXPECT_EQ(rec.fires[2].first, 3);
+}
+
+TEST(TimerService, ShutdownStopsPendingTimers) {
+  FireRecorder rec;
+  {
+    TimerService svc(rec.fn());
+    svc.arm(1, 50ms);
+    svc.shutdown();
+  }
+  std::this_thread::sleep_for(80ms);
+  EXPECT_EQ(rec.count.load(), 0);
+}
+
+TEST(TimerService, ShutdownIsIdempotentAndDestructorSafe) {
+  FireRecorder rec;
+  TimerService svc(rec.fn());
+  svc.arm(1, 1ms);
+  ASSERT_TRUE(rec.wait_for_count(1));
+  svc.shutdown();
+  svc.shutdown();  // no-op
+}
+
+TEST(TimerService, ConcurrentArmersFromManyThreads) {
+  FireRecorder rec;
+  TimerService svc(rec.fn());
+  constexpr int kThreads = 4;
+  constexpr int kEach = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&svc, t] {
+      for (int i = 0; i < kEach; ++i) {
+        svc.arm(static_cast<i2o::Tid>(t + 1),
+                std::chrono::milliseconds(1 + (i % 5)));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_TRUE(rec.wait_for_count(kThreads * kEach, 5000ms));
+  // Every target fired the right number of times.
+  std::map<i2o::Tid, int> per_target;
+  const std::scoped_lock lock(rec.mutex);
+  for (const auto& [target, id] : rec.fires) {
+    ++per_target[target];
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_target[static_cast<i2o::Tid>(t + 1)], kEach);
+  }
+}
+
+}  // namespace
+}  // namespace xdaq::core

@@ -1,0 +1,460 @@
+#include "daq/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/requester.hpp"
+#include "daq/protocol.hpp"
+
+namespace xdaq::daq {
+namespace {
+
+// ---------------------------------------------------------------- protocol
+
+TEST(DaqProtocol, AllocateRoundTrip) {
+  const auto bytes = encode_allocate(AllocateMsg{16});
+  auto decoded = decode_allocate(bytes);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().count, 16u);
+}
+
+TEST(DaqProtocol, AllocateRejectsZeroAndShort) {
+  EXPECT_FALSE(decode_allocate(encode_allocate(AllocateMsg{0})).is_ok());
+  std::vector<std::byte> shorty(2);
+  EXPECT_FALSE(decode_allocate(shorty).is_ok());
+}
+
+TEST(DaqProtocol, ConfirmRoundTrip) {
+  ConfirmMsg m;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    m.assignments.push_back(
+        Assignment{i, static_cast<std::uint16_t>(i % 3)});
+  }
+  auto decoded = decode_confirm(encode_confirm(m));
+  ASSERT_TRUE(decoded.is_ok());
+  ASSERT_EQ(decoded.value().assignments.size(), 5u);
+  EXPECT_EQ(decoded.value().assignments[4].event_id, 5u);
+  EXPECT_EQ(decoded.value().assignments[4].builder_index, 2u);
+}
+
+TEST(DaqProtocol, ConfirmCountValidated) {
+  ConfirmMsg m;
+  m.assignments.push_back(Assignment{1, 0});
+  auto bytes = encode_confirm(m);
+  bytes.resize(bytes.size() - 1);  // truncate
+  EXPECT_FALSE(decode_confirm(bytes).is_ok());
+}
+
+TEST(DaqProtocol, FragmentHeaderRoundTrip) {
+  std::vector<std::byte> buf(kFragmentHeaderBytes + 64);
+  FragmentHeader h{12345, 2, 4, 64, 0xFEEDFACE};
+  encode_fragment_header(h, buf);
+  auto decoded = decode_fragment_header(buf);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().event_id, 12345u);
+  EXPECT_EQ(decoded.value().source_id, 2u);
+  EXPECT_EQ(decoded.value().total_sources, 4u);
+  EXPECT_EQ(decoded.value().data_bytes, 64u);
+  EXPECT_EQ(decoded.value().checksum, 0xFEEDFACEu);
+}
+
+TEST(DaqProtocol, FragmentHeaderValidation) {
+  std::vector<std::byte> buf(kFragmentHeaderBytes + 8);
+  encode_fragment_header(FragmentHeader{1, 0, 0, 8, 0}, buf);
+  EXPECT_FALSE(decode_fragment_header(buf).is_ok());  // zero sources
+  encode_fragment_header(FragmentHeader{1, 5, 4, 8, 0}, buf);
+  EXPECT_FALSE(decode_fragment_header(buf).is_ok());  // source >= total
+  encode_fragment_header(FragmentHeader{1, 0, 4, 999, 0}, buf);
+  EXPECT_FALSE(decode_fragment_header(buf).is_ok());  // data truncated
+}
+
+TEST(DaqProtocol, FragmentDataDeterministic) {
+  std::vector<std::byte> a(256);
+  std::vector<std::byte> b(256);
+  fill_fragment_data(a, 7, 3);
+  fill_fragment_data(b, 7, 3);
+  EXPECT_EQ(a, b);
+  fill_fragment_data(b, 7, 4);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(fnv1a(a), fnv1a(a));
+  EXPECT_NE(fnv1a(a), fnv1a(b));
+}
+
+// ----------------------------------------------------------- event manager
+
+TEST(EventManagerUnit, GrantsPerRuSequencesFromOne) {
+  // Two requesters play readout units: each must receive event ids from
+  // its own sequence starting at 1, with deterministic builder indices.
+  core::Executive exec;
+  const auto evm_tid =
+      exec.install(std::make_unique<EventManager>(), "evm",
+                   {{"builders", "2"}})
+          .value();
+  ASSERT_TRUE(exec.enable(evm_tid).is_ok());
+  auto r1 = std::make_unique<core::Requester>();
+  auto r2 = std::make_unique<core::Requester>();
+  core::Requester* ru1 = r1.get();
+  core::Requester* ru2 = r2.get();
+  ASSERT_TRUE(exec.install(std::move(r1), "ru1").is_ok());
+  ASSERT_TRUE(exec.install(std::move(r2), "ru2").is_ok());
+  exec.start();
+
+  auto allocate = [&](core::Requester* ru, std::uint32_t count) {
+    const auto payload = encode_allocate(AllocateMsg{count});
+    auto reply = ru->call_private(evm_tid, i2o::OrgId::kDaq, kXfnAllocate,
+                                  payload, std::chrono::seconds(2));
+    EXPECT_TRUE(reply.is_ok());
+    auto confirm = decode_confirm(reply.value().payload);
+    EXPECT_TRUE(confirm.is_ok());
+    return confirm.value();
+  };
+
+  const ConfirmMsg c1 = allocate(ru1, 3);
+  const ConfirmMsg c2 = allocate(ru2, 3);
+  const ConfirmMsg c1b = allocate(ru1, 2);
+  exec.stop();
+
+  ASSERT_EQ(c1.assignments.size(), 3u);
+  ASSERT_EQ(c2.assignments.size(), 3u);
+  ASSERT_EQ(c1b.assignments.size(), 2u);
+  // Both RUs see the same global event series 1,2,3...
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(c1.assignments[i].event_id, i + 1);
+    EXPECT_EQ(c2.assignments[i].event_id, i + 1);
+    // ...and the same deterministic builder assignment.
+    EXPECT_EQ(c1.assignments[i].builder_index,
+              c2.assignments[i].builder_index);
+    EXPECT_EQ(c1.assignments[i].builder_index, (i + 1) % 2);
+  }
+  // RU1's second allocate continues its own sequence.
+  EXPECT_EQ(c1b.assignments[0].event_id, 4u);
+  EXPECT_EQ(c1b.assignments[1].event_id, 5u);
+}
+
+TEST(EventManagerUnit, MaxInFlightCapsGrants) {
+  core::Executive exec;
+  const auto evm_tid =
+      exec.install(std::make_unique<EventManager>(), "evm",
+                   {{"builders", "1"}, {"max_in_flight", "4"}})
+          .value();
+  ASSERT_TRUE(exec.enable(evm_tid).is_ok());
+  auto r = std::make_unique<core::Requester>();
+  core::Requester* ru = r.get();
+  ASSERT_TRUE(exec.install(std::move(r), "ru").is_ok());
+  exec.start();
+
+  const auto payload = encode_allocate(AllocateMsg{10});
+  auto reply = ru->call_private(evm_tid, i2o::OrgId::kDaq, kXfnAllocate,
+                                payload, std::chrono::seconds(2));
+  ASSERT_TRUE(reply.is_ok());
+  auto confirm = decode_confirm(reply.value().payload);
+  ASSERT_TRUE(confirm.is_ok());
+  EXPECT_EQ(confirm.value().assignments.size(), 4u);  // capped
+
+  // Completions free slots: report two events done, ask again.
+  for (const std::uint64_t done : {1u, 2u}) {
+    auto frame = ru->call_private(evm_tid, i2o::OrgId::kDaq, kXfnEventDone,
+                                  encode_event_done(EventDoneMsg{done}),
+                                  std::chrono::milliseconds(100));
+    // EventDone has no reply; the call times out by design.
+    EXPECT_FALSE(frame.is_ok());
+  }
+  auto reply2 = ru->call_private(evm_tid, i2o::OrgId::kDaq, kXfnAllocate,
+                                 payload, std::chrono::seconds(2));
+  ASSERT_TRUE(reply2.is_ok());
+  auto confirm2 = decode_confirm(reply2.value().payload);
+  ASSERT_TRUE(confirm2.is_ok());
+  EXPECT_EQ(confirm2.value().assignments.size(), 2u);  // 4 out, 2 done
+  exec.stop();
+}
+
+TEST(EventManagerUnit, MalformedAllocateGetsFailReply) {
+  core::Executive exec;
+  const auto evm_tid =
+      exec.install(std::make_unique<EventManager>(), "evm").value();
+  ASSERT_TRUE(exec.enable(evm_tid).is_ok());
+  auto r = std::make_unique<core::Requester>();
+  core::Requester* ru = r.get();
+  ASSERT_TRUE(exec.install(std::move(r), "ru").is_ok());
+  exec.start();
+  std::vector<std::byte> garbage(2);  // too short for an Allocate
+  auto reply = ru->call_private(evm_tid, i2o::OrgId::kDaq, kXfnAllocate,
+                                garbage, std::chrono::seconds(2));
+  exec.stop();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_TRUE(reply.value().failed());
+}
+
+// ------------------------------------------------------------ event builder
+
+void wait_for_completion(EventBuilderTopology& topo,
+                         std::chrono::seconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (!topo.complete() && std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(EventBuilder, TopologyRequiresMatchingClusterSize) {
+  pt::Cluster tiny(pt::ClusterConfig{.nodes = 2});
+  EventBuilderParams p;  // needs 5 nodes
+  EXPECT_FALSE(EventBuilderTopology::build(tiny, p).is_ok());
+}
+
+TEST(EventBuilder, TwoByTwoRunsToCompletion) {
+  EventBuilderParams p;
+  p.readouts = 2;
+  p.builders = 2;
+  p.max_events = 200;
+  p.fragment_bytes = 512;
+  pt::Cluster cluster(
+      pt::ClusterConfig{.nodes = EventBuilderTopology::nodes_required(p)});
+  auto topo = EventBuilderTopology::build(cluster, p);
+  ASSERT_TRUE(topo.is_ok()) << topo.status().to_string();
+  ASSERT_TRUE(cluster.enable_all().is_ok());
+  cluster.start_all();
+  wait_for_completion(topo.value(), std::chrono::seconds(20));
+  cluster.stop_all();
+
+  EXPECT_EQ(topo.value().events_built(), p.max_events);
+  EXPECT_EQ(topo.value().corrupt_fragments(), 0u);
+  EXPECT_EQ(topo.value().bytes_built(),
+            p.max_events * p.readouts * p.fragment_bytes);
+  // Every RU generated the full series.
+  for (const ReadoutUnit* ru : topo.value().readouts) {
+    EXPECT_EQ(ru->events_generated(), p.max_events);
+    EXPECT_EQ(ru->send_failures(), 0u);
+  }
+  // Round-robin assignment spreads events over both builders.
+  for (const BuilderUnit* bu : topo.value().builders) {
+    EXPECT_EQ(bu->events_built(), p.max_events / 2);
+    EXPECT_EQ(bu->events_in_progress(), 0u);
+  }
+  // The EVM saw all completions.
+  EXPECT_EQ(topo.value().evm->events_completed(), p.max_events);
+  EXPECT_EQ(topo.value().evm->events_assigned(), p.max_events);
+}
+
+TEST(EventBuilder, AsymmetricTopology) {
+  EventBuilderParams p;
+  p.readouts = 3;
+  p.builders = 1;
+  p.max_events = 60;
+  p.fragment_bytes = 256;
+  p.batch = 4;
+  pt::Cluster cluster(
+      pt::ClusterConfig{.nodes = EventBuilderTopology::nodes_required(p)});
+  auto topo = EventBuilderTopology::build(cluster, p);
+  ASSERT_TRUE(topo.is_ok());
+  ASSERT_TRUE(cluster.enable_all().is_ok());
+  cluster.start_all();
+  wait_for_completion(topo.value(), std::chrono::seconds(20));
+  cluster.stop_all();
+
+  EXPECT_EQ(topo.value().events_built(), p.max_events);
+  EXPECT_EQ(topo.value().builders[0]->fragments_received(),
+            p.max_events * p.readouts);
+  EXPECT_EQ(topo.value().corrupt_fragments(), 0u);
+}
+
+TEST(EventBuilder, FlowControlCapRespected) {
+  // With a tight in-flight cap the run still completes (grants shrink but
+  // never wedge).
+  EventBuilderParams p;
+  p.readouts = 2;
+  p.builders = 2;
+  p.max_events = 100;
+  p.fragment_bytes = 128;
+  p.batch = 16;
+  pt::Cluster cluster(
+      pt::ClusterConfig{.nodes = EventBuilderTopology::nodes_required(p)});
+  auto topo = EventBuilderTopology::build(cluster, p);
+  ASSERT_TRUE(topo.is_ok());
+  ASSERT_TRUE(cluster.enable_all().is_ok());
+  cluster.start_all();
+  wait_for_completion(topo.value(), std::chrono::seconds(20));
+  cluster.stop_all();
+  EXPECT_EQ(topo.value().events_built(), p.max_events);
+}
+
+TEST(EventBuilder, ReadoutConfigValidation) {
+  core::Executive exec;
+  auto tid = exec.install(std::make_unique<ReadoutUnit>(), "ru").value();
+  EXPECT_EQ(exec.configure(tid, {{"source_id", "5"},
+                                 {"total_sources", "2"}})
+                .code(),
+            Errc::InvalidArgument);
+  EXPECT_EQ(exec.configure(tid, {{"batch", "0"}}).code(),
+            Errc::InvalidArgument);
+  EXPECT_EQ(exec.configure(tid, {{"fragment_bytes", "999999999"}}).code(),
+            Errc::InvalidArgument);
+  // Enabling without wiring fails cleanly.
+  ASSERT_TRUE(exec.configure(tid, {}).is_ok());
+  EXPECT_EQ(exec.enable(tid).code(), Errc::FailedPrecondition);
+}
+
+TEST(EventBuilder, EvmConfigValidation) {
+  core::Executive exec;
+  auto tid = exec.install(std::make_unique<EventManager>(), "evm").value();
+  EXPECT_EQ(exec.configure(tid, {{"builders", "0"}}).code(),
+            Errc::InvalidArgument);
+  EXPECT_TRUE(exec.configure(tid, {{"builders", "4"}}).is_ok());
+}
+
+TEST(EventBuilder, BuilderProgressEventsReachSubscriber) {
+  // A monitor device on the EVM node subscribes to the builder's
+  // kEvBuilderProgress notifications (I2O event registration across
+  // nodes) and tallies them during a run.
+  struct Monitor final : core::Device {
+    Monitor() : Device("Monitor") {}
+    Status watch(i2o::Tid source) { return subscribe_events(source, ~0u); }
+    void on_event(i2o::Tid, std::uint32_t code,
+                  std::span<const std::byte>) override {
+      if (code == kEvBuilderProgress) {
+        progress.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    std::atomic<int> progress{0};
+  };
+
+  EventBuilderParams p;
+  p.readouts = 2;
+  p.builders = 1;
+  p.max_events = 100;
+  p.fragment_bytes = 128;
+  pt::Cluster cluster(
+      pt::ClusterConfig{.nodes = EventBuilderTopology::nodes_required(p)});
+  auto topo = EventBuilderTopology::build(cluster, p);
+  ASSERT_TRUE(topo.is_ok());
+  // Ask the builder to emit progress every 10 events.
+  const std::size_t bu_node = p.readouts;  // builder node index
+  const auto bu_tid = cluster.node(bu_node).tid_of("bu").value();
+  ASSERT_TRUE(cluster.node(bu_node)
+                  .configure(bu_tid, {{"progress_every", "10"}})
+                  .is_ok());
+
+  auto monitor_dev = std::make_unique<Monitor>();
+  Monitor* monitor = monitor_dev.get();
+  const std::size_t evm_node = p.readouts + p.builders;
+  ASSERT_TRUE(cluster.install(evm_node, std::move(monitor_dev), "monitor")
+                  .is_ok());
+  const auto bu_proxy = cluster.connect(evm_node, bu_node, "bu").value();
+
+  // Bring everything except the readout units up, land the subscription,
+  // and only then open the tap - the progress count is then exact.
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    ASSERT_TRUE(cluster.node(i)
+                    .enable(cluster.node(i).tid_of("pt_gm").value())
+                    .is_ok());
+  }
+  ASSERT_TRUE(cluster.node(bu_node).enable(bu_tid).is_ok());
+  ASSERT_TRUE(cluster.node(evm_node)
+                  .enable(cluster.node(evm_node).tid_of("evm").value())
+                  .is_ok());
+  ASSERT_TRUE(cluster.node(evm_node)
+                  .enable(cluster.node(evm_node).tid_of("monitor").value())
+                  .is_ok());
+  cluster.start_all();
+  ASSERT_TRUE(monitor->watch(bu_proxy).is_ok());
+  const auto sub_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (cluster.node(bu_node).event_listener_count(bu_tid) == 0 &&
+         std::chrono::steady_clock::now() < sub_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(cluster.node(bu_node).event_listener_count(bu_tid), 1u);
+  for (std::size_t i = 0; i < p.readouts; ++i) {
+    ASSERT_TRUE(
+        cluster.node(i).enable(cluster.node(i).tid_of("ru").value())
+            .is_ok());
+  }
+  wait_for_completion(topo.value(), std::chrono::seconds(20));
+  // Progress events trail the last built event slightly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (monitor->progress.load() < 10 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  cluster.stop_all();
+  ASSERT_TRUE(topo.value().complete());
+  EXPECT_EQ(monitor->progress.load(), 10);  // 100 events / every 10
+}
+
+TEST(EventBuilder, CorruptFragmentCounted) {
+  // Hand a builder a fragment whose checksum does not match.
+  core::Executive exec;
+  auto bu_dev = std::make_unique<BuilderUnit>();
+  BuilderUnit* bu = bu_dev.get();
+  const auto bu_tid = exec.install(std::move(bu_dev), "bu").value();
+  ASSERT_TRUE(exec.enable(bu_tid).is_ok());
+
+  const std::size_t data_bytes = 64;
+  auto frame =
+      exec.alloc_frame(kFragmentHeaderBytes + data_bytes, true);
+  ASSERT_TRUE(frame.is_ok());
+  i2o::FrameHeader hdr;
+  hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+  hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kDaq);
+  hdr.xfunction = kXfnFragment;
+  hdr.target = bu_tid;
+  auto bytes = frame.value().bytes();
+  ASSERT_TRUE(i2o::encode_header(hdr, bytes).is_ok());
+  auto payload = bytes.subspan(i2o::kPrivateHeaderBytes);
+  FragmentHeader fh{1, 0, 2, data_bytes, /*checksum=*/0xBAD};
+  encode_fragment_header(fh, payload);
+  ASSERT_TRUE(exec.frame_send(std::move(frame).value()).is_ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (bu->corrupt_fragments() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    exec.run_once();
+  }
+  EXPECT_EQ(bu->corrupt_fragments(), 1u);
+  EXPECT_EQ(bu->events_built(), 0u);
+}
+
+TEST(EventBuilder, DuplicateFragmentIgnored) {
+  core::Executive exec;
+  auto bu_dev = std::make_unique<BuilderUnit>();
+  BuilderUnit* bu = bu_dev.get();
+  const auto bu_tid = exec.install(std::move(bu_dev), "bu").value();
+  ASSERT_TRUE(exec.enable(bu_tid).is_ok());
+
+  const std::size_t data_bytes = 32;
+  auto send_fragment = [&](std::uint16_t source) {
+    auto frame = exec.alloc_frame(kFragmentHeaderBytes + data_bytes, true);
+    ASSERT_TRUE(frame.is_ok());
+    i2o::FrameHeader hdr;
+    hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+    hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kDaq);
+    hdr.xfunction = kXfnFragment;
+    hdr.target = bu_tid;
+    auto bytes = frame.value().bytes();
+    ASSERT_TRUE(i2o::encode_header(hdr, bytes).is_ok());
+    auto payload = bytes.subspan(i2o::kPrivateHeaderBytes);
+    auto data = payload.subspan(kFragmentHeaderBytes, data_bytes);
+    fill_fragment_data(data, 1, source);
+    FragmentHeader fh{1, source, 2, data_bytes, fnv1a(data)};
+    encode_fragment_header(fh, payload);
+    ASSERT_TRUE(exec.frame_send(std::move(frame).value()).is_ok());
+  };
+  send_fragment(0);
+  send_fragment(0);  // duplicate
+  for (int i = 0; i < 100 && bu->fragments_received() < 2; ++i) {
+    exec.run_once();
+  }
+  EXPECT_EQ(bu->events_built(), 0u);  // still waiting for source 1
+  send_fragment(1);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (bu->events_built() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    exec.run_once();
+  }
+  EXPECT_EQ(bu->events_built(), 1u);
+}
+
+}  // namespace
+}  // namespace xdaq::daq

@@ -1,0 +1,232 @@
+#include "gmsim/gmsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "util/random.hpp"
+
+namespace xdaq::gmsim {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::vector<std::uint8_t>& v) {
+  std::vector<std::byte> out(v.size());
+  std::memcpy(out.data(), v.data(), v.size());
+  return out;
+}
+
+TEST(Fabric, OpenAndClosePorts) {
+  Fabric fabric;
+  auto a = fabric.open_port(1);
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(fabric.port_count(), 1u);
+  {
+    auto b = fabric.open_port(2);
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ(fabric.port_count(), 2u);
+  }
+  EXPECT_EQ(fabric.port_count(), 1u);  // port 2 closed on destruction
+}
+
+TEST(Fabric, DuplicatePortIdRejected) {
+  Fabric fabric;
+  auto a = fabric.open_port(1);
+  ASSERT_TRUE(a.is_ok());
+  auto dup = fabric.open_port(1);
+  EXPECT_EQ(dup.status().code(), Errc::AlreadyExists);
+}
+
+TEST(Port, SendReceiveRoundTrip) {
+  Fabric fabric;
+  auto a = fabric.open_port(1).value();
+  auto b = fabric.open_port(2).value();
+
+  std::vector<std::byte> rx(256);
+  b->provide_receive_buffer(rx);
+
+  const auto msg = bytes_of(make_payload(100, 42));
+  ASSERT_TRUE(a->send(2, msg).is_ok());
+
+  const auto ev = b->receive(std::chrono::milliseconds(100));
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->src, 1);
+  EXPECT_EQ(ev->length, 100u);
+  EXPECT_EQ(ev->buffer.data(), rx.data());
+  EXPECT_EQ(std::memcmp(rx.data(), msg.data(), 100), 0);
+}
+
+TEST(Port, PollWithoutTrafficReturnsNothing) {
+  Fabric fabric;
+  auto a = fabric.open_port(1).value();
+  std::vector<std::byte> rx(64);
+  a->provide_receive_buffer(rx);
+  EXPECT_FALSE(a->poll().has_value());
+}
+
+TEST(Port, NoReceiveBufferHoldsMessage) {
+  Fabric fabric;
+  auto a = fabric.open_port(1).value();
+  auto b = fabric.open_port(2).value();
+  const auto msg = bytes_of(make_payload(10, 1));
+  ASSERT_TRUE(a->send(2, msg).is_ok());
+  EXPECT_FALSE(b->poll().has_value());  // lossless: queued, not dropped
+
+  std::vector<std::byte> rx(64);
+  b->provide_receive_buffer(rx);
+  const auto ev = b->poll();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->length, 10u);
+}
+
+TEST(Port, SendToUnknownPortFails) {
+  Fabric fabric;
+  auto a = fabric.open_port(1).value();
+  const auto msg = bytes_of(make_payload(4, 2));
+  EXPECT_EQ(a->send(99, msg).code(), Errc::NotFound);
+}
+
+TEST(Port, OversizedMessageRejected) {
+  FabricConfig cfg;
+  cfg.max_message_bytes = 128;
+  Fabric fabric(cfg);
+  auto a = fabric.open_port(1).value();
+  auto b = fabric.open_port(2).value();
+  const auto msg = bytes_of(make_payload(129, 3));
+  EXPECT_EQ(a->send(2, msg).code(), Errc::InvalidArgument);
+}
+
+TEST(Port, TokenExhaustionAndReturn) {
+  FabricConfig cfg;
+  cfg.send_tokens = 2;
+  Fabric fabric(cfg);
+  auto a = fabric.open_port(1).value();
+  auto b = fabric.open_port(2).value();
+  const auto msg = bytes_of(make_payload(8, 4));
+
+  ASSERT_TRUE(a->send(2, msg).is_ok());
+  ASSERT_TRUE(a->send(2, msg).is_ok());
+  EXPECT_EQ(a->send(2, msg).code(), Errc::ResourceExhausted);
+  EXPECT_EQ(a->stats().send_rejects, 1u);
+
+  std::vector<std::byte> rx(64);
+  b->provide_receive_buffer(rx);
+  ASSERT_TRUE(b->poll().has_value());  // consuming returns a token
+  EXPECT_TRUE(a->send(2, msg).is_ok());
+}
+
+TEST(Port, FifoOrderPreservedPerSender) {
+  Fabric fabric;
+  auto a = fabric.open_port(1).value();
+  auto b = fabric.open_port(2).value();
+  std::vector<std::vector<std::byte>> rx(10, std::vector<std::byte>(8));
+  for (auto& buf : rx) {
+    b->provide_receive_buffer(buf);
+  }
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    std::vector<std::byte> msg(4, static_cast<std::byte>(i));
+    ASSERT_TRUE(a->send(2, msg).is_ok());
+  }
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    const auto ev = b->poll();
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->buffer[0], static_cast<std::byte>(i));
+  }
+}
+
+TEST(Port, TruncationCountsAndDeliversPrefix) {
+  Fabric fabric;
+  auto a = fabric.open_port(1).value();
+  auto b = fabric.open_port(2).value();
+  std::vector<std::byte> small(16);
+  b->provide_receive_buffer(small);
+  const auto msg = bytes_of(make_payload(64, 5));
+  ASSERT_TRUE(a->send(2, msg).is_ok());
+  const auto ev = b->poll();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->length, 16u);
+  EXPECT_EQ(b->stats().truncations, 1u);
+  EXPECT_EQ(std::memcmp(small.data(), msg.data(), 16), 0);
+}
+
+TEST(Port, LatencyModelDelaysDelivery) {
+  FabricConfig cfg;
+  cfg.wire_latency_ns = 5'000'000;  // 5 ms
+  Fabric fabric(cfg);
+  auto a = fabric.open_port(1).value();
+  auto b = fabric.open_port(2).value();
+  std::vector<std::byte> rx(64);
+  b->provide_receive_buffer(rx);
+  const auto msg = bytes_of(make_payload(8, 6));
+  const auto t0 = now_ns();
+  ASSERT_TRUE(a->send(2, msg).is_ok());
+  EXPECT_FALSE(b->poll().has_value());  // still on the wire
+  const auto ev = b->receive(std::chrono::milliseconds(500));
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_GE(now_ns() - t0, 5'000'000u);
+}
+
+TEST(Port, PerByteCostScalesWithPayload) {
+  FabricConfig cfg;
+  cfg.ns_per_byte = 1000.0;  // 1 us per byte, exaggerated for testability
+  Fabric fabric(cfg);
+  auto a = fabric.open_port(1).value();
+  auto b = fabric.open_port(2).value();
+  std::vector<std::byte> rx(8192);
+  b->provide_receive_buffer(rx);
+  const auto msg = bytes_of(make_payload(4096, 7));
+  const auto t0 = now_ns();
+  ASSERT_TRUE(a->send(2, msg).is_ok());
+  const auto ev = b->receive(std::chrono::seconds(2));
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_GE(now_ns() - t0, 4096u * 1000u);
+}
+
+TEST(Port, StatsAccumulate) {
+  Fabric fabric;
+  auto a = fabric.open_port(1).value();
+  auto b = fabric.open_port(2).value();
+  std::vector<std::byte> rx(256);
+  const auto msg = bytes_of(make_payload(100, 8));
+  for (int i = 0; i < 3; ++i) {
+    b->provide_receive_buffer(rx);
+    ASSERT_TRUE(a->send(2, msg).is_ok());
+    ASSERT_TRUE(b->receive(std::chrono::milliseconds(100)).has_value());
+  }
+  EXPECT_EQ(a->stats().sends, 3u);
+  EXPECT_EQ(a->stats().bytes_sent, 300u);
+  EXPECT_EQ(b->stats().receives, 3u);
+  EXPECT_EQ(b->stats().bytes_received, 300u);
+}
+
+TEST(Port, CrossThreadPingPong) {
+  Fabric fabric;
+  auto a = fabric.open_port(1).value();
+  auto b = fabric.open_port(2).value();
+  constexpr int kRounds = 2000;
+
+  std::thread echo([&b] {
+    std::vector<std::byte> rx(64);
+    for (int i = 0; i < kRounds; ++i) {
+      b->provide_receive_buffer(rx);
+      const auto ev = b->receive(std::chrono::seconds(10));
+      ASSERT_TRUE(ev.has_value());
+      ASSERT_TRUE(b->send(ev->src, ev->buffer.subspan(0, ev->length)).is_ok());
+    }
+  });
+
+  std::vector<std::byte> rx(64);
+  const auto msg = bytes_of(make_payload(32, 9));
+  for (int i = 0; i < kRounds; ++i) {
+    a->provide_receive_buffer(rx);
+    ASSERT_TRUE(a->send(2, msg).is_ok());
+    const auto ev = a->receive(std::chrono::seconds(10));
+    ASSERT_TRUE(ev.has_value());
+    ASSERT_EQ(ev->length, 32u);
+  }
+  echo.join();
+  EXPECT_EQ(std::memcmp(rx.data(), msg.data(), 32), 0);
+}
+
+}  // namespace
+}  // namespace xdaq::gmsim

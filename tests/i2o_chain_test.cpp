@@ -1,0 +1,218 @@
+#include "i2o/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace xdaq::i2o {
+namespace {
+
+std::vector<std::byte> fragment_payload(const ChainHeader& ch,
+                                        std::span<const std::byte> body) {
+  std::vector<std::byte> out(kChainHeaderBytes + body.size());
+  encode_chain_header(ch, out);
+  std::copy(body.begin(), body.end(), out.begin() + kChainHeaderBytes);
+  return out;
+}
+
+/// Splits `message` into chained fragment payloads of at most `max_body`.
+std::vector<std::vector<std::byte>> make_chain(std::uint32_t chain_id,
+                                               std::span<const std::byte> msg,
+                                               std::size_t max_body) {
+  const auto sizes = chain_fragment_sizes(msg.size(), max_body);
+  std::vector<std::vector<std::byte>> out;
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    ChainHeader ch;
+    ch.chain_id = chain_id;
+    ch.index = static_cast<std::uint16_t>(i);
+    ch.total = static_cast<std::uint16_t>(sizes.size());
+    ch.total_bytes = static_cast<std::uint32_t>(msg.size());
+    ch.offset = static_cast<std::uint32_t>(off);
+    out.push_back(fragment_payload(ch, msg.subspan(off, sizes[i])));
+    off += sizes[i];
+  }
+  return out;
+}
+
+std::vector<std::byte> as_bytes(const std::vector<std::uint8_t>& v) {
+  std::vector<std::byte> out(v.size());
+  std::transform(v.begin(), v.end(), out.begin(),
+                 [](std::uint8_t b) { return static_cast<std::byte>(b); });
+  return out;
+}
+
+TEST(ChainHeader, RoundTrip) {
+  ChainHeader ch{0xABCD1234, 3, 9, 100000, 36000};
+  std::vector<std::byte> buf(kChainHeaderBytes);
+  encode_chain_header(ch, buf);
+  auto d = decode_chain_header(buf);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().chain_id, ch.chain_id);
+  EXPECT_EQ(d.value().index, ch.index);
+  EXPECT_EQ(d.value().total, ch.total);
+  EXPECT_EQ(d.value().total_bytes, ch.total_bytes);
+  EXPECT_EQ(d.value().offset, ch.offset);
+}
+
+TEST(ChainHeader, DecodeRejectsBadFields) {
+  std::vector<std::byte> buf(kChainHeaderBytes);
+  encode_chain_header(ChainHeader{1, 0, 0, 10, 0}, buf);  // total == 0
+  EXPECT_EQ(decode_chain_header(buf).status().code(), Errc::MalformedFrame);
+  encode_chain_header(ChainHeader{1, 5, 5, 10, 0}, buf);  // index >= total
+  EXPECT_EQ(decode_chain_header(buf).status().code(), Errc::MalformedFrame);
+  EXPECT_EQ(decode_chain_header(std::span(buf.data(), 4)).status().code(),
+            Errc::MalformedFrame);
+}
+
+TEST(ChainFragmentSizes, PartitionsExactly) {
+  const auto sizes = chain_fragment_sizes(10, 4);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 4u);
+  EXPECT_EQ(sizes[1], 4u);
+  EXPECT_EQ(sizes[2], 2u);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0u), 10u);
+}
+
+TEST(ChainFragmentSizes, EmptyMessageHasOneFragment) {
+  const auto sizes = chain_fragment_sizes(0, 128);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 0u);
+}
+
+TEST(Reassembler, InOrderDelivery) {
+  const auto msg = as_bytes(make_payload(1000, 11));
+  const auto frags = make_chain(1, msg, 256);
+  ChainReassembler r;
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    auto res = r.feed(7, frags[i]);
+    ASSERT_TRUE(res.is_ok());
+    if (i + 1 < frags.size()) {
+      EXPECT_FALSE(res.value().has_value());
+      EXPECT_EQ(r.pending(), 1u);
+    } else {
+      ASSERT_TRUE(res.value().has_value());
+      EXPECT_EQ(*res.value(), msg);
+      EXPECT_EQ(r.pending(), 0u);
+    }
+  }
+}
+
+TEST(Reassembler, OutOfOrderDelivery) {
+  const auto msg = as_bytes(make_payload(1500, 12));
+  auto frags = make_chain(2, msg, 400);
+  std::reverse(frags.begin(), frags.end());
+  ChainReassembler r;
+  std::vector<std::byte> done;
+  for (const auto& f : frags) {
+    auto res = r.feed(3, f);
+    ASSERT_TRUE(res.is_ok());
+    if (res.value().has_value()) {
+      done = std::move(*res.value());
+    }
+  }
+  EXPECT_EQ(done, msg);
+}
+
+TEST(Reassembler, InterleavedChainsFromDifferentSenders) {
+  const auto m1 = as_bytes(make_payload(600, 1));
+  const auto m2 = as_bytes(make_payload(600, 2));
+  const auto f1 = make_chain(9, m1, 200);
+  const auto f2 = make_chain(9, m2, 200);  // same chain id, different sender
+  ChainReassembler r;
+  std::vector<std::byte> d1;
+  std::vector<std::byte> d2;
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    auto a = r.feed(100, f1[i]);
+    auto b = r.feed(200, f2[i]);
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    if (a.value().has_value()) {
+      d1 = std::move(*a.value());
+    }
+    if (b.value().has_value()) {
+      d2 = std::move(*b.value());
+    }
+  }
+  EXPECT_EQ(d1, m1);
+  EXPECT_EQ(d2, m2);
+}
+
+TEST(Reassembler, DuplicateFragmentRejected) {
+  const auto msg = as_bytes(make_payload(500, 3));
+  const auto frags = make_chain(4, msg, 200);
+  ChainReassembler r;
+  ASSERT_TRUE(r.feed(1, frags[0]).is_ok());
+  const auto dup = r.feed(1, frags[0]);
+  EXPECT_EQ(dup.status().code(), Errc::MalformedFrame);
+  EXPECT_EQ(r.pending(), 0u);  // poisoned chain dropped
+}
+
+TEST(Reassembler, InconsistentMetadataRejected) {
+  const auto msg = as_bytes(make_payload(500, 4));
+  auto frags = make_chain(5, msg, 200);
+  ChainReassembler r;
+  ASSERT_TRUE(r.feed(1, frags[0]).is_ok());
+  // Corrupt the second fragment's total_bytes.
+  ChainHeader bad{5, 1, static_cast<std::uint16_t>(frags.size()), 99, 200};
+  const auto payload =
+      fragment_payload(bad, std::span(frags[1]).subspan(kChainHeaderBytes));
+  EXPECT_EQ(r.feed(1, payload).status().code(), Errc::MalformedFrame);
+}
+
+TEST(Reassembler, FragmentOutsideBoundsRejected) {
+  ChainHeader ch{6, 0, 2, 100, 90};  // offset 90 + body 50 > 100
+  std::vector<std::byte> body(50);
+  const auto payload = fragment_payload(ch, body);
+  ChainReassembler r;
+  EXPECT_EQ(r.feed(1, payload).status().code(), Errc::MalformedFrame);
+}
+
+TEST(Reassembler, AbortDropsPartialChain) {
+  const auto msg = as_bytes(make_payload(500, 5));
+  const auto frags = make_chain(7, msg, 200);
+  ChainReassembler r;
+  ASSERT_TRUE(r.feed(1, frags[0]).is_ok());
+  EXPECT_EQ(r.pending(), 1u);
+  r.abort(1, 7);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+class ChainSweepP
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ChainSweepP, RoundTripAcrossSizes) {
+  const auto [msg_size, max_body] = GetParam();
+  const auto msg = as_bytes(make_payload(msg_size, 99));
+  const auto frags = make_chain(42, msg, max_body);
+  ChainReassembler r;
+  std::vector<std::byte> done;
+  bool completed = false;
+  for (const auto& f : frags) {
+    auto res = r.feed(8, f);
+    ASSERT_TRUE(res.is_ok());
+    if (res.value().has_value()) {
+      done = std::move(*res.value());
+      completed = true;
+    }
+  }
+  ASSERT_TRUE(completed);
+  EXPECT_EQ(done, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChainSweepP,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{0, 64},
+                      std::pair<std::size_t, std::size_t>{1, 64},
+                      std::pair<std::size_t, std::size_t>{64, 64},
+                      std::pair<std::size_t, std::size_t>{65, 64},
+                      std::pair<std::size_t, std::size_t>{1000, 1},
+                      std::pair<std::size_t, std::size_t>{100000, 4096},
+                      std::pair<std::size_t, std::size_t>{262144, 65536}));
+
+}  // namespace
+}  // namespace xdaq::i2o

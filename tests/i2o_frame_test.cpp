@@ -1,0 +1,221 @@
+#include "i2o/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "i2o/wire.hpp"
+#include "util/random.hpp"
+
+namespace xdaq::i2o {
+namespace {
+
+FrameHeader sample_private_header() {
+  FrameHeader h;
+  h.function = static_cast<std::uint8_t>(Function::Private);
+  h.organization = static_cast<std::uint16_t>(OrgId::kTest);
+  h.xfunction = 0x0042;
+  h.target = 17;
+  h.initiator = 23;
+  h.initiator_context = 0xDEADBEEF;
+  h.transaction_context = 0x12345678;
+  h.flags = kFlagNone;
+  return h;
+}
+
+TEST(FrameSizes, HeaderConstants) {
+  EXPECT_EQ(kStdHeaderBytes, 16u);
+  EXPECT_EQ(kPrivateHeaderBytes, 20u);
+  // The 16-bit word count bounds one frame at 256 KiB.
+  EXPECT_EQ(kMaxFrameBytes, 256u * 1024u - 4u);
+}
+
+TEST(FrameSizes, PayloadRoundsUpToWords) {
+  EXPECT_EQ(frame_bytes_for_payload(0, false), 16u);
+  EXPECT_EQ(frame_bytes_for_payload(1, false), 20u);
+  EXPECT_EQ(frame_bytes_for_payload(4, false), 20u);
+  EXPECT_EQ(frame_bytes_for_payload(5, false), 24u);
+  EXPECT_EQ(frame_bytes_for_payload(0, true), 20u);
+  EXPECT_EQ(frame_bytes_for_payload(3, true), 24u);
+  EXPECT_EQ(frame_words_for_payload(4, true), 6u);
+}
+
+TEST(FrameHeaderRoundTrip, StandardFunction) {
+  FrameHeader h;
+  h.function = static_cast<std::uint8_t>(Function::ExecEnable);
+  h.target = kExecutiveTid;
+  h.initiator = 42;
+  h.initiator_context = 7;
+  h.transaction_context = 9;
+  std::vector<std::byte> buf(frame_bytes_for_payload(0, false));
+  ASSERT_TRUE(encode_header(h, buf).is_ok());
+
+  auto decoded = decode_header(buf);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  const FrameHeader& d = decoded.value();
+  EXPECT_EQ(d.fn(), Function::ExecEnable);
+  EXPECT_EQ(d.target, kExecutiveTid);
+  EXPECT_EQ(d.initiator, 42);
+  EXPECT_EQ(d.initiator_context, 7u);
+  EXPECT_EQ(d.transaction_context, 9u);
+  EXPECT_FALSE(d.is_private());
+  EXPECT_EQ(d.payload_bytes(), 0u);
+}
+
+TEST(FrameHeaderRoundTrip, PrivateFrameCarriesOrgAndXfn) {
+  const FrameHeader h = sample_private_header();
+  std::vector<std::byte> buf(frame_bytes_for_payload(12, true));
+  ASSERT_TRUE(encode_header(h, buf).is_ok());
+
+  auto decoded = decode_header(buf);
+  ASSERT_TRUE(decoded.is_ok());
+  const FrameHeader& d = decoded.value();
+  EXPECT_TRUE(d.is_private());
+  EXPECT_EQ(d.org(), OrgId::kTest);
+  EXPECT_EQ(d.xfunction, 0x0042);
+  EXPECT_EQ(d.payload_bytes(), 12u);
+}
+
+TEST(FrameHeaderRoundTrip, TidBoundaries) {
+  FrameHeader h = sample_private_header();
+  h.target = kMaxTid;
+  h.initiator = kMaxTid;
+  std::vector<std::byte> buf(frame_bytes_for_payload(0, true));
+  ASSERT_TRUE(encode_header(h, buf).is_ok());
+  auto d = decode_header(buf);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().target, kMaxTid);
+  EXPECT_EQ(d.value().initiator, kMaxTid);
+}
+
+TEST(FrameHeaderEncode, RejectsOversizedTid) {
+  FrameHeader h = sample_private_header();
+  h.target = kMaxTid + 1;
+  std::vector<std::byte> buf(64);
+  EXPECT_EQ(encode_header(h, buf).code(), Errc::InvalidArgument);
+}
+
+TEST(FrameHeaderEncode, RejectsShortBuffer) {
+  const FrameHeader h = sample_private_header();
+  std::vector<std::byte> buf(8);
+  EXPECT_EQ(encode_header(h, buf).code(), Errc::InvalidArgument);
+}
+
+TEST(FrameHeaderDecode, RejectsShortBuffer) {
+  std::vector<std::byte> buf(8);
+  EXPECT_EQ(decode_header(buf).status().code(), Errc::MalformedFrame);
+}
+
+TEST(FrameHeaderDecode, RejectsBadVersion) {
+  const FrameHeader h = sample_private_header();
+  std::vector<std::byte> buf(frame_bytes_for_payload(0, true));
+  ASSERT_TRUE(encode_header(h, buf).is_ok());
+  buf[0] = static_cast<std::byte>(0x02);  // wrong version nibble
+  EXPECT_EQ(decode_header(buf).status().code(), Errc::MalformedFrame);
+}
+
+TEST(FrameHeaderDecode, RejectsUnknownFunction) {
+  FrameHeader h;
+  h.function = 0x55;  // not a known code
+  std::vector<std::byte> buf(32);
+  // encode_header does not police function codes (private extensions are
+  // legal); decode of an unknown non-private code must fail.
+  ASSERT_TRUE(encode_header(h, buf).is_ok());
+  EXPECT_EQ(decode_header(buf).status().code(), Errc::MalformedFrame);
+}
+
+TEST(FrameHeaderDecode, RejectsSizeExceedingBuffer) {
+  FrameHeader h = sample_private_header();
+  std::vector<std::byte> buf(frame_bytes_for_payload(0, true));
+  h.size_words = 100;  // declared larger than the buffer
+  ASSERT_TRUE(encode_header(h, buf).is_ok());
+  EXPECT_EQ(decode_header(buf).status().code(), Errc::MalformedFrame);
+}
+
+TEST(FrameHeaderDecode, RejectsSizeSmallerThanHeader) {
+  FrameHeader h = sample_private_header();
+  std::vector<std::byte> buf(frame_bytes_for_payload(0, true));
+  ASSERT_TRUE(encode_header(h, buf).is_ok());
+  put_u16(buf, 2, 2);  // 8 bytes < 20-byte private header
+  EXPECT_EQ(decode_header(buf).status().code(), Errc::MalformedFrame);
+}
+
+TEST(FrameHeaderDecode, RejectsSglOffsetOutsideFrame) {
+  FrameHeader h = sample_private_header();
+  h.sgl_offset_words = 15;
+  std::vector<std::byte> buf(frame_bytes_for_payload(0, true));  // 5 words
+  ASSERT_TRUE(encode_header(h, buf).is_ok());
+  EXPECT_EQ(decode_header(buf).status().code(), Errc::MalformedFrame);
+}
+
+TEST(Payload, ViewsMatchEncodedRegion) {
+  FrameHeader h = sample_private_header();
+  const auto payload = make_payload(32, 3);
+  std::vector<std::byte> buf(frame_bytes_for_payload(payload.size(), true));
+  ASSERT_TRUE(encode_header(h, buf).is_ok());
+  std::memcpy(buf.data() + kPrivateHeaderBytes, payload.data(),
+              payload.size());
+
+  auto d = decode_header(buf);
+  ASSERT_TRUE(d.is_ok());
+  const auto view = payload_of(d.value(), std::span<const std::byte>(buf));
+  ASSERT_EQ(view.size(), 32u);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), 32), 0);
+}
+
+TEST(Reply, SwapsAddressesAndSetsFlags) {
+  const FrameHeader req = sample_private_header();
+  const FrameHeader rep = make_reply_header(req);
+  EXPECT_EQ(rep.target, req.initiator);
+  EXPECT_EQ(rep.initiator, req.target);
+  EXPECT_TRUE(rep.flags & kFlagReply);
+  EXPECT_FALSE(rep.flags & kFlagFail);
+  EXPECT_EQ(rep.initiator_context, req.initiator_context);
+  EXPECT_EQ(rep.transaction_context, req.transaction_context);
+
+  const FrameHeader fail = make_reply_header(req, /*failed=*/true);
+  EXPECT_TRUE(fail.flags & kFlagFail);
+}
+
+TEST(Describe, MentionsKeyFields) {
+  const auto text = describe(sample_private_header());
+  EXPECT_NE(text.find("tgt=17"), std::string::npos);
+  EXPECT_NE(text.find("ini=23"), std::string::npos);
+}
+
+// Property sweep: encode/decode round-trips across payload sizes and both
+// frame shapes, the invariant the transports rely on.
+class FrameRoundTripP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FrameRoundTripP, EncodeDecodeIdentity) {
+  const std::size_t payload_bytes = GetParam();
+  for (const bool is_private : {false, true}) {
+    FrameHeader h;
+    if (is_private) {
+      h = sample_private_header();
+    } else {
+      h.function = static_cast<std::uint8_t>(Function::UtilNop);
+      h.target = 5;
+      h.initiator = 6;
+    }
+    std::vector<std::byte> buf(
+        frame_bytes_for_payload(payload_bytes, is_private));
+    ASSERT_TRUE(encode_header(h, buf).is_ok());
+    auto d = decode_header(buf);
+    ASSERT_TRUE(d.is_ok()) << "payload=" << payload_bytes;
+    EXPECT_EQ(d.value().is_private(), is_private);
+    // Padding can add up to 3 bytes; payload view covers the padded region.
+    EXPECT_GE(d.value().payload_bytes(), payload_bytes);
+    EXPECT_LT(d.value().payload_bytes(), payload_bytes + kWordBytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSweep, FrameRoundTripP,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 16, 63, 64,
+                                           255, 256, 1024, 4096, 65536,
+                                           kMaxPayloadBytes));
+
+}  // namespace
+}  // namespace xdaq::i2o

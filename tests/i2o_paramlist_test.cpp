@@ -1,0 +1,73 @@
+#include "i2o/paramlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xdaq::i2o {
+namespace {
+
+TEST(ParamList, EmptyRoundTrip) {
+  const ParamList empty;
+  std::vector<std::byte> buf(param_list_bytes(empty));
+  EXPECT_EQ(buf.size(), 2u);
+  ASSERT_TRUE(encode_param_list(empty, buf).is_ok());
+  auto d = decode_param_list(buf);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_TRUE(d.value().empty());
+}
+
+TEST(ParamList, RoundTripPreservesOrderAndValues) {
+  const ParamList params{{"class", "EchoDevice"},
+                         {"instance", "echo0"},
+                         {"payload", "4096"},
+                         {"empty", ""}};
+  std::vector<std::byte> buf(param_list_bytes(params));
+  ASSERT_TRUE(encode_param_list(params, buf).is_ok());
+  auto d = decode_param_list(buf);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value(), params);
+}
+
+TEST(ParamList, BinaryValuesSurvive) {
+  std::string blob;
+  for (int i = 0; i < 256; ++i) {
+    blob.push_back(static_cast<char>(i));
+  }
+  const ParamList params{{"blob", blob}};
+  std::vector<std::byte> buf(param_list_bytes(params));
+  ASSERT_TRUE(encode_param_list(params, buf).is_ok());
+  auto d = decode_param_list(buf);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value()[0].second, blob);
+}
+
+TEST(ParamList, EncodeRejectsSmallBuffer) {
+  const ParamList params{{"k", "v"}};
+  std::vector<std::byte> buf(param_list_bytes(params) - 1);
+  EXPECT_EQ(encode_param_list(params, buf).code(), Errc::InvalidArgument);
+}
+
+TEST(ParamList, DecodeRejectsTruncation) {
+  const ParamList params{{"key", "value"}};
+  std::vector<std::byte> buf(param_list_bytes(params));
+  ASSERT_TRUE(encode_param_list(params, buf).is_ok());
+  // Every prefix shorter than the full encoding must fail cleanly.
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    const auto d = decode_param_list(std::span(buf.data(), cut));
+    EXPECT_FALSE(d.is_ok()) << "cut=" << cut;
+    EXPECT_EQ(d.status().code(), Errc::MalformedFrame);
+  }
+}
+
+TEST(ParamList, LookupHelpers) {
+  const ParamList params{{"a", "1"}, {"b", "2"}, {"a", "3"}};
+  EXPECT_EQ(param_value(params, "a"), "1");  // first match wins
+  EXPECT_EQ(param_value(params, "b"), "2");
+  EXPECT_EQ(param_value(params, "zz"), "");
+  EXPECT_TRUE(param_has(params, "b"));
+  EXPECT_FALSE(param_has(params, "zz"));
+}
+
+}  // namespace
+}  // namespace xdaq::i2o

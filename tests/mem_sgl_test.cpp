@@ -1,0 +1,143 @@
+#include "mem/sgl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/random.hpp"
+
+namespace xdaq::mem {
+namespace {
+
+FrameRef filled_block(Pool& pool, std::size_t size, std::uint64_t seed) {
+  auto r = pool.allocate(size);
+  EXPECT_TRUE(r.is_ok());
+  FrameRef f = std::move(r).value();
+  const auto data = make_payload(size, seed);
+  std::memcpy(f.bytes().data(), data.data(), size);
+  return f;
+}
+
+TEST(Sgl, EmptyList) {
+  const ScatterGatherList sgl;
+  EXPECT_EQ(sgl.segment_count(), 0u);
+  EXPECT_EQ(sgl.total_bytes(), 0u);
+  EXPECT_TRUE(sgl.gather().empty());
+}
+
+TEST(Sgl, AppendWholeBuffers) {
+  TablePool pool;
+  ScatterGatherList sgl;
+  sgl.append(filled_block(pool, 100, 1));
+  sgl.append(filled_block(pool, 200, 2));
+  EXPECT_EQ(sgl.segment_count(), 2u);
+  EXPECT_EQ(sgl.total_bytes(), 300u);
+
+  const auto all = sgl.gather();
+  const auto p1 = make_payload(100, 1);
+  const auto p2 = make_payload(200, 2);
+  ASSERT_EQ(all.size(), 300u);
+  EXPECT_EQ(std::memcmp(all.data(), p1.data(), 100), 0);
+  EXPECT_EQ(std::memcmp(all.data() + 100, p2.data(), 200), 0);
+}
+
+TEST(Sgl, SubRangeSegments) {
+  TablePool pool;
+  ScatterGatherList sgl;
+  FrameRef block = filled_block(pool, 100, 3);
+  ASSERT_TRUE(sgl.append(block, 10, 20).is_ok());
+  ASSERT_TRUE(sgl.append(block, 50, 5).is_ok());
+  EXPECT_EQ(sgl.total_bytes(), 25u);
+  const auto all = sgl.gather();
+  const auto src = make_payload(100, 3);
+  EXPECT_EQ(std::memcmp(all.data(), src.data() + 10, 20), 0);
+  EXPECT_EQ(std::memcmp(all.data() + 20, src.data() + 50, 5), 0);
+}
+
+TEST(Sgl, RejectsOutOfRangeSegment) {
+  TablePool pool;
+  ScatterGatherList sgl;
+  FrameRef block = filled_block(pool, 100, 4);
+  EXPECT_EQ(sgl.append(block, 90, 20).code(), Errc::InvalidArgument);
+  EXPECT_EQ(sgl.append(block, 101, 0).code(), Errc::InvalidArgument);
+  EXPECT_EQ(sgl.append(FrameRef{}, 0, 0).code(), Errc::InvalidArgument);
+}
+
+TEST(Sgl, SegmentsShareNotCopy) {
+  TablePool pool;
+  FrameRef block = filled_block(pool, 64, 5);
+  ScatterGatherList sgl;
+  sgl.append(block);
+  EXPECT_EQ(block.use_count(), 2u);  // list holds a reference
+  // Mutating the block is visible through the list (zero copy).
+  block.bytes()[0] = static_cast<std::byte>(0xFF);
+  EXPECT_EQ(sgl.segment(0)[0], static_cast<std::byte>(0xFF));
+}
+
+TEST(Sgl, GatherIntoRejectsSmallTarget) {
+  TablePool pool;
+  ScatterGatherList sgl;
+  sgl.append(filled_block(pool, 10, 6));
+  std::vector<std::byte> small(5);
+  EXPECT_EQ(sgl.gather_into(small).code(), Errc::InvalidArgument);
+}
+
+TEST(Sgl, ClearDropsReferences) {
+  TablePool pool;
+  ScatterGatherList sgl;
+  sgl.append(filled_block(pool, 10, 7));
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+  sgl.clear();
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_EQ(sgl.total_bytes(), 0u);
+}
+
+TEST(Sgl, ScatterSplitsAndRoundTrips) {
+  TablePool pool;
+  const auto data = make_payload(10000, 8);
+  const std::vector<std::byte> bytes(
+      reinterpret_cast<const std::byte*>(data.data()),
+      reinterpret_cast<const std::byte*>(data.data()) + data.size());
+  auto r = ScatterGatherList::scatter(pool, bytes, 1024);
+  ASSERT_TRUE(r.is_ok());
+  const auto& sgl = r.value();
+  EXPECT_EQ(sgl.segment_count(), 10u);  // ceil(10000/1024)
+  EXPECT_EQ(sgl.total_bytes(), 10000u);
+  EXPECT_EQ(sgl.gather(), bytes);
+}
+
+TEST(Sgl, ScatterEmptyMakesOneEmptySegment) {
+  TablePool pool;
+  auto r = ScatterGatherList::scatter(pool, {}, 64);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().segment_count(), 1u);
+  EXPECT_EQ(r.value().total_bytes(), 0u);
+}
+
+TEST(Sgl, ScatterRejectsZeroSegmentSize) {
+  TablePool pool;
+  std::vector<std::byte> data(10);
+  EXPECT_EQ(ScatterGatherList::scatter(pool, data, 0).status().code(),
+            Errc::InvalidArgument);
+}
+
+class SglSweepP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SglSweepP, ScatterGatherIdentity) {
+  TablePool pool;
+  const auto raw = make_payload(GetParam(), 9);
+  const std::vector<std::byte> bytes(
+      reinterpret_cast<const std::byte*>(raw.data()),
+      reinterpret_cast<const std::byte*>(raw.data()) + raw.size());
+  for (const std::size_t seg : {1u, 7u, 64u, 4096u}) {
+    auto r = ScatterGatherList::scatter(pool, bytes, seg);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().gather(), bytes) << "seg=" << seg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SglSweepP,
+                         ::testing::Values(1, 2, 63, 64, 65, 1000, 8192));
+
+}  // namespace
+}  // namespace xdaq::mem

@@ -1,0 +1,185 @@
+#include "netio/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "util/random.hpp"
+
+namespace xdaq::netio {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::vector<std::uint8_t>& v) {
+  std::vector<std::byte> out(v.size());
+  std::memcpy(out.data(), v.data(), v.size());
+  return out;
+}
+
+TEST(TcpListener, BindsEphemeralPort) {
+  auto l = TcpListener::bind(0);
+  ASSERT_TRUE(l.is_ok()) << l.status().to_string();
+  EXPECT_GT(l.value().port(), 0);
+}
+
+TEST(TcpStream, ConnectRefusedReportsError) {
+  // Bind then close to obtain a port that is very likely unused.
+  std::uint16_t dead_port = 0;
+  {
+    auto l = TcpListener::bind(0);
+    ASSERT_TRUE(l.is_ok());
+    dead_port = l.value().port();
+  }
+  auto s = TcpStream::connect("127.0.0.1", dead_port);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.status().code(), Errc::IoError);
+}
+
+TEST(TcpStream, BadAddressRejected) {
+  auto s = TcpStream::connect("not-an-ip", 1234);
+  EXPECT_EQ(s.status().code(), Errc::InvalidArgument);
+}
+
+TEST(Tcp, EchoRoundTrip) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  const std::uint16_t port = listener.value().port();
+
+  std::thread server([&listener] {
+    auto conn = listener.value().accept();
+    ASSERT_TRUE(conn.is_ok());
+    std::vector<std::byte> buf(1000);
+    ASSERT_TRUE(conn.value().read_exact(buf).is_ok());
+    ASSERT_TRUE(conn.value().write_all(buf).is_ok());
+  });
+
+  auto client = TcpStream::connect("127.0.0.1", port);
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE(client.value().set_nodelay(true).is_ok());
+
+  const auto msg = bytes_of(make_payload(1000, 11));
+  ASSERT_TRUE(client.value().write_all(msg).is_ok());
+  std::vector<std::byte> echo(1000);
+  ASSERT_TRUE(client.value().read_exact(echo).is_ok());
+  EXPECT_EQ(echo, msg);
+  server.join();
+}
+
+TEST(Tcp, ReadExactDetectsEof) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  const std::uint16_t port = listener.value().port();
+
+  std::thread server([&listener] {
+    auto conn = listener.value().accept();
+    ASSERT_TRUE(conn.is_ok());
+    std::vector<std::byte> half(10, std::byte{1});
+    ASSERT_TRUE(conn.value().write_all(half).is_ok());
+    // close with only half the expected bytes sent
+  });
+
+  auto client = TcpStream::connect("127.0.0.1", port);
+  ASSERT_TRUE(client.is_ok());
+  std::vector<std::byte> buf(20);
+  const auto s = client.value().read_exact(buf);
+  EXPECT_EQ(s.code(), Errc::ConnectionClosed);
+  server.join();
+}
+
+TEST(Tcp, NonblockingReadReportsTimeout) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  const std::uint16_t port = listener.value().port();
+
+  std::thread server([&listener] {
+    auto conn = listener.value().accept();
+    ASSERT_TRUE(conn.is_ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+
+  auto client = TcpStream::connect("127.0.0.1", port);
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE(client.value().set_nonblocking(true).is_ok());
+  std::vector<std::byte> buf(16);
+  auto r = client.value().read_some(buf);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::Timeout);
+  server.join();
+}
+
+TEST(TcpListener, TryAcceptNonblocking) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  ASSERT_TRUE(listener.value().set_nonblocking(true).is_ok());
+
+  auto none = listener.value().try_accept();
+  ASSERT_TRUE(none.is_ok());
+  EXPECT_FALSE(none.value().has_value());
+
+  auto client = TcpStream::connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.is_ok());
+  // Accept may need a beat for the handshake to complete.
+  for (int i = 0; i < 100; ++i) {
+    auto got = listener.value().try_accept();
+    ASSERT_TRUE(got.is_ok());
+    if (got.value().has_value()) {
+      SUCCEED();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "connection never became acceptable";
+}
+
+TEST(Poller, SignalsReadableFd) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  const std::uint16_t port = listener.value().port();
+
+  std::thread server([&listener] {
+    auto conn = listener.value().accept();
+    ASSERT_TRUE(conn.is_ok());
+    std::vector<std::byte> one(1, std::byte{7});
+    ASSERT_TRUE(conn.value().write_all(one).is_ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+
+  auto client = TcpStream::connect("127.0.0.1", port);
+  ASSERT_TRUE(client.is_ok());
+
+  Poller poller;
+  poller.watch(client.value().fd());
+  EXPECT_EQ(poller.watched(), 1u);
+  auto ready = poller.wait_readable(1000);
+  ASSERT_TRUE(ready.is_ok());
+  ASSERT_EQ(ready.value().size(), 1u);
+  EXPECT_EQ(ready.value()[0], client.value().fd());
+
+  poller.unwatch(client.value().fd());
+  EXPECT_EQ(poller.watched(), 0u);
+  server.join();
+}
+
+TEST(Poller, TimesOutWithNoTraffic) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  Poller poller;
+  poller.watch(listener.value().fd());
+  auto ready = poller.wait_readable(10);
+  ASSERT_TRUE(ready.is_ok());
+  EXPECT_TRUE(ready.value().empty());
+}
+
+TEST(Socket, MoveTransfersFd) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  Socket a(listener.value().fd());
+  const int fd = a.fd();
+  Socket b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move) intentional
+  EXPECT_EQ(b.fd(), fd);
+  (void)b.release();  // listener still owns the fd; avoid double close
+}
+
+}  // namespace
+}  // namespace xdaq::netio

@@ -1,0 +1,127 @@
+// process_test.cpp - multi-process deployment: spawns real node_daemon
+// processes and drives them over TCP from a ControlSession, exactly the
+// way a production primary host would. This is the paper's deployment
+// model with genuine OS process and network boundaries.
+//
+// XDAQ_NODE_DAEMON is the daemon binary path, injected by CMake.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/executive.hpp"
+#include "pt/tcp_pt.hpp"
+#include "xcl/control.hpp"
+
+namespace xdaq {
+namespace {
+
+/// A node_daemon child process. Reads its "listening on" banner to learn
+/// the ephemeral port.
+class DaemonProcess {
+ public:
+  static std::unique_ptr<DaemonProcess> spawn(int node_id) {
+    auto proc = std::make_unique<DaemonProcess>();
+    const std::string cmd = std::string(XDAQ_NODE_DAEMON) +
+                            " --node=" + std::to_string(node_id) +
+                            " --listen=0 2>&1";
+    proc->pipe_ = ::popen(cmd.c_str(), "r");
+    if (proc->pipe_ == nullptr) {
+      return nullptr;
+    }
+    // First line: "xdaq node N ('name') listening on 127.0.0.1:PORT"
+    char line[256] = {};
+    if (std::fgets(line, sizeof(line), proc->pipe_) == nullptr) {
+      return nullptr;
+    }
+    const std::string banner(line);
+    const auto colon = banner.rfind(':');
+    if (colon == std::string::npos) {
+      return nullptr;
+    }
+    proc->port_ = static_cast<std::uint16_t>(
+        std::strtoul(banner.c_str() + colon + 1, nullptr, 10));
+    return proc->port_ != 0 ? std::move(proc) : nullptr;
+  }
+
+  ~DaemonProcess() {
+    if (pipe_ != nullptr) {
+      ::pclose(pipe_);  // waits for the child
+    }
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks until the daemon prints its shutdown banner and exits.
+  bool wait_exit() {
+    char line[256];
+    while (std::fgets(line, sizeof(line), pipe_) != nullptr) {
+    }
+    const int rc = ::pclose(pipe_);
+    pipe_ = nullptr;
+    return rc == 0;
+  }
+
+ private:
+  FILE* pipe_ = nullptr;
+  std::uint16_t port_ = 0;
+};
+
+TEST(MultiProcess, ControlLoadAndShutdownRealDaemons) {
+  auto d2 = DaemonProcess::spawn(2);
+  auto d3 = DaemonProcess::spawn(3);
+  ASSERT_NE(d2, nullptr) << "daemon 2 failed to start";
+  ASSERT_NE(d3, nullptr) << "daemon 3 failed to start";
+
+  // Primary host in this process.
+  core::Executive host(
+      core::ExecutiveConfig{.node_id = 1, .name = "primary"});
+  auto transport = std::make_unique<pt::TcpPeerTransport>();
+  pt::TcpPeerTransport* pt = transport.get();
+  const auto pt_tid = host.install(std::move(transport), "pt_tcp").value();
+  ASSERT_TRUE(host.enable(pt_tid).is_ok());
+  pt->add_peer(2, "127.0.0.1", d2->port());
+  pt->add_peer(3, "127.0.0.1", d3->port());
+  ASSERT_TRUE(host.set_route(2, pt_tid).is_ok());
+  ASSERT_TRUE(host.set_route(3, pt_tid).is_ok());
+
+  xcl::ControlSession session(host, std::chrono::seconds(10));
+  ASSERT_TRUE(session.add_node("w1", 2).is_ok());
+  ASSERT_TRUE(session.add_node("w2", 3).is_ok());
+  host.start();
+
+  // Liveness across the process boundary.
+  EXPECT_TRUE(session.ping("w1").is_ok());
+  EXPECT_TRUE(session.ping("w2").is_ok());
+
+  // Runtime class loading in a foreign process.
+  ASSERT_TRUE(session.load("w1", "BuilderUnit", "builder", {}).is_ok());
+  ASSERT_TRUE(
+      session.state_op("w1", "builder", i2o::Function::ExecEnable)
+          .is_ok());
+  auto params = session.param_get("w1", "builder");
+  ASSERT_TRUE(params.is_ok());
+  EXPECT_EQ(i2o::param_value(params.value(), "state"), "Enabled");
+  EXPECT_EQ(i2o::param_value(params.value(), "class"), "BuilderUnit");
+
+  // Node status of a real remote process.
+  auto status = session.status("w2");
+  ASSERT_TRUE(status.is_ok());
+  EXPECT_EQ(i2o::param_value(status.value(), "name"), "node3");
+
+  // Remote shutdown via the daemon's ShutdownHook device.
+  ASSERT_TRUE(
+      session.state_op("w1", "shutdown", i2o::Function::ExecHalt).is_ok());
+  ASSERT_TRUE(
+      session.state_op("w2", "shutdown", i2o::Function::ExecHalt).is_ok());
+  host.stop();
+
+  EXPECT_TRUE(d2->wait_exit());
+  EXPECT_TRUE(d3->wait_exit());
+}
+
+}  // namespace
+}  // namespace xdaq

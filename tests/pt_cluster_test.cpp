@@ -1,0 +1,228 @@
+#include "pt/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/requester.hpp"
+#include "test_devices.hpp"
+#include "util/random.hpp"
+
+namespace xdaq::pt {
+namespace {
+
+using core::Requester;
+using xdaq::testing::CounterDevice;
+using xdaq::testing::EchoDevice;
+using xdaq::testing::kXfnCount;
+using xdaq::testing::kXfnEcho;
+using xdaq::testing::pump_until;
+
+std::vector<std::byte> bytes_of(const std::vector<std::uint8_t>& v) {
+  std::vector<std::byte> out(v.size());
+  std::memcpy(out.data(), v.data(), v.size());
+  return out;
+}
+
+TEST(Cluster, SetsUpNodesRoutesAndPorts) {
+  Cluster cluster(ClusterConfig{.nodes = 3});
+  EXPECT_EQ(cluster.size(), 3u);
+  EXPECT_EQ(cluster.fabric().port_count(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster.node(i).node_id(), cluster.node_id(i));
+    EXPECT_TRUE(cluster.node(i).tid_of("pt_gm").is_ok());
+  }
+}
+
+TEST(Cluster, ConnectCreatesNamedProxy) {
+  Cluster cluster;
+  ASSERT_TRUE(
+      cluster.install(1, std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto proxy = cluster.connect(0, 1, "echo", "remote_echo");
+  ASSERT_TRUE(proxy.is_ok());
+  EXPECT_EQ(cluster.node(0).tid_of("remote_echo").value(), proxy.value());
+  // Interning twice yields the same proxy.
+  auto again = cluster.connect(0, 1, "echo");
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value(), proxy.value());
+}
+
+TEST(Cluster, ConnectUnknownInstanceFails) {
+  Cluster cluster;
+  EXPECT_EQ(cluster.connect(0, 1, "ghost").status().code(), Errc::NotFound);
+}
+
+class ClusterModeP
+    : public ::testing::TestWithParam<core::TransportDevice::Mode> {};
+
+TEST_P(ClusterModeP, CrossNodeEchoRoundTrip) {
+  ClusterConfig cfg;
+  cfg.transport.mode = GetParam();
+  Cluster cluster(cfg);
+  ASSERT_TRUE(
+      cluster.install(1, std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(cluster.install(0, std::move(req), "req").is_ok());
+  const auto proxy = cluster.connect(0, 1, "echo").value();
+  ASSERT_TRUE(cluster.enable_all().is_ok());
+  cluster.start_all();
+
+  const auto payload = bytes_of(make_payload(256, 7));
+  auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
+                                     payload, std::chrono::seconds(5));
+  cluster.stop_all();
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_FALSE(reply.value().failed());
+  ASSERT_GE(reply.value().payload.size(), payload.size());
+  EXPECT_EQ(std::memcmp(reply.value().payload.data(), payload.data(),
+                        payload.size()),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ClusterModeP,
+    ::testing::Values(core::TransportDevice::Mode::Polling,
+                      core::TransportDevice::Mode::Task));
+
+TEST(Cluster, InitiatorProxyIsReusedAcrossCalls) {
+  Cluster cluster;
+  ASSERT_TRUE(
+      cluster.install(1, std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(cluster.install(0, std::move(req), "req").is_ok());
+  const auto proxy = cluster.connect(0, 1, "echo").value();
+  ASSERT_TRUE(cluster.enable_all().is_ok());
+  cluster.start_all();
+  for (int i = 0; i < 5; ++i) {
+    auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
+                                       {}, std::chrono::seconds(5));
+    ASSERT_TRUE(reply.is_ok());
+  }
+  cluster.stop_all();
+  // Node 1 interned exactly one proxy for the requester on node 0.
+  EXPECT_EQ(cluster.node(1).address_table().proxy_count(), 1u);
+}
+
+TEST(Cluster, PayloadIntegrityAcrossSizes) {
+  Cluster cluster;
+  ASSERT_TRUE(
+      cluster.install(1, std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(cluster.install(0, std::move(req), "req").is_ok());
+  const auto proxy = cluster.connect(0, 1, "echo").value();
+  ASSERT_TRUE(cluster.enable_all().is_ok());
+  cluster.start_all();
+  for (const std::size_t size :
+       {0u, 1u, 3u, 4u, 64u, 1024u, 65536u, 200000u}) {
+    const auto payload = bytes_of(make_payload(size, size + 1));
+    auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
+                                       payload, std::chrono::seconds(5));
+    ASSERT_TRUE(reply.is_ok()) << "size=" << size;
+    ASSERT_GE(reply.value().payload.size(), size);
+    if (size != 0) {
+      EXPECT_EQ(std::memcmp(reply.value().payload.data(), payload.data(),
+                            size),
+                0)
+          << "size=" << size;
+    }
+  }
+  cluster.stop_all();
+}
+
+TEST(Cluster, ManyToOneCrossTraffic) {
+  // The XDAQ naming motivation: n nodes talk to m nodes, channels cross.
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  Cluster cluster(cfg);
+  auto counter = std::make_unique<CounterDevice>();
+  CounterDevice* counter_raw = counter.get();
+  ASSERT_TRUE(cluster.install(3, std::move(counter), "sink").is_ok());
+
+  struct Spammer : core::Device {
+    explicit Spammer(i2o::Tid target) : Device("Spammer"), target_(target) {}
+    Status fire(int n) {
+      for (int i = 0; i < n; ++i) {
+        auto frame = make_private_frame(target_, i2o::OrgId::kTest,
+                                        kXfnCount, {});
+        if (!frame.is_ok()) {
+          return frame.status();
+        }
+        if (Status st = frame_send(std::move(frame).value()); !st.is_ok()) {
+          return st;
+        }
+      }
+      return Status::ok();
+    }
+    i2o::Tid target_;
+  };
+
+  std::vector<Spammer*> spammers;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto proxy = cluster.connect(i, 3, "sink").value();
+    auto sp = std::make_unique<Spammer>(proxy);
+    spammers.push_back(sp.get());
+    ASSERT_TRUE(cluster.install(i, std::move(sp), "spam").is_ok());
+  }
+  ASSERT_TRUE(cluster.enable_all().is_ok());
+  cluster.start_all();
+  for (auto* sp : spammers) {
+    ASSERT_TRUE(sp->fire(100).is_ok());
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (counter_raw->count() < 300 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  cluster.stop_all();
+  EXPECT_EQ(counter_raw->count(), 300u);
+}
+
+TEST(Cluster, ControlPlaneAcrossNodes) {
+  // Primary-host pattern: node 0 configures and enables a device on node 1
+  // purely with executive messages addressed to the remote kernel.
+  Cluster cluster;
+  ASSERT_TRUE(
+      cluster.install(1, std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(cluster.install(0, std::move(req), "req").is_ok());
+  // Proxy for node 1's kernel (TiD 1).
+  const auto kernel_proxy =
+      cluster.node(0)
+          .register_remote(cluster.node_id(1), i2o::kExecutiveTid)
+          .value();
+  // Enable only the PTs so frames can flow; echo stays Loaded.
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        cluster.node(i).enable(cluster.node(i).tid_of("pt_gm").value())
+            .is_ok());
+  }
+  cluster.start_all();
+
+  auto status = req_raw->call_standard(kernel_proxy,
+                                       i2o::Function::ExecStatusGet, {},
+                                       std::chrono::seconds(5));
+  ASSERT_TRUE(status.is_ok()) << status.status().to_string();
+  auto params = status.value().params();
+  ASSERT_TRUE(params.is_ok());
+  EXPECT_EQ(i2o::param_value(params.value(), "name"), "node2");
+  EXPECT_TRUE(i2o::param_has(params.value(), "device.echo"));
+
+  auto enable = req_raw->call_standard(kernel_proxy,
+                                       i2o::Function::ExecEnable,
+                                       {{"instance", "echo"}},
+                                       std::chrono::seconds(5));
+  ASSERT_TRUE(enable.is_ok());
+  EXPECT_FALSE(enable.value().failed());
+  cluster.stop_all();
+  EXPECT_EQ(
+      cluster.node(1).device(cluster.node(1).tid_of("echo").value())->state(),
+      core::DeviceState::Enabled);
+}
+
+}  // namespace
+}  // namespace xdaq::pt

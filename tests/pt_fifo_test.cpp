@@ -1,0 +1,146 @@
+#include "pt/fifo_pt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/requester.hpp"
+#include "test_devices.hpp"
+#include "util/random.hpp"
+
+namespace xdaq::pt {
+namespace {
+
+using core::Requester;
+using xdaq::testing::EchoDevice;
+using xdaq::testing::kXfnEcho;
+
+/// Host executive + IOP-board executive joined by the FIFO link,
+/// mirroring the paper's PLX IOP 480 setup (section 7).
+struct HostIop {
+  FifoLink link;
+  core::Executive host{core::ExecutiveConfig{.node_id = 1, .name = "host"}};
+  core::Executive iop{core::ExecutiveConfig{.node_id = 2, .name = "iop"}};
+  FifoTransport* pt_host = nullptr;
+  FifoTransport* pt_iop = nullptr;
+
+  explicit HostIop(std::size_t depth = 256) : link(depth) {
+    auto th = std::make_unique<FifoTransport>(link, 0);
+    auto ti = std::make_unique<FifoTransport>(link, 1);
+    pt_host = th.get();
+    pt_iop = ti.get();
+    EXPECT_TRUE(host.install(std::move(th), "pt_fifo").is_ok());
+    EXPECT_TRUE(iop.install(std::move(ti), "pt_fifo").is_ok());
+    EXPECT_TRUE(host.set_route(2, pt_host->tid()).is_ok());
+    EXPECT_TRUE(iop.set_route(1, pt_iop->tid()).is_ok());
+  }
+};
+
+TEST(FifoPt, EchoAcrossTheSegment) {
+  HostIop pair;
+  ASSERT_TRUE(pair.iop.install(std::make_unique<EchoDevice>(), "echo")
+                  .is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(pair.host.install(std::move(req), "req").is_ok());
+  const auto proxy =
+      pair.host.register_remote(2, pair.iop.tid_of("echo").value()).value();
+  ASSERT_TRUE(pair.host.enable_all().is_ok());
+  ASSERT_TRUE(pair.iop.enable_all().is_ok());
+  pair.host.start();
+  pair.iop.start();
+
+  const auto raw = make_payload(512, 7);
+  std::vector<std::byte> payload(512);
+  std::memcpy(payload.data(), raw.data(), 512);
+  auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
+                                     payload, std::chrono::seconds(5));
+  pair.host.stop();
+  pair.iop.stop();
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_EQ(std::memcmp(reply.value().payload.data(), payload.data(), 512),
+            0);
+}
+
+TEST(FifoPt, SendToWrongNodeUnroutable) {
+  HostIop pair;
+  std::vector<std::byte> frame(i2o::kStdHeaderBytes);
+  EXPECT_EQ(pair.pt_host->transport_send(99, frame).code(),
+            Errc::Unroutable);
+}
+
+TEST(FifoPt, FullFifoRejectsLikeHardware) {
+  HostIop pair(4);  // 4 slots per direction
+  std::vector<std::byte> frame(i2o::kStdHeaderBytes);
+  // The IOP side never polls (executive not running): fill its FIFO.
+  int accepted = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (pair.pt_host->transport_send(2, frame).is_ok()) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(pair.pt_host->fifo_full_rejects(), 12u);
+  // Draining the FIFO makes room again.
+  ASSERT_TRUE(pair.iop.enable(pair.pt_iop->tid()).is_ok());
+  pair.iop.run_once();
+  EXPECT_TRUE(pair.pt_host->transport_send(2, frame).is_ok());
+}
+
+TEST(FifoPt, ParamsReportFifoState) {
+  HostIop pair;
+  ASSERT_TRUE(pair.host.enable_all().is_ok());
+  core::Device* dev = pair.host.device(pair.pt_host->tid());
+  ASSERT_NE(dev, nullptr);
+  // Drive a ParamsGet through the message path.
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(pair.host.install(std::move(req), "req").is_ok());
+  pair.host.start();
+  auto reply = req_raw->call_standard(pair.pt_host->tid(),
+                                      i2o::Function::UtilParamsGet, {},
+                                      std::chrono::seconds(2));
+  pair.host.stop();
+  ASSERT_TRUE(reply.is_ok());
+  auto params = reply.value().params();
+  ASSERT_TRUE(params.is_ok());
+  EXPECT_EQ(i2o::param_value(params.value(), "endpoint"), "0");
+  EXPECT_EQ(i2o::param_value(params.value(), "fifo_depth"), "256");
+}
+
+TEST(FifoPt, BidirectionalTrafficBothDirections) {
+  HostIop pair;
+  ASSERT_TRUE(pair.iop.install(std::make_unique<EchoDevice>(), "echo_iop")
+                  .is_ok());
+  ASSERT_TRUE(pair.host.install(std::make_unique<EchoDevice>(), "echo_host")
+                  .is_ok());
+  auto req_h = std::make_unique<Requester>();
+  Requester* rh = req_h.get();
+  ASSERT_TRUE(pair.host.install(std::move(req_h), "req_h").is_ok());
+  auto req_i = std::make_unique<Requester>();
+  Requester* ri = req_i.get();
+  ASSERT_TRUE(pair.iop.install(std::move(req_i), "req_i").is_ok());
+  const auto to_iop =
+      pair.host.register_remote(2, pair.iop.tid_of("echo_iop").value())
+          .value();
+  const auto to_host =
+      pair.iop.register_remote(1, pair.host.tid_of("echo_host").value())
+          .value();
+  ASSERT_TRUE(pair.host.enable_all().is_ok());
+  ASSERT_TRUE(pair.iop.enable_all().is_ok());
+  pair.host.start();
+  pair.iop.start();
+  for (int i = 0; i < 50; ++i) {
+    auto a = rh->call_private(to_iop, i2o::OrgId::kTest, kXfnEcho, {},
+                              std::chrono::seconds(5));
+    auto b = ri->call_private(to_host, i2o::OrgId::kTest, kXfnEcho, {},
+                              std::chrono::seconds(5));
+    ASSERT_TRUE(a.is_ok()) << i;
+    ASSERT_TRUE(b.is_ok()) << i;
+  }
+  pair.host.stop();
+  pair.iop.stop();
+}
+
+}  // namespace
+}  // namespace xdaq::pt

@@ -1,0 +1,105 @@
+#include "pt/local_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/requester.hpp"
+#include "test_devices.hpp"
+#include "util/random.hpp"
+
+namespace xdaq::pt {
+namespace {
+
+using core::Requester;
+using xdaq::testing::EchoDevice;
+using xdaq::testing::kXfnEcho;
+
+struct TwoNodes {
+  LocalBus bus;
+  core::Executive a;
+  core::Executive b;
+  i2o::Tid pt_a = 0;
+  i2o::Tid pt_b = 0;
+
+  TwoNodes()
+      : a(core::ExecutiveConfig{.node_id = 1, .name = "a"}),
+        b(core::ExecutiveConfig{.node_id = 2, .name = "b"}) {
+    pt_a = a.install(std::make_unique<LocalBusTransport>(bus), "pt").value();
+    pt_b = b.install(std::make_unique<LocalBusTransport>(bus), "pt").value();
+    EXPECT_TRUE(a.set_route(2, pt_a).is_ok());
+    EXPECT_TRUE(b.set_route(1, pt_b).is_ok());
+  }
+};
+
+TEST(LocalBus, AttachesOnPlugin) {
+  TwoNodes nodes;
+  EXPECT_EQ(nodes.bus.attached(), 2u);
+}
+
+TEST(LocalBus, DuplicateNodeIdDoesNotAttachTwice) {
+  LocalBus bus;
+  core::Executive a(core::ExecutiveConfig{.node_id = 1, .name = "a"});
+  core::Executive dup(core::ExecutiveConfig{.node_id = 1, .name = "dup"});
+  ASSERT_TRUE(
+      a.install(std::make_unique<LocalBusTransport>(bus), "pt").is_ok());
+  ASSERT_TRUE(
+      dup.install(std::make_unique<LocalBusTransport>(bus), "pt").is_ok());
+  EXPECT_EQ(bus.attached(), 1u);  // second attach refused, first stays
+}
+
+TEST(LocalBus, EchoAcrossBus) {
+  TwoNodes nodes;
+  ASSERT_TRUE(
+      nodes.b.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(nodes.a.install(std::move(req), "req").is_ok());
+  const auto proxy =
+      nodes.a.register_remote(2, nodes.b.tid_of("echo").value()).value();
+  ASSERT_TRUE(nodes.a.enable_all().is_ok());
+  ASSERT_TRUE(nodes.b.enable_all().is_ok());
+  nodes.a.start();
+  nodes.b.start();
+
+  const auto payload = make_payload(128, 3);
+  std::vector<std::byte> bytes(128);
+  std::memcpy(bytes.data(), payload.data(), 128);
+  auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
+                                     bytes, std::chrono::seconds(2));
+  nodes.a.stop();
+  nodes.b.stop();
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_EQ(std::memcmp(reply.value().payload.data(), bytes.data(), 128), 0);
+}
+
+TEST(LocalBus, SendToUnknownNodeIsUnroutable) {
+  TwoNodes nodes;
+  ASSERT_TRUE(nodes.a.set_route(9, nodes.pt_a).is_ok());
+  auto proxy = nodes.a.register_remote(9, 5).value();
+  auto frame = nodes.a.alloc_frame(0, true);
+  ASSERT_TRUE(frame.is_ok());
+  i2o::FrameHeader hdr;
+  hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+  hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kTest);
+  hdr.xfunction = kXfnEcho;
+  hdr.target = proxy;
+  auto span = frame.value().bytes();
+  ASSERT_TRUE(i2o::encode_header(hdr, span).is_ok());
+  EXPECT_EQ(nodes.a.frame_send(std::move(frame).value()).code(),
+            Errc::Unroutable);
+}
+
+TEST(LocalBus, DetachOnDestruction) {
+  LocalBus bus;
+  {
+    core::Executive a(core::ExecutiveConfig{.node_id = 1, .name = "a"});
+    ASSERT_TRUE(
+        a.install(std::make_unique<LocalBusTransport>(bus), "pt").is_ok());
+    EXPECT_EQ(bus.attached(), 1u);
+  }
+  EXPECT_EQ(bus.attached(), 0u);
+}
+
+}  // namespace
+}  // namespace xdaq::pt

@@ -1,0 +1,160 @@
+#include "pt/tcp_pt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/requester.hpp"
+#include "test_devices.hpp"
+#include "util/random.hpp"
+
+namespace xdaq::pt {
+namespace {
+
+using core::Requester;
+using xdaq::testing::EchoDevice;
+using xdaq::testing::kXfnEcho;
+
+/// Two executives joined by TCP on localhost with ephemeral ports.
+struct TcpPair {
+  core::Executive a{core::ExecutiveConfig{.node_id = 1, .name = "a"}};
+  core::Executive b{core::ExecutiveConfig{.node_id = 2, .name = "b"}};
+  TcpPeerTransport* pt_a = nullptr;
+  TcpPeerTransport* pt_b = nullptr;
+
+  TcpPair() {
+    auto ta = std::make_unique<TcpPeerTransport>();
+    auto tb = std::make_unique<TcpPeerTransport>();
+    pt_a = ta.get();
+    pt_b = tb.get();
+    EXPECT_TRUE(a.install(std::move(ta), "pt_tcp").is_ok());
+    EXPECT_TRUE(b.install(std::move(tb), "pt_tcp").is_ok());
+    EXPECT_TRUE(a.set_route(2, pt_a->tid()).is_ok());
+    EXPECT_TRUE(b.set_route(1, pt_b->tid()).is_ok());
+    // Enable both transports (binds listeners), then exchange endpoints.
+    EXPECT_TRUE(a.enable(pt_a->tid()).is_ok());
+    EXPECT_TRUE(b.enable(pt_b->tid()).is_ok());
+    pt_a->add_peer(2, "127.0.0.1", pt_b->listen_port());
+    pt_b->add_peer(1, "127.0.0.1", pt_a->listen_port());
+  }
+};
+
+TEST(TcpPt, EnableBindsListener) {
+  TcpPair pair;
+  EXPECT_GT(pair.pt_a->listen_port(), 0);
+  EXPECT_GT(pair.pt_b->listen_port(), 0);
+}
+
+TEST(TcpPt, EchoOverRealSockets) {
+  TcpPair pair;
+  ASSERT_TRUE(pair.b.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(pair.a.install(std::move(req), "req").is_ok());
+  const auto proxy =
+      pair.a.register_remote(2, pair.b.tid_of("echo").value()).value();
+  ASSERT_TRUE(pair.a.enable_all().is_ok());
+  ASSERT_TRUE(pair.b.enable_all().is_ok());
+  pair.a.start();
+  pair.b.start();
+
+  const auto raw = make_payload(1000, 5);
+  std::vector<std::byte> payload(1000);
+  std::memcpy(payload.data(), raw.data(), 1000);
+  auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
+                                     payload, std::chrono::seconds(5));
+  pair.a.stop();
+  pair.b.stop();
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_FALSE(reply.value().failed());
+  EXPECT_EQ(
+      std::memcmp(reply.value().payload.data(), payload.data(), 1000), 0);
+}
+
+TEST(TcpPt, RepeatedCallsReuseOneConnection) {
+  TcpPair pair;
+  ASSERT_TRUE(pair.b.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(pair.a.install(std::move(req), "req").is_ok());
+  const auto proxy =
+      pair.a.register_remote(2, pair.b.tid_of("echo").value()).value();
+  ASSERT_TRUE(pair.a.enable_all().is_ok());
+  ASSERT_TRUE(pair.b.enable_all().is_ok());
+  pair.a.start();
+  pair.b.start();
+  for (int i = 0; i < 10; ++i) {
+    auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
+                                       {}, std::chrono::seconds(5));
+    ASSERT_TRUE(reply.is_ok()) << i << ": " << reply.status().to_string();
+  }
+  pair.a.stop();
+  pair.b.stop();
+  EXPECT_EQ(pair.pt_a->connection_count(), 1u);
+}
+
+TEST(TcpPt, SendWithoutPeerConfiguredIsUnroutable) {
+  core::Executive a(core::ExecutiveConfig{.node_id = 1, .name = "a"});
+  auto ta = std::make_unique<TcpPeerTransport>();
+  TcpPeerTransport* pt = ta.get();
+  ASSERT_TRUE(a.install(std::move(ta), "pt_tcp").is_ok());
+  ASSERT_TRUE(a.enable(pt->tid()).is_ok());
+  std::vector<std::byte> frame(i2o::kStdHeaderBytes);
+  EXPECT_EQ(pt->transport_send(7, frame).code(), Errc::Unroutable);
+}
+
+TEST(TcpPt, SendBeforeEnableFails) {
+  core::Executive a(core::ExecutiveConfig{.node_id = 1, .name = "a"});
+  auto ta = std::make_unique<TcpPeerTransport>();
+  TcpPeerTransport* pt = ta.get();
+  ASSERT_TRUE(a.install(std::move(ta), "pt_tcp").is_ok());
+  std::vector<std::byte> frame(i2o::kStdHeaderBytes);
+  EXPECT_EQ(pt->transport_send(2, frame).code(), Errc::FailedPrecondition);
+}
+
+TEST(TcpPt, ConfigureFromParams) {
+  core::Executive a(core::ExecutiveConfig{.node_id = 1, .name = "a"});
+  auto ta = std::make_unique<TcpPeerTransport>();
+  TcpPeerTransport* pt = ta.get();
+  ASSERT_TRUE(a.install(std::move(ta), "pt_tcp",
+                        {{"listen_port", "0"}, {"peer.2", "127.0.0.1:4099"}})
+                  .is_ok());
+  EXPECT_EQ(pt->state(), core::DeviceState::Configured);
+}
+
+TEST(TcpPt, ConfigureRejectsBadPeerEntry) {
+  core::Executive a(core::ExecutiveConfig{.node_id = 1, .name = "a"});
+  auto ta = std::make_unique<TcpPeerTransport>();
+  ASSERT_TRUE(a.install(std::move(ta), "pt_tcp").is_ok());
+  const auto tid = a.tid_of("pt_tcp").value();
+  EXPECT_EQ(a.configure(tid, {{"peer.2", "no-colon-here"}}).code(),
+            Errc::InvalidArgument);
+}
+
+TEST(TcpPt, LargeFrameAcrossTcp) {
+  TcpPair pair;
+  ASSERT_TRUE(pair.b.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(pair.a.install(std::move(req), "req").is_ok());
+  const auto proxy =
+      pair.a.register_remote(2, pair.b.tid_of("echo").value()).value();
+  ASSERT_TRUE(pair.a.enable_all().is_ok());
+  ASSERT_TRUE(pair.b.enable_all().is_ok());
+  pair.a.start();
+  pair.b.start();
+  const auto raw = make_payload(150000, 9);
+  std::vector<std::byte> payload(raw.size());
+  std::memcpy(payload.data(), raw.data(), raw.size());
+  auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
+                                     payload, std::chrono::seconds(10));
+  pair.a.stop();
+  pair.b.stop();
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_EQ(std::memcmp(reply.value().payload.data(), payload.data(),
+                        payload.size()),
+            0);
+}
+
+}  // namespace
+}  // namespace xdaq::pt

@@ -1,0 +1,243 @@
+#include "rmi/adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pt/cluster.hpp"
+#include "rmi/marshal.hpp"
+#include "util/random.hpp"
+
+namespace xdaq::rmi {
+namespace {
+
+// ------------------------------------------------------------- marshalling
+
+TEST(Marshal, ScalarRoundTrip) {
+  Marshaller m;
+  m.put_u8(0xAB);
+  m.put_u16(0xBEEF);
+  m.put_u32(0xDEADBEEF);
+  m.put_u64(0x0123456789ABCDEFULL);
+  m.put_i32(-42);
+  m.put_i64(-1'000'000'000'000LL);
+  m.put_bool(true);
+  m.put_f64(3.14159);
+
+  Unmarshaller u(m.bytes());
+  EXPECT_EQ(u.get_u8().value(), 0xAB);
+  EXPECT_EQ(u.get_u16().value(), 0xBEEF);
+  EXPECT_EQ(u.get_u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(u.get_u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(u.get_i32().value(), -42);
+  EXPECT_EQ(u.get_i64().value(), -1'000'000'000'000LL);
+  EXPECT_TRUE(u.get_bool().value());
+  EXPECT_DOUBLE_EQ(u.get_f64().value(), 3.14159);
+  EXPECT_TRUE(u.exhausted());
+}
+
+TEST(Marshal, StringAndBytes) {
+  Marshaller m;
+  m.put_string("hello world");
+  const auto blob = make_payload(100, 3);
+  std::vector<std::byte> bytes(100);
+  std::memcpy(bytes.data(), blob.data(), 100);
+  m.put_bytes(bytes);
+
+  Unmarshaller u(m.bytes());
+  EXPECT_EQ(u.get_string().value(), "hello world");
+  auto view = u.view_bytes();
+  ASSERT_TRUE(view.is_ok());
+  ASSERT_EQ(view.value().size(), 100u);
+  EXPECT_EQ(std::memcmp(view.value().data(), bytes.data(), 100), 0);
+}
+
+TEST(Marshal, ViewBytesIsZeroCopy) {
+  Marshaller m;
+  m.put_bytes(std::vector<std::byte>(16, std::byte{7}));
+  Unmarshaller u(m.bytes());
+  auto view = u.view_bytes();
+  ASSERT_TRUE(view.is_ok());
+  // The view points into the marshaller's buffer (after the length word).
+  EXPECT_EQ(view.value().data(), m.bytes().data() + 4);
+}
+
+TEST(Marshal, TruncationDetected) {
+  Marshaller m;
+  m.put_string("payload");
+  for (std::size_t cut = 0; cut < m.size(); ++cut) {
+    Unmarshaller u(m.bytes().subspan(0, cut));
+    EXPECT_FALSE(u.get_string().is_ok()) << cut;
+  }
+}
+
+TEST(Marshal, VectorRoundTrip) {
+  Marshaller m;
+  const std::vector<std::uint32_t> values{1, 2, 3, 500, 70000};
+  m.put_vector(values,
+               [](Marshaller& mm, std::uint32_t v) { mm.put_u32(v); });
+  Unmarshaller u(m.bytes());
+  const auto count = u.get_u32();
+  ASSERT_TRUE(count.is_ok());
+  ASSERT_EQ(count.value(), values.size());
+  for (const std::uint32_t expected : values) {
+    EXPECT_EQ(u.get_u32().value(), expected);
+  }
+}
+
+// -------------------------------------------------------------- stub/skeleton
+
+inline constexpr std::uint16_t kMethodAdd = 1;
+inline constexpr std::uint16_t kMethodConcat = 2;
+inline constexpr std::uint16_t kMethodDivide = 3;
+inline constexpr std::uint16_t kMethodSumBlob = 4;
+
+/// A calculator service exposed over RMI.
+class CalculatorSkeleton : public Skeleton {
+ public:
+  CalculatorSkeleton() : Skeleton("CalculatorSkeleton") {
+    expose(kMethodAdd, [](Unmarshaller& args, Marshaller& out) -> Status {
+      auto a = args.get_i64();
+      auto b = args.get_i64();
+      if (!a.is_ok() || !b.is_ok()) {
+        return {Errc::MalformedFrame, "add needs two integers"};
+      }
+      out.put_i64(a.value() + b.value());
+      return Status::ok();
+    });
+    expose(kMethodConcat, [](Unmarshaller& args, Marshaller& out) -> Status {
+      auto a = args.get_string();
+      auto b = args.get_string();
+      if (!a.is_ok() || !b.is_ok()) {
+        return {Errc::MalformedFrame, "concat needs two strings"};
+      }
+      out.put_string(a.value() + b.value());
+      return Status::ok();
+    });
+    expose(kMethodDivide, [](Unmarshaller& args, Marshaller& out) -> Status {
+      auto a = args.get_f64();
+      auto b = args.get_f64();
+      if (!a.is_ok() || !b.is_ok()) {
+        return {Errc::MalformedFrame, "divide needs two doubles"};
+      }
+      if (b.value() == 0.0) {
+        return {Errc::InvalidArgument, "division by zero"};
+      }
+      out.put_f64(a.value() / b.value());
+      return Status::ok();
+    });
+    expose(kMethodSumBlob, [](Unmarshaller& args, Marshaller& out) -> Status {
+      // Buffer loaning: sum bytes directly from the received frame.
+      auto blob = args.view_bytes();
+      if (!blob.is_ok()) {
+        return {Errc::MalformedFrame, "sum needs a blob"};
+      }
+      std::uint64_t sum = 0;
+      for (const std::byte b : blob.value()) {
+        sum += static_cast<std::uint8_t>(b);
+      }
+      out.put_u64(sum);
+      return Status::ok();
+    });
+  }
+};
+
+struct RmiFixture : ::testing::Test {
+  pt::Cluster cluster;
+  core::Requester* requester = nullptr;
+  i2o::Tid calc_proxy = i2o::kNullTid;
+
+  void SetUp() override {
+    ASSERT_TRUE(cluster
+                    .install(1, std::make_unique<CalculatorSkeleton>(),
+                             "calc")
+                    .is_ok());
+    auto req = std::make_unique<core::Requester>();
+    requester = req.get();
+    ASSERT_TRUE(cluster.install(0, std::move(req), "req").is_ok());
+    calc_proxy = cluster.connect(0, 1, "calc").value();
+    ASSERT_TRUE(cluster.enable_all().is_ok());
+    cluster.start_all();
+  }
+  void TearDown() override { cluster.stop_all(); }
+};
+
+TEST_F(RmiFixture, RemoteAdd) {
+  Stub stub(*requester, calc_proxy, std::chrono::seconds(5));
+  Marshaller args;
+  args.put_i64(40);
+  args.put_i64(2);
+  auto result = stub.invoke(kMethodAdd, args);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  Unmarshaller out(result.value());
+  EXPECT_EQ(out.get_i64().value(), 42);
+}
+
+TEST_F(RmiFixture, RemoteConcat) {
+  Stub stub(*requester, calc_proxy, std::chrono::seconds(5));
+  Marshaller args;
+  args.put_string("cross");
+  args.put_string("duck");
+  auto result = stub.invoke(kMethodConcat, args);
+  ASSERT_TRUE(result.is_ok());
+  Unmarshaller out(result.value());
+  EXPECT_EQ(out.get_string().value(), "crossduck");
+}
+
+TEST_F(RmiFixture, RemoteErrorPropagates) {
+  Stub stub(*requester, calc_proxy, std::chrono::seconds(5));
+  Marshaller args;
+  args.put_f64(1.0);
+  args.put_f64(0.0);
+  auto result = stub.invoke(kMethodDivide, args);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("division by zero"),
+            std::string_view::npos);
+}
+
+TEST_F(RmiFixture, MalformedArgumentsRejected) {
+  Stub stub(*requester, calc_proxy, std::chrono::seconds(5));
+  Marshaller args;
+  args.put_i64(1);  // add expects two
+  auto result = stub.invoke(kMethodAdd, args);
+  ASSERT_FALSE(result.is_ok());
+}
+
+TEST_F(RmiFixture, UnknownMethodFails) {
+  Stub stub(*requester, calc_proxy, std::chrono::seconds(5));
+  Marshaller args;
+  auto result = stub.invoke(0x7FFF, args);
+  ASSERT_FALSE(result.is_ok());
+}
+
+TEST_F(RmiFixture, BlobSummedViaBufferLoan) {
+  Stub stub(*requester, calc_proxy, std::chrono::seconds(5));
+  std::vector<std::byte> blob(1000);
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::byte>(i & 0xFF);
+    expected += static_cast<std::uint8_t>(blob[i]);
+  }
+  Marshaller args;
+  args.put_bytes(blob);
+  auto result = stub.invoke(kMethodSumBlob, args);
+  ASSERT_TRUE(result.is_ok());
+  Unmarshaller out(result.value());
+  EXPECT_EQ(out.get_u64().value(), expected);
+}
+
+TEST_F(RmiFixture, ManySequentialCalls) {
+  Stub stub(*requester, calc_proxy, std::chrono::seconds(5));
+  for (std::int64_t i = 0; i < 200; ++i) {
+    Marshaller args;
+    args.put_i64(i);
+    args.put_i64(i * 2);
+    auto result = stub.invoke(kMethodAdd, args);
+    ASSERT_TRUE(result.is_ok()) << i;
+    Unmarshaller out(result.value());
+    EXPECT_EQ(out.get_i64().value(), i * 3);
+  }
+}
+
+}  // namespace
+}  // namespace xdaq::rmi

@@ -1,0 +1,120 @@
+// test_devices.hpp - device classes shared by core/pt/integration tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/executive.hpp"
+#include "core/factory.hpp"
+
+namespace xdaq::testing {
+
+inline constexpr std::uint16_t kXfnEcho = 0x0001;
+inline constexpr std::uint16_t kXfnCount = 0x0002;
+inline constexpr std::uint16_t kXfnSleep = 0x0003;
+inline constexpr std::uint16_t kXfnThrow = 0x0004;
+
+/// Replies to kXfnEcho with the request payload verbatim (the paper's
+/// blackbox device: "responds by replying to each received message with
+/// exactly the same content").
+class EchoDevice : public core::Device {
+ public:
+  EchoDevice() : Device("EchoDevice") {
+    bind(i2o::OrgId::kTest, kXfnEcho, [this](const core::MessageContext& c) {
+      ++echoed_;
+      (void)frame_reply(c, c.payload);
+    });
+  }
+
+  [[nodiscard]] std::uint64_t echoed() const noexcept { return echoed_; }
+
+ private:
+  std::atomic<std::uint64_t> echoed_{0};
+};
+
+/// Counts kXfnCount messages; never replies.
+class CounterDevice : public core::Device {
+ public:
+  CounterDevice() : Device("CounterDevice") {
+    bind(i2o::OrgId::kTest, kXfnCount,
+         [this](const core::MessageContext&) { ++count_; });
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  // Lifecycle probes.
+  Status on_configure(const i2o::ParamList& params) override {
+    last_params_ = params;
+    ++configured_;
+    return Status::ok();
+  }
+  Status on_enable() override {
+    ++enabled_;
+    return Status::ok();
+  }
+  void on_timer(std::uint32_t timer_id) override {
+    last_timer_ = timer_id;
+    ++timer_fires_;
+  }
+
+  i2o::ParamList last_params_;
+  std::atomic<int> configured_{0};
+  std::atomic<int> enabled_{0};
+  std::atomic<std::uint32_t> last_timer_{0};
+  std::atomic<int> timer_fires_{0};
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Misbehaving handlers: kXfnSleep stalls, kXfnThrow throws. Used for the
+/// watchdog / fault-quarantine tests.
+class RogueDevice : public core::Device {
+ public:
+  RogueDevice() : Device("RogueDevice") {
+    bind(i2o::OrgId::kTest, kXfnSleep, [](const core::MessageContext&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    });
+    bind(i2o::OrgId::kTest, kXfnThrow, [](const core::MessageContext&) {
+      throw std::runtime_error("deliberate fault");
+    });
+  }
+};
+
+/// Pumps an executive until `pred` holds or the deadline passes. For tests
+/// that drive the loop manually instead of via start().
+template <typename Pred>
+bool pump_until(core::Executive& exec, Pred pred,
+                std::chrono::milliseconds deadline =
+                    std::chrono::milliseconds(2000)) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (!pred()) {
+    exec.run_once();
+    if (std::chrono::steady_clock::now() > until) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Pumps two executives (for cross-node tests without threads).
+template <typename Pred>
+bool pump_until(core::Executive& a, core::Executive& b, Pred pred,
+                std::chrono::milliseconds deadline =
+                    std::chrono::milliseconds(2000)) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (!pred()) {
+    a.run_once();
+    b.run_once();
+    if (std::chrono::steady_clock::now() > until) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xdaq::testing

@@ -1,0 +1,82 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xdaq {
+namespace {
+
+CliParser make_parser() {
+  CliParser p;
+  p.flag("payload", "payload size", std::int64_t{64})
+      .flag("mode", "pt mode", std::string("task"))
+      .flag("verbose", "chatty output", false);
+  return p;
+}
+
+TEST(Cli, DefaultsApply) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv).is_ok());
+  EXPECT_EQ(p.get_int("payload"), 64);
+  EXPECT_EQ(p.get_string("mode"), "task");
+  EXPECT_FALSE(p.get_bool("verbose"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--payload=4096", "--mode=polling"};
+  ASSERT_TRUE(p.parse(3, argv).is_ok());
+  EXPECT_EQ(p.get_int("payload"), 4096);
+  EXPECT_EQ(p.get_string("mode"), "polling");
+}
+
+TEST(Cli, SpaceSyntaxAndBareBool) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--payload", "128", "--verbose"};
+  ASSERT_TRUE(p.parse(4, argv).is_ok());
+  EXPECT_EQ(p.get_int("payload"), 128);
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagIsError) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  const auto s = p.parse(2, argv);
+  EXPECT_EQ(s.code(), Errc::InvalidArgument);
+}
+
+TEST(Cli, NonIntegerValueForIntFlagIsError) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--payload=abc"};
+  EXPECT_EQ(p.parse(2, argv).code(), Errc::InvalidArgument);
+}
+
+TEST(Cli, MissingValueIsError) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--mode"};
+  EXPECT_EQ(p.parse(2, argv).code(), Errc::InvalidArgument);
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "run", "--payload=1", "fast"};
+  ASSERT_TRUE(p.parse(4, argv).is_ok());
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "run");
+  EXPECT_EQ(p.positional()[1], "fast");
+}
+
+TEST(Cli, UsageMentionsFlags) {
+  auto p = make_parser();
+  const auto u = p.usage("prog");
+  EXPECT_NE(u.find("--payload"), std::string::npos);
+  EXPECT_NE(u.find("--mode"), std::string::npos);
+}
+
+TEST(Cli, UndeclaredAccessThrows) {
+  auto p = make_parser();
+  EXPECT_THROW((void)p.get_string("nope"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace xdaq

@@ -1,0 +1,142 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace xdaq {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample stddev of this classic sequence: sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceIsZero) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(Sampler, MedianOddEven) {
+  Sampler odd;
+  for (const double x : {5.0, 1.0, 3.0}) {
+    odd.add(x);
+  }
+  EXPECT_DOUBLE_EQ(odd.median(), 3.0);
+
+  Sampler even;
+  for (const double x : {4.0, 1.0, 3.0, 2.0}) {
+    even.add(x);
+  }
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Sampler, Percentiles) {
+  Sampler s;
+  for (int i = 1; i <= 100; ++i) {
+    s.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 1e-9);
+}
+
+TEST(Sampler, AddAfterPercentileResorts) {
+  Sampler s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+}
+
+TEST(Sampler, MeanStddevMatchRunningStats) {
+  Rng rng(7);
+  Sampler s;
+  RunningStats r;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 100.0;
+    s.add(x);
+    r.add(x);
+  }
+  EXPECT_NEAR(s.mean(), r.mean(), 1e-9);
+  EXPECT_NEAR(s.stddev(), r.stddev(), 1e-9);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(3.25 * i + 8.9);  // the paper's constant-overhead shape
+  }
+  const auto fit = LinearFit::fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.25, 1e-9);
+  EXPECT_NEAR(fit.intercept, 8.9, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, ConstantSeriesHasZeroSlope) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{8.9, 8.9, 8.9, 8.9};
+  const auto fit = LinearFit::fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 8.9, 1e-12);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  const auto none = LinearFit::fit({}, {});
+  EXPECT_DOUBLE_EQ(none.slope, 0.0);
+  const auto one = LinearFit::fit({5.0}, {7.0});
+  EXPECT_DOUBLE_EQ(one.intercept, 7.0);
+  // All x identical: slope undefined, falls back to mean intercept.
+  const auto vert = LinearFit::fit({2.0, 2.0}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(vert.slope, 0.0);
+  EXPECT_DOUBLE_EQ(vert.intercept, 2.0);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(42.0);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(5), 1u);
+  EXPECT_EQ(h.count_at(9), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_low(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(5), 6.0);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xdaq

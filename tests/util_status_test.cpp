@@ -1,0 +1,70 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xdaq {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), Errc::Ok);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.to_string(), "Ok");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s(Errc::NotFound, "no such device");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Errc::NotFound);
+  EXPECT_EQ(s.message(), "no such device");
+  EXPECT_EQ(s.to_string(), "NotFound: no such device");
+}
+
+TEST(Status, OkCodeWithMessageCollapsesToOk) {
+  const Status s(Errc::Ok, "ignored");
+  EXPECT_TRUE(s.is_ok());
+}
+
+TEST(Status, CopyIsCheapAndShares) {
+  const Status a(Errc::Timeout, "t");
+  const Status b = a;  // NOLINT
+  EXPECT_EQ(b.code(), Errc::Timeout);
+  EXPECT_EQ(b.message(), "t");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(Errc::FailedPrecondition); ++c) {
+    EXPECT_NE(to_string(static_cast<Errc>(c)), "Unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Errc::ResourceExhausted, "pool empty");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::ResourceExhausted);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ConstructingFromOkStatusBecomesInternalError) {
+  Result<int> r{Status::ok()};
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::Internal);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.is_ok());
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+}  // namespace
+}  // namespace xdaq

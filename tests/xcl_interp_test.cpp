@@ -1,0 +1,343 @@
+#include "xcl/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+namespace xdaq::xcl {
+namespace {
+
+/// Runs a script and expects a clean result value.
+std::string run(Interp& in, const std::string& script) {
+  EvalResult r = in.eval(script);
+  EXPECT_TRUE(r.is_ok()) << "script: " << script << "\nerror: " << r.value;
+  return r.value;
+}
+
+TEST(Interp, SetAndSubstitute) {
+  Interp in;
+  EXPECT_EQ(run(in, "set x 42"), "42");
+  EXPECT_EQ(run(in, "set x"), "42");
+  EXPECT_EQ(run(in, "set y $x"), "42");
+  EXPECT_EQ(run(in, "set z \"value: $x\""), "value: 42");
+}
+
+TEST(Interp, BracedWordsSuppressSubstitution) {
+  Interp in;
+  run(in, "set x 1");
+  EXPECT_EQ(run(in, "set y {$x}"), "$x");
+}
+
+TEST(Interp, DollarBraceForm) {
+  Interp in;
+  run(in, "set long_name hello");
+  EXPECT_EQ(run(in, "set y ${long_name}world"), "helloworld");
+}
+
+TEST(Interp, CommandSubstitution) {
+  Interp in;
+  EXPECT_EQ(run(in, "set x [expr 2 + 3]"), "5");
+  EXPECT_EQ(run(in, "set y [set x]"), "5");
+  EXPECT_EQ(run(in, "set z \"got [expr 1+1]\""), "got 2");
+}
+
+TEST(Interp, BackslashEscapes) {
+  Interp in;
+  EXPECT_EQ(run(in, "set x a\\ b"), "a b");
+  EXPECT_EQ(run(in, "set y \"\\$literal\""), "$literal");
+}
+
+TEST(Interp, UnknownCommandErrors) {
+  Interp in;
+  EvalResult r = in.eval("no_such_command");
+  EXPECT_TRUE(r.is_error());
+  EXPECT_NE(r.value.find("invalid command name"), std::string::npos);
+}
+
+TEST(Interp, ReadingUnsetVariableErrors) {
+  Interp in;
+  EXPECT_TRUE(in.eval("set x $nope").is_error());
+}
+
+TEST(Interp, UnsetRemovesVariable) {
+  Interp in;
+  run(in, "set x 1");
+  run(in, "unset x");
+  EXPECT_TRUE(in.eval("set y $x").is_error());
+}
+
+TEST(Interp, SemicolonsAndNewlinesSeparateCommands) {
+  Interp in;
+  EXPECT_EQ(run(in, "set a 1; set b 2\nset c 3"), "3");
+  EXPECT_EQ(run(in, "set a"), "1");
+  EXPECT_EQ(run(in, "set b"), "2");
+}
+
+TEST(Interp, CommentsIgnored) {
+  Interp in;
+  EXPECT_EQ(run(in, "# a comment\nset x 7"), "7");
+}
+
+TEST(Interp, Expr) {
+  Interp in;
+  EXPECT_EQ(run(in, "expr 1 + 2 * 3"), "7");
+  EXPECT_EQ(run(in, "expr (1 + 2) * 3"), "9");
+  EXPECT_EQ(run(in, "expr 7 / 2"), "3");
+  EXPECT_EQ(run(in, "expr 7.0 / 2"), "3.5");
+  EXPECT_EQ(run(in, "expr 7 % 3"), "1");
+  EXPECT_EQ(run(in, "expr 1 < 2"), "1");
+  EXPECT_EQ(run(in, "expr 2 <= 1"), "0");
+  EXPECT_EQ(run(in, "expr 3 == 3"), "1");
+  EXPECT_EQ(run(in, "expr 3 != 3"), "0");
+  EXPECT_EQ(run(in, "expr 1 && 0"), "0");
+  EXPECT_EQ(run(in, "expr 1 || 0"), "1");
+  EXPECT_EQ(run(in, "expr !0"), "1");
+  EXPECT_EQ(run(in, "expr -4 + 2"), "-2");
+  EXPECT_EQ(run(in, "expr 0x10"), "16");
+  EXPECT_EQ(run(in, "expr abc eq abc"), "1");
+  EXPECT_EQ(run(in, "expr abc ne abd"), "1");
+}
+
+TEST(Interp, ExprErrors) {
+  Interp in;
+  EXPECT_TRUE(in.eval("expr 1 /").is_error());
+  EXPECT_TRUE(in.eval("expr 1 / 0").is_error());
+  EXPECT_TRUE(in.eval("expr (1 + 2").is_error());
+}
+
+TEST(Interp, IfElse) {
+  Interp in;
+  EXPECT_EQ(run(in, "if {1 < 2} {set r yes} else {set r no}"), "yes");
+  EXPECT_EQ(run(in, "if {1 > 2} {set r yes} else {set r no}"), "no");
+  EXPECT_EQ(run(in,
+                "if {0} {set r a} elseif {1} {set r b} else {set r c}"),
+            "b");
+}
+
+TEST(Interp, WhileLoopWithBreakContinue) {
+  Interp in;
+  run(in, R"(
+set sum 0
+set i 0
+while {$i < 10} {
+  incr i
+  if {$i == 3} { continue }
+  if {$i == 8} { break }
+  set sum [expr $sum + $i]
+})");
+  // 1+2+4+5+6+7 = 25
+  EXPECT_EQ(run(in, "set sum"), "25");
+}
+
+TEST(Interp, ForLoop) {
+  Interp in;
+  run(in, "set total 0\nfor {set i 1} {$i <= 5} {incr i} {set total [expr "
+          "$total + $i]}");
+  EXPECT_EQ(run(in, "set total"), "15");
+}
+
+TEST(Interp, ForeachOverList) {
+  Interp in;
+  run(in, "set acc {}\nforeach x {a b {c d}} {set acc \"$acc<$x>\"}");
+  EXPECT_EQ(run(in, "set acc"), "<a><b><c d>");
+}
+
+TEST(Interp, ProcDefinitionAndCall) {
+  Interp in;
+  run(in, "proc add {a b} { return [expr $a + $b] }");
+  EXPECT_EQ(run(in, "add 3 4"), "7");
+  // Wrong arity is an error.
+  EXPECT_TRUE(in.eval("add 1").is_error());
+}
+
+TEST(Interp, ProcLocalScope) {
+  Interp in;
+  run(in, "set x global");
+  run(in, "proc f {} { set x local; return $x }");
+  EXPECT_EQ(run(in, "f"), "local");
+  EXPECT_EQ(run(in, "set x"), "global");  // untouched
+}
+
+TEST(Interp, ProcReadsGlobalFallback) {
+  Interp in;
+  run(in, "set g 99");
+  run(in, "proc f {} { return $g }");
+  EXPECT_EQ(run(in, "f"), "99");
+}
+
+TEST(Interp, ProcVariadicArgs) {
+  Interp in;
+  run(in, "proc count {first args} { return [llength $args] }");
+  EXPECT_EQ(run(in, "count a b c d"), "3");
+}
+
+TEST(Interp, RecursiveProc) {
+  Interp in;
+  run(in, "proc fact {n} { if {$n <= 1} { return 1 }; return [expr $n * "
+          "[fact [expr $n - 1]]] }");
+  EXPECT_EQ(run(in, "fact 6"), "720");
+}
+
+TEST(Interp, InfiniteRecursionGuarded) {
+  Interp in;
+  run(in, "proc boom {} { boom }");
+  EXPECT_TRUE(in.eval("boom").is_error());
+}
+
+TEST(Interp, CatchCapturesErrors) {
+  Interp in;
+  EXPECT_EQ(run(in, "catch {no_such_cmd} msg"), "1");
+  EXPECT_NE(run(in, "set msg").find("invalid command"), std::string::npos);
+  EXPECT_EQ(run(in, "catch {set ok 5} msg"), "0");
+  EXPECT_EQ(run(in, "set msg"), "5");
+}
+
+TEST(Interp, ErrorCommand) {
+  Interp in;
+  EvalResult r = in.eval("error \"boom town\"");
+  EXPECT_TRUE(r.is_error());
+  EXPECT_EQ(r.value, "boom town");
+}
+
+TEST(Interp, ListCommands) {
+  Interp in;
+  EXPECT_EQ(run(in, "list a b c"), "a b c");
+  EXPECT_EQ(run(in, "list {a b} c"), "{a b} c");
+  EXPECT_EQ(run(in, "llength {a b c}"), "3");
+  EXPECT_EQ(run(in, "lindex {x y z} 1"), "y");
+  EXPECT_EQ(run(in, "lindex {x y z} 9"), "");
+  run(in, "set l {}; lappend l one; lappend l \"two three\"");
+  EXPECT_EQ(run(in, "llength $l"), "2");
+}
+
+TEST(Interp, StringCommands) {
+  Interp in;
+  EXPECT_EQ(run(in, "string length hello"), "5");
+  EXPECT_EQ(run(in, "string equal a a"), "1");
+  EXPECT_EQ(run(in, "string equal a b"), "0");
+  EXPECT_EQ(run(in, "string toupper abc"), "ABC");
+  EXPECT_EQ(run(in, "string tolower AbC"), "abc");
+}
+
+TEST(Interp, SplitAndJoin) {
+  Interp in;
+  EXPECT_EQ(run(in, "split a,b,,c ,"), "a b {} c");
+  EXPECT_EQ(run(in, "split \"x y\""), "x y");
+  EXPECT_EQ(run(in, "join {a b c} -"), "a-b-c");
+  EXPECT_EQ(run(in, "join [split 1:2:3 :] +"), "1+2+3");
+}
+
+TEST(Interp, LrangeWithEndIndices) {
+  Interp in;
+  EXPECT_EQ(run(in, "lrange {a b c d e} 1 3"), "b c d");
+  EXPECT_EQ(run(in, "lrange {a b c d e} 0 end"), "a b c d e");
+  EXPECT_EQ(run(in, "lrange {a b c d e} end-1 end"), "d e");
+  EXPECT_EQ(run(in, "lrange {a b c} 5 9"), "");
+}
+
+TEST(Interp, AppendBuildsStrings) {
+  Interp in;
+  EXPECT_EQ(run(in, "append fresh ab cd"), "abcd");
+  EXPECT_EQ(run(in, "append fresh !"), "abcd!");
+}
+
+TEST(Interp, InfoExistsAndCommands) {
+  Interp in;
+  EXPECT_EQ(run(in, "info exists nope"), "0");
+  run(in, "set yes 1");
+  EXPECT_EQ(run(in, "info exists yes"), "1");
+  EXPECT_EQ(run(in, "info commands set"), "1");
+  EXPECT_EQ(run(in, "info commands bogus"), "0");
+}
+
+TEST(Interp, AfterSleepsApproximately) {
+  Interp in;
+  const auto t0 = std::chrono::steady_clock::now();
+  run(in, "after 30");
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(dt)
+                .count(),
+            25);
+  // Out-of-range values are rejected.
+  EXPECT_TRUE(in.eval("after 999999").is_error());
+  EXPECT_TRUE(in.eval("after -1").is_error());
+}
+
+TEST(Interp, PutsGoesToSink) {
+  Interp in;
+  std::vector<std::string> lines;
+  in.set_output([&lines](const std::string& s) { lines.push_back(s); });
+  run(in, "puts hello\nputs \"x = [expr 2*2]\"");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "hello");
+  EXPECT_EQ(lines[1], "x = 4");
+}
+
+TEST(Interp, IncrCreatesAndAdds) {
+  Interp in;
+  EXPECT_EQ(run(in, "incr fresh"), "1");
+  EXPECT_EQ(run(in, "incr fresh 10"), "11");
+  EXPECT_EQ(run(in, "incr fresh -1"), "10");
+}
+
+TEST(Interp, UnbalancedInputErrors) {
+  Interp in;
+  EXPECT_TRUE(in.eval("set x {unclosed").is_error());
+  EXPECT_TRUE(in.eval("set x \"unclosed").is_error());
+  EXPECT_TRUE(in.eval("set x [unclosed").is_error());
+}
+
+TEST(SplitList, HandlesGrouping) {
+  auto r = split_list("a {b c} \"d e\" f");
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r.value().size(), 4u);
+  EXPECT_EQ(r.value()[0], "a");
+  EXPECT_EQ(r.value()[1], "b c");
+  EXPECT_EQ(r.value()[2], "d e");
+  EXPECT_EQ(r.value()[3], "f");
+}
+
+TEST(SplitList, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(split_list("").value().empty());
+  EXPECT_TRUE(split_list("  \n\t ").value().empty());
+}
+
+TEST(QuoteWord, RoundTripsThroughSplit) {
+  const std::vector<std::string> words{"plain", "has space", "", "{brace}"};
+  const std::string joined = join_list(words);
+  auto split = split_list(joined);
+  ASSERT_TRUE(split.is_ok());
+  EXPECT_EQ(split.value(), words);
+}
+
+// Property sweep: scripts computing known values.
+struct ScriptCase {
+  const char* script;
+  const char* expected;
+};
+
+class ScriptP : public ::testing::TestWithParam<ScriptCase> {};
+
+TEST_P(ScriptP, EvaluatesTo) {
+  Interp in;
+  EvalResult r = in.eval(GetParam().script);
+  ASSERT_TRUE(r.is_ok()) << r.value;
+  EXPECT_EQ(r.value, GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, ScriptP,
+    ::testing::Values(
+        ScriptCase{"set s 0; foreach i {1 2 3 4} {set s [expr $s + $i]}; "
+                   "set s",
+                   "10"},
+        ScriptCase{"proc sq {x} {return [expr $x * $x]}; sq [sq 3]", "81"},
+        ScriptCase{"set n 0; while {$n < 100} {incr n 7}; set n", "105"},
+        ScriptCase{"expr (2 + 3) * (4 - 1)", "15"},
+        ScriptCase{"set a 5; if {$a == 5} {set b ok} else {set b bad}; set b",
+                   "ok"},
+        ScriptCase{"llength [list 1 2 3 [list 4 5]]", "4"}));
+
+}  // namespace
+}  // namespace xdaq::xcl
