@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_ablation.dir/alloc_ablation.cpp.o"
+  "CMakeFiles/alloc_ablation.dir/alloc_ablation.cpp.o.d"
+  "alloc_ablation"
+  "alloc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

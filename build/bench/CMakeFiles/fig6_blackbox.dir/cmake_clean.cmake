@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_blackbox.dir/fig6_blackbox.cpp.o"
+  "CMakeFiles/fig6_blackbox.dir/fig6_blackbox.cpp.o.d"
+  "fig6_blackbox"
+  "fig6_blackbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_blackbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iop_offload.dir/iop_offload.cpp.o"
+  "CMakeFiles/iop_offload.dir/iop_offload.cpp.o.d"
+  "iop_offload"
+  "iop_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iop_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

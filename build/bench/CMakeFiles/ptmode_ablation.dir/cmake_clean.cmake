@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptmode_ablation.dir/ptmode_ablation.cpp.o"
+  "CMakeFiles/ptmode_ablation.dir/ptmode_ablation.cpp.o.d"
+  "ptmode_ablation"
+  "ptmode_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptmode_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_whitebox.dir/table1_whitebox.cpp.o"
+  "CMakeFiles/table1_whitebox.dir/table1_whitebox.cpp.o.d"
+  "table1_whitebox"
+  "table1_whitebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_whitebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_cluster.dir/control_cluster.cpp.o"
+  "CMakeFiles/control_cluster.dir/control_cluster.cpp.o.d"
+  "control_cluster"
+  "control_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

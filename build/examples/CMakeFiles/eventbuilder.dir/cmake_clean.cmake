@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventbuilder.dir/eventbuilder.cpp.o"
+  "CMakeFiles/eventbuilder.dir/eventbuilder.cpp.o.d"
+  "eventbuilder"
+  "eventbuilder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventbuilder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

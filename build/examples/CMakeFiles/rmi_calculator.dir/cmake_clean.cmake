@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmi_calculator.dir/rmi_calculator.cpp.o"
+  "CMakeFiles/rmi_calculator.dir/rmi_calculator.cpp.o.d"
+  "rmi_calculator"
+  "rmi_calculator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmi_calculator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

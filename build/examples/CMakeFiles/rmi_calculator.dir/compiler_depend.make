@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rmi_calculator.
+# This may be replaced when dependencies are built.

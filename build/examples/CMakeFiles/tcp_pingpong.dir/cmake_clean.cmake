@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_pingpong.dir/tcp_pingpong.cpp.o"
+  "CMakeFiles/tcp_pingpong.dir/tcp_pingpong.cpp.o.d"
+  "tcp_pingpong"
+  "tcp_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdaqsh.dir/xdaqsh.cpp.o"
+  "CMakeFiles/xdaqsh.dir/xdaqsh.cpp.o.d"
+  "xdaqsh"
+  "xdaqsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdaqsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

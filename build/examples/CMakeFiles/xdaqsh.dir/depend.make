@@ -1,0 +1,2 @@
+# Empty dependencies file for xdaqsh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/address_table.cpp" "src/core/CMakeFiles/xdaq_core.dir/address_table.cpp.o" "gcc" "src/core/CMakeFiles/xdaq_core.dir/address_table.cpp.o.d"
+  "/root/repo/src/core/bulk.cpp" "src/core/CMakeFiles/xdaq_core.dir/bulk.cpp.o" "gcc" "src/core/CMakeFiles/xdaq_core.dir/bulk.cpp.o.d"
+  "/root/repo/src/core/device.cpp" "src/core/CMakeFiles/xdaq_core.dir/device.cpp.o" "gcc" "src/core/CMakeFiles/xdaq_core.dir/device.cpp.o.d"
+  "/root/repo/src/core/executive.cpp" "src/core/CMakeFiles/xdaq_core.dir/executive.cpp.o" "gcc" "src/core/CMakeFiles/xdaq_core.dir/executive.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/xdaq_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/xdaq_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/remote_device.cpp" "src/core/CMakeFiles/xdaq_core.dir/remote_device.cpp.o" "gcc" "src/core/CMakeFiles/xdaq_core.dir/remote_device.cpp.o.d"
+  "/root/repo/src/core/requester.cpp" "src/core/CMakeFiles/xdaq_core.dir/requester.cpp.o" "gcc" "src/core/CMakeFiles/xdaq_core.dir/requester.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/xdaq_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/xdaq_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/timer.cpp" "src/core/CMakeFiles/xdaq_core.dir/timer.cpp.o" "gcc" "src/core/CMakeFiles/xdaq_core.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/i2o/CMakeFiles/xdaq_i2o.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xdaq_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xdaq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

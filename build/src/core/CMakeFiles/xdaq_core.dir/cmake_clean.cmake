@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdaq_core.dir/address_table.cpp.o"
+  "CMakeFiles/xdaq_core.dir/address_table.cpp.o.d"
+  "CMakeFiles/xdaq_core.dir/bulk.cpp.o"
+  "CMakeFiles/xdaq_core.dir/bulk.cpp.o.d"
+  "CMakeFiles/xdaq_core.dir/device.cpp.o"
+  "CMakeFiles/xdaq_core.dir/device.cpp.o.d"
+  "CMakeFiles/xdaq_core.dir/executive.cpp.o"
+  "CMakeFiles/xdaq_core.dir/executive.cpp.o.d"
+  "CMakeFiles/xdaq_core.dir/factory.cpp.o"
+  "CMakeFiles/xdaq_core.dir/factory.cpp.o.d"
+  "CMakeFiles/xdaq_core.dir/remote_device.cpp.o"
+  "CMakeFiles/xdaq_core.dir/remote_device.cpp.o.d"
+  "CMakeFiles/xdaq_core.dir/requester.cpp.o"
+  "CMakeFiles/xdaq_core.dir/requester.cpp.o.d"
+  "CMakeFiles/xdaq_core.dir/scheduler.cpp.o"
+  "CMakeFiles/xdaq_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/xdaq_core.dir/timer.cpp.o"
+  "CMakeFiles/xdaq_core.dir/timer.cpp.o.d"
+  "libxdaq_core.a"
+  "libxdaq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdaq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

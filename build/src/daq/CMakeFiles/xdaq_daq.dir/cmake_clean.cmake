@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdaq_daq.dir/builder_unit.cpp.o"
+  "CMakeFiles/xdaq_daq.dir/builder_unit.cpp.o.d"
+  "CMakeFiles/xdaq_daq.dir/event_manager.cpp.o"
+  "CMakeFiles/xdaq_daq.dir/event_manager.cpp.o.d"
+  "CMakeFiles/xdaq_daq.dir/protocol.cpp.o"
+  "CMakeFiles/xdaq_daq.dir/protocol.cpp.o.d"
+  "CMakeFiles/xdaq_daq.dir/readout_unit.cpp.o"
+  "CMakeFiles/xdaq_daq.dir/readout_unit.cpp.o.d"
+  "CMakeFiles/xdaq_daq.dir/register.cpp.o"
+  "CMakeFiles/xdaq_daq.dir/register.cpp.o.d"
+  "CMakeFiles/xdaq_daq.dir/topology.cpp.o"
+  "CMakeFiles/xdaq_daq.dir/topology.cpp.o.d"
+  "libxdaq_daq.a"
+  "libxdaq_daq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdaq_daq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdaq_gmsim.dir/gmsim.cpp.o"
+  "CMakeFiles/xdaq_gmsim.dir/gmsim.cpp.o.d"
+  "libxdaq_gmsim.a"
+  "libxdaq_gmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdaq_gmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

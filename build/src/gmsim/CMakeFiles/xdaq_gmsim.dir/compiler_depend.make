@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xdaq_gmsim.
+# This may be replaced when dependencies are built.

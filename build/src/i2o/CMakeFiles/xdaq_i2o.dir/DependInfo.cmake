@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/i2o/chain.cpp" "src/i2o/CMakeFiles/xdaq_i2o.dir/chain.cpp.o" "gcc" "src/i2o/CMakeFiles/xdaq_i2o.dir/chain.cpp.o.d"
+  "/root/repo/src/i2o/frame.cpp" "src/i2o/CMakeFiles/xdaq_i2o.dir/frame.cpp.o" "gcc" "src/i2o/CMakeFiles/xdaq_i2o.dir/frame.cpp.o.d"
+  "/root/repo/src/i2o/paramlist.cpp" "src/i2o/CMakeFiles/xdaq_i2o.dir/paramlist.cpp.o" "gcc" "src/i2o/CMakeFiles/xdaq_i2o.dir/paramlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xdaq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

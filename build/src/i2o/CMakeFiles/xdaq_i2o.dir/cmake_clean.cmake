@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdaq_i2o.dir/chain.cpp.o"
+  "CMakeFiles/xdaq_i2o.dir/chain.cpp.o.d"
+  "CMakeFiles/xdaq_i2o.dir/frame.cpp.o"
+  "CMakeFiles/xdaq_i2o.dir/frame.cpp.o.d"
+  "CMakeFiles/xdaq_i2o.dir/paramlist.cpp.o"
+  "CMakeFiles/xdaq_i2o.dir/paramlist.cpp.o.d"
+  "libxdaq_i2o.a"
+  "libxdaq_i2o.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdaq_i2o.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxdaq_i2o.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for xdaq_i2o.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdaq_mem.dir/pool.cpp.o"
+  "CMakeFiles/xdaq_mem.dir/pool.cpp.o.d"
+  "CMakeFiles/xdaq_mem.dir/sgl.cpp.o"
+  "CMakeFiles/xdaq_mem.dir/sgl.cpp.o.d"
+  "libxdaq_mem.a"
+  "libxdaq_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdaq_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxdaq_mem.a"
+)

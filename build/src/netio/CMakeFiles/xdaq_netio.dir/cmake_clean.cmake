@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdaq_netio.dir/socket.cpp.o"
+  "CMakeFiles/xdaq_netio.dir/socket.cpp.o.d"
+  "libxdaq_netio.a"
+  "libxdaq_netio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdaq_netio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

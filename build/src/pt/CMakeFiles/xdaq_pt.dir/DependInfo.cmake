@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pt/cluster.cpp" "src/pt/CMakeFiles/xdaq_pt.dir/cluster.cpp.o" "gcc" "src/pt/CMakeFiles/xdaq_pt.dir/cluster.cpp.o.d"
+  "/root/repo/src/pt/fifo_pt.cpp" "src/pt/CMakeFiles/xdaq_pt.dir/fifo_pt.cpp.o" "gcc" "src/pt/CMakeFiles/xdaq_pt.dir/fifo_pt.cpp.o.d"
+  "/root/repo/src/pt/gm_pt.cpp" "src/pt/CMakeFiles/xdaq_pt.dir/gm_pt.cpp.o" "gcc" "src/pt/CMakeFiles/xdaq_pt.dir/gm_pt.cpp.o.d"
+  "/root/repo/src/pt/local_bus.cpp" "src/pt/CMakeFiles/xdaq_pt.dir/local_bus.cpp.o" "gcc" "src/pt/CMakeFiles/xdaq_pt.dir/local_bus.cpp.o.d"
+  "/root/repo/src/pt/tcp_pt.cpp" "src/pt/CMakeFiles/xdaq_pt.dir/tcp_pt.cpp.o" "gcc" "src/pt/CMakeFiles/xdaq_pt.dir/tcp_pt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xdaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmsim/CMakeFiles/xdaq_gmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netio/CMakeFiles/xdaq_netio.dir/DependInfo.cmake"
+  "/root/repo/build/src/i2o/CMakeFiles/xdaq_i2o.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xdaq_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xdaq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdaq_pt.dir/cluster.cpp.o"
+  "CMakeFiles/xdaq_pt.dir/cluster.cpp.o.d"
+  "CMakeFiles/xdaq_pt.dir/fifo_pt.cpp.o"
+  "CMakeFiles/xdaq_pt.dir/fifo_pt.cpp.o.d"
+  "CMakeFiles/xdaq_pt.dir/gm_pt.cpp.o"
+  "CMakeFiles/xdaq_pt.dir/gm_pt.cpp.o.d"
+  "CMakeFiles/xdaq_pt.dir/local_bus.cpp.o"
+  "CMakeFiles/xdaq_pt.dir/local_bus.cpp.o.d"
+  "CMakeFiles/xdaq_pt.dir/tcp_pt.cpp.o"
+  "CMakeFiles/xdaq_pt.dir/tcp_pt.cpp.o.d"
+  "libxdaq_pt.a"
+  "libxdaq_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdaq_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmi/adapter.cpp" "src/rmi/CMakeFiles/xdaq_rmi.dir/adapter.cpp.o" "gcc" "src/rmi/CMakeFiles/xdaq_rmi.dir/adapter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xdaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/i2o/CMakeFiles/xdaq_i2o.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xdaq_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xdaq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdaq_rmi.dir/adapter.cpp.o"
+  "CMakeFiles/xdaq_rmi.dir/adapter.cpp.o.d"
+  "libxdaq_rmi.a"
+  "libxdaq_rmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdaq_rmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdaq_util.dir/cli.cpp.o"
+  "CMakeFiles/xdaq_util.dir/cli.cpp.o.d"
+  "CMakeFiles/xdaq_util.dir/clock.cpp.o"
+  "CMakeFiles/xdaq_util.dir/clock.cpp.o.d"
+  "CMakeFiles/xdaq_util.dir/logging.cpp.o"
+  "CMakeFiles/xdaq_util.dir/logging.cpp.o.d"
+  "CMakeFiles/xdaq_util.dir/stats.cpp.o"
+  "CMakeFiles/xdaq_util.dir/stats.cpp.o.d"
+  "CMakeFiles/xdaq_util.dir/status.cpp.o"
+  "CMakeFiles/xdaq_util.dir/status.cpp.o.d"
+  "libxdaq_util.a"
+  "libxdaq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdaq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xcl/builtins.cpp" "src/xcl/CMakeFiles/xdaq_xcl.dir/builtins.cpp.o" "gcc" "src/xcl/CMakeFiles/xdaq_xcl.dir/builtins.cpp.o.d"
+  "/root/repo/src/xcl/control.cpp" "src/xcl/CMakeFiles/xdaq_xcl.dir/control.cpp.o" "gcc" "src/xcl/CMakeFiles/xdaq_xcl.dir/control.cpp.o.d"
+  "/root/repo/src/xcl/interp.cpp" "src/xcl/CMakeFiles/xdaq_xcl.dir/interp.cpp.o" "gcc" "src/xcl/CMakeFiles/xdaq_xcl.dir/interp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xdaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/i2o/CMakeFiles/xdaq_i2o.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xdaq_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xdaq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

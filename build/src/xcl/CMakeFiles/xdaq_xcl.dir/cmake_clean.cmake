@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdaq_xcl.dir/builtins.cpp.o"
+  "CMakeFiles/xdaq_xcl.dir/builtins.cpp.o.d"
+  "CMakeFiles/xdaq_xcl.dir/control.cpp.o"
+  "CMakeFiles/xdaq_xcl.dir/control.cpp.o.d"
+  "CMakeFiles/xdaq_xcl.dir/interp.cpp.o"
+  "CMakeFiles/xdaq_xcl.dir/interp.cpp.o.d"
+  "libxdaq_xcl.a"
+  "libxdaq_xcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdaq_xcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bulk_test.dir/core_bulk_test.cpp.o"
+  "CMakeFiles/core_bulk_test.dir/core_bulk_test.cpp.o.d"
+  "core_bulk_test"
+  "core_bulk_test.pdb"
+  "core_bulk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bulk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

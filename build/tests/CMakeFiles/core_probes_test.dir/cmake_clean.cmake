@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_probes_test.dir/core_probes_test.cpp.o"
+  "CMakeFiles/core_probes_test.dir/core_probes_test.cpp.o.d"
+  "core_probes_test"
+  "core_probes_test.pdb"
+  "core_probes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_probes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

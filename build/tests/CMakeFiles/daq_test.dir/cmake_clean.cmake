@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daq_test.dir/daq_test.cpp.o"
+  "CMakeFiles/daq_test.dir/daq_test.cpp.o.d"
+  "daq_test"
+  "daq_test.pdb"
+  "daq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

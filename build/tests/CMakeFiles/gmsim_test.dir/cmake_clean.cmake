@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmsim_test.dir/gmsim_test.cpp.o"
+  "CMakeFiles/gmsim_test.dir/gmsim_test.cpp.o.d"
+  "gmsim_test"
+  "gmsim_test.pdb"
+  "gmsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/i2o_chain_test.cpp" "tests/CMakeFiles/i2o_test.dir/i2o_chain_test.cpp.o" "gcc" "tests/CMakeFiles/i2o_test.dir/i2o_chain_test.cpp.o.d"
+  "/root/repo/tests/i2o_frame_test.cpp" "tests/CMakeFiles/i2o_test.dir/i2o_frame_test.cpp.o" "gcc" "tests/CMakeFiles/i2o_test.dir/i2o_frame_test.cpp.o.d"
+  "/root/repo/tests/i2o_paramlist_test.cpp" "tests/CMakeFiles/i2o_test.dir/i2o_paramlist_test.cpp.o" "gcc" "tests/CMakeFiles/i2o_test.dir/i2o_paramlist_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/i2o/CMakeFiles/xdaq_i2o.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xdaq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

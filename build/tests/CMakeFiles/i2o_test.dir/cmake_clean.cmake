@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i2o_test.dir/i2o_chain_test.cpp.o"
+  "CMakeFiles/i2o_test.dir/i2o_chain_test.cpp.o.d"
+  "CMakeFiles/i2o_test.dir/i2o_frame_test.cpp.o"
+  "CMakeFiles/i2o_test.dir/i2o_frame_test.cpp.o.d"
+  "CMakeFiles/i2o_test.dir/i2o_paramlist_test.cpp.o"
+  "CMakeFiles/i2o_test.dir/i2o_paramlist_test.cpp.o.d"
+  "i2o_test"
+  "i2o_test.pdb"
+  "i2o_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i2o_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

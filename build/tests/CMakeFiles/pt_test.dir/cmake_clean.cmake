@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_test.dir/pt_cluster_test.cpp.o"
+  "CMakeFiles/pt_test.dir/pt_cluster_test.cpp.o.d"
+  "CMakeFiles/pt_test.dir/pt_fifo_test.cpp.o"
+  "CMakeFiles/pt_test.dir/pt_fifo_test.cpp.o.d"
+  "CMakeFiles/pt_test.dir/pt_local_bus_test.cpp.o"
+  "CMakeFiles/pt_test.dir/pt_local_bus_test.cpp.o.d"
+  "CMakeFiles/pt_test.dir/pt_tcp_test.cpp.o"
+  "CMakeFiles/pt_test.dir/pt_tcp_test.cpp.o.d"
+  "pt_test"
+  "pt_test.pdb"
+  "pt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/i2o_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/gmsim_test[1]_include.cmake")
+include("/root/repo/build/tests/netio_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/core_bulk_test[1]_include.cmake")
+include("/root/repo/build/tests/core_events_test[1]_include.cmake")
+include("/root/repo/build/tests/core_probes_test[1]_include.cmake")
+include("/root/repo/build/tests/core_remote_device_test[1]_include.cmake")
+include("/root/repo/build/tests/pt_test[1]_include.cmake")
+include("/root/repo/build/tests/xcl_test[1]_include.cmake")
+include("/root/repo/build/tests/rmi_test[1]_include.cmake")
+include("/root/repo/build/tests/daq_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/process_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[MultiProcess.ControlLoadAndShutdownRealDaemons]=]  /root/repo/build/tests/process_test [==[--gtest_filter=MultiProcess.ControlLoadAndShutdownRealDaemons]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[MultiProcess.ControlLoadAndShutdownRealDaemons]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  process_test_TESTS MultiProcess.ControlLoadAndShutdownRealDaemons)
