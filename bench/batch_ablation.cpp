@@ -1,0 +1,317 @@
+// batch_ablation.cpp - measures the hot-path batching introduced on top of
+// the paper's optimized allocator: batched inbound drains + multi-message
+// dispatch in the executive, and coalesced framing in the TCP transport.
+//
+// Two sections:
+//   1. local post -> dispatch throughput: a single-threaded closed loop
+//      plays producer and dispatcher (run_once), which keeps the number
+//      deterministic on small machines. "off" = dispatch_batch 1 /
+//      inbound_drain 1 / post() per frame (the seed's
+//      one-lock-per-frame behaviour); "on" = post_batch() bursts with a
+//      wide drain and dispatch batch.
+//   2. 2-node TCP frame rate over real sockets: "off" = coalesce_bytes 0
+//      (every frame takes its own gathered write); "on" = small frames
+//      share syscalls through the per-connection write combiner.
+//
+// Results go to stdout and BENCH_batch.json.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "gmsim/gmsim.hpp"
+#include "i2o/wire.hpp"
+#include "pt/fifo_pt.hpp"
+#include "pt/gm_pt.hpp"
+#include "pt/tcp_pt.hpp"
+#include "util/cli.hpp"
+
+namespace xdaq::bench {
+namespace {
+
+/// Counts arrivals; no reply (frames carry a null initiator).
+class CountSink final : public core::Device {
+ public:
+  CountSink() : Device("CountSink") {
+    // Single writer (the dispatch thread); readers poll with relaxed
+    // loads, so a plain load/store pair avoids a locked RMW per message.
+    bind(i2o::OrgId::kBench, kXfnPing,
+         [this](const core::MessageContext&) {
+           count_.store(count_.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+         });
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+};
+
+constexpr std::size_t kPayloadBytes = 64;
+
+Result<mem::FrameRef> make_ping(core::Executive& exec, i2o::Tid target) {
+  auto frame = exec.alloc_frame(kPayloadBytes, /*is_private=*/true);
+  if (!frame.is_ok()) {
+    return frame;
+  }
+  i2o::FrameHeader hdr;
+  hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+  hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kBench);
+  hdr.xfunction = kXfnPing;
+  hdr.target = target;
+  hdr.initiator = i2o::kNullTid;  // fire-and-forget: no reply path
+  if (Status st = i2o::encode_header(hdr, frame.value().bytes());
+      !st.is_ok()) {
+    return st;
+  }
+  return frame;
+}
+
+/// Waits until the sink has seen `total` messages (deadline-bounded);
+/// returns the count actually delivered.
+std::uint64_t await_count(const CountSink& sink, std::uint64_t total,
+                          std::chrono::seconds deadline) {
+  const std::uint64_t t_end =
+      now_ns() + static_cast<std::uint64_t>(
+                     std::chrono::nanoseconds(deadline).count());
+  while (sink.count() < total && now_ns() < t_end) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return sink.count();
+}
+
+/// Local post -> dispatch throughput (messages per second). Closed loop,
+/// no threads: the caller alternates producing and pumping, so the result
+/// compares per-message locking/pump overhead against batch-amortized
+/// overhead without OS-scheduler noise (on a one-core box a two-thread
+/// flood flips between futex ping-pong and bulk alternation regimes and
+/// the measurement becomes bistable).
+///
+/// The executive runs the deployment the paper optimizes for: its two
+/// polling-mode peer transports (a GM NIC and a local FIFO link,
+/// matching the paper's Table 1 setup where GM polls) are rescanned on
+/// every pump ("In polling mode, the executive periodically scans all
+/// registered PTs"). With dispatch_batch=1 that scan - like the queue
+/// drain and the scheduler's FIFO bookkeeping - is paid per message;
+/// batched it is paid per burst. Frames are preallocated outside the
+/// timed region so the measurement covers post -> dispatch, not frame
+/// construction.
+double local_throughput(bool batched, std::uint64_t total,
+                        std::size_t burst) {
+  core::ExecutiveConfig cfg;
+  cfg.name = "bench";
+  cfg.node_id = 1;
+  cfg.dispatch_batch = batched ? 128 : 1;
+  cfg.inbound_drain = batched ? 256 : 1;
+  cfg.inbound_capacity = 8192;
+  // Production supervision stays on: the watchdog is armed once per
+  // dispatch batch, so its clock read is per message at dispatch_batch=1
+  // and amortized across the batch otherwise.
+  cfg.handler_deadline = std::chrono::milliseconds(250);
+  // Declared before exec: transports detach before their media go away.
+  gmsim::Fabric fabric;
+  pt::FifoLink link;
+  core::Executive exec(cfg);
+  (void)exec.install(std::make_unique<pt::GmPeerTransport>(fabric), "pt_gm");
+  (void)exec.install(std::make_unique<pt::FifoTransport>(link, 0),
+                     "pt_fifo");
+  auto sink = std::make_unique<CountSink>();
+  CountSink* sink_raw = sink.get();
+  const auto sink_tid = exec.install(std::move(sink), "sink").value();
+  (void)exec.enable_all();
+
+  std::vector<mem::FrameRef> frames;
+  frames.reserve(total);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    auto frame = make_ping(exec, sink_tid);
+    if (!frame.is_ok()) {
+      break;
+    }
+    frames.push_back(std::move(frame).value());
+  }
+
+  const std::uint64_t t0 = now_ns();
+  if (!batched) {
+    for (mem::FrameRef& frame : frames) {
+      (void)exec.post(std::move(frame));
+      (void)exec.run_once();  // one message in, one pump, one dispatch
+    }
+  } else {
+    std::size_t posted = 0;
+    while (posted < frames.size()) {
+      const std::size_t want =
+          std::min<std::size_t>(burst, frames.size() - posted);
+      posted += exec.post_batch(
+          std::span<mem::FrameRef>(frames).subspan(posted, want));
+      while (exec.run_once()) {
+      }
+    }
+  }
+  while (exec.run_once()) {
+  }
+  const double elapsed_s = static_cast<double>(now_ns() - t0) / 1e9;
+  return static_cast<double>(sink_raw->count()) / elapsed_s;
+}
+
+/// Two-node TCP frame rate (frames per second, one-way flood).
+double tcp_frame_rate(bool batched, std::uint64_t total, unsigned senders) {
+  core::ExecutiveConfig cfg_a{.node_id = 1, .name = "a"};
+  core::ExecutiveConfig cfg_b{.node_id = 2, .name = "b"};
+  cfg_b.dispatch_batch = batched ? 64 : 1;
+  cfg_b.inbound_drain = batched ? 256 : 1;
+  // Capacity covers the whole run so backpressure cannot drop frames.
+  cfg_b.inbound_capacity = total + 1024;
+  core::Executive a(cfg_a);
+  core::Executive b(cfg_b);
+
+  pt::TcpTransportConfig tcfg;
+  tcfg.coalesce_bytes = batched ? 4096 : 0;
+  auto ta = std::make_unique<pt::TcpPeerTransport>(tcfg);
+  auto tb = std::make_unique<pt::TcpPeerTransport>(tcfg);
+  pt::TcpPeerTransport* pt_a = ta.get();
+  pt::TcpPeerTransport* pt_b = tb.get();
+  (void)a.install(std::move(ta), "pt_tcp");
+  (void)b.install(std::move(tb), "pt_tcp");
+  (void)a.set_route(2, pt_a->tid());
+  (void)b.set_route(1, pt_b->tid());
+  (void)a.enable(pt_a->tid());
+  (void)b.enable(pt_b->tid());
+  pt_a->add_peer(2, "127.0.0.1", pt_b->listen_port());
+  pt_b->add_peer(1, "127.0.0.1", pt_a->listen_port());
+
+  auto sink = std::make_unique<CountSink>();
+  CountSink* sink_raw = sink.get();
+  (void)b.install(std::move(sink), "sink");
+  const auto proxy =
+      a.register_remote(2, b.tid_of("sink").value(), "sink").value();
+  (void)a.enable_all();
+  (void)b.enable_all();
+  b.start();  // node a only sends; no dispatch loop needed there
+
+  const std::uint64_t quota = total / senders;
+  const std::uint64_t actual_total = quota * senders;
+  const std::uint64_t t0 = now_ns();
+  std::vector<std::thread> threads;
+  for (unsigned s = 0; s < senders; ++s) {
+    threads.emplace_back([&a, proxy, quota] {
+      std::uint64_t sent = 0;
+      while (sent < quota) {
+        auto frame = make_ping(a, proxy);
+        if (frame.is_ok() &&
+            a.frame_send(std::move(frame).value()).is_ok()) {
+          ++sent;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const std::uint64_t delivered =
+      await_count(*sink_raw, actual_total, std::chrono::seconds(60));
+  const double elapsed_s = static_cast<double>(now_ns() - t0) / 1e9;
+  b.stop();
+  if (delivered < actual_total) {
+    std::fprintf(stderr, "warning: tcp run delivered %llu of %llu frames\n",
+                 static_cast<unsigned long long>(delivered),
+                 static_cast<unsigned long long>(actual_total));
+  }
+  return static_cast<double>(delivered) / elapsed_s;
+}
+
+/// Best-of-N wrapper: reruns one arm and keeps the fastest rate. The
+/// closed loop is deterministic in work done, so the max filters out OS
+/// jitter (timer interrupts, page faults) instead of averaging it in.
+template <typename Fn>
+double best_of(unsigned reps, Fn&& measure) {
+  double best = 0;
+  for (unsigned r = 0; r < reps; ++r) {
+    best = std::max(best, measure());
+  }
+  return best;
+}
+
+int run(int argc, const char* const* argv) {
+  CliParser cli;
+  cli.flag("calls", "local messages posted in total", std::int64_t{200000});
+  cli.flag("tcp-frames", "frames flooded across TCP in total",
+           std::int64_t{30000});
+  cli.flag("burst", "frames per post_batch call", std::int64_t{32});
+  cli.flag("reps", "repetitions per local arm (best-of)", std::int64_t{5});
+  if (Status st = cli.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n%s", st.to_string().c_str(),
+                 cli.usage("batch_ablation").c_str());
+    return 1;
+  }
+  const auto calls = static_cast<std::uint64_t>(cli.get_int("calls"));
+  const auto tcp_frames =
+      static_cast<std::uint64_t>(cli.get_int("tcp-frames"));
+  const auto burst = static_cast<std::size_t>(
+      std::max<std::int64_t>(cli.get_int("burst"), 1));
+  const auto reps = static_cast<unsigned>(
+      std::max<std::int64_t>(cli.get_int("reps"), 1));
+
+  std::printf("=== Hot-path batching ablation ===\n\n");
+  std::printf("-- local post -> dispatch (closed loop, burst %zu) --\n",
+              burst);
+  const double local_off =
+      best_of(reps, [&] { return local_throughput(false, calls, burst); });
+  const double local_on =
+      best_of(reps, [&] { return local_throughput(true, calls, burst); });
+  const double local_speedup = local_off > 0 ? local_on / local_off : 0;
+  std::printf("%-34s %14.0f msg/s\n", "unbatched (dispatch_batch=1)",
+              local_off);
+  std::printf("%-34s %14.0f msg/s\n", "batched (drain+post_batch)",
+              local_on);
+  std::printf("%-34s %14.2fx\n", "speedup", local_speedup);
+
+  std::printf("\n-- 2-node TCP flood (2 senders, %zu B payload) --\n",
+              kPayloadBytes);
+  const double tcp_off = tcp_frame_rate(false, tcp_frames, 2);
+  const double tcp_on = tcp_frame_rate(true, tcp_frames, 2);
+  const double tcp_speedup = tcp_off > 0 ? tcp_on / tcp_off : 0;
+  std::printf("%-34s %14.0f frames/s\n", "uncoalesced (coalesce_bytes=0)",
+              tcp_off);
+  std::printf("%-34s %14.0f frames/s\n", "coalesced (write combiner)",
+              tcp_on);
+  std::printf("%-34s %14.2fx\n", "speedup", tcp_speedup);
+
+  std::printf("\nshape check: batched local >= 2x unbatched -> %s\n",
+              local_speedup >= 2.0 ? "PASS" : "CHECK");
+
+  if (std::FILE* f = std::fopen("BENCH_batch.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"local\": {\n"
+                 "    \"unbatched_msgs_per_sec\": %.0f,\n"
+                 "    \"batched_msgs_per_sec\": %.0f,\n"
+                 "    \"speedup\": %.3f,\n"
+                 "    \"burst\": %zu,\n"
+                 "    \"calls\": %llu\n"
+                 "  },\n"
+                 "  \"tcp\": {\n"
+                 "    \"uncoalesced_frames_per_sec\": %.0f,\n"
+                 "    \"coalesced_frames_per_sec\": %.0f,\n"
+                 "    \"speedup\": %.3f,\n"
+                 "    \"frames\": %llu,\n"
+                 "    \"payload_bytes\": %zu\n"
+                 "  }\n"
+                 "}\n",
+                 local_off, local_on, local_speedup, burst,
+                 static_cast<unsigned long long>(calls), tcp_off, tcp_on,
+                 tcp_speedup, static_cast<unsigned long long>(tcp_frames),
+                 kPayloadBytes);
+    std::fclose(f);
+    std::printf("wrote BENCH_batch.json\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xdaq::bench
+
+int main(int argc, char** argv) { return xdaq::bench::run(argc, argv); }

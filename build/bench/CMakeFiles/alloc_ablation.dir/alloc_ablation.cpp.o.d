@@ -227,16 +227,16 @@ bench/CMakeFiles/alloc_ablation.dir/alloc_ablation.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/i2o/paramlist.hpp /root/repo/src/mem/pool.hpp \
- /root/repo/src/core/executive.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/executive.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/core/address_table.hpp /root/repo/src/core/probes.hpp \
- /root/repo/src/core/scheduler.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/core/timer.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/logging.hpp \
- /root/repo/src/util/queue.hpp /root/repo/src/util/clock.hpp \
+ /root/repo/src/core/scheduler.hpp /root/repo/src/core/timer.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/util/logging.hpp /root/repo/src/util/queue.hpp \
+ /root/repo/src/util/clock.hpp \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/batch_ablation.cpp" "bench/CMakeFiles/batch_ablation.dir/batch_ablation.cpp.o" "gcc" "bench/CMakeFiles/batch_ablation.dir/batch_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pt/CMakeFiles/xdaq_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xdaq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xdaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/i2o/CMakeFiles/xdaq_i2o.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xdaq_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmsim/CMakeFiles/xdaq_gmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netio/CMakeFiles/xdaq_netio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

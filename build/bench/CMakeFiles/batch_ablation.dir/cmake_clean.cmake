@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_ablation.dir/batch_ablation.cpp.o"
+  "CMakeFiles/batch_ablation.dir/batch_ablation.cpp.o.d"
+  "batch_ablation"
+  "batch_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,3 +4,21 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke.fig6_blackbox "/root/repo/build/bench/fig6_blackbox" "--calls" "200")
+set_tests_properties(bench_smoke.fig6_blackbox PROPERTIES  LABELS "bench_smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;32;xdaq_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke.table1_whitebox "/root/repo/build/bench/table1_whitebox" "--calls" "500")
+set_tests_properties(bench_smoke.table1_whitebox PROPERTIES  LABELS "bench_smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;33;xdaq_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke.alloc_ablation "/root/repo/build/bench/alloc_ablation" "--calls" "500")
+set_tests_properties(bench_smoke.alloc_ablation PROPERTIES  LABELS "bench_smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;34;xdaq_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke.ptmode_ablation "/root/repo/build/bench/ptmode_ablation" "--calls" "200")
+set_tests_properties(bench_smoke.ptmode_ablation PROPERTIES  LABELS "bench_smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;35;xdaq_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke.throughput "/root/repo/build/bench/throughput" "--messages" "2000")
+set_tests_properties(bench_smoke.throughput PROPERTIES  LABELS "bench_smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;36;xdaq_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke.iop_offload "/root/repo/build/bench/iop_offload" "--calls" "500")
+set_tests_properties(bench_smoke.iop_offload PROPERTIES  LABELS "bench_smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;37;xdaq_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke.priority_ablation "/root/repo/build/bench/priority_ablation" "--probes" "100")
+set_tests_properties(bench_smoke.priority_ablation PROPERTIES  LABELS "bench_smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;38;xdaq_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke.batch_ablation "/root/repo/build/bench/batch_ablation" "--calls" "4000" "--tcp-frames" "2000")
+set_tests_properties(bench_smoke.batch_ablation PROPERTIES  LABELS "bench_smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;39;xdaq_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke.microbench "/root/repo/build/bench/microbench" "--benchmark_min_time=0.01")
+set_tests_properties(bench_smoke.microbench PROPERTIES  LABELS "bench_smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;40;xdaq_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")

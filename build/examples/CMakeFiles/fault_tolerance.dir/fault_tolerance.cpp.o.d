@@ -230,12 +230,12 @@ examples/CMakeFiles/fault_tolerance.dir/fault_tolerance.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/i2o/paramlist.hpp /root/repo/src/mem/pool.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/core/requester.hpp /usr/include/c++/12/condition_variable \
- /root/repo/src/pt/cluster.hpp /root/repo/src/core/executive.hpp \
- /root/repo/src/core/address_table.hpp /root/repo/src/core/probes.hpp \
- /root/repo/src/core/scheduler.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/requester.hpp \
+ /usr/include/c++/12/condition_variable /root/repo/src/pt/cluster.hpp \
+ /root/repo/src/core/executive.hpp /root/repo/src/core/address_table.hpp \
+ /root/repo/src/core/probes.hpp /root/repo/src/core/scheduler.hpp \
  /root/repo/src/core/timer.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/logging.hpp \
  /root/repo/src/util/queue.hpp /root/repo/src/gmsim/gmsim.hpp \

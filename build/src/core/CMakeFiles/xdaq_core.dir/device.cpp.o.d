@@ -214,10 +214,11 @@ src/core/CMakeFiles/xdaq_core.dir/device.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/i2o/paramlist.hpp /root/repo/src/mem/pool.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/core/executive.hpp /usr/include/c++/12/chrono \
@@ -231,9 +232,7 @@ src/core/CMakeFiles/xdaq_core.dir/device.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/core/address_table.hpp /root/repo/src/core/probes.hpp \
- /root/repo/src/core/scheduler.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/core/timer.hpp /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/logging.hpp /root/repo/src/util/queue.hpp \
- /root/repo/src/i2o/wire.hpp
+ /root/repo/src/core/scheduler.hpp /root/repo/src/core/timer.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/logging.hpp \
+ /root/repo/src/util/queue.hpp /root/repo/src/i2o/wire.hpp

@@ -219,4 +219,5 @@ src/core/CMakeFiles/xdaq_core.dir/factory.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/i2o/frame.hpp /root/repo/src/i2o/types.hpp \
  /root/repo/src/i2o/paramlist.hpp /root/repo/src/mem/pool.hpp \
- /usr/include/c++/12/atomic
+ /usr/include/c++/12/atomic /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc

@@ -232,10 +232,10 @@ src/core/CMakeFiles/xdaq_core.dir/remote_device.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/i2o/paramlist.hpp /root/repo/src/mem/pool.hpp \
- /root/repo/src/core/executive.hpp /usr/include/c++/12/thread \
- /root/repo/src/core/address_table.hpp /root/repo/src/core/probes.hpp \
- /root/repo/src/core/scheduler.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/executive.hpp \
+ /usr/include/c++/12/thread /root/repo/src/core/address_table.hpp \
+ /root/repo/src/core/probes.hpp /root/repo/src/core/scheduler.hpp \
  /root/repo/src/core/timer.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/logging.hpp \
  /root/repo/src/util/queue.hpp

@@ -221,5 +221,6 @@ src/daq/CMakeFiles/xdaq_daq.dir/register.cpp.o: \
  /root/repo/src/core/device.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/i2o/frame.hpp \
  /root/repo/src/i2o/types.hpp /root/repo/src/i2o/paramlist.hpp \
- /root/repo/src/mem/pool.hpp /root/repo/src/daq/event_manager.hpp \
- /root/repo/src/daq/readout_unit.hpp
+ /root/repo/src/mem/pool.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/daq/event_manager.hpp /root/repo/src/daq/readout_unit.hpp

@@ -217,9 +217,11 @@ src/daq/CMakeFiles/xdaq_daq.dir/topology.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/i2o/paramlist.hpp /root/repo/src/mem/pool.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/daq/event_manager.hpp /root/repo/src/daq/readout_unit.hpp \
  /root/repo/src/pt/cluster.hpp /root/repo/src/core/executive.hpp \
@@ -233,12 +235,11 @@ src/daq/CMakeFiles/xdaq_daq.dir/topology.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/core/address_table.hpp /root/repo/src/core/probes.hpp \
- /root/repo/src/core/scheduler.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/core/timer.hpp /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/logging.hpp /root/repo/src/util/queue.hpp \
- /root/repo/src/gmsim/gmsim.hpp /root/repo/src/util/clock.hpp \
+ /root/repo/src/core/scheduler.hpp /root/repo/src/core/timer.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/logging.hpp \
+ /root/repo/src/util/queue.hpp /root/repo/src/gmsim/gmsim.hpp \
+ /root/repo/src/util/clock.hpp \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \

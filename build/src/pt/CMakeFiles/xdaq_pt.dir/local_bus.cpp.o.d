@@ -232,9 +232,9 @@ src/pt/CMakeFiles/xdaq_pt.dir/local_bus.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/i2o/frame.hpp \
  /root/repo/src/i2o/paramlist.hpp /root/repo/src/mem/pool.hpp \
- /root/repo/src/core/probes.hpp /root/repo/src/core/scheduler.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/timer.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/probes.hpp \
+ /root/repo/src/core/scheduler.hpp /root/repo/src/core/timer.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/logging.hpp \
  /root/repo/src/util/queue.hpp /root/repo/src/core/transport.hpp

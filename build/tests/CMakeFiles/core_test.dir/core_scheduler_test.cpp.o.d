@@ -70,11 +70,11 @@ tests/CMakeFiles/core_test.dir/core_scheduler_test.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/probes.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/i2o/frame.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/probes.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/i2o/frame.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \

@@ -305,16 +305,16 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/i2o/frame.hpp \
  /root/repo/src/i2o/types.hpp /root/repo/src/util/status.hpp \
  /root/repo/src/i2o/paramlist.hpp /root/repo/src/mem/pool.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/i2o/chain.hpp /root/repo/src/core/factory.hpp \
- /root/repo/src/core/requester.hpp /usr/include/c++/12/condition_variable \
- /root/repo/src/daq/register.hpp /root/repo/src/daq/topology.hpp \
- /root/repo/src/daq/builder_unit.hpp /root/repo/src/daq/event_manager.hpp \
- /root/repo/src/daq/readout_unit.hpp /root/repo/src/pt/cluster.hpp \
- /root/repo/src/core/executive.hpp /usr/include/c++/12/chrono \
- /root/repo/src/core/address_table.hpp /root/repo/src/core/probes.hpp \
- /root/repo/src/core/scheduler.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/i2o/chain.hpp \
+ /root/repo/src/core/factory.hpp /root/repo/src/core/requester.hpp \
+ /usr/include/c++/12/condition_variable /root/repo/src/daq/register.hpp \
+ /root/repo/src/daq/topology.hpp /root/repo/src/daq/builder_unit.hpp \
+ /root/repo/src/daq/event_manager.hpp /root/repo/src/daq/readout_unit.hpp \
+ /root/repo/src/pt/cluster.hpp /root/repo/src/core/executive.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/core/address_table.hpp \
+ /root/repo/src/core/probes.hpp /root/repo/src/core/scheduler.hpp \
  /root/repo/src/core/timer.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/logging.hpp \
  /root/repo/src/util/queue.hpp /root/repo/src/gmsim/gmsim.hpp \

@@ -307,9 +307,9 @@ tests/CMakeFiles/process_test.dir/process_test.cpp.o: \
  /root/repo/src/core/address_table.hpp /root/repo/src/i2o/types.hpp \
  /root/repo/src/util/status.hpp /root/repo/src/core/device.hpp \
  /root/repo/src/i2o/frame.hpp /root/repo/src/i2o/paramlist.hpp \
- /root/repo/src/mem/pool.hpp /root/repo/src/core/probes.hpp \
- /root/repo/src/core/scheduler.hpp /usr/include/c++/12/deque \
+ /root/repo/src/mem/pool.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/core/probes.hpp /root/repo/src/core/scheduler.hpp \
  /root/repo/src/core/timer.hpp /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/util/logging.hpp /root/repo/src/util/queue.hpp \

@@ -35,6 +35,7 @@ Result<i2o::Tid> AddressTable::allocate_local(Device* device) {
   e.kind = AddressEntry::Kind::Local;
   e.local = device;
   entries_[tid.value()] = e;
+  local_fast_[tid.value()].store(device, std::memory_order_release);
   return tid;
 }
 
@@ -92,6 +93,8 @@ Status AddressTable::release(i2o::Tid tid) {
   if (it->second.kind == AddressEntry::Kind::Proxy) {
     proxy_index_.erase(proxy_key(it->second.node, it->second.remote_tid,
                                  it->second.via_pt));
+  } else {
+    local_fast_[tid].store(nullptr, std::memory_order_release);
   }
   entries_.erase(it);
   free_list_.push_back(tid);

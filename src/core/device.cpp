@@ -38,16 +38,23 @@ void Device::bind(i2o::OrgId org, std::uint16_t xfunction, Handler handler) {
   const std::uint32_t key =
       (static_cast<std::uint32_t>(org) << 16) | xfunction;
   private_handlers_[key] = std::move(handler);
+  cached_handler_ = nullptr;
 }
 
 bool Device::dispatch_private(const MessageContext& ctx) {
   const std::uint32_t key =
       (static_cast<std::uint32_t>(ctx.header.organization) << 16) |
       ctx.header.xfunction;
+  if (cached_handler_ != nullptr && cached_key_ == key) {
+    (*cached_handler_)(ctx);
+    return true;
+  }
   const auto it = private_handlers_.find(key);
   if (it == private_handlers_.end()) {
     return false;
   }
+  cached_key_ = key;
+  cached_handler_ = &it->second;
   it->second(ctx);
   return true;
 }

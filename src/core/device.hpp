@@ -178,6 +178,11 @@ class Device {
 
   /// Local dispatch table: (org << 16 | xfunction) -> handler.
   std::map<std::uint32_t, Handler> private_handlers_;
+  /// One-entry dispatch cache (dispatch thread only): most devices serve
+  /// one hot xfunction, so repeat dispatches skip the map walk. Map nodes
+  /// are address-stable; bind() invalidates the cache anyway.
+  std::uint32_t cached_key_ = 0;
+  const Handler* cached_handler_ = nullptr;
 };
 
 }  // namespace xdaq::core

@@ -32,6 +32,14 @@ std::unique_ptr<mem::Pool> make_pool(ExecutiveConfig::PoolKind kind) {
   return std::make_unique<mem::TablePool>();
 }
 
+/// Single-writer increment for counters only the dispatch thread bumps:
+/// a plain load/store pair instead of a locked read-modify-write. Other
+/// threads only read these counters, so no update can be lost.
+inline void bump(std::atomic<std::uint64_t>& counter) noexcept {
+  counter.store(counter.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+}
+
 }  // namespace
 
 Executive::Executive(ExecutiveConfig config)
@@ -81,6 +89,7 @@ Executive::Executive(ExecutiveConfig config)
       });
 
   if (config_.handler_deadline.count() > 0) {
+    watchdog_enabled_ = true;
     watchdog_thread_ = std::thread(
         [this, deadline = config_.handler_deadline] {
           watchdog_main(deadline);
@@ -393,24 +402,80 @@ Status Executive::post(mem::FrameRef frame) {
   auto hdr = i2o::decode_header(frame.bytes());
   if (!hdr.is_ok()) {
     stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
-return hdr.status();
+    return hdr.status();
   }
   ScheduledItem in;
   in.header = hdr.value();
   in.frame = std::move(frame);
   if (!inbound_.try_push(std::move(in))) {
     stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
-// backpressure surfaces as a drop
     return {Errc::ResourceExhausted, "inbound queue full"};
   }
   stats_.posted.fetch_add(1, std::memory_order_relaxed);
   return Status::ok();
 }
 
+std::size_t Executive::post_batch(std::span<mem::FrameRef> frames) {
+  if (frames.empty()) {
+    return 0;
+  }
+  // Validate every frame up front so the queue sees one homogeneous burst.
+  // The staging vector holds (header, frame*) pairs - not ScheduledItems -
+  // so the queue elements are built in place under the queue lock
+  // (push_batch_make) instead of being staged and moved a second time.
+  // thread_local: a producer posting bursts in a loop reuses the
+  // allocation instead of paying a heap round trip per call.
+  struct Validated {
+    i2o::FrameHeader header;
+    mem::FrameRef* frame;
+  };
+  thread_local std::vector<Validated> valid;
+  valid.clear();
+  valid.reserve(frames.size());
+  for (mem::FrameRef& frame : frames) {
+    auto hdr = i2o::decode_header(frame.bytes());
+    if (!hdr.is_ok()) {
+      stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
+      frame.reset();
+      continue;
+    }
+    valid.push_back({hdr.value(), &frame});
+  }
+  const std::size_t pushed = inbound_.push_batch_make(
+      std::span<Validated>(valid), [](Validated&& v) {
+        ScheduledItem in;
+        in.header = v.header;
+        in.frame = std::move(*v.frame);
+        return in;
+      });
+  if (pushed > 0) {
+    stats_.posted.fetch_add(pushed, std::memory_order_relaxed);
+  }
+  // Backpressure: frames past the accepted prefix go back to the pool.
+  for (std::size_t i = pushed; i < valid.size(); ++i) {
+    stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
+    valid[i].frame->reset();
+  }
+  return pushed;
+}
+
 Status Executive::frame_send(mem::FrameRef frame) {
   auto hdr = i2o::decode_header(frame.bytes());
   if (!hdr.is_ok()) {
     return hdr.status();
+  }
+  // Local targets resolve through the flat table without touching the
+  // address-table mutex; only proxies (and misses) take the slow path.
+  if (table_.local_device(hdr.value().target) != nullptr) {
+    ScheduledItem in;
+    in.header = hdr.value();
+    in.frame = std::move(frame);
+    if (!inbound_.try_push(std::move(in))) {
+      return {Errc::ResourceExhausted, "inbound queue full"};
+    }
+    stats_.posted.fetch_add(1, std::memory_order_relaxed);
+    stats_.sent_local.fetch_add(1, std::memory_order_relaxed);
+    return Status::ok();
   }
   auto entry = table_.lookup(hdr.value().target);
   if (!entry.is_ok()) {
@@ -449,7 +514,7 @@ Status Executive::deliver_from_wire(i2o::NodeId src_node, i2o::Tid pt_tid,
   auto hdr = i2o::decode_header(wire);
   if (!hdr.is_ok()) {
     stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
-return hdr.status();
+    return hdr.status();
   }
   auto frame = pool_->allocate(wire.size());
   if (!frame.is_ok()) {
@@ -602,14 +667,15 @@ bool Executive::run_once() { return pump(/*allow_block=*/false); }
 
 bool Executive::pump(bool allow_block) {
   // 1. Drain a bounded batch from the messaging instance into the
-  //    scheduler's priority FIFOs.
-  for (int i = 0; i < 256; ++i) {
-    auto in = inbound_.try_pop();
-    if (!in.has_value()) {
-      break;
-    }
-    scheduler_.enqueue(default_priority_for(in->header), std::move(*in));
-  }
+  //    scheduler's priority FIFOs - one queue-mutex acquisition per
+  //    burst, not one per frame, and each item moves straight from the
+  //    queue into its priority FIFO (no staging hop). The scheduler is
+  //    dispatch-thread-only, so feeding it under the queue lock is safe.
+  inbound_.drain_apply(
+      [this](ScheduledItem&& in) {
+        scheduler_.enqueue(default_priority_for(in.header), std::move(in));
+      },
+      config_.inbound_drain);
 
   // 2. Scan polling-mode peer transports (paper section 4: "In polling
   //    mode, the executive periodically scans all registered PTs").
@@ -624,10 +690,43 @@ bool Executive::pump(bool allow_block) {
     }
   }
 
-  // 3. Dispatch one message per the I2O priority/round-robin algorithm.
-  if (auto item = scheduler_.next()) {
+  // 3. Dispatch up to dispatch_batch messages per the I2O
+  //    priority/round-robin algorithm. Fairness is the scheduler's
+  //    invariant, so a batch is exactly the sequence a message-at-a-time
+  //    loop would have produced.
+  const std::size_t batch = std::max<std::size_t>(config_.dispatch_batch, 1);
+  std::size_t dispatched = 0;
+  ScheduledItem item;  // scratch reused across the batch
+  while (dispatched < batch) {
+    if (!scheduler_.next(item)) {
+      break;
+    }
+    // Watchdog granularity is the dispatch batch: one clock read arms it
+    // for the whole batch (at the default dispatch_batch=1 that is
+    // exactly the old per-message bracket). handler_tid_ still tracks
+    // each message so a trip blames the device that was running.
+    if (watchdog_enabled_) {
+      if (dispatched == 0) {
+        handler_start_ns_.store(now_ns(), std::memory_order_release);
+      }
+      handler_tid_.store(item.header.target, std::memory_order_relaxed);
+    }
+    dispatch(item);
+    ++dispatched;
+  }
+  if (dispatched > 0) {
+    if (watchdog_enabled_) {
+      handler_start_ns_.store(0, std::memory_order_release);
+    }
+    // Frames the batch released come back to the pool in one call: one
+    // stats update and (for same-class frames) one lock round trip
+    // instead of one per message.
+    if (!release_batch_.empty()) {
+      pool_->recycle_batch(release_batch_);
+      release_batch_.clear();
+    }
     idle_pumps_ = 0;
-    dispatch(std::move(*item));
+    bump(stats_.dispatch_batches);
     return true;
   }
 
@@ -641,8 +740,12 @@ bool Executive::pump(bool allow_block) {
         idle_pumps_ = 0;
         std::this_thread::yield();
       }
-    } else if (auto in = inbound_.pop_for(std::chrono::microseconds(200))) {
-      scheduler_.enqueue(default_priority_for(in->header), std::move(*in));
+    } else if (inbound_.drain_for(drain_buf_, config_.inbound_drain,
+                                  std::chrono::microseconds(200)) > 0) {
+      for (ScheduledItem& in : drain_buf_) {
+        scheduler_.enqueue(default_priority_for(in.header), std::move(in));
+      }
+      drain_buf_.clear();
     }
   }
   return false;
@@ -650,7 +753,7 @@ bool Executive::pump(bool allow_block) {
 
 // ------------------------------------------------------------------ dispatch
 
-void Executive::dispatch(ScheduledItem item) {
+void Executive::dispatch(ScheduledItem& item) {
   const bool inst = instrument_.load(std::memory_order_relaxed) &&
                     item.probe.t_wire != 0;
   if (inst) {
@@ -659,15 +762,13 @@ void Executive::dispatch(ScheduledItem item) {
 
   MessageContext ctx;
   ctx.header = item.header;
-  ctx.frame = item.frame;  // shared reference, zero copy
+  ctx.frame = std::move(item.frame);  // move: no refcount round trip
   ctx.payload = i2o::payload_of(
-      ctx.header, std::span<const std::byte>(item.frame.bytes()));
+      ctx.header, std::span<const std::byte>(ctx.frame.bytes()));
 
-  auto entry = table_.lookup(ctx.header.target);
-  Device* dev = nullptr;
-  if (entry.is_ok() && entry.value().kind == AddressEntry::Kind::Local) {
-    dev = entry.value().local;
-  }
+  // Flat-table resolution (one atomic load); proxies and unknown TiDs
+  // both end up as drops here, so the slow lookup is never needed.
+  Device* dev = table_.local_device(ctx.header.target);
   if (dev == nullptr) {
     stats_.dropped_unknown.fetch_add(1, std::memory_order_relaxed);
     if (!ctx.header.is_reply()) {
@@ -680,8 +781,8 @@ void Executive::dispatch(ScheduledItem item) {
 
   if (ctx.header.is_reply()) {
     dev->on_reply(ctx);
-    stats_.dispatched.fetch_add(1, std::memory_order_relaxed);
-} else if (ctx.header.is_private()) {
+    bump(stats_.dispatched);
+  } else if (ctx.header.is_private()) {
     // Core timer expiries and event notifications surface through their
     // dedicated hooks in every live state.
     if (ctx.header.org() == i2o::OrgId::kXdaq &&
@@ -700,13 +801,12 @@ void Executive::dispatch(ScheduledItem item) {
                       ctx.payload.subspan(4));
       }
     } else if (dev->state() != DeviceState::Enabled) {
-      stats_.rejected_disabled.fetch_add(1, std::memory_order_relaxed);
+      bump(stats_.rejected_disabled);
       send_fail_reply(ctx, "device not enabled");
       outcome = TraceEntry::Outcome::FailReplied;
     } else {
-      // Watchdog bracket around the untrusted user handler.
-      handler_tid_.store(dev->tid(), std::memory_order_relaxed);
-      handler_start_ns_.store(now_ns(), std::memory_order_release);
+      // The watchdog is armed per dispatch batch in pump(); here only the
+      // overrun verdict is consumed, after the untrusted handler returns.
       if (inst) {
         item.probe.t_upcall = rdtsc();
       }
@@ -725,13 +825,14 @@ void Executive::dispatch(ScheduledItem item) {
       if (inst) {
         item.probe.t_app_done = rdtsc();
       }
-      handler_start_ns_.store(0, std::memory_order_release);
-      if (handler_overrun_.exchange(false, std::memory_order_acq_rel)) {
+      if (watchdog_enabled_ &&
+          handler_overrun_.load(std::memory_order_relaxed) &&
+          handler_overrun_.exchange(false, std::memory_order_acq_rel)) {
         faulted = true;
         log_.error("watchdog: handler overran deadline in '",
                    dev->instance_name(), "'");
-        stats_.watchdog_trips.fetch_add(1, std::memory_order_relaxed);
-}
+        bump(stats_.watchdog_trips);
+      }
       if (faulted) {
         // Quarantine: the paper notes a misbehaving handler must not stall
         // the system; the device is failed and its backlog discarded.
@@ -742,9 +843,9 @@ void Executive::dispatch(ScheduledItem item) {
       } else if (!handled) {
         // "The system can provide default procedures if for a given event
         // no code is supplied": the default is a failure report.
-        stats_.default_handled.fetch_add(1, std::memory_order_relaxed);
+        bump(stats_.default_handled);
         send_fail_reply(ctx, "no handler bound for xfunction");
-      } else stats_.dispatched.fetch_add(1, std::memory_order_relaxed);
+      } else bump(stats_.dispatched);
     }
   } else {
     deliver_standard(*dev, ctx);
@@ -752,9 +853,15 @@ void Executive::dispatch(ScheduledItem item) {
 
   trace(ctx.header, outcome);
 
-  // Release: drop both frame references, then stamp postprocessing time.
-  ctx.frame.reset();
-  item.frame.reset();
+  // Release: a sole-owner frame from our own pool joins the batch flushed
+  // at the end of the pump; anything else drops its reference now.
+  if (mem::BlockHeader* blk = ctx.frame.release_for_batch()) {
+    if (blk->owner == pool_.get()) {
+      release_batch_.push_back(blk);
+    } else {
+      blk->owner->recycle(blk);
+    }
+  }
   if (inst) {
     item.probe.t_released = rdtsc();
     probes_.append(item.probe);
@@ -775,7 +882,7 @@ void Executive::deliver_standard(Device& dev, const MessageContext& ctx) {
   } else {
     handle_util(dev, ctx);
   }
-  stats_.dispatched.fetch_add(1, std::memory_order_relaxed);
+  bump(stats_.dispatched);
 }
 
 void Executive::handle_util(Device& dev, const MessageContext& ctx) {
@@ -1041,7 +1148,7 @@ void Executive::send_fail_reply(const MessageContext& ctx,
   if (ctx.header.initiator == i2o::kNullTid || ctx.header.is_reply()) {
     return;  // nobody to tell, or replying to a reply would loop
   }
-  stats_.failed_replies.fetch_add(1, std::memory_order_relaxed);
+  bump(stats_.failed_replies);
   (void)send_param_reply(ctx, {{"error", std::string(reason)}},
                          /*failed=*/true);
 }
@@ -1075,10 +1182,13 @@ ExecutiveStats Executive::stats() const { return stats_.snapshot(); }
 
 void Executive::trace(const i2o::FrameHeader& hdr,
                       TraceEntry::Outcome outcome) {
-  const std::scoped_lock lock(trace_mutex_);
+  // The ring is sized once in the constructor and never resized, so the
+  // empty check needs no lock - tracing disabled must not cost a mutex
+  // round trip per dispatched message.
   if (trace_ring_.empty()) {
     return;
   }
+  const std::scoped_lock lock(trace_mutex_);
   TraceEntry& e = trace_ring_[trace_next_];
   e.t_ns = now_ns();
   e.target = hdr.target;

@@ -51,8 +51,22 @@ struct ExecutiveConfig {
   std::string name = "exec";
   enum class PoolKind { Simple, Table } pool_kind = PoolKind::Table;
   std::size_t inbound_capacity = 8192;
+  /// Hot-path batching. `dispatch_batch` is the maximum number of
+  /// messages dispatched per pump before transports are rescanned; the
+  /// default of 1 keeps the seed's one-message-per-pump semantics
+  /// (observable through ExecutiveStats: dispatched == dispatch_batches).
+  /// Raising it amortizes the pump's fixed cost over a burst while the
+  /// scheduler keeps priority order and round-robin fairness intact.
+  std::size_t dispatch_batch = 1;
+  /// Maximum inbound frames drained into the scheduler per pump; the
+  /// drain takes the queue mutex once per burst, not once per frame.
+  std::size_t inbound_drain = 256;
   /// Watchdog: a handler running longer than this quarantines its device
-  /// (0 disables the watchdog thread entirely).
+  /// (0 disables the watchdog thread entirely). Granularity is the
+  /// dispatch batch: the deadline is armed once per batch, so with the
+  /// default dispatch_batch of 1 it bounds each message exactly as
+  /// before, while a larger batch is bounded as a whole (a stuck handler
+  /// is still caught within handler_deadline of its batch starting).
   std::chrono::nanoseconds handler_deadline{0};
   /// Whitebox instrumentation (paper Table 1): record per-dispatch probes.
   bool instrument = false;
@@ -90,6 +104,10 @@ struct ExecutiveStats {
   std::uint64_t rejected_disabled = 0; ///< private msg to non-enabled device
   std::uint64_t watchdog_trips = 0;    ///< devices quarantined
   std::uint64_t timer_fires = 0;
+  /// Pumps that dispatched at least one message. dispatched /
+  /// dispatch_batches is the realized batch size; with the default
+  /// dispatch_batch of 1 the two counters advance in lockstep.
+  std::uint64_t dispatch_batches = 0;
 };
 
 /// Internal lock-free counterpart of ExecutiveStats: senders and the
@@ -107,6 +125,7 @@ struct AtomicExecutiveStats {
   std::atomic<std::uint64_t> rejected_disabled{0};
   std::atomic<std::uint64_t> watchdog_trips{0};
   std::atomic<std::uint64_t> timer_fires{0};
+  std::atomic<std::uint64_t> dispatch_batches{0};
 
   [[nodiscard]] ExecutiveStats snapshot() const {
     ExecutiveStats s;
@@ -121,6 +140,7 @@ struct AtomicExecutiveStats {
     s.rejected_disabled = rejected_disabled.load(std::memory_order_relaxed);
     s.watchdog_trips = watchdog_trips.load(std::memory_order_relaxed);
     s.timer_fires = timer_fires.load(std::memory_order_relaxed);
+    s.dispatch_batches = dispatch_batches.load(std::memory_order_relaxed);
     return s;
   }
 };
@@ -210,6 +230,12 @@ class Executive {
   /// Thread-safe entry into the messaging instance's inbound queue.
   Status post(mem::FrameRef frame);
 
+  /// Batched post: validates every frame, then enqueues the burst under
+  /// ONE inbound-queue lock acquisition. Returns the number accepted;
+  /// malformed frames are dropped (counted in dropped_malformed) and
+  /// frames rejected by backpressure are released back to the pool.
+  std::size_t post_batch(std::span<mem::FrameRef> frames);
+
   /// frameSend: routes by the frame's target TiD - into the local inbound
   /// queue or through a peer transport ("The caller never needs to know,
   /// if a device is really local or if the call is redirected").
@@ -255,7 +281,8 @@ class Executive {
   /// Stops the loop (joins the thread when start() was used).
   void stop();
   /// Single non-blocking pump: drain inbound, poll PTs, dispatch at most
-  /// one message. Returns true if a message was dispatched.
+  /// `dispatch_batch` messages (one with the default config). Returns
+  /// true if any message was dispatched.
   bool run_once();
   [[nodiscard]] bool running() const noexcept {
     return running_.load(std::memory_order_relaxed);
@@ -286,7 +313,10 @@ class Executive {
 
   // Dispatch pipeline.
   bool pump(bool allow_block);
-  void dispatch(ScheduledItem item);
+  /// Delivers one scheduled message. Takes the item by reference and
+  /// moves the frame out of it - the dispatch loop reuses one scratch
+  /// item across a whole batch instead of moving ~100 bytes per message.
+  void dispatch(ScheduledItem& item);
   void deliver_standard(Device& dev, const MessageContext& ctx);
   void handle_util(Device& dev, const MessageContext& ctx);
   void handle_exec(const MessageContext& ctx);
@@ -334,11 +364,20 @@ class Executive {
   std::unique_ptr<TimerService> timers_;
 
   std::size_t idle_pumps_ = 0;  ///< dispatch-thread local
+  /// Dispatch-thread-local staging buffer for batched inbound drains
+  /// (kept as a member so its capacity survives across pumps).
+  std::vector<ScheduledItem> drain_buf_;
+  /// Dispatch-thread-local: sole-owner frames dropped during the current
+  /// dispatch batch, returned to the pool in ONE recycle_batch call.
+  std::vector<mem::BlockHeader*> release_batch_;
   std::atomic<bool> running_{false};
   std::atomic<bool> instrument_{false};
   std::thread loop_thread_;
 
   // Watchdog state: what the dispatch thread is doing right now.
+  /// True iff a watchdog thread exists (handler_deadline > 0); when false
+  /// the dispatch loop skips the per-message clock reads of the bracket.
+  bool watchdog_enabled_ = false;
   std::atomic<std::uint64_t> handler_start_ns_{0};
   std::atomic<std::uint16_t> handler_tid_{i2o::kNullTid};
   std::atomic<bool> handler_overrun_{false};

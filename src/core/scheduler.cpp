@@ -1,6 +1,7 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace xdaq::core {
 
@@ -8,36 +9,62 @@ void Scheduler::enqueue(int priority, ScheduledItem item) {
   const int p = std::clamp(priority, i2o::kHighestPriority,
                            i2o::kLowestPriority);
   Level& level = levels_[static_cast<std::size_t>(p)];
-  auto& fifo = level.fifos[item.header.target];
-  if (fifo.empty()) {
-    level.rotation.push_back(item.header.target);
+  const i2o::Tid tid = item.header.target;
+  RingFifo<ScheduledItem>* fifo;
+  if (level.cached_fifo != nullptr && level.cached_tid == tid) {
+    fifo = level.cached_fifo;
+  } else {
+    fifo = &level.fifos[tid];
+    level.cached_tid = tid;
+    level.cached_fifo = fifo;
   }
-  fifo.push_back(std::move(item));
+  if (fifo->empty()) {
+    level.rotation.push_back(tid);
+    nonempty_mask_ |= static_cast<std::uint8_t>(1U << p);
+  }
+  fifo->push_back(std::move(item));
   ++pending_;
 }
 
 std::optional<ScheduledItem> Scheduler::next() {
-  for (std::size_t p = 0; p < levels_.size(); ++p) {
-    Level& level = levels_[p];
-    if (level.rotation.empty()) {
-      continue;
-    }
-    const i2o::Tid tid = level.rotation.front();
-    level.rotation.pop_front();
-    auto it = level.fifos.find(tid);
-    // Invariant: a device is in the rotation iff its FIFO is non-empty.
-    ScheduledItem item = std::move(it->second.front());
-    it->second.pop_front();
-    if (it->second.empty()) {
-      level.fifos.erase(it);
-    } else {
-      level.rotation.push_back(tid);  // round robin
-    }
-    --pending_;
-    ++served_[p];
-    return item;
+  std::optional<ScheduledItem> out;
+  ScheduledItem item;
+  if (next(item)) {
+    out.emplace(std::move(item));
   }
-  return std::nullopt;
+  return out;
+}
+
+bool Scheduler::next(ScheduledItem& out) {
+  if (nonempty_mask_ == 0) {
+    return false;
+  }
+  const auto p = static_cast<std::size_t>(std::countr_zero(nonempty_mask_));
+  Level& level = levels_[p];
+  const i2o::Tid tid = level.rotation.front();
+  level.rotation.pop_front();
+  // Invariant: a device is in the rotation iff its FIFO is non-empty.
+  RingFifo<ScheduledItem>* fifo;
+  if (level.cached_fifo != nullptr && level.cached_tid == tid) {
+    fifo = level.cached_fifo;
+  } else {
+    fifo = &level.fifos.find(tid)->second;
+    level.cached_tid = tid;
+    level.cached_fifo = fifo;
+  }
+  out = std::move(fifo->front());
+  fifo->pop_front();
+  // An emptied FIFO leaves the rotation but keeps its map entry and ring
+  // storage (and stays cached) - the next burst re-uses all three.
+  if (!fifo->empty()) {
+    level.rotation.push_back(tid);  // round robin
+  }
+  if (level.rotation.empty()) {
+    nonempty_mask_ &= static_cast<std::uint8_t>(~(1U << p));
+  }
+  --pending_;
+  ++served_[p];
+  return true;
 }
 
 std::size_t Scheduler::pending_at(int priority) const {
@@ -53,7 +80,11 @@ std::size_t Scheduler::pending_at(int priority) const {
 
 std::size_t Scheduler::discard_for(i2o::Tid tid) {
   std::size_t dropped = 0;
-  for (Level& level : levels_) {
+  for (std::size_t p = 0; p < levels_.size(); ++p) {
+    Level& level = levels_[p];
+    if (level.cached_tid == tid) {
+      level.cached_fifo = nullptr;
+    }
     const auto it = level.fifos.find(tid);
     if (it != level.fifos.end()) {
       dropped += it->second.size();
@@ -62,6 +93,9 @@ std::size_t Scheduler::discard_for(i2o::Tid tid) {
     level.rotation.erase(
         std::remove(level.rotation.begin(), level.rotation.end(), tid),
         level.rotation.end());
+    if (level.rotation.empty()) {
+      nonempty_mask_ &= static_cast<std::uint8_t>(~(1U << p));
+    }
   }
   pending_ -= dropped;
   return dropped;

@@ -20,6 +20,7 @@
 #include <deque>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "core/probes.hpp"
 #include "i2o/frame.hpp"
@@ -36,6 +37,56 @@ struct ScheduledItem {
   DispatchProbe probe;
 };
 
+/// Grow-only ring FIFO for the per-device message queues. A deque of
+/// ~100-byte ScheduledItems allocates and frees a chunk every few
+/// pushes; this ring doubles when full and then recycles its slots
+/// forever, so steady-state enqueue/serve never touches the heap.
+/// Popped slots hold a moved-from T until overwritten.
+template <typename T>
+class RingFifo {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  void push_back(T item) {
+    if (count_ == slots_.size()) {
+      grow();
+    }
+    slots_[tail_] = std::move(item);
+    if (++tail_ == slots_.size()) {
+      tail_ = 0;
+    }
+    ++count_;
+  }
+
+  /// Precondition: !empty().
+  [[nodiscard]] T& front() noexcept { return slots_[head_]; }
+
+  /// Precondition: !empty().
+  void pop_front() noexcept {
+    if (++head_ == slots_.size()) {
+      head_ = 0;
+    }
+    --count_;
+  }
+
+ private:
+  void grow() {
+    std::vector<T> bigger(slots_.empty() ? 8 : slots_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(slots_[(head_ + i) % slots_.size()]);
+    }
+    slots_ = std::move(bigger);
+    head_ = 0;
+    tail_ = count_;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
 class Scheduler {
  public:
   /// Queues a message for `header.target` at `priority` (clamped to the
@@ -44,6 +95,11 @@ class Scheduler {
 
   /// Serves the next message per the I2O algorithm; nullopt when idle.
   std::optional<ScheduledItem> next();
+
+  /// In-place variant of next() for the dispatch loop: move-assigns into
+  /// `out` (no optional construction, one move less per message). Returns
+  /// false when idle, leaving `out` untouched.
+  bool next(ScheduledItem& out);
 
   /// Total queued messages across all levels.
   [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
@@ -63,13 +119,26 @@ class Scheduler {
 
  private:
   struct Level {
-    std::unordered_map<i2o::Tid, std::deque<ScheduledItem>> fifos;
+    /// Entries persist once created (erased only by discard_for): a
+    /// device that empties keeps its map node and its ring storage, so a
+    /// steady message flow re-uses both instead of churning the heap.
+    std::unordered_map<i2o::Tid, RingFifo<ScheduledItem>> fifos;
     std::deque<i2o::Tid> rotation;  ///< devices with pending messages
+    /// One-entry FIFO cache: bursts usually target one device, so the
+    /// hash lookup is skipped when consecutive messages hit the same
+    /// TiD. Mapped references of unordered_map are stable across other
+    /// inserts/erases; the cache is dropped when its own entry is erased.
+    i2o::Tid cached_tid = i2o::kNullTid;
+    RingFifo<ScheduledItem>* cached_fifo = nullptr;
   };
 
   std::array<Level, i2o::kNumPriorities> levels_;
   std::array<std::uint64_t, i2o::kNumPriorities> served_{};
   std::size_t pending_ = 0;
+  /// Bit p set iff levels_[p] has a non-empty rotation; next() jumps to
+  /// the highest-priority populated level with one countr_zero instead
+  /// of probing every level on every call.
+  std::uint8_t nonempty_mask_ = 0;
 };
 
 /// Maps a function code to its default priority: control-plane traffic

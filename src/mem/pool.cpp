@@ -1,7 +1,10 @@
 #include "mem/pool.hpp"
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <cstdlib>
+#include <memory>
 #include <new>
 
 namespace xdaq::mem {
@@ -10,10 +13,33 @@ void FrameRef::release() noexcept {
   if (!blk_) {
     return;
   }
-  if (blk_->refcount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  // Sole-owner fast path: if this ref is the only one left, no other
+  // thread can create a new ref (sharing requires holding one), so the
+  // locked decrement can be skipped. The acquire load synchronizes with
+  // the release decrements of refs dropped on other threads.
+  if (blk_->refcount.load(std::memory_order_acquire) == 1) {
+    blk_->refcount.store(0, std::memory_order_relaxed);
+    blk_->owner->recycle(blk_);
+  } else if (blk_->refcount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     blk_->owner->recycle(blk_);
   }
   blk_ = nullptr;
+}
+
+BlockHeader* FrameRef::release_for_batch() noexcept {
+  BlockHeader* blk = blk_;
+  if (blk == nullptr) {
+    return nullptr;
+  }
+  blk_ = nullptr;
+  if (blk->refcount.load(std::memory_order_acquire) == 1) {
+    blk->refcount.store(0, std::memory_order_relaxed);
+    return blk;
+  }
+  if (blk->refcount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    blk->owner->recycle(blk);
+  }
+  return nullptr;
 }
 
 BlockHeader* new_raw_block(Pool* owner, std::size_t data_bytes,
@@ -146,6 +172,53 @@ std::size_t SimplePool::block_count() const {
 
 // ----------------------------------------------------------------- TablePool
 
+namespace {
+/// Thread-cache policy: only classes this small are stashed per thread
+/// (bulk blocks would pin megabytes per thread), at most this many blocks
+/// per class per thread.
+constexpr std::size_t kThreadCacheMaxBlockBytes = 16 * 1024;
+constexpr std::size_t kThreadCacheDepth = 8;
+
+/// Guards thread-cache registration and teardown across ALL TablePools -
+/// taken only on thread/pool creation and destruction, never on the
+/// alloc/recycle fast path.
+std::mutex g_cache_registry_mutex;
+}  // namespace
+
+/// One thread's stash of free blocks for one pool. Owned by the thread
+/// (via ThreadCacheHolder below); registered with the pool so either side
+/// can tear it down first: the pool's destructor detaches every shard it
+/// still owns, and a thread's exit returns blocks to every pool still
+/// alive. Both walk under g_cache_registry_mutex.
+struct TablePool::ThreadCache {
+  const TablePool* pool = nullptr;  ///< null once detached (pool destroyed)
+  std::vector<std::vector<BlockHeader*>> bins;  ///< per size class
+  std::size_t total = 0;                        ///< blocks across all bins
+};
+
+/// thread_local holder: destroys (flushes) every shard on thread exit.
+struct ThreadCacheHolder {
+  std::vector<std::unique_ptr<TablePool::ThreadCache>> shards;
+
+  ~ThreadCacheHolder() {
+    const std::scoped_lock lock(g_cache_registry_mutex);
+    for (auto& shard : shards) {
+      if (shard->pool == nullptr) {
+        continue;
+      }
+      auto* pool = const_cast<TablePool*>(shard->pool);
+      pool->return_cached_blocks(*shard);
+      auto& reg = pool->caches_;
+      reg.erase(std::remove(reg.begin(), reg.end(), shard.get()), reg.end());
+      shard->pool = nullptr;
+    }
+  }
+};
+
+namespace {
+thread_local ThreadCacheHolder t_cache_holder;
+}  // namespace
+
 TablePool::TablePool(std::size_t min_class_bytes)
     : min_class_bytes_(std::bit_ceil(std::max<std::size_t>(min_class_bytes,
                                                            16))) {
@@ -153,18 +226,95 @@ TablePool::TablePool(std::size_t min_class_bytes)
       static_cast<unsigned>(std::countr_zero(min_class_bytes_));
   std::size_t sz = min_class_bytes_;
   while (sz < kMaxBlockBytes) {
-    classes_.push_back(SizeClass{sz, nullptr, 0, {}});
+    classes_.emplace_back().block_bytes = sz;
     sz <<= 1;
   }
-  classes_.push_back(SizeClass{kMaxBlockBytes, nullptr, 0, {}});
+  classes_.emplace_back().block_bytes = kMaxBlockBytes;
 }
 
 TablePool::~TablePool() {
+  {
+    // Detach surviving thread caches: their blocks are owned by
+    // cls.storage and freed below, so the shards just drop the pointers.
+    const std::scoped_lock lock(g_cache_registry_mutex);
+    for (ThreadCache* tc : caches_) {
+      for (auto& bin : tc->bins) {
+        bin.clear();
+      }
+      tc->total = 0;
+      tc->pool = nullptr;
+    }
+    caches_.clear();
+  }
   for (SizeClass& cls : classes_) {
     for (void* raw : cls.storage) {
       delete_raw_block(static_cast<BlockHeader*>(raw));
     }
   }
+}
+
+TablePool::ThreadCache* TablePool::thread_cache(bool create) const {
+  auto& shards = t_cache_holder.shards;
+  ThreadCache* stale = nullptr;
+  for (const auto& shard : shards) {
+    if (shard->pool == this) {
+      return shard.get();
+    }
+    if (shard->pool == nullptr && stale == nullptr) {
+      stale = shard.get();
+    }
+  }
+  if (!create) {
+    return nullptr;
+  }
+  ThreadCache* tc = stale;
+  if (tc == nullptr) {
+    try {
+      shards.push_back(std::make_unique<ThreadCache>());
+    } catch (...) {
+      return nullptr;
+    }
+    tc = shards.back().get();
+  }
+  // Pre-size every bin so recycle() never allocates (it is noexcept).
+  tc->bins.assign(classes_.size(), {});
+  for (auto& bin : tc->bins) {
+    bin.reserve(kThreadCacheDepth);
+  }
+  tc->total = 0;
+  tc->pool = this;
+  const std::scoped_lock lock(g_cache_registry_mutex);
+  caches_.push_back(tc);
+  return tc;
+}
+
+void TablePool::return_cached_blocks(ThreadCache& tc) noexcept {
+  for (std::size_t idx = 0; idx < tc.bins.size(); ++idx) {
+    auto& bin = tc.bins[idx];
+    if (bin.empty()) {
+      continue;
+    }
+    SizeClass& cls = classes_[idx];
+    const std::scoped_lock lock(cls.mutex);
+    for (BlockHeader* blk : bin) {
+      blk->next_free = cls.free_list;
+      cls.free_list = blk;
+      ++cls.free_count;
+    }
+    bin.clear();
+  }
+  tc.total = 0;
+}
+
+void TablePool::flush_thread_cache() {
+  if (ThreadCache* tc = thread_cache(/*create=*/false)) {
+    return_cached_blocks(*tc);
+  }
+}
+
+std::size_t TablePool::thread_cached_blocks() const {
+  const ThreadCache* tc = thread_cache(/*create=*/false);
+  return tc == nullptr ? 0 : tc->total;
 }
 
 std::size_t TablePool::size_class_of(std::size_t bytes) const {
@@ -185,51 +335,150 @@ std::size_t TablePool::class_block_bytes(std::size_t cls) const {
 
 Result<FrameRef> TablePool::allocate(std::size_t bytes) {
   if (bytes > kMaxBlockBytes) {
-    const std::scoped_lock lock(mutex_);
-    ++stats_.failures;
+    stats_.failures.fetch_add(1, std::memory_order_relaxed);
     return {Errc::InvalidArgument, "request exceeds 256 KiB block limit"};
   }
   const std::size_t idx = size_class_of(bytes);
-  const std::scoped_lock lock(mutex_);
   SizeClass& cls = classes_[idx];
-  BlockHeader* blk = cls.free_list;
-  if (blk != nullptr) {
-    cls.free_list = blk->next_free;
-    --cls.free_count;
-  } else {
-    // On-demand growth: the first allocation in a class creates its block.
-    blk = new_raw_block(this, cls.block_bytes,
-                        static_cast<std::uint32_t>(idx));
-    if (blk == nullptr) {
-      ++stats_.failures;
-      return {Errc::ResourceExhausted, "out of memory growing pool"};
+  BlockHeader* blk = nullptr;
+  // Fast path: the calling thread's own stash - no lock at all.
+  if (cls.block_bytes <= kThreadCacheMaxBlockBytes) {
+    if (ThreadCache* tc = thread_cache(/*create=*/true)) {
+      auto& bin = tc->bins[idx];
+      if (!bin.empty()) {
+        blk = bin.back();
+        bin.pop_back();
+        --tc->total;
+      }
     }
-    cls.storage.push_back(blk);
-    ++stats_.grows;
-    stats_.bytes_reserved += cls.block_bytes;
+  }
+  if (blk == nullptr) {
+    const std::scoped_lock lock(cls.mutex);
+    blk = cls.free_list;
+    if (blk != nullptr) {
+      cls.free_list = blk->next_free;
+      --cls.free_count;
+    } else {
+      // On-demand growth: the first allocation in a class creates its
+      // block.
+      blk = new_raw_block(this, cls.block_bytes,
+                          static_cast<std::uint32_t>(idx));
+      if (blk == nullptr) {
+        stats_.failures.fetch_add(1, std::memory_order_relaxed);
+        return {Errc::ResourceExhausted, "out of memory growing pool"};
+      }
+      cls.storage.push_back(blk);
+      stats_.grows.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_reserved.fetch_add(cls.block_bytes,
+                                      std::memory_order_relaxed);
+    }
   }
   blk->next_free = nullptr;
   blk->size = static_cast<std::uint32_t>(bytes);
   blk->refcount.store(1, std::memory_order_relaxed);
-  ++stats_.allocs;
-  ++stats_.outstanding;
+  stats_.allocs.fetch_add(1, std::memory_order_relaxed);
   return FrameRef::adopt(blk);
 }
 
 void TablePool::recycle(BlockHeader* blk) noexcept {
-  const std::scoped_lock lock(mutex_);
-  SizeClass& cls = classes_[blk->size_class];
+  const std::size_t idx = blk->size_class;
+  SizeClass& cls = classes_[idx];
   blk->size = 0;
+  stats_.frees.fetch_add(1, std::memory_order_relaxed);
+  // Fast path: stash in the calling thread's cache (lock-free). Only uses
+  // an existing cache - creating one could allocate, and recycle must not.
+  if (cls.block_bytes <= kThreadCacheMaxBlockBytes) {
+    if (ThreadCache* tc = thread_cache(/*create=*/false)) {
+      auto& bin = tc->bins[idx];
+      if (bin.size() < kThreadCacheDepth) {
+        bin.push_back(blk);  // no allocation: bins are pre-reserved
+        ++tc->total;
+        return;
+      }
+    }
+  }
+  const std::scoped_lock lock(cls.mutex);
   blk->next_free = cls.free_list;
   cls.free_list = blk;
   ++cls.free_count;
-  ++stats_.frees;
-  --stats_.outstanding;
+}
+
+void TablePool::recycle_batch(std::span<BlockHeader* const> blks) noexcept {
+  if (blks.empty()) {
+    return;
+  }
+  // One stats update and one thread-cache lookup for the whole batch.
+  stats_.frees.fetch_add(blks.size(), std::memory_order_relaxed);
+  ThreadCache* tc = thread_cache(/*create=*/false);
+  // Blocks that do not fit the thread cache are chained per class on the
+  // stack, then each chain is spliced onto its class's free list under
+  // ONE lock acquisition - a full dispatch batch of same-class frames
+  // costs one mutex round trip instead of one per frame.
+  constexpr std::size_t kMaxClasses = 24;  // 64 B .. 256 KiB is 13 classes
+  struct Chain {
+    BlockHeader* head = nullptr;
+    BlockHeader* tail = nullptr;
+    std::size_t count = 0;
+  };
+  std::array<Chain, kMaxClasses> chains{};
+  for (BlockHeader* blk : blks) {
+    const std::size_t idx = blk->size_class;
+    SizeClass& cls = classes_[idx];
+    blk->size = 0;
+    if (tc != nullptr && cls.block_bytes <= kThreadCacheMaxBlockBytes) {
+      auto& bin = tc->bins[idx];
+      if (bin.size() < kThreadCacheDepth) {
+        bin.push_back(blk);  // no allocation: bins are pre-reserved
+        ++tc->total;
+        continue;
+      }
+    }
+    if (idx >= kMaxClasses) {  // unreachable with default class tables
+      const std::scoped_lock lock(cls.mutex);
+      blk->next_free = cls.free_list;
+      cls.free_list = blk;
+      ++cls.free_count;
+      continue;
+    }
+    Chain& chain = chains[idx];
+    blk->next_free = chain.head;
+    chain.head = blk;
+    if (chain.tail == nullptr) {
+      chain.tail = blk;
+    }
+    ++chain.count;
+  }
+  for (std::size_t idx = 0; idx < chains.size(); ++idx) {
+    Chain& chain = chains[idx];
+    if (chain.head == nullptr) {
+      continue;
+    }
+    SizeClass& cls = classes_[idx];
+    const std::scoped_lock lock(cls.mutex);
+    chain.tail->next_free = cls.free_list;
+    cls.free_list = chain.head;
+    cls.free_count += chain.count;
+  }
 }
 
 PoolStats TablePool::stats() const {
-  const std::scoped_lock lock(mutex_);
-  return stats_;
+  PoolStats s;
+  // Load frees before allocs: a concurrent allocate/recycle pair can then
+  // only make outstanding read high (alloc counted, free not yet), never
+  // underflow below zero.
+  s.frees = stats_.frees.load(std::memory_order_acquire);
+  s.allocs = stats_.allocs.load(std::memory_order_relaxed);
+  s.grows = stats_.grows.load(std::memory_order_relaxed);
+  s.failures = stats_.failures.load(std::memory_order_relaxed);
+  s.outstanding = s.allocs - s.frees;
+  s.bytes_reserved = stats_.bytes_reserved.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t TablePool::class_free_count(std::size_t cls) const {
+  const SizeClass& c = classes_.at(cls);
+  const std::scoped_lock lock(c.mutex);
+  return c.free_count;
 }
 
 }  // namespace xdaq::mem

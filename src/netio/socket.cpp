@@ -127,6 +127,59 @@ Result<std::size_t> TcpStream::read_some(std::span<std::byte> data) {
   }
 }
 
+Result<std::size_t> TcpStream::read_available(std::span<std::byte> data) {
+  for (;;) {
+    const ssize_t n =
+        ::recv(sock_.fd(), data.data(), data.size(), MSG_DONTWAIT);
+    if (n > 0) {
+      return static_cast<std::size_t>(n);
+    }
+    if (n == 0) {
+      return Status{Errc::ConnectionClosed, "peer closed"};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status{Errc::Timeout, "no data available"};
+    }
+    return errno_status(Errc::IoError, "recv");
+  }
+}
+
+Status TcpStream::write_all2(std::span<const std::byte> a,
+                             std::span<const std::byte> b) {
+  std::size_t off = 0;
+  const std::size_t total = a.size() + b.size();
+  while (off < total) {
+    iovec iov[2];
+    int iovcnt = 0;
+    if (off < a.size()) {
+      iov[iovcnt++] = {const_cast<std::byte*>(a.data()) + off,
+                       a.size() - off};
+      if (!b.empty()) {
+        iov[iovcnt++] = {const_cast<std::byte*>(b.data()), b.size()};
+      }
+    } else {
+      const std::size_t boff = off - a.size();
+      iov[iovcnt++] = {const_cast<std::byte*>(b.data()) + boff,
+                       b.size() - boff};
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(sock_.fd(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return errno_status(Errc::IoError, "sendmsg");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
 Result<TcpListener> TcpListener::bind(std::uint16_t port) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) {

@@ -79,6 +79,18 @@ class TcpStream {
   /// "try again" is reported as Errc::Timeout).
   Result<std::size_t> read_some(std::span<std::byte> data);
 
+  /// Non-blocking read regardless of the socket's blocking mode
+  /// (MSG_DONTWAIT): returns bytes read, ConnectionClosed on EOF, Timeout
+  /// when nothing is buffered. Lets a reader drain everything the kernel
+  /// has without risking a hang on a blocking socket.
+  Result<std::size_t> read_available(std::span<std::byte> data);
+
+  /// Gathered write of two spans (header + body) in one syscall where
+  /// possible, looping over partial writes. One frame, one sendmsg - the
+  /// framing prefix never costs a second syscall or a copy.
+  Status write_all2(std::span<const std::byte> a,
+                    std::span<const std::byte> b);
+
   void close() noexcept { sock_.close(); }
 
  private:

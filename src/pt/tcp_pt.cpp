@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <unordered_map>
 
 #include "i2o/wire.hpp"
 #include "util/clock.hpp"
@@ -12,6 +13,11 @@ namespace xdaq::pt {
 namespace {
 constexpr std::uint32_t kHelloMagic = 0x58444151;  // "XDAQ"
 constexpr std::size_t kHelloBytes = 6;             // magic + node id
+constexpr std::size_t kReadChunk = 64 * 1024;      // per-recv scratch size
+/// When the combiner's pending buffer backs up past this, senders stop
+/// piggybacking and wait for the writer slot, so TCP backpressure reaches
+/// producers instead of growing the buffer without bound.
+constexpr std::size_t kPendingHighWater = 256 * 1024;
 }  // namespace
 
 TcpPeerTransport::TcpPeerTransport(TcpTransportConfig config)
@@ -109,19 +115,25 @@ Status TcpPeerTransport::send_hello(Connection& conn) {
   return conn.stream.write_all(hello);
 }
 
-Result<TcpPeerTransport::Connection*> TcpPeerTransport::connection_to(
-    i2o::NodeId node) {
-  const std::scoped_lock lock(conns_mutex_);
-  for (const auto& conn : conns_) {
-    if (conn->node == node) {
-      return conn.get();
+Result<std::shared_ptr<TcpPeerTransport::Connection>>
+TcpPeerTransport::connection_to(i2o::NodeId node) {
+  TcpPeer peer;
+  {
+    const std::scoped_lock lock(conns_mutex_);
+    for (const auto& conn : conns_) {
+      if (conn->node == node) {
+        return conn;
+      }
     }
+    const auto it = config_.peers.find(node);
+    if (it == config_.peers.end()) {
+      return {Errc::Unroutable, "no TCP endpoint configured for node"};
+    }
+    peer = it->second;
   }
-  const auto it = config_.peers.find(node);
-  if (it == config_.peers.end()) {
-    return {Errc::Unroutable, "no TCP endpoint configured for node"};
-  }
-  auto stream = netio::TcpStream::connect(it->second.host, it->second.port);
+  // Dial and handshake unlocked: a slow or unreachable peer must not block
+  // sends to other nodes behind the registry mutex.
+  auto stream = netio::TcpStream::connect(peer.host, peer.port);
   if (!stream.is_ok()) {
     return stream.status();
   }
@@ -132,8 +144,36 @@ Result<TcpPeerTransport::Connection*> TcpPeerTransport::connection_to(
   if (Status st = send_hello(*conn); !st.is_ok()) {
     return st;
   }
-  conns_.push_back(conn);
-  return conn.get();
+  {
+    const std::scoped_lock lock(conns_mutex_);
+    // Another sender may have dialed the same node while we were
+    // connecting; keep theirs and drop our socket (RAII closes it).
+    for (const auto& existing : conns_) {
+      if (existing->node == node) {
+        return existing;
+      }
+    }
+    conns_.push_back(conn);
+  }
+  return conn;
+}
+
+Status TcpPeerTransport::flush_pending(Connection& conn,
+                                       std::unique_lock<std::mutex>& lk) {
+  while (!conn.pending.empty()) {
+    conn.flush_buf.clear();
+    std::swap(conn.pending, conn.flush_buf);
+    // flush_buf is writer-owned, so the socket write needs no lock and
+    // other senders keep appending to pending meanwhile.
+    lk.unlock();
+    const Status st = conn.stream.write_all(conn.flush_buf);
+    lk.lock();
+    if (!st.is_ok()) {
+      conn.pending.clear();  // connection is dead; drop queued bytes
+      return st;
+    }
+  }
+  return Status::ok();
 }
 
 Status TcpPeerTransport::transport_send(i2o::NodeId dst,
@@ -146,77 +186,132 @@ Status TcpPeerTransport::transport_send(i2o::NodeId dst,
   }
   // Hold a shared reference so a concurrent disconnect cannot free the
   // connection under us.
-  std::shared_ptr<Connection> conn;
-  {
-    auto found = connection_to(dst);
-    if (!found.is_ok()) {
-      return found.status();
-    }
-    const std::scoped_lock lock(conns_mutex_);
-    for (const auto& c : conns_) {
-      if (c.get() == found.value()) {
-        conn = c;
-        break;
-      }
-    }
+  auto found = connection_to(dst);
+  if (!found.is_ok()) {
+    return found.status();
   }
-  if (conn == nullptr) {
-    return {Errc::ConnectionClosed, "connection vanished during send"};
-  }
+  Connection& conn = *found.value();
   std::array<std::byte, 4> len{};
   i2o::put_u32(len, 0, static_cast<std::uint32_t>(frame.size()));
-  const std::scoped_lock wlock(*conn->write_mutex);
-  if (Status st = conn->stream.write_all(len); !st.is_ok()) {
+
+  std::unique_lock lk(conn.write_mutex);
+  if (frame.size() + len.size() <= config_.coalesce_bytes) {
+    // Small frame: queue it; if a writer is already flushing, it will pick
+    // this frame up in the same syscall as its own (errors on piggybacked
+    // frames surface as a dropped connection, like any wire loss).
+    conn.pending.insert(conn.pending.end(), len.begin(), len.end());
+    conn.pending.insert(conn.pending.end(), frame.begin(), frame.end());
+    if (conn.writer_active) {
+      if (conn.pending.size() < kPendingHighWater) {
+        return Status::ok();
+      }
+      // Backed up: park until the writer drains, then take over.
+      conn.write_cv.wait(lk, [&conn] { return !conn.writer_active; });
+    }
+    conn.writer_active = true;
+    const Status st = flush_pending(conn, lk);
+    conn.writer_active = false;
+    lk.unlock();
+    conn.write_cv.notify_all();
     return st;
   }
-  return conn->stream.write_all(frame);
+
+  // Large frame: claim the writer slot, drain queued small sends first so
+  // ordering holds, then gathered-write prefix + body with zero copies.
+  conn.write_cv.wait(lk, [&conn] { return !conn.writer_active; });
+  conn.writer_active = true;
+  Status st = flush_pending(conn, lk);
+  if (st.is_ok()) {
+    lk.unlock();
+    st = conn.stream.write_all2(len, frame);
+    lk.lock();
+  }
+  if (st.is_ok()) {
+    // Flush anything that piggybacked while the gathered write ran.
+    st = flush_pending(conn, lk);
+  }
+  conn.writer_active = false;
+  lk.unlock();
+  conn.write_cv.notify_all();
+  return st;
 }
 
 bool TcpPeerTransport::service_connection(Connection& conn) {
-  if (conn.node == i2o::kNullNode) {
-    // First message on an accepted connection must be the hello.
-    std::array<std::byte, kHelloBytes> hello{};
-    if (!conn.stream.read_exact(hello).is_ok()) {
+  // Pull everything the kernel has buffered (the socket stays blocking for
+  // writes; MSG_DONTWAIT bounds the reads), then parse every complete
+  // message. One poll wakeup therefore delivers a whole burst instead of
+  // one frame.
+  std::array<std::byte, kReadChunk> chunk;
+  for (;;) {
+    auto n = conn.stream.read_available(chunk);
+    if (!n.is_ok()) {
+      if (n.status().code() == Errc::Timeout) {
+        break;  // kernel buffer drained
+      }
+      return false;  // EOF or error
+    }
+    conn.rx.insert(conn.rx.end(), chunk.begin(), chunk.begin() + n.value());
+    if (n.value() < chunk.size()) {
+      break;  // short read; poll() is level-triggered, any rest re-wakes us
+    }
+  }
+
+  std::size_t off = 0;
+  for (;;) {
+    const std::size_t avail = conn.rx.size() - off;
+    if (conn.node == i2o::kNullNode) {
+      // First bytes on an accepted connection must be the hello.
+      if (avail < kHelloBytes) {
+        break;
+      }
+      const std::span<const std::byte> hello(conn.rx.data() + off,
+                                             kHelloBytes);
+      if (i2o::get_u32(hello, 0) != kHelloMagic) {
+        log_.warn("rejecting connection with bad hello magic");
+        return false;
+      }
+      conn.node = i2o::get_u16(hello, 4);
+      off += kHelloBytes;
+      continue;
+    }
+    if (avail < 4) {
+      break;
+    }
+    const std::uint32_t len =
+        i2o::get_u32(std::span<const std::byte>(conn.rx.data() + off, 4), 0);
+    if (len == 0 || len > config_.max_frame_bytes) {
+      log_.warn("dropping connection announcing bad frame length ", len);
       return false;
     }
-    if (i2o::get_u32(hello, 0) != kHelloMagic) {
-      log_.warn("rejecting connection with bad hello magic");
-      return false;
+    if (avail < 4 + static_cast<std::size_t>(len)) {
+      break;  // frame still in flight
     }
-    conn.node = i2o::get_u16(hello, 4);
-    return true;
+    (void)executive().deliver_from_wire(
+        conn.node, tid(),
+        std::span<const std::byte>(conn.rx.data() + off + 4, len), rdtsc());
+    off += 4 + static_cast<std::size_t>(len);
   }
-  std::array<std::byte, 4> lenbuf{};
-  if (!conn.stream.read_exact(lenbuf).is_ok()) {
-    return false;
-  }
-  const std::uint32_t len = i2o::get_u32(lenbuf, 0);
-  if (len == 0 || len > config_.max_frame_bytes) {
-    log_.warn("dropping connection announcing bad frame length ", len);
-    return false;
-  }
-  std::vector<std::byte> frame(len);
-  if (!conn.stream.read_exact(frame).is_ok()) {
-    return false;
-  }
-  (void)executive().deliver_from_wire(conn.node, tid(), frame, rdtsc());
+  conn.rx.erase(conn.rx.begin(),
+                conn.rx.begin() + static_cast<std::ptrdiff_t>(off));
   return true;
 }
 
 void TcpPeerTransport::reader_loop() {
   while (running_.load(std::memory_order_relaxed)) {
-    // Snapshot the fd set; shared_ptrs keep connections alive through the
-    // unlocked service phase.
+    // Snapshot the fd set, keyed by fd for O(1) routing of ready events;
+    // shared_ptrs keep connections alive through the unlocked service
+    // phase.
     netio::Poller poller;
-    std::vector<std::shared_ptr<Connection>> snapshot;
+    std::unordered_map<int, std::shared_ptr<Connection>> by_fd;
     int listener_fd = -1;
     {
       const std::scoped_lock lock(conns_mutex_);
       listener_fd = listener_.fd();
       poller.watch(listener_fd);
+      by_fd.reserve(conns_.size());
       for (const auto& conn : conns_) {
         poller.watch(conn->stream.fd());
-        snapshot.push_back(conn);
+        by_fd.emplace(conn->stream.fd(), conn);
       }
     }
     auto ready = poller.wait_readable(20);
@@ -235,15 +330,11 @@ void TcpPeerTransport::reader_loop() {
         }
         continue;
       }
-      for (const auto& conn : snapshot) {
-        if (conn->stream.fd() == fd) {
-          if (!service_connection(*conn)) {
-            const std::scoped_lock lock(conns_mutex_);
-            conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
-                         conns_.end());
-          }
-          break;
-        }
+      const auto it = by_fd.find(fd);
+      if (it != by_fd.end() && !service_connection(*it->second)) {
+        const std::scoped_lock lock(conns_mutex_);
+        conns_.erase(std::remove(conns_.begin(), conns_.end(), it->second),
+                     conns_.end());
       }
     }
   }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -36,6 +37,11 @@ struct TcpTransportConfig {
   std::uint16_t listen_port = 0;  ///< 0 = ephemeral
   std::map<i2o::NodeId, TcpPeer> peers;
   std::size_t max_frame_bytes = 300 * 1024;
+  /// Frames up to this size (including the 4-byte length prefix) are
+  /// coalesced into a per-connection pending buffer so back-to-back small
+  /// sends share one syscall. Larger frames use a gathered write (prefix +
+  /// body, one sendmsg) without copying. 0 disables coalescing.
+  std::size_t coalesce_bytes = 4096;
 };
 
 class TcpPeerTransport final : public core::TransportDevice {
@@ -64,19 +70,40 @@ class TcpPeerTransport final : public core::TransportDevice {
   i2o::ParamList on_params_get() override;
 
  private:
+  /// Lives only in shared_ptrs (never moved), so the synchronization
+  /// members can be held by value.
   struct Connection {
     netio::TcpStream stream;
     i2o::NodeId node = i2o::kNullNode;  ///< kNullNode until hello received
-    std::unique_ptr<std::mutex> write_mutex =
-        std::make_unique<std::mutex>();
+
+    // -- write combiner (guarded by write_mutex) --------------------------
+    // Small frames append {len, body} to `pending`; whichever sender finds
+    // no writer active becomes the writer and flushes the whole buffer in
+    // one write_all, so concurrent small sends share a syscall. Large
+    // frames wait for the writer slot, drain `pending` (ordering), then do
+    // a gathered prefix+body write straight from the caller's buffer.
+    std::mutex write_mutex;
+    std::condition_variable write_cv;  ///< signalled when writer_active drops
+    bool writer_active = false;
+    std::vector<std::byte> pending;    ///< queued encoded sends
+    std::vector<std::byte> flush_buf;  ///< writer-owned swap target
+
+    // -- read reassembly (reader thread only) -----------------------------
+    std::vector<std::byte> rx;  ///< bytes received but not yet parsed
   };
 
   void reader_loop();
-  /// Returns the connection for `node`, dialing it if necessary.
-  Result<Connection*> connection_to(i2o::NodeId node);
+  /// Returns the connection for `node`, dialing it if necessary. The dial
+  /// and handshake run outside conns_mutex_ so a slow connect cannot stall
+  /// sends to other nodes (or the reader's registry snapshot).
+  Result<std::shared_ptr<Connection>> connection_to(i2o::NodeId node);
   Status send_hello(Connection& conn);
-  /// Reads one message from a readable connection; false = drop it.
+  /// Drains every complete frame available on a readable connection;
+  /// false = drop it.
   bool service_connection(Connection& conn);
+  /// Writes out conn.pending until empty; call with lk holding
+  /// conn.write_mutex and conn.writer_active set by the caller.
+  Status flush_pending(Connection& conn, std::unique_lock<std::mutex>& lk);
 
   TcpTransportConfig config_;
   Logger log_;

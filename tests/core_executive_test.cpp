@@ -147,6 +147,55 @@ TEST(Executive, LocalPrivateDispatch) {
   EXPECT_EQ(exec.stats().sent_local, 3u);
 }
 
+// Acceptance check for the batched hot path: the DEFAULT config keeps the
+// seed's one-message-per-pump semantics, observable through ExecutiveStats
+// (dispatched and dispatch_batches advance in lockstep). A batched config
+// amortizes: fewer batches than messages.
+TEST(Executive, DefaultConfigKeepsSingleMessageSemantics) {
+  auto post_counts = [](Executive& exec, i2o::Tid target, int n) {
+    const auto payload = bytes_of(make_payload(16, 1));
+    for (int i = 0; i < n; ++i) {
+      auto frame = exec.alloc_frame(payload.size(), true);
+      ASSERT_TRUE(frame.is_ok());
+      i2o::FrameHeader hdr;
+      hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+      hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kTest);
+      hdr.xfunction = kXfnCount;
+      hdr.target = target;
+      auto bytes = frame.value().bytes();
+      ASSERT_TRUE(i2o::encode_header(hdr, bytes).is_ok());
+      std::memcpy(bytes.data() + i2o::kPrivateHeaderBytes, payload.data(),
+                  payload.size());
+      ASSERT_TRUE(exec.frame_send(std::move(frame).value()).is_ok());
+    }
+  };
+
+  {
+    Executive exec;  // default config: dispatch_batch == 1
+    auto dev = std::make_unique<CounterDevice>();
+    CounterDevice* raw = dev.get();
+    const auto tid = exec.install(std::move(dev), "cnt").value();
+    ASSERT_TRUE(exec.enable_all().is_ok());
+    post_counts(exec, tid, 5);
+    ASSERT_TRUE(pump_until(exec, [&] { return raw->count() == 5; }));
+    EXPECT_EQ(exec.stats().dispatched, 5u);
+    EXPECT_EQ(exec.stats().dispatch_batches, 5u);  // lockstep
+  }
+  {
+    ExecutiveConfig cfg;
+    cfg.dispatch_batch = 8;
+    Executive exec(cfg);
+    auto dev = std::make_unique<CounterDevice>();
+    CounterDevice* raw = dev.get();
+    const auto tid = exec.install(std::move(dev), "cnt").value();
+    ASSERT_TRUE(exec.enable_all().is_ok());
+    post_counts(exec, tid, 8);  // all queued before the first pump
+    ASSERT_TRUE(pump_until(exec, [&] { return raw->count() == 8; }));
+    EXPECT_EQ(exec.stats().dispatched, 8u);
+    EXPECT_LT(exec.stats().dispatch_batches, 8u);  // amortized
+  }
+}
+
 TEST(Executive, RequesterPrivateEcho) {
   Executive exec;
   const auto echo_tid =

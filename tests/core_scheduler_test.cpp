@@ -112,6 +112,113 @@ TEST(Scheduler, ServedCountersPerPriority) {
   EXPECT_EQ(s.served_per_priority()[6], 1u);
 }
 
+TEST(Scheduler, NextInPlaceMatchesOptionalVariant) {
+  Scheduler s;
+  ScheduledItem out;
+  out.header.transaction_context = 0xdead;
+  EXPECT_FALSE(s.next(out));
+  // Idle next() leaves `out` untouched.
+  EXPECT_EQ(out.header.transaction_context, 0xdeadu);
+  s.enqueue(3, item_for(1, 7));
+  s.enqueue(2, item_for(2, 8));
+  ASSERT_TRUE(s.next(out));
+  EXPECT_EQ(out.header.transaction_context, 8u);  // higher priority first
+  ASSERT_TRUE(s.next(out));
+  EXPECT_EQ(out.header.transaction_context, 7u);
+  EXPECT_FALSE(s.next(out));
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+// The dispatch loop consumes messages in batches (dispatch_batch > 1): a
+// burst of consecutive next() calls with no interleaved enqueues. Batch
+// consumption must see exactly the same order as one-at-a-time service.
+TEST(Scheduler, BatchConsumptionPreservesPriorityOrder) {
+  Scheduler s;
+  // Interleave enqueues across three priorities.
+  s.enqueue(4, item_for(1, 400));
+  s.enqueue(0, item_for(2, 0));
+  s.enqueue(2, item_for(3, 200));
+  s.enqueue(0, item_for(4, 1));
+  s.enqueue(4, item_for(5, 401));
+  s.enqueue(2, item_for(6, 201));
+  // Drain in one "batch" of consecutive in-place next() calls.
+  std::vector<std::uint32_t> order;
+  ScheduledItem item;
+  while (s.next(item)) {
+    order.push_back(item.header.transaction_context);
+  }
+  // All priority-0 messages precede all priority-2, which precede all
+  // priority-4; FIFO within each level.
+  EXPECT_EQ(order,
+            (std::vector<std::uint32_t>{0, 1, 200, 201, 400, 401}));
+}
+
+TEST(Scheduler, BatchConsumptionKeepsRoundRobinFairness) {
+  Scheduler s;
+  // Three devices, four messages each, all at one priority. Marker
+  // encodes device*100 + sequence.
+  for (std::uint32_t seq = 0; seq < 4; ++seq) {
+    for (i2o::Tid dev = 1; dev <= 3; ++dev) {
+      s.enqueue(3, item_for(dev, static_cast<std::uint32_t>(dev) * 100 + seq));
+    }
+  }
+  // Consume in batches of 5 (not a multiple of the device count, so
+  // batch boundaries cut across rotation rounds).
+  std::vector<std::uint32_t> order;
+  ScheduledItem item;
+  bool more = true;
+  while (more) {
+    for (int i = 0; i < 5; ++i) {
+      if (!s.next(item)) {
+        more = false;
+        break;
+      }
+      order.push_back(item.header.transaction_context);
+    }
+  }
+  ASSERT_EQ(order.size(), 12u);
+  // Round robin: each consecutive triple serves all three devices once.
+  for (std::size_t round = 0; round < 4; ++round) {
+    std::uint32_t devs_seen = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const std::uint32_t dev = order[round * 3 + i] / 100;
+      EXPECT_EQ(order[round * 3 + i] % 100, round);  // FIFO per device
+      devs_seen |= 1u << dev;
+    }
+    EXPECT_EQ(devs_seen, 0b1110u) << "round " << round;
+  }
+}
+
+TEST(Scheduler, EmptiedDeviceRejoinsRotationFresh) {
+  // A device whose FIFO empties keeps its storage but must re-enter the
+  // rotation correctly when new messages arrive (the persistent-entry
+  // fast path must not leave a stale rotation slot or mask bit).
+  Scheduler s;
+  s.enqueue(3, item_for(1, 1));
+  ScheduledItem item;
+  ASSERT_TRUE(s.next(item));
+  EXPECT_FALSE(s.next(item));  // level now empty -> mask bit cleared
+  s.enqueue(3, item_for(1, 2));
+  s.enqueue(3, item_for(2, 3));
+  ASSERT_TRUE(s.next(item));
+  EXPECT_EQ(item.header.transaction_context, 2u);
+  ASSERT_TRUE(s.next(item));
+  EXPECT_EQ(item.header.transaction_context, 3u);
+  EXPECT_FALSE(s.next(item));
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, DiscardForThenNextFindsRemainingLevels) {
+  Scheduler s;
+  s.enqueue(0, item_for(1, 1));  // will be discarded, emptying level 0
+  s.enqueue(5, item_for(2, 2));
+  EXPECT_EQ(s.discard_for(1), 1u);
+  ScheduledItem item;
+  ASSERT_TRUE(s.next(item));  // must skip the emptied level cleanly
+  EXPECT_EQ(item.header.transaction_context, 2u);
+  EXPECT_FALSE(s.next(item));
+}
+
 TEST(DefaultPriority, ControlBeforeApplication) {
   i2o::FrameHeader exec;
   exec.function = static_cast<std::uint8_t>(i2o::Function::ExecEnable);

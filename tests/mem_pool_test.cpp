@@ -183,6 +183,186 @@ TEST(TablePool, OversizedRequestRejected) {
   EXPECT_EQ(r.status().code(), Errc::InvalidArgument);
 }
 
+// ------------------------------------------------ TablePool thread cache
+
+TEST(TablePoolThreadCache, RecycleStashesAndFlushReturns) {
+  TablePool pool;
+  const std::size_t cls = pool.size_class_of(100);
+  {
+    auto a = pool.allocate(100);
+    ASSERT_TRUE(a.is_ok());
+  }  // released: the block lands in this thread's cache, not the class list
+  EXPECT_GE(pool.thread_cached_blocks(), 1u);
+  EXPECT_EQ(pool.class_free_count(cls), 0u);
+  pool.flush_thread_cache();
+  EXPECT_EQ(pool.thread_cached_blocks(), 0u);
+  EXPECT_EQ(pool.class_free_count(cls), 1u);
+  // Stats stay exact across the stash/flush cycle.
+  const auto s = pool.stats();
+  EXPECT_EQ(s.allocs, 1u);
+  EXPECT_EQ(s.frees, 1u);
+  EXPECT_EQ(s.outstanding, 0u);
+}
+
+TEST(TablePoolThreadCache, CachedBlocksReturnOnThreadExit) {
+  TablePool pool;
+  const std::size_t cls = pool.size_class_of(100);
+  std::thread worker([&pool] {
+    auto a = pool.allocate(100);
+    ASSERT_TRUE(a.is_ok());
+    a.value().reset();
+    // The worker's release is cached locally, invisible to the class list.
+    EXPECT_GE(pool.thread_cached_blocks(), 1u);
+  });
+  worker.join();
+  // Thread teardown returns the cached block to its owning size class.
+  EXPECT_EQ(pool.class_free_count(cls), 1u);
+  EXPECT_EQ(pool.thread_cached_blocks(), 0u);  // main thread's cache
+  const auto s = pool.stats();
+  EXPECT_EQ(s.allocs, s.frees);
+  EXPECT_EQ(s.outstanding, 0u);
+  // The returned block is allocatable from this thread without growth.
+  const auto grows_before = pool.stats().grows;
+  auto b = pool.allocate(100);
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(pool.stats().grows, grows_before);
+}
+
+TEST(TablePoolThreadCache, OutstandingExactUnderThreadChurn) {
+  // Four threads churn allocate/release with overlapping live windows;
+  // outstanding (derived allocs - frees) must be exact at quiescence and
+  // never observed above the true live count... which a racing reader can
+  // only bound, so assert the quiescent values precisely instead.
+  TablePool pool;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      Rng rng(static_cast<std::uint64_t>(t) * 977 + 13);
+      std::vector<FrameRef> live;
+      for (int i = 0; i < kIters; ++i) {
+        if (live.size() < 8 && (live.empty() || rng.chance(0.6))) {
+          auto r = pool.allocate(rng.between(1, 2048));
+          ASSERT_TRUE(r.is_ok());
+          live.push_back(std::move(r).value());
+        } else {
+          live.erase(live.begin() +
+                     static_cast<std::ptrdiff_t>(rng.below(live.size())));
+        }
+      }
+      pool.flush_thread_cache();
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.allocs, s.frees);
+  EXPECT_EQ(s.outstanding, 0u);
+}
+
+// -------------------------------------------------- batched frame release
+
+TEST(TablePool, ReleaseForBatchDetachesSoleOwner) {
+  TablePool pool;
+  auto a = pool.allocate(128);
+  ASSERT_TRUE(a.is_ok());
+  FrameRef f = std::move(a).value();
+  const std::size_t cls = pool.size_class_of(128);
+  BlockHeader* blk = f.release_for_batch();
+  ASSERT_NE(blk, nullptr);
+  EXPECT_FALSE(f.valid());
+  EXPECT_EQ(blk->owner, &pool);
+  // The block is detached but NOT yet freed: the caller owes recycle_batch.
+  EXPECT_EQ(pool.stats().frees, 0u);
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+  BlockHeader* batch[] = {blk};
+  pool.recycle_batch(batch);
+  pool.flush_thread_cache();
+  EXPECT_EQ(pool.stats().frees, 1u);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_EQ(pool.class_free_count(cls) + pool.thread_cached_blocks(), 1u);
+}
+
+TEST(TablePool, ReleaseForBatchSharedFallsBackToPlainRelease) {
+  TablePool pool;
+  auto a = pool.allocate(64);
+  ASSERT_TRUE(a.is_ok());
+  FrameRef f1 = std::move(a).value();
+  FrameRef f2 = f1;  // shared: f1 is no longer the sole owner
+  EXPECT_EQ(f2.use_count(), 2u);
+  EXPECT_EQ(f1.release_for_batch(), nullptr);  // plain decref, no detach
+  EXPECT_FALSE(f1.valid());
+  EXPECT_EQ(f2.use_count(), 1u);
+  EXPECT_EQ(pool.stats().outstanding, 1u);  // f2 still holds the block
+  f2.reset();
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_EQ(pool.stats().allocs, pool.stats().frees);
+}
+
+TEST(TablePool, RecycleBatchSpanningSizeClasses) {
+  // One recycle_batch call with blocks from several classes: every block
+  // must land back in ITS class, and the free counters must be exact.
+  TablePool pool;
+  const std::size_t sizes[] = {32, 100, 1000, 100, 9000, 32, 1000};
+  std::vector<BlockHeader*> batch;
+  for (const std::size_t sz : sizes) {
+    auto r = pool.allocate(sz);
+    ASSERT_TRUE(r.is_ok());
+    FrameRef f = std::move(r).value();
+    BlockHeader* blk = f.release_for_batch();
+    ASSERT_NE(blk, nullptr);
+    batch.push_back(blk);
+  }
+  EXPECT_EQ(pool.stats().outstanding, std::size(sizes));
+  pool.recycle_batch(batch);
+  pool.flush_thread_cache();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.allocs, std::size(sizes));
+  EXPECT_EQ(s.frees, std::size(sizes));
+  EXPECT_EQ(s.outstanding, 0u);
+  std::size_t per_class_total = 0;
+  for (std::size_t c = 0; c < pool.class_count(); ++c) {
+    per_class_total += pool.class_free_count(c);
+  }
+  EXPECT_EQ(per_class_total, std::size(sizes));
+  // Spot-check one class: two 1000-byte blocks ended up together.
+  EXPECT_EQ(pool.class_free_count(pool.size_class_of(1000)), 2u);
+}
+
+TEST(TablePool, RecycleBatchLargeBatchReusable) {
+  // A batch bigger than the thread-cache bins exercises the overflow
+  // splice onto the shared class lists; every block must be reusable.
+  TablePool pool;
+  constexpr int kFrames = 64;
+  std::vector<BlockHeader*> batch;
+  batch.reserve(kFrames);
+  for (int i = 0; i < kFrames; ++i) {
+    auto r = pool.allocate(256);
+    ASSERT_TRUE(r.is_ok());
+    FrameRef f = std::move(r).value();
+    BlockHeader* blk = f.release_for_batch();
+    ASSERT_NE(blk, nullptr);
+    batch.push_back(blk);
+  }
+  pool.recycle_batch(batch);
+  const auto grows_before = pool.stats().grows;
+  std::vector<FrameRef> again;
+  again.reserve(kFrames);
+  for (int i = 0; i < kFrames; ++i) {
+    auto r = pool.allocate(256);
+    ASSERT_TRUE(r.is_ok());
+    again.push_back(std::move(r).value());
+  }
+  EXPECT_EQ(pool.stats().grows, grows_before);  // all reused, no growth
+  again.clear();
+  pool.flush_thread_cache();
+  EXPECT_EQ(pool.stats().allocs, pool.stats().frees);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
 // Property test: random alloc/release sequences preserve the pool
 // invariants (allocs == frees once everything is released; no block serves
 // two live handles; contents do not bleed between allocations).

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -69,6 +71,241 @@ TEST(BoundedQueue, BlockingPushWaitsForSpace) {
   producer.join();
   EXPECT_TRUE(pushed.load());
   EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, PushBatchAcceptsPrefixUpToCapacity) {
+  BoundedQueue<int> q(4);
+  q.push(0);
+  std::vector<int> items = {1, 2, 3, 4, 5};
+  // Only 3 slots left: the accepted elements are a prefix.
+  EXPECT_EQ(q.push_batch(std::span<int>(items)), 3u);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_FALSE(q.try_push(99));
+  for (int expect = 0; expect <= 3; ++expect) {
+    EXPECT_EQ(q.pop().value(), expect);
+  }
+  // The untouched suffix can be re-offered once space frees up.
+  EXPECT_EQ(q.push_batch(std::span<int>(items).subspan(3)), 2u);
+  EXPECT_EQ(q.pop().value(), 4);
+  EXPECT_EQ(q.pop().value(), 5);
+}
+
+TEST(BoundedQueue, PushBatchOnClosedQueueAcceptsNothing) {
+  BoundedQueue<int> q(4);
+  q.close();
+  std::vector<int> items = {1, 2};
+  EXPECT_EQ(q.push_batch(std::span<int>(items)), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, PushBatchMakeConstructsInPlace) {
+  BoundedQueue<std::string> q(3);
+  std::vector<int> src = {7, 8, 9, 10};
+  const std::size_t n = q.push_batch_make(
+      std::span<int>(src), [](int&& v) { return std::to_string(v); });
+  EXPECT_EQ(n, 3u);  // capacity caps the accepted prefix
+  EXPECT_EQ(q.pop().value(), "7");
+  EXPECT_EQ(q.pop().value(), "8");
+  EXPECT_EQ(q.pop().value(), "9");
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, DrainMovesUpToMaxAndAppends) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) {
+    q.push(i);
+  }
+  std::vector<int> out = {-1};  // drain appends, never clears
+  EXPECT_EQ(q.drain(out, 4), 4u);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0], -1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i) + 1], i);
+  }
+  EXPECT_EQ(q.drain(out, 100), 2u);  // remaining items, not max
+  EXPECT_EQ(q.drain(out, 100), 0u);  // empty -> 0, no blocking
+  EXPECT_EQ(out.size(), 7u);
+}
+
+TEST(BoundedQueue, DrainApplyFeedsSinkInOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    q.push(i * 10);
+  }
+  std::vector<int> seen;
+  EXPECT_EQ(q.drain_apply([&seen](int&& v) { seen.push_back(v); }, 3), 3u);
+  EXPECT_EQ(seen, (std::vector<int>{0, 10, 20}));
+  EXPECT_EQ(q.drain_apply([&seen](int&& v) { seen.push_back(v); }, 0), 0u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, DrainAfterCloseReturnsRemainingItems) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  q.close();
+  // A closed queue still drains its backlog, mirroring pop().
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out, 10), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.drain(out, 10), 0u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWhileConsumerDrains) {
+  // Producers race push_batch against close(); whatever was accepted
+  // before the close must come out exactly once, nothing after it.
+  BoundedQueue<int> q(16);
+  std::atomic<long> pushed_sum{0};
+  std::atomic<int> pushed_count{0};
+  std::thread producer([&] {
+    std::vector<int> burst(4);
+    for (int base = 0; base < 10000; base += 4) {
+      for (int i = 0; i < 4; ++i) {
+        burst[static_cast<std::size_t>(i)] = base + i;
+      }
+      const std::size_t n = q.push_batch(std::span<int>(burst));
+      for (std::size_t i = 0; i < n; ++i) {
+        pushed_sum += base + static_cast<int>(i);
+        ++pushed_count;
+      }
+      if (n < 4) {
+        if (q.closed()) {
+          return;  // accepted a prefix because the queue closed under us
+        }
+        base -= static_cast<int>(4 - n);  // full: re-offer the suffix
+      }
+    }
+  });
+  std::thread closer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.close();
+  });
+  long drained_sum = 0;
+  int drained_count = 0;
+  std::vector<int> out;
+  for (;;) {
+    out.clear();
+    if (q.drain(out, 8) == 0) {
+      if (q.closed() && q.empty()) {
+        // One final sweep: the producer may still be mid-batch.
+        if (producer.joinable()) {
+          producer.join();
+        }
+        if (q.drain(out, 1000) == 0) {
+          break;
+        }
+      } else {
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    for (const int v : out) {
+      drained_sum += v;
+      ++drained_count;
+    }
+  }
+  if (producer.joinable()) {
+    producer.join();
+  }
+  closer.join();
+  EXPECT_EQ(drained_count, pushed_count.load());
+  EXPECT_EQ(drained_sum, pushed_sum.load());
+}
+
+TEST(BoundedQueue, DrainReleasesBackpressureOnBlockedProducers) {
+  BoundedQueue<int> q(2);
+  q.push(1);
+  q.push(2);
+  std::atomic<int> completed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(2);
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&q, &completed, p] {
+      q.push(10 + p);  // blocks: the queue is full
+      ++completed;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(completed.load(), 0);
+  // One drain must wake BOTH blocked producers (notify_all path).
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out, 2), 2u);
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(completed.load(), 2);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, DrainForBlocksUntilBatchArrives) {
+  BoundedQueue<int> q(8);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::vector<int> burst = {1, 2, 3};
+    q.push_batch(std::span<int>(burst));
+  });
+  std::vector<int> out;
+  // Generous deadline: the push_batch wakeup, not the timeout, ends the
+  // wait. All three elements land in one drain.
+  EXPECT_EQ(q.drain_for(out, 8, std::chrono::seconds(5)), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  producer.join();
+  EXPECT_EQ(q.drain_for(out, 8, std::chrono::milliseconds(1)), 0u);
+}
+
+TEST(BoundedQueue, BatchMultiProducerStress) {
+  // Three batching producers vs. one draining consumer: every element
+  // arrives exactly once (sum check) and capacity is never exceeded.
+  constexpr int kPerProducer = 6000;
+  constexpr int kProducers = 3;
+  constexpr std::size_t kCap = 32;
+  BoundedQueue<int> q(kCap);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      std::vector<int> burst;
+      for (int i = 0; i < kPerProducer;) {
+        burst.clear();
+        for (int j = 0; j < 7 && i + j < kPerProducer; ++j) {
+          burst.push_back(p * kPerProducer + i + j);
+        }
+        std::span<int> rest(burst);
+        while (!rest.empty()) {
+          const std::size_t n = q.push_batch(rest);
+          rest = rest.subspan(n);
+          if (!rest.empty()) {
+            std::this_thread::yield();
+          }
+        }
+        i += static_cast<int>(burst.size());
+      }
+    });
+  }
+  long sum = 0;
+  int received = 0;
+  std::vector<int> out;
+  while (received < kProducers * kPerProducer) {
+    out.clear();
+    const std::size_t n = q.drain(out, kCap);
+    ASSERT_LE(n, kCap);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const int v : out) {
+      sum += v;
+    }
+    received += static_cast<int>(n);
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  const long n = static_cast<long>(kProducers) * kPerProducer;
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(BoundedQueue, MultiProducerMultiConsumer) {
