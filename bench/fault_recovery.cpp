@@ -1,0 +1,305 @@
+// fault_recovery.cpp - measures the fault-tolerance layer end to end:
+//
+//   1. Reconnect latency: a two-node TCP pair where node B's transport is
+//      killed and restarted on a new ephemeral port each trial (a process
+//      restart, as far as A can tell). Per trial we time how long A takes
+//      to declare the peer Down (heartbeat detection) and, after the
+//      restart, how long until the maintenance thread's capped-backoff
+//      redial reports it Up again and a call succeeds.
+//   2. Frame loss under seeded fault injection: the FaultInjectingTransport
+//      decorator drops/delays/duplicates requests on A's send path while a
+//      closed loop of echo calls runs. We report how many calls survived,
+//      how many timed out, and the injector's own ledger - the loss a
+//      deployment would see from a flaky link, and proof the pools drain.
+//
+// Results go to stdout and BENCH_fault.json.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/requester.hpp"
+#include "pt/fault_pt.hpp"
+#include "pt/tcp_pt.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+namespace xdaq::bench {
+namespace {
+
+using core::PeerState;
+using core::Requester;
+using pt::FaultInjectingTransport;
+using pt::FaultPlan;
+using pt::TcpPeerTransport;
+using pt::TcpTransportConfig;
+
+double to_ms(std::chrono::nanoseconds d) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             d)
+      .count();
+}
+
+/// Polls `pred` until true; returns elapsed ms, or -1 on budget exhaustion.
+double timed_until(const std::function<bool()>& pred,
+                   std::chrono::nanoseconds budget) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + budget;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return -1.0;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return to_ms(std::chrono::steady_clock::now() - start);
+}
+
+/// Two executives joined by TCP PTs with an echo responder on B and a
+/// requester on A. Shared by both bench sections.
+struct TcpBenchPair {
+  core::Executive a{core::ExecutiveConfig{.node_id = 1, .name = "bench_a"}};
+  core::Executive b{core::ExecutiveConfig{.node_id = 2, .name = "bench_b"}};
+  TcpPeerTransport* pt_a = nullptr;
+  TcpPeerTransport* pt_b = nullptr;
+  Requester* req = nullptr;
+  i2o::Tid proxy = i2o::kNullTid;
+
+  /// `decorate` may wrap A's transport; it receives the raw inner PT and
+  /// returns the tid that A's route to node 2 should point at.
+  explicit TcpBenchPair(
+      const core::TransportConfig& tuning,
+      const std::function<i2o::Tid(TcpPeerTransport&)>& decorate = {}) {
+    auto ta = std::make_unique<TcpPeerTransport>(TcpTransportConfig{}, tuning);
+    auto tb = std::make_unique<TcpPeerTransport>(TcpTransportConfig{}, tuning);
+    pt_a = ta.get();
+    pt_b = tb.get();
+    (void)a.install(std::move(ta), "pt_tcp");
+    (void)b.install(std::move(tb), "pt_tcp");
+    const i2o::Tid route_tid = decorate ? decorate(*pt_a) : pt_a->tid();
+    (void)a.set_route(2, route_tid);
+    (void)b.set_route(1, pt_b->tid());
+    (void)b.install(std::make_unique<EchoDevice>(), "echo");
+    auto r = std::make_unique<Requester>();
+    req = r.get();
+    (void)a.install(std::move(r), "req");
+    proxy = a.register_remote(2, b.tid_of("echo").value()).value();
+    (void)a.enable_all();
+    (void)b.enable_all();
+    pt_a->add_peer(2, "127.0.0.1", pt_b->listen_port());
+    pt_b->add_peer(1, "127.0.0.1", pt_a->listen_port());
+    a.start();
+    b.start();
+  }
+
+  ~TcpBenchPair() {
+    a.stop();
+    b.stop();
+  }
+
+  [[nodiscard]] Status call(const core::CallOptions& options) {
+    auto reply =
+        req->call_private(proxy, i2o::OrgId::kBench, kXfnPing, {}, options);
+    if (!reply.is_ok()) {
+      return reply.status();
+    }
+    return reply.value().failed() ? Status{Errc::Unavailable, "FAIL reply"}
+                                  : Status::ok();
+  }
+};
+
+struct ReconnectResult {
+  Sampler down_ms;       ///< kill -> peer declared Down
+  Sampler reconnect_ms;  ///< restart -> peer reported Up again
+  int trials_ok = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t heartbeats = 0;
+};
+
+ReconnectResult run_reconnect(int trials, std::chrono::milliseconds hb) {
+  core::TransportConfig tuning;
+  tuning.heartbeat_interval = hb;
+  tuning.missed_heartbeat_limit = 2;
+  tuning.backoff_base = std::chrono::milliseconds(5);
+  tuning.backoff_cap = std::chrono::milliseconds(40);
+  TcpBenchPair pair(tuning);
+
+  ReconnectResult result;
+  const auto budget = std::chrono::seconds(10);
+  const core::CallOptions retrying{.timeout = std::chrono::seconds(5),
+                                   .retries = 5,
+                                   .retry_on_unavailable = true,
+                                   .retry_delay = hb / 4};
+  if (!pair.call(retrying).is_ok()) {
+    std::fprintf(stderr, "fault_recovery: initial call failed\n");
+    return result;
+  }
+  for (int trial = 0; trial < trials; ++trial) {
+    pair.pt_b->transport_down();
+    const double down = timed_until(
+        [&] { return pair.pt_a->peer_state(2) == PeerState::Down; }, budget);
+    if (pair.pt_b->transport_up().is_ok()) {
+      pair.pt_a->add_peer(2, "127.0.0.1", pair.pt_b->listen_port());
+    }
+    const double up = timed_until(
+        [&] { return pair.pt_a->peer_state(2) == PeerState::Up; }, budget);
+    const bool call_ok = pair.call(retrying).is_ok();
+    if (down >= 0 && up >= 0 && call_ok) {
+      result.down_ms.add(down);
+      result.reconnect_ms.add(up);
+      ++result.trials_ok;
+    }
+    std::printf("  trial %2d: down %7.1f ms  reconnect %7.1f ms  call %s\n",
+                trial + 1, down, up, call_ok ? "ok" : "FAILED");
+  }
+  const auto fs = pair.pt_a->fault_stats();
+  result.reconnects = fs.reconnects;
+  result.heartbeats = fs.heartbeats_sent;
+  return result;
+}
+
+struct LossResult {
+  int calls = 0;
+  int ok = 0;
+  int failed = 0;
+  FaultInjectingTransport::InjectStats injected;
+  bool pools_drained = false;
+  double elapsed_ms = 0;
+};
+
+LossResult run_frame_loss(int calls, std::uint64_t seed) {
+  core::TransportConfig tuning;
+  tuning.heartbeat_interval = std::chrono::seconds(10);  // out of the way
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_rate = 0.10;
+  plan.delay_rate = 0.10;
+  plan.duplicate_rate = 0.10;
+  plan.delay = std::chrono::milliseconds(2);
+  FaultInjectingTransport* fault_raw = nullptr;
+  TcpBenchPair pair(tuning, [&](TcpPeerTransport& inner) {
+    auto fault = std::make_unique<FaultInjectingTransport>(inner, plan);
+    fault_raw = fault.get();
+    (void)pair.a.install(std::move(fault), "pt_fault");
+    return fault_raw->tid();
+  });
+
+  LossResult result;
+  result.calls = calls;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < calls; ++i) {
+    const core::CallOptions opts{.timeout = std::chrono::milliseconds(200)};
+    if (pair.call(opts).is_ok()) {
+      ++result.ok;
+    } else {
+      ++result.failed;
+    }
+  }
+  result.elapsed_ms = to_ms(std::chrono::steady_clock::now() - start);
+  result.injected = fault_raw->inject_stats();
+  result.pools_drained =
+      timed_until(
+          [&] {
+            return pair.a.pool().stats().outstanding == 0 &&
+                   pair.b.pool().stats().outstanding == 0;
+          },
+          std::chrono::seconds(5)) >= 0;
+  return result;
+}
+
+int run(int argc, char** argv) {
+  CliParser cli;
+  cli.flag("trials", "kill/restart reconnect trials", std::int64_t{5});
+  cli.flag("calls", "echo calls under fault injection", std::int64_t{200});
+  cli.flag("hb-ms", "heartbeat interval (ms)", std::int64_t{50});
+  cli.flag("seed", "fault injection seed", std::int64_t{7});
+  if (Status st = cli.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n%s", st.to_string().c_str(),
+                 cli.usage(argv[0]).c_str());
+    return 1;
+  }
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  const int calls = static_cast<int>(cli.get_int("calls"));
+  const auto hb = std::chrono::milliseconds(cli.get_int("hb-ms"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::printf("=== Fault recovery bench ===\n\n");
+  std::printf("-- reconnect latency (%d trials, heartbeat %lld ms) --\n",
+              trials, static_cast<long long>(hb.count()));
+  const ReconnectResult rec = run_reconnect(trials, hb);
+  const bool rec_ok = rec.trials_ok == trials && trials > 0;
+  std::printf("%-34s %10d / %d\n", "trials recovered", rec.trials_ok, trials);
+  std::printf("%-34s %10.1f ms (median), %.1f ms (max)\n",
+              "kill -> Down detected", rec.down_ms.median(),
+              rec.down_ms.max());
+  std::printf("%-34s %10.1f ms (median), %.1f ms (max)\n",
+              "restart -> Up again", rec.reconnect_ms.median(),
+              rec.reconnect_ms.max());
+  std::printf("%-34s %10llu\n", "successful redials",
+              static_cast<unsigned long long>(rec.reconnects));
+
+  std::printf("\n-- frame loss under injection (%d calls, seed %llu) --\n",
+              calls, static_cast<unsigned long long>(seed));
+  const LossResult loss = run_frame_loss(calls, seed);
+  const auto& inj = loss.injected;
+  std::printf("%-34s %10d ok, %d failed\n", "calls", loss.ok, loss.failed);
+  std::printf("%-34s %10llu dropped, %llu delayed, %llu duplicated\n",
+              "injected", static_cast<unsigned long long>(inj.dropped),
+              static_cast<unsigned long long>(inj.delayed),
+              static_cast<unsigned long long>(inj.duplicated));
+  std::printf("%-34s %10s\n", "pools drained after soak",
+              loss.pools_drained ? "yes" : "NO (leak!)");
+  std::printf("\nshape check: all trials recovered, pools drained -> %s\n",
+              rec_ok && loss.pools_drained ? "PASS" : "CHECK");
+
+  if (std::FILE* f = std::fopen("BENCH_fault.json", "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"reconnect\": {\n"
+        "    \"trials\": %d,\n"
+        "    \"trials_recovered\": %d,\n"
+        "    \"heartbeat_ms\": %lld,\n"
+        "    \"down_detect_ms\": {\"median\": %.2f, \"p90\": %.2f, "
+        "\"max\": %.2f},\n"
+        "    \"reconnect_ms\": {\"median\": %.2f, \"p90\": %.2f, "
+        "\"max\": %.2f},\n"
+        "    \"redials\": %llu,\n"
+        "    \"heartbeats_sent\": %llu\n"
+        "  },\n"
+        "  \"frame_loss\": {\n"
+        "    \"calls\": %d,\n"
+        "    \"ok\": %d,\n"
+        "    \"failed\": %d,\n"
+        "    \"loss_rate\": %.4f,\n"
+        "    \"injected_dropped\": %llu,\n"
+        "    \"injected_delayed\": %llu,\n"
+        "    \"injected_duplicated\": %llu,\n"
+        "    \"seed\": %llu,\n"
+        "    \"elapsed_ms\": %.1f,\n"
+        "    \"pools_drained\": %s\n"
+        "  }\n"
+        "}\n",
+        trials, rec.trials_ok, static_cast<long long>(hb.count()),
+        rec.down_ms.median(), rec.down_ms.percentile(90.0), rec.down_ms.max(),
+        rec.reconnect_ms.median(), rec.reconnect_ms.percentile(90.0),
+        rec.reconnect_ms.max(),
+        static_cast<unsigned long long>(rec.reconnects),
+        static_cast<unsigned long long>(rec.heartbeats), loss.calls, loss.ok,
+        loss.failed,
+        loss.calls > 0 ? static_cast<double>(loss.failed) / loss.calls : 0.0,
+        static_cast<unsigned long long>(inj.dropped),
+        static_cast<unsigned long long>(inj.delayed),
+        static_cast<unsigned long long>(inj.duplicated),
+        static_cast<unsigned long long>(seed), loss.elapsed_ms,
+        loss.pools_drained ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_fault.json\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xdaq::bench
+
+int main(int argc, char** argv) { return xdaq::bench::run(argc, argv); }

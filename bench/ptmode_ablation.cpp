@@ -36,7 +36,8 @@ class SlowPollTransport final : public core::TransportDevice {
     return {Errc::Unsupported, "slow PT carries no traffic"};
   }
 
-  void poll_transport() override {
+ protected:
+  void on_transport_poll() override {
     const std::uint64_t until = now_ns() + poll_cost_ns_;
     while (now_ns() < until) {
     }

@@ -109,7 +109,7 @@ Executive::~Executive() {
     const std::scoped_lock lock(devices_mutex_);
     for (auto& [tid, dev] : devices_) {
       if (auto* pt = dynamic_cast<TransportDevice*>(dev.get())) {
-        pt->stop_transport();
+        pt->transport_down();
       }
     }
   }
@@ -148,10 +148,18 @@ Result<i2o::Tid> Executive::install(std::unique_ptr<Device> device,
     names_[instance_name] = tid.value();
     devices_[tid.value()] = std::move(device);
   }
-  if (auto* pt = dynamic_cast<TransportDevice*>(raw);
-      pt != nullptr && pt->mode() == TransportDevice::Mode::Polling) {
-    const std::scoped_lock lock(polling_mutex_);
-    polling_pts_.push_back(pt);
+  if (auto* pt = dynamic_cast<TransportDevice*>(raw); pt != nullptr) {
+    // Every transport reports liveness into its executive: transitions are
+    // counted, and a Down peer immediately fails that node's in-flight
+    // requests instead of letting callers burn their timeouts.
+    pt->set_peer_state_sink(
+        [this](i2o::NodeId node, PeerState from, PeerState to) {
+          on_peer_state_change(node, from, to);
+        });
+    if (pt->mode() == TransportDevice::Mode::Polling) {
+      const std::scoped_lock lock(polling_mutex_);
+      polling_pts_.push_back(pt);
+    }
   }
   // plugin() runs unlocked: "At this point the newly created class can
   // obtain its TiD and retrieve parameter settings from the executive."
@@ -374,6 +382,111 @@ Result<i2o::Tid> Executive::register_remote_via(i2o::NodeId node,
   return proxy;
 }
 
+PeerState Executive::peer_state(i2o::NodeId node) const {
+  i2o::Tid via = i2o::kNullTid;
+  {
+    const std::scoped_lock lock(devices_mutex_);
+    const auto it = routes_.find(node);
+    if (it == routes_.end()) {
+      return PeerState::Unknown;
+    }
+    via = it->second;
+  }
+  auto pt = transport_for(via);
+  return pt.is_ok() ? pt.value()->peer_state(node) : PeerState::Unknown;
+}
+
+void Executive::on_peer_state_change(i2o::NodeId node, PeerState from,
+                                     PeerState to) {
+  stats_.peer_state_changes.fetch_add(1, std::memory_order_relaxed);
+  log_.info("peer ", node, " ", to_string(from), " -> ", to_string(to));
+  if (to == PeerState::Down) {
+    fail_inflight_to(node);
+  }
+}
+
+namespace {
+/// Per-node bound on remembered in-flight requests: enough for any sane
+/// request/reply fan-out; overflow falls back to caller-side timeouts.
+constexpr std::size_t kMaxInflightPerNode = 256;
+}  // namespace
+
+void Executive::record_inflight(i2o::NodeId node,
+                                const i2o::FrameHeader& hdr) {
+  const std::scoped_lock lock(inflight_mutex_);
+  auto& records = inflight_[node];
+  if (records.size() >= kMaxInflightPerNode) {
+    records.erase(records.begin());
+  }
+  records.push_back(hdr);
+}
+
+void Executive::resolve_inflight(i2o::NodeId node,
+                                 const i2o::FrameHeader& reply) {
+  const std::scoped_lock lock(inflight_mutex_);
+  const auto it = inflight_.find(node);
+  if (it == inflight_.end()) {
+    return;
+  }
+  // The wire reply's target is the original initiator (the remote patched
+  // it back); match on that plus the transaction context.
+  auto& records = it->second;
+  for (auto r = records.begin(); r != records.end(); ++r) {
+    if (r->initiator == reply.target &&
+        r->transaction_context == reply.transaction_context) {
+      records.erase(r);
+      break;
+    }
+  }
+  if (records.empty()) {
+    inflight_.erase(it);
+  }
+}
+
+void Executive::fail_inflight_to(i2o::NodeId node) {
+  std::vector<i2o::FrameHeader> orphaned;
+  {
+    const std::scoped_lock lock(inflight_mutex_);
+    const auto it = inflight_.find(node);
+    if (it == inflight_.end()) {
+      return;
+    }
+    orphaned = std::move(it->second);
+    inflight_.erase(it);
+  }
+  // Synthesize the reply the dead peer will never send: FAIL-flagged, with
+  // the error category in the parameter payload. Waiters (Requester and
+  // friends) unblock through their normal on_reply path.
+  const i2o::ParamList params{
+      {"error", std::string(to_string(Errc::PeerDown)) + ": peer " +
+                    std::to_string(node) + " is down"}};
+  for (const i2o::FrameHeader& request : orphaned) {
+    i2o::FrameHeader reply_hdr = i2o::make_reply_header(
+        request, /*failed=*/true);
+    reply_hdr.sgl_offset_words = 0;  // the synthesized reply carries no SGL
+    auto frame = alloc_frame(i2o::param_list_bytes(params),
+                             reply_hdr.is_private());
+    if (!frame.is_ok()) {
+      continue;
+    }
+    auto bytes = frame.value().bytes();
+    if (!i2o::encode_header(reply_hdr, bytes).is_ok()) {
+      continue;
+    }
+    if (!i2o::encode_param_list(params,
+                                bytes.subspan(reply_hdr.header_bytes()))
+             .is_ok()) {
+      continue;
+    }
+    // Count before posting: the waiter can observe the reply (and read
+    // stats) the instant post() enqueues it.
+    stats_.synth_unavailable.fetch_add(1, std::memory_order_relaxed);
+    if (!post(std::move(frame).value()).is_ok()) {
+      stats_.synth_unavailable.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
 Result<TransportDevice*> Executive::transport_for(i2o::Tid pt_tid) const {
   Device* dev = device(pt_tid);
   if (dev == nullptr) {
@@ -501,10 +614,22 @@ return Status::ok();
   if (!pt.is_ok()) {
     return {Errc::Unroutable, "proxy's peer transport is gone"};
   }
+  // Liveness gate: a peer already declared Down fails synchronously - the
+  // caller learns within one call instead of one timeout.
+  if (pt.value()->peer_state(proxy.node) == PeerState::Down) {
+    return {Errc::Unavailable, "peer node is down"};
+  }
   patch_target(frame.bytes(), proxy.remote_tid);
   Status sent = pt.value()->transport_send(
       proxy.node, std::span<const std::byte>(frame.bytes()));
-  if (sent.is_ok()) stats_.sent_remote.fetch_add(1, std::memory_order_relaxed);
+  if (sent.is_ok()) {
+    stats_.sent_remote.fetch_add(1, std::memory_order_relaxed);
+    // Remember requests awaiting a remote reply so a peer death can
+    // synthesize their FAIL replies immediately.
+    if (!hdr.value().is_reply() && hdr.value().initiator != i2o::kNullTid) {
+      record_inflight(proxy.node, hdr.value());
+    }
+  }
   return sent;
 }
 
@@ -521,6 +646,12 @@ Status Executive::deliver_from_wire(i2o::NodeId src_node, i2o::Tid pt_tid,
     return frame.status();
   }
   std::memcpy(frame.value().bytes().data(), wire.data(), wire.size());
+
+  // A reply from this node settles the matching in-flight record (if the
+  // peer later dies, no FAIL frame is synthesized for it).
+  if (hdr.value().is_reply()) {
+    resolve_inflight(src_node, hdr.value());
+  }
 
   // Transparent reply routing: intern a proxy for the remote initiator and
   // substitute it, so local code can reply without knowing about nodes.
@@ -685,7 +816,7 @@ bool Executive::pump(bool allow_block) {
     for (TransportDevice* pt : polling_pts_) {
       if (pt->state() == DeviceState::Enabled) {
         have_polling = true;
-        pt->poll_transport();
+        pt->transport_pump();
       }
     }
   }

@@ -45,6 +45,7 @@
 namespace xdaq::core {
 
 class TransportDevice;
+enum class PeerState : std::uint8_t;
 
 struct ExecutiveConfig {
   i2o::NodeId node_id = 0;
@@ -104,6 +105,9 @@ struct ExecutiveStats {
   std::uint64_t rejected_disabled = 0; ///< private msg to non-enabled device
   std::uint64_t watchdog_trips = 0;    ///< devices quarantined
   std::uint64_t timer_fires = 0;
+  std::uint64_t peer_state_changes = 0;  ///< liveness transitions observed
+  /// FAIL replies synthesized for in-flight requests to a Down peer.
+  std::uint64_t synth_unavailable = 0;
   /// Pumps that dispatched at least one message. dispatched /
   /// dispatch_batches is the realized batch size; with the default
   /// dispatch_batch of 1 the two counters advance in lockstep.
@@ -125,6 +129,8 @@ struct AtomicExecutiveStats {
   std::atomic<std::uint64_t> rejected_disabled{0};
   std::atomic<std::uint64_t> watchdog_trips{0};
   std::atomic<std::uint64_t> timer_fires{0};
+  std::atomic<std::uint64_t> peer_state_changes{0};
+  std::atomic<std::uint64_t> synth_unavailable{0};
   std::atomic<std::uint64_t> dispatch_batches{0};
 
   [[nodiscard]] ExecutiveStats snapshot() const {
@@ -140,6 +146,9 @@ struct AtomicExecutiveStats {
     s.rejected_disabled = rejected_disabled.load(std::memory_order_relaxed);
     s.watchdog_trips = watchdog_trips.load(std::memory_order_relaxed);
     s.timer_fires = timer_fires.load(std::memory_order_relaxed);
+    s.peer_state_changes =
+        peer_state_changes.load(std::memory_order_relaxed);
+    s.synth_unavailable = synth_unavailable.load(std::memory_order_relaxed);
     s.dispatch_batches = dispatch_batches.load(std::memory_order_relaxed);
     return s;
   }
@@ -218,6 +227,17 @@ class Executive {
                                        const std::string& name = {});
 
   [[nodiscard]] AddressTable& address_table() noexcept { return table_; }
+
+  // --- peer liveness --------------------------------------------------------
+
+  /// Connectivity of `node` as reported by its routed peer transport
+  /// (PeerState::Unknown when no route exists or the transport does not
+  /// track liveness). The executive registers itself as every installed
+  /// transport's peer-state sink: transitions are counted in stats, and a
+  /// transition to Down synthesizes I2O FAIL replies for every in-flight
+  /// request to that node so waiters unblock immediately instead of
+  /// burning their full timeout.
+  [[nodiscard]] PeerState peer_state(i2o::NodeId node) const;
 
   // --- messaging ------------------------------------------------------------
 
@@ -335,6 +355,14 @@ class Executive {
   Result<TransportDevice*> transport_for(i2o::Tid pt_tid) const;
   void watchdog_main(std::chrono::nanoseconds deadline);
 
+  // Peer liveness plumbing (sink runs on transport threads).
+  void on_peer_state_change(i2o::NodeId node, PeerState from, PeerState to);
+  void record_inflight(i2o::NodeId node, const i2o::FrameHeader& hdr);
+  void resolve_inflight(i2o::NodeId node, const i2o::FrameHeader& reply);
+  /// Synthesizes a FAIL reply for every recorded in-flight request to
+  /// `node` and posts them locally.
+  void fail_inflight_to(i2o::NodeId node);
+
   ExecutiveConfig config_;
   Logger log_;
   std::unique_ptr<mem::Pool> pool_;
@@ -362,6 +390,13 @@ class Executive {
   std::map<i2o::Tid, std::vector<EventListener>> event_listeners_;
 
   std::unique_ptr<TimerService> timers_;
+
+  /// Requests sent through a peer transport that still await a reply,
+  /// kept so a peer death can fail them immediately. Bounded per node;
+  /// overflow drops the oldest record (those requests fall back to their
+  /// caller's timeout).
+  mutable std::mutex inflight_mutex_;
+  std::map<i2o::NodeId, std::vector<i2o::FrameHeader>> inflight_;
 
   std::size_t idle_pumps_ = 0;  ///< dispatch-thread local
   /// Dispatch-thread-local staging buffer for batched inbound drains

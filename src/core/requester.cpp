@@ -1,57 +1,79 @@
 #include "core/requester.hpp"
 
 #include <cstring>
+#include <thread>
 
 #include "core/executive.hpp"
 
 namespace xdaq::core {
 
+bool Requester::retryable(const Status& st, const CallOptions& options) {
+  return options.retry_on_unavailable &&
+         (st.code() == Errc::Unavailable || st.code() == Errc::PeerDown);
+}
+
 Result<Requester::Reply> Requester::call_standard(
     i2o::Tid target, i2o::Function fn, const i2o::ParamList& params,
-    std::chrono::nanoseconds timeout) {
+    const CallOptions& options) {
   if (!attached()) {
     return {Errc::FailedPrecondition, "requester not installed"};
   }
-  std::uint32_t txn = 0;
-  {
-    const std::scoped_lock lock(mutex_);
-    txn = next_txn_++;
+  Result<Reply> out{Errc::Internal, "call_standard made no attempt"};
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    std::uint32_t txn = 0;
+    {
+      const std::scoped_lock lock(mutex_);
+      txn = next_txn_++;
+    }
+    const std::size_t payload_bytes = i2o::param_list_bytes(params);
+    auto frame = executive().alloc_frame(payload_bytes, /*is_private=*/false);
+    if (!frame.is_ok()) {
+      return frame.status();
+    }
+    i2o::FrameHeader hdr;
+    hdr.function = static_cast<std::uint8_t>(fn);
+    hdr.target = target;
+    hdr.initiator = tid();
+    hdr.transaction_context = txn;
+    auto bytes = frame.value().bytes();
+    if (Status st = i2o::encode_header(hdr, bytes); !st.is_ok()) {
+      return st;
+    }
+    if (Status st = i2o::encode_param_list(
+            params, bytes.subspan(i2o::kStdHeaderBytes));
+        !st.is_ok()) {
+      return st;
+    }
+    out = send_and_wait(std::move(frame).value(), txn, options.timeout);
+    if (out.is_ok() || attempt >= options.retries ||
+        !retryable(out.status(), options)) {
+      return out;
+    }
+    std::this_thread::sleep_for(options.retry_delay);
   }
-  const std::size_t payload_bytes = i2o::param_list_bytes(params);
-  auto frame = executive().alloc_frame(payload_bytes, /*is_private=*/false);
-  if (!frame.is_ok()) {
-    return frame.status();
-  }
-  i2o::FrameHeader hdr;
-  hdr.function = static_cast<std::uint8_t>(fn);
-  hdr.target = target;
-  hdr.initiator = tid();
-  hdr.transaction_context = txn;
-  auto bytes = frame.value().bytes();
-  if (Status st = i2o::encode_header(hdr, bytes); !st.is_ok()) {
-    return st;
-  }
-  if (Status st = i2o::encode_param_list(
-          params, bytes.subspan(i2o::kStdHeaderBytes));
-      !st.is_ok()) {
-    return st;
-  }
-  return send_and_wait(std::move(frame).value(), txn, timeout);
 }
 
 Result<Requester::Reply> Requester::call_private(
     i2o::Tid target, i2o::OrgId org, std::uint16_t xfunction,
-    std::span<const std::byte> payload, std::chrono::nanoseconds timeout) {
-  std::uint32_t txn = 0;
-  {
-    const std::scoped_lock lock(mutex_);
-    txn = next_txn_++;
+    std::span<const std::byte> payload, const CallOptions& options) {
+  Result<Reply> out{Errc::Internal, "call_private made no attempt"};
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    std::uint32_t txn = 0;
+    {
+      const std::scoped_lock lock(mutex_);
+      txn = next_txn_++;
+    }
+    auto frame = make_private_frame(target, org, xfunction, payload, txn);
+    if (!frame.is_ok()) {
+      return frame.status();
+    }
+    out = send_and_wait(std::move(frame).value(), txn, options.timeout);
+    if (out.is_ok() || attempt >= options.retries ||
+        !retryable(out.status(), options)) {
+      return out;
+    }
+    std::this_thread::sleep_for(options.retry_delay);
   }
-  auto frame = make_private_frame(target, org, xfunction, payload, txn);
-  if (!frame.is_ok()) {
-    return frame.status();
-  }
-  return send_and_wait(std::move(frame).value(), txn, timeout);
 }
 
 Result<Requester::Reply> Requester::send_and_wait(

@@ -22,6 +22,21 @@
 
 namespace xdaq::core {
 
+/// Behaviour of one blocking call. Replaces the bare timeout argument:
+/// fault-tolerant callers also choose how transient unavailability
+/// (Errc::Unavailable / Errc::PeerDown from a reconnecting transport)
+/// is handled.
+struct CallOptions {
+  std::chrono::nanoseconds timeout = std::chrono::seconds(2);
+  /// Additional attempts after a send that failed as Unavailable or
+  /// PeerDown (only consulted when retry_on_unavailable is set).
+  std::uint32_t retries = 0;
+  /// Retry the send while the peer transport reconnects, sleeping
+  /// retry_delay between attempts, instead of surfacing the error.
+  bool retry_on_unavailable = false;
+  std::chrono::nanoseconds retry_delay = std::chrono::milliseconds(20);
+};
+
 class Requester : public Device {
  public:
   Requester() : Device("Requester") {}
@@ -39,17 +54,34 @@ class Requester : public Device {
     }
   };
 
+  using CallOptions = core::CallOptions;
+
   /// Sends a standard-function frame (executive or utility class) with a
   /// parameter-list payload and waits for the reply.
   Result<Reply> call_standard(i2o::Tid target, i2o::Function fn,
                               const i2o::ParamList& params,
-                              std::chrono::nanoseconds timeout);
+                              const CallOptions& options = {});
 
   /// Sends a private frame and waits for the reply.
   Result<Reply> call_private(i2o::Tid target, i2o::OrgId org,
                              std::uint16_t xfunction,
                              std::span<const std::byte> payload,
-                             std::chrono::nanoseconds timeout);
+                             const CallOptions& options = {});
+
+  /// Deprecated bare-timeout overloads, kept for source compatibility;
+  /// use the CallOptions forms in new code.
+  Result<Reply> call_standard(i2o::Tid target, i2o::Function fn,
+                              const i2o::ParamList& params,
+                              std::chrono::nanoseconds timeout) {
+    return call_standard(target, fn, params, CallOptions{.timeout = timeout});
+  }
+  Result<Reply> call_private(i2o::Tid target, i2o::OrgId org,
+                             std::uint16_t xfunction,
+                             std::span<const std::byte> payload,
+                             std::chrono::nanoseconds timeout) {
+    return call_private(target, org, xfunction, payload,
+                        CallOptions{.timeout = timeout});
+  }
 
   /// Outstanding (unanswered) calls.
   [[nodiscard]] std::size_t outstanding() const;
@@ -65,6 +97,9 @@ class Requester : public Device {
 
   Result<Reply> send_and_wait(mem::FrameRef frame, std::uint32_t txn,
                               std::chrono::nanoseconds timeout);
+  /// True when `st` is a transient-unavailability code the caller asked
+  /// to ride out.
+  static bool retryable(const Status& st, const CallOptions& options);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,0 +1,115 @@
+#include "core/transport.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "i2o/paramlist.hpp"
+
+namespace xdaq::core {
+
+std::string_view to_string(PeerState s) noexcept {
+  switch (s) {
+    case PeerState::Unknown:
+      return "Unknown";
+    case PeerState::Up:
+      return "Up";
+    case PeerState::Suspect:
+      return "Suspect";
+    case PeerState::Down:
+      return "Down";
+  }
+  return "Unknown";
+}
+
+std::chrono::nanoseconds backoff_delay(const TransportConfig& cfg,
+                                       std::uint32_t attempt,
+                                       std::uint64_t jitter_word) noexcept {
+  if (attempt == 0) {
+    return std::chrono::nanoseconds(0);
+  }
+  // Capped exponential growth; the shift is bounded so a large attempt
+  // count cannot overflow before the cap applies.
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt - 1, 32);
+  const double base = static_cast<double>(cfg.backoff_base.count());
+  const double cap = static_cast<double>(cfg.backoff_cap.count());
+  double delay = base * static_cast<double>(std::uint64_t{1} << shift);
+  delay = std::min(delay, cap);
+  // Deterministic jitter in [1 - j, 1 + j] from the caller's RNG word, so
+  // the schedule is reproducible under a seeded RNG.
+  const double jitter = std::clamp(cfg.backoff_jitter, 0.0, 1.0);
+  const double unit =
+      static_cast<double>(jitter_word >> 11) * 0x1.0p-53;  // [0, 1)
+  delay *= 1.0 - jitter + 2.0 * jitter * unit;
+  delay = std::clamp(delay, 0.0, cap);
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(delay));
+}
+
+Status TransportDevice::set_transport_config(const TransportConfig& config) {
+  if (transport_running()) {
+    return {Errc::FailedPrecondition,
+            "transport config is latched while the transport is up"};
+  }
+  transport_config_ = config;
+  return Status::ok();
+}
+
+Status TransportDevice::transport_up() {
+  if (transport_running_.exchange(true)) {
+    return Status::ok();
+  }
+  Status st = on_transport_start();
+  if (!st.is_ok()) {
+    transport_running_.store(false);
+  }
+  return st;
+}
+
+void TransportDevice::transport_down() {
+  if (!transport_running_.exchange(false)) {
+    return;
+  }
+  on_transport_stop();
+}
+
+void TransportDevice::set_peer_state_sink(PeerStateSink sink) {
+  const std::scoped_lock lock(sink_mutex_);
+  peer_state_sink_ = std::move(sink);
+}
+
+void TransportDevice::notify_peer_state(i2o::NodeId node, PeerState from,
+                                        PeerState to) {
+  PeerStateSink sink;
+  {
+    const std::scoped_lock lock(sink_mutex_);
+    sink = peer_state_sink_;  // copy: the sink may replace itself
+  }
+  if (sink) {
+    sink(node, from, to);
+  }
+}
+
+Status TransportDevice::parse_transport_params(const i2o::ParamList& params) {
+  TransportConfig cfg = transport_config_;
+  for (const auto& [key, value] : params) {
+    const long long n = std::strtoll(value.c_str(), nullptr, 10);
+    if (key == "heartbeat_ms") {
+      cfg.heartbeat_interval = std::chrono::milliseconds(n);
+    } else if (key == "missed_heartbeat_limit") {
+      if (n <= 0) {
+        return {Errc::InvalidArgument, "missed_heartbeat_limit must be >= 1"};
+      }
+      cfg.missed_heartbeat_limit = static_cast<std::uint32_t>(n);
+    } else if (key == "backoff_base_ms") {
+      cfg.backoff_base = std::chrono::milliseconds(n);
+    } else if (key == "backoff_cap_ms") {
+      cfg.backoff_cap = std::chrono::milliseconds(n);
+    } else if (key == "pending_depth") {
+      cfg.pending_depth = static_cast<std::size_t>(n);
+    } else if (key == "send_retry_spins") {
+      cfg.send_retry_spins = static_cast<std::size_t>(n);
+    }
+  }
+  return set_transport_config(cfg);
+}
+
+}  // namespace xdaq::core

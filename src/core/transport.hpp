@@ -4,19 +4,96 @@
 // actual communication are designed as Device Driver Modules themselves.
 // They are just granted a special name: the Peer Transports." A transport
 // is therefore a Device (it has a TiD, is configurable and controllable)
-// with two extra duties: pushing an encoded frame towards a remote node,
-// and - in polling mode - being scanned by the executive's loop of
-// control. Concrete transports (loopback, simulated Myrinet/GM, TCP) live
-// in src/pt.
+// with extra duties: pushing an encoded frame towards a remote node,
+// being scanned in polling mode, and - since the fault-tolerance layer -
+// tracking per-peer liveness.
+//
+// THE CONTRACT (one place, all of it):
+//
+//  * transport_send(dst, frame)  - push one encoded frame towards `dst`.
+//    Called on the sender's thread; must be thread-safe. Returns
+//    Errc::Unavailable when the peer's link is down and the frame was not
+//    (and will not be) transmitted, Ok when it was handed to the wire OR
+//    queued for retransmission after a reconnect (control frames only).
+//  * transport_up() / transport_down() - the single lifecycle entry
+//    point. Idempotent; up starts threads/binds ports via the
+//    on_transport_start() hook, down stops them via on_transport_stop().
+//    These replace the former ad-hoc start_transport / stop_transport /
+//    poll_transport trio.
+//  * transport_pump() - polling-mode scan, called from the executive's
+//    loop of control ("In polling mode, the executive periodically scans
+//    all registered PTs for pending data"). Forwards to the
+//    on_transport_poll() hook.
+//  * peer_state(node) - liveness as seen by this transport. Transports
+//    without liveness tracking report PeerState::Unknown.
+//  * set_peer_state_sink(sink) - the executive registers a sink at
+//    install time; the transport MUST report every state transition
+//    through notify_peer_state (never while holding locks the sink could
+//    re-enter).
+//  * disrupt_peer(node) - fault-injection/test hook: forcibly sever
+//    connectivity to `node` as if the wire was cut. Default no-op.
+//
+// All tunables that used to live as loose per-transport fields (GM's
+// send_retry_spins, ad-hoc timeouts) are collected in TransportConfig.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "core/device.hpp"
 #include "i2o/types.hpp"
 
 namespace xdaq::core {
+
+/// Per-peer connectivity as tracked by a transport's liveness layer.
+///
+/// Unknown -> Up          first contact (dial or inbound hello)
+/// Up      -> Suspect     one missed heartbeat, or the connection dropped
+/// Suspect -> Up          traffic resumed / reconnect succeeded
+/// Suspect -> Down        missed-heartbeat limit reached or a redial failed
+/// Down    -> Up          backoff reconnect succeeded
+enum class PeerState : std::uint8_t { Unknown, Up, Suspect, Down };
+
+std::string_view to_string(PeerState s) noexcept;
+
+/// Common transport tuning knobs. One struct for every transport, instead
+/// of per-transport loose fields.
+struct TransportConfig {
+  /// Idle-connection heartbeat period. A connection with no outbound
+  /// traffic for this long emits a heartbeat frame; one quiet interval on
+  /// the receive side marks the peer Suspect. 0 disables liveness
+  /// tracking entirely (seed behaviour).
+  std::chrono::nanoseconds heartbeat_interval = std::chrono::milliseconds(250);
+  /// Quiet intervals (multiples of heartbeat_interval) after which a peer
+  /// is declared Down and its connection dropped.
+  std::uint32_t missed_heartbeat_limit = 3;
+  /// Reconnect backoff: delay before redial attempt N is
+  /// min(backoff_base * 2^(N-1), backoff_cap), jittered by
+  /// +-backoff_jitter (fraction).
+  std::chrono::nanoseconds backoff_base = std::chrono::milliseconds(10);
+  std::chrono::nanoseconds backoff_cap = std::chrono::seconds(2);
+  double backoff_jitter = 0.25;
+  /// Per-peer bounded queue of control frames accepted while the link is
+  /// being re-established; retransmitted in order after reconnect. Data
+  /// frames are never queued - they fail with Errc::Unavailable.
+  std::size_t pending_depth = 64;
+  /// Bounded retry budget when send tokens are exhausted (GM semantics;
+  /// formerly GmTransportConfig::send_retry_spins).
+  std::size_t send_retry_spins = 1 << 20;
+};
+
+/// The redial delay before attempt `attempt` (1-based): capped exponential
+/// backoff with deterministic jitter derived from `jitter_word` (pass an
+/// RNG draw). Pure - unit tests assert the schedule directly.
+[[nodiscard]] std::chrono::nanoseconds backoff_delay(
+    const TransportConfig& cfg, std::uint32_t attempt,
+    std::uint64_t jitter_word) noexcept;
 
 class TransportDevice : public Device {
  public:
@@ -25,7 +102,20 @@ class TransportDevice : public Device {
   /// thread of control."
   enum class Mode { Polling, Task };
 
+  /// Peer liveness transition callback: (node, from, to). Invoked on
+  /// transport-internal threads; implementations must be thread-safe and
+  /// must not call back into the transport under their own locks.
+  using PeerStateSink =
+      std::function<void(i2o::NodeId, PeerState, PeerState)>;
+
   [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  [[nodiscard]] const TransportConfig& transport_config() const noexcept {
+    return transport_config_;
+  }
+  /// Replaces the tuning knobs. Rejected once the transport is up (the
+  /// liveness threads latch intervals at start).
+  Status set_transport_config(const TransportConfig& config);
 
   /// Pushes one fully encoded frame (target already rewritten to the
   /// remote TiD) towards `dst`. Called on the sender's thread; must be
@@ -33,20 +123,66 @@ class TransportDevice : public Device {
   virtual Status transport_send(i2o::NodeId dst,
                                 std::span<const std::byte> frame) = 0;
 
-  /// Polling mode: drain pending wire traffic, delivering through
-  /// Executive::deliver_from_wire. Called from the executive loop.
-  virtual void poll_transport() {}
+  /// Starts the transport (threads, listeners). Idempotent.
+  Status transport_up();
+  /// Stops the transport and joins its threads. Idempotent.
+  void transport_down();
+  /// Polling-mode scan; called from the executive loop. No-op unless the
+  /// transport implements on_transport_poll().
+  void transport_pump() { on_transport_poll(); }
 
-  /// Task mode: start/stop the transport's own thread of control.
-  virtual Status start_transport() { return Status::ok(); }
-  virtual void stop_transport() {}
+  [[nodiscard]] bool transport_running() const noexcept {
+    return transport_running_.load(std::memory_order_relaxed);
+  }
+
+  /// Liveness of `node` as seen by this transport. Transports without
+  /// liveness tracking report Unknown for everything.
+  [[nodiscard]] virtual PeerState peer_state(i2o::NodeId node) const {
+    (void)node;
+    return PeerState::Unknown;
+  }
+
+  /// Registers the (single) liveness observer. The executive installs its
+  /// own sink when the transport is installed; replacing it is allowed.
+  void set_peer_state_sink(PeerStateSink sink);
+
+  /// Fault-injection hook: forcibly sever connectivity to `node`, as if
+  /// the cable was pulled. The transport reacts exactly as it would to a
+  /// real failure (detection, reconnect). Default: no-op.
+  virtual void disrupt_peer(i2o::NodeId node) { (void)node; }
 
  protected:
-  TransportDevice(std::string class_name, Mode mode)
-      : Device(std::move(class_name)), mode_(mode) {}
+  TransportDevice(std::string class_name, Mode mode,
+                  TransportConfig config = {})
+      : Device(std::move(class_name)),
+        mode_(mode),
+        transport_config_(config) {}
+
+  ~TransportDevice() override = default;
+
+  // -- lifecycle hooks (the old virtual trio, now protected) --------------
+  virtual Status on_transport_start() { return Status::ok(); }
+  virtual void on_transport_stop() {}
+  virtual void on_transport_poll() {}
+
+  /// Reports a liveness transition through the registered sink. Call with
+  /// no transport locks held: the sink (the executive) may synthesize and
+  /// post failure frames from it.
+  void notify_peer_state(i2o::NodeId node, PeerState from, PeerState to);
+
+  /// Applies the common TransportConfig parameter names from a device
+  /// parameter list (heartbeat_ms, missed_heartbeat_limit, backoff_base_ms,
+  /// backoff_cap_ms, pending_depth, send_retry_spins); unknown keys are
+  /// ignored so subclasses can layer their own.
+  Status parse_transport_params(const i2o::ParamList& params);
 
  private:
   Mode mode_;
+  TransportConfig transport_config_;
+  std::atomic<bool> transport_running_{false};
+
+  mutable std::mutex sink_mutex_;
+  PeerStateSink peer_state_sink_;
 };
 
 }  // namespace xdaq::core

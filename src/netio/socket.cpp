@@ -147,6 +147,12 @@ Result<std::size_t> TcpStream::read_available(std::span<std::byte> data) {
   }
 }
 
+void TcpStream::shutdown() noexcept {
+  if (sock_.valid()) {
+    ::shutdown(sock_.fd(), SHUT_RDWR);
+  }
+}
+
 Status TcpStream::write_all2(std::span<const std::byte> a,
                              std::span<const std::byte> b) {
   std::size_t off = 0;

@@ -91,6 +91,11 @@ class TcpStream {
   Status write_all2(std::span<const std::byte> a,
                     std::span<const std::byte> b);
 
+  /// Severs the connection (SHUT_RDWR) without closing the fd, so threads
+  /// polling or writing on it see EOF/EPIPE instead of a dangling number.
+  /// Fault-injection and dead-peer teardown use this to "cut the cable".
+  void shutdown() noexcept;
+
   void close() noexcept { sock_.close(); }
 
  private:

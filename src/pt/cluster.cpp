@@ -14,7 +14,8 @@ Cluster::Cluster(ClusterConfig config)
     ec.name = "node" + std::to_string(ec.node_id);
     execs_.push_back(std::make_unique<core::Executive>(ec));
 
-    auto pt = std::make_unique<GmPeerTransport>(*fabric_, config.transport);
+    auto pt = std::make_unique<GmPeerTransport>(*fabric_, config.transport,
+                                                config.tuning);
     GmPeerTransport* raw = pt.get();
     auto tid = execs_[i]->install(std::move(pt), "pt_gm");
     if (!tid.is_ok()) {

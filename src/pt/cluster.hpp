@@ -20,6 +20,9 @@ struct ClusterConfig {
   std::size_t nodes = 2;
   gmsim::FabricConfig fabric;
   GmTransportConfig transport;
+  /// Common transport tuning (retry spins, liveness knobs) applied to
+  /// every node's PT.
+  core::TransportConfig tuning;
   /// Template for each node's executive (node_id and name are overwritten).
   core::ExecutiveConfig exec;
 };

@@ -1,0 +1,119 @@
+#include "pt/fault_pt.hpp"
+
+namespace xdaq::pt {
+
+FaultInjectingTransport::FaultInjectingTransport(core::TransportDevice& inner,
+                                                FaultPlan plan)
+    : TransportDevice("FaultInjectingTransport", Mode::Task),
+      inner_(&inner),
+      plan_(plan),
+      rng_(plan.seed) {}
+
+FaultInjectingTransport::~FaultInjectingTransport() { transport_down(); }
+
+std::int64_t FaultInjectingTransport::steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status FaultInjectingTransport::on_transport_start() {
+  delay_thread_ = std::thread([this] { delay_loop(); });
+  return Status::ok();
+}
+
+void FaultInjectingTransport::on_transport_stop() {
+  delay_cv_.notify_all();
+  if (delay_thread_.joinable()) {
+    delay_thread_.join();
+  }
+  const std::scoped_lock lock(mutex_);
+  delayed_.clear();
+}
+
+i2o::ParamList FaultInjectingTransport::on_params_get() {
+  auto params = Device::on_params_get();
+  const InjectStats s = inject_stats();
+  params.emplace_back("sends", std::to_string(s.sends));
+  params.emplace_back("dropped", std::to_string(s.dropped));
+  params.emplace_back("delayed", std::to_string(s.delayed));
+  params.emplace_back("duplicated", std::to_string(s.duplicated));
+  params.emplace_back("disconnects", std::to_string(s.disconnects));
+  return params;
+}
+
+FaultInjectingTransport::InjectStats FaultInjectingTransport::inject_stats()
+    const {
+  InjectStats s;
+  s.sends = sends_.load();
+  s.dropped = dropped_.load();
+  s.delayed = delayed_count_.load();
+  s.duplicated = duplicated_.load();
+  s.disconnects = disconnects_.load();
+  return s;
+}
+
+Status FaultInjectingTransport::transport_send(
+    i2o::NodeId dst, std::span<const std::byte> frame) {
+  sends_.fetch_add(1);
+  bool drop = false;
+  bool delay = false;
+  bool duplicate = false;
+  bool disconnect = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    drop = rng_.chance(plan_.drop_rate);
+    delay = rng_.chance(plan_.delay_rate);
+    duplicate = rng_.chance(plan_.duplicate_rate);
+    disconnect = rng_.chance(plan_.disconnect_rate);
+  }
+  if (disconnect) {
+    disconnects_.fetch_add(1);
+    inner_->disrupt_peer(dst);
+  }
+  if (drop) {
+    // Report success: a lost frame looks exactly like wire loss to the
+    // sender, which is the point.
+    dropped_.fetch_add(1);
+    return Status::ok();
+  }
+  if (delay && transport_running()) {
+    delayed_count_.fetch_add(1);
+    const std::scoped_lock lock(mutex_);
+    delayed_.push_back(Delayed{dst,
+                               std::vector<std::byte>(frame.begin(),
+                                                      frame.end()),
+                               steady_ns() + plan_.delay.count()});
+    delay_cv_.notify_all();
+    return Status::ok();
+  }
+  Status st = inner_->transport_send(dst, frame);
+  if (st.is_ok() && duplicate) {
+    duplicated_.fetch_add(1);
+    (void)inner_->transport_send(dst, frame);
+  }
+  return st;
+}
+
+void FaultInjectingTransport::delay_loop() {
+  std::unique_lock lock(mutex_);
+  while (transport_running()) {
+    if (delayed_.empty()) {
+      delay_cv_.wait_for(lock, std::chrono::milliseconds(5));
+      continue;
+    }
+    const std::int64_t now = steady_ns();
+    if (delayed_.front().due_ns > now) {
+      delay_cv_.wait_for(
+          lock, std::chrono::nanoseconds(delayed_.front().due_ns - now));
+      continue;
+    }
+    Delayed d = std::move(delayed_.front());
+    delayed_.pop_front();
+    lock.unlock();
+    (void)inner_->transport_send(d.dst, d.frame);
+    lock.lock();
+  }
+}
+
+}  // namespace xdaq::pt

@@ -1,0 +1,107 @@
+// fault_pt.hpp - fault-injecting decorator over another peer transport.
+//
+// The fault-tolerance layer needs an adversary: a transport that loses,
+// delays, duplicates and severs on purpose, reproducibly. This decorator
+// wraps an already-installed inner transport *by reference* and perturbs
+// its send path from a seeded RNG:
+//
+//   * drop:       the frame silently never reaches the wire
+//   * delay:      the frame is handed to a worker thread and sent late
+//   * duplicate:  the frame is sent twice (receivers must tolerate it)
+//   * disconnect: disrupt_peer() is invoked on the inner transport first,
+//                 as if the cable was pulled mid-send
+//
+// Injection is send-side only: inbound frames and replies arrive through
+// the inner transport's own reader machinery and bypass the decorator.
+// That asymmetry is deliberate - it keeps the decorator stateless about
+// connections while still exercising every recovery path (a dropped
+// request and a dropped reply look identical to the requester).
+//
+// Install the decorator as its own device and route traffic at it; the
+// inner transport stays installed (its threads and liveness tracking keep
+// running) but no longer needs a route.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/transport.hpp"
+#include "util/random.hpp"
+
+namespace xdaq::pt {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double drop_rate = 0.0;        ///< P(frame silently lost)
+  double delay_rate = 0.0;       ///< P(frame deferred by delay_ns)
+  double duplicate_rate = 0.0;   ///< P(frame sent twice)
+  double disconnect_rate = 0.0;  ///< P(disrupt_peer before the send)
+  std::chrono::nanoseconds delay = std::chrono::milliseconds(5);
+};
+
+class FaultInjectingTransport final : public core::TransportDevice {
+ public:
+  /// `inner` must outlive the decorator and should already be installed
+  /// (its lifecycle is not managed here).
+  FaultInjectingTransport(core::TransportDevice& inner, FaultPlan plan = {});
+  ~FaultInjectingTransport() override;
+
+  Status transport_send(i2o::NodeId dst,
+                        std::span<const std::byte> frame) override;
+  [[nodiscard]] core::PeerState peer_state(i2o::NodeId node) const override {
+    return inner_->peer_state(node);
+  }
+  void disrupt_peer(i2o::NodeId node) override { inner_->disrupt_peer(node); }
+
+  struct InjectStats {
+    std::uint64_t sends = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t disconnects = 0;
+  };
+  [[nodiscard]] InjectStats inject_stats() const;
+
+ protected:
+  Status on_enable() override { return transport_up(); }
+  Status on_halt() override {
+    transport_down();
+    return Status::ok();
+  }
+  i2o::ParamList on_params_get() override;
+
+  Status on_transport_start() override;
+  void on_transport_stop() override;
+
+ private:
+  struct Delayed {
+    i2o::NodeId dst;
+    std::vector<std::byte> frame;
+    std::int64_t due_ns;
+  };
+
+  void delay_loop();
+  [[nodiscard]] static std::int64_t steady_ns() noexcept;
+
+  core::TransportDevice* inner_;
+  FaultPlan plan_;
+
+  mutable std::mutex mutex_;  ///< guards rng_ and delayed_
+  Rng rng_;
+  std::deque<Delayed> delayed_;
+  std::condition_variable delay_cv_;
+  std::thread delay_thread_;
+
+  std::atomic<std::uint64_t> sends_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> delayed_count_{0};
+  std::atomic<std::uint64_t> duplicated_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+};
+
+}  // namespace xdaq::pt

@@ -47,7 +47,7 @@ Status FifoTransport::transport_send(i2o::NodeId dst,
   return Status::ok();
 }
 
-void FifoTransport::poll_transport() {
+void FifoTransport::on_transport_poll() {
   auto& fifo = link_->fifo_towards(endpoint_);
   while (auto slot = fifo.try_pop()) {
     (void)executive().deliver_from_wire(slot->src, tid(), slot->frame,

@@ -72,7 +72,6 @@ class FifoTransport final : public core::TransportDevice {
 
   Status transport_send(i2o::NodeId dst,
                         std::span<const std::byte> frame) override;
-  void poll_transport() override;
 
   /// Frames rejected because the FIFO was full.
   [[nodiscard]] std::uint64_t fifo_full_rejects() const noexcept {
@@ -82,6 +81,7 @@ class FifoTransport final : public core::TransportDevice {
  protected:
   void plugin() override;
   i2o::ParamList on_params_get() override;
+  void on_transport_poll() override;
 
  private:
   FifoLink* link_;

@@ -5,12 +5,13 @@
 namespace xdaq::pt {
 
 GmPeerTransport::GmPeerTransport(gmsim::Fabric& fabric,
-                                 GmTransportConfig config)
-    : TransportDevice("GmPeerTransport", config.mode),
+                                 GmTransportConfig config,
+                                 core::TransportConfig transport_config)
+    : TransportDevice("GmPeerTransport", config.mode, transport_config),
       fabric_(&fabric),
       config_(config) {}
 
-GmPeerTransport::~GmPeerTransport() { stop_transport(); }
+GmPeerTransport::~GmPeerTransport() { transport_down(); }
 
 void GmPeerTransport::plugin() {
   auto port = fabric_->open_port(executive().node_id());
@@ -28,6 +29,9 @@ void GmPeerTransport::plugin() {
 }
 
 Status GmPeerTransport::on_configure(const i2o::ParamList& params) {
+  if (Status st = parse_transport_params(params); !st.is_ok()) {
+    return st;
+  }
   if (const std::string mode = i2o::param_value(params, "mode");
       !mode.empty()) {
     // Mode is fixed at construction (it decides how the executive treats
@@ -45,14 +49,11 @@ Status GmPeerTransport::on_enable() {
   if (port_ == nullptr) {
     return {Errc::FailedPrecondition, "GM port not open"};
   }
-  if (mode() == Mode::Task) {
-    return start_transport();
-  }
-  return Status::ok();
+  return transport_up();
 }
 
 Status GmPeerTransport::on_halt() {
-  stop_transport();
+  transport_down();
   return Status::ok();
 }
 
@@ -77,7 +78,8 @@ Status GmPeerTransport::transport_send(i2o::NodeId dst,
   // pumping completions. Yield periodically while starved - the consumer
   // returning our tokens may need this core (machines with fewer cores
   // than executives would otherwise livelock).
-  for (std::size_t spin = 0; spin < config_.send_retry_spins; ++spin) {
+  const std::size_t retry_spins = transport_config().send_retry_spins;
+  for (std::size_t spin = 0; spin < retry_spins; ++spin) {
     const Status st = port_->send(dst, frame);
     if (st.code() != Errc::ResourceExhausted) {
       return st;
@@ -89,7 +91,7 @@ Status GmPeerTransport::transport_send(i2o::NodeId dst,
   return {Errc::ResourceExhausted, "send tokens exhausted (peer stalled?)"};
 }
 
-void GmPeerTransport::poll_transport() {
+void GmPeerTransport::on_transport_poll() {
   if (port_ == nullptr) {
     return;
   }
@@ -109,24 +111,22 @@ void GmPeerTransport::deliver(const gmsim::RecvEvent& ev,
   port_->provide_receive_buffer(ev.buffer);
 }
 
-Status GmPeerTransport::start_transport() {
-  if (mode() != Mode::Task || task_running_.load()) {
-    return Status::ok();
+Status GmPeerTransport::on_transport_start() {
+  if (mode() != Mode::Task) {
+    return Status::ok();  // polling mode: the executive pumps us
   }
-  task_running_.store(true);
   task_thread_ = std::thread([this] { receive_loop(); });
   return Status::ok();
 }
 
-void GmPeerTransport::stop_transport() {
-  task_running_.store(false);
+void GmPeerTransport::on_transport_stop() {
   if (task_thread_.joinable()) {
     task_thread_.join();
   }
 }
 
 void GmPeerTransport::receive_loop() {
-  while (task_running_.load(std::memory_order_relaxed)) {
+  while (transport_running()) {
     auto ev = port_->receive(std::chrono::milliseconds(1));
     if (ev.has_value()) {
       deliver(*ev, rdtsc());

@@ -28,21 +28,19 @@ struct GmTransportConfig {
   core::TransportDevice::Mode mode = core::TransportDevice::Mode::Polling;
   std::size_t receive_buffers = 32;
   std::size_t buffer_bytes = 300 * 1024;  ///< >= one max frame
-  /// Bounded retry budget when send tokens are exhausted (spins).
-  std::size_t send_retry_spins = 1 << 20;
+  // The send-retry budget moved to core::TransportConfig::send_retry_spins
+  // (one tunables struct for every transport).
 };
 
 class GmPeerTransport final : public core::TransportDevice {
  public:
   /// The port is opened at plugin() time under the executive's node id.
-  GmPeerTransport(gmsim::Fabric& fabric, GmTransportConfig config = {});
+  GmPeerTransport(gmsim::Fabric& fabric, GmTransportConfig config = {},
+                  core::TransportConfig transport_config = {});
   ~GmPeerTransport() override;
 
   Status transport_send(i2o::NodeId dst,
                         std::span<const std::byte> frame) override;
-  void poll_transport() override;
-  Status start_transport() override;
-  void stop_transport() override;
 
   [[nodiscard]] gmsim::PortStats port_stats() const;
 
@@ -53,6 +51,10 @@ class GmPeerTransport final : public core::TransportDevice {
   Status on_halt() override;
   i2o::ParamList on_params_get() override;
 
+  Status on_transport_start() override;
+  void on_transport_stop() override;
+  void on_transport_poll() override;
+
  private:
   void receive_loop();
   void deliver(const gmsim::RecvEvent& ev, std::uint64_t t_wire);
@@ -62,7 +64,6 @@ class GmPeerTransport final : public core::TransportDevice {
   std::unique_ptr<gmsim::Port> port_;
   std::vector<std::vector<std::byte>> rx_storage_;
 
-  std::atomic<bool> task_running_{false};
   std::thread task_thread_;
 };
 

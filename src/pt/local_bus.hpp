@@ -48,6 +48,13 @@ class LocalBusTransport final : public core::TransportDevice {
   Status transport_send(i2o::NodeId dst,
                         std::span<const std::byte> frame) override;
 
+  /// Bus attachment is the liveness signal here: an attached peer is Up,
+  /// a detached one Unknown (in-process, there is no Suspect window).
+  [[nodiscard]] core::PeerState peer_state(i2o::NodeId node) const override {
+    return bus_->find(node) != nullptr ? core::PeerState::Up
+                                       : core::PeerState::Unknown;
+  }
+
  protected:
   /// Joins the bus under the executive's node id when installed.
   void plugin() override;

@@ -14,20 +14,44 @@ namespace {
 constexpr std::uint32_t kHelloMagic = 0x58444151;  // "XDAQ"
 constexpr std::size_t kHelloBytes = 6;             // magic + node id
 constexpr std::size_t kReadChunk = 64 * 1024;      // per-recv scratch size
+/// Length-prefix sentinel for a heartbeat (no body). Cannot collide with a
+/// real frame: lengths are bounded by max_frame_bytes.
+constexpr std::uint32_t kHeartbeatLen = 0xFFFFFFFF;
 /// When the combiner's pending buffer backs up past this, senders stop
 /// piggybacking and wait for the writer slot, so TCP backpressure reaches
 /// producers instead of growing the buffer without bound.
 constexpr std::size_t kPendingHighWater = 256 * 1024;
 }  // namespace
 
-TcpPeerTransport::TcpPeerTransport(TcpTransportConfig config)
-    : TransportDevice("TcpPeerTransport", Mode::Task),
+TcpPeerTransport::TcpPeerTransport(TcpTransportConfig config,
+                                   core::TransportConfig transport_config)
+    : TransportDevice("TcpPeerTransport", Mode::Task, transport_config),
       config_(std::move(config)),
       log_("pt/tcp") {}
 
-TcpPeerTransport::~TcpPeerTransport() { stop_transport(); }
+TcpPeerTransport::~TcpPeerTransport() { transport_down(); }
+
+std::int64_t TcpPeerTransport::steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool TcpPeerTransport::is_control_frame(
+    std::span<const std::byte> frame) noexcept {
+  if (frame.size() < 8) {
+    return true;  // malformed; treat conservatively as control
+  }
+  const auto flags = static_cast<std::uint8_t>(frame[1]);
+  const auto function = static_cast<std::uint8_t>(frame[7]);
+  return function != static_cast<std::uint8_t>(i2o::Function::Private) ||
+         (flags & i2o::kFlagControl) != 0;
+}
 
 Status TcpPeerTransport::on_configure(const i2o::ParamList& params) {
+  if (Status st = parse_transport_params(params); !st.is_ok()) {
+    return st;
+  }
   for (const auto& [key, value] : params) {
     if (key == "listen_port") {
       config_.listen_port =
@@ -54,10 +78,10 @@ void TcpPeerTransport::add_peer(i2o::NodeId node, const std::string& host,
   config_.peers[node] = TcpPeer{host, port};
 }
 
-Status TcpPeerTransport::on_enable() { return start_transport(); }
+Status TcpPeerTransport::on_enable() { return transport_up(); }
 
 Status TcpPeerTransport::on_halt() {
-  stop_transport();
+  transport_down();
   return Status::ok();
 }
 
@@ -65,13 +89,23 @@ i2o::ParamList TcpPeerTransport::on_params_get() {
   auto params = Device::on_params_get();
   params.emplace_back("listen_port", std::to_string(listen_port()));
   params.emplace_back("connections", std::to_string(connection_count()));
+  const FaultStats fs = fault_stats();
+  params.emplace_back("heartbeats_sent", std::to_string(fs.heartbeats_sent));
+  params.emplace_back("reconnects", std::to_string(fs.reconnects));
+  params.emplace_back("failed_dials", std::to_string(fs.failed_dials));
+  params.emplace_back("retransmitted", std::to_string(fs.retransmitted));
+  params.emplace_back("dropped_pending", std::to_string(fs.dropped_pending));
+  {
+    const std::scoped_lock lock(conns_mutex_);
+    for (const auto& [node, info] : peers_) {
+      params.emplace_back("peer_state." + std::to_string(node),
+                          std::string(core::to_string(info.state)));
+    }
+  }
   return params;
 }
 
-Status TcpPeerTransport::start_transport() {
-  if (running_.load()) {
-    return Status::ok();
-  }
+Status TcpPeerTransport::on_transport_start() {
   auto listener = netio::TcpListener::bind(config_.listen_port);
   if (!listener.is_ok()) {
     return listener.status();
@@ -79,23 +113,34 @@ Status TcpPeerTransport::start_transport() {
   {
     const std::scoped_lock lock(conns_mutex_);
     listener_ = std::move(listener).value();
+    jitter_rng_ = Rng(config_.jitter_seed);
+    peers_.clear();
   }
   if (Status st = listener_.set_nonblocking(true); !st.is_ok()) {
     return st;
   }
-  running_.store(true);
+  heartbeats_sent_.store(0);
+  reconnects_.store(0);
+  failed_dials_.store(0);
+  retransmitted_.store(0);
+  dropped_pending_.store(0);
   reader_thread_ = std::thread([this] { reader_loop(); });
+  maintenance_thread_ = std::thread([this] { maintenance_loop(); });
   return Status::ok();
 }
 
-void TcpPeerTransport::stop_transport() {
-  running_.store(false);
+void TcpPeerTransport::on_transport_stop() {
+  maintenance_cv_.notify_all();
   if (reader_thread_.joinable()) {
     reader_thread_.join();
+  }
+  if (maintenance_thread_.joinable()) {
+    maintenance_thread_.join();
   }
   const std::scoped_lock lock(conns_mutex_);
   listener_.close();
   conns_.clear();
+  peers_.clear();
 }
 
 std::uint16_t TcpPeerTransport::listen_port() const {
@@ -108,11 +153,88 @@ std::size_t TcpPeerTransport::connection_count() const {
   return conns_.size();
 }
 
+TcpPeerTransport::FaultStats TcpPeerTransport::fault_stats() const {
+  FaultStats fs;
+  fs.heartbeats_sent = heartbeats_sent_.load();
+  fs.reconnects = reconnects_.load();
+  fs.failed_dials = failed_dials_.load();
+  fs.retransmitted = retransmitted_.load();
+  fs.dropped_pending = dropped_pending_.load();
+  return fs;
+}
+
+core::PeerState TcpPeerTransport::peer_state(i2o::NodeId node) const {
+  const std::scoped_lock lock(conns_mutex_);
+  const auto it = peers_.find(node);
+  return it == peers_.end() ? core::PeerState::Unknown : it->second.state;
+}
+
+void TcpPeerTransport::disrupt_peer(i2o::NodeId node) {
+  // Sever (not close) every connection to the node: the fd stays valid so
+  // the reader/writer threads observe EOF/EPIPE instead of racing a reused
+  // descriptor, and the normal failure path (Suspect, redial) takes over.
+  const std::scoped_lock lock(conns_mutex_);
+  for (const auto& conn : conns_) {
+    if (conn->node == node) {
+      conn->stream.shutdown();
+    }
+  }
+}
+
+TcpPeerTransport::Transition TcpPeerTransport::set_state_locked(
+    i2o::NodeId node, core::PeerState to) {
+  Transition t;
+  auto& info = peers_[node];
+  t.node = node;
+  t.from = info.state;
+  t.to = to;
+  info.state = to;
+  if (to == core::PeerState::Up) {
+    info.dial_attempts = 0;
+  }
+  if (to == core::PeerState::Down && !info.queued.empty()) {
+    // Down drops the retransmit queue: callers were promised delivery only
+    // across a successful reconnect, and the executive synthesizes FAIL
+    // replies for whatever was in flight.
+    dropped_pending_.fetch_add(info.queued.size());
+    info.queued.clear();
+  }
+  return t;
+}
+
+void TcpPeerTransport::fire(const Transition& t) {
+  if (!t.fired()) {
+    return;
+  }
+  log_.info("peer ", t.node, ": ", core::to_string(t.from), " -> ",
+            core::to_string(t.to));
+  notify_peer_state(t.node, t.from, t.to);
+}
+
 Status TcpPeerTransport::send_hello(Connection& conn) {
   std::array<std::byte, kHelloBytes> hello{};
   i2o::put_u32(hello, 0, kHelloMagic);
   i2o::put_u16(hello, 4, executive().node_id());
   return conn.stream.write_all(hello);
+}
+
+Result<std::shared_ptr<TcpPeerTransport::Connection>> TcpPeerTransport::dial(
+    i2o::NodeId node, const TcpPeer& peer) {
+  auto stream = netio::TcpStream::connect(peer.host, peer.port);
+  if (!stream.is_ok()) {
+    return stream.status();
+  }
+  (void)stream.value().set_nodelay(true);
+  auto conn = std::make_shared<Connection>();
+  conn->stream = std::move(stream).value();
+  conn->node = node;
+  const std::int64_t now = steady_ns();
+  conn->last_rx_ns.store(now, std::memory_order_relaxed);
+  conn->last_tx_ns.store(now, std::memory_order_relaxed);
+  if (Status st = send_hello(*conn); !st.is_ok()) {
+    return st;
+  }
+  return conn;
 }
 
 Result<std::shared_ptr<TcpPeerTransport::Connection>>
@@ -133,17 +255,12 @@ TcpPeerTransport::connection_to(i2o::NodeId node) {
   }
   // Dial and handshake unlocked: a slow or unreachable peer must not block
   // sends to other nodes behind the registry mutex.
-  auto stream = netio::TcpStream::connect(peer.host, peer.port);
-  if (!stream.is_ok()) {
-    return stream.status();
+  auto dialed = dial(node, peer);
+  if (!dialed.is_ok()) {
+    return dialed.status();
   }
-  (void)stream.value().set_nodelay(true);
-  auto conn = std::make_shared<Connection>();
-  conn->stream = std::move(stream).value();
-  conn->node = node;
-  if (Status st = send_hello(*conn); !st.is_ok()) {
-    return st;
-  }
+  auto conn = std::move(dialed).value();
+  Transition t;
   {
     const std::scoped_lock lock(conns_mutex_);
     // Another sender may have dialed the same node while we were
@@ -154,7 +271,9 @@ TcpPeerTransport::connection_to(i2o::NodeId node) {
       }
     }
     conns_.push_back(conn);
+    t = set_state_locked(node, core::PeerState::Up);
   }
+  fire(t);
   return conn;
 }
 
@@ -173,24 +292,31 @@ Status TcpPeerTransport::flush_pending(Connection& conn,
       return st;
     }
   }
+  conn.last_tx_ns.store(steady_ns(), std::memory_order_relaxed);
   return Status::ok();
 }
 
-Status TcpPeerTransport::transport_send(i2o::NodeId dst,
-                                        std::span<const std::byte> frame) {
-  if (!running_.load()) {
-    return {Errc::FailedPrecondition, "TCP transport not enabled"};
+Status TcpPeerTransport::send_heartbeat(Connection& conn) {
+  std::array<std::byte, 4> hb{};
+  i2o::put_u32(hb, 0, kHeartbeatLen);
+  std::unique_lock lk(conn.write_mutex);
+  conn.pending.insert(conn.pending.end(), hb.begin(), hb.end());
+  if (conn.writer_active) {
+    return Status::ok();  // the active writer flushes it for us
   }
-  if (frame.size() > config_.max_frame_bytes) {
-    return {Errc::InvalidArgument, "frame exceeds TCP transport maximum"};
+  conn.writer_active = true;
+  const Status st = flush_pending(conn, lk);
+  conn.writer_active = false;
+  lk.unlock();
+  conn.write_cv.notify_all();
+  if (st.is_ok()) {
+    heartbeats_sent_.fetch_add(1);
   }
-  // Hold a shared reference so a concurrent disconnect cannot free the
-  // connection under us.
-  auto found = connection_to(dst);
-  if (!found.is_ok()) {
-    return found.status();
-  }
-  Connection& conn = *found.value();
+  return st;
+}
+
+Status TcpPeerTransport::write_frame(Connection& conn,
+                                     std::span<const std::byte> frame) {
   std::array<std::byte, 4> len{};
   i2o::put_u32(len, 0, static_cast<std::uint32_t>(frame.size()));
 
@@ -225,6 +351,9 @@ Status TcpPeerTransport::transport_send(i2o::NodeId dst,
     lk.unlock();
     st = conn.stream.write_all2(len, frame);
     lk.lock();
+    if (st.is_ok()) {
+      conn.last_tx_ns.store(steady_ns(), std::memory_order_relaxed);
+    }
   }
   if (st.is_ok()) {
     // Flush anything that piggybacked while the gathered write ran.
@@ -236,12 +365,152 @@ Status TcpPeerTransport::transport_send(i2o::NodeId dst,
   return st;
 }
 
+void TcpPeerTransport::drop_connection(
+    const std::shared_ptr<Connection>& conn) {
+  conn->stream.shutdown();
+  Transition t;
+  {
+    const std::scoped_lock lock(conns_mutex_);
+    const auto it = std::find(conns_.begin(), conns_.end(), conn);
+    if (it == conns_.end()) {
+      return;  // another thread already dropped it
+    }
+    conns_.erase(it);
+    const i2o::NodeId node = conn->node;
+    if (node == i2o::kNullNode ||
+        transport_config().heartbeat_interval.count() <= 0) {
+      return;  // never identified, or liveness disabled (seed behaviour)
+    }
+    if (config_.peers.find(node) == config_.peers.end()) {
+      // No endpoint to redial (e.g. we are the accepting side): the peer
+      // is gone until it dials back in. Declare it Down right away.
+      t = set_state_locked(node, core::PeerState::Down);
+    } else {
+      auto& info = peers_[node];
+      if (info.state != core::PeerState::Down) {
+        t = set_state_locked(node, core::PeerState::Suspect);
+      }
+      info.dial_attempts = 0;
+      info.next_dial_ns =
+          steady_ns() +
+          core::backoff_delay(transport_config(), 1, jitter_rng_.next())
+              .count();
+    }
+  }
+  fire(t);
+}
+
+void TcpPeerTransport::retransmit_queued(
+    i2o::NodeId node, const std::shared_ptr<Connection>& conn) {
+  std::deque<std::vector<std::byte>> queued;
+  {
+    const std::scoped_lock lock(conns_mutex_);
+    const auto it = peers_.find(node);
+    if (it == peers_.end() || it->second.queued.empty()) {
+      return;
+    }
+    queued.swap(it->second.queued);
+  }
+  for (const auto& frame : queued) {
+    if (Status st = write_frame(*conn, frame); !st.is_ok()) {
+      log_.warn("retransmit to peer ", node, " failed: ", st.message());
+      drop_connection(conn);
+      return;
+    }
+    retransmitted_.fetch_add(1);
+  }
+  log_.info("retransmitted ", queued.size(), " queued frame(s) to peer ",
+            node);
+}
+
+Status TcpPeerTransport::transport_send(i2o::NodeId dst,
+                                        std::span<const std::byte> frame) {
+  if (!transport_running()) {
+    return {Errc::FailedPrecondition, "TCP transport not enabled"};
+  }
+  if (frame.size() > config_.max_frame_bytes) {
+    return {Errc::InvalidArgument, "frame exceeds TCP transport maximum"};
+  }
+  // Liveness gate: Down fails fast; Suspect queues control-plane frames
+  // for retransmission after the reconnect and refuses data frames.
+  {
+    const std::scoped_lock lock(conns_mutex_);
+    const auto it = peers_.find(dst);
+    if (it != peers_.end()) {
+      if (it->second.state == core::PeerState::Down) {
+        return {Errc::Unavailable,
+                "peer " + std::to_string(dst) + " is down"};
+      }
+      if (it->second.state == core::PeerState::Suspect) {
+        if (!is_control_frame(frame)) {
+          return {Errc::Unavailable,
+                  "peer " + std::to_string(dst) +
+                      " is suspect; data frame not queued"};
+        }
+        if (it->second.queued.size() >= transport_config().pending_depth) {
+          return {Errc::Unavailable,
+                  "pending queue full for peer " + std::to_string(dst)};
+        }
+        it->second.queued.emplace_back(frame.begin(), frame.end());
+        return Status::ok();
+      }
+    }
+  }
+  // Hold a shared reference so a concurrent disconnect cannot free the
+  // connection under us.
+  auto found = connection_to(dst);
+  if (!found.is_ok()) {
+    if (found.status().code() == Errc::Unroutable) {
+      return found.status();
+    }
+    // First dial failed: mark the peer Suspect (the maintenance thread
+    // takes over redialing) and queue control frames like any other
+    // Suspect-window send.
+    Transition t;
+    bool queued = false;
+    const bool liveness = transport_config().heartbeat_interval.count() > 0;
+    if (liveness) {
+      const std::scoped_lock lock(conns_mutex_);
+      auto& info = peers_[dst];
+      if (info.state != core::PeerState::Suspect &&
+          info.state != core::PeerState::Down) {
+        t = set_state_locked(dst, core::PeerState::Suspect);
+        info.dial_attempts = 1;
+        failed_dials_.fetch_add(1);
+        info.next_dial_ns =
+            steady_ns() +
+            core::backoff_delay(transport_config(), 1, jitter_rng_.next())
+                .count();
+      }
+      if (info.state == core::PeerState::Suspect && is_control_frame(frame) &&
+          info.queued.size() < transport_config().pending_depth) {
+        info.queued.emplace_back(frame.begin(), frame.end());
+        queued = true;
+      }
+    }
+    fire(t);
+    if (queued) {
+      return Status::ok();
+    }
+    return {Errc::Unavailable, std::string(found.status().message())};
+  }
+  auto conn = std::move(found).value();
+  if (Status st = write_frame(*conn, frame); !st.is_ok()) {
+    drop_connection(conn);
+    return {Errc::Unavailable,
+            "send to peer " + std::to_string(dst) + " failed: " +
+                std::string(st.message())};
+  }
+  return Status::ok();
+}
+
 bool TcpPeerTransport::service_connection(Connection& conn) {
   // Pull everything the kernel has buffered (the socket stays blocking for
   // writes; MSG_DONTWAIT bounds the reads), then parse every complete
   // message. One poll wakeup therefore delivers a whole burst instead of
   // one frame.
   std::array<std::byte, kReadChunk> chunk;
+  bool got_bytes = false;
   for (;;) {
     auto n = conn.stream.read_available(chunk);
     if (!n.is_ok()) {
@@ -250,10 +519,14 @@ bool TcpPeerTransport::service_connection(Connection& conn) {
       }
       return false;  // EOF or error
     }
+    got_bytes = true;
     conn.rx.insert(conn.rx.end(), chunk.begin(), chunk.begin() + n.value());
     if (n.value() < chunk.size()) {
       break;  // short read; poll() is level-triggered, any rest re-wakes us
     }
+  }
+  if (got_bytes) {
+    conn.last_rx_ns.store(steady_ns(), std::memory_order_relaxed);
   }
 
   std::size_t off = 0;
@@ -279,6 +552,10 @@ bool TcpPeerTransport::service_connection(Connection& conn) {
     }
     const std::uint32_t len =
         i2o::get_u32(std::span<const std::byte>(conn.rx.data() + off, 4), 0);
+    if (len == kHeartbeatLen) {
+      off += 4;  // liveness ping; last_rx_ns already stamped
+      continue;
+    }
     if (len == 0 || len > config_.max_frame_bytes) {
       log_.warn("dropping connection announcing bad frame length ", len);
       return false;
@@ -297,7 +574,7 @@ bool TcpPeerTransport::service_connection(Connection& conn) {
 }
 
 void TcpPeerTransport::reader_loop() {
-  while (running_.load(std::memory_order_relaxed)) {
+  while (transport_running()) {
     // Snapshot the fd set, keyed by fd for O(1) routing of ready events;
     // shared_ptrs keep connections alive through the unlocked service
     // phase.
@@ -325,17 +602,191 @@ void TcpPeerTransport::reader_loop() {
           auto conn = std::make_shared<Connection>();
           conn->stream = std::move(*accepted.value());
           (void)conn->stream.set_nodelay(true);
+          const std::int64_t now = steady_ns();
+          conn->last_rx_ns.store(now, std::memory_order_relaxed);
+          conn->last_tx_ns.store(now, std::memory_order_relaxed);
           const std::scoped_lock lock(conns_mutex_);
           conns_.push_back(std::move(conn));
         }
         continue;
       }
       const auto it = by_fd.find(fd);
-      if (it != by_fd.end() && !service_connection(*it->second)) {
-        const std::scoped_lock lock(conns_mutex_);
-        conns_.erase(std::remove(conns_.begin(), conns_.end(), it->second),
-                     conns_.end());
+      if (it == by_fd.end()) {
+        continue;
       }
+      const bool had_node = it->second->node != i2o::kNullNode;
+      if (!service_connection(*it->second)) {
+        drop_connection(it->second);
+        continue;
+      }
+      if (!had_node && it->second->node != i2o::kNullNode) {
+        // Hello just completed on an accepted connection: the peer is
+        // alive (again). Mark it Up and replay anything queued for it.
+        const i2o::NodeId node = it->second->node;
+        Transition t;
+        {
+          const std::scoped_lock lock(conns_mutex_);
+          t = set_state_locked(node, core::PeerState::Up);
+        }
+        fire(t);
+        if (t.from == core::PeerState::Suspect) {
+          reconnects_.fetch_add(1);
+          retransmit_queued(node, it->second);
+        }
+      }
+    }
+  }
+}
+
+void TcpPeerTransport::maintenance_loop() {
+  std::mutex wait_mutex;
+  while (transport_running()) {
+    const auto hb = transport_config().heartbeat_interval;
+    auto tick = hb.count() > 0
+                    ? std::clamp(hb / 8, std::chrono::nanoseconds(
+                                             std::chrono::milliseconds(1)),
+                                 std::chrono::nanoseconds(
+                                     std::chrono::milliseconds(20)))
+                    : std::chrono::nanoseconds(std::chrono::milliseconds(10));
+    {
+      std::unique_lock lk(wait_mutex);
+      maintenance_cv_.wait_for(lk, tick,
+                               [this] { return !transport_running(); });
+    }
+    if (!transport_running()) {
+      return;
+    }
+    maintenance_tick(steady_ns());
+  }
+}
+
+void TcpPeerTransport::maintenance_tick(std::int64_t now_ns) {
+  const core::TransportConfig cfg = transport_config();
+  const std::int64_t hb_ns = cfg.heartbeat_interval.count();
+
+  std::vector<Transition> transitions;
+  std::vector<std::shared_ptr<Connection>> need_heartbeat;
+  std::vector<std::shared_ptr<Connection>> to_drop;
+  std::vector<std::pair<i2o::NodeId, TcpPeer>> to_dial;
+  {
+    const std::scoped_lock lock(conns_mutex_);
+    if (hb_ns > 0) {
+      for (const auto& conn : conns_) {
+        if (conn->node == i2o::kNullNode) {
+          continue;
+        }
+        const std::int64_t idle_rx =
+            now_ns - conn->last_rx_ns.load(std::memory_order_relaxed);
+        const std::int64_t idle_tx =
+            now_ns - conn->last_tx_ns.load(std::memory_order_relaxed);
+        auto& info = peers_[conn->node];
+        if (idle_rx >=
+            hb_ns * static_cast<std::int64_t>(cfg.missed_heartbeat_limit)) {
+          // Peer went silent past the limit: declare it dead and sever the
+          // connection; the redial path takes over.
+          to_drop.push_back(conn);
+          transitions.push_back(
+              set_state_locked(conn->node, core::PeerState::Down));
+          if (config_.peers.count(conn->node) != 0) {
+            info.dial_attempts = 0;
+            info.next_dial_ns =
+                now_ns +
+                core::backoff_delay(cfg, 1, jitter_rng_.next()).count();
+          }
+          continue;
+        }
+        if (idle_rx >= hb_ns && info.state == core::PeerState::Up) {
+          transitions.push_back(
+              set_state_locked(conn->node, core::PeerState::Suspect));
+        } else if (idle_rx < hb_ns &&
+                   info.state == core::PeerState::Suspect) {
+          // Traffic resumed on the live connection.
+          transitions.push_back(
+              set_state_locked(conn->node, core::PeerState::Up));
+        }
+        if (idle_tx >= hb_ns) {
+          need_heartbeat.push_back(conn);
+        }
+      }
+      // Redial peers whose backoff deadline passed and that have no live
+      // connection (dial happens unlocked below).
+      for (auto& [node, info] : peers_) {
+        if ((info.state != core::PeerState::Suspect &&
+             info.state != core::PeerState::Down) ||
+            info.dialing || now_ns < info.next_dial_ns) {
+          continue;
+        }
+        const bool connected =
+            std::any_of(conns_.begin(), conns_.end(),
+                        [node = node](const auto& c) {
+                          return c->node == node;
+                        });
+        if (connected) {
+          continue;
+        }
+        const auto ep = config_.peers.find(node);
+        if (ep == config_.peers.end()) {
+          continue;  // nothing to dial; wait for the peer to call back
+        }
+        info.dialing = true;
+        to_dial.emplace_back(node, ep->second);
+      }
+    }
+  }
+  for (const auto& t : transitions) {
+    fire(t);
+  }
+  for (const auto& conn : to_drop) {
+    conn->stream.shutdown();
+    const std::scoped_lock lock(conns_mutex_);
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                 conns_.end());
+  }
+  for (const auto& conn : need_heartbeat) {
+    if (Status st = send_heartbeat(*conn); !st.is_ok()) {
+      drop_connection(conn);
+    }
+  }
+  for (const auto& [node, peer] : to_dial) {
+    auto dialed = dial(node, peer);
+    Transition t;
+    std::shared_ptr<Connection> conn;
+    {
+      const std::scoped_lock lock(conns_mutex_);
+      auto& info = peers_[node];
+      info.dialing = false;
+      if (!dialed.is_ok()) {
+        failed_dials_.fetch_add(1);
+        info.dial_attempts++;
+        info.next_dial_ns =
+            steady_ns() +
+            core::backoff_delay(cfg, info.dial_attempts, jitter_rng_.next())
+                .count();
+        if (info.state == core::PeerState::Suspect) {
+          // A failed redial upgrades Suspect to Down: callers now fail
+          // fast instead of queueing behind a peer that may never return.
+          t = set_state_locked(node, core::PeerState::Down);
+        }
+      } else {
+        conn = std::move(dialed).value();
+        bool duplicate = false;
+        for (const auto& existing : conns_) {
+          if (existing->node == node) {
+            duplicate = true;  // peer dialed us first; keep theirs
+            conn = existing;
+            break;
+          }
+        }
+        if (!duplicate) {
+          conns_.push_back(conn);
+        }
+        t = set_state_locked(node, core::PeerState::Up);
+        reconnects_.fetch_add(1);
+      }
+    }
+    fire(t);
+    if (conn) {
+      retransmit_queued(node, conn);
     }
   }
 }

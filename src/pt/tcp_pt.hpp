@@ -1,20 +1,38 @@
-// tcp_pt.hpp - peer transport over TCP sockets.
+// tcp_pt.hpp - peer transport over TCP sockets, with liveness tracking.
 //
 // The paper runs a TCP PT alongside the Myrinet/GM PT ("Another PT thread
 // was handling TCP communication for configuration and control purposes")
 // and warns that polling a TCP socket in polling mode would negate the
 // benefits of a lightweight interface - hence this transport is task mode:
 // one reader thread multiplexes the listening socket and all peer
-// connections with poll(2).
+// connections with poll(2), and one maintenance thread owns heartbeats,
+// dead-peer detection and backoff reconnects.
 //
 // Wire protocol per connection:
 //   on connect: hello { u32 magic, u16 node_id }
 //   then frames: { u32 length, frame bytes }
+//   heartbeat:   { u32 0xFFFFFFFF } (no body; the length sentinel cannot
+//                collide with a real frame, whose length is bounded by
+//                max_frame_bytes)
+//
+// Liveness (per configured peer, reported through notify_peer_state):
+//   * a connection with no inbound traffic for one heartbeat_interval
+//     marks the peer Suspect; missed_heartbeat_limit quiet intervals drop
+//     the connection and declare the peer Down
+//   * a dropped connection marks the peer Suspect and schedules a redial
+//     after backoff_delay(); a failed redial declares the peer Down, but
+//     redials continue (capped backoff) until the peer answers again
+//   * while Suspect, control-plane frames are queued (bounded by
+//     pending_depth) and retransmitted in order after reconnect; data
+//     frames fail immediately with Errc::Unavailable
+//   * once Down, every send fails with Errc::Unavailable and queued
+//     frames are dropped (counted in dropped_pending)
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,6 +43,7 @@
 #include "core/executive.hpp"
 #include "core/transport.hpp"
 #include "netio/socket.hpp"
+#include "util/random.hpp"
 
 namespace xdaq::pt {
 
@@ -42,17 +61,20 @@ struct TcpTransportConfig {
   /// sends share one syscall. Larger frames use a gathered write (prefix +
   /// body, one sendmsg) without copying. 0 disables coalescing.
   std::size_t coalesce_bytes = 4096;
+  /// Seed for the reconnect-jitter RNG (deterministic tests).
+  std::uint64_t jitter_seed = 0x7C75D902C2A15F27ULL;
 };
 
 class TcpPeerTransport final : public core::TransportDevice {
  public:
-  explicit TcpPeerTransport(TcpTransportConfig config = {});
+  explicit TcpPeerTransport(TcpTransportConfig config = {},
+                            core::TransportConfig transport_config = {});
   ~TcpPeerTransport() override;
 
   Status transport_send(i2o::NodeId dst,
                         std::span<const std::byte> frame) override;
-  Status start_transport() override;
-  void stop_transport() override;
+  [[nodiscard]] core::PeerState peer_state(i2o::NodeId node) const override;
+  void disrupt_peer(i2o::NodeId node) override;
 
   /// Port actually bound (after enable); 0 before that.
   [[nodiscard]] std::uint16_t listen_port() const;
@@ -63,11 +85,24 @@ class TcpPeerTransport final : public core::TransportDevice {
 
   [[nodiscard]] std::size_t connection_count() const;
 
+  /// Fault-tolerance counters (cumulative since transport_up).
+  struct FaultStats {
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t reconnects = 0;          ///< successful redials
+    std::uint64_t failed_dials = 0;        ///< redial attempts that failed
+    std::uint64_t retransmitted = 0;       ///< queued frames resent
+    std::uint64_t dropped_pending = 0;     ///< queued frames dropped (Down)
+  };
+  [[nodiscard]] FaultStats fault_stats() const;
+
  protected:
   Status on_configure(const i2o::ParamList& params) override;
   Status on_enable() override;
   Status on_halt() override;
   i2o::ParamList on_params_get() override;
+
+  Status on_transport_start() override;
+  void on_transport_stop() override;
 
  private:
   /// Lives only in shared_ptrs (never moved), so the synchronization
@@ -90,20 +125,65 @@ class TcpPeerTransport final : public core::TransportDevice {
 
     // -- read reassembly (reader thread only) -----------------------------
     std::vector<std::byte> rx;  ///< bytes received but not yet parsed
+
+    // -- liveness stamps (steady-clock ns) --------------------------------
+    std::atomic<std::int64_t> last_rx_ns{0};
+    std::atomic<std::int64_t> last_tx_ns{0};
+  };
+
+  /// Liveness bookkeeping for a configured peer (guarded by conns_mutex_).
+  struct PeerInfo {
+    core::PeerState state = core::PeerState::Unknown;
+    std::uint32_t dial_attempts = 0;   ///< consecutive failed redials
+    std::int64_t next_dial_ns = 0;     ///< steady-clock deadline
+    bool dialing = false;              ///< a redial is in flight (unlocked)
+    std::deque<std::vector<std::byte>> queued;  ///< control frames to resend
   };
 
   void reader_loop();
+  void maintenance_loop();
+  /// One maintenance pass: heartbeats, miss detection, due redials.
+  void maintenance_tick(std::int64_t now_ns);
   /// Returns the connection for `node`, dialing it if necessary. The dial
   /// and handshake run outside conns_mutex_ so a slow connect cannot stall
   /// sends to other nodes (or the reader's registry snapshot).
   Result<std::shared_ptr<Connection>> connection_to(i2o::NodeId node);
+  /// Dials `peer`, completing the hello. Does not touch the registry.
+  Result<std::shared_ptr<Connection>> dial(i2o::NodeId node,
+                                           const TcpPeer& peer);
   Status send_hello(Connection& conn);
+  Status send_heartbeat(Connection& conn);
+  /// Writes one length-prefixed frame through the combiner.
+  Status write_frame(Connection& conn, std::span<const std::byte> frame);
   /// Drains every complete frame available on a readable connection;
   /// false = drop it.
   bool service_connection(Connection& conn);
   /// Writes out conn.pending until empty; call with lk holding
   /// conn.write_mutex and conn.writer_active set by the caller.
   Status flush_pending(Connection& conn, std::unique_lock<std::mutex>& lk);
+  /// Removes `conn` from the registry and downgrades its peer to Suspect
+  /// (scheduling a redial). Safe to call from any thread.
+  void drop_connection(const std::shared_ptr<Connection>& conn);
+  /// Transitions `node` (must hold conns_mutex_); the notification is
+  /// returned for the caller to fire after unlocking.
+  struct Transition {
+    i2o::NodeId node = i2o::kNullNode;
+    core::PeerState from = core::PeerState::Unknown;
+    core::PeerState to = core::PeerState::Unknown;
+    [[nodiscard]] bool fired() const noexcept {
+      return node != i2o::kNullNode && from != to;
+    }
+  };
+  [[nodiscard]] Transition set_state_locked(i2o::NodeId node,
+                                            core::PeerState to);
+  void fire(const Transition& t);
+  /// Retransmits a peer's queued control frames over a fresh connection.
+  void retransmit_queued(i2o::NodeId node,
+                         const std::shared_ptr<Connection>& conn);
+  [[nodiscard]] static std::int64_t steady_ns() noexcept;
+  /// Control-plane frame: anything except an unmarked private frame.
+  [[nodiscard]] static bool is_control_frame(
+      std::span<const std::byte> frame) noexcept;
 
   TcpTransportConfig config_;
   Logger log_;
@@ -113,9 +193,18 @@ class TcpPeerTransport final : public core::TransportDevice {
   /// shared_ptr so a send in flight keeps its connection alive while the
   /// reader thread drops it from the registry.
   std::vector<std::shared_ptr<Connection>> conns_;
+  std::map<i2o::NodeId, PeerInfo> peers_;
+  Rng jitter_rng_{0};  ///< reseeded at transport_up (conns_mutex_)
 
-  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> heartbeats_sent_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> failed_dials_{0};
+  std::atomic<std::uint64_t> retransmitted_{0};
+  std::atomic<std::uint64_t> dropped_pending_{0};
+
   std::thread reader_thread_;
+  std::thread maintenance_thread_;
+  std::condition_variable_any maintenance_cv_;
 };
 
 }  // namespace xdaq::pt

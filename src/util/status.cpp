@@ -30,6 +30,10 @@ std::string_view to_string(Errc c) noexcept {
       return "Internal";
     case Errc::FailedPrecondition:
       return "FailedPrecondition";
+    case Errc::Unavailable:
+      return "Unavailable";
+    case Errc::PeerDown:
+      return "PeerDown";
   }
   return "Unknown";
 }

@@ -31,6 +31,8 @@ enum class Errc : std::uint8_t {
   Unsupported,
   Internal,
   FailedPrecondition,  ///< device in wrong state for the request
+  Unavailable,         ///< peer transiently unreachable (reconnect pending)
+  PeerDown,            ///< peer declared dead by liveness tracking
 };
 
 /// Human-readable name of an error category.

@@ -1,0 +1,240 @@
+// pt_fault_test.cpp - backoff schedule, fault-injecting decorator, and the
+// seeded fault soak over real TCP sockets.
+#include "pt/fault_pt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/requester.hpp"
+#include "core/transport.hpp"
+#include "pt/tcp_pt.hpp"
+#include "test_devices.hpp"
+
+namespace xdaq::pt {
+namespace {
+
+using core::backoff_delay;
+using core::Requester;
+using core::TransportConfig;
+using xdaq::testing::EchoDevice;
+using xdaq::testing::kXfnEcho;
+
+// --------------------------------------------------------------- backoff
+
+TEST(Backoff, AttemptZeroIsImmediate) {
+  EXPECT_EQ(backoff_delay(TransportConfig{}, 0, 123).count(), 0);
+}
+
+TEST(Backoff, JitterlessScheduleDoublesToCap) {
+  TransportConfig cfg;
+  cfg.backoff_base = std::chrono::milliseconds(10);
+  cfg.backoff_cap = std::chrono::milliseconds(80);
+  cfg.backoff_jitter = 0.0;
+  using ms = std::chrono::milliseconds;
+  EXPECT_EQ(backoff_delay(cfg, 1, 7), ms(10));
+  EXPECT_EQ(backoff_delay(cfg, 2, 7), ms(20));
+  EXPECT_EQ(backoff_delay(cfg, 3, 7), ms(40));
+  EXPECT_EQ(backoff_delay(cfg, 4, 7), ms(80));
+  EXPECT_EQ(backoff_delay(cfg, 5, 7), ms(80));  // capped
+  EXPECT_EQ(backoff_delay(cfg, 60, 7), ms(80));  // no shift overflow
+}
+
+TEST(Backoff, JitterStaysWithinConfiguredBand) {
+  TransportConfig cfg;
+  cfg.backoff_base = std::chrono::milliseconds(100);
+  cfg.backoff_cap = std::chrono::seconds(10);
+  cfg.backoff_jitter = 0.25;
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const auto d = backoff_delay(cfg, 1, rng.next());
+    EXPECT_GE(d, std::chrono::milliseconds(75));
+    EXPECT_LE(d, std::chrono::milliseconds(125));
+  }
+}
+
+TEST(Backoff, SameJitterWordIsDeterministic) {
+  TransportConfig cfg;
+  const auto a = backoff_delay(cfg, 3, 0xDEADBEEFULL);
+  const auto b = backoff_delay(cfg, 3, 0xDEADBEEFULL);
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------- decorator
+
+/// Inner transport stub that records every frame it is asked to push.
+class RecordingTransport final : public core::TransportDevice {
+ public:
+  RecordingTransport() : TransportDevice("RecordingTransport", Mode::Task) {}
+
+  Status transport_send(i2o::NodeId,
+                        std::span<const std::byte> frame) override {
+    const std::scoped_lock lock(mutex_);
+    frames_.emplace_back(frame.begin(), frame.end());
+    return Status::ok();
+  }
+  void disrupt_peer(i2o::NodeId node) override {
+    disrupted_.fetch_add(1);
+    (void)node;
+  }
+
+  [[nodiscard]] std::size_t delivered() const {
+    const std::scoped_lock lock(mutex_);
+    return frames_.size();
+  }
+  [[nodiscard]] std::uint64_t disrupted() const { return disrupted_.load(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::byte>> frames_;
+  std::atomic<std::uint64_t> disrupted_{0};
+};
+
+std::vector<std::byte> some_frame() {
+  return std::vector<std::byte>(i2o::kStdHeaderBytes, std::byte{0x5A});
+}
+
+TEST(FaultPt, SeededInjectionIsDeterministic) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_rate = 0.3;
+  plan.duplicate_rate = 0.3;
+  auto run = [&plan] {
+    RecordingTransport inner;
+    FaultInjectingTransport fault(inner, plan);
+    const auto frame = some_frame();
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(fault.transport_send(1, frame).is_ok());
+    }
+    return std::pair(fault.inject_stats(), inner.delivered());
+  };
+  const auto [s1, delivered1] = run();
+  const auto [s2, delivered2] = run();
+  EXPECT_EQ(s1.sends, 200u);
+  EXPECT_GT(s1.dropped, 0u);
+  EXPECT_GT(s1.duplicated, 0u);
+  // Conservation: every non-dropped frame reaches the inner transport,
+  // plus one extra per duplication.
+  EXPECT_EQ(delivered1, 200u - s1.dropped + s1.duplicated);
+  // Same seed, same plan -> identical fault schedule.
+  EXPECT_EQ(s1.dropped, s2.dropped);
+  EXPECT_EQ(s1.duplicated, s2.duplicated);
+  EXPECT_EQ(delivered1, delivered2);
+}
+
+TEST(FaultPt, DelayedFramesArriveLate) {
+  FaultPlan plan;
+  plan.delay_rate = 1.0;
+  plan.delay = std::chrono::milliseconds(30);
+  RecordingTransport inner;
+  FaultInjectingTransport fault(inner, plan);
+  ASSERT_TRUE(fault.transport_up().is_ok());
+  EXPECT_TRUE(fault.transport_send(1, some_frame()).is_ok());
+  EXPECT_EQ(inner.delivered(), 0u);  // still parked on the delay thread
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (inner.delivered() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(inner.delivered(), 1u);
+  EXPECT_EQ(fault.inject_stats().delayed, 1u);
+  fault.transport_down();
+}
+
+TEST(FaultPt, DisconnectInjectionHitsInnerTransport) {
+  FaultPlan plan;
+  plan.disconnect_rate = 1.0;
+  RecordingTransport inner;
+  FaultInjectingTransport fault(inner, plan);
+  EXPECT_TRUE(fault.transport_send(1, some_frame()).is_ok());
+  EXPECT_EQ(inner.disrupted(), 1u);
+  EXPECT_EQ(fault.inject_stats().disconnects, 1u);
+}
+
+TEST(FaultPt, LivenessForwardsToInner) {
+  RecordingTransport inner;
+  FaultInjectingTransport fault(inner, FaultPlan{});
+  EXPECT_EQ(fault.peer_state(3), core::PeerState::Unknown);
+}
+
+// ------------------------------------------------------------ fault soak
+
+TEST(FaultPt, SeededSoakOverTcpLeavesNoLeakedFrames) {
+  // A calls B's echo through a fault decorator that drops, delays and
+  // duplicates requests (replies come back clean through B's own PT).
+  // Some calls time out; nothing may leak and the pool must drain.
+  core::Executive a(core::ExecutiveConfig{.node_id = 1, .name = "a"});
+  core::Executive b(core::ExecutiveConfig{.node_id = 2, .name = "b"});
+  core::TransportConfig tuning;
+  tuning.heartbeat_interval = std::chrono::seconds(10);  // out of the way
+  auto ta = std::make_unique<TcpPeerTransport>(TcpTransportConfig{}, tuning);
+  auto tb = std::make_unique<TcpPeerTransport>(TcpTransportConfig{}, tuning);
+  TcpPeerTransport* pt_a = ta.get();
+  TcpPeerTransport* pt_b = tb.get();
+  ASSERT_TRUE(a.install(std::move(ta), "pt_tcp").is_ok());
+  ASSERT_TRUE(b.install(std::move(tb), "pt_tcp").is_ok());
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_rate = 0.15;
+  plan.delay_rate = 0.15;
+  plan.duplicate_rate = 0.15;
+  plan.delay = std::chrono::milliseconds(3);
+  auto fault = std::make_unique<FaultInjectingTransport>(*pt_a, plan);
+  FaultInjectingTransport* fault_raw = fault.get();
+  ASSERT_TRUE(a.install(std::move(fault), "pt_fault").is_ok());
+
+  ASSERT_TRUE(a.set_route(2, fault_raw->tid()).is_ok());
+  ASSERT_TRUE(b.set_route(1, pt_b->tid()).is_ok());
+  ASSERT_TRUE(b.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(a.install(std::move(req), "req").is_ok());
+  const auto proxy =
+      a.register_remote(2, b.tid_of("echo").value()).value();
+  ASSERT_TRUE(a.enable_all().is_ok());
+  ASSERT_TRUE(b.enable_all().is_ok());
+  pt_a->add_peer(2, "127.0.0.1", pt_b->listen_port());
+  pt_b->add_peer(1, "127.0.0.1", pt_a->listen_port());
+  a.start();
+  b.start();
+
+  int ok = 0;
+  int timed_out = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
+                                       {}, std::chrono::milliseconds(250));
+    if (reply.is_ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(reply.status().code(), Errc::Timeout);
+      ++timed_out;
+    }
+  }
+  const auto stats = fault_raw->inject_stats();
+  EXPECT_EQ(stats.sends, 60u);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_GT(ok, 0);
+  // Dropped requests are the only way a call can fail here.
+  EXPECT_LE(static_cast<std::uint64_t>(timed_out),
+            stats.dropped + stats.delayed);
+  EXPECT_EQ(req_raw->outstanding(), 0u);
+
+  // Let stragglers (delayed duplicates, late replies) drain, then the
+  // pools must be empty again: no frame leaked on any path.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(3);
+  while ((a.pool().stats().outstanding != 0 ||
+          b.pool().stats().outstanding != 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(a.pool().stats().outstanding, 0u);
+  EXPECT_EQ(b.pool().stats().outstanding, 0u);
+  a.stop();
+  b.stop();
+}
+
+}  // namespace
+}  // namespace xdaq::pt

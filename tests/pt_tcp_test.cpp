@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "core/requester.hpp"
+#include "i2o/wire.hpp"
 #include "test_devices.hpp"
 #include "util/random.hpp"
 
@@ -154,6 +155,268 @@ TEST(TcpPt, LargeFrameAcrossTcp) {
   EXPECT_EQ(std::memcmp(reply.value().payload.data(), payload.data(),
                         payload.size()),
             0);
+}
+
+// ------------------------------------------------------- fault tolerance
+
+using xdaq::testing::CounterDevice;
+using xdaq::testing::kXfnCount;
+
+/// TcpPair with liveness knobs tuned for fast, deterministic tests.
+struct TunedTcpPair {
+  core::Executive a{core::ExecutiveConfig{.node_id = 1, .name = "a"}};
+  core::Executive b{core::ExecutiveConfig{.node_id = 2, .name = "b"}};
+  TcpPeerTransport* pt_a = nullptr;
+  TcpPeerTransport* pt_b = nullptr;
+
+  explicit TunedTcpPair(const core::TransportConfig& tuning) {
+    auto ta = std::make_unique<TcpPeerTransport>(TcpTransportConfig{},
+                                                 tuning);
+    auto tb = std::make_unique<TcpPeerTransport>(TcpTransportConfig{},
+                                                 tuning);
+    pt_a = ta.get();
+    pt_b = tb.get();
+    EXPECT_TRUE(a.install(std::move(ta), "pt_tcp").is_ok());
+    EXPECT_TRUE(b.install(std::move(tb), "pt_tcp").is_ok());
+    EXPECT_TRUE(a.set_route(2, pt_a->tid()).is_ok());
+    EXPECT_TRUE(b.set_route(1, pt_b->tid()).is_ok());
+    EXPECT_TRUE(a.enable(pt_a->tid()).is_ok());
+    EXPECT_TRUE(b.enable(pt_b->tid()).is_ok());
+    pt_a->add_peer(2, "127.0.0.1", pt_b->listen_port());
+    pt_b->add_peer(1, "127.0.0.1", pt_a->listen_port());
+  }
+};
+
+/// Polls until `pred` holds or `budget` elapses.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds budget =
+                               std::chrono::milliseconds(3000)) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+/// Encodes a minimal private frame; `control` sets kFlagControl so the
+/// transport classifies it as control-plane traffic.
+std::vector<std::byte> make_private_wire_frame(i2o::Tid target, bool control,
+                                               std::uint16_t xfn) {
+  std::vector<std::byte> frame(i2o::kPrivateHeaderBytes);
+  i2o::FrameHeader hdr;
+  hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+  hdr.flags = control ? i2o::kFlagControl : i2o::kFlagNone;
+  hdr.target = target;
+  hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kTest);
+  hdr.xfunction = xfn;
+  EXPECT_TRUE(i2o::encode_header(hdr, frame).is_ok());
+  return frame;
+}
+
+TEST(TcpPtFault, SilentPeerDeclaredDownByMissedHeartbeats) {
+  core::TransportConfig tuning;
+  tuning.heartbeat_interval = std::chrono::milliseconds(60);
+  tuning.missed_heartbeat_limit = 2;
+  core::Executive a(core::ExecutiveConfig{.node_id = 1, .name = "a"});
+  auto ta = std::make_unique<TcpPeerTransport>(TcpTransportConfig{}, tuning);
+  TcpPeerTransport* pt = ta.get();
+  ASSERT_TRUE(a.install(std::move(ta), "pt_tcp").is_ok());
+  ASSERT_TRUE(a.enable(pt->tid()).is_ok());
+
+  // A raw client that says hello as node 9, then goes silent: no
+  // heartbeats, no frames, but the socket stays open.
+  auto stream = netio::TcpStream::connect("127.0.0.1", pt->listen_port());
+  ASSERT_TRUE(stream.is_ok());
+  std::array<std::byte, 6> hello{};
+  i2o::put_u32(hello, 0, 0x58444151);
+  i2o::put_u16(hello, 4, 9);
+  ASSERT_TRUE(stream.value().write_all(hello).is_ok());
+
+  EXPECT_TRUE(eventually(
+      [&] { return pt->peer_state(9) == core::PeerState::Up; }));
+  // One quiet interval -> Suspect, missed_heartbeat_limit -> Down.
+  EXPECT_TRUE(eventually(
+      [&] { return pt->peer_state(9) == core::PeerState::Down; }));
+  EXPECT_EQ(pt->connection_count(), 0u);  // the dead link was severed
+}
+
+TEST(TcpPtFault, KilledPeerFailsCallsFastWithUnavailable) {
+  core::TransportConfig tuning;
+  tuning.heartbeat_interval = std::chrono::milliseconds(500);
+  tuning.backoff_base = std::chrono::milliseconds(20);
+  tuning.backoff_cap = std::chrono::milliseconds(100);
+  TunedTcpPair pair(tuning);
+  ASSERT_TRUE(pair.b.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(pair.a.install(std::move(req), "req").is_ok());
+  const auto proxy =
+      pair.a.register_remote(2, pair.b.tid_of("echo").value()).value();
+  ASSERT_TRUE(pair.a.enable_all().is_ok());
+  ASSERT_TRUE(pair.b.enable_all().is_ok());
+  pair.a.start();
+  pair.b.start();
+  ASSERT_TRUE(req_raw
+                  ->call_private(proxy, i2o::OrgId::kTest, kXfnEcho, {},
+                                 std::chrono::seconds(5))
+                  .is_ok());
+
+  // Kill B for good: connection drops, the redial is refused, Down.
+  pair.b.stop();
+  pair.pt_b->transport_down();
+  ASSERT_TRUE(eventually(
+      [&] { return pair.pt_a->peer_state(2) == core::PeerState::Down; }));
+  EXPECT_EQ(pair.a.peer_state(2), core::PeerState::Down);
+
+  // Acceptance: calls to a Down peer fail with Errc::Unavailable in well
+  // under one heartbeat interval (fail-fast, not timeout).
+  const auto t0 = std::chrono::steady_clock::now();
+  auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho, {},
+                                     std::chrono::seconds(5));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), Errc::Unavailable);
+  EXPECT_LT(elapsed, tuning.heartbeat_interval);
+  pair.a.stop();
+}
+
+TEST(TcpPtFault, RestartedPeerRedetectedUpAndCallsSucceed) {
+  core::TransportConfig tuning;
+  tuning.heartbeat_interval = std::chrono::milliseconds(400);
+  tuning.backoff_base = std::chrono::milliseconds(20);
+  tuning.backoff_cap = std::chrono::milliseconds(80);
+  TunedTcpPair pair(tuning);
+  ASSERT_TRUE(pair.b.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(pair.a.install(std::move(req), "req").is_ok());
+  const auto proxy =
+      pair.a.register_remote(2, pair.b.tid_of("echo").value()).value();
+  ASSERT_TRUE(pair.a.enable_all().is_ok());
+  ASSERT_TRUE(pair.b.enable_all().is_ok());
+  pair.a.start();
+  pair.b.start();
+  ASSERT_TRUE(req_raw
+                  ->call_private(proxy, i2o::OrgId::kTest, kXfnEcho, {},
+                                 std::chrono::seconds(5))
+                  .is_ok());
+
+  // Kill and restart B's transport (new ephemeral port, like a process
+  // restart); point A at the new endpoint.
+  pair.pt_b->transport_down();
+  ASSERT_TRUE(eventually(
+      [&] { return pair.pt_a->peer_state(2) == core::PeerState::Down; }));
+  ASSERT_TRUE(pair.pt_b->transport_up().is_ok());
+  pair.pt_a->add_peer(2, "127.0.0.1", pair.pt_b->listen_port());
+
+  // The maintenance thread's capped-backoff redial finds it again.
+  ASSERT_TRUE(eventually(
+      [&] { return pair.pt_a->peer_state(2) == core::PeerState::Up; }));
+  auto reply =
+      req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho, {},
+                            core::CallOptions{
+                                .timeout = std::chrono::seconds(5),
+                                .retries = 3,
+                                .retry_on_unavailable = true,
+                            });
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_FALSE(reply.value().failed());
+  EXPECT_GE(pair.pt_a->fault_stats().reconnects, 1u);
+  pair.a.stop();
+  pair.b.stop();
+}
+
+TEST(TcpPtFault, SuspectWindowQueuesControlFramesAndRetransmits) {
+  core::TransportConfig tuning;
+  tuning.heartbeat_interval = std::chrono::seconds(10);  // out of the way
+  tuning.backoff_base = std::chrono::milliseconds(300);
+  tuning.backoff_jitter = 0.0;  // deterministic redial schedule
+  tuning.pending_depth = 2;
+  TunedTcpPair pair(tuning);
+  auto counter = std::make_unique<CounterDevice>();
+  CounterDevice* counter_raw = counter.get();
+  ASSERT_TRUE(pair.b.install(std::move(counter), "counter").is_ok());
+  ASSERT_TRUE(pair.b.enable_all().is_ok());
+  pair.b.start();
+  const i2o::Tid counter_tid = pair.b.tid_of("counter").value();
+
+  // Establish the connection with a control-flagged private frame.
+  const auto control =
+      make_private_wire_frame(counter_tid, /*control=*/true, kXfnCount);
+  ASSERT_TRUE(pair.pt_a->transport_send(2, control).is_ok());
+  ASSERT_TRUE(eventually([&] { return counter_raw->count() == 1; }));
+
+  // Cut the cable; the reader notices and the peer turns Suspect.
+  pair.pt_a->disrupt_peer(2);
+  ASSERT_TRUE(eventually([&] {
+    return pair.pt_a->peer_state(2) == core::PeerState::Suspect;
+  }));
+
+  // Control frames queue (bounded), data frames fail immediately.
+  EXPECT_TRUE(pair.pt_a->transport_send(2, control).is_ok());
+  EXPECT_TRUE(pair.pt_a->transport_send(2, control).is_ok());
+  EXPECT_EQ(pair.pt_a->transport_send(2, control).code(),
+            Errc::Unavailable);  // pending_depth = 2
+  const auto data =
+      make_private_wire_frame(counter_tid, /*control=*/false, kXfnCount);
+  EXPECT_EQ(pair.pt_a->transport_send(2, data).code(), Errc::Unavailable);
+
+  // B is still listening, so the first (backoff_base-delayed) redial
+  // succeeds and replays the queue in order.
+  ASSERT_TRUE(eventually(
+      [&] { return pair.pt_a->peer_state(2) == core::PeerState::Up; }));
+  EXPECT_TRUE(eventually([&] { return counter_raw->count() == 3; }));
+  EXPECT_EQ(pair.pt_a->fault_stats().retransmitted, 2u);
+  EXPECT_GE(pair.pt_a->fault_stats().reconnects, 1u);
+  pair.b.stop();
+}
+
+TEST(TcpPtFault, FailSynthesisUnblocksParkedRequester) {
+  core::TransportConfig tuning;
+  tuning.heartbeat_interval = std::chrono::milliseconds(200);
+  tuning.missed_heartbeat_limit = 2;
+  tuning.backoff_base = std::chrono::milliseconds(20);
+  tuning.backoff_cap = std::chrono::milliseconds(80);
+  TunedTcpPair pair(tuning);
+  // CounterDevice swallows kXfnCount without replying: the requester
+  // would wait out its full timeout unless the executive synthesizes the
+  // failure reply at the Down transition.
+  ASSERT_TRUE(
+      pair.b.install(std::make_unique<CounterDevice>(), "hole").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(pair.a.install(std::move(req), "req").is_ok());
+  const auto proxy =
+      pair.a.register_remote(2, pair.b.tid_of("hole").value()).value();
+  ASSERT_TRUE(pair.a.enable_all().is_ok());
+  ASSERT_TRUE(pair.b.enable_all().is_ok());
+  pair.a.start();
+  pair.b.start();
+
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    pair.b.stop();
+    pair.pt_b->transport_down();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnCount, {},
+                                     std::chrono::seconds(30));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  killer.join();
+  // The call returned a synthesized FAIL reply long before the timeout.
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_TRUE(reply.value().failed());
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  auto params = reply.value().params();
+  ASSERT_TRUE(params.is_ok());
+  EXPECT_NE(i2o::param_value(params.value(), "error").find("PeerDown"),
+            std::string::npos);
+  EXPECT_EQ(req_raw->outstanding(), 0u);
+  EXPECT_GE(pair.a.stats().synth_unavailable, 1u);
+  pair.a.stop();
 }
 
 }  // namespace

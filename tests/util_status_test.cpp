@@ -34,9 +34,21 @@ TEST(Status, CopyIsCheapAndShares) {
 }
 
 TEST(Status, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(Errc::FailedPrecondition); ++c) {
+  for (int c = 0; c <= static_cast<int>(Errc::PeerDown); ++c) {
     EXPECT_NE(to_string(static_cast<Errc>(c)), "Unknown");
   }
+}
+
+TEST(Status, UnavailabilityCodesRoundTrip) {
+  // The fault-tolerance layer leans on these two codes; make sure they
+  // survive a Status round trip with distinct names.
+  const Status u(Errc::Unavailable, "reconnect pending");
+  EXPECT_EQ(u.code(), Errc::Unavailable);
+  EXPECT_EQ(to_string(u.code()), "Unavailable");
+  const Status d(Errc::PeerDown, "peer 3 is down");
+  EXPECT_EQ(d.code(), Errc::PeerDown);
+  EXPECT_EQ(to_string(d.code()), "PeerDown");
+  EXPECT_NE(to_string(Errc::Unavailable), to_string(Errc::PeerDown));
 }
 
 TEST(Result, HoldsValue) {
