@@ -59,14 +59,14 @@ LatencyPair measure(bool loaded, std::uint64_t probes,
     std::uint64_t t0 = now_ns();
     auto status = req_raw->call_standard(kernel_proxy,
                                          i2o::Function::ExecStatusGet, {},
-                                         std::chrono::seconds(10));
+                                         xdaq::core::CallOptions{.timeout = std::chrono::seconds(10)});
     if (status.is_ok()) {
       control.add(static_cast<double>(now_ns() - t0));
     }
     t0 = now_ns();
     auto echo = req_raw->call_private(echo_proxy, i2o::OrgId::kBench,
                                       kXfnPing, {},
-                                      std::chrono::seconds(10));
+                                      xdaq::core::CallOptions{.timeout = std::chrono::seconds(10)});
     if (echo.is_ok()) {
       app.add(static_cast<double>(now_ns() - t0));
     }

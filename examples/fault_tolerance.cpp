@@ -81,7 +81,7 @@ int main() {
 
   auto ping_echo = [&](const char* when) {
     auto r = req->call_private(echo, i2o::OrgId::kTest, kXfnEcho, {},
-                               std::chrono::seconds(2));
+                               xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
     std::printf("  echo %-28s %s\n", when,
                 r.is_ok() && !r.value().failed() ? "answers" : "FAILED");
   };
@@ -90,7 +90,7 @@ int main() {
 
   std::printf("\npoking the throwing device...\n");
   auto boom = req->call_private(thrower, i2o::OrgId::kTest, kXfnBoom, {},
-                                std::chrono::seconds(2));
+                                xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   std::printf("  caller sees: %s\n",
               boom.is_ok() && boom.value().failed()
                   ? "failure reply (not a crash)"
@@ -100,7 +100,7 @@ int main() {
 
   std::printf("\npoking the hanging device (watchdog deadline 50 ms)...\n");
   auto hang = req->call_private(hanger, i2o::OrgId::kTest, kXfnHang, {},
-                                std::chrono::seconds(2));
+                                xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   std::printf("  caller sees: %s\n",
               hang.is_ok() && hang.value().failed()
                   ? "failure reply after the overrun"
@@ -113,7 +113,7 @@ int main() {
 
   // Messages to a quarantined device are rejected, not lost silently.
   auto again = req->call_private(thrower, i2o::OrgId::kTest, kXfnBoom, {},
-                                 std::chrono::seconds(2));
+                                 xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   std::printf("\nretrying the quarantined device: %s\n",
               again.is_ok() && again.value().failed()
                   ? "rejected with a failure reply"

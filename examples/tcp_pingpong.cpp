@@ -68,7 +68,7 @@ int main() {
   // One warmup call establishes the connections so the measured round
   // trips reflect the steady state.
   (void)req->call_private(proxy, i2o::OrgId::kTest, kXfnEcho, {},
-                          std::chrono::seconds(5));
+                          xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
 
   std::vector<double> rtts;
   for (int i = 0; i < 10; ++i) {
@@ -78,7 +78,7 @@ int main() {
         proxy, i2o::OrgId::kTest, kXfnEcho,
         std::span(reinterpret_cast<const std::byte*>(text.data()),
                   text.size()),
-        std::chrono::seconds(5));
+        xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
     const double rtt_us = static_cast<double>(now_ns() - t0) / 1000.0;
     if (!reply.is_ok()) {
       std::fprintf(stderr, "call failed: %s\n",

@@ -61,7 +61,8 @@ bool Device::dispatch_private(const MessageContext& ctx) {
 
 Result<mem::FrameRef> Device::make_private_frame(
     i2o::Tid target, i2o::OrgId org, std::uint16_t xfunction,
-    std::span<const std::byte> payload, std::uint32_t transaction_context) {
+    std::span<const std::byte> payload, std::uint32_t transaction_context,
+    std::uint32_t initiator_context) {
   if (!attached()) {
     return {Errc::FailedPrecondition, "device not installed in an executive"};
   }
@@ -76,6 +77,7 @@ Result<mem::FrameRef> Device::make_private_frame(
   hdr.target = target;
   hdr.initiator = tid_;
   hdr.transaction_context = transaction_context;
+  hdr.initiator_context = initiator_context;
   auto bytes = frame.value().bytes();
   if (Status s = i2o::encode_header(hdr, bytes); !s.is_ok()) {
     return s;

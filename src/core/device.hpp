@@ -141,12 +141,14 @@ class Device {
   // --- messaging conveniences --------------------------------------------
 
   /// Allocates a private frame from the executive pool and fills header +
-  /// payload. The header's initiator is this device.
-  Result<mem::FrameRef> make_private_frame(i2o::Tid target, i2o::OrgId org,
-                                           std::uint16_t xfunction,
-                                           std::span<const std::byte> payload,
-                                           std::uint32_t transaction_context =
-                                               0);
+  /// payload. The header's initiator is this device. A non-zero
+  /// initiator_context tags the frame with a cross-peer trace id (see
+  /// obs/trace.hpp); replies propagate both contexts back.
+  Result<mem::FrameRef> make_private_frame(
+      i2o::Tid target, i2o::OrgId org, std::uint16_t xfunction,
+      std::span<const std::byte> payload,
+      std::uint32_t transaction_context = 0,
+      std::uint32_t initiator_context = 0);
 
   /// frameSend: hands the frame to the executive for routing.
   Status frame_send(mem::FrameRef frame);

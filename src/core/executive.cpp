@@ -32,15 +32,24 @@ std::unique_ptr<mem::Pool> make_pool(ExecutiveConfig::PoolKind kind) {
   return std::make_unique<mem::TablePool>();
 }
 
-/// Single-writer increment for counters only the dispatch thread bumps:
-/// a plain load/store pair instead of a locked read-modify-write. Other
-/// threads only read these counters, so no update can be lost.
-inline void bump(std::atomic<std::uint64_t>& counter) noexcept {
-  counter.store(counter.load(std::memory_order_relaxed) + 1,
-                std::memory_order_relaxed);
-}
-
 }  // namespace
+
+void ExecCounters::wire(obs::MetricsRegistry& registry) {
+  posted = &registry.counter("exec.posted");
+  dispatched = &registry.counter("exec.dispatched");
+  sent_local = &registry.counter("exec.sent_local");
+  sent_remote = &registry.counter("exec.sent_remote");
+  failed_replies = &registry.counter("exec.failed_replies");
+  dropped_unknown = &registry.counter("exec.dropped_unknown");
+  dropped_malformed = &registry.counter("exec.dropped_malformed");
+  default_handled = &registry.counter("exec.default_handled");
+  rejected_disabled = &registry.counter("exec.rejected_disabled");
+  watchdog_trips = &registry.counter("exec.watchdog_trips");
+  timer_fires = &registry.counter("exec.timer_fires");
+  peer_state_changes = &registry.counter("exec.peer_state_changes");
+  synth_unavailable = &registry.counter("exec.synth_unavailable");
+  dispatch_batches = &registry.counter("exec.dispatch_batches");
+}
 
 Executive::Executive(ExecutiveConfig config)
     : config_(std::move(config)),
@@ -52,6 +61,43 @@ Executive::Executive(ExecutiveConfig config)
   if (config_.trace_capacity > 0) {
     trace_ring_.resize(config_.trace_capacity);
   }
+
+  // Observability: counters always run (they predate the obs layer);
+  // the hop trace ring and the dispatch timing histogram are the optional
+  // paths XDAQ_OBS_OFF / observe=false switch off.
+  stats_.wire(metrics_);
+  obs_on_ = config_.observe && obs::enabled();
+  if (obs_on_) {
+    if (config_.hop_trace_capacity > 0) {
+      hops_ = std::make_unique<obs::TraceRing>(config_.hop_trace_capacity);
+    }
+    // Per-dispatch cost in raw rdtsc ticks, sampled 1-in-64 (see
+    // dispatch()); no calibration on the hot path. 64 linear bins to 256k
+    // ticks (~0.1 ms at typical clock rates); slower dispatches count as
+    // overflow, which is itself the signal that matters.
+    dispatch_ticks_ =
+        &metrics_.histogram("exec.dispatch_ticks", 0.0, 262144.0, 64);
+  }
+  // Scheduler depth/served per priority and pool stats are sampled at
+  // snapshot time instead of double-counted on the hot path.
+  metrics_.register_probe([this](std::vector<obs::Sample>& out) {
+    for (int p = 0; p < static_cast<int>(i2o::kNumPriorities); ++p) {
+      out.push_back({"sched.pending.p" + std::to_string(p),
+                     static_cast<std::int64_t>(scheduler_.depth_at(p))});
+      out.push_back({"sched.served.p" + std::to_string(p),
+                     static_cast<std::int64_t>(scheduler_.served_at(p))});
+    }
+    const mem::PoolStats ps = pool_->stats();
+    out.push_back({"pool.allocs", static_cast<std::int64_t>(ps.allocs)});
+    out.push_back({"pool.frees", static_cast<std::int64_t>(ps.frees)});
+    out.push_back({"pool.grows", static_cast<std::int64_t>(ps.grows)});
+    out.push_back({"pool.failures",
+                   static_cast<std::int64_t>(ps.failures)});
+    out.push_back({"pool.outstanding",
+                   static_cast<std::int64_t>(ps.outstanding)});
+    out.push_back({"pool.bytes_reserved",
+                   static_cast<std::int64_t>(ps.bytes_reserved)});
+  });
 
   // The kernel occupies TiD 1, like any other device ("even the executive
   // gets such a TiD").
@@ -84,7 +130,7 @@ Executive::Executive(ExecutiveConfig config)
           return;
         }
         i2o::put_u32(bytes, i2o::kPrivateHeaderBytes, timer_id);
-        stats_.timer_fires.fetch_add(1, std::memory_order_relaxed);
+        stats_.timer_fires->add();
         (void)post(std::move(frame).value());
       });
 
@@ -155,6 +201,12 @@ Result<i2o::Tid> Executive::install(std::unique_ptr<Device> device,
     pt->set_peer_state_sink(
         [this](i2o::NodeId node, PeerState from, PeerState to) {
           on_peer_state_change(node, from, to);
+        });
+    // Each transport's counters join the node's metrics snapshot under
+    // "pt.<instance>.*" - sampled at snapshot time, no parallel counters.
+    metrics_.register_probe(
+        [pt, prefix = "pt." + instance_name](std::vector<obs::Sample>& out) {
+          pt->append_metrics(prefix, out);
         });
     if (pt->mode() == TransportDevice::Mode::Polling) {
       const std::scoped_lock lock(polling_mutex_);
@@ -398,7 +450,7 @@ PeerState Executive::peer_state(i2o::NodeId node) const {
 
 void Executive::on_peer_state_change(i2o::NodeId node, PeerState from,
                                      PeerState to) {
-  stats_.peer_state_changes.fetch_add(1, std::memory_order_relaxed);
+  stats_.peer_state_changes->add();
   log_.info("peer ", node, " ", to_string(from), " -> ", to_string(to));
   if (to == PeerState::Down) {
     fail_inflight_to(node);
@@ -480,9 +532,9 @@ void Executive::fail_inflight_to(i2o::NodeId node) {
     }
     // Count before posting: the waiter can observe the reply (and read
     // stats) the instant post() enqueues it.
-    stats_.synth_unavailable.fetch_add(1, std::memory_order_relaxed);
+    stats_.synth_unavailable->add();
     if (!post(std::move(frame).value()).is_ok()) {
-      stats_.synth_unavailable.fetch_sub(1, std::memory_order_relaxed);
+      stats_.synth_unavailable->sub();
     }
   }
 }
@@ -514,17 +566,17 @@ Result<mem::FrameRef> Executive::alloc_frame(std::size_t payload_bytes,
 Status Executive::post(mem::FrameRef frame) {
   auto hdr = i2o::decode_header(frame.bytes());
   if (!hdr.is_ok()) {
-    stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
+    stats_.dropped_malformed->add();
     return hdr.status();
   }
   ScheduledItem in;
   in.header = hdr.value();
   in.frame = std::move(frame);
   if (!inbound_.try_push(std::move(in))) {
-    stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
+    stats_.dropped_malformed->add();
     return {Errc::ResourceExhausted, "inbound queue full"};
   }
-  stats_.posted.fetch_add(1, std::memory_order_relaxed);
+  stats_.posted->add();
   return Status::ok();
 }
 
@@ -548,7 +600,7 @@ std::size_t Executive::post_batch(std::span<mem::FrameRef> frames) {
   for (mem::FrameRef& frame : frames) {
     auto hdr = i2o::decode_header(frame.bytes());
     if (!hdr.is_ok()) {
-      stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
+      stats_.dropped_malformed->add();
       frame.reset();
       continue;
     }
@@ -562,11 +614,11 @@ std::size_t Executive::post_batch(std::span<mem::FrameRef> frames) {
         return in;
       });
   if (pushed > 0) {
-    stats_.posted.fetch_add(pushed, std::memory_order_relaxed);
+    stats_.posted->add(pushed);
   }
   // Backpressure: frames past the accepted prefix go back to the pool.
   for (std::size_t i = pushed; i < valid.size(); ++i) {
-    stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
+    stats_.dropped_malformed->add();
     valid[i].frame->reset();
   }
   return pushed;
@@ -577,6 +629,7 @@ Status Executive::frame_send(mem::FrameRef frame) {
   if (!hdr.is_ok()) {
     return hdr.status();
   }
+  record_hop(hdr.value(), obs::Hop::Send);
   // Local targets resolve through the flat table without touching the
   // address-table mutex; only proxies (and misses) take the slow path.
   if (table_.local_device(hdr.value().target) != nullptr) {
@@ -586,14 +639,14 @@ Status Executive::frame_send(mem::FrameRef frame) {
     if (!inbound_.try_push(std::move(in))) {
       return {Errc::ResourceExhausted, "inbound queue full"};
     }
-    stats_.posted.fetch_add(1, std::memory_order_relaxed);
-    stats_.sent_local.fetch_add(1, std::memory_order_relaxed);
+    stats_.posted->add();
+    stats_.sent_local->add();
     return Status::ok();
   }
   auto entry = table_.lookup(hdr.value().target);
   if (!entry.is_ok()) {
-    stats_.dropped_unknown.fetch_add(1, std::memory_order_relaxed);
-return {Errc::Unroutable, "target TiD not in address table"};
+    stats_.dropped_unknown->add();
+    return {Errc::Unroutable, "target TiD not in address table"};
   }
   if (entry.value().kind == AddressEntry::Kind::Local) {
     ScheduledItem in;
@@ -602,9 +655,9 @@ return {Errc::Unroutable, "target TiD not in address table"};
     if (!inbound_.try_push(std::move(in))) {
       return {Errc::ResourceExhausted, "inbound queue full"};
     }
-    stats_.posted.fetch_add(1, std::memory_order_relaxed);
-    stats_.sent_local.fetch_add(1, std::memory_order_relaxed);
-return Status::ok();
+    stats_.posted->add();
+    stats_.sent_local->add();
+    return Status::ok();
   }
 
   // Proxy: rewrite the target to the remote node's local TiD and push the
@@ -623,7 +676,8 @@ return Status::ok();
   Status sent = pt.value()->transport_send(
       proxy.node, std::span<const std::byte>(frame.bytes()));
   if (sent.is_ok()) {
-    stats_.sent_remote.fetch_add(1, std::memory_order_relaxed);
+    stats_.sent_remote->add();
+    record_hop(hdr.value(), obs::Hop::TxWire);
     // Remember requests awaiting a remote reply so a peer death can
     // synthesize their FAIL replies immediately.
     if (!hdr.value().is_reply() && hdr.value().initiator != i2o::kNullTid) {
@@ -638,9 +692,10 @@ Status Executive::deliver_from_wire(i2o::NodeId src_node, i2o::Tid pt_tid,
                                     std::uint64_t t_wire) {
   auto hdr = i2o::decode_header(wire);
   if (!hdr.is_ok()) {
-    stats_.dropped_malformed.fetch_add(1, std::memory_order_relaxed);
+    stats_.dropped_malformed->add();
     return hdr.status();
   }
+  record_hop(hdr.value(), obs::Hop::RxWire);
   auto frame = pool_->allocate(wire.size());
   if (!frame.is_ok()) {
     return frame.status();
@@ -675,7 +730,7 @@ Status Executive::deliver_from_wire(i2o::NodeId src_node, i2o::Tid pt_tid,
   if (!inbound_.try_push(std::move(in))) {
     return {Errc::ResourceExhausted, "inbound queue full"};
   }
-  stats_.posted.fetch_add(1, std::memory_order_relaxed);
+  stats_.posted->add();
   return Status::ok();
 }
 
@@ -857,7 +912,7 @@ bool Executive::pump(bool allow_block) {
       release_batch_.clear();
     }
     idle_pumps_ = 0;
-    bump(stats_.dispatch_batches);
+    stats_.dispatch_batches->bump();
     return true;
   }
 
@@ -890,6 +945,15 @@ void Executive::dispatch(ScheduledItem& item) {
   if (inst) {
     item.probe.t_demux = rdtsc();
   }
+  // 1-in-64 sampling: the rdtsc pair and histogram add cost tens of ns,
+  // which is a real tax on a sub-100ns dispatch if paid per message.
+  // Sampled, the histogram still converges on the same shape (dispatch
+  // cost does not correlate with a power-of-two message index) while the
+  // amortized overhead drops under the 5% budget obs_overhead enforces.
+  const bool timed =
+      dispatch_ticks_ != nullptr && (++dispatch_sample_ & 63u) == 0;
+  const std::uint64_t t0 = timed ? rdtsc() : 0;
+  record_hop(item.header, obs::Hop::Dispatch);
 
   MessageContext ctx;
   ctx.header = item.header;
@@ -901,7 +965,7 @@ void Executive::dispatch(ScheduledItem& item) {
   // both end up as drops here, so the slow lookup is never needed.
   Device* dev = table_.local_device(ctx.header.target);
   if (dev == nullptr) {
-    stats_.dropped_unknown.fetch_add(1, std::memory_order_relaxed);
+    stats_.dropped_unknown->add();
     if (!ctx.header.is_reply()) {
       send_fail_reply(ctx, "unknown target TiD");
     }
@@ -912,7 +976,7 @@ void Executive::dispatch(ScheduledItem& item) {
 
   if (ctx.header.is_reply()) {
     dev->on_reply(ctx);
-    bump(stats_.dispatched);
+    stats_.dispatched->bump();
   } else if (ctx.header.is_private()) {
     // Core timer expiries and event notifications surface through their
     // dedicated hooks in every live state.
@@ -932,7 +996,7 @@ void Executive::dispatch(ScheduledItem& item) {
                       ctx.payload.subspan(4));
       }
     } else if (dev->state() != DeviceState::Enabled) {
-      bump(stats_.rejected_disabled);
+      stats_.rejected_disabled->bump();
       send_fail_reply(ctx, "device not enabled");
       outcome = TraceEntry::Outcome::FailReplied;
     } else {
@@ -962,7 +1026,7 @@ void Executive::dispatch(ScheduledItem& item) {
         faulted = true;
         log_.error("watchdog: handler overran deadline in '",
                    dev->instance_name(), "'");
-        bump(stats_.watchdog_trips);
+        stats_.watchdog_trips->bump();
       }
       if (faulted) {
         // Quarantine: the paper notes a misbehaving handler must not stall
@@ -974,9 +1038,9 @@ void Executive::dispatch(ScheduledItem& item) {
       } else if (!handled) {
         // "The system can provide default procedures if for a given event
         // no code is supplied": the default is a failure report.
-        bump(stats_.default_handled);
+        stats_.default_handled->bump();
         send_fail_reply(ctx, "no handler bound for xfunction");
-      } else bump(stats_.dispatched);
+      } else stats_.dispatched->bump();
     }
   } else {
     deliver_standard(*dev, ctx);
@@ -997,6 +1061,9 @@ void Executive::dispatch(ScheduledItem& item) {
     item.probe.t_released = rdtsc();
     probes_.append(item.probe);
   }
+  if (timed) {
+    dispatch_ticks_->add(static_cast<double>(rdtsc() - t0));
+  }
 }
 
 void Executive::deliver_standard(Device& dev, const MessageContext& ctx) {
@@ -1013,7 +1080,7 @@ void Executive::deliver_standard(Device& dev, const MessageContext& ctx) {
   } else {
     handle_util(dev, ctx);
   }
-  bump(stats_.dispatched);
+  stats_.dispatched->bump();
 }
 
 void Executive::handle_util(Device& dev, const MessageContext& ctx) {
@@ -1279,7 +1346,7 @@ void Executive::send_fail_reply(const MessageContext& ctx,
   if (ctx.header.initiator == i2o::kNullTid || ctx.header.is_reply()) {
     return;  // nobody to tell, or replying to a reply would loop
   }
-  bump(stats_.failed_replies);
+  stats_.failed_replies->bump();
   (void)send_param_reply(ctx, {{"error", std::string(reason)}},
                          /*failed=*/true);
 }
@@ -1349,6 +1416,17 @@ std::vector<TraceEntry> Executive::recent_dispatches() const {
     out.push_back(trace_ring_[idx]);
   }
   return out;
+}
+
+void Executive::record_hop_slow(const i2o::FrameHeader& hdr, obs::Hop hop) {
+  obs::HopRecord rec;
+  rec.trace_id = hdr.initiator_context;
+  rec.t_ns = now_ns();
+  rec.node = config_.node_id;
+  rec.target = hdr.target;
+  rec.hop = hop;
+  rec.is_reply = hdr.is_reply();
+  hops_->record(rec);
 }
 
 void Executive::watchdog_main(std::chrono::nanoseconds deadline) {

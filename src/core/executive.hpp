@@ -38,6 +38,8 @@
 #include "i2o/paramlist.hpp"
 #include "i2o/types.hpp"
 #include "mem/pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/queue.hpp"
 #include "util/status.hpp"
@@ -75,6 +77,14 @@ struct ExecutiveConfig {
   /// Dispatch trace: keep the last N dispatched message summaries for
   /// diagnostics (0 disables tracing).
   std::size_t trace_capacity = 0;
+  /// Observability layer (metrics registry histograms + cross-peer hop
+  /// tracing). Effective only when obs::enabled() also holds - the
+  /// XDAQ_OBS_OFF environment switch wins. Counters always run; this
+  /// gates the per-dispatch timing histogram and the hop trace ring.
+  bool observe = true;
+  /// Capacity of the cross-peer hop trace ring (frames carrying a nonzero
+  /// InitiatorContext trace id record one hop per stage). 0 disables.
+  std::size_t hop_trace_capacity = 256;
 };
 
 /// One dispatched message, as kept by the trace ring.
@@ -114,42 +124,45 @@ struct ExecutiveStats {
   std::uint64_t dispatch_batches = 0;
 };
 
-/// Internal lock-free counterpart of ExecutiveStats: senders and the
-/// dispatch thread bump counters on every message, so a mutex here would
-/// serialize the hot path.
-struct AtomicExecutiveStats {
-  std::atomic<std::uint64_t> posted{0};
-  std::atomic<std::uint64_t> dispatched{0};
-  std::atomic<std::uint64_t> sent_local{0};
-  std::atomic<std::uint64_t> sent_remote{0};
-  std::atomic<std::uint64_t> failed_replies{0};
-  std::atomic<std::uint64_t> dropped_unknown{0};
-  std::atomic<std::uint64_t> dropped_malformed{0};
-  std::atomic<std::uint64_t> default_handled{0};
-  std::atomic<std::uint64_t> rejected_disabled{0};
-  std::atomic<std::uint64_t> watchdog_trips{0};
-  std::atomic<std::uint64_t> timer_fires{0};
-  std::atomic<std::uint64_t> peer_state_changes{0};
-  std::atomic<std::uint64_t> synth_unavailable{0};
-  std::atomic<std::uint64_t> dispatch_batches{0};
+/// Registry-backed executive counters (formerly a private struct of bare
+/// atomics): every field is a named obs::Counter owned by the node's
+/// MetricsRegistry, so the same relaxed-atomic value feeds stats(), the
+/// MonitorDevice snapshot, and the JSON dump. Multi-writer counters use
+/// add(); dispatch-thread-only counters use the cheaper bump().
+struct ExecCounters {
+  obs::Counter* posted = nullptr;
+  obs::Counter* dispatched = nullptr;
+  obs::Counter* sent_local = nullptr;
+  obs::Counter* sent_remote = nullptr;
+  obs::Counter* failed_replies = nullptr;
+  obs::Counter* dropped_unknown = nullptr;
+  obs::Counter* dropped_malformed = nullptr;
+  obs::Counter* default_handled = nullptr;
+  obs::Counter* rejected_disabled = nullptr;
+  obs::Counter* watchdog_trips = nullptr;
+  obs::Counter* timer_fires = nullptr;
+  obs::Counter* peer_state_changes = nullptr;
+  obs::Counter* synth_unavailable = nullptr;
+  obs::Counter* dispatch_batches = nullptr;
+
+  void wire(obs::MetricsRegistry& registry);
 
   [[nodiscard]] ExecutiveStats snapshot() const {
     ExecutiveStats s;
-    s.posted = posted.load(std::memory_order_relaxed);
-    s.dispatched = dispatched.load(std::memory_order_relaxed);
-    s.sent_local = sent_local.load(std::memory_order_relaxed);
-    s.sent_remote = sent_remote.load(std::memory_order_relaxed);
-    s.failed_replies = failed_replies.load(std::memory_order_relaxed);
-    s.dropped_unknown = dropped_unknown.load(std::memory_order_relaxed);
-    s.dropped_malformed = dropped_malformed.load(std::memory_order_relaxed);
-    s.default_handled = default_handled.load(std::memory_order_relaxed);
-    s.rejected_disabled = rejected_disabled.load(std::memory_order_relaxed);
-    s.watchdog_trips = watchdog_trips.load(std::memory_order_relaxed);
-    s.timer_fires = timer_fires.load(std::memory_order_relaxed);
-    s.peer_state_changes =
-        peer_state_changes.load(std::memory_order_relaxed);
-    s.synth_unavailable = synth_unavailable.load(std::memory_order_relaxed);
-    s.dispatch_batches = dispatch_batches.load(std::memory_order_relaxed);
+    s.posted = posted->value();
+    s.dispatched = dispatched->value();
+    s.sent_local = sent_local->value();
+    s.sent_remote = sent_remote->value();
+    s.failed_replies = failed_replies->value();
+    s.dropped_unknown = dropped_unknown->value();
+    s.dropped_malformed = dropped_malformed->value();
+    s.default_handled = default_handled->value();
+    s.rejected_disabled = rejected_disabled->value();
+    s.watchdog_trips = watchdog_trips->value();
+    s.timer_fires = timer_fires->value();
+    s.peer_state_changes = peer_state_changes->value();
+    s.synth_unavailable = synth_unavailable->value();
+    s.dispatch_batches = dispatch_batches->value();
     return s;
   }
 };
@@ -323,6 +336,24 @@ class Executive {
   /// disabled). Thread-safe.
   [[nodiscard]] std::vector<TraceEntry> recent_dispatches() const;
 
+  // --- observability -------------------------------------------------------
+
+  /// This node's metrics registry: executive counters, the dispatch-cost
+  /// histogram, and snapshot probes for scheduler depths, pool stats and
+  /// every installed transport. MonitorDevice serializes it over I2O.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  /// Cross-peer hop trace ring; nullptr when tracing is disabled
+  /// (observe=false, hop_trace_capacity=0, or XDAQ_OBS_OFF).
+  [[nodiscard]] const obs::TraceRing* hop_trace() const noexcept {
+    return hops_.get();
+  }
+  /// True when the optional observability paths (hop tracing, dispatch
+  /// timing histogram) were armed at construction.
+  [[nodiscard]] bool observing() const noexcept { return obs_on_; }
+
  private:
   /// The device occupying TiD 1. Exec-class messages addressed to it are
   /// handled by the owning Executive.
@@ -365,6 +396,18 @@ class Executive {
 
   ExecutiveConfig config_;
   Logger log_;
+  /// Declared before the devices map: transport probes registered at
+  /// install time capture device pointers, and counters are read by
+  /// stats() until the very end.
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceRing> hops_;
+  bool obs_on_ = false;
+  /// Per-dispatch cost in rdtsc ticks ("exec.dispatch_ticks"); nullptr
+  /// when observability is off so the hot path skips both tick reads.
+  /// Sampled 1-in-64 (dispatch-thread-only counter) to keep the rdtsc
+  /// pair off the common path.
+  obs::Histogram* dispatch_ticks_ = nullptr;
+  std::uint32_t dispatch_sample_ = 0;
   std::unique_ptr<mem::Pool> pool_;
   AddressTable table_;
   Scheduler scheduler_;
@@ -420,8 +463,16 @@ class Executive {
   std::thread watchdog_thread_;
 
   void trace(const i2o::FrameHeader& hdr, TraceEntry::Outcome outcome);
+  /// Records one cross-peer hop for frames carrying a trace id (no-op
+  /// for the 0 id every untraced frame carries).
+  void record_hop(const i2o::FrameHeader& hdr, obs::Hop hop) {
+    if (hops_ != nullptr && hdr.initiator_context != 0) {
+      record_hop_slow(hdr, hop);
+    }
+  }
+  void record_hop_slow(const i2o::FrameHeader& hdr, obs::Hop hop);
 
-  AtomicExecutiveStats stats_;
+  ExecCounters stats_;
   ProbeLog probes_;
 
   /// Fixed ring of recent dispatches (mutex-guarded; the trace is a

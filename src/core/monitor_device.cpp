@@ -1,0 +1,80 @@
+#include "core/monitor_device.hpp"
+
+#include <cstdlib>
+
+#include "core/executive.hpp"
+#include "core/factory.hpp"
+#include "i2o/wire.hpp"
+#include "obs/trace.hpp"
+
+namespace xdaq::core {
+
+namespace {
+
+/// Serializes a parameter list into a reply payload buffer.
+std::vector<std::byte> encode_params(const i2o::ParamList& params) {
+  std::vector<std::byte> bytes(i2o::param_list_bytes(params));
+  (void)i2o::encode_param_list(params, bytes);
+  return bytes;
+}
+
+}  // namespace
+
+i2o::ParamList MonitorDevice::snapshot_params() const {
+  i2o::ParamList out;
+  out.emplace_back("node", std::to_string(executive().node_id()));
+  out.emplace_back("name", executive().name());
+  const obs::MetricsSnapshot snap = executive().metrics().snapshot();
+  for (auto& [key, value] : snap.to_params()) {
+    out.emplace_back(key, value);
+  }
+  return out;
+}
+
+std::string MonitorDevice::snapshot_json() const {
+  return executive().metrics().snapshot().to_json();
+}
+
+i2o::ParamList MonitorDevice::trace_params(std::uint32_t trace_id) const {
+  i2o::ParamList out;
+  const obs::TraceRing* ring = executive().hop_trace();
+  if (ring == nullptr) {
+    out.emplace_back("hops", "0");
+    return out;
+  }
+  const std::vector<obs::HopRecord> hops =
+      trace_id == 0 ? ring->snapshot() : ring->for_trace(trace_id);
+  out.emplace_back("hops", std::to_string(hops.size()));
+  std::size_t i = 0;
+  for (const obs::HopRecord& h : hops) {
+    out.emplace_back(
+        "hop." + std::to_string(i++),
+        std::to_string(h.trace_id) + " " + std::to_string(h.t_ns) + " " +
+            std::to_string(h.node) + " " + std::to_string(h.target) + " " +
+            std::string(obs::to_string(h.hop)) + " " +
+            (h.is_reply ? "reply" : "request"));
+  }
+  return out;
+}
+
+void MonitorDevice::plugin() {
+  bind(i2o::OrgId::kXdaq, kXfnObsSnapshot, [this](const MessageContext& ctx) {
+    (void)frame_reply(ctx, encode_params(snapshot_params()));
+  });
+  bind(i2o::OrgId::kXdaq, kXfnObsTrace, [this](const MessageContext& ctx) {
+    // Optional "trace" parameter narrows the dump to one trace id.
+    std::uint32_t id = 0;
+    if (auto params = i2o::decode_param_list(ctx.payload); params.is_ok()) {
+      const std::string v = i2o::param_value(params.value(), "trace");
+      if (!v.empty()) {
+        id = static_cast<std::uint32_t>(
+            std::strtoul(v.c_str(), nullptr, 10));
+      }
+    }
+    (void)frame_reply(ctx, encode_params(trace_params(id)));
+  });
+}
+
+XDAQ_REGISTER_DEVICE(MonitorDevice)
+
+}  // namespace xdaq::core

@@ -1,0 +1,47 @@
+// monitor_device.hpp - the observability endpoint of one node.
+//
+// A registered device class (installable by name through ExecPluginLoad,
+// like any application module) that answers private kXdaq functions with
+// the node's serialized metrics snapshot and cross-peer hop trace. Because
+// it is an ordinary device, a remote node reaches it through the normal
+// proxy-TiD path: register the remote monitor's TiD, call_private through
+// a Requester, and the reply crosses the peer transport like any other
+// frame - no side channel, monitoring traffic is I2O traffic.
+#pragma once
+
+#include <string>
+
+#include "core/device.hpp"
+
+namespace xdaq::core {
+
+/// Private function codes answered by MonitorDevice (OrgId::kXdaq).
+/// 0x0001/0x0002 belong to the timer service (timer.hpp); the monitor
+/// starts at 0x0010.
+inline constexpr std::uint16_t kXfnObsSnapshot = 0x0010;
+inline constexpr std::uint16_t kXfnObsTrace = 0x0011;
+
+class MonitorDevice final : public Device {
+ public:
+  MonitorDevice() : Device("MonitorDevice") {}
+
+  /// The parameter list a kXfnObsSnapshot reply carries: "node" and
+  /// "name" first, then every counter/gauge/probe sample and flattened
+  /// histogram from the executive's registry. Exposed so local callers
+  /// (benches, tests) can skip the frame round trip.
+  [[nodiscard]] i2o::ParamList snapshot_params() const;
+
+  /// The full snapshot as a JSON object string (obs::MetricsSnapshot::
+  /// to_json) - the dump hook benches write into their BENCH_*.json.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// The parameter list a kXfnObsTrace reply carries: "hops" plus one
+  /// "hop.<i>" entry per recorded hop, oldest first. `trace_id` 0 dumps
+  /// the whole ring; nonzero filters to one request's journey.
+  [[nodiscard]] i2o::ParamList trace_params(std::uint32_t trace_id) const;
+
+ protected:
+  void plugin() override;
+};
+
+}  // namespace xdaq::core

@@ -25,17 +25,24 @@ struct DispatchProbe {
 };
 
 /// Fixed-capacity probe log; dropping is preferable to reallocation noise.
+/// The cap is stored explicitly: reserve() is allowed to allocate MORE
+/// than requested, so comparing against records_.capacity() would let the
+/// log silently grow past its configured bound (and reallocate mid-run).
 class ProbeLog {
  public:
-  explicit ProbeLog(std::size_t capacity = 0) { records_.reserve(capacity); }
+  explicit ProbeLog(std::size_t capacity = 0) : cap_(capacity) {
+    records_.reserve(capacity);
+  }
 
   void set_capacity(std::size_t capacity) {
+    cap_ = capacity;
     records_.clear();
+    records_.shrink_to_fit();
     records_.reserve(capacity);
   }
 
   bool append(const DispatchProbe& p) {
-    if (records_.size() == records_.capacity()) {
+    if (records_.size() >= cap_) {
       ++dropped_;
       return false;
     }
@@ -45,12 +52,14 @@ class ProbeLog {
 
   void clear() noexcept { records_.clear(); dropped_ = 0; }
 
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
   [[nodiscard]] const std::vector<DispatchProbe>& records() const noexcept {
     return records_;
   }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
  private:
+  std::size_t cap_ = 0;
   std::vector<DispatchProbe> records_;
   std::uint64_t dropped_ = 0;
 };

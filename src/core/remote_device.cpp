@@ -13,7 +13,7 @@ Result<RemoteDevice> RemoteDevice::open(Requester& requester,
   }
   auto reply = requester.call_standard(kernel, i2o::Function::ExecTidLookup,
                                        {{"instance", instance_name}},
-                                       timeout);
+                                       CallOptions{.timeout = timeout});
   if (!reply.is_ok()) {
     return reply.status();
   }
@@ -51,7 +51,8 @@ Result<RemoteDevice> RemoteDevice::open(Requester& requester,
 
 Result<Requester::Reply> RemoteDevice::util_call(
     i2o::Function fn, const i2o::ParamList& params) {
-  auto reply = requester_->call_standard(target_, fn, params, timeout_);
+  auto reply = requester_->call_standard(target_, fn, params,
+                                         CallOptions{.timeout = timeout_});
   if (!reply.is_ok()) {
     return reply;
   }
@@ -101,7 +102,7 @@ Result<std::string> RemoteDevice::state() { return param("state"); }
 Status RemoteDevice::exec_op(i2o::Function fn) {
   auto reply = requester_->call_standard(kernel_, fn,
                                          {{"instance", instance_}},
-                                         timeout_);
+                                         CallOptions{.timeout = timeout_});
   if (!reply.is_ok()) {
     return reply.status();
   }
@@ -124,7 +125,8 @@ Status RemoteDevice::configure(const i2o::ParamList& params) {
   i2o::ParamList full = params;
   full.emplace_back("instance", instance_);
   auto reply = requester_->call_standard(
-      kernel_, i2o::Function::ExecConfigure, full, timeout_);
+      kernel_, i2o::Function::ExecConfigure, full,
+      CallOptions{.timeout = timeout_});
   if (!reply.is_ok()) {
     return reply.status();
   }
@@ -146,7 +148,7 @@ Result<Requester::Reply> RemoteDevice::call(
     i2o::OrgId org, std::uint16_t xfunction,
     std::span<const std::byte> payload) {
   return requester_->call_private(target_, org, xfunction, payload,
-                                  timeout_);
+                                  CallOptions{.timeout = timeout_});
 }
 
 }  // namespace xdaq::core

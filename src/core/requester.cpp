@@ -4,8 +4,21 @@
 #include <thread>
 
 #include "core/executive.hpp"
+#include "obs/trace.hpp"
 
 namespace xdaq::core {
+
+namespace {
+/// Resolves the InitiatorContext trace id for one call: 0 (untraced)
+/// unless options.trace is set, in which case an explicit trace_id wins
+/// over a freshly drawn one.
+std::uint32_t trace_id_for(const CallOptions& options) {
+  if (!options.trace) {
+    return 0;
+  }
+  return options.trace_id != 0 ? options.trace_id : obs::next_trace_id();
+}
+}  // namespace
 
 bool Requester::retryable(const Status& st, const CallOptions& options) {
   return options.retry_on_unavailable &&
@@ -35,6 +48,7 @@ Result<Requester::Reply> Requester::call_standard(
     hdr.target = target;
     hdr.initiator = tid();
     hdr.transaction_context = txn;
+    hdr.initiator_context = trace_id_for(options);
     auto bytes = frame.value().bytes();
     if (Status st = i2o::encode_header(hdr, bytes); !st.is_ok()) {
       return st;
@@ -63,7 +77,8 @@ Result<Requester::Reply> Requester::call_private(
       const std::scoped_lock lock(mutex_);
       txn = next_txn_++;
     }
-    auto frame = make_private_frame(target, org, xfunction, payload, txn);
+    auto frame = make_private_frame(target, org, xfunction, payload, txn,
+                                    trace_id_for(options));
     if (!frame.is_ok()) {
       return frame.status();
     }

@@ -35,6 +35,12 @@ struct CallOptions {
   /// retry_delay between attempts, instead of surfacing the error.
   bool retry_on_unavailable = false;
   std::chrono::nanoseconds retry_delay = std::chrono::milliseconds(20);
+  /// Stamp the request with a cross-peer trace id (obs::next_trace_id()
+  /// unless trace_id is set) carried in the frame's InitiatorContext.
+  /// Every executive on the path records a hop into its trace ring, and
+  /// make_reply_header copies the context so the reply is correlated too.
+  bool trace = false;
+  std::uint32_t trace_id = 0;
 };
 
 class Requester : public Device {
@@ -67,21 +73,6 @@ class Requester : public Device {
                              std::uint16_t xfunction,
                              std::span<const std::byte> payload,
                              const CallOptions& options = {});
-
-  /// Deprecated bare-timeout overloads, kept for source compatibility;
-  /// use the CallOptions forms in new code.
-  Result<Reply> call_standard(i2o::Tid target, i2o::Function fn,
-                              const i2o::ParamList& params,
-                              std::chrono::nanoseconds timeout) {
-    return call_standard(target, fn, params, CallOptions{.timeout = timeout});
-  }
-  Result<Reply> call_private(i2o::Tid target, i2o::OrgId org,
-                             std::uint16_t xfunction,
-                             std::span<const std::byte> payload,
-                             std::chrono::nanoseconds timeout) {
-    return call_private(target, org, xfunction, payload,
-                        CallOptions{.timeout = timeout});
-  }
 
   /// Outstanding (unanswered) calls.
   [[nodiscard]] std::size_t outstanding() const;

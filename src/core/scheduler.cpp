@@ -5,6 +5,18 @@
 
 namespace xdaq::core {
 
+namespace {
+/// Single-writer relaxed adjust: the dispatch thread is the only writer,
+/// snapshot readers tolerate slightly stale values.
+template <typename T>
+inline void adjust(std::atomic<T>& v, std::int64_t d) noexcept {
+  v.store(static_cast<T>(
+              static_cast<std::int64_t>(v.load(std::memory_order_relaxed)) +
+              d),
+          std::memory_order_relaxed);
+}
+}  // namespace
+
 void Scheduler::enqueue(int priority, ScheduledItem item) {
   const int p = std::clamp(priority, i2o::kHighestPriority,
                            i2o::kLowestPriority);
@@ -24,6 +36,7 @@ void Scheduler::enqueue(int priority, ScheduledItem item) {
   }
   fifo->push_back(std::move(item));
   ++pending_;
+  adjust(depth_[static_cast<std::size_t>(p)], 1);
 }
 
 std::optional<ScheduledItem> Scheduler::next() {
@@ -63,7 +76,8 @@ bool Scheduler::next(ScheduledItem& out) {
     nonempty_mask_ &= static_cast<std::uint8_t>(~(1U << p));
   }
   --pending_;
-  ++served_[p];
+  adjust(depth_[p], -1);
+  adjust(served_[p], 1);
   return true;
 }
 
@@ -88,6 +102,8 @@ std::size_t Scheduler::discard_for(i2o::Tid tid) {
     const auto it = level.fifos.find(tid);
     if (it != level.fifos.end()) {
       dropped += it->second.size();
+      adjust(depth_[p],
+             -static_cast<std::int64_t>(it->second.size()));
       level.fifos.erase(it);
     }
     level.rotation.erase(

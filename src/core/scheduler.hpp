@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -112,9 +113,34 @@ class Scheduler {
   std::size_t discard_for(i2o::Tid tid);
 
   /// Messages served since construction, per priority (stats).
-  [[nodiscard]] const std::array<std::uint64_t, i2o::kNumPriorities>&
+  [[nodiscard]] const std::array<std::atomic<std::uint64_t>,
+                                 i2o::kNumPriorities>&
   served_per_priority() const noexcept {
     return served_;
+  }
+
+  // Thread-safe observability counters. The scheduler itself is dispatch-
+  // thread-only (pending_at walks per-level maps), but the metrics
+  // registry samples queue depths from whatever thread asks for a
+  // snapshot; these single-writer relaxed atomics make that race-free.
+
+  /// Queue depth of one priority level (relaxed; any thread).
+  [[nodiscard]] std::size_t depth_at(int priority) const noexcept {
+    if (priority < 0 ||
+        priority >= static_cast<int>(i2o::kNumPriorities)) {
+      return 0;
+    }
+    return depth_[static_cast<std::size_t>(priority)].load(
+        std::memory_order_relaxed);
+  }
+  /// Messages served at one priority level (relaxed; any thread).
+  [[nodiscard]] std::uint64_t served_at(int priority) const noexcept {
+    if (priority < 0 ||
+        priority >= static_cast<int>(i2o::kNumPriorities)) {
+      return 0;
+    }
+    return served_[static_cast<std::size_t>(priority)].load(
+        std::memory_order_relaxed);
   }
 
  private:
@@ -132,8 +158,11 @@ class Scheduler {
     RingFifo<ScheduledItem>* cached_fifo = nullptr;
   };
 
+  /// Single-writer (dispatch thread) load+store updates; other threads
+  /// only read. served_ doubles as the public stats array.
   std::array<Level, i2o::kNumPriorities> levels_;
-  std::array<std::uint64_t, i2o::kNumPriorities> served_{};
+  std::array<std::atomic<std::uint64_t>, i2o::kNumPriorities> served_{};
+  std::array<std::atomic<std::size_t>, i2o::kNumPriorities> depth_{};
   std::size_t pending_ = 0;
   /// Bit p set iff levels_[p] has a non-empty rotation; next() jumps to
   /// the highest-priority populated level with one countr_zero instead

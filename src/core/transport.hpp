@@ -48,6 +48,7 @@
 
 #include "core/device.hpp"
 #include "i2o/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace xdaq::core {
 
@@ -150,6 +151,17 @@ class TransportDevice : public Device {
   /// the cable was pulled. The transport reacts exactly as it would to a
   /// real failure (detection, reconnect). Default: no-op.
   virtual void disrupt_peer(i2o::NodeId node) { (void)node; }
+
+  /// Appends this transport's counters to a metrics snapshot, each named
+  /// "<prefix>.<counter>". The executive registers one registry probe per
+  /// installed transport, so every PT shows up in the node's MonitorDevice
+  /// snapshot without keeping parallel counters. Called from whichever
+  /// thread takes the snapshot: read only atomics or take your own locks.
+  virtual void append_metrics(const std::string& prefix,
+                              std::vector<obs::Sample>& out) const {
+    (void)prefix;
+    (void)out;
+  }
 
  protected:
   TransportDevice(std::string class_name, Mode mode,

@@ -1,0 +1,246 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace xdaq::obs {
+
+namespace {
+
+std::atomic<int> g_enabled{-1};  ///< -1 = not yet latched from environment
+
+bool latch_from_env() noexcept {
+  const char* off = std::getenv("XDAQ_OBS_OFF");
+  const bool on = off == nullptr || off[0] == '\0' ||
+                  (off[0] == '0' && off[1] == '\0');
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                    std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed) == 1;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  const int v = g_enabled.load(std::memory_order_relaxed);
+  if (v >= 0) {
+    return v == 1;
+  }
+  return latch_from_env();
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------------- Histogram
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_(0) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("obs::Histogram: need bins>0 and hi>lo");
+  }
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_ = std::vector<std::atomic<std::uint64_t>>(bins);
+}
+
+void Histogram::add(double x) noexcept {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + x,
+                                     std::memory_order_relaxed)) {
+  }
+  if (x < lo_) {
+    under_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (x >= hi_) {
+    over_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) {
+    bin = counts_.size() - 1;  // FP edge at hi_
+  }
+  counts_[bin].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.lo = lo_;
+  out.hi = hi_;
+  out.underflow = under_.load(std::memory_order_relaxed);
+  out.overflow = over_.load(std::memory_order_relaxed);
+  out.total = total_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    out.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (total == 0 || counts.empty()) {
+    return 0.0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  const double width =
+      (hi - lo) / static_cast<double>(counts.size());
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total - 1));
+  std::uint64_t seen = underflow;
+  if (rank < seen) {
+    return lo;
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    if (rank < seen + counts[i]) {
+      const double frac = static_cast<double>(rank - seen + 1) /
+                          static_cast<double>(counts[i]);
+      return lo + width * (static_cast<double>(i) + frac);
+    }
+    seen += counts[i];
+  }
+  return hi;  // rank landed in overflow
+}
+
+// ------------------------------------------------------------------ Registry
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bins) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(lo, hi, bins);
+  }
+  return *slot;
+}
+
+void MetricsRegistry::register_probe(ProbeFn probe) {
+  const std::scoped_lock lock(mutex_);
+  probes_.push_back(std::move(probe));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  const std::scoped_lock lock(mutex_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs = h->snapshot();
+    hs.name = name;
+    out.histograms.push_back(std::move(hs));
+  }
+  for (const ProbeFn& probe : probes_) {
+    probe(out.samples);
+  }
+  return out;
+}
+
+// -------------------------------------------------------------------- export
+
+i2o::ParamList MetricsSnapshot::to_params() const {
+  i2o::ParamList out;
+  out.reserve(counters.size() + gauges.size() + samples.size() +
+              histograms.size() * 7);
+  for (const auto& [name, v] : counters) {
+    out.emplace_back(name, std::to_string(v));
+  }
+  for (const auto& [name, v] : gauges) {
+    out.emplace_back(name, std::to_string(v));
+  }
+  for (const Sample& s : samples) {
+    out.emplace_back(s.name, std::to_string(s.value));
+  }
+  char buf[64];
+  for (const HistogramSnapshot& h : histograms) {
+    out.emplace_back(h.name + ".count", std::to_string(h.total));
+    std::snprintf(buf, sizeof buf, "%.3f", h.mean());
+    out.emplace_back(h.name + ".mean", buf);
+    std::snprintf(buf, sizeof buf, "%.3f", h.quantile(0.50));
+    out.emplace_back(h.name + ".p50", buf);
+    std::snprintf(buf, sizeof buf, "%.3f", h.quantile(0.90));
+    out.emplace_back(h.name + ".p90", buf);
+    std::snprintf(buf, sizeof buf, "%.3f", h.quantile(0.99));
+    out.emplace_back(h.name + ".p99", buf);
+    out.emplace_back(h.name + ".underflow", std::to_string(h.underflow));
+    out.emplace_back(h.name + ".overflow", std::to_string(h.overflow));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(v);
+    first = false;
+  }
+  for (const Sample& s : samples) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + s.name + "\": " + std::to_string(s.value);
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  char buf[160];
+  for (const HistogramSnapshot& h : histograms) {
+    out += first ? "\n" : ",\n";
+    std::snprintf(buf, sizeof buf,
+                  "    \"%s\": {\"count\": %llu, \"mean\": %.3f, "
+                  "\"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, "
+                  "\"underflow\": %llu, \"overflow\": %llu}",
+                  h.name.c_str(),
+                  static_cast<unsigned long long>(h.total), h.mean(),
+                  h.quantile(0.50), h.quantile(0.90), h.quantile(0.99),
+                  static_cast<unsigned long long>(h.underflow),
+                  static_cast<unsigned long long>(h.overflow));
+    out += buf;
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace xdaq::obs

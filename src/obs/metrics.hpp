@@ -1,0 +1,190 @@
+// metrics.hpp - the per-node metrics registry.
+//
+// The paper's evaluation is instrumentation (Table 1 whitebox probes,
+// Fig. 6 blackbox fits), but the repro grew its telemetry ad hoc: executive
+// counters in one struct, scheduler depths behind the dispatch thread, pool
+// stats in mem, per-transport one-offs in every PT. MetricsRegistry is the
+// one place all of it surfaces: named counters, gauges and bounded
+// histograms with relaxed-atomic hot-path updates, plus snapshot-time probe
+// callbacks for values that already live elsewhere (queue depths, pool
+// stats, transport counters) and should not be double-counted on the hot
+// path.
+//
+// Threading model:
+//  * Instrument registration (counter()/gauge()/histogram()/
+//    register_probe()) takes the registry mutex; instruments are
+//    heap-allocated so the returned references stay stable forever.
+//  * Instrument updates are lock-free relaxed atomics - safe from any
+//    thread, cheap enough for the dispatch loop.
+//  * snapshot() takes the mutex (against registration, not updates) and
+//    reads every instrument with relaxed loads: counters are monotonic, so
+//    the snapshot is a consistent "at or after the call" view.
+//
+// The whole layer can be disabled per process with XDAQ_OBS_OFF=1 (or per
+// call site with set_enabled); instrumented components cache enabled() at
+// construction and skip their recording entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "i2o/paramlist.hpp"
+
+namespace xdaq::obs {
+
+/// Process-wide master switch. First call latches the environment:
+/// XDAQ_OBS_OFF set (to anything but "0") disables observability.
+[[nodiscard]] bool enabled() noexcept;
+/// Test/bench override of the environment latch (affects components
+/// constructed afterwards; existing ones keep their cached decision).
+void set_enabled(bool on) noexcept;
+
+/// Monotonic named counter. add() is a relaxed fetch_add (multi-writer);
+/// bump() is a relaxed load+store for counters with a single writing
+/// thread (the dispatch loop), which avoids the locked RMW.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::uint64_t n = 1) noexcept {
+    v_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  /// Single-writer increment; concurrent bump() calls may lose updates.
+  void bump() noexcept {
+    v_.store(v_.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value-wins signed gauge.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  double lo = 0;
+  double hi = 0;
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t total = 0;
+  double sum = 0;
+  std::vector<std::uint64_t> counts;
+
+  [[nodiscard]] double mean() const noexcept {
+    return total > 0 ? sum / static_cast<double>(total) : 0.0;
+  }
+  /// Approximate quantile (0..1) by linear interpolation within the
+  /// owning bin; underflow maps to lo, overflow to hi.
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+/// Fixed-range linear-bin histogram with relaxed-atomic bins. Values
+/// below/above the range land in underflow/overflow. The bin array is
+/// sized at construction and never resized, so add() is wait-free.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument unless bins > 0 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> under_{0};
+  std::atomic<std::uint64_t> over_{0};
+  std::atomic<std::uint64_t> total_{0};
+  /// Sum of added values as a CAS loop over double bits (fetch_add on
+  /// atomic<double> is C++20 but not universally lowered well; the loop
+  /// is portable and the histogram add dominates anyway).
+  std::atomic<double> sum_{0.0};
+};
+
+/// One sampled value contributed by a snapshot-time probe.
+struct Sample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// Everything the registry knows, exported at one point in time.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<Sample> samples;  ///< probe-contributed values
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Flattens to an I2O parameter list (the MonitorDevice wire format):
+  /// counters/gauges/samples as name=value, histograms as
+  /// name.count/.mean/.p50/.p90/.p99/.underflow/.overflow.
+  [[nodiscard]] i2o::ParamList to_params() const;
+  /// JSON dump (benches and the MonitorDevice JSON hook reuse this).
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named instrument, creating it on first use. References
+  /// stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First registration fixes the range/bin shape; later calls with the
+  /// same name return the existing histogram regardless of arguments.
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t bins);
+
+  /// Snapshot-time callback: appends fully named samples. Used to export
+  /// state that already has an owner (scheduler depths, pool stats,
+  /// transport counters) without a second hot-path counter. Probes must
+  /// be safe to run from any thread.
+  using ProbeFn = std::function<void(std::vector<Sample>&)>;
+  void register_probe(ProbeFn probe);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: export order is sorted by name, deterministically.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<ProbeFn> probes_;
+};
+
+}  // namespace xdaq::obs

@@ -1,0 +1,68 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+
+namespace xdaq::obs {
+
+std::string_view to_string(Hop h) noexcept {
+  switch (h) {
+    case Hop::Send:
+      return "send";
+    case Hop::TxWire:
+      return "tx_wire";
+    case Hop::RxWire:
+      return "rx_wire";
+    case Hop::Dispatch:
+      return "dispatch";
+  }
+  return "?";
+}
+
+std::uint32_t next_trace_id() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  while (id == 0) {  // wrapped: 0 means "untraced", skip it
+    id = next.fetch_add(1, std::memory_order_relaxed);
+  }
+  return id;
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1) {}
+
+void TraceRing::record(const HopRecord& r) noexcept {
+  const std::scoped_lock lock(mutex_);
+  ring_[next_] = r;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<HopRecord> TraceRing::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<HopRecord> out;
+  const std::size_t n =
+      total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                            : ring_.size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(next_ + ring_.size() - n + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<HopRecord> TraceRing::for_trace(std::uint32_t id) const {
+  std::vector<HopRecord> out;
+  for (const HopRecord& r : snapshot()) {
+    if (r.trace_id == id) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::recorded() const {
+  const std::scoped_lock lock(mutex_);
+  return total_;
+}
+
+}  // namespace xdaq::obs

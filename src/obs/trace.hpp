@@ -1,0 +1,77 @@
+// trace.hpp - cross-peer frame tracing.
+//
+// One request in a cluster crosses several executives: the sender's
+// frame_send, a peer transport, the remote node's wire delivery and
+// dispatch, then the same path back for the reply. A trace id stamped into
+// the I2O frame's InitiatorContext word (unused by the framework's own
+// request/reply matching, which lives in TransactionContext) survives that
+// whole journey untouched: every executive on the path appends a
+// timestamped hop record to its own fixed-capacity TraceRing, and
+// make_reply_header copies both context words, so the reply carries the
+// same id home. Stitching the per-node rings together by trace id yields
+// the full local -> TCP -> remote -> reply timeline.
+//
+// Frames whose InitiatorContext is 0 (everything by default) record
+// nothing; the hot-path cost of the feature is one null/zero check.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace xdaq::obs {
+
+/// Where on the path a hop was recorded.
+enum class Hop : std::uint8_t {
+  Send,      ///< frame_send accepted the frame on the recording node
+  TxWire,    ///< handed to a peer transport towards another node
+  RxWire,    ///< arrived from a peer transport on the recording node
+  Dispatch,  ///< delivered to its target device on the recording node
+};
+
+[[nodiscard]] std::string_view to_string(Hop h) noexcept;
+
+/// Allocates a process-wide trace id; never returns 0 (0 = "untraced").
+[[nodiscard]] std::uint32_t next_trace_id() noexcept;
+
+struct HopRecord {
+  std::uint32_t trace_id = 0;
+  std::uint64_t t_ns = 0;      ///< wall clock at the hop
+  std::uint16_t node = 0;      ///< recording node
+  std::uint16_t target = 0;    ///< frame's target TiD as seen locally
+  Hop hop = Hop::Send;
+  bool is_reply = false;
+};
+
+/// Fixed-capacity per-node ring of hop records, oldest overwritten first.
+/// Hops are recorded only for traced frames, so a mutex (uncontended in
+/// practice) is cheaper than lock-free machinery here.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void record(const HopRecord& r) noexcept;
+
+  /// All retained records, oldest first.
+  [[nodiscard]] std::vector<HopRecord> snapshot() const;
+  /// Retained records for one trace id, oldest first.
+  [[nodiscard]] std::vector<HopRecord> for_trace(std::uint32_t id) const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.size();
+  }
+  /// Total records ever written (>= retained count once wrapped).
+  [[nodiscard]] std::uint64_t recorded() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<HopRecord> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace xdaq::obs

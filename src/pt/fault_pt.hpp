@@ -67,6 +67,25 @@ class FaultInjectingTransport final : public core::TransportDevice {
   };
   [[nodiscard]] InjectStats inject_stats() const;
 
+  /// Reports its own injection counters, then the wrapped transport's
+  /// under the same prefix (the decorator is what the executive installed,
+  /// so it speaks for both layers).
+  void append_metrics(const std::string& prefix,
+                      std::vector<obs::Sample>& out) const override {
+    const InjectStats s = inject_stats();
+    out.push_back({prefix + ".inject_sends",
+                   static_cast<std::int64_t>(s.sends)});
+    out.push_back({prefix + ".inject_dropped",
+                   static_cast<std::int64_t>(s.dropped)});
+    out.push_back({prefix + ".inject_delayed",
+                   static_cast<std::int64_t>(s.delayed)});
+    out.push_back({prefix + ".inject_duplicated",
+                   static_cast<std::int64_t>(s.duplicated)});
+    out.push_back({prefix + ".inject_disconnects",
+                   static_cast<std::int64_t>(s.disconnects)});
+    inner_->append_metrics(prefix, out);
+  }
+
  protected:
   Status on_enable() override { return transport_up(); }
   Status on_halt() override {

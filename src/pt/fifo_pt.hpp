@@ -78,6 +78,12 @@ class FifoTransport final : public core::TransportDevice {
     return rejects_.load(std::memory_order_relaxed);
   }
 
+  void append_metrics(const std::string& prefix,
+                      std::vector<obs::Sample>& out) const override {
+    out.push_back({prefix + ".fifo_full_rejects",
+                   static_cast<std::int64_t>(fifo_full_rejects())});
+  }
+
  protected:
   void plugin() override;
   i2o::ParamList on_params_get() override;

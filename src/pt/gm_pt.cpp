@@ -138,4 +138,14 @@ gmsim::PortStats GmPeerTransport::port_stats() const {
   return port_ != nullptr ? port_->stats() : gmsim::PortStats{};
 }
 
+void GmPeerTransport::append_metrics(const std::string& prefix,
+                                     std::vector<obs::Sample>& out) const {
+  const gmsim::PortStats ps = port_stats();
+  out.push_back({prefix + ".sends", static_cast<std::int64_t>(ps.sends)});
+  out.push_back({prefix + ".receives",
+                 static_cast<std::int64_t>(ps.receives)});
+  out.push_back({prefix + ".send_rejects",
+                 static_cast<std::int64_t>(ps.send_rejects)});
+}
+
 }  // namespace xdaq::pt

@@ -44,6 +44,9 @@ class GmPeerTransport final : public core::TransportDevice {
 
   [[nodiscard]] gmsim::PortStats port_stats() const;
 
+  void append_metrics(const std::string& prefix,
+                      std::vector<obs::Sample>& out) const override;
+
  protected:
   void plugin() override;
   Status on_configure(const i2o::ParamList& params) override;

@@ -41,8 +41,10 @@ Status LocalBusTransport::transport_send(i2o::NodeId dst,
                                          std::span<const std::byte> frame) {
   LocalBusTransport* peer = bus_->find(dst);
   if (peer == nullptr) {
+    no_peer_.fetch_add(1, std::memory_order_relaxed);
     return {Errc::Unroutable, "destination node not on the local bus"};
   }
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
   return peer->executive().deliver_from_wire(executive().node_id(),
                                              peer->tid(), frame);
 }

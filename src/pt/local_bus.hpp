@@ -7,6 +7,7 @@
 // and as the fastest baseline a transport can be.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -55,6 +56,16 @@ class LocalBusTransport final : public core::TransportDevice {
                                        : core::PeerState::Unknown;
   }
 
+  void append_metrics(const std::string& prefix,
+                      std::vector<obs::Sample>& out) const override {
+    out.push_back({prefix + ".forwarded",
+                   static_cast<std::int64_t>(
+                       forwarded_.load(std::memory_order_relaxed))});
+    out.push_back({prefix + ".no_peer",
+                   static_cast<std::int64_t>(
+                       no_peer_.load(std::memory_order_relaxed))});
+  }
+
  protected:
   /// Joins the bus under the executive's node id when installed.
   void plugin() override;
@@ -62,6 +73,8 @@ class LocalBusTransport final : public core::TransportDevice {
  private:
   LocalBus* bus_;
   bool attached_to_bus_ = false;
+  std::atomic<std::uint64_t> forwarded_{0};  ///< frames handed to a peer
+  std::atomic<std::uint64_t> no_peer_{0};    ///< sends to a detached node
 };
 
 }  // namespace xdaq::pt

@@ -153,6 +153,23 @@ std::size_t TcpPeerTransport::connection_count() const {
   return conns_.size();
 }
 
+void TcpPeerTransport::append_metrics(const std::string& prefix,
+                                      std::vector<obs::Sample>& out) const {
+  const FaultStats fs = fault_stats();
+  out.push_back({prefix + ".heartbeats_sent",
+                 static_cast<std::int64_t>(fs.heartbeats_sent)});
+  out.push_back({prefix + ".reconnects",
+                 static_cast<std::int64_t>(fs.reconnects)});
+  out.push_back({prefix + ".failed_dials",
+                 static_cast<std::int64_t>(fs.failed_dials)});
+  out.push_back({prefix + ".retransmitted",
+                 static_cast<std::int64_t>(fs.retransmitted)});
+  out.push_back({prefix + ".dropped_pending",
+                 static_cast<std::int64_t>(fs.dropped_pending)});
+  out.push_back({prefix + ".connections",
+                 static_cast<std::int64_t>(connection_count())});
+}
+
 TcpPeerTransport::FaultStats TcpPeerTransport::fault_stats() const {
   FaultStats fs;
   fs.heartbeats_sent = heartbeats_sent_.load();

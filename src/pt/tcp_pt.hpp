@@ -95,6 +95,9 @@ class TcpPeerTransport final : public core::TransportDevice {
   };
   [[nodiscard]] FaultStats fault_stats() const;
 
+  void append_metrics(const std::string& prefix,
+                      std::vector<obs::Sample>& out) const override;
+
  protected:
   Status on_configure(const i2o::ParamList& params) override;
   Status on_enable() override;

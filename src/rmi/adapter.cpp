@@ -20,8 +20,9 @@ void Skeleton::expose(std::uint16_t method_id, Method method) {
 
 Result<std::vector<std::byte>> Stub::invoke(std::uint16_t method_id,
                                             const Marshaller& args) {
-  auto reply = requester_->call_private(target_, i2o::OrgId::kRmi, method_id,
-                                        args.bytes(), timeout_);
+  auto reply = requester_->call_private(
+      target_, i2o::OrgId::kRmi, method_id, args.bytes(),
+      core::CallOptions{.timeout = timeout_});
   if (!reply.is_ok()) {
     return reply.status();
   }

@@ -130,13 +130,24 @@ LinearFit LinearFit::fit(const std::vector<double>& xs,
   return out;
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
-      counts_(bins, 0) {
+namespace {
+
+/// Validates before any arithmetic: width_ is computed in the member
+/// initializer list, which runs before the constructor body, so the
+/// bins/range check must happen inside the initializer itself or a zero
+/// `bins` divides by zero before the throw is ever reached.
+double checked_bin_width(double lo, double hi, std::size_t bins) {
   if (bins == 0 || hi <= lo) {
     throw std::invalid_argument("Histogram: need bins>0 and hi>lo");
   }
+  return (hi - lo) / static_cast<double>(bins);
 }
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_(checked_bin_width(lo, hi, bins)),
+      counts_(bins, 0) {}
 
 void Histogram::add(double x) noexcept {
   ++total_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/monitor_device.hpp"
+
 namespace xdaq::xcl {
 
 namespace {
@@ -79,8 +81,9 @@ Result<ControlSession::NodeInfo> ControlSession::info_of(
 
 Result<core::Requester::Reply> ControlSession::exec_call(
     const NodeInfo& info, i2o::Function fn, const i2o::ParamList& params) {
-  auto reply =
-      requester_->call_standard(info.kernel_proxy, fn, params, timeout_);
+  auto reply = requester_->call_standard(
+      info.kernel_proxy, fn, params,
+      core::CallOptions{.timeout = timeout_});
   if (!reply.is_ok()) {
     return reply;
   }
@@ -183,7 +186,8 @@ Result<i2o::ParamList> ControlSession::param_get(
     return proxy.status();
   }
   auto reply = requester_->call_standard(
-      proxy.value(), i2o::Function::UtilParamsGet, {}, timeout_);
+      proxy.value(), i2o::Function::UtilParamsGet, {},
+      core::CallOptions{.timeout = timeout_});
   if (!reply.is_ok()) {
     return reply.status();
   }
@@ -201,7 +205,8 @@ Status ControlSession::param_set(const std::string& node,
     return proxy.status();
   }
   auto reply = requester_->call_standard(
-      proxy.value(), i2o::Function::UtilParamsSet, params, timeout_);
+      proxy.value(), i2o::Function::UtilParamsSet, params,
+      core::CallOptions{.timeout = timeout_});
   if (!reply.is_ok()) {
     return reply.status();
   }
@@ -209,6 +214,24 @@ Status ControlSession::param_set(const std::string& node,
     return {Errc::Internal, "UtilParamsSet failed on remote device"};
   }
   return Status::ok();
+}
+
+Result<i2o::ParamList> ControlSession::metrics(const std::string& node,
+                                               const std::string& instance) {
+  auto proxy = device_proxy(node, instance);
+  if (!proxy.is_ok()) {
+    return proxy.status();
+  }
+  auto reply = requester_->call_private(
+      proxy.value(), i2o::OrgId::kXdaq, core::kXfnObsSnapshot, {},
+      core::CallOptions{.timeout = timeout_});
+  if (!reply.is_ok()) {
+    return reply.status();
+  }
+  if (reply.value().failed()) {
+    return {Errc::Internal, "metrics snapshot failed on remote monitor"};
+  }
+  return reply.value().params();
 }
 
 Status ControlSession::ping(const std::string& node) {
@@ -285,6 +308,14 @@ void ControlSession::bind(Interp& interp) {
           }
           if (w.size() == 5) {
             return EvalResult::ok(i2o::param_value(params.value(), w[4]));
+          }
+          return EvalResult::ok(params_to_list(params.value()));
+        }
+        if (sub == "metrics" && (w.size() == 3 || w.size() == 4)) {
+          auto params =
+              metrics(w[2], w.size() == 4 ? w[3] : std::string("monitor"));
+          if (!params.is_ok()) {
+            return EvalResult::error(params.status().to_string());
           }
           return EvalResult::ok(params_to_list(params.value()));
         }

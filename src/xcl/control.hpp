@@ -53,6 +53,11 @@ class ControlSession {
                    const i2o::ParamList& params);
   /// UtilNop round trip to the node's kernel.
   Status ping(const std::string& node);
+  /// Full metrics snapshot from the node's MonitorDevice (install one as
+  /// `instance` on the node first): executive counters, scheduler depths,
+  /// pool stats, per-transport counters, histograms.
+  Result<i2o::ParamList> metrics(const std::string& node,
+                                 const std::string& instance = "monitor");
 
   /// Registers the `xdaq` command ensemble on an interpreter.
   void bind(Interp& interp);

@@ -208,7 +208,7 @@ TEST(Executive, RequesterPrivateEcho) {
 
   const auto payload = bytes_of(make_payload(64, 2));
   auto reply = req_raw->call_private(echo_tid, i2o::OrgId::kTest, kXfnEcho,
-                                     payload, std::chrono::seconds(2));
+                                     payload, xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   exec.stop();
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
   EXPECT_FALSE(reply.value().failed());
@@ -229,7 +229,7 @@ TEST(Executive, UnboundXfunctionGetsFailReply) {
   ASSERT_TRUE(exec.enable_all().is_ok());
   exec.start();
   auto reply = req_raw->call_private(echo_tid, i2o::OrgId::kTest, 0x7777, {},
-                                     std::chrono::seconds(2));
+                                     xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   exec.stop();
   ASSERT_TRUE(reply.is_ok());
   EXPECT_TRUE(reply.value().failed());
@@ -246,7 +246,7 @@ TEST(Executive, DisabledDeviceRejectsPrivateTraffic) {
   // echo NOT enabled.
   exec.start();
   auto reply = req_raw->call_private(echo_tid, i2o::OrgId::kTest, kXfnEcho,
-                                     {}, std::chrono::seconds(2));
+                                     {}, xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   exec.stop();
   ASSERT_TRUE(reply.is_ok());
   EXPECT_TRUE(reply.value().failed());
@@ -279,7 +279,7 @@ TEST(Executive, UtilParamsGetRoundTrip) {
   const auto echo_tid = exec.tid_of("echo").value();
   auto reply =
       req_raw->call_standard(echo_tid, i2o::Function::UtilParamsGet, {},
-                             std::chrono::seconds(2));
+                             xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   exec.stop();
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
   ASSERT_FALSE(reply.value().failed());
@@ -298,7 +298,7 @@ TEST(Executive, ExecStatusGetViaMessage) {
   exec.start();
   auto reply = req_raw->call_standard(exec.kernel_tid(),
                                       i2o::Function::ExecStatusGet, {},
-                                      std::chrono::seconds(2));
+                                      xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   exec.stop();
   ASSERT_TRUE(reply.is_ok());
   auto params = reply.value().params();
@@ -316,7 +316,7 @@ TEST(Executive, ExecEnableViaMessage) {
   exec.start();
   auto reply = req_raw->call_standard(
       exec.kernel_tid(), i2o::Function::ExecEnable,
-      {{"instance", "echo"}}, std::chrono::seconds(2));
+      {{"instance", "echo"}}, xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   ASSERT_TRUE(reply.is_ok());
   EXPECT_FALSE(reply.value().failed());
   exec.stop();
@@ -333,7 +333,7 @@ TEST(Executive, ExecPluginLoadViaMessage) {
   auto reply = req_raw->call_standard(
       exec.kernel_tid(), i2o::Function::ExecPluginLoad,
       {{"class", "CounterDevice"}, {"instance", "loaded0"}},
-      std::chrono::seconds(2));
+      xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   exec.stop();
   ASSERT_TRUE(reply.is_ok());
   EXPECT_FALSE(reply.value().failed());
@@ -349,7 +349,7 @@ TEST(Executive, ExecMessagesToNonKernelFail) {
   exec.start();
   auto reply = req_raw->call_standard(exec.tid_of("echo").value(),
                                       i2o::Function::ExecStatusGet, {},
-                                      std::chrono::seconds(2));
+                                      xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   exec.stop();
   ASSERT_TRUE(reply.is_ok());
   EXPECT_TRUE(reply.value().failed());
@@ -391,7 +391,7 @@ TEST(Executive, ThrowingHandlerIsQuarantined) {
   ASSERT_TRUE(exec.enable_all().is_ok());
   exec.start();
   auto reply = req_raw->call_private(tid, i2o::OrgId::kTest, kXfnThrow, {},
-                                     std::chrono::seconds(2));
+                                     xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   exec.stop();
   ASSERT_TRUE(reply.is_ok());
   EXPECT_TRUE(reply.value().failed());
@@ -411,7 +411,7 @@ TEST(Executive, WatchdogTripsOnSlowHandler) {
   exec.start();
   // kXfnSleep stalls 100 ms >> 20 ms deadline.
   auto reply = req_raw->call_private(tid, i2o::OrgId::kTest, kXfnSleep, {},
-                                     std::chrono::seconds(5));
+                                     xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
   exec.stop();
   ASSERT_TRUE(reply.is_ok());
   EXPECT_TRUE(reply.value().failed());
@@ -443,7 +443,7 @@ TEST(Executive, RequesterTimesOutWithoutResponder) {
   ASSERT_TRUE(exec.enable_all().is_ok());
   exec.start();
   auto reply = req_raw->call_private(tid, i2o::OrgId::kTest, kXfnCount, {},
-                                     std::chrono::milliseconds(100));
+                                     xdaq::core::CallOptions{.timeout = std::chrono::milliseconds(100)});
   exec.stop();
   EXPECT_FALSE(reply.is_ok());
   EXPECT_EQ(reply.status().code(), Errc::Timeout);

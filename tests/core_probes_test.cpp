@@ -27,6 +27,35 @@ TEST(ProbeLog, CapacityBoundsAppends) {
   EXPECT_TRUE(log.append(p));
 }
 
+TEST(ProbeLog, HardCapHeldAcrossSetCapacity) {
+  ProbeLog log(4);
+  EXPECT_EQ(log.capacity(), 4u);
+  DispatchProbe p;
+  // Shrink: the new bound must hold even though the vector's underlying
+  // allocation (which reserve() may have over-sized) could fit more.
+  log.set_capacity(2);
+  EXPECT_EQ(log.capacity(), 2u);
+  EXPECT_TRUE(log.append(p));
+  EXPECT_TRUE(log.append(p));
+  EXPECT_FALSE(log.append(p));
+  EXPECT_EQ(log.records().size(), 2u);
+  // Repeated re-caps never let the log creep past the configured bound
+  // (dropped() accumulates across set_capacity; only clear() resets it).
+  const std::uint64_t base = log.dropped();
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    log.set_capacity(3);
+    for (int i = 0; i < 10; ++i) {
+      log.append(p);
+    }
+    EXPECT_EQ(log.records().size(), 3u);
+    EXPECT_EQ(log.dropped(), base + (round + 1) * 7);
+  }
+  // Zero capacity drops everything.
+  log.set_capacity(0);
+  EXPECT_FALSE(log.append(p));
+  EXPECT_TRUE(log.records().empty());
+}
+
 TEST(Instrumentation, RecordsStagesForWireMessages) {
   pt::ClusterConfig cfg;
   cfg.exec.instrument = true;
@@ -42,7 +71,7 @@ TEST(Instrumentation, RecordsStagesForWireMessages) {
   cluster.start_all();
   for (int i = 0; i < 10; ++i) {
     auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
-                                       {}, std::chrono::seconds(5));
+                                       {}, xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
     ASSERT_TRUE(reply.is_ok());
   }
   cluster.stop_all();
@@ -74,7 +103,7 @@ TEST(Instrumentation, OffByDefaultRecordsNothing) {
   ASSERT_TRUE(cluster.enable_all().is_ok());
   cluster.start_all();
   auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho, {},
-                                     std::chrono::seconds(5));
+                                     xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
   cluster.stop_all();
   ASSERT_TRUE(reply.is_ok());
   EXPECT_TRUE(cluster.node(1).probe_log().records().empty());
@@ -93,7 +122,7 @@ TEST(Instrumentation, CanBeTurnedOnAtRuntime) {
   ASSERT_TRUE(cluster.enable_all().is_ok());
   cluster.start_all();
   auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho, {},
-                                     std::chrono::seconds(5));
+                                     xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
   cluster.stop_all();
   ASSERT_TRUE(reply.is_ok());
   EXPECT_FALSE(cluster.node(1).probe_log().records().empty());

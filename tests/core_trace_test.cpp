@@ -97,7 +97,7 @@ TEST(DispatchTrace, RecordsFailuresAndDrops) {
   // echo NOT enabled -> the request is fail-replied.
   exec.start();
   auto reply = req_raw->call_private(echo_tid, i2o::OrgId::kTest, kXfnEcho,
-                                     {}, std::chrono::seconds(2));
+                                     {}, xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   exec.stop();
   ASSERT_TRUE(reply.is_ok());
   EXPECT_TRUE(reply.value().failed());

@@ -103,7 +103,7 @@ TEST(EventManagerUnit, GrantsPerRuSequencesFromOne) {
   auto allocate = [&](core::Requester* ru, std::uint32_t count) {
     const auto payload = encode_allocate(AllocateMsg{count});
     auto reply = ru->call_private(evm_tid, i2o::OrgId::kDaq, kXfnAllocate,
-                                  payload, std::chrono::seconds(2));
+                                  payload, xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
     EXPECT_TRUE(reply.is_ok());
     auto confirm = decode_confirm(reply.value().payload);
     EXPECT_TRUE(confirm.is_ok());
@@ -146,7 +146,7 @@ TEST(EventManagerUnit, MaxInFlightCapsGrants) {
 
   const auto payload = encode_allocate(AllocateMsg{10});
   auto reply = ru->call_private(evm_tid, i2o::OrgId::kDaq, kXfnAllocate,
-                                payload, std::chrono::seconds(2));
+                                payload, xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   ASSERT_TRUE(reply.is_ok());
   auto confirm = decode_confirm(reply.value().payload);
   ASSERT_TRUE(confirm.is_ok());
@@ -156,12 +156,12 @@ TEST(EventManagerUnit, MaxInFlightCapsGrants) {
   for (const std::uint64_t done : {1u, 2u}) {
     auto frame = ru->call_private(evm_tid, i2o::OrgId::kDaq, kXfnEventDone,
                                   encode_event_done(EventDoneMsg{done}),
-                                  std::chrono::milliseconds(100));
+                                  xdaq::core::CallOptions{.timeout = std::chrono::milliseconds(100)});
     // EventDone has no reply; the call times out by design.
     EXPECT_FALSE(frame.is_ok());
   }
   auto reply2 = ru->call_private(evm_tid, i2o::OrgId::kDaq, kXfnAllocate,
-                                 payload, std::chrono::seconds(2));
+                                 payload, xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   ASSERT_TRUE(reply2.is_ok());
   auto confirm2 = decode_confirm(reply2.value().payload);
   ASSERT_TRUE(confirm2.is_ok());
@@ -180,7 +180,7 @@ TEST(EventManagerUnit, MalformedAllocateGetsFailReply) {
   exec.start();
   std::vector<std::byte> garbage(2);  // too short for an Allocate
   auto reply = ru->call_private(evm_tid, i2o::OrgId::kDaq, kXfnAllocate,
-                                garbage, std::chrono::seconds(2));
+                                garbage, xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   exec.stop();
   ASSERT_TRUE(reply.is_ok());
   EXPECT_TRUE(reply.value().failed());

@@ -176,7 +176,7 @@ TEST(Integration, SysTabSetViaMessage) {
       kernel1, i2o::Function::ExecSysTabSet,
       {{"route.3", "pt_gm"},
        {"remote.echo_far", "3:" + std::to_string(echo_tid)}},
-      std::chrono::seconds(5));
+      xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
   EXPECT_FALSE(reply.value().failed());
   cluster.stop_all();
@@ -204,7 +204,7 @@ TEST(Integration, TimerArmedViaMessage) {
   auto reply = req_raw->call_standard(
       exec.kernel_tid(), i2o::Function::ExecTimerSet,
       {{"instance", "cnt"}, {"delay_ns", "1000000"}, {"period_ns", "0"}},
-      std::chrono::seconds(2));
+      xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   ASSERT_TRUE(reply.is_ok());
   ASSERT_FALSE(reply.value().failed());
   auto params = reply.value().params();
@@ -223,7 +223,7 @@ TEST(Integration, TimerArmedViaMessage) {
   auto cancel = req_raw->call_standard(
       exec.kernel_tid(), i2o::Function::ExecTimerCancel,
       {{"timer", i2o::param_value(params.value(), "timer")}},
-      std::chrono::seconds(2));
+      xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   ASSERT_TRUE(cancel.is_ok());
   EXPECT_TRUE(cancel.value().failed());
   exec.stop();
@@ -366,7 +366,7 @@ TEST(Integration, RequesterConcurrentCallers) {
         std::memcpy(bytes.data(), payload.data(), 32);
         auto reply =
             req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
-                                  bytes, std::chrono::seconds(10));
+                                  bytes, xdaq::core::CallOptions{.timeout = std::chrono::seconds(10)});
         if (!reply.is_ok() ||
             std::memcmp(reply.value().payload.data(), bytes.data(), 32) !=
                 0) {
@@ -431,9 +431,9 @@ TEST(Integration, MultipleTransportsInParallel) {
   b.start();
   for (int i = 0; i < 20; ++i) {
     auto r1 = req_raw->call_private(via_gm, i2o::OrgId::kTest, kXfnEcho, {},
-                                    std::chrono::seconds(5));
+                                    xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
     auto r2 = req_raw->call_private(via_tcp, i2o::OrgId::kTest, kXfnEcho,
-                                    {}, std::chrono::seconds(5));
+                                    {}, xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
     ASSERT_TRUE(r1.is_ok()) << i << ": " << r1.status().to_string();
     ASSERT_TRUE(r2.is_ok()) << i << ": " << r2.status().to_string();
     EXPECT_FALSE(r1.value().failed());

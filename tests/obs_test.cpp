@@ -1,0 +1,352 @@
+// obs_test.cpp - metrics registry, hop tracing, and the MonitorDevice.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+
+#include "core/monitor_device.hpp"
+#include "core/requester.hpp"
+#include "i2o/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pt/tcp_pt.hpp"
+#include "test_devices.hpp"
+
+namespace xdaq::obs {
+namespace {
+
+using xdaq::testing::EchoDevice;
+using xdaq::testing::kXfnEcho;
+
+std::string value_of(const i2o::ParamList& params, const std::string& key) {
+  return i2o::param_value(params, key);
+}
+
+TEST(ObsMetrics, CounterAddSubBump) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.sub(2);
+  EXPECT_EQ(c.value(), 40u);
+  c.bump();
+  EXPECT_EQ(c.value(), 41u);
+}
+
+TEST(ObsMetrics, GaugeLastValueWins) {
+  Gauge g;
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(ObsMetrics, HistogramRejectsBadShape) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 8), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 8), std::invalid_argument);
+}
+
+TEST(ObsMetrics, HistogramBinsAndQuantiles) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.add(static_cast<double>(i) + 0.5);
+  }
+  h.add(-1.0);    // underflow
+  h.add(1000.0);  // overflow
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.total, 102u);
+  EXPECT_EQ(s.underflow, 1u);
+  EXPECT_EQ(s.overflow, 1u);
+  ASSERT_EQ(s.counts.size(), 10u);
+  for (const auto count : s.counts) {
+    EXPECT_EQ(count, 10u);  // uniform fill: 10 samples per bin
+  }
+  EXPECT_NEAR(s.mean(), 50.0, 11.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 11.0);
+  EXPECT_GT(s.quantile(0.9), s.quantile(0.1));
+}
+
+TEST(ObsMetrics, RegistryReturnsSameInstrumentForSameName) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("x");
+  Counter& c2 = reg.counter("x");
+  EXPECT_EQ(&c1, &c2);
+  Histogram& h1 = reg.histogram("h", 0, 10, 4);
+  Histogram& h2 = reg.histogram("h", 0, 999, 64);  // shape fixed by first call
+  EXPECT_EQ(&h1, &h2);
+}
+
+// The registry must stay consistent while the hot path hammers a counter:
+// snapshots taken mid-run never exceed the eventual total, never decrease,
+// and the final snapshot sees every increment.
+TEST(ObsMetrics, SnapshotUnderConcurrentIncrement) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hot");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add();
+      }
+    });
+  }
+
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    const std::uint64_t seen = snap.counters[0].second;
+    EXPECT_GE(seen, last);
+    EXPECT_LE(seen, kThreads * kPerThread);
+    last = seen;
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+  EXPECT_EQ(reg.snapshot().counters[0].second, kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, ProbeSamplesAppearInSnapshot) {
+  MetricsRegistry reg;
+  int depth = 3;
+  reg.register_probe([&depth](std::vector<Sample>& out) {
+    out.push_back({"queue.depth", depth});
+  });
+  MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 1u);
+  EXPECT_EQ(snap.samples[0].name, "queue.depth");
+  EXPECT_EQ(snap.samples[0].value, 3);
+  depth = 9;  // probes re-run on every snapshot
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.samples[0].value, 9);
+}
+
+TEST(ObsMetrics, SnapshotExportsParamsAndJson) {
+  MetricsRegistry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(-2);
+  reg.histogram("h", 0, 10, 4).add(5.0);
+  const MetricsSnapshot snap = reg.snapshot();
+
+  const i2o::ParamList params = snap.to_params();
+  EXPECT_EQ(value_of(params, "c"), "5");
+  EXPECT_EQ(value_of(params, "g"), "-2");
+  EXPECT_EQ(value_of(params, "h.count"), "1");
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"c\""), std::string::npos);
+  EXPECT_NE(json.find("\"g\""), std::string::npos);
+  EXPECT_NE(json.find("\"h\""), std::string::npos);
+}
+
+TEST(ObsTrace, NextTraceIdIsNeverZero) {
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t id = next_trace_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+  }
+}
+
+TEST(ObsTrace, RingKeepsNewestOldestFirst) {
+  TraceRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    ring.record(HopRecord{.trace_id = i, .t_ns = i});
+  }
+  EXPECT_EQ(ring.recorded(), 6u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);  // hard cap held across wrap
+  EXPECT_EQ(snap.front().trace_id, 3u);
+  EXPECT_EQ(snap.back().trace_id, 6u);
+}
+
+TEST(ObsTrace, ForTraceFiltersOneJourney) {
+  TraceRing ring(16);
+  ring.record(HopRecord{.trace_id = 7, .hop = Hop::Send});
+  ring.record(HopRecord{.trace_id = 9, .hop = Hop::Send});
+  ring.record(HopRecord{.trace_id = 7, .hop = Hop::TxWire});
+  ring.record(
+      HopRecord{.trace_id = 7, .hop = Hop::Dispatch, .is_reply = true});
+  const auto hops = ring.for_trace(7);
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_EQ(hops[0].hop, Hop::Send);
+  EXPECT_EQ(hops[1].hop, Hop::TxWire);
+  EXPECT_EQ(hops[2].hop, Hop::Dispatch);
+  EXPECT_TRUE(hops[2].is_reply);
+}
+
+// --- MonitorDevice -------------------------------------------------------
+
+TEST(MonitorDevice, LocalSnapshotCarriesAllSubsystems) {
+  core::Executive exec(core::ExecutiveConfig{.node_id = 5, .name = "mon"});
+  auto monitor = std::make_unique<core::MonitorDevice>();
+  core::MonitorDevice* mon = monitor.get();
+  ASSERT_TRUE(exec.install(std::move(monitor), "monitor").is_ok());
+
+  const i2o::ParamList params = mon->snapshot_params();
+  EXPECT_EQ(value_of(params, "node"), "5");
+  EXPECT_EQ(value_of(params, "name"), "mon");
+  // Executive counters, scheduler depths and pool stats are all wired at
+  // construction; each subsystem must show up in one snapshot.
+  EXPECT_FALSE(value_of(params, "exec.posted").empty());
+  EXPECT_FALSE(value_of(params, "exec.dispatched").empty());
+  EXPECT_FALSE(value_of(params, "sched.pending.p0").empty());
+  EXPECT_FALSE(value_of(params, "pool.allocs").empty());
+
+  const std::string json = mon->snapshot_json();
+  EXPECT_NE(json.find("exec.posted"), std::string::npos);
+}
+
+TEST(MonitorDevice, InstallableByClassName) {
+  core::Executive exec(core::ExecutiveConfig{.node_id = 6, .name = "f"});
+  auto tid = exec.install_class("MonitorDevice", "monitor");
+  ASSERT_TRUE(tid.is_ok()) << tid.status().to_string();
+  EXPECT_EQ(exec.tid_of("monitor").value(), tid.value());
+}
+
+/// Two executives joined by TCP on localhost (pt_tcp_test idiom), with an
+/// echo device + monitor on b and a requester on a.
+struct ObsTcpPair {
+  core::Executive a{core::ExecutiveConfig{.node_id = 1, .name = "a"}};
+  core::Executive b{core::ExecutiveConfig{.node_id = 2, .name = "b"}};
+  pt::TcpPeerTransport* pt_a = nullptr;
+  pt::TcpPeerTransport* pt_b = nullptr;
+  core::Requester* req = nullptr;
+  core::MonitorDevice* mon_b = nullptr;
+
+  ObsTcpPair() {
+    auto ta = std::make_unique<pt::TcpPeerTransport>();
+    auto tb = std::make_unique<pt::TcpPeerTransport>();
+    pt_a = ta.get();
+    pt_b = tb.get();
+    EXPECT_TRUE(a.install(std::move(ta), "pt_tcp").is_ok());
+    EXPECT_TRUE(b.install(std::move(tb), "pt_tcp").is_ok());
+    EXPECT_TRUE(a.set_route(2, pt_a->tid()).is_ok());
+    EXPECT_TRUE(b.set_route(1, pt_b->tid()).is_ok());
+    EXPECT_TRUE(a.enable(pt_a->tid()).is_ok());
+    EXPECT_TRUE(b.enable(pt_b->tid()).is_ok());
+    pt_a->add_peer(2, "127.0.0.1", pt_b->listen_port());
+    pt_b->add_peer(1, "127.0.0.1", pt_a->listen_port());
+
+    EXPECT_TRUE(b.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+    auto monitor = std::make_unique<core::MonitorDevice>();
+    mon_b = monitor.get();
+    EXPECT_TRUE(b.install(std::move(monitor), "monitor").is_ok());
+    auto requester = std::make_unique<core::Requester>();
+    req = requester.get();
+    EXPECT_TRUE(a.install(std::move(requester), "req").is_ok());
+    EXPECT_TRUE(a.enable_all().is_ok());
+    EXPECT_TRUE(b.enable_all().is_ok());
+  }
+};
+
+bool has_hop(const std::vector<HopRecord>& hops, Hop hop, bool is_reply) {
+  for (const auto& r : hops) {
+    if (r.hop == hop && r.is_reply == is_reply) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The full journey: a traced request leaves node a, crosses TCP, is
+// dispatched on node b, and the reply carries the same trace id home.
+// Each node's ring must hold its half of the timeline.
+TEST(MonitorDevice, TracedCallAcrossTcpRecordsEveryHop) {
+  ObsTcpPair pair;
+  const auto proxy =
+      pair.a.register_remote(2, pair.b.tid_of("echo").value()).value();
+  pair.a.start();
+  pair.b.start();
+
+  const std::uint32_t trace_id = next_trace_id();
+  auto reply = pair.req->call_private(
+      proxy, i2o::OrgId::kTest, kXfnEcho, {},
+      core::CallOptions{.timeout = std::chrono::seconds(5),
+                        .trace = true,
+                        .trace_id = trace_id});
+  pair.a.stop();
+  pair.b.stop();
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+
+  ASSERT_NE(pair.a.hop_trace(), nullptr);
+  ASSERT_NE(pair.b.hop_trace(), nullptr);
+  const auto hops_a = pair.a.hop_trace()->for_trace(trace_id);
+  const auto hops_b = pair.b.hop_trace()->for_trace(trace_id);
+
+  // Node a: request sent towards the wire, reply received and dispatched.
+  EXPECT_TRUE(has_hop(hops_a, Hop::Send, false));
+  EXPECT_TRUE(has_hop(hops_a, Hop::TxWire, false));
+  EXPECT_TRUE(has_hop(hops_a, Hop::RxWire, true));
+  EXPECT_TRUE(has_hop(hops_a, Hop::Dispatch, true));
+  // Node b: request received and dispatched, reply sent towards the wire.
+  EXPECT_TRUE(has_hop(hops_b, Hop::RxWire, false));
+  EXPECT_TRUE(has_hop(hops_b, Hop::Dispatch, false));
+  EXPECT_TRUE(has_hop(hops_b, Hop::TxWire, true));
+
+  // Timestamps are monotonic within each node's half.
+  for (const auto* hops : {&hops_a, &hops_b}) {
+    for (std::size_t i = 1; i < hops->size(); ++i) {
+      EXPECT_GE((*hops)[i].t_ns, (*hops)[i - 1].t_ns);
+    }
+  }
+
+  // The same journey is queryable through the monitor's trace dump.
+  const i2o::ParamList trace = pair.mon_b->trace_params(trace_id);
+  EXPECT_EQ(value_of(trace, "hops"), std::to_string(hops_b.size()));
+}
+
+// Remote observability: the monitor answers kXfnObsSnapshot over the same
+// proxy-TiD path as any other device, so node a can read node b's
+// executive/scheduler/pool/transport metrics across TCP.
+TEST(MonitorDevice, RemoteSnapshotOverTcp) {
+  ObsTcpPair pair;
+  const auto echo_proxy =
+      pair.a.register_remote(2, pair.b.tid_of("echo").value()).value();
+  const auto mon_proxy =
+      pair.a.register_remote(2, pair.b.tid_of("monitor").value()).value();
+  pair.a.start();
+  pair.b.start();
+
+  // Generate some traffic first so the counters are nonzero.
+  for (int i = 0; i < 3; ++i) {
+    auto echo = pair.req->call_private(
+        echo_proxy, i2o::OrgId::kTest, kXfnEcho, {},
+        core::CallOptions{.timeout = std::chrono::seconds(5)});
+    ASSERT_TRUE(echo.is_ok()) << echo.status().to_string();
+  }
+
+  auto reply = pair.req->call_private(
+      mon_proxy, i2o::OrgId::kXdaq, core::kXfnObsSnapshot, {},
+      core::CallOptions{.timeout = std::chrono::seconds(5)});
+  pair.a.stop();
+  pair.b.stop();
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  ASSERT_FALSE(reply.value().failed());
+  auto params = reply.value().params();
+  ASSERT_TRUE(params.is_ok()) << params.status().to_string();
+
+  EXPECT_EQ(value_of(params.value(), "node"), "2");
+  // Node b dispatched at least the 3 echoes by the time the snapshot
+  // handler ran (the snapshot request's own dispatch is counted after its
+  // handler returns).
+  const std::string dispatched = value_of(params.value(), "exec.dispatched");
+  ASSERT_FALSE(dispatched.empty());
+  EXPECT_GE(std::stoull(dispatched), 3u);
+  EXPECT_FALSE(value_of(params.value(), "sched.served.p4").empty());
+  EXPECT_FALSE(value_of(params.value(), "pool.allocs").empty());
+  // The installed TCP transport reports under its instance prefix.
+  EXPECT_FALSE(
+      value_of(params.value(), "pt.pt_tcp.connections").empty());
+}
+
+}  // namespace
+}  // namespace xdaq::obs

@@ -70,7 +70,7 @@ TEST_P(ClusterModeP, CrossNodeEchoRoundTrip) {
 
   const auto payload = bytes_of(make_payload(256, 7));
   auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
-                                     payload, std::chrono::seconds(5));
+                                     payload, xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
   cluster.stop_all();
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
   EXPECT_FALSE(reply.value().failed());
@@ -97,7 +97,7 @@ TEST(Cluster, InitiatorProxyIsReusedAcrossCalls) {
   cluster.start_all();
   for (int i = 0; i < 5; ++i) {
     auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
-                                       {}, std::chrono::seconds(5));
+                                       {}, xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
     ASSERT_TRUE(reply.is_ok());
   }
   cluster.stop_all();
@@ -119,7 +119,7 @@ TEST(Cluster, PayloadIntegrityAcrossSizes) {
        {0u, 1u, 3u, 4u, 64u, 1024u, 65536u, 200000u}) {
     const auto payload = bytes_of(make_payload(size, size + 1));
     auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
-                                       payload, std::chrono::seconds(5));
+                                       payload, xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
     ASSERT_TRUE(reply.is_ok()) << "size=" << size;
     ASSERT_GE(reply.value().payload.size(), size);
     if (size != 0) {
@@ -205,7 +205,7 @@ TEST(Cluster, ControlPlaneAcrossNodes) {
 
   auto status = req_raw->call_standard(kernel_proxy,
                                        i2o::Function::ExecStatusGet, {},
-                                       std::chrono::seconds(5));
+                                       xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
   ASSERT_TRUE(status.is_ok()) << status.status().to_string();
   auto params = status.value().params();
   ASSERT_TRUE(params.is_ok());
@@ -215,7 +215,7 @@ TEST(Cluster, ControlPlaneAcrossNodes) {
   auto enable = req_raw->call_standard(kernel_proxy,
                                        i2o::Function::ExecEnable,
                                        {{"instance", "echo"}},
-                                       std::chrono::seconds(5));
+                                       xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
   ASSERT_TRUE(enable.is_ok());
   EXPECT_FALSE(enable.value().failed());
   cluster.stop_all();

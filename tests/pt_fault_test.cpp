@@ -204,7 +204,7 @@ TEST(FaultPt, SeededSoakOverTcpLeavesNoLeakedFrames) {
   int timed_out = 0;
   for (int i = 0; i < 60; ++i) {
     auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
-                                       {}, std::chrono::milliseconds(250));
+                                       {}, xdaq::core::CallOptions{.timeout = std::chrono::milliseconds(250)});
     if (reply.is_ok()) {
       ++ok;
     } else {

@@ -54,7 +54,7 @@ TEST(FifoPt, EchoAcrossTheSegment) {
   std::vector<std::byte> payload(512);
   std::memcpy(payload.data(), raw.data(), 512);
   auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
-                                     payload, std::chrono::seconds(5));
+                                     payload, xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
   pair.host.stop();
   pair.iop.stop();
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
@@ -99,7 +99,7 @@ TEST(FifoPt, ParamsReportFifoState) {
   pair.host.start();
   auto reply = req_raw->call_standard(pair.pt_host->tid(),
                                       i2o::Function::UtilParamsGet, {},
-                                      std::chrono::seconds(2));
+                                      xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   pair.host.stop();
   ASSERT_TRUE(reply.is_ok());
   auto params = reply.value().params();
@@ -132,9 +132,9 @@ TEST(FifoPt, BidirectionalTrafficBothDirections) {
   pair.iop.start();
   for (int i = 0; i < 50; ++i) {
     auto a = rh->call_private(to_iop, i2o::OrgId::kTest, kXfnEcho, {},
-                              std::chrono::seconds(5));
+                              xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
     auto b = ri->call_private(to_host, i2o::OrgId::kTest, kXfnEcho, {},
-                              std::chrono::seconds(5));
+                              xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
     ASSERT_TRUE(a.is_ok()) << i;
     ASSERT_TRUE(b.is_ok()) << i;
   }

@@ -66,7 +66,7 @@ TEST(LocalBus, EchoAcrossBus) {
   std::vector<std::byte> bytes(128);
   std::memcpy(bytes.data(), payload.data(), 128);
   auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
-                                     bytes, std::chrono::seconds(2));
+                                     bytes, xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
   nodes.a.stop();
   nodes.b.stop();
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();

@@ -63,7 +63,7 @@ TEST(TcpPt, EchoOverRealSockets) {
   std::vector<std::byte> payload(1000);
   std::memcpy(payload.data(), raw.data(), 1000);
   auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
-                                     payload, std::chrono::seconds(5));
+                                     payload, xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
   pair.a.stop();
   pair.b.stop();
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
@@ -86,7 +86,7 @@ TEST(TcpPt, RepeatedCallsReuseOneConnection) {
   pair.b.start();
   for (int i = 0; i < 10; ++i) {
     auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
-                                       {}, std::chrono::seconds(5));
+                                       {}, xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
     ASSERT_TRUE(reply.is_ok()) << i << ": " << reply.status().to_string();
   }
   pair.a.stop();
@@ -148,7 +148,7 @@ TEST(TcpPt, LargeFrameAcrossTcp) {
   std::vector<std::byte> payload(raw.size());
   std::memcpy(payload.data(), raw.data(), raw.size());
   auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho,
-                                     payload, std::chrono::seconds(10));
+                                     payload, xdaq::core::CallOptions{.timeout = std::chrono::seconds(10)});
   pair.a.stop();
   pair.b.stop();
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
@@ -261,7 +261,7 @@ TEST(TcpPtFault, KilledPeerFailsCallsFastWithUnavailable) {
   pair.b.start();
   ASSERT_TRUE(req_raw
                   ->call_private(proxy, i2o::OrgId::kTest, kXfnEcho, {},
-                                 std::chrono::seconds(5))
+                                 xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)})
                   .is_ok());
 
   // Kill B for good: connection drops, the redial is refused, Down.
@@ -275,7 +275,7 @@ TEST(TcpPtFault, KilledPeerFailsCallsFastWithUnavailable) {
   // under one heartbeat interval (fail-fast, not timeout).
   const auto t0 = std::chrono::steady_clock::now();
   auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnEcho, {},
-                                     std::chrono::seconds(5));
+                                     xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
   const auto elapsed = std::chrono::steady_clock::now() - t0;
   ASSERT_FALSE(reply.is_ok());
   EXPECT_EQ(reply.status().code(), Errc::Unavailable);
@@ -301,7 +301,7 @@ TEST(TcpPtFault, RestartedPeerRedetectedUpAndCallsSucceed) {
   pair.b.start();
   ASSERT_TRUE(req_raw
                   ->call_private(proxy, i2o::OrgId::kTest, kXfnEcho, {},
-                                 std::chrono::seconds(5))
+                                 xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)})
                   .is_ok());
 
   // Kill and restart B's transport (new ephemeral port, like a process
@@ -403,7 +403,7 @@ TEST(TcpPtFault, FailSynthesisUnblocksParkedRequester) {
   });
   const auto t0 = std::chrono::steady_clock::now();
   auto reply = req_raw->call_private(proxy, i2o::OrgId::kTest, kXfnCount, {},
-                                     std::chrono::seconds(30));
+                                     xdaq::core::CallOptions{.timeout = std::chrono::seconds(30)});
   const auto elapsed = std::chrono::steady_clock::now() - t0;
   killer.join();
   // The call returned a synthesized FAIL reply long before the timeout.

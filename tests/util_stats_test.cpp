@@ -136,6 +136,19 @@ TEST(Histogram, BinningAndOverflow) {
 TEST(Histogram, RejectsBadRange) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  // Inverted range must throw too - and validation has to happen before
+  // the bin width is computed (bins == 0 would otherwise divide by zero
+  // before the check was ever reached).
+  EXPECT_THROW(Histogram(5.0, -5.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, -2.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, UsableAfterFailedConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  Histogram h(0.0, 4.0, 4);
+  h.add(2.5);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.count_at(2), 1u);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/factory.hpp"
+#include "core/monitor_device.hpp"
 #include "pt/cluster.hpp"
 #include "test_devices.hpp"
 
@@ -88,6 +89,29 @@ TEST_F(ControlFixture, DeviceProxyIsStable) {
   EXPECT_EQ(p1.value(), p2.value());
 }
 
+TEST_F(ControlFixture, MetricsReachRemoteMonitor) {
+  auto monitor = std::make_unique<core::MonitorDevice>();
+  ASSERT_TRUE(cluster.install(1, std::move(monitor), "monitor").is_ok());
+  ASSERT_TRUE(cluster.node(1)
+                  .enable(cluster.node(1).tid_of("monitor").value())
+                  .is_ok());
+
+  auto params = session->metrics("worker1");
+  ASSERT_TRUE(params.is_ok()) << params.status().to_string();
+  EXPECT_FALSE(
+      i2o::param_value(params.value(), "exec.dispatched").empty());
+  // The worker's GM transport reports under its instance prefix.
+  EXPECT_FALSE(
+      i2o::param_value(params.value(), "pt.pt_gm.sends").empty());
+
+  // Same snapshot through the script surface.
+  Interp interp;
+  session->bind(interp);
+  EvalResult r = interp.eval("llength [xdaq metrics worker1]");
+  ASSERT_TRUE(r.is_ok()) << r.value;
+  EXPECT_GT(std::stoi(r.value), 10);
+}
+
 TEST_F(ControlFixture, ScriptDrivesCluster) {
   Interp interp;
   std::vector<std::string> out;
@@ -169,7 +193,7 @@ TEST_F(ControlFixture, SuspendedDeviceRejectsApplicationTraffic) {
   ASSERT_TRUE(echo_proxy.is_ok());
   auto reply = session->requester().call_private(
       echo_proxy.value(), i2o::OrgId::kTest, xdaq::testing::kXfnEcho, {},
-      std::chrono::seconds(5));
+      xdaq::core::CallOptions{.timeout = std::chrono::seconds(5)});
   ASSERT_TRUE(reply.is_ok());
   EXPECT_TRUE(reply.value().failed());  // suspended -> rejected
   // Control traffic still works while suspended.
