@@ -33,12 +33,23 @@ class EchoDevice final : public core::Device {
            if (record_) {
              entry_ticks_.push_back(rdtsc());
            }
-           (void)frame_reply(ctx, ctx.payload);
+           if (inplace_) {
+             (void)reply_inplace(ctx);
+           } else {
+             (void)frame_reply(ctx, ctx.payload);
+           }
            if (record_) {
              exit_ticks_.push_back(rdtsc());
            }
          });
   }
+
+  /// Reply by patching the delivered frame's header in place and sending
+  /// the same pooled block back - no reply allocation, no payload copy.
+  /// Only the handler owns the delivered frame, so the rewrite is safe;
+  /// a private reply header is the same size as the request's, so the
+  /// payload stays where it already is.
+  void enable_inplace_reply() { inplace_ = true; }
 
   void enable_recording(std::size_t expected) {
     record_ = true;
@@ -53,7 +64,22 @@ class EchoDevice final : public core::Device {
   }
 
  private:
+  Status reply_inplace(const core::MessageContext& ctx) {
+    if (!ctx.frame.valid()) {
+      return frame_reply(ctx, ctx.payload);
+    }
+    mem::FrameRef frame = ctx.frame;  // handle copy: refcount bump only
+    const i2o::FrameHeader reply_hdr =
+        i2o::make_reply_header(ctx.header, /*failed=*/false);
+    auto bytes = frame.bytes();
+    if (Status s = i2o::encode_header(reply_hdr, bytes); !s.is_ok()) {
+      return frame_reply(ctx, ctx.payload);
+    }
+    return frame_send(std::move(frame));
+  }
+
   bool record_ = false;
+  bool inplace_ = false;
   std::vector<std::uint64_t> entry_ticks_;
   std::vector<std::uint64_t> exit_ticks_;
 };
@@ -160,11 +186,21 @@ class FloodSource final : public core::Device {
 
   [[nodiscard]] std::uint64_t acked() const { return acked_.load(); }
 
+  /// Refill the window by recirculating the echoed frame: rewrite its
+  /// header back into a ping and send the same pooled block out again.
+  /// Round trips then reuse a standing set of blocks end to end instead
+  /// of allocating + copying a fresh 4 KiB payload per send.
+  void enable_inplace_resend() { inplace_ = true; }
+
  protected:
-  void on_reply(const core::MessageContext&) override {
+  void on_reply(const core::MessageContext& ctx) override {
     const std::uint64_t n = acked_.fetch_add(1) + 1;
     if (sent_ < total_) {
-      (void)send_one();
+      if (inplace_ && ctx.frame.valid()) {
+        (void)resend_inplace(ctx);
+      } else {
+        (void)send_one();
+      }
     } else if (n >= total_) {
       {
         const std::scoped_lock lock(mutex_);
@@ -185,11 +221,28 @@ class FloodSource final : public core::Device {
     return frame_send(std::move(frame).value());
   }
 
+  Status resend_inplace(const core::MessageContext& ctx) {
+    ++sent_;
+    mem::FrameRef frame = ctx.frame;  // handle copy: refcount bump only
+    i2o::FrameHeader hdr;
+    hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+    hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kBench);
+    hdr.xfunction = kXfnPing;
+    hdr.target = target_;
+    hdr.initiator = tid();
+    auto bytes = frame.bytes();
+    if (Status s = i2o::encode_header(hdr, bytes); !s.is_ok()) {
+      return send_one();  // malformed view; fall back to a fresh frame
+    }
+    return frame_send(std::move(frame));
+  }
+
   i2o::Tid target_ = i2o::kNullTid;
   std::vector<std::byte> payload_;
   std::uint64_t total_ = 0;
   std::uint64_t sent_ = 0;
   std::uint32_t window_ = 1;
+  bool inplace_ = false;
   std::atomic<std::uint64_t> acked_{0};
   std::atomic<bool> done_{false};
   std::mutex mutex_;

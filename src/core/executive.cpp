@@ -97,6 +97,9 @@ Executive::Executive(ExecutiveConfig config)
                    static_cast<std::int64_t>(ps.outstanding)});
     out.push_back({"pool.bytes_reserved",
                    static_cast<std::int64_t>(ps.bytes_reserved)});
+    // Block allocations vs. views cut from them: together these tell how
+    // many frames flowed through without a private block of their own.
+    out.push_back({"pool.views", static_cast<std::int64_t>(ps.views)});
   });
 
   // The kernel occupies TiD 1, like any other device ("even the executive
@@ -208,9 +211,12 @@ Result<i2o::Tid> Executive::install(std::unique_ptr<Device> device,
         [pt, prefix = "pt." + instance_name](std::vector<obs::Sample>& out) {
           pt->append_metrics(prefix, out);
         });
-    if (pt->mode() == TransportDevice::Mode::Polling) {
+    {
       const std::scoped_lock lock(polling_mutex_);
-      polling_pts_.push_back(pt);
+      transport_pts_.push_back(pt);
+      if (pt->mode() == TransportDevice::Mode::Polling) {
+        polling_pts_.push_back(pt);
+      }
     }
   }
   // plugin() runs unlocked: "At this point the newly created class can
@@ -673,8 +679,11 @@ Status Executive::frame_send(mem::FrameRef frame) {
     return {Errc::Unavailable, "peer node is down"};
   }
   patch_target(frame.bytes(), proxy.remote_tid);
-  Status sent = pt.value()->transport_send(
-      proxy.node, std::span<const std::byte>(frame.bytes()));
+  // Hand the live reference to the transport: zero-copy transports gather
+  // straight from pooled memory and hold the ref until the kernel has the
+  // bytes; the base-class fallback degrades to the span path.
+  Status sent =
+      pt.value()->transport_send_frame(proxy.node, std::move(frame));
   if (sent.is_ok()) {
     stats_.sent_remote->add();
     record_hop(hdr.value(), obs::Hop::TxWire);
@@ -723,6 +732,48 @@ Status Executive::deliver_from_wire(i2o::NodeId src_node, i2o::Tid pt_tid,
   ScheduledItem in;
   in.header = header;
   in.frame = std::move(frame).value();
+  if (instrument_.load(std::memory_order_relaxed)) {
+    in.probe.t_wire = t_wire != 0 ? t_wire : rdtsc();
+    in.probe.t_posted = rdtsc();
+  }
+  if (!inbound_.try_push(std::move(in))) {
+    return {Errc::ResourceExhausted, "inbound queue full"};
+  }
+  stats_.posted->add();
+  return Status::ok();
+}
+
+Status Executive::deliver_from_wire(i2o::NodeId src_node, i2o::Tid pt_tid,
+                                    mem::FrameRef frame,
+                                    std::uint64_t t_wire) {
+  auto hdr = i2o::decode_header(frame.bytes());
+  if (!hdr.is_ok()) {
+    stats_.dropped_malformed->add();
+    return hdr.status();
+  }
+  record_hop(hdr.value(), obs::Hop::RxWire);
+
+  if (hdr.value().is_reply()) {
+    resolve_inflight(src_node, hdr.value());
+  }
+
+  // Same proxy interning as the span overload, but the initiator rewrite
+  // happens in place in the pooled bytes the transport received into - no
+  // allocation, no memcpy. Sibling views of the same rx block are
+  // disjoint, so the in-place patch cannot corrupt a neighbour frame.
+  i2o::FrameHeader header = hdr.value();
+  if (header.initiator != i2o::kNullTid) {
+    auto proxy = table_.intern_proxy(src_node, header.initiator, pt_tid);
+    if (!proxy.is_ok()) {
+      return proxy.status();
+    }
+    patch_initiator(frame.bytes(), proxy.value());
+    header.initiator = proxy.value();
+  }
+
+  ScheduledItem in;
+  in.header = header;
+  in.frame = std::move(frame);
   if (instrument_.load(std::memory_order_relaxed)) {
     in.probe.t_wire = t_wire != 0 ? t_wire : rdtsc();
     in.probe.t_posted = rdtsc();
@@ -882,6 +933,7 @@ bool Executive::pump(bool allow_block) {
   //    loop would have produced.
   const std::size_t batch = std::max<std::size_t>(config_.dispatch_batch, 1);
   std::size_t dispatched = 0;
+  in_dispatch_.store(true, std::memory_order_relaxed);
   ScheduledItem item;  // scratch reused across the batch
   while (dispatched < batch) {
     if (!scheduler_.next(item)) {
@@ -900,9 +952,20 @@ bool Executive::pump(bool allow_block) {
     dispatch(item);
     ++dispatched;
   }
+  in_dispatch_.store(false, std::memory_order_relaxed);
   if (dispatched > 0) {
     if (watchdog_enabled_) {
       handler_start_ns_.store(0, std::memory_order_release);
+    }
+    // Drain sends the batch's handlers corked: replies issued during the
+    // batch leave in one gathered syscall per connection instead of one
+    // per frame. (After the watchdog disarms - a blocked socket is wire
+    // backpressure, not a stuck handler.)
+    {
+      const std::scoped_lock lock(polling_mutex_);
+      for (TransportDevice* pt : transport_pts_) {
+        pt->transport_flush();
+      }
     }
     // Frames the batch released come back to the pool in one call: one
     // stats update and (for same-class frames) one lock round trip

@@ -282,6 +282,14 @@ class Executive {
                            std::span<const std::byte> wire,
                            std::uint64_t t_wire = 0);
 
+  /// Zero-copy delivery: the frame is already in pooled memory (a block
+  /// the transport read into, or a view cut from one). Validates and
+  /// rewrites the initiator field *in place*, then posts the same
+  /// reference - no allocation, no memcpy. Cross-pool references are fine:
+  /// the dispatch release path recycles through the owning pool.
+  Status deliver_from_wire(i2o::NodeId src_node, i2o::Tid pt_tid,
+                           mem::FrameRef frame, std::uint64_t t_wire = 0);
+
   // --- timers ----------------------------------------------------------------
 
   /// Arms a core timer; expiry arrives at `target` as a private kXdaq
@@ -319,6 +327,14 @@ class Executive {
   bool run_once();
   [[nodiscard]] bool running() const noexcept {
     return running_.load(std::memory_order_relaxed);
+  }
+  /// True while the pump is inside a dispatch batch. Transports use this
+  /// to cork small handler-issued sends until the end-of-batch
+  /// transport_flush(); sends from other threads see false and go to the
+  /// wire inline. (A send that races the tail of a batch corks at worst
+  /// until the transport's own maintenance backstop.)
+  [[nodiscard]] bool dispatch_active() const noexcept {
+    return in_dispatch_.load(std::memory_order_relaxed);
   }
 
   // --- diagnostics ---------------------------------------------------------------
@@ -420,9 +436,11 @@ class Executive {
 
   /// Guarded separately from devices_mutex_: the dispatch loop scans the
   /// polling list every iteration and must not contend with senders doing
-  /// device lookups.
+  /// device lookups. Guards transport_pts_ (every installed transport,
+  /// for the end-of-batch flush) as well as the polling subset.
   mutable std::mutex polling_mutex_;
   std::vector<TransportDevice*> polling_pts_;
+  std::vector<TransportDevice*> transport_pts_;
 
   /// Event subscriptions: source TiD -> (listener TiD, mask).
   struct EventListener {
@@ -449,6 +467,7 @@ class Executive {
   /// dispatch batch, returned to the pool in ONE recycle_batch call.
   std::vector<mem::BlockHeader*> release_batch_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> in_dispatch_{false};  ///< pump is inside a dispatch batch
   std::atomic<bool> instrument_{false};
   std::thread loop_thread_;
 

@@ -48,6 +48,7 @@
 
 #include "core/device.hpp"
 #include "i2o/types.hpp"
+#include "mem/pool.hpp"
 #include "obs/metrics.hpp"
 
 namespace xdaq::core {
@@ -124,6 +125,15 @@ class TransportDevice : public Device {
   virtual Status transport_send(i2o::NodeId dst,
                                 std::span<const std::byte> frame) = 0;
 
+  /// Zero-copy variant: the frame arrives as a live pooled reference the
+  /// transport may hold (and transmit from in place) until the bytes are
+  /// on the wire. Transports that can gather directly from pooled memory
+  /// override this; the default degrades to the span path, which copies.
+  /// Same thread-safety and return contract as transport_send.
+  virtual Status transport_send_frame(i2o::NodeId dst, mem::FrameRef frame) {
+    return transport_send(dst, frame.bytes());
+  }
+
   /// Starts the transport (threads, listeners). Idempotent.
   Status transport_up();
   /// Stops the transport and joins its threads. Idempotent.
@@ -131,6 +141,14 @@ class TransportDevice : public Device {
   /// Polling-mode scan; called from the executive loop. No-op unless the
   /// transport implements on_transport_poll().
   void transport_pump() { on_transport_poll(); }
+
+  /// End-of-batch drain; the executive calls this once per pump, after
+  /// the dispatch batch. A transport may cork small sends issued by
+  /// handlers while `Executive::dispatch_active()` is true and put them
+  /// on the wire here, so a batch of replies shares one gathered syscall
+  /// instead of paying one per frame. No-op unless on_transport_flush()
+  /// is overridden.
+  void transport_flush() { on_transport_flush(); }
 
   [[nodiscard]] bool transport_running() const noexcept {
     return transport_running_.load(std::memory_order_relaxed);
@@ -176,6 +194,7 @@ class TransportDevice : public Device {
   virtual Status on_transport_start() { return Status::ok(); }
   virtual void on_transport_stop() {}
   virtual void on_transport_poll() {}
+  virtual void on_transport_flush() {}
 
   /// Reports a liveness transition through the registered sink. Call with
   /// no transport locks held: the sink (the executive) may synthesize and

@@ -26,6 +26,17 @@ void FrameRef::release() noexcept {
   blk_ = nullptr;
 }
 
+FrameRef FrameRef::view(std::size_t offset, std::size_t length) const
+    noexcept {
+  if (!blk_ || offset + length > len_) {
+    return {};
+  }
+  blk_->refcount.fetch_add(1, std::memory_order_relaxed);
+  blk_->owner->note_view();
+  return FrameRef(blk_, static_cast<std::uint32_t>(off_ + offset),
+                  static_cast<std::uint32_t>(length));
+}
+
 BlockHeader* FrameRef::release_for_batch() noexcept {
   BlockHeader* blk = blk_;
   if (blk == nullptr) {
@@ -157,7 +168,9 @@ void SimplePool::recycle(BlockHeader* blk) noexcept {
 
 PoolStats SimplePool::stats() const {
   const std::scoped_lock lock(mutex_);
-  return stats_;
+  PoolStats s = stats_;
+  s.views = view_count();
+  return s;
 }
 
 std::size_t SimplePool::free_count() const {
@@ -472,6 +485,7 @@ PoolStats TablePool::stats() const {
   s.failures = stats_.failures.load(std::memory_order_relaxed);
   s.outstanding = s.allocs - s.frees;
   s.bytes_reserved = stats_.bytes_reserved.load(std::memory_order_relaxed);
+  s.views = view_count();
   return s;
 }
 

@@ -56,8 +56,12 @@ struct BlockHeader {
   }
 };
 
-/// Reference-counted handle to a pooled block. Copying shares the block;
-/// the block is recycled when the last handle goes away.
+/// Reference-counted handle to a pooled block, or to a *view* - an
+/// offset+length slice of a block. Copying shares the block; the block is
+/// recycled when the last handle (whole-block or view) goes away. Views
+/// let one pooled rx block carry several received frames: each frame is a
+/// disjoint slice sharing the owning block's refcount, so the block
+/// returns to its pool only after every frame cut from it is released.
 class FrameRef {
  public:
   FrameRef() noexcept = default;
@@ -65,14 +69,22 @@ class FrameRef {
   /// Takes over a block whose refcount was already set to 1 by the pool.
   static FrameRef adopt(BlockHeader* blk) noexcept { return FrameRef(blk); }
 
-  FrameRef(const FrameRef& other) noexcept : blk_(other.blk_) { retain(); }
-  FrameRef(FrameRef&& other) noexcept : blk_(other.blk_) {
+  FrameRef(const FrameRef& other) noexcept
+      : blk_(other.blk_), off_(other.off_), len_(other.len_) {
+    retain();
+  }
+  FrameRef(FrameRef&& other) noexcept
+      : blk_(other.blk_), off_(other.off_), len_(other.len_) {
     other.blk_ = nullptr;
+    other.off_ = 0;
+    other.len_ = 0;
   }
   FrameRef& operator=(const FrameRef& other) noexcept {
     if (this != &other) {
       release();
       blk_ = other.blk_;
+      off_ = other.off_;
+      len_ = other.len_;
       retain();
     }
     return *this;
@@ -81,7 +93,11 @@ class FrameRef {
     if (this != &other) {
       release();
       blk_ = other.blk_;
+      off_ = other.off_;
+      len_ = other.len_;
       other.blk_ = nullptr;
+      other.off_ = 0;
+      other.len_ = 0;
     }
     return *this;
   }
@@ -90,30 +106,48 @@ class FrameRef {
   [[nodiscard]] bool valid() const noexcept { return blk_ != nullptr; }
   explicit operator bool() const noexcept { return valid(); }
 
-  [[nodiscard]] std::size_t size() const noexcept {
-    return blk_ ? blk_->size : 0;
-  }
+  [[nodiscard]] std::size_t size() const noexcept { return blk_ ? len_ : 0; }
+  /// Bytes this handle may grow into: the block tail past the view offset.
   [[nodiscard]] std::size_t capacity() const noexcept {
-    return blk_ ? blk_->capacity : 0;
+    return blk_ ? blk_->capacity - off_ : 0;
+  }
+  /// Offset of this handle's window into the owning block (0 for a
+  /// whole-block handle).
+  [[nodiscard]] std::size_t offset() const noexcept { return off_; }
+  [[nodiscard]] bool is_view() const noexcept {
+    return blk_ != nullptr && (off_ != 0 || len_ != blk_->size);
   }
 
   /// Logical resize within capacity. Returns false if it does not fit.
+  /// Handle-local: resizing a view never disturbs sibling views of the
+  /// same block. A whole-block handle also keeps BlockHeader::size in
+  /// step for pool diagnostics.
   bool resize(std::size_t bytes) noexcept {
-    if (!blk_ || bytes > blk_->capacity) {
+    if (!blk_ || off_ + bytes > blk_->capacity) {
       return false;
     }
-    blk_->size = static_cast<std::uint32_t>(bytes);
+    len_ = static_cast<std::uint32_t>(bytes);
+    if (off_ == 0) {
+      blk_->size = len_;
+    }
     return true;
   }
 
   [[nodiscard]] std::span<std::byte> bytes() noexcept {
-    return blk_ ? std::span<std::byte>(blk_->data(), blk_->size)
+    return blk_ ? std::span<std::byte>(blk_->data() + off_, len_)
                 : std::span<std::byte>{};
   }
   [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
-    return blk_ ? std::span<const std::byte>(blk_->data(), blk_->size)
+    return blk_ ? std::span<const std::byte>(blk_->data() + off_, len_)
                 : std::span<const std::byte>{};
   }
+
+  /// A new handle covering `[offset, offset + length)` of this handle's
+  /// window, sharing the block's refcount (the block is recycled only
+  /// after the last view drops). Out-of-range requests return an invalid
+  /// ref. The caller owns non-overlap of writable views.
+  [[nodiscard]] FrameRef view(std::size_t offset, std::size_t length) const
+      noexcept;
 
   /// Current number of handles on the block (diagnostics/tests only).
   [[nodiscard]] std::uint32_t use_count() const noexcept {
@@ -123,6 +157,8 @@ class FrameRef {
   void reset() noexcept {
     release();
     blk_ = nullptr;
+    off_ = 0;
+    len_ = 0;
   }
 
   /// Batched-release support: if this handle is the sole owner, detaches
@@ -133,7 +169,10 @@ class FrameRef {
   [[nodiscard]] BlockHeader* release_for_batch() noexcept;
 
  private:
-  explicit FrameRef(BlockHeader* blk) noexcept : blk_(blk) {}
+  explicit FrameRef(BlockHeader* blk) noexcept
+      : blk_(blk), len_(blk ? blk->size : 0) {}
+  FrameRef(BlockHeader* blk, std::uint32_t off, std::uint32_t len) noexcept
+      : blk_(blk), off_(off), len_(len) {}
 
   void retain() noexcept {
     if (blk_) {
@@ -143,6 +182,8 @@ class FrameRef {
   void release() noexcept;
 
   BlockHeader* blk_ = nullptr;
+  std::uint32_t off_ = 0;  ///< view offset into the block's data area
+  std::uint32_t len_ = 0;  ///< this handle's logical length
 };
 
 /// Counters exposed by every pool.
@@ -153,6 +194,7 @@ struct PoolStats {
   std::uint64_t failures = 0;     ///< allocation failures
   std::uint64_t outstanding = 0;  ///< blocks currently referenced
   std::uint64_t bytes_reserved = 0;
+  std::uint64_t views = 0;  ///< sub-block views cut from this pool's blocks
 };
 
 /// Allocator interface. Implementations must be thread-safe: device
@@ -179,6 +221,20 @@ class Pool {
 
   [[nodiscard]] virtual PoolStats stats() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Sub-block views cut from this pool's blocks (FrameRef::view); kept on
+  /// the base so view creation never takes a pool lock.
+  [[nodiscard]] std::uint64_t view_count() const noexcept {
+    return views_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class FrameRef;
+  void note_view() noexcept {
+    views_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> views_{0};
 };
 
 /// Bin description for SimplePool provisioning.

@@ -29,6 +29,15 @@ std::span<const std::byte> ScatterGatherList::segment(std::size_t i) const {
   return s.buffer.bytes().subspan(s.offset, s.length);
 }
 
+std::vector<std::span<const std::byte>> ScatterGatherList::spans() const {
+  std::vector<std::span<const std::byte>> out;
+  out.reserve(segments_.size());
+  for (const Segment& s : segments_) {
+    out.push_back(s.buffer.bytes().subspan(s.offset, s.length));
+  }
+  return out;
+}
+
 Status ScatterGatherList::gather_into(std::span<std::byte> out) const {
   if (out.size() < total_bytes_) {
     return {Errc::InvalidArgument, "gather target too small"};

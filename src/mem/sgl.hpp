@@ -38,6 +38,12 @@ class ScatterGatherList {
   /// Read-only view of segment i.
   [[nodiscard]] std::span<const std::byte> segment(std::size_t i) const;
 
+  /// All segments in order, shaped for vectored I/O (writev/sendmsg):
+  /// a transport hands these straight to the kernel and the wire gathers
+  /// out of pooled memory - no gather_into flattening copy. The spans are
+  /// valid for as long as this list holds its buffer references.
+  [[nodiscard]] std::vector<std::span<const std::byte>> spans() const;
+
   /// Copies all segments, in order, into `out` (must be >= total_bytes()).
   Status gather_into(std::span<std::byte> out) const;
 

@@ -186,6 +186,45 @@ Status TcpStream::write_all2(std::span<const std::byte> a,
   return Status::ok();
 }
 
+Status TcpStream::write_vec(std::span<const std::span<const std::byte>> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+  }
+  std::size_t off = 0;  ///< bytes of the concatenation already written
+  while (off < total) {
+    // Locate the first part not fully consumed and gather from there.
+    iovec iov[64];
+    constexpr std::size_t kMaxIov = sizeof(iov) / sizeof(iov[0]);
+    std::size_t iovcnt = 0;
+    std::size_t skip = off;
+    for (const auto& p : parts) {
+      if (skip >= p.size()) {
+        skip -= p.size();
+        continue;
+      }
+      if (iovcnt == kMaxIov) {
+        break;
+      }
+      iov[iovcnt++] = {const_cast<std::byte*>(p.data()) + skip,
+                       p.size() - skip};
+      skip = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovcnt;
+    const ssize_t n = ::sendmsg(sock_.fd(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return errno_status(Errc::IoError, "sendmsg");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
 Result<TcpListener> TcpListener::bind(std::uint16_t port) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) {

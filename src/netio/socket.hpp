@@ -91,6 +91,12 @@ class TcpStream {
   Status write_all2(std::span<const std::byte> a,
                     std::span<const std::byte> b);
 
+  /// Gathered write of an arbitrary span list (scatter-gather sends):
+  /// every part goes to the wire in order, batched IOV_MAX iovecs per
+  /// sendmsg, looping over partial writes. Empty parts are permitted.
+  /// The spans may point into pooled frame memory - nothing is copied.
+  Status write_vec(std::span<const std::span<const std::byte>> parts);
+
   /// Severs the connection (SHUT_RDWR) without closing the fd, so threads
   /// polling or writing on it see EOF/EPIPE instead of a dangling number.
   /// Fault-injection and dead-peer teardown use this to "cut the cable".

@@ -53,31 +53,31 @@ FaultInjectingTransport::InjectStats FaultInjectingTransport::inject_stats()
   return s;
 }
 
+FaultInjectingTransport::Draw FaultInjectingTransport::draw_faults() {
+  const std::scoped_lock lock(mutex_);
+  Draw d;
+  d.drop = rng_.chance(plan_.drop_rate);
+  d.delay = rng_.chance(plan_.delay_rate);
+  d.duplicate = rng_.chance(plan_.duplicate_rate);
+  d.disconnect = rng_.chance(plan_.disconnect_rate);
+  return d;
+}
+
 Status FaultInjectingTransport::transport_send(
     i2o::NodeId dst, std::span<const std::byte> frame) {
   sends_.fetch_add(1);
-  bool drop = false;
-  bool delay = false;
-  bool duplicate = false;
-  bool disconnect = false;
-  {
-    const std::scoped_lock lock(mutex_);
-    drop = rng_.chance(plan_.drop_rate);
-    delay = rng_.chance(plan_.delay_rate);
-    duplicate = rng_.chance(plan_.duplicate_rate);
-    disconnect = rng_.chance(plan_.disconnect_rate);
-  }
-  if (disconnect) {
+  const Draw d = draw_faults();
+  if (d.disconnect) {
     disconnects_.fetch_add(1);
     inner_->disrupt_peer(dst);
   }
-  if (drop) {
+  if (d.drop) {
     // Report success: a lost frame looks exactly like wire loss to the
     // sender, which is the point.
     dropped_.fetch_add(1);
     return Status::ok();
   }
-  if (delay && transport_running()) {
+  if (d.delay && transport_running()) {
     delayed_count_.fetch_add(1);
     const std::scoped_lock lock(mutex_);
     delayed_.push_back(Delayed{dst,
@@ -88,9 +88,46 @@ Status FaultInjectingTransport::transport_send(
     return Status::ok();
   }
   Status st = inner_->transport_send(dst, frame);
-  if (st.is_ok() && duplicate) {
+  if (st.is_ok() && d.duplicate) {
     duplicated_.fetch_add(1);
     (void)inner_->transport_send(dst, frame);
+  }
+  return st;
+}
+
+Status FaultInjectingTransport::transport_send_frame(i2o::NodeId dst,
+                                                     mem::FrameRef frame) {
+  sends_.fetch_add(1);
+  const Draw d = draw_faults();
+  if (d.disconnect) {
+    disconnects_.fetch_add(1);
+    inner_->disrupt_peer(dst);
+  }
+  if (d.drop) {
+    // Dropping the ref recycles the block - the frame just vanishes.
+    dropped_.fetch_add(1);
+    return Status::ok();
+  }
+  if (d.delay && transport_running()) {
+    delayed_count_.fetch_add(1);
+    const std::scoped_lock lock(mutex_);
+    delayed_.push_back(Delayed{dst, {}, steady_ns() + plan_.delay.count(),
+                               std::move(frame)});
+    delay_cv_.notify_all();
+    return Status::ok();
+  }
+  // The duplicate must snapshot the bytes BEFORE the primary send: an
+  // in-process delivery may rewrite the header in place, and the copy
+  // has to carry the original wire image.
+  std::vector<std::byte> dup;
+  if (d.duplicate) {
+    const auto bytes = frame.bytes();
+    dup.assign(bytes.begin(), bytes.end());
+  }
+  Status st = inner_->transport_send_frame(dst, std::move(frame));
+  if (st.is_ok() && d.duplicate) {
+    duplicated_.fetch_add(1);
+    (void)inner_->transport_send(dst, dup);
   }
   return st;
 }
@@ -111,7 +148,11 @@ void FaultInjectingTransport::delay_loop() {
     Delayed d = std::move(delayed_.front());
     delayed_.pop_front();
     lock.unlock();
-    (void)inner_->transport_send(d.dst, d.frame);
+    if (d.ref.valid()) {
+      (void)inner_->transport_send_frame(d.dst, std::move(d.ref));
+    } else {
+      (void)inner_->transport_send(d.dst, d.frame);
+    }
     lock.lock();
   }
 }

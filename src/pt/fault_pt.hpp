@@ -53,6 +53,10 @@ class FaultInjectingTransport final : public core::TransportDevice {
 
   Status transport_send(i2o::NodeId dst,
                         std::span<const std::byte> frame) override;
+  /// Zero-copy passthrough: the pooled reference survives drops, delays
+  /// and duplication without being flattened to a byte vector (only the
+  /// duplicate itself is a copy - it needs the pristine header bytes).
+  Status transport_send_frame(i2o::NodeId dst, mem::FrameRef frame) override;
   [[nodiscard]] core::PeerState peer_state(i2o::NodeId node) const override {
     return inner_->peer_state(node);
   }
@@ -87,6 +91,10 @@ class FaultInjectingTransport final : public core::TransportDevice {
   }
 
  protected:
+  /// The executive's end-of-batch flush reaches the decorator (it is the
+  /// installed device); the wrapped transport holds the corked sends.
+  void on_transport_flush() override { inner_->transport_flush(); }
+
   Status on_enable() override { return transport_up(); }
   Status on_halt() override {
     transport_down();
@@ -102,7 +110,18 @@ class FaultInjectingTransport final : public core::TransportDevice {
     i2o::NodeId dst;
     std::vector<std::byte> frame;
     std::int64_t due_ns;
+    /// Set on the zero-copy path; the ref parks here until due.
+    mem::FrameRef ref;
   };
+
+  /// One seeded draw of the four injection decisions.
+  struct Draw {
+    bool drop = false;
+    bool delay = false;
+    bool duplicate = false;
+    bool disconnect = false;
+  };
+  Draw draw_faults();
 
   void delay_loop();
   [[nodiscard]] static std::int64_t steady_ns() noexcept;

@@ -24,8 +24,7 @@ void FifoTransport::plugin() {
   link_->endpoints_[endpoint_] = this;
 }
 
-Status FifoTransport::transport_send(i2o::NodeId dst,
-                                     std::span<const std::byte> frame) {
+Status FifoTransport::post_slot(i2o::NodeId dst, FifoLink::Slot slot) {
   // A point-to-point segment: the only reachable node is the other end.
   const int other = endpoint_ ^ 1;
   FifoTransport* peer = nullptr;
@@ -36,9 +35,6 @@ Status FifoTransport::transport_send(i2o::NodeId dst,
   if (peer == nullptr || peer->executive().node_id() != dst) {
     return {Errc::Unroutable, "node is not on this PCI segment"};
   }
-  FifoLink::Slot slot;
-  slot.src = executive().node_id();
-  slot.frame.assign(frame.begin(), frame.end());
   const std::scoped_lock lock(link_->producer_mutex_[other]);
   if (!link_->fifo_towards(other).try_push(std::move(slot))) {
     rejects_.fetch_add(1, std::memory_order_relaxed);
@@ -47,11 +43,37 @@ Status FifoTransport::transport_send(i2o::NodeId dst,
   return Status::ok();
 }
 
+Status FifoTransport::transport_send(i2o::NodeId dst,
+                                     std::span<const std::byte> frame) {
+  FifoLink::Slot slot;
+  slot.src = executive().node_id();
+  slot.frame.assign(frame.begin(), frame.end());
+  tx_copies_.fetch_add(1, std::memory_order_relaxed);
+  return post_slot(dst, std::move(slot));
+}
+
+Status FifoTransport::transport_send_frame(i2o::NodeId dst,
+                                           mem::FrameRef frame) {
+  // The pooled reference itself rides through the ring slot - the bytes
+  // never leave the sender's block until the peer executive consumes
+  // them (the synthetic analogue of a PCI bus-master descriptor).
+  FifoLink::Slot slot;
+  slot.src = executive().node_id();
+  slot.ref = std::move(frame);
+  return post_slot(dst, std::move(slot));
+}
+
 void FifoTransport::on_transport_poll() {
   auto& fifo = link_->fifo_towards(endpoint_);
   while (auto slot = fifo.try_pop()) {
-    (void)executive().deliver_from_wire(slot->src, tid(), slot->frame,
-                                        rdtsc());
+    if (slot->ref.valid()) {
+      (void)executive().deliver_from_wire(slot->src, tid(),
+                                          std::move(slot->ref), rdtsc());
+    } else {
+      rx_copies_.fetch_add(1, std::memory_order_relaxed);
+      (void)executive().deliver_from_wire(slot->src, tid(), slot->frame,
+                                          rdtsc());
+    }
   }
 }
 

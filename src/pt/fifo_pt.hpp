@@ -46,6 +46,11 @@ class FifoLink {
 
   struct Slot {
     i2o::NodeId src = i2o::kNullNode;
+    /// Zero-copy path: a live pooled reference travels through the ring
+    /// slot; the consumer hands it straight to its executive. The vector
+    /// is only used by the legacy span path (and keeps its bytes alive
+    /// when the sender's buffer is transient).
+    mem::FrameRef ref;
     std::vector<std::byte> frame;
   };
 
@@ -72,6 +77,7 @@ class FifoTransport final : public core::TransportDevice {
 
   Status transport_send(i2o::NodeId dst,
                         std::span<const std::byte> frame) override;
+  Status transport_send_frame(i2o::NodeId dst, mem::FrameRef frame) override;
 
   /// Frames rejected because the FIFO was full.
   [[nodiscard]] std::uint64_t fifo_full_rejects() const noexcept {
@@ -82,6 +88,12 @@ class FifoTransport final : public core::TransportDevice {
                       std::vector<obs::Sample>& out) const override {
     out.push_back({prefix + ".fifo_full_rejects",
                    static_cast<std::int64_t>(fifo_full_rejects())});
+    out.push_back({prefix + ".rx_copies",
+                   static_cast<std::int64_t>(
+                       rx_copies_.load(std::memory_order_relaxed))});
+    out.push_back({prefix + ".tx_copies",
+                   static_cast<std::int64_t>(
+                       tx_copies_.load(std::memory_order_relaxed))});
   }
 
  protected:
@@ -90,9 +102,14 @@ class FifoTransport final : public core::TransportDevice {
   void on_transport_poll() override;
 
  private:
+  /// Shared slot-posting path for both send variants.
+  Status post_slot(i2o::NodeId dst, FifoLink::Slot slot);
+
   FifoLink* link_;
   int endpoint_;
   std::atomic<std::uint64_t> rejects_{0};
+  std::atomic<std::uint64_t> rx_copies_{0};
+  std::atomic<std::uint64_t> tx_copies_{0};
 };
 
 }  // namespace xdaq::pt

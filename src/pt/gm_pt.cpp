@@ -21,11 +21,28 @@ void GmPeerTransport::plugin() {
     return;
   }
   port_ = std::move(port).value();
-  rx_storage_.assign(config_.receive_buffers,
-                     std::vector<std::byte>(config_.buffer_bytes));
-  for (auto& buf : rx_storage_) {
-    port_->provide_receive_buffer(buf);
+  rx_storage_.clear();
+  rx_pooled_.clear();
+  for (std::size_t i = 0; i < config_.receive_buffers; ++i) {
+    provide_rx_buffer();
   }
+}
+
+void GmPeerTransport::provide_rx_buffer() {
+  // Pool blocks cap at kMaxBlockBytes; frames larger than that cannot be
+  // delivered to the executive anyway, so clamping loses nothing (the
+  // fabric truncates, exactly as an undersized GM buffer would).
+  const std::size_t bytes =
+      std::min<std::size_t>(config_.buffer_bytes, mem::kMaxBlockBytes);
+  if (auto blk = executive().pool().allocate(bytes); blk.is_ok()) {
+    mem::FrameRef block = std::move(blk).value();
+    port_->provide_receive_buffer(block.bytes());
+    rx_pooled_.emplace(block.bytes().data(), std::move(block));
+    return;
+  }
+  rx_pool_misses_.fetch_add(1, std::memory_order_relaxed);
+  rx_storage_.emplace_back(config_.buffer_bytes);
+  port_->provide_receive_buffer(rx_storage_.back());
 }
 
 Status GmPeerTransport::on_configure(const i2o::ParamList& params) {
@@ -103,6 +120,20 @@ void GmPeerTransport::on_transport_poll() {
 
 void GmPeerTransport::deliver(const gmsim::RecvEvent& ev,
                               std::uint64_t t_wire) {
+  if (auto it = rx_pooled_.find(ev.buffer.data()); it != rx_pooled_.end()) {
+    // The message already sits in pool memory: resize the block handle to
+    // the wire length and post it - zero software copies. The block is
+    // donated downstream, so lend the port a fresh one in its place.
+    mem::FrameRef block = std::move(it->second);
+    rx_pooled_.erase(it);
+    block.resize(ev.length);
+    (void)executive().deliver_from_wire(static_cast<i2o::NodeId>(ev.src),
+                                        tid(), std::move(block), t_wire);
+    provide_rx_buffer();
+    return;
+  }
+  // Fallback vector buffer: the copying span path, buffer reused as-is.
+  rx_copies_.fetch_add(1, std::memory_order_relaxed);
   (void)executive().deliver_from_wire(
       static_cast<i2o::NodeId>(ev.src), tid(),
       std::span<const std::byte>(ev.buffer.data(), ev.length), t_wire);
@@ -146,6 +177,15 @@ void GmPeerTransport::append_metrics(const std::string& prefix,
                  static_cast<std::int64_t>(ps.receives)});
   out.push_back({prefix + ".send_rejects",
                  static_cast<std::int64_t>(ps.send_rejects)});
+  out.push_back({prefix + ".rx_copies",
+                 static_cast<std::int64_t>(
+                     rx_copies_.load(std::memory_order_relaxed))});
+  // The span handed to gmsim::Port::send models the NIC DMA, so the
+  // software tx path is copy-free by construction.
+  out.push_back({prefix + ".tx_copies", std::int64_t{0}});
+  out.push_back({prefix + ".rx_pool_misses",
+                 static_cast<std::int64_t>(
+                     rx_pool_misses_.load(std::memory_order_relaxed))});
 }
 
 }  // namespace xdaq::pt

@@ -7,15 +7,20 @@
 //  * Task    - the PT owns a receive thread, posting into the executive.
 //  * Polling - the executive's loop scans poll_transport().
 //
-// Receive path (the "PT GM processing" stage of Table 1): a GM event is
-// polled, a frame is allocated from the executive pool, the wire bytes are
-// copied in (the software analogue of handing the DMA buffer back), the
-// initiator proxy is interned, and the frame is posted.
+// Receive path (the "PT GM processing" stage of Table 1): the receive
+// buffers handed to the port at plugin() time are pooled blocks from the
+// executive's frame pool, so a GM event lands directly in pool memory -
+// the block is resized to the wire length and posted without a software
+// copy (the NIC's DMA into the provided buffer is the only transfer).
+// Should pool allocation fail, a plain vector buffer is provided instead
+// and deliveries out of it fall back to the copying span path
+// (counted in rx_copies).
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/executive.hpp"
@@ -61,11 +66,22 @@ class GmPeerTransport final : public core::TransportDevice {
  private:
   void receive_loop();
   void deliver(const gmsim::RecvEvent& ev, std::uint64_t t_wire);
+  /// Allocates one pooled receive block and hands it to the port; falls
+  /// back to a vector buffer when the pool is exhausted. Consumer-thread
+  /// only (plugin() runs before the consumer exists).
+  void provide_rx_buffer();
 
   gmsim::Fabric* fabric_;
   GmTransportConfig config_;
   std::unique_ptr<gmsim::Port> port_;
+  /// Legacy/fallback receive buffers (pool exhausted at provision time).
   std::vector<std::vector<std::byte>> rx_storage_;
+  /// Pooled receive blocks currently lent to the port, keyed by their
+  /// data pointer so a RecvEvent's buffer span maps back to its block.
+  std::unordered_map<const std::byte*, mem::FrameRef> rx_pooled_;
+
+  std::atomic<std::uint64_t> rx_copies_{0};
+  std::atomic<std::uint64_t> rx_pool_misses_{0};
 
   std::thread task_thread_;
 };

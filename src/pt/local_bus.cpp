@@ -1,5 +1,7 @@
 #include "pt/local_bus.hpp"
 
+#include "util/clock.hpp"
+
 namespace xdaq::pt {
 
 std::size_t LocalBus::attached() const {
@@ -45,8 +47,24 @@ Status LocalBusTransport::transport_send(i2o::NodeId dst,
     return {Errc::Unroutable, "destination node not on the local bus"};
   }
   forwarded_.fetch_add(1, std::memory_order_relaxed);
+  // The span lands in the peer's pool via the copying overload.
+  rx_copies_.fetch_add(1, std::memory_order_relaxed);
   return peer->executive().deliver_from_wire(executive().node_id(),
-                                             peer->tid(), frame);
+                                             peer->tid(), frame, rdtsc());
+}
+
+Status LocalBusTransport::transport_send_frame(i2o::NodeId dst,
+                                               mem::FrameRef frame) {
+  LocalBusTransport* peer = bus_->find(dst);
+  if (peer == nullptr) {
+    no_peer_.fetch_add(1, std::memory_order_relaxed);
+    return {Errc::Unroutable, "destination node not on the local bus"};
+  }
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  // Zero wire bytes touched: the peer executive takes the very same
+  // pooled reference (its dispatch recycles through the owning pool).
+  return peer->executive().deliver_from_wire(
+      executive().node_id(), peer->tid(), std::move(frame), rdtsc());
 }
 
 }  // namespace xdaq::pt

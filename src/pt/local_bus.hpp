@@ -48,6 +48,9 @@ class LocalBusTransport final : public core::TransportDevice {
 
   Status transport_send(i2o::NodeId dst,
                         std::span<const std::byte> frame) override;
+  /// Zero-copy handoff: the peer executive receives the same pooled
+  /// reference; no wire bytes exist, so rx_copies stays 0.
+  Status transport_send_frame(i2o::NodeId dst, mem::FrameRef frame) override;
 
   /// Bus attachment is the liveness signal here: an attached peer is Up,
   /// a detached one Unknown (in-process, there is no Suspect window).
@@ -64,6 +67,10 @@ class LocalBusTransport final : public core::TransportDevice {
     out.push_back({prefix + ".no_peer",
                    static_cast<std::int64_t>(
                        no_peer_.load(std::memory_order_relaxed))});
+    out.push_back({prefix + ".rx_copies",
+                   static_cast<std::int64_t>(
+                       rx_copies_.load(std::memory_order_relaxed))});
+    out.push_back({prefix + ".tx_copies", 0});
   }
 
  protected:
@@ -75,6 +82,8 @@ class LocalBusTransport final : public core::TransportDevice {
   bool attached_to_bus_ = false;
   std::atomic<std::uint64_t> forwarded_{0};  ///< frames handed to a peer
   std::atomic<std::uint64_t> no_peer_{0};    ///< sends to a detached node
+  /// Copies on the span fallback path (zero on the FrameRef path).
+  std::atomic<std::uint64_t> rx_copies_{0};
 };
 
 }  // namespace xdaq::pt

@@ -56,6 +56,8 @@ Status TcpPeerTransport::on_configure(const i2o::ParamList& params) {
     if (key == "listen_port") {
       config_.listen_port =
           static_cast<std::uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "zero_copy") {
+      config_.zero_copy = value != "0" && value != "false";
     } else if (key.rfind("peer.", 0) == 0) {
       const auto node = static_cast<i2o::NodeId>(
           std::strtoul(key.c_str() + 5, nullptr, 10));
@@ -124,6 +126,9 @@ Status TcpPeerTransport::on_transport_start() {
   failed_dials_.store(0);
   retransmitted_.store(0);
   dropped_pending_.store(0);
+  rx_copies_.store(0);
+  tx_copies_.store(0);
+  rx_splices_.store(0);
   reader_thread_ = std::thread([this] { reader_loop(); });
   maintenance_thread_ = std::thread([this] { maintenance_loop(); });
   return Status::ok();
@@ -168,6 +173,15 @@ void TcpPeerTransport::append_metrics(const std::string& prefix,
                  static_cast<std::int64_t>(fs.dropped_pending)});
   out.push_back({prefix + ".connections",
                  static_cast<std::int64_t>(connection_count())});
+  out.push_back({prefix + ".rx_copies",
+                 static_cast<std::int64_t>(
+                     rx_copies_.load(std::memory_order_relaxed))});
+  out.push_back({prefix + ".tx_copies",
+                 static_cast<std::int64_t>(
+                     tx_copies_.load(std::memory_order_relaxed))});
+  out.push_back({prefix + ".rx_splices",
+                 static_cast<std::int64_t>(
+                     rx_splices_.load(std::memory_order_relaxed))});
 }
 
 TcpPeerTransport::FaultStats TcpPeerTransport::fault_stats() const {
@@ -299,13 +313,28 @@ Status TcpPeerTransport::flush_pending(Connection& conn,
   while (!conn.pending.empty()) {
     conn.flush_buf.clear();
     std::swap(conn.pending, conn.flush_buf);
+    conn.pending_bytes = 0;
     // flush_buf is writer-owned, so the socket write needs no lock and
-    // other senders keep appending to pending meanwhile.
+    // other senders keep appending to pending meanwhile. Bodies go to the
+    // wire straight from wherever they live (pooled frame memory for the
+    // zero-copy path) - the gathered iovec list is the only thing built.
     lk.unlock();
-    const Status st = conn.stream.write_all(conn.flush_buf);
+    conn.iov_parts.clear();
+    for (const PendingSend& e : conn.flush_buf) {
+      conn.iov_parts.emplace_back(e.prefix.data(), e.prefix.size());
+      const auto body = e.body();
+      if (!body.empty()) {
+        conn.iov_parts.push_back(body);
+      }
+    }
+    const Status st = conn.stream.write_vec(conn.iov_parts);
     lk.lock();
+    // Only now - after the kernel accepted every byte - do the FrameRefs
+    // queued in flush_buf drop back to their pools.
+    conn.flush_buf.clear();
     if (!st.is_ok()) {
-      conn.pending.clear();  // connection is dead; drop queued bytes
+      conn.pending.clear();  // connection is dead; drop queued sends
+      conn.pending_bytes = 0;
       return st;
     }
   }
@@ -313,19 +342,70 @@ Status TcpPeerTransport::flush_pending(Connection& conn,
   return Status::ok();
 }
 
-Status TcpPeerTransport::send_heartbeat(Connection& conn) {
-  std::array<std::byte, 4> hb{};
-  i2o::put_u32(hb, 0, kHeartbeatLen);
+Status TcpPeerTransport::write_entry(Connection& conn, PendingSend entry,
+                                     std::size_t wire_bytes) {
   std::unique_lock lk(conn.write_mutex);
-  conn.pending.insert(conn.pending.end(), hb.begin(), hb.end());
+  conn.pending.push_back(std::move(entry));
+  conn.pending_bytes += wire_bytes;
   if (conn.writer_active) {
-    return Status::ok();  // the active writer flushes it for us
+    if (wire_bytes <= config_.coalesce_bytes &&
+        conn.pending_bytes < kPendingHighWater) {
+      // Small send: the active writer gathers it into the same syscall as
+      // its own (errors on piggybacked sends surface as a dropped
+      // connection, like any wire loss).
+      return Status::ok();
+    }
+    // Large send or backed up: park until the writer drains. The previous
+    // writer may flush our entry for us; the loop below then finds
+    // pending empty and returns immediately.
+    conn.write_cv.wait(lk, [&conn] { return !conn.writer_active; });
+  } else if (wire_bytes <= config_.coalesce_bytes &&
+             conn.pending_bytes < config_.coalesce_bytes && attached() &&
+             executive().dispatch_active()) {
+    // Handler send mid-dispatch-batch: cork it. The executive's
+    // end-of-batch transport_flush() (or the maintenance tick, if this
+    // send raced the tail of the batch) puts it on the wire in one
+    // gathered syscall with the rest of the batch's replies.
+    corked_.store(true, std::memory_order_release);
+    return Status::ok();
   }
   conn.writer_active = true;
   const Status st = flush_pending(conn, lk);
   conn.writer_active = false;
   lk.unlock();
   conn.write_cv.notify_all();
+  return st;
+}
+
+void TcpPeerTransport::on_transport_flush() {
+  if (!corked_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    const std::scoped_lock lock(conns_mutex_);
+    conns = conns_;
+  }
+  for (const auto& conn : conns) {
+    std::unique_lock lk(conn->write_mutex);
+    if (conn->pending.empty() || conn->writer_active) {
+      continue;  // nothing corked here, or an active writer drains it
+    }
+    conn->writer_active = true;
+    const Status st = flush_pending(*conn, lk);
+    conn->writer_active = false;
+    lk.unlock();
+    conn->write_cv.notify_all();
+    if (!st.is_ok()) {
+      drop_connection(conn);
+    }
+  }
+}
+
+Status TcpPeerTransport::send_heartbeat(Connection& conn) {
+  PendingSend hb;
+  i2o::put_u32(hb.prefix, 0, kHeartbeatLen);
+  const Status st = write_entry(conn, std::move(hb), 4);
   if (st.is_ok()) {
     heartbeats_sent_.fetch_add(1);
   }
@@ -333,53 +413,12 @@ Status TcpPeerTransport::send_heartbeat(Connection& conn) {
 }
 
 Status TcpPeerTransport::write_frame(Connection& conn,
-                                     std::span<const std::byte> frame) {
-  std::array<std::byte, 4> len{};
-  i2o::put_u32(len, 0, static_cast<std::uint32_t>(frame.size()));
-
-  std::unique_lock lk(conn.write_mutex);
-  if (frame.size() + len.size() <= config_.coalesce_bytes) {
-    // Small frame: queue it; if a writer is already flushing, it will pick
-    // this frame up in the same syscall as its own (errors on piggybacked
-    // frames surface as a dropped connection, like any wire loss).
-    conn.pending.insert(conn.pending.end(), len.begin(), len.end());
-    conn.pending.insert(conn.pending.end(), frame.begin(), frame.end());
-    if (conn.writer_active) {
-      if (conn.pending.size() < kPendingHighWater) {
-        return Status::ok();
-      }
-      // Backed up: park until the writer drains, then take over.
-      conn.write_cv.wait(lk, [&conn] { return !conn.writer_active; });
-    }
-    conn.writer_active = true;
-    const Status st = flush_pending(conn, lk);
-    conn.writer_active = false;
-    lk.unlock();
-    conn.write_cv.notify_all();
-    return st;
-  }
-
-  // Large frame: claim the writer slot, drain queued small sends first so
-  // ordering holds, then gathered-write prefix + body with zero copies.
-  conn.write_cv.wait(lk, [&conn] { return !conn.writer_active; });
-  conn.writer_active = true;
-  Status st = flush_pending(conn, lk);
-  if (st.is_ok()) {
-    lk.unlock();
-    st = conn.stream.write_all2(len, frame);
-    lk.lock();
-    if (st.is_ok()) {
-      conn.last_tx_ns.store(steady_ns(), std::memory_order_relaxed);
-    }
-  }
-  if (st.is_ok()) {
-    // Flush anything that piggybacked while the gathered write ran.
-    st = flush_pending(conn, lk);
-  }
-  conn.writer_active = false;
-  lk.unlock();
-  conn.write_cv.notify_all();
-  return st;
+                                     std::vector<std::byte> frame) {
+  PendingSend entry;
+  i2o::put_u32(entry.prefix, 0, static_cast<std::uint32_t>(frame.size()));
+  const std::size_t wire_bytes = entry.prefix.size() + frame.size();
+  entry.owned = std::move(frame);
+  return write_entry(conn, std::move(entry), wire_bytes);
 }
 
 void TcpPeerTransport::drop_connection(
@@ -428,20 +467,37 @@ void TcpPeerTransport::retransmit_queued(
     }
     queued.swap(it->second.queued);
   }
-  for (const auto& frame : queued) {
-    if (Status st = write_frame(*conn, frame); !st.is_ok()) {
+  const std::size_t count = queued.size();
+  for (auto& frame : queued) {
+    // The queue owned the bytes already; moving them into the entry keeps
+    // the retransmit copy-free.
+    if (Status st = write_frame(*conn, std::move(frame)); !st.is_ok()) {
       log_.warn("retransmit to peer ", node, " failed: ", st.message());
       drop_connection(conn);
       return;
     }
     retransmitted_.fetch_add(1);
   }
-  log_.info("retransmitted ", queued.size(), " queued frame(s) to peer ",
-            node);
+  log_.info("retransmitted ", count, " queued frame(s) to peer ", node);
 }
 
 Status TcpPeerTransport::transport_send(i2o::NodeId dst,
                                         std::span<const std::byte> frame) {
+  return send_common(dst, frame, {});
+}
+
+Status TcpPeerTransport::transport_send_frame(i2o::NodeId dst,
+                                              mem::FrameRef frame) {
+  if (!config_.zero_copy) {
+    return transport_send(dst, frame.bytes());  // ablation: copy arm
+  }
+  const std::span<const std::byte> body = frame.bytes();
+  return send_common(dst, body, std::move(frame));
+}
+
+Status TcpPeerTransport::send_common(i2o::NodeId dst,
+                                     std::span<const std::byte> frame,
+                                     mem::FrameRef ref) {
   if (!transport_running()) {
     return {Errc::FailedPrecondition, "TCP transport not enabled"};
   }
@@ -512,7 +568,19 @@ Status TcpPeerTransport::transport_send(i2o::NodeId dst,
     return {Errc::Unavailable, std::string(found.status().message())};
   }
   auto conn = std::move(found).value();
-  if (Status st = write_frame(*conn, frame); !st.is_ok()) {
+  PendingSend entry;
+  i2o::put_u32(entry.prefix, 0, static_cast<std::uint32_t>(frame.size()));
+  const std::size_t wire_bytes = entry.prefix.size() + frame.size();
+  if (ref.valid()) {
+    // Zero-copy: the queue holds the live reference; the writer gathers
+    // the body straight from pooled memory.
+    entry.frame = std::move(ref);
+  } else {
+    entry.owned.assign(frame.begin(), frame.end());
+    tx_copies_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (Status st = write_entry(*conn, std::move(entry), wire_bytes);
+      !st.is_ok()) {
     drop_connection(conn);
     return {Errc::Unavailable,
             "send to peer " + std::to_string(dst) + " failed: " +
@@ -522,6 +590,157 @@ Status TcpPeerTransport::transport_send(i2o::NodeId dst,
 }
 
 bool TcpPeerTransport::service_connection(Connection& conn) {
+  if (!config_.zero_copy) {
+    return service_connection_legacy(conn);
+  }
+  // Zero-copy receive: the kernel writes straight into a pooled block;
+  // complete frames are handed to the executive as views of that block
+  // (no per-frame allocation, no memcpy). The block is rolled only when
+  // its writable tail runs out - a partial frame straddling the roll pays
+  // the one splice copy.
+  bool got_bytes = false;
+  for (;;) {
+    if (!conn.rx_block.valid() &&
+        !roll_rx_block(conn, /*need_hint=*/kReadChunk)) {
+      // Pool exhausted: leave the kernel buffer queued; poll() is
+      // level-triggered, so the data re-wakes us once blocks are free.
+      return true;
+    }
+    auto tail = conn.rx_block.bytes().subspan(conn.rx_filled);
+    if (tail.empty()) {
+      if (!roll_rx_block(conn, /*need_hint=*/kReadChunk)) {
+        return true;
+      }
+      tail = conn.rx_block.bytes().subspan(conn.rx_filled);
+    }
+    auto n = conn.stream.read_available(tail);
+    if (!n.is_ok()) {
+      if (n.status().code() == Errc::Timeout) {
+        break;  // kernel buffer drained
+      }
+      return false;  // EOF or error
+    }
+    got_bytes = true;
+    conn.rx_filled += n.value();
+    if (!parse_rx_block(conn)) {
+      return false;
+    }
+    if (n.value() < tail.size()) {
+      break;  // short read; any rest re-wakes us
+    }
+  }
+  if (got_bytes) {
+    conn.last_rx_ns.store(steady_ns(), std::memory_order_relaxed);
+  }
+  // Quiescent and fully parsed: hand the block back so the pool drains to
+  // zero outstanding between bursts (undelivered views may still pin it).
+  // The next burst grabs a fresh block - a lock-free or one-mutex pool hit
+  // per wakeup, amortized over the whole burst.
+  if (conn.rx_block.valid() && conn.rx_consumed == conn.rx_filled) {
+    conn.rx_block.reset();
+    conn.rx_filled = 0;
+    conn.rx_consumed = 0;
+  }
+  return true;
+}
+
+bool TcpPeerTransport::parse_rx_block(Connection& conn) {
+  for (;;) {
+    // Discard phase for frames too large for any pool block.
+    if (conn.rx_skip > 0) {
+      const std::size_t take =
+          std::min(conn.rx_skip, conn.rx_filled - conn.rx_consumed);
+      conn.rx_consumed += take;
+      conn.rx_skip -= take;
+      if (conn.rx_skip > 0) {
+        return true;  // rest of the oversized frame still in flight
+      }
+      continue;
+    }
+    const std::size_t avail = conn.rx_filled - conn.rx_consumed;
+    const std::byte* base = conn.rx_block.bytes().data() + conn.rx_consumed;
+    if (conn.node == i2o::kNullNode) {
+      // First bytes on an accepted connection must be the hello.
+      if (avail < kHelloBytes) {
+        return true;
+      }
+      const std::span<const std::byte> hello(base, kHelloBytes);
+      if (i2o::get_u32(hello, 0) != kHelloMagic) {
+        log_.warn("rejecting connection with bad hello magic");
+        return false;
+      }
+      conn.node = i2o::get_u16(hello, 4);
+      conn.rx_consumed += kHelloBytes;
+      continue;
+    }
+    if (avail < 4) {
+      return true;
+    }
+    const std::uint32_t len =
+        i2o::get_u32(std::span<const std::byte>(base, 4), 0);
+    if (len == kHeartbeatLen) {
+      conn.rx_consumed += 4;  // liveness ping; last_rx_ns stamped by caller
+      continue;
+    }
+    if (len == 0 || len > config_.max_frame_bytes) {
+      log_.warn("dropping connection announcing bad frame length ", len);
+      return false;
+    }
+    const std::size_t need = 4 + static_cast<std::size_t>(len);
+    if (need > mem::kMaxBlockBytes) {
+      // No pool block can carry it; skip the body as it streams past
+      // (the copying path could not deliver such a frame either - its
+      // pool allocation failed).
+      log_.warn("discarding frame of ", len, " bytes (exceeds pool block)");
+      conn.rx_consumed += 4;
+      conn.rx_skip = len;
+      continue;
+    }
+    if (avail < need) {
+      // Frame still in flight. If it can never complete in this block's
+      // remaining bytes, splice the partial tail to a fresh block now.
+      if (conn.rx_consumed + need > conn.rx_block.size() &&
+          !roll_rx_block(conn, need)) {
+        return true;  // pool exhausted; retry on the next wakeup
+      }
+      return true;
+    }
+    mem::FrameRef view = conn.rx_block.view(conn.rx_consumed + 4, len);
+    (void)executive().deliver_from_wire(conn.node, tid(), std::move(view),
+                                        rdtsc());
+    conn.rx_consumed += need;
+  }
+}
+
+bool TcpPeerTransport::roll_rx_block(Connection& conn,
+                                     std::size_t need_hint) {
+  const std::size_t tail_bytes =
+      conn.rx_block.valid() ? conn.rx_filled - conn.rx_consumed : 0;
+  // Full-size blocks: 4x fewer rolls (and splices, and pool hits) than
+  // kReadChunk-sized ones, and recv can drain up to the whole block in
+  // one syscall. The block is released at burst quiescence either way.
+  const std::size_t want = std::max<std::size_t>(
+      mem::kMaxBlockBytes, std::max(need_hint, tail_bytes));
+  auto fresh = executive().pool().allocate(std::min(want,
+                                                    mem::kMaxBlockBytes));
+  if (!fresh.is_ok()) {
+    return false;
+  }
+  if (tail_bytes > 0) {
+    // A partial frame straddles the block boundary: the one splice copy
+    // of the zero-copy pipeline.
+    std::memcpy(fresh.value().bytes().data(),
+                conn.rx_block.bytes().data() + conn.rx_consumed, tail_bytes);
+    rx_splices_.fetch_add(1, std::memory_order_relaxed);
+    rx_copies_.fetch_add(1, std::memory_order_relaxed);
+  }
+  conn.rx_block = std::move(fresh).value();
+  conn.rx_filled = tail_bytes;
+  conn.rx_consumed = 0;
+  return true;
+}
+
+bool TcpPeerTransport::service_connection_legacy(Connection& conn) {
   // Pull everything the kernel has buffered (the socket stays blocking for
   // writes; MSG_DONTWAIT bounds the reads), then parse every complete
   // message. One poll wakeup therefore delivers a whole burst instead of
@@ -546,7 +765,7 @@ bool TcpPeerTransport::service_connection(Connection& conn) {
     conn.last_rx_ns.store(steady_ns(), std::memory_order_relaxed);
   }
 
-  std::size_t off = 0;
+  std::size_t off = conn.rx_off;
   for (;;) {
     const std::size_t avail = conn.rx.size() - off;
     if (conn.node == i2o::kNullNode) {
@@ -583,10 +802,21 @@ bool TcpPeerTransport::service_connection(Connection& conn) {
     (void)executive().deliver_from_wire(
         conn.node, tid(),
         std::span<const std::byte>(conn.rx.data() + off + 4, len), rdtsc());
+    rx_copies_.fetch_add(1, std::memory_order_relaxed);
     off += 4 + static_cast<std::size_t>(len);
   }
-  conn.rx.erase(conn.rx.begin(),
-                conn.rx.begin() + static_cast<std::ptrdiff_t>(off));
+  // Consumed-offset bookkeeping: the old per-pass front erase memmoved
+  // every unconsumed byte on every wakeup. Compact only when the buffer
+  // is quiescent (fully parsed) or the dead prefix is large.
+  conn.rx_off = off;
+  if (conn.rx_off == conn.rx.size()) {
+    conn.rx.clear();
+    conn.rx_off = 0;
+  } else if (conn.rx_off >= kReadChunk) {
+    conn.rx.erase(conn.rx.begin(),
+                  conn.rx.begin() + static_cast<std::ptrdiff_t>(conn.rx_off));
+    conn.rx_off = 0;
+  }
   return true;
 }
 
@@ -674,6 +904,9 @@ void TcpPeerTransport::maintenance_loop() {
       return;
     }
     maintenance_tick(steady_ns());
+    // Backstop for sends that corked while racing the tail of a dispatch
+    // batch: whatever the end-of-batch flush missed leaves within a tick.
+    on_transport_flush();
   }
 }
 

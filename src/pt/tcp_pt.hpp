@@ -56,13 +56,20 @@ struct TcpTransportConfig {
   std::uint16_t listen_port = 0;  ///< 0 = ephemeral
   std::map<i2o::NodeId, TcpPeer> peers;
   std::size_t max_frame_bytes = 300 * 1024;
-  /// Frames up to this size (including the 4-byte length prefix) are
-  /// coalesced into a per-connection pending buffer so back-to-back small
-  /// sends share one syscall. Larger frames use a gathered write (prefix +
-  /// body, one sendmsg) without copying. 0 disables coalescing.
+  /// Sends whose wire size (4-byte length prefix included) stays at or
+  /// under this may piggyback on an already-active writer and return
+  /// immediately; the writer gathers them into its sendmsg. Larger sends
+  /// wait for the writer slot so TCP backpressure reaches the producer.
+  /// 0 disables piggybacking entirely.
   std::size_t coalesce_bytes = 4096;
   /// Seed for the reconnect-jitter RNG (deterministic tests).
   std::uint64_t jitter_seed = 0x7C75D902C2A15F27ULL;
+  /// Zero-copy pipeline: receive into pooled blocks and deliver in-place
+  /// views; transmit straight from live FrameRefs via gathered iovecs.
+  /// false selects the legacy copy path (one rx memcpy into a pool frame
+  /// per inbound frame, one tx copy into the coalesce buffer) - kept for
+  /// the zerocopy_ablation benchmark and as a fallback.
+  bool zero_copy = true;
 };
 
 class TcpPeerTransport final : public core::TransportDevice {
@@ -73,6 +80,11 @@ class TcpPeerTransport final : public core::TransportDevice {
 
   Status transport_send(i2o::NodeId dst,
                         std::span<const std::byte> frame) override;
+  /// Zero-copy send: the pooled frame is queued as a live reference and
+  /// the writer gathers prefix+body straight from pool memory (the ref is
+  /// held until the kernel accepted the bytes). Falls back to the copying
+  /// span path when config.zero_copy is off.
+  Status transport_send_frame(i2o::NodeId dst, mem::FrameRef frame) override;
   [[nodiscard]] core::PeerState peer_state(i2o::NodeId node) const override;
   void disrupt_peer(i2o::NodeId node) override;
 
@@ -106,8 +118,25 @@ class TcpPeerTransport final : public core::TransportDevice {
 
   Status on_transport_start() override;
   void on_transport_stop() override;
+  void on_transport_flush() override;
 
  private:
+  /// One queued send: the 4-byte length prefix plus the body, either as a
+  /// live pooled reference (zero-copy) or as owned bytes (span fallback,
+  /// heartbeats, retransmits). The writer gathers prefix+body of a whole
+  /// batch into one sendmsg; the FrameRef is dropped only after the
+  /// kernel accepted the bytes.
+  struct PendingSend {
+    std::array<std::byte, 4> prefix{};
+    mem::FrameRef frame;           ///< zero-copy body (may be invalid)
+    std::vector<std::byte> owned;  ///< copied/owned body (used if no frame)
+
+    [[nodiscard]] std::span<const std::byte> body() const noexcept {
+      return frame.valid() ? frame.bytes()
+                           : std::span<const std::byte>(owned);
+    }
+  };
+
   /// Lives only in shared_ptrs (never moved), so the synchronization
   /// members can be held by value.
   struct Connection {
@@ -115,19 +144,27 @@ class TcpPeerTransport final : public core::TransportDevice {
     i2o::NodeId node = i2o::kNullNode;  ///< kNullNode until hello received
 
     // -- write combiner (guarded by write_mutex) --------------------------
-    // Small frames append {len, body} to `pending`; whichever sender finds
-    // no writer active becomes the writer and flushes the whole buffer in
-    // one write_all, so concurrent small sends share a syscall. Large
-    // frames wait for the writer slot, drain `pending` (ordering), then do
-    // a gathered prefix+body write straight from the caller's buffer.
+    // Every send appends one PendingSend; whichever sender finds no writer
+    // active becomes the writer and gathers the whole queue into iovecs
+    // for one write_vec, so concurrent sends share a syscall and bodies go
+    // to the wire straight from pooled memory. Senders above
+    // coalesce_bytes (and everyone past the high-water mark) wait for the
+    // writer slot instead of piggybacking.
     std::mutex write_mutex;
     std::condition_variable write_cv;  ///< signalled when writer_active drops
     bool writer_active = false;
-    std::vector<std::byte> pending;    ///< queued encoded sends
-    std::vector<std::byte> flush_buf;  ///< writer-owned swap target
+    std::deque<PendingSend> pending;    ///< queued sends (FIFO)
+    std::deque<PendingSend> flush_buf;  ///< writer-owned swap target
+    std::vector<std::span<const std::byte>> iov_parts;  ///< writer-owned
+    std::size_t pending_bytes = 0;      ///< wire bytes queued in `pending`
 
     // -- read reassembly (reader thread only) -----------------------------
-    std::vector<std::byte> rx;  ///< bytes received but not yet parsed
+    std::vector<std::byte> rx;    ///< legacy path: unparsed bytes
+    std::size_t rx_off = 0;       ///< legacy path: consumed offset into rx
+    mem::FrameRef rx_block;       ///< zero-copy path: pooled receive block
+    std::size_t rx_filled = 0;    ///< bytes read into rx_block
+    std::size_t rx_consumed = 0;  ///< bytes parsed out of rx_block
+    std::size_t rx_skip = 0;      ///< oversized-frame bytes left to discard
 
     // -- liveness stamps (steady-clock ns) --------------------------------
     std::atomic<std::int64_t> last_rx_ns{0};
@@ -156,11 +193,28 @@ class TcpPeerTransport final : public core::TransportDevice {
                                            const TcpPeer& peer);
   Status send_hello(Connection& conn);
   Status send_heartbeat(Connection& conn);
-  /// Writes one length-prefixed frame through the combiner.
-  Status write_frame(Connection& conn, std::span<const std::byte> frame);
+  /// Queues one encoded entry (`wire_bytes` = prefix + body size) through
+  /// the combiner: piggybacks on an active writer when small, otherwise
+  /// claims the writer slot and flushes.
+  Status write_entry(Connection& conn, PendingSend entry,
+                     std::size_t wire_bytes);
+  /// Writes one length-prefixed frame through the combiner (owned copy).
+  Status write_frame(Connection& conn, std::vector<std::byte> frame);
+  /// Shared liveness gating + enqueue for both send flavours; `body` must
+  /// stay valid for the call (it aliases `ref` when one is passed).
+  Status send_common(i2o::NodeId dst, std::span<const std::byte> body,
+                     mem::FrameRef ref);
   /// Drains every complete frame available on a readable connection;
   /// false = drop it.
   bool service_connection(Connection& conn);
+  /// Legacy copy path (config.zero_copy == false).
+  bool service_connection_legacy(Connection& conn);
+  /// Parses [rx_consumed, rx_filled) of conn.rx_block in place, handing
+  /// complete frames to the executive as views. false = protocol error.
+  bool parse_rx_block(Connection& conn);
+  /// Makes the rx block writable again: reuse in place when quiescent,
+  /// otherwise hand off to a fresh block (splicing a partial frame tail).
+  bool roll_rx_block(Connection& conn, std::size_t need_hint);
   /// Writes out conn.pending until empty; call with lk holding
   /// conn.write_mutex and conn.writer_active set by the caller.
   Status flush_pending(Connection& conn, std::unique_lock<std::mutex>& lk);
@@ -204,6 +258,15 @@ class TcpPeerTransport final : public core::TransportDevice {
   std::atomic<std::uint64_t> failed_dials_{0};
   std::atomic<std::uint64_t> retransmitted_{0};
   std::atomic<std::uint64_t> dropped_pending_{0};
+
+  // Copies-per-frame accounting (the zero-copy pipeline's scoreboard).
+  std::atomic<std::uint64_t> rx_copies_{0};   ///< inbound frames memcpy'd
+  std::atomic<std::uint64_t> tx_copies_{0};   ///< outbound bodies memcpy'd
+  std::atomic<std::uint64_t> rx_splices_{0};  ///< block-straddle fallbacks
+  /// Set when a dispatch-batch send was corked in some connection's
+  /// pending queue; cleared by the end-of-batch flush (or the
+  /// maintenance backstop) that drains it.
+  std::atomic<bool> corked_{false};
 
   std::thread reader_thread_;
   std::thread maintenance_thread_;

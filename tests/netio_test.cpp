@@ -5,6 +5,8 @@
 #include <cstring>
 #include <thread>
 
+#include "mem/pool.hpp"
+#include "mem/sgl.hpp"
 #include "util/random.hpp"
 
 namespace xdaq::netio {
@@ -168,6 +170,78 @@ TEST(Poller, TimesOutWithNoTraffic) {
   auto ready = poller.wait_readable(10);
   ASSERT_TRUE(ready.is_ok());
   EXPECT_TRUE(ready.value().empty());
+}
+
+TEST(Tcp, WriteVecGathersManyParts) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  const std::uint16_t port = listener.value().port();
+
+  // More parts than write_vec's per-sendmsg iovec budget (64), so the
+  // consumed-offset resume path is exercised too.
+  std::vector<std::vector<std::byte>> parts;
+  std::vector<std::byte> expect;
+  Rng rng(7);
+  for (int i = 0; i < 150; ++i) {
+    std::vector<std::byte> p(rng.between(0, 97));
+    for (auto& b : p) {
+      b = static_cast<std::byte>(rng.below(256));
+    }
+    expect.insert(expect.end(), p.begin(), p.end());
+    parts.push_back(std::move(p));
+  }
+
+  std::thread server([&listener, total = expect.size()] {
+    auto conn = listener.value().accept();
+    ASSERT_TRUE(conn.is_ok());
+    std::vector<std::byte> buf(total);
+    ASSERT_TRUE(conn.value().read_exact(buf).is_ok());
+    ASSERT_TRUE(conn.value().write_all(buf).is_ok());
+  });
+
+  auto client = TcpStream::connect("127.0.0.1", port);
+  ASSERT_TRUE(client.is_ok());
+  std::vector<std::span<const std::byte>> spans;
+  spans.reserve(parts.size());
+  for (const auto& p : parts) {
+    spans.emplace_back(p);
+  }
+  ASSERT_TRUE(client.value().write_vec(spans).is_ok());
+  std::vector<std::byte> echo(expect.size());
+  ASSERT_TRUE(client.value().read_exact(echo).is_ok());
+  EXPECT_EQ(echo, expect);
+  server.join();
+}
+
+// SGL scatter -> iovec gather round trip: the segment list goes onto the
+// wire via sendmsg directly from pooled memory - gather_into is never
+// called, yet the receiver sees the exact original bytes.
+TEST(Tcp, SglScatterIovecGatherRoundTrip) {
+  mem::TablePool pool;
+  const auto payload = bytes_of(make_payload(10000, 23));
+  auto sgl = mem::ScatterGatherList::scatter(pool, payload, 1536);
+  ASSERT_TRUE(sgl.is_ok());
+  ASSERT_GT(sgl.value().segment_count(), 1u);
+  ASSERT_EQ(sgl.value().total_bytes(), payload.size());
+
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  const std::uint16_t port = listener.value().port();
+  std::thread server([&listener, total = payload.size()] {
+    auto conn = listener.value().accept();
+    ASSERT_TRUE(conn.is_ok());
+    std::vector<std::byte> buf(total);
+    ASSERT_TRUE(conn.value().read_exact(buf).is_ok());
+    ASSERT_TRUE(conn.value().write_all(buf).is_ok());
+  });
+
+  auto client = TcpStream::connect("127.0.0.1", port);
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE(client.value().write_vec(sgl.value().spans()).is_ok());
+  std::vector<std::byte> echo(payload.size());
+  ASSERT_TRUE(client.value().read_exact(echo).is_ok());
+  EXPECT_EQ(echo, payload);
+  server.join();
 }
 
 TEST(Socket, MoveTransfersFd) {

@@ -200,6 +200,9 @@ TEST(MonitorDevice, LocalSnapshotCarriesAllSubsystems) {
   EXPECT_FALSE(value_of(params, "exec.dispatched").empty());
   EXPECT_FALSE(value_of(params, "sched.pending.p0").empty());
   EXPECT_FALSE(value_of(params, "pool.allocs").empty());
+  // View-vs-block accounting: block allocations and sub-block views are
+  // reported side by side.
+  EXPECT_FALSE(value_of(params, "pool.views").empty());
 
   const std::string json = mon->snapshot_json();
   EXPECT_NE(json.find("exec.posted"), std::string::npos);
@@ -343,9 +346,16 @@ TEST(MonitorDevice, RemoteSnapshotOverTcp) {
   EXPECT_GE(std::stoull(dispatched), 3u);
   EXPECT_FALSE(value_of(params.value(), "sched.served.p4").empty());
   EXPECT_FALSE(value_of(params.value(), "pool.allocs").empty());
+  EXPECT_FALSE(value_of(params.value(), "pool.views").empty());
   // The installed TCP transport reports under its instance prefix.
   EXPECT_FALSE(
       value_of(params.value(), "pt.pt_tcp.connections").empty());
+  // Zero-copy pipeline counters surface in the same snapshot. Node b's
+  // traffic (tiny echo frames, one connection, 64 KiB rx blocks) never
+  // needs the splice fallback and never touches the copy paths.
+  EXPECT_EQ(value_of(params.value(), "pt.pt_tcp.rx_copies"), "0");
+  EXPECT_EQ(value_of(params.value(), "pt.pt_tcp.tx_copies"), "0");
+  EXPECT_EQ(value_of(params.value(), "pt.pt_tcp.rx_splices"), "0");
 }
 
 }  // namespace

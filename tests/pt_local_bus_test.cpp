@@ -21,16 +21,36 @@ struct TwoNodes {
   core::Executive b;
   i2o::Tid pt_a = 0;
   i2o::Tid pt_b = 0;
+  LocalBusTransport* pt_a_dev = nullptr;
+  LocalBusTransport* pt_b_dev = nullptr;
 
   TwoNodes()
       : a(core::ExecutiveConfig{.node_id = 1, .name = "a"}),
         b(core::ExecutiveConfig{.node_id = 2, .name = "b"}) {
-    pt_a = a.install(std::make_unique<LocalBusTransport>(bus), "pt").value();
-    pt_b = b.install(std::make_unique<LocalBusTransport>(bus), "pt").value();
+    auto ta = std::make_unique<LocalBusTransport>(bus);
+    auto tb = std::make_unique<LocalBusTransport>(bus);
+    pt_a_dev = ta.get();
+    pt_b_dev = tb.get();
+    pt_a = a.install(std::move(ta), "pt").value();
+    pt_b = b.install(std::move(tb), "pt").value();
     EXPECT_TRUE(a.set_route(2, pt_a).is_ok());
     EXPECT_TRUE(b.set_route(1, pt_b).is_ok());
   }
 };
+
+std::int64_t metric_value(const core::TransportDevice& pt,
+                          const std::string& prefix,
+                          const std::string& name) {
+  std::vector<obs::Sample> out;
+  pt.append_metrics(prefix, out);
+  for (const obs::Sample& s : out) {
+    if (s.name == prefix + name) {
+      return s.value;
+    }
+  }
+  ADD_FAILURE() << "metric " << prefix << name << " not reported";
+  return -1;
+}
 
 TEST(LocalBus, AttachesOnPlugin) {
   TwoNodes nodes;
@@ -71,6 +91,45 @@ TEST(LocalBus, EchoAcrossBus) {
   nodes.b.stop();
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
   EXPECT_EQ(std::memcmp(reply.value().payload.data(), bytes.data(), 128), 0);
+}
+
+// The tentpole invariant for in-process peers: a frame posted across the
+// local bus is delivered out of the SENDER's pooled block - request and
+// reply both ride the zero-copy path, so neither transport records a
+// single software copy.
+TEST(LocalBus, EchoRoundTripIsZeroCopy) {
+  TwoNodes nodes;
+  ASSERT_TRUE(
+      nodes.b.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(nodes.a.install(std::move(req), "req").is_ok());
+  const auto proxy =
+      nodes.a.register_remote(2, nodes.b.tid_of("echo").value()).value();
+  ASSERT_TRUE(nodes.a.enable_all().is_ok());
+  ASSERT_TRUE(nodes.b.enable_all().is_ok());
+  nodes.a.start();
+  nodes.b.start();
+
+  const auto payload = make_payload(512, 5);
+  std::vector<std::byte> bytes(512);
+  std::memcpy(bytes.data(), payload.data(), 512);
+  for (int i = 0; i < 8; ++i) {
+    auto reply = req_raw->call_private(
+        proxy, i2o::OrgId::kTest, kXfnEcho, bytes,
+        xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
+    ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  }
+  nodes.a.stop();
+  nodes.b.stop();
+
+  EXPECT_EQ(metric_value(*nodes.pt_a_dev, "pt.local.a", ".rx_copies"), 0);
+  EXPECT_EQ(metric_value(*nodes.pt_a_dev, "pt.local.a", ".tx_copies"), 0);
+  EXPECT_EQ(metric_value(*nodes.pt_b_dev, "pt.local.b", ".rx_copies"), 0);
+  EXPECT_EQ(metric_value(*nodes.pt_b_dev, "pt.local.b", ".tx_copies"), 0);
+  // ... and traffic actually flowed (8 requests + 8 replies forwarded).
+  EXPECT_GE(metric_value(*nodes.pt_a_dev, "pt.local.a", ".forwarded"), 8);
+  EXPECT_GE(metric_value(*nodes.pt_b_dev, "pt.local.b", ".forwarded"), 8);
 }
 
 TEST(LocalBus, SendToUnknownNodeIsUnroutable) {

@@ -72,6 +72,58 @@ TEST(TcpPt, EchoOverRealSockets) {
       std::memcmp(reply.value().payload.data(), payload.data(), 1000), 0);
 }
 
+// A handler reply issued mid-dispatch-batch is corked in the transport's
+// pending queue and drained by the executive's end-of-batch
+// transport_flush(). With a batched dispatch config every echo reply takes
+// that corked path; calls must still complete promptly - a lost flush
+// would stall each reply until the maintenance backstop and blow the
+// per-call timeout.
+TEST(TcpPt, CorkedRepliesFlushAtBatchEnd) {
+  core::ExecutiveConfig cfg_a{.node_id = 1, .name = "a"};
+  core::ExecutiveConfig cfg_b{.node_id = 2, .name = "b"};
+  cfg_a.dispatch_batch = 8;
+  cfg_b.dispatch_batch = 8;
+  core::Executive a(cfg_a);
+  core::Executive b(cfg_b);
+  auto ta = std::make_unique<TcpPeerTransport>();
+  auto tb = std::make_unique<TcpPeerTransport>();
+  TcpPeerTransport* pt_a = ta.get();
+  TcpPeerTransport* pt_b = tb.get();
+  ASSERT_TRUE(a.install(std::move(ta), "pt_tcp").is_ok());
+  ASSERT_TRUE(b.install(std::move(tb), "pt_tcp").is_ok());
+  ASSERT_TRUE(a.set_route(2, pt_a->tid()).is_ok());
+  ASSERT_TRUE(b.set_route(1, pt_b->tid()).is_ok());
+  ASSERT_TRUE(a.enable(pt_a->tid()).is_ok());
+  ASSERT_TRUE(b.enable(pt_b->tid()).is_ok());
+  pt_a->add_peer(2, "127.0.0.1", pt_b->listen_port());
+  pt_b->add_peer(1, "127.0.0.1", pt_a->listen_port());
+
+  ASSERT_TRUE(b.install(std::make_unique<EchoDevice>(), "echo").is_ok());
+  auto req = std::make_unique<Requester>();
+  Requester* req_raw = req.get();
+  ASSERT_TRUE(a.install(std::move(req), "req").is_ok());
+  const auto proxy = a.register_remote(2, b.tid_of("echo").value()).value();
+  ASSERT_TRUE(a.enable_all().is_ok());
+  ASSERT_TRUE(b.enable_all().is_ok());
+  a.start();
+  b.start();
+
+  const auto raw = make_payload(256, 7);
+  std::vector<std::byte> payload(256);
+  std::memcpy(payload.data(), raw.data(), 256);
+  for (int i = 0; i < 32; ++i) {
+    auto reply = req_raw->call_private(
+        proxy, i2o::OrgId::kTest, kXfnEcho, payload,
+        xdaq::core::CallOptions{.timeout = std::chrono::seconds(2)});
+    ASSERT_TRUE(reply.is_ok()) << "call " << i << ": "
+                               << reply.status().to_string();
+    EXPECT_EQ(std::memcmp(reply.value().payload.data(), payload.data(), 256),
+              0);
+  }
+  a.stop();
+  b.stop();
+}
+
 TEST(TcpPt, RepeatedCallsReuseOneConnection) {
   TcpPair pair;
   ASSERT_TRUE(pair.b.install(std::make_unique<EchoDevice>(), "echo").is_ok());
