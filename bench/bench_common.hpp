@@ -168,13 +168,15 @@ class FloodSource final : public core::Device {
     payload_.assign(payload_bytes, std::byte{0x7E});
     total_ = total;
     window_ = window;
-    sent_ = 0;
+    sent_.store(0, std::memory_order_relaxed);
     acked_.store(0);
     done_.store(false);
   }
 
   void begin() {
-    for (std::uint32_t i = 0; i < window_ && sent_ < total_; ++i) {
+    for (std::uint32_t i = 0;
+         i < window_ && sent_.load(std::memory_order_relaxed) < total_;
+         ++i) {
       (void)send_one();
     }
   }
@@ -195,7 +197,7 @@ class FloodSource final : public core::Device {
  protected:
   void on_reply(const core::MessageContext& ctx) override {
     const std::uint64_t n = acked_.fetch_add(1) + 1;
-    if (sent_ < total_) {
+    if (sent_.load(std::memory_order_relaxed) < total_) {
       if (inplace_ && ctx.frame.valid()) {
         (void)resend_inplace(ctx);
       } else {
@@ -211,8 +213,25 @@ class FloodSource final : public core::Device {
   }
 
  private:
+  /// Claim a send slot; begin() (the caller's thread) and on_reply (a
+  /// dispatch thread) refill the window concurrently, so the check and
+  /// the increment must be one atomic step.
+  bool claim_send() {
+    if (sent_.fetch_add(1, std::memory_order_relaxed) < total_) {
+      return true;
+    }
+    sent_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+
   Status send_one() {
-    ++sent_;
+    if (!claim_send()) {
+      return Status::ok();
+    }
+    return send_fresh();
+  }
+
+  Status send_fresh() {
     auto frame =
         make_private_frame(target_, i2o::OrgId::kBench, kXfnPing, payload_);
     if (!frame.is_ok()) {
@@ -222,7 +241,9 @@ class FloodSource final : public core::Device {
   }
 
   Status resend_inplace(const core::MessageContext& ctx) {
-    ++sent_;
+    if (!claim_send()) {
+      return Status::ok();
+    }
     mem::FrameRef frame = ctx.frame;  // handle copy: refcount bump only
     i2o::FrameHeader hdr;
     hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
@@ -232,7 +253,7 @@ class FloodSource final : public core::Device {
     hdr.initiator = tid();
     auto bytes = frame.bytes();
     if (Status s = i2o::encode_header(hdr, bytes); !s.is_ok()) {
-      return send_one();  // malformed view; fall back to a fresh frame
+      return send_fresh();  // malformed view; slot already claimed
     }
     return frame_send(std::move(frame));
   }
@@ -240,7 +261,7 @@ class FloodSource final : public core::Device {
   i2o::Tid target_ = i2o::kNullTid;
   std::vector<std::byte> payload_;
   std::uint64_t total_ = 0;
-  std::uint64_t sent_ = 0;
+  std::atomic<std::uint64_t> sent_{0};
   std::uint32_t window_ = 1;
   bool inplace_ = false;
   std::atomic<std::uint64_t> acked_{0};

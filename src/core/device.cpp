@@ -1,5 +1,6 @@
 #include "core/device.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "core/executive.hpp"
@@ -30,7 +31,7 @@ i2o::ParamList Device::on_params_get() {
       {"class", class_name_},
       {"instance", instance_name_},
       {"tid", std::to_string(tid_)},
-      {"state", std::string(to_string(state_))},
+      {"state", std::string(to_string(state()))},
   };
 }
 
@@ -38,24 +39,63 @@ void Device::bind(i2o::OrgId org, std::uint16_t xfunction, Handler handler) {
   const std::uint32_t key =
       (static_cast<std::uint32_t>(org) << 16) | xfunction;
   private_handlers_[key] = std::move(handler);
-  cached_handler_ = nullptr;
+  rebuild_dispatch_table();
+}
+
+void Device::rebuild_dispatch_table() {
+  // Search for a multiplicative perfect hash over the bound keys:
+  // slot = (key * mult) >> shift into a power-of-two table. The key set
+  // is tiny (a handful of xfunctions per device) and fixed after setup,
+  // so a short search over odd multipliers - doubling the table when a
+  // size yields no collision-free multiplier - always terminates fast.
+  // Handler addresses come from the map (stable across rehash/insert).
+  const std::size_t n = private_handlers_.size();
+  std::size_t size = 4;
+  while (size < n * 2) {
+    size *= 2;
+  }
+  for (;; size *= 2) {
+    const auto shift =
+        static_cast<std::uint32_t>(32 - std::countr_zero(size));
+    std::uint32_t seed = 0x9E3779B1u;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const std::uint32_t mult = seed | 1u;
+      seed = seed * 0x85EBCA77u + 0xC2B2AE3Du;
+      std::vector<TableSlot> table(size);
+      bool ok = true;
+      for (const auto& [key, handler] : private_handlers_) {
+        TableSlot& slot = table[(key * mult) >> shift];
+        if (slot.handler != nullptr) {
+          ok = false;
+          break;
+        }
+        slot.key = key;
+        slot.handler = &handler;
+      }
+      if (ok) {
+        dispatch_table_ = std::move(table);
+        table_mult_ = mult;
+        table_shift_ = shift;
+        return;
+      }
+    }
+  }
 }
 
 bool Device::dispatch_private(const MessageContext& ctx) {
+  if (dispatch_table_.empty()) {
+    return false;  // nothing bound
+  }
   const std::uint32_t key =
       (static_cast<std::uint32_t>(ctx.header.organization) << 16) |
       ctx.header.xfunction;
-  if (cached_handler_ != nullptr && cached_key_ == key) {
-    (*cached_handler_)(ctx);
-    return true;
-  }
-  const auto it = private_handlers_.find(key);
-  if (it == private_handlers_.end()) {
+  // Perfect hash: one multiply+shift lands every bound key in its own
+  // slot; a single compare rejects unbound keys that alias into one.
+  const TableSlot& slot = dispatch_table_[(key * table_mult_) >> table_shift_];
+  if (slot.handler == nullptr || slot.key != key) {
     return false;
   }
-  cached_key_ = key;
-  cached_handler_ = &it->second;
-  it->second(ctx);
+  (*slot.handler)(ctx);
   return true;
 }
 

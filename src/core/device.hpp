@@ -10,12 +10,14 @@
 // dispatcher").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "i2o/frame.hpp"
 #include "i2o/paramlist.hpp"
@@ -66,7 +68,11 @@ class Device {
     return instance_name_;
   }
   [[nodiscard]] i2o::Tid tid() const noexcept { return tid_; }
-  [[nodiscard]] DeviceState state() const noexcept { return state_; }
+  /// Relaxed-atomic: read by control threads, the owning dispatch shard,
+  /// and (after a steal) thieving shards; transitions are rare.
+  [[nodiscard]] DeviceState state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] bool attached() const noexcept { return executive_ != nullptr; }
 
   /// The executive this device is installed in. Precondition: attached().
@@ -170,21 +176,35 @@ class Device {
   /// local dispatch table. Returns false when no handler is bound.
   bool dispatch_private(const MessageContext& ctx);
 
-  void set_state(DeviceState s) noexcept { state_ = s; }
+  void set_state(DeviceState s) noexcept {
+    state_.store(s, std::memory_order_release);
+  }
+
+  /// Rebuilds the perfect-hash dispatch table from private_handlers_.
+  void rebuild_dispatch_table();
 
   std::string class_name_;
   std::string instance_name_;
   Executive* executive_ = nullptr;
   i2o::Tid tid_ = i2o::kNullTid;
-  DeviceState state_ = DeviceState::Loaded;
+  std::atomic<DeviceState> state_{DeviceState::Loaded};
 
-  /// Local dispatch table: (org << 16 | xfunction) -> handler.
+  /// Local dispatch table: (org << 16 | xfunction) -> handler. The map is
+  /// the source of truth (stable Handler addresses); dispatch reads the
+  /// dense table below.
   std::map<std::uint32_t, Handler> private_handlers_;
-  /// One-entry dispatch cache (dispatch thread only): most devices serve
-  /// one hot xfunction, so repeat dispatches skip the map walk. Map nodes
-  /// are address-stable; bind() invalidates the cache anyway.
-  std::uint32_t cached_key_ = 0;
-  const Handler* cached_handler_ = nullptr;
+  /// Perfect-hash dispatch table: a power-of-two array indexed by
+  /// (key * mult) >> shift, with the multiplier searched at bind() time
+  /// until every bound key lands in its own slot. The dispatch hot path
+  /// is then one multiply, one shift, one compare - no map walk, no
+  /// probing - for EVERY bound xfunction, not just the hottest one.
+  struct TableSlot {
+    std::uint32_t key = 0;
+    const Handler* handler = nullptr;
+  };
+  std::vector<TableSlot> dispatch_table_;
+  std::uint32_t table_mult_ = 1;
+  std::uint32_t table_shift_ = 32;
 };
 
 }  // namespace xdaq::core

@@ -1,5 +1,6 @@
 #include "core/executive.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "core/factory.hpp"
@@ -25,12 +26,16 @@ void patch_initiator(std::span<std::byte> frame, i2o::Tid tid) noexcept {
   i2o::put_u32(frame, 4, word);
 }
 
-std::unique_ptr<mem::Pool> make_pool(ExecutiveConfig::PoolKind kind) {
-  if (kind == ExecutiveConfig::PoolKind::Simple) {
+std::unique_ptr<mem::Pool> make_pool(const ExecutiveConfig& config) {
+  if (config.pool_kind == ExecutiveConfig::PoolKind::Simple) {
     return std::make_unique<mem::SimplePool>();
   }
-  return std::make_unique<mem::TablePool>();
+  return std::make_unique<mem::TablePool>(mem::TablePool::kDefaultMinClass,
+                                          config.pool_hugepages);
 }
+
+/// shard_of_ stores shard indices in a uint8_t per TiD.
+constexpr std::size_t kMaxShards = 255;
 
 }  // namespace
 
@@ -49,17 +54,52 @@ void ExecCounters::wire(obs::MetricsRegistry& registry) {
   peer_state_changes = &registry.counter("exec.peer_state_changes");
   synth_unavailable = &registry.counter("exec.synth_unavailable");
   dispatch_batches = &registry.counter("exec.dispatch_batches");
+  steals = &registry.counter("exec.steals");
+  stolen_items = &registry.counter("exec.stolen_items");
+}
+
+/// Thread-local owner mark for dispatch_active(): set while a thread runs
+/// one of this executive's dispatch batches. A plain global atomic cannot
+/// answer "is MY calling thread inside a batch" once N loops dispatch
+/// concurrently.
+thread_local const Executive* t_dispatch_exec = nullptr;
+
+bool Executive::dispatch_active() const noexcept {
+  return t_dispatch_exec == this;
+}
+
+const Scheduler& Executive::scheduler() const noexcept {
+  return shards_[0]->scheduler;
+}
+
+const Scheduler& Executive::scheduler(std::size_t idx) const noexcept {
+  return shards_[idx]->scheduler;
 }
 
 Executive::Executive(ExecutiveConfig config)
     : config_(std::move(config)),
       log_("exec/" + config_.name),
-      pool_(make_pool(config_.pool_kind)),
-      inbound_(config_.inbound_capacity),
+      pool_(make_pool(config_)),
       probes_(config_.probe_capacity) {
   instrument_.store(config_.instrument, std::memory_order_relaxed);
   if (config_.trace_capacity > 0) {
     trace_ring_.resize(config_.trace_capacity);
+  }
+
+  const std::size_t n_shards =
+      std::clamp<std::size_t>(config_.shards, 1, kMaxShards);
+  config_.shards = n_shards;
+  shards_.reserve(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.inbound_capacity));
+  }
+  if (n_shards > 1) {
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      const std::string prefix = "exec.shard" + std::to_string(i);
+      shards_[i]->dispatched = &metrics_.counter(prefix + ".dispatched");
+      shards_[i]->batches = &metrics_.counter(prefix + ".batches");
+      shards_[i]->steals = &metrics_.counter(prefix + ".steals");
+    }
   }
 
   // Observability: counters always run (they predate the obs layer);
@@ -79,13 +119,30 @@ Executive::Executive(ExecutiveConfig config)
         &metrics_.histogram("exec.dispatch_ticks", 0.0, 262144.0, 64);
   }
   // Scheduler depth/served per priority and pool stats are sampled at
-  // snapshot time instead of double-counted on the hot path.
+  // snapshot time instead of double-counted on the hot path. Per-priority
+  // figures aggregate across shards under the pre-sharding names, so
+  // existing dashboards keep working; per-shard pending and the stolen
+  // total appear only when there is more than one shard.
   metrics_.register_probe([this](std::vector<obs::Sample>& out) {
     for (int p = 0; p < static_cast<int>(i2o::kNumPriorities); ++p) {
-      out.push_back({"sched.pending.p" + std::to_string(p),
-                     static_cast<std::int64_t>(scheduler_.depth_at(p))});
-      out.push_back({"sched.served.p" + std::to_string(p),
-                     static_cast<std::int64_t>(scheduler_.served_at(p))});
+      std::int64_t depth = 0;
+      std::int64_t served = 0;
+      for (const auto& sh : shards_) {
+        depth += static_cast<std::int64_t>(sh->scheduler.depth_at(p));
+        served += static_cast<std::int64_t>(sh->scheduler.served_at(p));
+      }
+      out.push_back({"sched.pending.p" + std::to_string(p), depth});
+      out.push_back({"sched.served.p" + std::to_string(p), served});
+    }
+    if (shards_.size() > 1) {
+      std::int64_t stolen = 0;
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        out.push_back(
+            {"sched.shard" + std::to_string(i) + ".pending",
+             static_cast<std::int64_t>(shards_[i]->scheduler.pending())});
+        stolen += static_cast<std::int64_t>(shards_[i]->scheduler.stolen());
+      }
+      out.push_back({"sched.stolen", stolen});
     }
     const mem::PoolStats ps = pool_->stats();
     out.push_back({"pool.allocs", static_cast<std::int64_t>(ps.allocs)});
@@ -100,6 +157,10 @@ Executive::Executive(ExecutiveConfig config)
     // Block allocations vs. views cut from them: together these tell how
     // many frames flowed through without a private block of their own.
     out.push_back({"pool.views", static_cast<std::int64_t>(ps.views)});
+    // Bytes of pool arena memory actually backed by huge pages (0 when
+    // pool_hugepages is off or the system granted none).
+    out.push_back({"pool.hugepages",
+                   static_cast<std::int64_t>(ps.hugepage_bytes)});
   });
 
   // The kernel occupies TiD 1, like any other device ("even the executive
@@ -164,10 +225,12 @@ Executive::~Executive() {
   }
   // Drop queued frames before the pool goes away (members destruct in
   // reverse declaration order; being explicit keeps the invariant obvious).
-  inbound_.close();
-  while (inbound_.try_pop()) {
-  }
-  while (scheduler_.next()) {
+  for (auto& sh : shards_) {
+    sh->inbound.close();
+    while (sh->inbound.try_pop()) {
+    }
+    while (sh->scheduler.next()) {
+    }
   }
 }
 
@@ -196,6 +259,15 @@ Result<i2o::Tid> Executive::install(std::unique_ptr<Device> device,
     raw->attach(this, tid.value(), instance_name);
     names_[instance_name] = tid.value();
     devices_[tid.value()] = std::move(device);
+    // Per-TiD affinity: each device is owned by exactly one shard,
+    // assigned round-robin at install time. The kernel bypasses install()
+    // and keeps the shard_of_ default, so exec traffic stays on shard 0.
+    if (shards_.size() > 1) {
+      shard_of_[tid.value() & i2o::kMaxTid].store(
+          static_cast<std::uint8_t>(next_shard_ % shards_.size()),
+          std::memory_order_relaxed);
+      ++next_shard_;
+    }
   }
   if (auto* pt = dynamic_cast<TransportDevice*>(raw); pt != nullptr) {
     // Every transport reports liveness into its executive: transitions are
@@ -578,7 +650,9 @@ Status Executive::post(mem::FrameRef frame) {
   ScheduledItem in;
   in.header = hdr.value();
   in.frame = std::move(frame);
-  if (!inbound_.try_push(std::move(in))) {
+  // Routed by target TiD to the owning shard's inbound queue (the single
+  // queue at N=1).
+  if (!shard_for(in.header.target).inbound.try_push(std::move(in))) {
     stats_.dropped_malformed->add();
     return {Errc::ResourceExhausted, "inbound queue full"};
   }
@@ -612,20 +686,39 @@ std::size_t Executive::post_batch(std::span<mem::FrameRef> frames) {
     }
     valid.push_back({hdr.value(), &frame});
   }
-  const std::size_t pushed = inbound_.push_batch_make(
-      std::span<Validated>(valid), [](Validated&& v) {
-        ScheduledItem in;
-        in.header = v.header;
-        in.frame = std::move(*v.frame);
-        return in;
-      });
+  std::size_t pushed = 0;
+  if (shards_.size() == 1) {
+    pushed = shards_[0]->inbound.push_batch_make(
+        std::span<Validated>(valid), [](Validated&& v) {
+          ScheduledItem in;
+          in.header = v.header;
+          in.frame = std::move(*v.frame);
+          return in;
+        });
+    // Backpressure: frames past the accepted prefix go back to the pool.
+    for (std::size_t i = pushed; i < valid.size(); ++i) {
+      stats_.dropped_malformed->add();
+      valid[i].frame->reset();
+    }
+  } else {
+    // Multi-shard: the burst fans out by target TiD. Per-item pushes keep
+    // per-device FIFO order (all of one device's frames hit one queue in
+    // submission order); the single-queue batching fast path above is the
+    // one the N=1 hot path keeps.
+    for (Validated& v : valid) {
+      ScheduledItem in;
+      in.header = v.header;
+      in.frame = std::move(*v.frame);
+      if (shard_for(in.header.target).inbound.try_push(std::move(in))) {
+        ++pushed;
+      } else {
+        stats_.dropped_malformed->add();
+        in.frame.reset();
+      }
+    }
+  }
   if (pushed > 0) {
     stats_.posted->add(pushed);
-  }
-  // Backpressure: frames past the accepted prefix go back to the pool.
-  for (std::size_t i = pushed; i < valid.size(); ++i) {
-    stats_.dropped_malformed->add();
-    valid[i].frame->reset();
   }
   return pushed;
 }
@@ -642,7 +735,7 @@ Status Executive::frame_send(mem::FrameRef frame) {
     ScheduledItem in;
     in.header = hdr.value();
     in.frame = std::move(frame);
-    if (!inbound_.try_push(std::move(in))) {
+    if (!shard_for(in.header.target).inbound.try_push(std::move(in))) {
       return {Errc::ResourceExhausted, "inbound queue full"};
     }
     stats_.posted->add();
@@ -658,7 +751,7 @@ Status Executive::frame_send(mem::FrameRef frame) {
     ScheduledItem in;
     in.header = hdr.value();
     in.frame = std::move(frame);
-    if (!inbound_.try_push(std::move(in))) {
+    if (!shard_for(in.header.target).inbound.try_push(std::move(in))) {
       return {Errc::ResourceExhausted, "inbound queue full"};
     }
     stats_.posted->add();
@@ -736,7 +829,9 @@ Status Executive::deliver_from_wire(i2o::NodeId src_node, i2o::Tid pt_tid,
     in.probe.t_wire = t_wire != 0 ? t_wire : rdtsc();
     in.probe.t_posted = rdtsc();
   }
-  if (!inbound_.try_push(std::move(in))) {
+  // Shard routing happens here, at delivery time: the receiving transport
+  // thread hands the frame straight to the owning shard's inbound queue.
+  if (!shard_for(in.header.target).inbound.try_push(std::move(in))) {
     return {Errc::ResourceExhausted, "inbound queue full"};
   }
   stats_.posted->add();
@@ -778,7 +873,9 @@ Status Executive::deliver_from_wire(i2o::NodeId src_node, i2o::Tid pt_tid,
     in.probe.t_wire = t_wire != 0 ? t_wire : rdtsc();
     in.probe.t_posted = rdtsc();
   }
-  if (!inbound_.try_push(std::move(in))) {
+  // Same shard routing as the span overload: zero-copy views go to the
+  // owning shard's queue directly from the transport thread.
+  if (!shard_for(in.header.target).inbound.try_push(std::move(in))) {
     return {Errc::ResourceExhausted, "inbound queue full"};
   }
   stats_.posted->add();
@@ -876,8 +973,9 @@ std::size_t Executive::event_listener_count(i2o::Tid source) const {
 
 void Executive::run() {
   running_.store(true, std::memory_order_relaxed);
+  start_worker_shards();
   while (running_.load(std::memory_order_relaxed)) {
-    pump(/*allow_block=*/true);
+    pump(0, /*allow_block=*/true);
   }
 }
 
@@ -886,11 +984,39 @@ void Executive::start() {
     return;  // already started
   }
   running_.store(true, std::memory_order_relaxed);
+  start_worker_shards();
   loop_thread_ = std::thread([this] {
+    pool_->warm_thread_cache();
     while (running_.load(std::memory_order_relaxed)) {
-      pump(/*allow_block=*/true);
+      pump(0, /*allow_block=*/true);
     }
   });
+}
+
+void Executive::start_worker_shards() {
+  const std::scoped_lock lock(workers_mutex_);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    if (shards_[i]->thread.joinable()) {
+      continue;  // already running
+    }
+    shards_[i]->thread = std::thread([this, i] {
+      // Pin this shard's pool thread cache up front so steady-state
+      // allocation stays shard-local from the first frame.
+      pool_->warm_thread_cache();
+      while (running_.load(std::memory_order_relaxed)) {
+        pump(i, /*allow_block=*/true);
+      }
+    });
+  }
+}
+
+void Executive::join_worker_shards() {
+  const std::scoped_lock lock(workers_mutex_);
+  for (auto& sh : shards_) {
+    if (sh->thread.joinable()) {
+      sh->thread.join();
+    }
+  }
 }
 
 void Executive::stop() {
@@ -898,26 +1024,53 @@ void Executive::stop() {
   if (loop_thread_.joinable()) {
     loop_thread_.join();
   }
+  join_worker_shards();
 }
 
-bool Executive::run_once() { return pump(/*allow_block=*/false); }
+bool Executive::run_once() {
+  bool any = false;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    any = pump(i, /*allow_block=*/false) || any;
+  }
+  return any;
+}
 
-bool Executive::pump(bool allow_block) {
-  // 1. Drain a bounded batch from the messaging instance into the
+bool Executive::pump(std::size_t idx, bool allow_block) {
+  Shard& sh = *shards_[idx];
+  // N=1 runs the seed's lock-free loop verbatim: no shard mutex on any
+  // path, no steal scans, identical behavior down to counter timing.
+  const bool multi = shards_.size() > 1;
+
+  // 1. Drain a bounded batch from the shard's inbound queue into its
   //    scheduler's priority FIFOs - one queue-mutex acquisition per
-  //    burst, not one per frame, and each item moves straight from the
-  //    queue into its priority FIFO (no staging hop). The scheduler is
-  //    dispatch-thread-only, so feeding it under the queue lock is safe.
-  inbound_.drain_apply(
-      [this](ScheduledItem&& in) {
-        scheduler_.enqueue(default_priority_for(in.header), std::move(in));
-      },
-      config_.inbound_drain);
+  //    burst, not one per frame. Single shard: each item moves straight
+  //    from the queue into its priority FIFO (no staging hop; the
+  //    scheduler is dispatch-thread-only). Multi-shard: stage without any
+  //    lock, then enqueue under the shard mutex - never nesting the shard
+  //    mutex inside the queue mutex.
+  if (multi) {
+    if (sh.inbound.drain(sh.drain_buf, config_.inbound_drain) > 0) {
+      const std::scoped_lock lock(sh.mutex);
+      for (ScheduledItem& in : sh.drain_buf) {
+        sh.scheduler.enqueue(default_priority_for(in.header), std::move(in));
+      }
+      sh.drain_buf.clear();
+    }
+  } else {
+    sh.inbound.drain_apply(
+        [&sh](ScheduledItem&& in) {
+          sh.scheduler.enqueue(default_priority_for(in.header),
+                               std::move(in));
+        },
+        config_.inbound_drain);
+  }
 
   // 2. Scan polling-mode peer transports (paper section 4: "In polling
   //    mode, the executive periodically scans all registered PTs").
+  //    Shard 0 owns the scan; sibling shards never touch polling PTs, so
+  //    a polling transport's receive path stays single-threaded.
   bool have_polling = false;
-  {
+  if (idx == 0) {
     const std::scoped_lock lock(polling_mutex_);
     for (TransportDevice* pt : polling_pts_) {
       if (pt->state() == DeviceState::Enabled) {
@@ -930,32 +1083,54 @@ bool Executive::pump(bool allow_block) {
   // 3. Dispatch up to dispatch_batch messages per the I2O
   //    priority/round-robin algorithm. Fairness is the scheduler's
   //    invariant, so a batch is exactly the sequence a message-at-a-time
-  //    loop would have produced.
+  //    loop would have produced. The shard mutex brackets only the pop:
+  //    handlers run with no lock held.
   const std::size_t batch = std::max<std::size_t>(config_.dispatch_batch, 1);
   std::size_t dispatched = 0;
-  in_dispatch_.store(true, std::memory_order_relaxed);
+  t_dispatch_exec = this;
   ScheduledItem item;  // scratch reused across the batch
   while (dispatched < batch) {
-    if (!scheduler_.next(item)) {
+    bool got;
+    if (multi) {
+      const std::scoped_lock lock(sh.mutex);
+      got = sh.scheduler.next(item);
+      // Published under the mutex: thieves skip the in-flight device.
+      sh.active_tid = got ? item.header.target : i2o::kNullTid;
+    } else {
+      got = sh.scheduler.next(item);
+    }
+    if (!got) {
       break;
     }
     // Watchdog granularity is the dispatch batch: one clock read arms it
     // for the whole batch (at the default dispatch_batch=1 that is
-    // exactly the old per-message bracket). handler_tid_ still tracks
+    // exactly the old per-message bracket). handler_tid still tracks
     // each message so a trip blames the device that was running.
     if (watchdog_enabled_) {
       if (dispatched == 0) {
-        handler_start_ns_.store(now_ns(), std::memory_order_release);
+        sh.handler_start_ns.store(now_ns(), std::memory_order_release);
       }
-      handler_tid_.store(item.header.target, std::memory_order_relaxed);
+      sh.handler_tid.store(item.header.target, std::memory_order_relaxed);
     }
-    dispatch(item);
+    dispatch(item, sh);
     ++dispatched;
   }
-  in_dispatch_.store(false, std::memory_order_relaxed);
+  if (multi && dispatched > 0) {
+    const std::scoped_lock lock(sh.mutex);
+    sh.active_tid = i2o::kNullTid;
+  }
+
+  // 3b. Work stealing: a shard that found nothing raids the most
+  //     backlogged sibling before going idle, so one hot device cannot
+  //     starve the other cores.
+  if (multi && dispatched == 0) {
+    dispatched = try_steal(sh);
+  }
+
+  t_dispatch_exec = nullptr;
   if (dispatched > 0) {
     if (watchdog_enabled_) {
-      handler_start_ns_.store(0, std::memory_order_release);
+      sh.handler_start_ns.store(0, std::memory_order_release);
     }
     // Drain sends the batch's handlers corked: replies issued during the
     // batch leave in one gathered syscall per connection instead of one
@@ -970,39 +1145,146 @@ bool Executive::pump(bool allow_block) {
     // Frames the batch released come back to the pool in one call: one
     // stats update and (for same-class frames) one lock round trip
     // instead of one per message.
-    if (!release_batch_.empty()) {
-      pool_->recycle_batch(release_batch_);
-      release_batch_.clear();
+    if (!sh.release_batch.empty()) {
+      pool_->recycle_batch(sh.release_batch);
+      sh.release_batch.clear();
     }
-    idle_pumps_ = 0;
-    stats_.dispatch_batches->bump();
+    sh.idle_pumps = 0;
+    stats_.dispatch_batches->add();
+    if (sh.batches != nullptr) {
+      sh.batches->bump();
+    }
     return true;
   }
 
   // 4. Idle policy: spin when a polling PT needs low-latency scanning
   //    (yielding occasionally so co-located executives make progress on
   //    machines with fewer cores than nodes), otherwise sleep on the
-  //    inbound queue's condition variable.
+  //    shard's inbound condition variable. The blocking drain stages
+  //    WITHOUT the shard mutex - a shard must never sleep while holding
+  //    the lock a thief needs.
   if (allow_block) {
     if (have_polling) {
-      if (++idle_pumps_ > 4096) {
-        idle_pumps_ = 0;
+      if (++sh.idle_pumps > 4096) {
+        sh.idle_pumps = 0;
         std::this_thread::yield();
       }
-    } else if (inbound_.drain_for(drain_buf_, config_.inbound_drain,
-                                  std::chrono::microseconds(200)) > 0) {
-      for (ScheduledItem& in : drain_buf_) {
-        scheduler_.enqueue(default_priority_for(in.header), std::move(in));
+    } else if (sh.inbound.drain_for(sh.drain_buf, config_.inbound_drain,
+                                    std::chrono::microseconds(200)) > 0) {
+      if (multi) {
+        const std::scoped_lock lock(sh.mutex);
+        for (ScheduledItem& in : sh.drain_buf) {
+          sh.scheduler.enqueue(default_priority_for(in.header),
+                               std::move(in));
+        }
+      } else {
+        for (ScheduledItem& in : sh.drain_buf) {
+          sh.scheduler.enqueue(default_priority_for(in.header),
+                               std::move(in));
+        }
       }
-      drain_buf_.clear();
+      sh.drain_buf.clear();
     }
   }
   return false;
 }
 
+std::size_t Executive::try_steal(Shard& thief) {
+  // Victim selection: the sibling with the deepest backlog, read via the
+  // lock-free pending() gauges. Below steal_threshold the imbalance is
+  // not worth disturbing the victim's cache locality for.
+  std::size_t best = shards_.size();
+  std::size_t best_pending = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].get() == &thief) {
+      continue;
+    }
+    const std::size_t p = shards_[i]->scheduler.pending();
+    if (p >= config_.steal_threshold && p > best_pending) {
+      best = i;
+      best_pending = p;
+    }
+  }
+  if (best == shards_.size()) {
+    return 0;
+  }
+  Shard& victim = *shards_[best];
+  thief.steal_items.clear();
+  thief.steal_tids.clear();
+  std::size_t taken;
+  {
+    const std::scoped_lock lock(victim.mutex);
+    // Take about half the victim's backlog (whole devices at a time),
+    // skipping the device the victim is dispatching right now. The mutex
+    // also carries the happens-before for all per-device state the moved
+    // devices' handlers touched on the victim's thread.
+    const std::size_t want =
+        std::min(config_.steal_max, best_pending / 2 + 1);
+    taken = victim.scheduler.steal(want, victim.active_tid,
+                                   thief.steal_items, thief.steal_tids);
+  }
+  if (taken == 0) {
+    return 0;
+  }
+  stats_.steals->add();
+  stats_.stolen_items->add(taken);
+  if (thief.steals != nullptr) {
+    thief.steals->bump();
+  }
+
+  // Dispatch the stolen batch locally, in the (priority, FIFO) order the
+  // victim would have used per device. A handler fault mid-batch
+  // quarantines its device: the rest of that device's stolen messages
+  // are dropped here, mirroring what discard_for does for queued ones.
+  std::size_t done = 0;
+  thief.steal_quarantined.clear();
+  if (watchdog_enabled_) {
+    thief.handler_start_ns.store(now_ns(), std::memory_order_release);
+  }
+  for (ScheduledItem& stolen : thief.steal_items) {
+    const i2o::Tid tid = stolen.header.target;
+    if (std::find(thief.steal_quarantined.begin(),
+                  thief.steal_quarantined.end(),
+                  tid) != thief.steal_quarantined.end()) {
+      stolen.frame.reset();
+      continue;
+    }
+    if (watchdog_enabled_) {
+      thief.handler_tid.store(tid, std::memory_order_relaxed);
+    }
+    dispatch(stolen, thief);
+    ++done;
+    Device* dev = table_.local_device(tid);
+    if (dev != nullptr && dev->state() == DeviceState::Failed) {
+      thief.steal_quarantined.push_back(tid);
+    }
+  }
+
+  // End the loans: each moved device re-enters the victim's rotations at
+  // every level where messages parked while it was away.
+  {
+    const std::scoped_lock lock(victim.mutex);
+    for (const i2o::Tid tid : thief.steal_tids) {
+      victim.scheduler.return_loan(tid);
+    }
+  }
+  thief.steal_items.clear();
+  thief.steal_tids.clear();
+  return done;
+}
+
+std::size_t Executive::discard_scheduled(i2o::Tid tid) {
+  Shard& home = shard_for(tid);
+  if (shards_.size() > 1) {
+    const std::scoped_lock lock(home.mutex);
+    return home.scheduler.discard_for(tid);
+  }
+  return home.scheduler.discard_for(tid);
+}
+
 // ------------------------------------------------------------------ dispatch
 
-void Executive::dispatch(ScheduledItem& item) {
+void Executive::dispatch(ScheduledItem& item, Shard& sh) {
   const bool inst = instrument_.load(std::memory_order_relaxed) &&
                     item.probe.t_wire != 0;
   if (inst) {
@@ -1013,8 +1295,10 @@ void Executive::dispatch(ScheduledItem& item) {
   // Sampled, the histogram still converges on the same shape (dispatch
   // cost does not correlate with a power-of-two message index) while the
   // amortized overhead drops under the 5% budget obs_overhead enforces.
+  // The sample counter is per shard; the histogram's bins are atomic, so
+  // N shards feed one "exec.dispatch_ticks" safely.
   const bool timed =
-      dispatch_ticks_ != nullptr && (++dispatch_sample_ & 63u) == 0;
+      dispatch_ticks_ != nullptr && (++sh.dispatch_sample & 63u) == 0;
   const std::uint64_t t0 = timed ? rdtsc() : 0;
   record_hop(item.header, obs::Hop::Dispatch);
 
@@ -1039,7 +1323,10 @@ void Executive::dispatch(ScheduledItem& item) {
 
   if (ctx.header.is_reply()) {
     dev->on_reply(ctx);
-    stats_.dispatched->bump();
+    stats_.dispatched->add();
+    if (sh.dispatched != nullptr) {
+      sh.dispatched->bump();
+    }
   } else if (ctx.header.is_private()) {
     // Core timer expiries and event notifications surface through their
     // dedicated hooks in every live state.
@@ -1059,7 +1346,7 @@ void Executive::dispatch(ScheduledItem& item) {
                       ctx.payload.subspan(4));
       }
     } else if (dev->state() != DeviceState::Enabled) {
-      stats_.rejected_disabled->bump();
+      stats_.rejected_disabled->add();
       send_fail_reply(ctx, "device not enabled");
       outcome = TraceEntry::Outcome::FailReplied;
     } else {
@@ -1084,26 +1371,33 @@ void Executive::dispatch(ScheduledItem& item) {
         item.probe.t_app_done = rdtsc();
       }
       if (watchdog_enabled_ &&
-          handler_overrun_.load(std::memory_order_relaxed) &&
-          handler_overrun_.exchange(false, std::memory_order_acq_rel)) {
+          sh.handler_overrun.load(std::memory_order_relaxed) &&
+          sh.handler_overrun.exchange(false, std::memory_order_acq_rel)) {
         faulted = true;
         log_.error("watchdog: handler overran deadline in '",
                    dev->instance_name(), "'");
-        stats_.watchdog_trips->bump();
+        stats_.watchdog_trips->add();
       }
       if (faulted) {
         // Quarantine: the paper notes a misbehaving handler must not stall
-        // the system; the device is failed and its backlog discarded.
+        // the system; the device is failed and its backlog discarded
+        // (from its HOME shard - a thief dispatching a stolen batch
+        // quarantines the victim's queue, not its own).
         dev->set_state(DeviceState::Failed);
-        scheduler_.discard_for(dev->tid());
+        discard_scheduled(dev->tid());
         send_fail_reply(ctx, "handler fault");
         outcome = TraceEntry::Outcome::FailReplied;
       } else if (!handled) {
         // "The system can provide default procedures if for a given event
         // no code is supplied": the default is a failure report.
-        stats_.default_handled->bump();
+        stats_.default_handled->add();
         send_fail_reply(ctx, "no handler bound for xfunction");
-      } else stats_.dispatched->bump();
+      } else {
+        stats_.dispatched->add();
+        if (sh.dispatched != nullptr) {
+          sh.dispatched->bump();
+        }
+      }
     }
   } else {
     deliver_standard(*dev, ctx);
@@ -1115,13 +1409,16 @@ void Executive::dispatch(ScheduledItem& item) {
   // at the end of the pump; anything else drops its reference now.
   if (mem::BlockHeader* blk = ctx.frame.release_for_batch()) {
     if (blk->owner == pool_.get()) {
-      release_batch_.push_back(blk);
+      sh.release_batch.push_back(blk);
     } else {
       blk->owner->recycle(blk);
     }
   }
   if (inst) {
     item.probe.t_released = rdtsc();
+    // ProbeLog is a plain ring; N shards appending race without this
+    // lock. Cold path: only taken when instrumentation is armed.
+    const std::scoped_lock lock(probes_mutex_);
     probes_.append(item.probe);
   }
   if (timed) {
@@ -1143,7 +1440,7 @@ void Executive::deliver_standard(Device& dev, const MessageContext& ctx) {
   } else {
     handle_util(dev, ctx);
   }
-  stats_.dispatched->bump();
+  stats_.dispatched->add();
 }
 
 void Executive::handle_util(Device& dev, const MessageContext& ctx) {
@@ -1170,8 +1467,9 @@ void Executive::handle_util(Device& dev, const MessageContext& ctx) {
       return;
     }
     case i2o::Function::UtilAbort:
-      // Abort outstanding requests: flush the device's scheduled backlog.
-      scheduler_.discard_for(dev.tid());
+      // Abort outstanding requests: flush the device's scheduled backlog
+      // on its home shard.
+      discard_scheduled(dev.tid());
       (void)send_param_reply(ctx, {});
       return;
     case i2o::Function::UtilEventRegister: {
@@ -1409,7 +1707,7 @@ void Executive::send_fail_reply(const MessageContext& ctx,
   if (ctx.header.initiator == i2o::kNullTid || ctx.header.is_reply()) {
     return;  // nobody to tell, or replying to a reply would loop
   }
-  stats_.failed_replies->bump();
+  stats_.failed_replies->add();
   (void)send_param_reply(ctx, {{"error", std::string(reason)}},
                          /*failed=*/true);
 }
@@ -1493,15 +1791,20 @@ void Executive::record_hop_slow(const i2o::FrameHeader& hdr, obs::Hop hop) {
 }
 
 void Executive::watchdog_main(std::chrono::nanoseconds deadline) {
+  // One watchdog covers every shard: the scan is a handful of relaxed
+  // loads per tick, so per-shard threads would buy nothing.
   const auto tick = std::chrono::nanoseconds(
       std::max<std::int64_t>(deadline.count() / 4, 100'000));
   while (!watchdog_stop_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(tick);
-    const std::uint64_t start =
-        handler_start_ns_.load(std::memory_order_acquire);
-    if (start != 0 &&
-        now_ns() - start > static_cast<std::uint64_t>(deadline.count())) {
-      handler_overrun_.store(true, std::memory_order_release);
+    const std::uint64_t now = now_ns();
+    for (const auto& sh : shards_) {
+      const std::uint64_t start =
+          sh->handler_start_ns.load(std::memory_order_acquire);
+      if (start != 0 &&
+          now - start > static_cast<std::uint64_t>(deadline.count())) {
+        sh->handler_overrun.store(true, std::memory_order_release);
+      }
     }
   }
 }

@@ -12,12 +12,16 @@
 // One Executive is one node (IOP). It owns:
 //  * the memory pool every frame is drawn from,
 //  * the address table (local devices and proxies for remote ones),
-//  * the messaging instance (thread-safe inbound queue),
-//  * the seven-priority round-robin scheduler and the dispatch loop,
+//  * N dispatch shards - each an inbound queue plus a seven-priority
+//    round-robin scheduler driven by its own loop of control, with every
+//    device owned by exactly one shard (per-TiD affinity) and idle shards
+//    stealing whole per-device backlogs from backlogged siblings,
 //  * the core timer service and the handler watchdog,
 //  * routes from node ids to peer-transport devices.
+// At the default N=1 this is exactly the paper's single loop of control.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -54,6 +58,23 @@ struct ExecutiveConfig {
   std::string name = "exec";
   enum class PoolKind { Simple, Table } pool_kind = PoolKind::Table;
   std::size_t inbound_capacity = 8192;
+  /// Dispatch shards: N independent loop-of-control threads, each owning
+  /// a disjoint set of devices (actor-style per-TiD affinity - a device's
+  /// handlers never run concurrently, so existing handlers stay
+  /// lock-free). 1 = the paper's single loop, behaviorally identical to
+  /// the pre-sharding executive: no shard mutex, no stealing, no worker
+  /// threads.
+  std::size_t shards = 1;
+  /// Work stealing (multi-shard only): an idle shard raids the most
+  /// backlogged sibling once its pending count reaches steal_threshold,
+  /// taking whole per-device backlogs (affinity moves with the backlog)
+  /// up to steal_max messages per raid.
+  std::size_t steal_threshold = 32;
+  std::size_t steal_max = 256;
+  /// Back the TablePool's block arenas with 2 MiB huge pages
+  /// (MAP_HUGETLB), falling back to ordinary heap blocks when the system
+  /// has none. Observable as "pool.hugepages" in the metrics snapshot.
+  bool pool_hugepages = false;
   /// Hot-path batching. `dispatch_batch` is the maximum number of
   /// messages dispatched per pump before transports are rescanned; the
   /// default of 1 keeps the seed's one-message-per-pump semantics
@@ -122,13 +143,18 @@ struct ExecutiveStats {
   /// dispatch_batches is the realized batch size; with the default
   /// dispatch_batch of 1 the two counters advance in lockstep.
   std::uint64_t dispatch_batches = 0;
+  std::uint64_t steals = 0;        ///< successful work-stealing raids
+  std::uint64_t stolen_items = 0;  ///< messages moved by those raids
 };
 
 /// Registry-backed executive counters (formerly a private struct of bare
 /// atomics): every field is a named obs::Counter owned by the node's
 /// MetricsRegistry, so the same relaxed-atomic value feeds stats(), the
-/// MonitorDevice snapshot, and the JSON dump. Multi-writer counters use
-/// add(); dispatch-thread-only counters use the cheaper bump().
+/// MonitorDevice snapshot, and the JSON dump. Every counter in this
+/// struct uses add() (fetch_add): with N dispatch shards plus transport
+/// and timer threads there is no single-writer counter left here - the
+/// cheaper lossy bump() is reserved for the per-shard counters each
+/// shard thread owns exclusively.
 struct ExecCounters {
   obs::Counter* posted = nullptr;
   obs::Counter* dispatched = nullptr;
@@ -144,6 +170,8 @@ struct ExecCounters {
   obs::Counter* peer_state_changes = nullptr;
   obs::Counter* synth_unavailable = nullptr;
   obs::Counter* dispatch_batches = nullptr;
+  obs::Counter* steals = nullptr;
+  obs::Counter* stolen_items = nullptr;
 
   void wire(obs::MetricsRegistry& registry);
 
@@ -163,6 +191,8 @@ struct ExecCounters {
     s.peer_state_changes = peer_state_changes->value();
     s.synth_unavailable = synth_unavailable->value();
     s.dispatch_batches = dispatch_batches->value();
+    s.steals = steals->value();
+    s.stolen_items = stolen_items->value();
     return s;
   }
 };
@@ -315,34 +345,49 @@ class Executive {
 
   // --- loop of control ---------------------------------------------------------
 
-  /// Runs the dispatch loop on the calling thread until stop().
+  /// Runs shard 0's dispatch loop on the calling thread until stop(),
+  /// spawning worker threads for shards 1..N-1.
   void run();
-  /// Spawns the dispatch thread.
+  /// Spawns all N dispatch threads.
   void start();
-  /// Stops the loop (joins the thread when start() was used).
+  /// Stops every dispatch loop (joins threads spawned by start()/run()).
   void stop();
-  /// Single non-blocking pump: drain inbound, poll PTs, dispatch at most
-  /// `dispatch_batch` messages (one with the default config). Returns
-  /// true if any message was dispatched.
+  /// Single non-blocking pump of EVERY shard on the calling thread:
+  /// drain inbound, poll PTs (shard 0), dispatch at most `dispatch_batch`
+  /// messages per shard (one with the default config). Returns true if
+  /// any message was dispatched.
   bool run_once();
   [[nodiscard]] bool running() const noexcept {
     return running_.load(std::memory_order_relaxed);
   }
-  /// True while the pump is inside a dispatch batch. Transports use this
-  /// to cork small handler-issued sends until the end-of-batch
-  /// transport_flush(); sends from other threads see false and go to the
-  /// wire inline. (A send that races the tail of a batch corks at worst
-  /// until the transport's own maintenance backstop.)
-  [[nodiscard]] bool dispatch_active() const noexcept {
-    return in_dispatch_.load(std::memory_order_relaxed);
+  /// True while the CALLING thread is inside one of this executive's
+  /// dispatch batches (thread-local, so N shard threads track it
+  /// independently). Transports use this to cork small handler-issued
+  /// sends until the end-of-batch transport_flush(); sends from other
+  /// threads see false and go to the wire inline. (A send that races the
+  /// tail of a batch corks at worst until the transport's own
+  /// maintenance backstop.)
+  [[nodiscard]] bool dispatch_active() const noexcept;
+
+  // --- sharding ------------------------------------------------------------
+
+  /// Number of dispatch shards (>= 1).
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  /// Index of the shard that owns `tid` (0 for unknown TiDs; proxies and
+  /// the kernel live on shard 0).
+  [[nodiscard]] std::size_t shard_of(i2o::Tid tid) const noexcept {
+    return shard_of_[tid & i2o::kMaxTid].load(std::memory_order_relaxed);
   }
 
   // --- diagnostics ---------------------------------------------------------------
 
   [[nodiscard]] ExecutiveStats stats() const;
-  [[nodiscard]] const Scheduler& scheduler() const noexcept {
-    return scheduler_;
-  }
+  /// Shard 0's scheduler (the only one at N=1; kept for existing callers).
+  [[nodiscard]] const Scheduler& scheduler() const noexcept;
+  /// Scheduler of one shard. Precondition: idx < shard_count().
+  [[nodiscard]] const Scheduler& scheduler(std::size_t idx) const noexcept;
   [[nodiscard]] ProbeLog& probe_log() noexcept { return probes_; }
   void set_instrument(bool on) noexcept {
     instrument_.store(on, std::memory_order_relaxed);
@@ -378,12 +423,69 @@ class Executive {
     KernelDevice() : Device("Executive") {}
   };
 
+  /// One dispatch shard: an inbound queue, a scheduler, and the loop
+  /// state the seed executive kept as flat members. At N=1 the single
+  /// shard is touched exactly like the seed (no mutex on any path); with
+  /// N>1 `mutex` serializes scheduler access between the owning loop
+  /// thread and thieving siblings.
+  struct Shard {
+    explicit Shard(std::size_t inbound_capacity)
+        : inbound(inbound_capacity) {}
+
+    BoundedQueue<ScheduledItem> inbound;
+    /// Guards scheduler + active_tid (multi-shard only). Never held
+    /// while a handler runs or while blocking on the inbound queue.
+    std::mutex mutex;
+    Scheduler scheduler;
+    /// TiD being dispatched right now (written/read under mutex): a
+    /// thief never steals the in-flight device, which both preserves
+    /// the never-concurrent affinity invariant and hands the thief a
+    /// happens-before edge on all per-device state.
+    i2o::Tid active_tid = i2o::kNullTid;
+
+    // Loop-thread-local scratch (only its owning thread touches these).
+    std::vector<ScheduledItem> drain_buf;
+    std::vector<mem::BlockHeader*> release_batch;
+    std::size_t idle_pumps = 0;
+    std::uint32_t dispatch_sample = 0;
+    std::vector<ScheduledItem> steal_items;
+    std::vector<i2o::Tid> steal_tids;
+    std::vector<i2o::Tid> steal_quarantined;
+
+    /// Per-shard counters ("exec.shard<i>.*", multi-shard only): owned
+    /// exclusively by this shard's loop thread, so the lossy
+    /// single-writer bump() stays exact.
+    obs::Counter* dispatched = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* steals = nullptr;
+
+    // Watchdog bracket: what this shard's loop thread is doing.
+    std::atomic<std::uint64_t> handler_start_ns{0};
+    std::atomic<std::uint16_t> handler_tid{i2o::kNullTid};
+    std::atomic<bool> handler_overrun{false};
+
+    std::thread thread;  ///< worker loop (shards 1..N-1; also 0 via start())
+  };
+
   // Dispatch pipeline.
-  bool pump(bool allow_block);
-  /// Delivers one scheduled message. Takes the item by reference and
-  /// moves the frame out of it - the dispatch loop reuses one scratch
-  /// item across a whole batch instead of moving ~100 bytes per message.
-  void dispatch(ScheduledItem& item);
+  bool pump(std::size_t idx, bool allow_block);
+  /// Delivers one scheduled message on shard `sh`'s loop thread (or a
+  /// thief dispatching `sh == thief` for a stolen batch). Takes the item
+  /// by reference and moves the frame out of it - the dispatch loop
+  /// reuses one scratch item across a whole batch instead of moving
+  /// ~100 bytes per message.
+  void dispatch(ScheduledItem& item, Shard& sh);
+  /// Raids the most backlogged sibling when `thief` has nothing to do;
+  /// returns the number of stolen messages dispatched.
+  std::size_t try_steal(Shard& thief);
+  /// Drops the scheduled backlog of `tid` on its home shard (locking it
+  /// when multi-shard). Returns how many messages were discarded.
+  std::size_t discard_scheduled(i2o::Tid tid);
+  [[nodiscard]] Shard& shard_for(i2o::Tid tid) noexcept {
+    return *shards_[shards_.size() == 1 ? 0 : shard_of(tid)];
+  }
+  void start_worker_shards();
+  void join_worker_shards();
   void deliver_standard(Device& dev, const MessageContext& ctx);
   void handle_util(Device& dev, const MessageContext& ctx);
   void handle_exec(const MessageContext& ctx);
@@ -426,8 +528,15 @@ class Executive {
   std::uint32_t dispatch_sample_ = 0;
   std::unique_ptr<mem::Pool> pool_;
   AddressTable table_;
-  Scheduler scheduler_;
-  BoundedQueue<ScheduledItem> inbound_;
+  /// The dispatch shards (unique_ptr: Shard holds a mutex and atomics,
+  /// so it is neither movable nor copyable). Sized once in the
+  /// constructor; never resized.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// TiD -> owning shard index, assigned round-robin at install() time
+  /// and read lock-free on every routing decision. Slot 0 covers unknown
+  /// TiDs and proxies (kernel-adjacent traffic stays on shard 0).
+  std::array<std::atomic<std::uint8_t>, i2o::kMaxTid + 1> shard_of_{};
+  std::size_t next_shard_ = 0;  ///< round-robin cursor (devices_mutex_)
 
   mutable std::mutex devices_mutex_;
   std::map<i2o::Tid, std::unique_ptr<Device>> devices_;
@@ -459,25 +568,15 @@ class Executive {
   mutable std::mutex inflight_mutex_;
   std::map<i2o::NodeId, std::vector<i2o::FrameHeader>> inflight_;
 
-  std::size_t idle_pumps_ = 0;  ///< dispatch-thread local
-  /// Dispatch-thread-local staging buffer for batched inbound drains
-  /// (kept as a member so its capacity survives across pumps).
-  std::vector<ScheduledItem> drain_buf_;
-  /// Dispatch-thread-local: sole-owner frames dropped during the current
-  /// dispatch batch, returned to the pool in ONE recycle_batch call.
-  std::vector<mem::BlockHeader*> release_batch_;
   std::atomic<bool> running_{false};
-  std::atomic<bool> in_dispatch_{false};  ///< pump is inside a dispatch batch
   std::atomic<bool> instrument_{false};
   std::thread loop_thread_;
+  std::mutex workers_mutex_;  ///< serializes worker-thread spawn/join
 
-  // Watchdog state: what the dispatch thread is doing right now.
+  // Watchdog: one thread scans every shard's handler bracket.
   /// True iff a watchdog thread exists (handler_deadline > 0); when false
-  /// the dispatch loop skips the per-message clock reads of the bracket.
+  /// the dispatch loops skip the per-message clock reads of the bracket.
   bool watchdog_enabled_ = false;
-  std::atomic<std::uint64_t> handler_start_ns_{0};
-  std::atomic<std::uint16_t> handler_tid_{i2o::kNullTid};
-  std::atomic<bool> handler_overrun_{false};
   std::atomic<bool> watchdog_stop_{false};
   std::thread watchdog_thread_;
 
@@ -492,6 +591,9 @@ class Executive {
   void record_hop_slow(const i2o::FrameHeader& hdr, obs::Hop hop);
 
   ExecCounters stats_;
+  /// ProbeLog is not thread-safe; with N shards appending probes the
+  /// (cold, instrument-only) append path takes this mutex.
+  std::mutex probes_mutex_;
   ProbeLog probes_;
 
   /// Fixed ring of recent dispatches (mutex-guarded; the trace is a

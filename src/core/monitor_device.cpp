@@ -24,6 +24,7 @@ i2o::ParamList MonitorDevice::snapshot_params() const {
   i2o::ParamList out;
   out.emplace_back("node", std::to_string(executive().node_id()));
   out.emplace_back("name", executive().name());
+  out.emplace_back("shards", std::to_string(executive().shard_count()));
   const obs::MetricsSnapshot snap = executive().metrics().snapshot();
   for (auto& [key, value] : snap.to_params()) {
     out.emplace_back(key, value);

@@ -6,8 +6,9 @@
 namespace xdaq::core {
 
 namespace {
-/// Single-writer relaxed adjust: the dispatch thread is the only writer,
-/// snapshot readers tolerate slightly stale values.
+/// Serialized-writer relaxed adjust: writers hold the owning shard's
+/// mutex (or are the sole dispatch thread at N=1), so load+store never
+/// loses an update; snapshot readers tolerate slightly stale values.
 template <typename T>
 inline void adjust(std::atomic<T>& v, std::int64_t d) noexcept {
   v.store(static_cast<T>(
@@ -30,12 +31,15 @@ void Scheduler::enqueue(int priority, ScheduledItem item) {
     level.cached_tid = tid;
     level.cached_fifo = fifo;
   }
-  if (fifo->empty()) {
+  // A loaned device parks its arrivals: the FIFO grows but the device
+  // stays out of the rotation until return_loan(). loaned_ is empty in
+  // every single-shard executive, so the seed hot path pays one branch.
+  if (fifo->empty() && (loaned_.empty() || !is_loaned(tid))) {
     level.rotation.push_back(tid);
     nonempty_mask_ |= static_cast<std::uint8_t>(1U << p);
   }
   fifo->push_back(std::move(item));
-  ++pending_;
+  adjust(pending_, 1);
   adjust(depth_[static_cast<std::size_t>(p)], 1);
 }
 
@@ -75,7 +79,7 @@ bool Scheduler::next(ScheduledItem& out) {
   if (level.rotation.empty()) {
     nonempty_mask_ &= static_cast<std::uint8_t>(~(1U << p));
   }
-  --pending_;
+  adjust(pending_, -1);
   adjust(depth_[p], -1);
   adjust(served_[p], 1);
   return true;
@@ -113,8 +117,85 @@ std::size_t Scheduler::discard_for(i2o::Tid tid) {
       nonempty_mask_ &= static_cast<std::uint8_t>(~(1U << p));
     }
   }
-  pending_ -= dropped;
+  adjust(pending_, -static_cast<std::int64_t>(dropped));
   return dropped;
+}
+
+std::size_t Scheduler::extract_device(i2o::Tid tid,
+                                      std::vector<ScheduledItem>& out) {
+  std::size_t taken = 0;
+  for (std::size_t p = 0; p < levels_.size(); ++p) {
+    Level& level = levels_[p];
+    const auto it = level.fifos.find(tid);
+    if (it == level.fifos.end() || it->second.empty()) {
+      continue;
+    }
+    RingFifo<ScheduledItem>& fifo = it->second;
+    const std::size_t n = fifo.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(fifo.front()));
+      fifo.pop_front();
+    }
+    taken += n;
+    adjust(depth_[p], -static_cast<std::int64_t>(n));
+    level.rotation.erase(
+        std::remove(level.rotation.begin(), level.rotation.end(), tid),
+        level.rotation.end());
+    if (level.rotation.empty()) {
+      nonempty_mask_ &= static_cast<std::uint8_t>(~(1U << p));
+    }
+  }
+  return taken;
+}
+
+std::size_t Scheduler::steal(std::size_t max_items, i2o::Tid skip_tid,
+                             std::vector<ScheduledItem>& out_items,
+                             std::vector<i2o::Tid>& out_tids) {
+  std::size_t taken = 0;
+  // Lowest priority first, back of each rotation first: the devices the
+  // victim would have reached last lose the least round-robin progress.
+  for (std::size_t p = levels_.size(); p-- > 0 && taken < max_items;) {
+    Level& level = levels_[p];
+    while (taken < max_items && !level.rotation.empty()) {
+      i2o::Tid tid = level.rotation.back();
+      if (tid == skip_tid) {
+        if (level.rotation.size() == 1) {
+          break;  // only the in-flight device left at this level
+        }
+        tid = level.rotation[level.rotation.size() - 2];
+      }
+      loaned_.push_back(tid);
+      out_tids.push_back(tid);
+      // Takes the device's WHOLE backlog (all levels, priority order) so
+      // its per-priority FIFO ordering survives the move to the thief.
+      taken += extract_device(tid, out_items);
+    }
+  }
+  adjust(pending_, -static_cast<std::int64_t>(taken));
+  stolen_.fetch_add(taken, std::memory_order_relaxed);
+  return taken;
+}
+
+void Scheduler::return_loan(i2o::Tid tid) {
+  const auto it = std::find(loaned_.begin(), loaned_.end(), tid);
+  if (it == loaned_.end()) {
+    return;
+  }
+  loaned_.erase(it);
+  // Re-enter the rotation at every level where messages parked while the
+  // device was away (a loaned device is never in any rotation).
+  for (std::size_t p = 0; p < levels_.size(); ++p) {
+    Level& level = levels_[p];
+    const auto fit = level.fifos.find(tid);
+    if (fit != level.fifos.end() && !fit->second.empty()) {
+      level.rotation.push_back(tid);
+      nonempty_mask_ |= static_cast<std::uint8_t>(1U << p);
+    }
+  }
+}
+
+bool Scheduler::is_loaned(i2o::Tid tid) const noexcept {
+  return std::find(loaned_.begin(), loaned_.end(), tid) != loaned_.end();
 }
 
 int default_priority_for(const i2o::FrameHeader& hdr) noexcept {

@@ -11,8 +11,17 @@
 // that level's rotation, then moves the device to the back (round robin).
 // Messages for one device at one priority stay FIFO.
 //
-// The scheduler is used from the dispatch thread only; the executive's
-// inbound queue provides the thread-safe boundary.
+// Threading model: one Scheduler instance belongs to one executive shard.
+// With a single shard it is touched by the dispatch thread only (the
+// executive's inbound queue provides the thread-safe boundary), exactly
+// the seed behaviour. With multiple shards the owning shard's mutex
+// serializes every mutating call - enqueue/next/discard_for on the home
+// dispatch loop plus steal/return_loan from thieving sibling shards; the
+// scheduler itself stays lock-free. The observability counters (depth_,
+// served_, stolen_, pending_) are relaxed atomics readable from ANY
+// thread without the mutex: writers are serialized (per the above), so
+// the single-writer load+store update pattern stays exact, and snapshot
+// readers tolerate values that are one message stale.
 #pragma once
 
 #include <array>
@@ -102,8 +111,12 @@ class Scheduler {
   /// false when idle, leaving `out` untouched.
   bool next(ScheduledItem& out);
 
-  /// Total queued messages across all levels.
-  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  /// Total queued messages across all levels (relaxed; any thread). Work
+  /// stealing scans sibling shards' pending() without their mutexes; the
+  /// steal itself re-checks under the victim's lock.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_relaxed);
+  }
 
   /// Queued messages at one priority level.
   [[nodiscard]] std::size_t pending_at(int priority) const;
@@ -111,6 +124,35 @@ class Scheduler {
   /// Drops all queued messages for a device (quarantine/unload). Returns
   /// how many were discarded.
   std::size_t discard_for(i2o::Tid tid);
+
+  // --- work stealing (multi-shard executives) ----------------------------
+
+  /// Takes the WHOLE queued backlog of selected devices - every priority
+  /// level, each device's messages emitted in (priority, FIFO) order - so
+  /// per-device ordering and single-dispatcher affinity survive the move.
+  /// Victim devices are chosen from the lowest priority levels first and
+  /// from the BACK of each rotation, disturbing the victim shard's own
+  /// round-robin progress least. `skip_tid` (the device the victim is
+  /// dispatching right now) is never taken. Chosen TiDs are left "on
+  /// loan": messages arriving for them park in their FIFOs but the
+  /// devices stay out of every rotation, so the victim cannot dispatch
+  /// them while the thief works. Appends to `out_items`/`out_tids`;
+  /// returns the number of messages taken (stops after max_items).
+  std::size_t steal(std::size_t max_items, i2o::Tid skip_tid,
+                    std::vector<ScheduledItem>& out_items,
+                    std::vector<i2o::Tid>& out_tids);
+
+  /// Ends a loan taken by steal(): the device re-enters the rotation at
+  /// every level where messages parked while it was away.
+  void return_loan(i2o::Tid tid);
+
+  /// True while `tid` is out on loan to a thieving shard.
+  [[nodiscard]] bool is_loaned(i2o::Tid tid) const noexcept;
+
+  /// Messages taken from this scheduler by thieves (relaxed; any thread).
+  [[nodiscard]] std::uint64_t stolen() const noexcept {
+    return stolen_.load(std::memory_order_relaxed);
+  }
 
   /// Messages served since construction, per priority (stats).
   [[nodiscard]] const std::array<std::atomic<std::uint64_t>,
@@ -158,12 +200,23 @@ class Scheduler {
     RingFifo<ScheduledItem>* cached_fifo = nullptr;
   };
 
-  /// Single-writer (dispatch thread) load+store updates; other threads
-  /// only read. served_ doubles as the public stats array.
+  /// Moves every queued message for `tid` (all levels, priority order)
+  /// into `out` and removes the device from every rotation. Returns the
+  /// number of messages extracted.
+  std::size_t extract_device(i2o::Tid tid, std::vector<ScheduledItem>& out);
+
+  /// Serialized-writer (home dispatch thread, or any thread holding the
+  /// owning shard's mutex) load+store updates; other threads only read.
+  /// served_ doubles as the public stats array.
   std::array<Level, i2o::kNumPriorities> levels_;
   std::array<std::atomic<std::uint64_t>, i2o::kNumPriorities> served_{};
   std::array<std::atomic<std::size_t>, i2o::kNumPriorities> depth_{};
-  std::size_t pending_ = 0;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  /// TiDs currently out on loan to thieving shards. Almost always empty
+  /// (and ALWAYS empty in a single-shard executive), so the hot-path
+  /// check is one branch on empty().
+  std::vector<i2o::Tid> loaned_;
   /// Bit p set iff levels_[p] has a non-empty rotation; next() jumps to
   /// the highest-priority populated level with one countr_zero instead
   /// of probing every level on every call.

@@ -84,23 +84,36 @@ void TimerService::thread_main() {
                    });
       continue;
     }
-    heap_.pop();
-    const auto cancelled_it =
-        std::find(cancelled_.begin(), cancelled_.end(), top.id);
-    const bool is_cancelled = cancelled_it != cancelled_.end();
-    if (is_cancelled) {
-      cancelled_.erase(cancelled_it);
-      forget_armed(top.id);
-      continue;
+    // Batch: drain EVERY entry already due under this one lock hold, then
+    // fire them all outside it. With sharded dispatch, expiries for
+    // several targets routinely land on the same tick; cycling the lock
+    // per expiry would serialize against arm()/cancel() once per timer.
+    due_.clear();
+    while (!heap_.empty() && heap_.top().deadline_ns <= now) {
+      const Entry due = heap_.top();
+      heap_.pop();
+      const auto cancelled_it =
+          std::find(cancelled_.begin(), cancelled_.end(), due.id);
+      if (cancelled_it != cancelled_.end()) {
+        cancelled_.erase(cancelled_it);
+        forget_armed(due.id);
+        continue;
+      }
+      if (due.period_ns > 0) {
+        heap_.push(Entry{due.deadline_ns + due.period_ns, due.id, due.target,
+                         due.period_ns});
+      } else {
+        forget_armed(due.id);
+      }
+      due_.push_back(due);
     }
-    if (top.period_ns > 0) {
-      heap_.push(Entry{top.deadline_ns + top.period_ns, top.id, top.target,
-                       top.period_ns});
-    } else {
-      forget_armed(top.id);
+    if (due_.empty()) {
+      continue;  // everything that surfaced was cancelled
     }
     lock.unlock();
-    fire_(top.target, top.id);
+    for (const Entry& due : due_) {
+      fire_(due.target, due.id);
+    }
     lock.lock();
   }
 }

@@ -65,6 +65,10 @@ class TimerService {
   void thread_main();
   void forget_armed(std::uint32_t id);
 
+  /// Scratch for thread_main: every entry due at one wakeup, collected
+  /// under a single lock hold and fired outside it (see timer.cpp).
+  std::vector<Entry> due_;
+
   FireFn fire_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -144,10 +144,14 @@ class TransportDevice : public Device {
 
   /// End-of-batch drain; the executive calls this once per pump, after
   /// the dispatch batch. A transport may cork small sends issued by
-  /// handlers while `Executive::dispatch_active()` is true and put them
-  /// on the wire here, so a batch of replies shares one gathered syscall
-  /// instead of paying one per frame. No-op unless on_transport_flush()
-  /// is overridden.
+  /// handlers while `Executive::dispatch_active()` is true (a per-thread
+  /// mark, so it is true on every dispatch shard) and put them on the
+  /// wire here, so a batch of replies shares one gathered syscall
+  /// instead of paying one per frame. With a multi-shard executive any
+  /// shard's end-of-batch may issue the flush - the executive serializes
+  /// the calls, but a send corked on one shard can be drained by
+  /// another's flush, so cork state must be thread-safe. No-op unless
+  /// on_transport_flush() is overridden.
   void transport_flush() { on_transport_flush(); }
 
   [[nodiscard]] bool transport_running() const noexcept {

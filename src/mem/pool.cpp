@@ -7,6 +7,10 @@
 #include <memory>
 #include <new>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 namespace xdaq::mem {
 
 void FrameRef::release() noexcept {
@@ -232,9 +236,13 @@ namespace {
 thread_local ThreadCacheHolder t_cache_holder;
 }  // namespace
 
-TablePool::TablePool(std::size_t min_class_bytes)
+TablePool::TablePool(std::size_t min_class_bytes, bool hugepages)
     : min_class_bytes_(std::bit_ceil(std::max<std::size_t>(min_class_bytes,
-                                                           16))) {
+                                                           16))),
+      hugepages_(hugepages) {
+#if !defined(__linux__)
+  hugepages_ = false;  // MAP_HUGETLB is Linux-only
+#endif
   min_class_shift_ =
       static_cast<unsigned>(std::countr_zero(min_class_bytes_));
   std::size_t sz = min_class_bytes_;
@@ -264,7 +272,68 @@ TablePool::~TablePool() {
       delete_raw_block(static_cast<BlockHeader*>(raw));
     }
   }
+#if defined(__linux__)
+  // Arena-backed blocks never appear in cls.storage; their memory goes
+  // away with the arena itself.
+  for (const Arena& arena : arenas_) {
+    ::munmap(arena.base, arena.bytes);
+  }
+#endif
 }
+
+BlockHeader* TablePool::carve_from_arena(SizeClass& cls, std::uint32_t idx) {
+#if defined(__linux__)
+  constexpr std::size_t kHugePageBytes = 2 * 1024 * 1024;
+  // Header + data per block, rounded so every data area stays 16-aligned.
+  const std::size_t step =
+      (sizeof(BlockHeader) + cls.block_bytes + 15U) & ~std::size_t{15};
+  const std::size_t arena_bytes =
+      ((step + kHugePageBytes - 1) / kHugePageBytes) * kHugePageBytes;
+  void* base = ::mmap(nullptr, arena_bytes, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+  if (base == MAP_FAILED) {
+    // First-failure latch: the kernel has no hugepages to give (or the
+    // reservation ran out); stop asking and let growth fall back to heap
+    // blocks for the rest of this pool's life.
+    hugepages_ok_.store(false, std::memory_order_relaxed);
+    return nullptr;
+  }
+  {
+    const std::scoped_lock lock(arenas_mutex_);
+    arenas_.push_back({base, arena_bytes});
+  }
+  hugepage_bytes_.fetch_add(arena_bytes, std::memory_order_relaxed);
+  const std::size_t count = arena_bytes / step;
+  auto* bytes = static_cast<std::byte*>(base);
+  BlockHeader* first = nullptr;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto* blk = ::new (bytes + i * step) BlockHeader();
+    blk->owner = this;
+    blk->capacity = static_cast<std::uint32_t>(cls.block_bytes);
+    blk->size = 0;
+    blk->size_class = idx;
+    blk->flags = kBlockArenaBacked;
+    if (first == nullptr) {
+      first = blk;
+    } else {
+      blk->next_free = cls.free_list;
+      cls.free_list = blk;
+      ++cls.free_count;
+    }
+  }
+  stats_.grows.fetch_add(count, std::memory_order_relaxed);
+  stats_.bytes_reserved.fetch_add(count * cls.block_bytes,
+                                  std::memory_order_relaxed);
+  return first;
+#else
+  (void)cls;
+  (void)idx;
+  hugepages_ok_.store(false, std::memory_order_relaxed);
+  return nullptr;
+#endif
+}
+
+void TablePool::warm_thread_cache() { (void)thread_cache(/*create=*/true); }
 
 TablePool::ThreadCache* TablePool::thread_cache(bool create) const {
   auto& shards = t_cache_holder.shards;
@@ -372,18 +441,25 @@ Result<FrameRef> TablePool::allocate(std::size_t bytes) {
       cls.free_list = blk->next_free;
       --cls.free_count;
     } else {
-      // On-demand growth: the first allocation in a class creates its
-      // block.
-      blk = new_raw_block(this, cls.block_bytes,
-                          static_cast<std::uint32_t>(idx));
-      if (blk == nullptr) {
-        stats_.failures.fetch_add(1, std::memory_order_relaxed);
-        return {Errc::ResourceExhausted, "out of memory growing pool"};
+      // On-demand growth. With hugepage backing, carve a whole 2 MiB
+      // arena into blocks of this class (first block returned, rest onto
+      // the free list); otherwise - or once hugepages have failed - grow
+      // one heap block at a time as before.
+      if (hugepages_ && hugepages_ok_.load(std::memory_order_relaxed)) {
+        blk = carve_from_arena(cls, static_cast<std::uint32_t>(idx));
       }
-      cls.storage.push_back(blk);
-      stats_.grows.fetch_add(1, std::memory_order_relaxed);
-      stats_.bytes_reserved.fetch_add(cls.block_bytes,
-                                      std::memory_order_relaxed);
+      if (blk == nullptr) {
+        blk = new_raw_block(this, cls.block_bytes,
+                            static_cast<std::uint32_t>(idx));
+        if (blk == nullptr) {
+          stats_.failures.fetch_add(1, std::memory_order_relaxed);
+          return {Errc::ResourceExhausted, "out of memory growing pool"};
+        }
+        cls.storage.push_back(blk);
+        stats_.grows.fetch_add(1, std::memory_order_relaxed);
+        stats_.bytes_reserved.fetch_add(cls.block_bytes,
+                                        std::memory_order_relaxed);
+      }
     }
   }
   blk->next_free = nullptr;
@@ -486,6 +562,7 @@ PoolStats TablePool::stats() const {
   s.outstanding = s.allocs - s.frees;
   s.bytes_reserved = stats_.bytes_reserved.load(std::memory_order_relaxed);
   s.views = view_count();
+  s.hugepage_bytes = hugepage_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 

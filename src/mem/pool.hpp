@@ -39,14 +39,21 @@ inline constexpr std::size_t kMaxBlockBytes = 256 * 1024;
 
 class Pool;
 
-/// Header stored in front of every pooled block's data area.
-struct BlockHeader {
+/// BlockHeader::flags: block lives inside an mmap'd arena (hugepage
+/// backing) - owned by the arena, never individually freed.
+inline constexpr std::uint32_t kBlockArenaBacked = 1U << 0;
+
+/// Header stored in front of every pooled block's data area. alignas(16)
+/// keeps sizeof a multiple of 16 so the data area that follows stays
+/// 16-byte aligned both for heap blocks and for arena-carved ones.
+struct alignas(16) BlockHeader {
   Pool* owner = nullptr;
   BlockHeader* next_free = nullptr;  ///< intrusive free-list link
   std::atomic<std::uint32_t> refcount{0};
   std::uint32_t capacity = 0;   ///< usable data bytes following the header
   std::uint32_t size = 0;       ///< current logical frame length
   std::uint32_t size_class = 0; ///< owning bin/class index
+  std::uint32_t flags = 0;      ///< kBlockArenaBacked etc.
 
   std::byte* data() noexcept {
     return reinterpret_cast<std::byte*>(this + 1);
@@ -195,6 +202,7 @@ struct PoolStats {
   std::uint64_t outstanding = 0;  ///< blocks currently referenced
   std::uint64_t bytes_reserved = 0;
   std::uint64_t views = 0;  ///< sub-block views cut from this pool's blocks
+  std::uint64_t hugepage_bytes = 0;  ///< bytes backed by hugepage arenas
 };
 
 /// Allocator interface. Implementations must be thread-safe: device
@@ -221,6 +229,11 @@ class Pool {
 
   [[nodiscard]] virtual PoolStats stats() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Pre-creates any per-thread allocator state for the calling thread so
+  /// the first allocation on a dispatch shard doesn't pay registration
+  /// cost. Default: nothing to warm.
+  virtual void warm_thread_cache() {}
 
   /// Sub-block views cut from this pool's blocks (FrameRef::view); kept on
   /// the base so view creation never takes a pool lock.
@@ -291,8 +304,15 @@ class SimplePool final : public Pool {
 /// stays exact through relaxed atomics.
 class TablePool final : public Pool {
  public:
-  /// min_class_bytes: smallest block size (default 64 B).
-  explicit TablePool(std::size_t min_class_bytes = 64);
+  static constexpr std::size_t kDefaultMinClass = 64;
+
+  /// min_class_bytes: smallest block size (default 64 B). With
+  /// `hugepages`, on-demand growth first tries to carve blocks out of
+  /// 2 MiB MAP_HUGETLB arenas (fewer TLB misses on bulk traffic); the
+  /// first mmap failure latches the feature off and growth falls back to
+  /// ordinary heap blocks - no functional difference, just backing.
+  explicit TablePool(std::size_t min_class_bytes = kDefaultMinClass,
+                     bool hugepages = false);
   ~TablePool() override;
 
   TablePool(const TablePool&) = delete;
@@ -318,6 +338,16 @@ class TablePool final : public Pool {
   /// Returns the calling thread's cached blocks to the shared class lists.
   void flush_thread_cache();
 
+  /// Registers (creates) the calling thread's cache eagerly; dispatch
+  /// shards call this at startup so their first allocation is already on
+  /// the lock-free path.
+  void warm_thread_cache() override;
+
+  /// True while hugepage arena carving is enabled and has not failed.
+  [[nodiscard]] bool hugepages_active() const noexcept {
+    return hugepages_ && hugepages_ok_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct SizeClass {
     std::size_t block_bytes = 0;
@@ -335,6 +365,12 @@ class TablePool final : public Pool {
   ThreadCache* thread_cache(bool create) const;
   /// Pushes every cached block back onto its class's shared free list.
   void return_cached_blocks(ThreadCache& tc) noexcept;
+
+  /// Grows `cls` by carving an entire 2 MiB hugepage arena into blocks:
+  /// the first block is returned, the rest go onto the class free list.
+  /// Returns nullptr (and latches hugepages_ok_ off) when the mmap fails.
+  /// Caller holds cls.mutex.
+  BlockHeader* carve_from_arena(SizeClass& cls, std::uint32_t idx);
 
   /// Senders and the dispatch thread bump these on every frame, so a
   /// mutex here would re-serialize the hot path the class sharding just
@@ -355,6 +391,19 @@ class TablePool final : public Pool {
   std::size_t min_class_bytes_;
   unsigned min_class_shift_ = 0;
   mutable AtomicPoolStats stats_;
+
+  /// Hugepage arena backing (see constructor doc). Arena blocks carry
+  /// kBlockArenaBacked and are never individually freed; the destructor
+  /// unmaps whole arenas instead.
+  bool hugepages_ = false;
+  std::atomic<bool> hugepages_ok_{true};  ///< first-failure latch
+  std::atomic<std::uint64_t> hugepage_bytes_{0};
+  struct Arena {
+    void* base = nullptr;
+    std::size_t bytes = 0;
+  };
+  std::mutex arenas_mutex_;
+  std::vector<Arena> arenas_;
 
   /// Thread caches registered for this pool; guarded by the process-wide
   /// cache registry mutex in pool.cpp (registration and teardown only -

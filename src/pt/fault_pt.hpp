@@ -92,7 +92,10 @@ class FaultInjectingTransport final : public core::TransportDevice {
 
  protected:
   /// The executive's end-of-batch flush reaches the decorator (it is the
-  /// installed device); the wrapped transport holds the corked sends.
+  /// installed device); the wrapped transport holds the corked sends. On
+  /// a sharded executive any dispatch shard's end-of-batch may call this
+  /// (the executive serializes the calls) - pure forwarding, so the
+  /// inner transport's own cork discipline carries the thread safety.
   void on_transport_flush() override { inner_->transport_flush(); }
 
   Status on_enable() override { return transport_up(); }

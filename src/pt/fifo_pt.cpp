@@ -64,6 +64,8 @@ Status FifoTransport::transport_send_frame(i2o::NodeId dst,
 }
 
 void FifoTransport::on_transport_poll() {
+  // Runs on dispatch shard 0 (the executive's polling owner);
+  // deliver_from_wire then fans each frame out to its target's shard.
   auto& fifo = link_->fifo_towards(endpoint_);
   while (auto slot = fifo.try_pop()) {
     if (slot->ref.valid()) {

@@ -112,7 +112,9 @@ void GmPeerTransport::on_transport_poll() {
   if (port_ == nullptr) {
     return;
   }
-  // Drain everything deliverable this scan.
+  // Drain everything deliverable this scan. Polling PTs are pumped only
+  // by dispatch shard 0; deliver_from_wire routes each frame to the
+  // target TiD's owning shard.
   while (auto ev = port_->poll()) {
     deliver(*ev, rdtsc());
   }

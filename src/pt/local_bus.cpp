@@ -63,6 +63,8 @@ Status LocalBusTransport::transport_send_frame(i2o::NodeId dst,
   forwarded_.fetch_add(1, std::memory_order_relaxed);
   // Zero wire bytes touched: the peer executive takes the very same
   // pooled reference (its dispatch recycles through the owning pool).
+  // deliver_from_wire routes by target TiD, so on a sharded peer the
+  // frame lands directly on its owning dispatch shard's inbound queue.
   return peer->executive().deliver_from_wire(
       executive().node_id(), peer->tid(), std::move(frame), rdtsc());
 }

@@ -365,7 +365,10 @@ Status TcpPeerTransport::write_entry(Connection& conn, PendingSend entry,
     // Handler send mid-dispatch-batch: cork it. The executive's
     // end-of-batch transport_flush() (or the maintenance tick, if this
     // send raced the tail of the batch) puts it on the wire in one
-    // gathered syscall with the rest of the batch's replies.
+    // gathered syscall with the rest of the batch's replies. With a
+    // sharded executive the flush may come from a sibling shard's
+    // end-of-batch; corked_ is an atomic and the drain runs under
+    // write_mutex, so who flushes does not matter.
     corked_.store(true, std::memory_order_release);
     return Status::ok();
   }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
 
 #include "core/factory.hpp"
@@ -194,6 +195,65 @@ TEST(Executive, DefaultConfigKeepsSingleMessageSemantics) {
     EXPECT_EQ(exec.stats().dispatched, 8u);
     EXPECT_LT(exec.stats().dispatch_batches, 8u);  // amortized
   }
+}
+
+// The per-device dispatch table is a searched perfect hash; it must be
+// observably equivalent to the handler map it is built from: every bound
+// key - including adversarial ones sharing low bits - reaches exactly its
+// own handler, and unbound keys that alias an occupied slot are rejected.
+TEST(Executive, PerfectHashDispatchMatchesHandlerMap) {
+  class ManyFnDevice : public Device {
+   public:
+    ManyFnDevice() : Device("ManyFnDevice") {
+      // 16 keys with identical low bytes: a naive "mask the low bits"
+      // table would collide on every one of them.
+      for (std::uint16_t i = 0; i < 16; ++i) {
+        const std::uint16_t xfn = static_cast<std::uint16_t>(0x0100 * i + 0x42);
+        bind(i2o::OrgId::kTest, xfn, [this, i](const MessageContext&) {
+          ++hits_[i];
+        });
+      }
+    }
+    std::array<std::atomic<std::uint32_t>, 16> hits_{};
+  };
+
+  Executive exec;
+  auto dev = std::make_unique<ManyFnDevice>();
+  ManyFnDevice* raw = dev.get();
+  const auto tid = exec.install(std::move(dev), "many").value();
+  ASSERT_TRUE(exec.enable_all().is_ok());
+
+  auto send = [&](std::uint16_t xfn) {
+    auto frame = exec.alloc_frame(0, true);
+    ASSERT_TRUE(frame.is_ok());
+    i2o::FrameHeader hdr;
+    hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+    hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kTest);
+    hdr.xfunction = xfn;
+    hdr.target = tid;
+    auto bytes = frame.value().bytes();
+    ASSERT_TRUE(i2o::encode_header(hdr, bytes).is_ok());
+    ASSERT_TRUE(exec.frame_send(std::move(frame).value()).is_ok());
+  };
+
+  for (std::uint16_t i = 0; i < 16; ++i) {
+    send(static_cast<std::uint16_t>(0x0100 * i + 0x42));
+  }
+  // Unbound keys guaranteed to alias SOME occupied slot in any table of
+  // 32 or fewer entries: 33 distinct keys into <= 32 slots must collide.
+  for (std::uint16_t i = 16; i < 49; ++i) {
+    send(static_cast<std::uint16_t>(0x0100 * i + 0x42));
+  }
+  ASSERT_TRUE(pump_until(exec, [&] {
+    const auto s = exec.stats();
+    return s.dispatched >= 16 && s.default_handled >= 33;
+  }));
+  for (std::uint16_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(raw->hits_[i].load(), 1u) << "xfunction slot " << i;
+  }
+  // All 33 unbound keys fell through to the default (fail-reply) path:
+  // key compare in the table rejected every alias.
+  EXPECT_EQ(exec.stats().default_handled, 33u);
 }
 
 TEST(Executive, RequesterPrivateEcho) {

@@ -540,5 +540,54 @@ TEST(PoolThreading, ConcurrentAllocateRelease) {
   EXPECT_EQ(s.outstanding, 0u);
 }
 
+TEST(TablePoolHugepages, OffByDefaultAndReportsZero) {
+  TablePool pool;
+  EXPECT_FALSE(pool.hugepages_active());
+  auto r = pool.allocate(1024);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(pool.stats().hugepage_bytes, 0u);
+  EXPECT_EQ(r.value().bytes().size(), 1024u);
+}
+
+// With hugepages requested, growth either carves 2 MiB arenas (hugepage
+// bytes a positive multiple of 2 MiB, many blocks per grow) or - on a
+// system with no hugepages reserved, the common CI case - latches the
+// feature off after the first failed mmap and falls back to heap blocks.
+// Allocation semantics must be identical either way.
+TEST(TablePoolHugepages, ArenaCarvingOrGracefulFallback) {
+  TablePool pool(TablePool::kDefaultMinClass, /*hugepages=*/true);
+  std::vector<FrameRef> held;
+  for (int i = 0; i < 64; ++i) {
+    auto r = pool.allocate(4096);
+    ASSERT_TRUE(r.is_ok());
+    std::memset(r.value().bytes().data(), 0x5A, r.value().bytes().size());
+    held.push_back(std::move(r).value());
+  }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.outstanding, 64u);
+  constexpr std::uint64_t kHuge = 2ull * 1024 * 1024;
+  if (pool.hugepages_active()) {
+    EXPECT_GT(s.hugepage_bytes, 0u);
+    EXPECT_EQ(s.hugepage_bytes % kHuge, 0u);
+    // A whole arena was carved for the first 4 KiB-class grow: far more
+    // free blocks than the 64 we took out.
+    EXPECT_GT(s.grows, 64u);
+  } else {
+    EXPECT_EQ(s.hugepage_bytes, 0u);
+  }
+  held.clear();
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(TablePoolHugepages, WarmThreadCacheRegistersEagerly) {
+  TablePool pool;
+  EXPECT_EQ(pool.thread_cached_blocks(), 0u);
+  pool.warm_thread_cache();  // registers the cache, allocates no blocks
+  EXPECT_EQ(pool.thread_cached_blocks(), 0u);
+  { auto r = pool.allocate(256); }
+  // The recycle fast path stashes into the pre-registered cache.
+  EXPECT_EQ(pool.thread_cached_blocks(), 1u);
+}
+
 }  // namespace
 }  // namespace xdaq::mem
