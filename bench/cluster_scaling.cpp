@@ -1,0 +1,311 @@
+// cluster_scaling.cpp - weak-scaling event builder at 8..64 in-process
+// nodes.
+//
+// The paper's deployment wires a handful of nodes; the cluster fabric
+// (gossip membership + TiD->node routing) exists so the same executive
+// scales to a processing cluster. This bench stands up the n x m
+// event builder at 8, 16, 32 and 64 nodes on one host and measures
+// aggregate assembled bandwidth. Readout units are PACED (one Allocate
+// batch every --pace-us) so each node contributes a fixed trigger rate:
+// on a single core the aggregate is then limited by the fabric's
+// dispatch and wire paths, not by how fast one free-running RU can
+// spin. Ideal weak scaling is bandwidth proportional to the readout
+// count; the committed floor asserts the 64-node aggregate at >= 4x
+// the 8-node figure (ideal is 8x - the readout count ratio).
+//
+// The 64-node arm embeds the event-manager node's metrics snapshot in
+// BENCH_cluster.json so a regression in the relay/dispatch counters is
+// visible next to the throughput it cost.
+//
+// The run also exercises the relay fabric's loop guard as a CI
+// invariant: a deliberately looped route (two nodes each claiming the
+// other is the way to an unreachable third) must burn the envelope TTL
+// and drop it - never deliver, never circulate. Exit is nonzero when
+// the guard fails or the scaling floor is missed.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/monitor_device.hpp"
+#include "core/requester.hpp"
+#include "daq/topology.hpp"
+#include "pt/cluster.hpp"
+#include "util/cli.hpp"
+
+namespace xdaq::bench {
+namespace {
+
+struct ArmParams {
+  std::size_t nodes = 8;
+  std::uint64_t events = 240;
+  std::size_t fragment_bytes = 512;
+  std::uint64_t pace_us = 32000;
+  std::uint32_t batch = 8;
+  std::size_t recv_buffers = 256;
+  std::size_t buffer_bytes = 4096;
+};
+
+struct ArmResult {
+  double mbytes_per_s = 0;
+  double events_per_s = 0;
+  bool complete = false;
+};
+
+/// Readouts take half the nodes, the event manager one, builders the
+/// rest: 8 -> 4x3, 64 -> 32x31.
+std::size_t readouts_for(std::size_t nodes) { return nodes / 2; }
+
+ArmResult run_arm(const ArmParams& a, std::string* snapshot_json) {
+  daq::EventBuilderParams p;
+  p.readouts = readouts_for(a.nodes);
+  p.builders = a.nodes - 1 - p.readouts;
+  p.fragment_bytes = a.fragment_bytes;
+  p.max_events = a.events;
+  p.batch = a.batch;
+  p.pace_ns = a.pace_us * 1000;
+
+  pt::ClusterConfig cfg;
+  cfg.nodes = a.nodes;
+  // Task-mode GM with small receive rings: the default 300 KiB buffers
+  // exist for jumbo frames; at 64 nodes they would cost ~600 MB.
+  cfg.peer.mode = core::TransportDevice::Mode::Task;
+  cfg.peer.receive_buffers = a.recv_buffers;
+  cfg.peer.buffer_bytes = a.buffer_bytes;
+  pt::Cluster cluster(cfg);
+
+  auto topo = daq::EventBuilderTopology::build(cluster, p);
+  if (!topo.is_ok()) {
+    std::fprintf(stderr, "topology build failed: %s\n",
+                 topo.status().to_string().c_str());
+    return {};
+  }
+  core::MonitorDevice* mon = nullptr;
+  if (snapshot_json != nullptr) {
+    auto monitor = std::make_unique<core::MonitorDevice>();
+    mon = monitor.get();
+    // The EVM node sees every Allocate round trip - the busiest node.
+    (void)cluster.install(p.readouts + p.builders, std::move(monitor),
+                          "monitor");
+  }
+  if (Status st = cluster.enable_all(); !st.is_ok()) {
+    std::fprintf(stderr, "enable failed: %s\n", st.to_string().c_str());
+    return {};
+  }
+  const std::uint64_t t0 = now_ns();
+  cluster.start_all();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(100);
+  while (!topo.value().complete() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double secs = static_cast<double>(now_ns() - t0) / 1e9;
+  ArmResult r;
+  r.complete = topo.value().complete();
+  r.events_per_s = static_cast<double>(topo.value().events_built()) / secs;
+  r.mbytes_per_s = static_cast<double>(topo.value().bytes_built()) / secs / 1e6;
+  if (mon != nullptr) {
+    *snapshot_json = mon->snapshot_json();
+  }
+  cluster.stop_all();
+  return r;
+}
+
+/// CI invariant: a routing loop must die by TTL, not circulate. Two
+/// nodes each claim the other relays to node 2, which has no transport
+/// at all; the envelope ping-pongs until a hop sees TTL <= 1 and drops.
+bool relay_loop_guard_holds() {
+  pt::ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.full_mesh = false;
+  pt::Cluster cluster(cfg);
+  (void)cluster.node(0).set_route(cluster.node_id(1),
+                                  cluster.transport(0).tid());
+  (void)cluster.node(1).set_route(cluster.node_id(0),
+                                  cluster.transport(1).tid());
+  cluster.relay_route(0, 2, 1);
+  cluster.relay_route(1, 2, 0);
+
+  auto req = std::make_unique<core::Requester>();
+  core::Requester* req_raw = req.get();
+  (void)cluster.install(0, std::move(req), "req");
+  auto proxy = cluster.node(0).resolver().resolve(cluster.node_id(2),
+                                                  i2o::kExecutiveTid);
+  if (!proxy.is_ok()) {
+    return false;
+  }
+  (void)cluster.enable_all();
+  cluster.start_all();
+
+  auto reply = req_raw->call_private(
+      proxy.value(), i2o::OrgId::kBench, 0x0042, {},
+      core::CallOptions{.timeout = std::chrono::milliseconds(200)});
+  if (reply.is_ok()) {
+    return false;  // nothing should ever answer
+  }
+  const auto counter = [&](std::size_t i, const char* name) {
+    return cluster.node(i)
+        .metrics()
+        .counter(std::string("cluster.relay.") + name)
+        .value();
+  };
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::seconds(2);
+  while (counter(0, "dropped_ttl") + counter(1, "dropped_ttl") == 0) {
+    if (std::chrono::steady_clock::now() > until) {
+      return false;  // the envelope never died
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The dark node must never have seen a delivery.
+  return counter(2, "delivered") == 0;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+int run(int argc, const char* const* argv) {
+  CliParser cli;
+  cli.flag("events", "events assembled per rep", std::int64_t{240})
+      .flag("reps", "repetitions per arm (median)", std::int64_t{5})
+      .flag("pace-us", "per-RU Allocate period (us)", std::int64_t{32000})
+      .flag("fragment", "fragment payload bytes", std::int64_t{512})
+      .flag("batch", "events per Allocate batch", std::int64_t{8})
+      .flag("recv-buffers", "GM receive ring depth per node",
+            std::int64_t{256})
+      .flag("buffer-bytes", "GM receive buffer size", std::int64_t{4096});
+  if (Status st = cli.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n%s", st.to_string().c_str(),
+                 cli.usage("cluster_scaling").c_str());
+    return 1;
+  }
+  ArmParams base;
+  base.events = static_cast<std::uint64_t>(cli.get_int("events"));
+  base.pace_us = static_cast<std::uint64_t>(cli.get_int("pace-us"));
+  base.fragment_bytes = static_cast<std::size_t>(cli.get_int("fragment"));
+  base.batch = static_cast<std::uint32_t>(cli.get_int("batch"));
+  base.recv_buffers = static_cast<std::size_t>(cli.get_int("recv-buffers"));
+  base.buffer_bytes = static_cast<std::size_t>(cli.get_int("buffer-bytes"));
+  const auto reps = static_cast<unsigned>(
+      std::max<std::int64_t>(cli.get_int("reps"), 1));
+
+  std::printf("=== Cluster scaling: paced event builder, %llu events/rep, "
+              "pace %llu us, fragment %zu B ===\n\n",
+              static_cast<unsigned long long>(base.events),
+              static_cast<unsigned long long>(base.pace_us),
+              base.fragment_bytes);
+
+  const std::size_t arms[] = {8, 16, 32, 64};
+  std::vector<double> med_mbps(4);
+  std::vector<double> med_evps(4);
+  std::vector<std::vector<double>> samples(4);
+  std::string snapshot_json;
+  bool all_complete = true;
+  std::printf("%8s %8s %8s %14s %12s\n", "nodes", "RUs", "BUs",
+              "events/s", "MB/s");
+  for (std::size_t a = 0; a < 4; ++a) {
+    ArmParams ap = base;
+    ap.nodes = arms[a];
+    std::vector<double> evps;
+    for (unsigned r = 0; r < reps; ++r) {
+      const bool snap = (arms[a] == 64 && r == reps - 1);
+      const ArmResult res = run_arm(ap, snap ? &snapshot_json : nullptr);
+      all_complete = all_complete && res.complete;
+      samples[a].push_back(res.mbytes_per_s);
+      evps.push_back(res.events_per_s);
+    }
+    med_mbps[a] = median(samples[a]);
+    med_evps[a] = median(evps);
+    std::printf("%8zu %8zu %8zu %14.0f %12.2f\n", arms[a],
+                readouts_for(arms[a]), arms[a] - 1 - readouts_for(arms[a]),
+                med_evps[a], med_mbps[a]);
+  }
+
+  const double scaling = med_mbps[0] > 0 ? med_mbps[3] / med_mbps[0] : 0.0;
+  std::printf("\n64-node / 8-node aggregate bandwidth: %.2fx "
+              "(floor 4.00x, ideal %.2fx)\n",
+              scaling,
+              static_cast<double>(readouts_for(64)) /
+                  static_cast<double>(readouts_for(8)));
+
+  const bool guard_ok = relay_loop_guard_holds();
+  std::printf("relay loop guard (TTL drops a looped route): %s\n",
+              guard_ok ? "PASS" : "FAIL");
+
+  if (std::FILE* f = std::fopen("BENCH_cluster.json", "w")) {
+    auto arr = [](const std::vector<double>& v) {
+      std::string s = "[";
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%s%.2f", i ? ", " : "", v[i]);
+        s += buf;
+      }
+      return s + "]";
+    };
+    std::fprintf(f,
+                 "{\n"
+                 "  \"events\": %llu,\n"
+                 "  \"pace_us\": %llu,\n"
+                 "  \"fragment_bytes\": %zu,\n"
+                 "  \"batch\": %u,\n"
+                 "  \"reps\": %u,\n"
+                 "  \"nodes8_mbytes_per_sec\": %.2f,\n"
+                 "  \"nodes16_mbytes_per_sec\": %.2f,\n"
+                 "  \"nodes32_mbytes_per_sec\": %.2f,\n"
+                 "  \"nodes64_mbytes_per_sec\": %.2f,\n"
+                 "  \"nodes8_events_per_sec\": %.0f,\n"
+                 "  \"nodes16_events_per_sec\": %.0f,\n"
+                 "  \"nodes32_events_per_sec\": %.0f,\n"
+                 "  \"nodes64_events_per_sec\": %.0f,\n"
+                 "  \"nodes8_samples\": %s,\n"
+                 "  \"nodes16_samples\": %s,\n"
+                 "  \"nodes32_samples\": %s,\n"
+                 "  \"nodes64_samples\": %s,\n"
+                 "  \"scaling_64_over_8\": %.3f,\n"
+                 "  \"floor_64_over_8\": 4.0,\n"
+                 "  \"relay_loop_guard\": %s,\n"
+                 "  \"snapshot_nodes64\": %s\n"
+                 "}\n",
+                 static_cast<unsigned long long>(base.events),
+                 static_cast<unsigned long long>(base.pace_us),
+                 base.fragment_bytes, base.batch, reps, med_mbps[0],
+                 med_mbps[1], med_mbps[2], med_mbps[3], med_evps[0],
+                 med_evps[1], med_evps[2], med_evps[3],
+                 arr(samples[0]).c_str(), arr(samples[1]).c_str(),
+                 arr(samples[2]).c_str(), arr(samples[3]).c_str(), scaling,
+                 guard_ok ? "true" : "false",
+                 snapshot_json.empty() ? "{}" : snapshot_json.c_str());
+    std::fclose(f);
+    std::printf("wrote BENCH_cluster.json\n");
+  }
+
+  if (!all_complete) {
+    std::fprintf(stderr, "FAIL: an arm timed out before assembling all "
+                         "events\n");
+    return 1;
+  }
+  if (!guard_ok) {
+    std::fprintf(stderr, "FAIL: relay loop guard did not drop the looped "
+                         "envelope\n");
+    return 1;
+  }
+  if (scaling < 4.0) {
+    std::fprintf(stderr,
+                 "FAIL: 64-node aggregate %.2fx the 8-node figure is below "
+                 "the 4.0x floor\n",
+                 scaling);
+    return 1;
+  }
+  std::printf("\nshape check: 64-node >= 4x 8-node aggregate -> PASS\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xdaq::bench
+
+int main(int argc, char** argv) { return xdaq::bench::run(argc, argv); }

@@ -82,7 +82,7 @@ XdaqResult xdaq_oneway_ns(const gmsim::FabricConfig& cfg,
   pt::ClusterConfig cluster_cfg;
   cluster_cfg.nodes = 2;
   cluster_cfg.fabric = cfg;
-  cluster_cfg.transport.mode = mode;
+  cluster_cfg.peer.mode = mode;
   cluster_cfg.exec.pool_kind = pool;
   pt::Cluster cluster(cluster_cfg);
 

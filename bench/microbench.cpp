@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "cluster/resolver.hpp"
 #include "core/address_table.hpp"
 #include "core/device.hpp"
 #include "core/scheduler.hpp"
@@ -142,13 +143,20 @@ void BM_AddressTableLookup(benchmark::State& state) {
 BENCHMARK(BM_AddressTableLookup);
 
 void BM_ProxyInternExisting(benchmark::State& state) {
-  // Re-interning an existing proxy: the receive-path cost per message.
+  // Re-resolving an existing proxy through the resolver facade: the
+  // receive-path cost per message (route lookup + shared-lock table hit).
   core::AddressTable table;
   NullDevice pt;
   const auto pt_tid = table.allocate_local(&pt).value();
-  (void)table.intern_proxy(7, 42, pt_tid);
+  cluster::Resolver resolver(
+      1, [&table](i2o::NodeId node, i2o::Tid remote, i2o::Tid via,
+                  const std::string&) {
+        return table.intern_proxy(node, remote, via);
+      });
+  resolver.routes().set_direct(7, pt_tid);
+  (void)resolver.resolve(7, 42);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(table.intern_proxy(7, 42, pt_tid));
+    benchmark::DoNotOptimize(resolver.resolve(7, 42));
   }
 }
 BENCHMARK(BM_ProxyInternExisting);

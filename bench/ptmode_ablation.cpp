@@ -52,7 +52,7 @@ double oneway_us(core::TransportDevice::Mode mode, int slow_pts,
                  std::uint64_t calls) {
   pt::ClusterConfig cfg;
   cfg.nodes = 2;
-  cfg.transport.mode = mode;
+  cfg.peer.mode = mode;
   pt::Cluster cluster(cfg);
   for (int i = 0; i < slow_pts; ++i) {
     for (std::size_t node = 0; node < 2; ++node) {

@@ -1,0 +1,184 @@
+#include "cluster/gossip.hpp"
+
+#include "cluster/relay.hpp"
+#include "cluster/resolver.hpp"
+#include "core/executive.hpp"
+#include "i2o/wire.hpp"
+
+namespace xdaq::cluster {
+
+GossipDevice::GossipDevice(i2o::NodeId self, Config cfg)
+    : Device("GossipDevice"),
+      cfg_(cfg),
+      map_(self),
+      rng_(cfg.seed ^ (0x9E3779B97F4A7C15ULL * (self + 1))) {}
+
+void GossipDevice::plugin() {
+  auto& metrics = executive().metrics();
+  sent_ = &metrics.counter("cluster.gossip.sent");
+  received_ = &metrics.counter("cluster.gossip.received");
+  changes_ = &metrics.counter("cluster.gossip.changes");
+  suspected_ = &metrics.counter("cluster.gossip.suspected");
+  deaths_ = &metrics.counter("cluster.gossip.dead");
+}
+
+Status GossipDevice::on_enable() {
+  if (cfg_.period.count() > 0 && timer_id_ == 0) {
+    timer_id_ = executive().arm_timer(tid(), cfg_.period, cfg_.period);
+  }
+  return Status::ok();
+}
+
+Status GossipDevice::on_halt() {
+  if (timer_id_ != 0) {
+    (void)executive().cancel_timer(timer_id_);
+    timer_id_ = 0;
+  }
+  return Status::ok();
+}
+
+void GossipDevice::on_timer(std::uint32_t timer_id) {
+  (void)timer_id;
+  tick();
+}
+
+std::vector<std::byte> GossipDevice::make_payload() const {
+  const std::vector<std::byte> encoded = map_.encode();
+  std::vector<std::byte> payload(2 + encoded.size());
+  i2o::put_u16(payload, 0, map_.self());
+  std::copy(encoded.begin(), encoded.end(), payload.begin() + 2);
+  return payload;
+}
+
+void GossipDevice::push_to(i2o::NodeId peer,
+                           std::span<const std::byte> payload) {
+  if (!attached()) {
+    return;
+  }
+  // Gossip is always addressed to the peer's executive kernel: TiD 1
+  // exists on every node, so no per-device discovery is needed.
+  auto proxy = executive().resolver().resolve(peer, i2o::kExecutiveTid);
+  if (!proxy.is_ok()) {
+    return;
+  }
+  auto frame = make_private_frame(proxy.value(), i2o::OrgId::kXdaq,
+                                  kXfnGossip, payload);
+  if (!frame.is_ok()) {
+    return;
+  }
+  if (frame_send(std::move(frame).value()).is_ok() && sent_ != nullptr) {
+    sent_->add(1);
+  }
+}
+
+void GossipDevice::tick() {
+  const std::uint64_t t = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // 1. Failure detection on quiet peers.
+  std::vector<i2o::NodeId> to_suspect;
+  std::vector<i2o::NodeId> to_kill;
+  {
+    const std::scoped_lock lock(mutex_);
+    for (const Member& m : map_.members()) {
+      if (m.node == map_.self() || m.status == MemberStatus::Dead) {
+        continue;
+      }
+      const auto [it, first_sight] = last_heard_.try_emplace(m.node, t);
+      if (first_sight) {
+        continue;  // the quiet clock starts at first sight
+      }
+      const std::uint64_t quiet = t - it->second;
+      if (quiet >= cfg_.dead_after) {
+        to_kill.push_back(m.node);
+      } else if (quiet >= cfg_.suspect_after) {
+        to_suspect.push_back(m.node);
+      }
+    }
+  }
+  for (const i2o::NodeId node : to_suspect) {
+    if (map_.suspect(node) && suspected_ != nullptr) {
+      suspected_->add(1);
+    }
+  }
+  for (const i2o::NodeId node : to_kill) {
+    if (map_.confirm_dead(node) && deaths_ != nullptr) {
+      deaths_->add(1);
+    }
+  }
+
+  // 2. Push the map to `fanout` random Alive peers.
+  const std::vector<std::byte> payload = make_payload();
+  std::vector<i2o::NodeId> alive =
+      map_.peers_with_status(MemberStatus::Alive);
+  for (std::size_t i = 0; i < cfg_.fanout && !alive.empty(); ++i) {
+    const std::size_t j = static_cast<std::size_t>(rng_.below(alive.size()));
+    push_to(alive[j], payload);
+    alive[j] = alive.back();
+    alive.pop_back();
+  }
+
+  // 3. Probe one non-Alive peer round-robin. Without this, two halves of
+  // a healed partition would each keep the other Dead forever: nobody
+  // gossips to the dead, so the refutation cycle never starts.
+  std::vector<i2o::NodeId> gone =
+      map_.peers_with_status(MemberStatus::Suspect);
+  const std::vector<i2o::NodeId> dead =
+      map_.peers_with_status(MemberStatus::Dead);
+  gone.insert(gone.end(), dead.begin(), dead.end());
+  if (!gone.empty()) {
+    std::size_t cursor;
+    {
+      const std::scoped_lock lock(mutex_);
+      cursor = probe_cursor_++;
+    }
+    push_to(gone[cursor % gone.size()], payload);
+  }
+}
+
+void GossipDevice::on_gossip(std::span<const std::byte> payload) {
+  if (payload.size() < 2) {
+    return;
+  }
+  const i2o::NodeId sender = i2o::get_u16(payload, 0);
+  auto decoded = MemberMap::decode(payload.subspan(2));
+  if (!decoded.is_ok()) {
+    return;
+  }
+  if (received_ != nullptr) {
+    received_->add(1);
+  }
+  const std::size_t changed = map_.merge(decoded.value());
+  if (changed > 0 && changes_ != nullptr) {
+    changes_->add(changed);
+  }
+  map_.note_alive(sender);
+  {
+    const std::uint64_t t = tick_.load(std::memory_order_relaxed);
+    const std::scoped_lock lock(mutex_);
+    last_heard_[sender] = t;
+    for (const Member& m : decoded.value().members) {
+      last_heard_.try_emplace(m.node, t);
+    }
+  }
+  // Route learning: members we cannot reach at all become relay-routed
+  // through the peer that told us about them.
+  if (attached()) {
+    RouteTable& routes = executive().resolver().routes();
+    for (const Member& m : decoded.value().members) {
+      if (m.node == map_.self() || m.status == MemberStatus::Dead) {
+        continue;
+      }
+      if (routes.next_hop(m.node).kind == NextHop::Kind::None) {
+        routes.set_relay(m.node, sender);
+      }
+    }
+  }
+}
+
+void GossipDevice::on_peer_down(i2o::NodeId node) {
+  if (map_.suspect(node) && suspected_ != nullptr) {
+    suspected_->add(1);
+  }
+}
+
+}  // namespace xdaq::cluster

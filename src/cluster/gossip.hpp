@@ -1,0 +1,97 @@
+// gossip.hpp - SWIM-style membership dissemination over I2O frames.
+//
+// One GossipDevice runs per node. Every protocol period (a core timer,
+// or an explicit tick() in deterministic tests) it:
+//   1. runs the failure detector: peers quiet for `suspect_after` periods
+//      become Suspect, for `dead_after` periods Dead;
+//   2. picks `fanout` random Alive peers and pushes its full member map
+//      to each (dissemination doubles as the heartbeat);
+//   3. probes one non-Alive peer round-robin - the "gossip to the dead"
+//      step without which two sides of a healed partition would keep each
+//      other Dead forever.
+// Inbound gossip arrives through the executive's kernel (kXdaq/kXfnGossip
+// frames are addressed to TiD 1, which every node has) and is forwarded
+// to on_gossip() via Executive::set_gossip_sink.
+//
+// Gossip payload: [u16 sender node] ++ MemberMap wire encoding.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "cluster/member_map.hpp"
+#include "core/device.hpp"
+#include "obs/metrics.hpp"
+#include "util/random.hpp"
+
+namespace xdaq::cluster {
+
+class GossipDevice final : public core::Device {
+ public:
+  struct Config {
+    /// Protocol period. 0 disables the timer; tests drive tick() by hand.
+    std::chrono::nanoseconds period = std::chrono::milliseconds(20);
+    /// Quiet periods after which a peer is suspected / declared dead.
+    std::uint32_t suspect_after = 4;
+    std::uint32_t dead_after = 10;
+    /// Alive peers pushed to per period.
+    std::size_t fanout = 2;
+    std::uint64_t seed = 1;
+  };
+
+  explicit GossipDevice(i2o::NodeId self) : GossipDevice(self, Config{}) {}
+  GossipDevice(i2o::NodeId self, Config cfg);
+
+  [[nodiscard]] MemberMap& map() noexcept { return map_; }
+  [[nodiscard]] const MemberMap& map() const noexcept { return map_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint64_t ticks() const noexcept {
+    return tick_.load(std::memory_order_relaxed);
+  }
+
+  /// One protocol period: failure detection + dissemination. Also the
+  /// timer callback; callable directly for deterministic tests.
+  void tick();
+
+  /// Inbound gossip payload (wired via Executive::set_gossip_sink).
+  void on_gossip(std::span<const std::byte> payload);
+
+  /// Transport-liveness hint (wired via Executive::add_peer_state_listener):
+  /// a peer the transport lost is suspected without waiting out the
+  /// quiet-period budget.
+  void on_peer_down(i2o::NodeId node);
+
+ protected:
+  void plugin() override;
+  Status on_enable() override;
+  Status on_halt() override;
+  void on_timer(std::uint32_t timer_id) override;
+
+ private:
+  std::vector<std::byte> make_payload() const;
+  void push_to(i2o::NodeId peer, std::span<const std::byte> payload);
+
+  Config cfg_;
+  MemberMap map_;
+  Rng rng_;
+
+  std::mutex mutex_;  ///< guards last_heard_ and probe_cursor_
+  std::map<i2o::NodeId, std::uint64_t> last_heard_;
+  std::size_t probe_cursor_ = 0;
+
+  std::atomic<std::uint64_t> tick_{0};
+  std::uint32_t timer_id_ = 0;
+
+  obs::Counter* sent_ = nullptr;
+  obs::Counter* received_ = nullptr;
+  obs::Counter* changes_ = nullptr;
+  obs::Counter* suspected_ = nullptr;
+  obs::Counter* deaths_ = nullptr;
+};
+
+}  // namespace xdaq::cluster

@@ -1,0 +1,77 @@
+#include "cluster/hash_ring.hpp"
+
+namespace xdaq::cluster {
+
+std::uint64_t stable_hash(std::string_view key) noexcept {
+  // FNV-1a 64-bit with a final avalanche mix (splitmix64 finalizer) so
+  // short numeric keys spread over the whole ring.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+namespace {
+std::uint64_t vnode_point(i2o::NodeId node, std::size_t replica) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "n%u#%zu",
+                              static_cast<unsigned>(node), replica);
+  return stable_hash(std::string_view(buf, static_cast<std::size_t>(n)));
+}
+}  // namespace
+
+void HashRing::add_node(i2o::NodeId node) {
+  if (node == i2o::kNullNode || contains(node)) {
+    return;
+  }
+  for (std::size_t r = 0; r < vnodes_; ++r) {
+    // emplace keeps an existing point's owner on the (astronomically
+    // unlikely) collision, which keeps add/remove symmetric.
+    ring_.emplace(vnode_point(node, r), node);
+  }
+  ++nodes_;
+}
+
+void HashRing::remove_node(i2o::NodeId node) {
+  if (!contains(node)) {
+    return;
+  }
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  --nodes_;
+}
+
+bool HashRing::contains(i2o::NodeId node) const {
+  for (const auto& [point, owner] : ring_) {
+    if (owner == node) {
+      return true;
+    }
+  }
+  return false;
+}
+
+i2o::NodeId HashRing::lookup(std::string_view key) const {
+  return lookup(stable_hash(key));
+}
+
+i2o::NodeId HashRing::lookup(std::uint64_t hash) const {
+  if (ring_.empty()) {
+    return i2o::kNullNode;
+  }
+  const auto it = ring_.lower_bound(hash);
+  return it == ring_.end() ? ring_.begin()->second : it->second;
+}
+
+}  // namespace xdaq::cluster

@@ -1,0 +1,45 @@
+// hash_ring.hpp - consistent-hash placement of device instances.
+//
+// The cluster layer places sharded device instances (readout units,
+// builder units, service replicas) onto nodes by consistent hashing:
+// each node contributes `vnodes` points on a 64-bit ring, and a key is
+// owned by the first point at or clockwise after hash(key). Adding or
+// removing one node remaps only ~1/N of the keys - the property that
+// makes dynamic membership (gossip) and placement compose.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "i2o/types.hpp"
+
+namespace xdaq::cluster {
+
+/// FNV-1a 64-bit; deterministic across platforms and runs.
+[[nodiscard]] std::uint64_t stable_hash(std::string_view key) noexcept;
+
+class HashRing {
+ public:
+  explicit HashRing(std::size_t vnodes = 64) : vnodes_(vnodes) {}
+
+  void add_node(i2o::NodeId node);
+  void remove_node(i2o::NodeId node);
+  [[nodiscard]] bool contains(i2o::NodeId node) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+
+  /// The node owning `key`; kNullNode when the ring is empty.
+  [[nodiscard]] i2o::NodeId lookup(std::string_view key) const;
+  [[nodiscard]] i2o::NodeId lookup(std::uint64_t hash) const;
+
+ private:
+  std::size_t vnodes_;
+  std::size_t nodes_ = 0;
+  /// ring point -> owning node. A std::map keeps lower_bound cheap at
+  /// the scale a ring sees (hundreds of points, mutated rarely).
+  std::map<std::uint64_t, i2o::NodeId> ring_;
+};
+
+}  // namespace xdaq::cluster

@@ -1,0 +1,229 @@
+#include "cluster/member_map.hpp"
+
+#include "i2o/wire.hpp"
+
+namespace xdaq::cluster {
+
+std::string_view to_string(MemberStatus s) noexcept {
+  switch (s) {
+    case MemberStatus::Alive:
+      return "Alive";
+    case MemberStatus::Suspect:
+      return "Suspect";
+    case MemberStatus::Dead:
+      return "Dead";
+  }
+  return "?";
+}
+
+std::uint64_t MemberMap::version() const {
+  const std::scoped_lock lock(mutex_);
+  return version_;
+}
+
+std::uint32_t MemberMap::self_incarnation() const {
+  const std::scoped_lock lock(mutex_);
+  return members_.at(self_).incarnation;
+}
+
+bool MemberMap::wins(const Member& challenger, const Member& incumbent) {
+  if (challenger.incarnation != incumbent.incarnation) {
+    return challenger.incarnation > incumbent.incarnation;
+  }
+  return static_cast<std::uint8_t>(challenger.status) >
+         static_cast<std::uint8_t>(incumbent.status);
+}
+
+bool MemberMap::observe_locked(const Member& claim) {
+  if (claim.node == i2o::kNullNode) {
+    return false;
+  }
+  if (claim.node == self_) {
+    // Rumours about self: anything un-Alive at our incarnation (or
+    // ahead of it) is refuted by overtaking the rumour's incarnation.
+    Member& me = members_[self_];
+    if (claim.status != MemberStatus::Alive &&
+        claim.incarnation >= me.incarnation) {
+      me.incarnation = claim.incarnation + 1;
+      me.status = MemberStatus::Alive;
+      ++version_;
+      return true;
+    }
+    return false;
+  }
+  const auto it = members_.find(claim.node);
+  if (it == members_.end()) {
+    members_[claim.node] = claim;
+    ++version_;
+    return true;
+  }
+  if (wins(claim, it->second)) {
+    it->second = claim;
+    ++version_;
+    return true;
+  }
+  return false;
+}
+
+bool MemberMap::observe(const Member& claim) {
+  const std::scoped_lock lock(mutex_);
+  return observe_locked(claim);
+}
+
+bool MemberMap::suspect(i2o::NodeId node) {
+  if (node == self_) {
+    return false;
+  }
+  const std::scoped_lock lock(mutex_);
+  const auto it = members_.find(node);
+  if (it == members_.end() || it->second.status != MemberStatus::Alive) {
+    return false;
+  }
+  return observe_locked(
+      Member{node, it->second.incarnation, MemberStatus::Suspect});
+}
+
+bool MemberMap::confirm_dead(i2o::NodeId node) {
+  if (node == self_) {
+    return false;
+  }
+  const std::scoped_lock lock(mutex_);
+  const auto it = members_.find(node);
+  if (it == members_.end() || it->second.status == MemberStatus::Dead) {
+    return false;
+  }
+  return observe_locked(
+      Member{node, it->second.incarnation, MemberStatus::Dead});
+}
+
+bool MemberMap::note_alive(i2o::NodeId node) {
+  if (node == self_) {
+    return false;
+  }
+  const std::scoped_lock lock(mutex_);
+  const auto it = members_.find(node);
+  if (it == members_.end()) {
+    members_[node] = Member{node, 0, MemberStatus::Alive};
+    ++version_;
+    return true;
+  }
+  if (it->second.status == MemberStatus::Suspect) {
+    it->second.status = MemberStatus::Alive;
+    ++version_;
+    return true;
+  }
+  return false;
+}
+
+void MemberMap::refute() {
+  const std::scoped_lock lock(mutex_);
+  Member& me = members_[self_];
+  ++me.incarnation;
+  me.status = MemberStatus::Alive;
+  ++version_;
+}
+
+std::optional<Member> MemberMap::get(i2o::NodeId node) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = members_.find(node);
+  if (it == members_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<Member> MemberMap::members() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Member> out;
+  out.reserve(members_.size());
+  for (const auto& [node, m] : members_) {
+    out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<i2o::NodeId> MemberMap::peers_with_status(
+    MemberStatus status) const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<i2o::NodeId> out;
+  for (const auto& [node, m] : members_) {
+    if (node != self_ && m.status == status) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+std::size_t MemberMap::size() const {
+  const std::scoped_lock lock(mutex_);
+  return members_.size();
+}
+
+namespace {
+constexpr std::size_t kMapHeaderBytes = 10;  // u64 version + u16 count
+constexpr std::size_t kEntryBytes = 7;       // u16 node + u32 inc + u8 status
+}  // namespace
+
+std::vector<std::byte> MemberMap::encode() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::byte> out(kMapHeaderBytes +
+                             kEntryBytes * members_.size());
+  i2o::put_u64(out, 0, version_);
+  i2o::put_u16(out, 8, static_cast<std::uint16_t>(members_.size()));
+  std::size_t off = kMapHeaderBytes;
+  for (const auto& [node, m] : members_) {
+    i2o::put_u16(out, off, m.node);
+    i2o::put_u32(out, off + 2, m.incarnation);
+    i2o::put_u8(out, off + 6, static_cast<std::uint8_t>(m.status));
+    off += kEntryBytes;
+  }
+  return out;
+}
+
+Result<MemberMap::Decoded> MemberMap::decode(
+    std::span<const std::byte> bytes) {
+  if (bytes.size() < kMapHeaderBytes) {
+    return {Errc::InvalidArgument, "member map truncated"};
+  }
+  Decoded d;
+  d.version = i2o::get_u64(bytes, 0);
+  const std::size_t count = i2o::get_u16(bytes, 8);
+  if (bytes.size() < kMapHeaderBytes + count * kEntryBytes) {
+    return {Errc::InvalidArgument, "member map entry list truncated"};
+  }
+  d.members.reserve(count);
+  std::size_t off = kMapHeaderBytes;
+  for (std::size_t i = 0; i < count; ++i) {
+    Member m;
+    m.node = i2o::get_u16(bytes, off);
+    m.incarnation = i2o::get_u32(bytes, off + 2);
+    const std::uint8_t s = i2o::get_u8(bytes, off + 6);
+    if (s > static_cast<std::uint8_t>(MemberStatus::Dead)) {
+      return {Errc::InvalidArgument, "member map carries unknown status"};
+    }
+    m.status = static_cast<MemberStatus>(s);
+    d.members.push_back(m);
+    off += kEntryBytes;
+  }
+  return d;
+}
+
+std::size_t MemberMap::merge(const Decoded& remote) {
+  const std::scoped_lock lock(mutex_);
+  std::size_t changed = 0;
+  for (const Member& m : remote.members) {
+    if (observe_locked(m)) {
+      ++changed;
+    }
+  }
+  // The version lattice: never behind any map merged in, strictly ahead
+  // when the merge taught us something. Monotonic by construction.
+  const std::uint64_t floor =
+      changed > 0 ? remote.version + 1 : remote.version;
+  if (version_ < floor) {
+    version_ = floor;
+  }
+  return changed;
+}
+
+}  // namespace xdaq::cluster

@@ -1,0 +1,109 @@
+// member_map.hpp - the versioned cluster member map.
+//
+// ROADMAP item 2: the paper's deployment wires a handful of nodes
+// statically; a real processing cluster needs every node to learn, at
+// run time, who is up. The member map is the SWIM-style data structure
+// gossip disseminates: per-node (incarnation, status) entries merged
+// under the usual precedence rules, plus a monotonic map version that
+// survives rejoin (the versioned-pool-map idea from DAOS' srv_pool).
+//
+// Precedence (SWIM): a claim about node N wins when its incarnation is
+// higher, or - at equal incarnation - when its status is "stronger"
+// (Dead > Suspect > Alive). Only N itself may bump N's incarnation
+// (refutation): hearing that you are suspected or dead, you increment
+// your incarnation and gossip Alive, which overrides the rumour
+// everywhere.
+//
+// Thread-safe: gossip receive (dispatch thread), the protocol timer and
+// peer-state sinks all touch one map.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "i2o/types.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::cluster {
+
+enum class MemberStatus : std::uint8_t { Alive = 0, Suspect = 1, Dead = 2 };
+
+std::string_view to_string(MemberStatus s) noexcept;
+
+struct Member {
+  i2o::NodeId node = i2o::kNullNode;
+  std::uint32_t incarnation = 0;
+  MemberStatus status = MemberStatus::Alive;
+};
+
+class MemberMap {
+ public:
+  explicit MemberMap(i2o::NodeId self) : self_(self) {
+    members_[self] = Member{self, 0, MemberStatus::Alive};
+  }
+
+  [[nodiscard]] i2o::NodeId self() const noexcept { return self_; }
+
+  /// Monotonic map version: bumped on every effective change and raised
+  /// to at least the version carried by any merged-in remote map. Never
+  /// decreases, including across a member's leave/rejoin cycle.
+  [[nodiscard]] std::uint64_t version() const;
+
+  /// This node's current incarnation.
+  [[nodiscard]] std::uint32_t self_incarnation() const;
+
+  /// Applies one claim under SWIM precedence. Returns true when the map
+  /// changed. Claims about self that would mark it Suspect/Dead trigger
+  /// refutation instead (incarnation bump + Alive).
+  bool observe(const Member& claim);
+
+  /// Local failure-detector verdicts about a peer (no-ops on self).
+  bool suspect(i2o::NodeId node);
+  bool confirm_dead(i2o::NodeId node);
+  /// Direct evidence of life (a frame arrived from `node`): clears a
+  /// Suspect verdict at the same incarnation. Deliberately does NOT
+  /// resurrect Dead - only a higher incarnation (refutation) may.
+  bool note_alive(i2o::NodeId node);
+
+  /// Refute rumours about self: bump incarnation, force Alive.
+  void refute();
+
+  [[nodiscard]] std::optional<Member> get(i2o::NodeId node) const;
+  [[nodiscard]] std::vector<Member> members() const;
+  /// Peers (self excluded) whose status matches the filter.
+  [[nodiscard]] std::vector<i2o::NodeId> peers_with_status(
+      MemberStatus status) const;
+  [[nodiscard]] std::size_t size() const;
+
+  // --- wire format ---------------------------------------------------------
+  // [u64 version][u16 count] then per member [u16 node][u32 inc][u8 status].
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+
+  struct Decoded {
+    std::uint64_t version = 0;
+    std::vector<Member> members;
+  };
+  static Result<Decoded> decode(std::span<const std::byte> bytes);
+
+  /// Merges a decoded remote map: every remote claim is observe()d and
+  /// the local version is raised to max(local, remote) (+1 when anything
+  /// changed). Returns the number of entries that changed.
+  std::size_t merge(const Decoded& remote);
+
+ private:
+  static bool wins(const Member& challenger, const Member& incumbent);
+  bool observe_locked(const Member& claim);
+
+  i2o::NodeId self_;
+  mutable std::mutex mutex_;
+  std::map<i2o::NodeId, Member> members_;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace xdaq::cluster

@@ -1,0 +1,94 @@
+#include "cluster/peer_spec.hpp"
+
+#include <charconv>
+
+namespace xdaq::cluster {
+
+std::string_view to_string(PeerSpec::Kind k) noexcept {
+  switch (k) {
+    case PeerSpec::Kind::Gm:
+      return "gm";
+    case PeerSpec::Kind::LocalBus:
+      return "local";
+    case PeerSpec::Kind::Fifo:
+      return "fifo";
+    case PeerSpec::Kind::Tcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+Result<PeerSpec> PeerSpec::parse(std::string_view text) {
+  PeerSpec spec;
+  const auto strip_task = [&spec](std::string_view s) {
+    constexpr std::string_view kTask = ":task";
+    if (s.size() >= kTask.size() &&
+        s.substr(s.size() - kTask.size()) == kTask) {
+      spec.mode = core::TransportDevice::Mode::Task;
+      return s.substr(0, s.size() - kTask.size());
+    }
+    return s;
+  };
+  if (text == "gm" || text == "gm:task") {
+    spec.kind = Kind::Gm;
+    (void)strip_task(text);
+    return spec;
+  }
+  if (text == "local" || text == "local:task") {
+    spec.kind = Kind::LocalBus;
+    (void)strip_task(text);
+    return spec;
+  }
+  if (text.starts_with("fifo:")) {
+    spec.kind = Kind::Fifo;
+    spec.path = std::string(text.substr(5));
+    if (spec.path.empty()) {
+      return {Errc::InvalidArgument, "fifo peer spec needs a path"};
+    }
+    return spec;
+  }
+  if (text.starts_with("tcp:")) {
+    spec.kind = Kind::Tcp;
+    const std::string_view rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      return {Errc::InvalidArgument, "tcp peer spec is tcp:<host>:<port>"};
+    }
+    spec.host = std::string(rest.substr(0, colon));
+    const std::string_view port_text = rest.substr(colon + 1);
+    unsigned port = 0;
+    const auto [ptr, ec] = std::from_chars(
+        port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() ||
+        port == 0 || port > 0xFFFF) {
+      return {Errc::InvalidArgument,
+              "tcp peer spec port is not a valid port number"};
+    }
+    spec.port = static_cast<std::uint16_t>(port);
+    return spec;
+  }
+  return {Errc::InvalidArgument,
+          "unknown peer spec '" + std::string(text) + "'"};
+}
+
+std::string PeerSpec::describe() const {
+  std::string out{to_string(kind)};
+  switch (kind) {
+    case Kind::Fifo:
+      out += ":" + path;
+      break;
+    case Kind::Tcp:
+      out += ":" + host + ":" + std::to_string(port);
+      break;
+    case Kind::Gm:
+    case Kind::LocalBus:
+      if (mode == core::TransportDevice::Mode::Task) {
+        out += ":task";
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace xdaq::cluster

@@ -1,0 +1,54 @@
+// peer_spec.hpp - one description for every peer-transport flavour.
+//
+// The API-redesign satellite: TCP, FIFO, GM and local-bus peers used to
+// be configured through per-transport ad-hoc structs duplicated across
+// daq/topology and the bench harnesses. A PeerSpec is the single
+// topology-level description - parseable from a short string - that the
+// pt layer turns into a concrete TransportDevice (pt::make_transport).
+//
+// Grammar:
+//   "gm"             GM fabric, polling mode
+//   "gm:task"        GM fabric, task mode (blocking receive thread)
+//   "local"          in-process local bus
+//   "local:task"     in-process local bus, task mode
+//   "fifo:<path>"    named-pipe transport rooted at <path>
+//   "tcp:<host>:<port>"  TCP transport
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/transport.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::cluster {
+
+struct PeerSpec {
+  enum class Kind : std::uint8_t { Gm = 0, LocalBus = 1, Fifo = 2, Tcp = 3 };
+
+  Kind kind = Kind::Gm;
+  core::TransportDevice::Mode mode = core::TransportDevice::Mode::Polling;
+  /// Liveness/backoff/retry tuning shared by every transport flavour.
+  core::TransportConfig tuning;
+
+  // Kind-specific addressing.
+  std::string host;         ///< Tcp
+  std::uint16_t port = 0;   ///< Tcp
+  std::string path;         ///< Fifo
+
+  /// Receive-ring sizing (Gm; 0 = transport default). Exposed here so a
+  /// 64-node in-process run can shrink per-node buffers without touching
+  /// transport-specific config types.
+  std::size_t receive_buffers = 0;
+  std::size_t buffer_bytes = 0;
+
+  static Result<PeerSpec> parse(std::string_view text);
+
+  /// Canonical string form (round-trips through parse()).
+  [[nodiscard]] std::string describe() const;
+};
+
+std::string_view to_string(PeerSpec::Kind k) noexcept;
+
+}  // namespace xdaq::cluster

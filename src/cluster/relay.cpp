@@ -1,0 +1,46 @@
+#include "cluster/relay.hpp"
+
+#include "i2o/wire.hpp"
+
+namespace xdaq::cluster {
+
+void encode_relay_header(const RelayHeader& hdr,
+                         std::span<std::byte> payload) {
+  i2o::put_u16(payload, 0, hdr.src);
+  i2o::put_u16(payload, 2, hdr.dst);
+  i2o::put_u8(payload, 4, hdr.ttl);
+  i2o::put_u8(payload, 5, 0);
+  i2o::put_u16(payload, 6, 0);
+  i2o::put_u32(payload, 8, hdr.inner_len);
+}
+
+Result<RelayHeader> decode_relay_header(std::span<const std::byte> payload) {
+  if (payload.size() < kRelayHeaderBytes) {
+    return {Errc::InvalidArgument, "relay envelope truncated"};
+  }
+  RelayHeader hdr;
+  hdr.src = i2o::get_u16(payload, 0);
+  hdr.dst = i2o::get_u16(payload, 2);
+  hdr.ttl = i2o::get_u8(payload, 4);
+  hdr.inner_len = i2o::get_u32(payload, 8);
+  // The envelope payload is word-padded, so inner_len may be up to three
+  // bytes short of what remains - never more.
+  if (hdr.inner_len > payload.size() - kRelayHeaderBytes) {
+    return {Errc::InvalidArgument, "relay inner frame overruns envelope"};
+  }
+  if (hdr.dst == i2o::kNullNode) {
+    return {Errc::InvalidArgument, "relay envelope has no destination"};
+  }
+  return hdr;
+}
+
+void patch_relay_ttl(std::span<std::byte> payload, std::uint8_t ttl) {
+  i2o::put_u8(payload, 4, ttl);
+}
+
+std::span<const std::byte> relay_inner(
+    const RelayHeader& hdr, std::span<const std::byte> payload) noexcept {
+  return payload.subspan(kRelayHeaderBytes, hdr.inner_len);
+}
+
+}  // namespace xdaq::cluster

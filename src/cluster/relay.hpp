@@ -1,0 +1,52 @@
+// relay.hpp - store-and-forward envelope for nodes without a direct link.
+//
+// When the route table says the next hop for node D is "relay via R", the
+// sender wraps the fully encoded inner frame in a private kXdaq/kXfnRelay
+// frame addressed to R's executive (TiD 1 on every node - no target
+// lookup needed). Intermediate hops never unwrap: they decrement the TTL
+// in place and forward the same envelope towards D, so the origin node id
+// survives the trip and the final hop can intern the correct initiator
+// proxy. A TTL of 0 drops the envelope (loop guard).
+//
+// Envelope payload layout (little-endian):
+//   [u16 src node][u16 dst node][u8 ttl][u8 rsvd][u16 rsvd][u32 inner_len]
+//   followed by the inner frame's `inner_len` encoded bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "i2o/types.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::cluster {
+
+/// xfunction codes in the kXdaq private organization used by the cluster
+/// fabric (0x0001/0x0002 are the core timer and event codes).
+inline constexpr std::uint16_t kXfnGossip = 0x0003;
+inline constexpr std::uint16_t kXfnRelay = 0x0004;
+
+inline constexpr std::size_t kRelayHeaderBytes = 12;
+inline constexpr std::uint8_t kDefaultRelayTtl = 8;
+
+struct RelayHeader {
+  i2o::NodeId src = i2o::kNullNode;  ///< originating node
+  i2o::NodeId dst = i2o::kNullNode;  ///< final destination node
+  std::uint8_t ttl = kDefaultRelayTtl;
+  std::uint32_t inner_len = 0;  ///< encoded inner frame bytes
+};
+
+/// Writes the 12-byte relay header at the start of `payload`.
+void encode_relay_header(const RelayHeader& hdr, std::span<std::byte> payload);
+
+/// Parses + validates: payload must hold the header and inner_len bytes.
+Result<RelayHeader> decode_relay_header(std::span<const std::byte> payload);
+
+/// Patches only the TTL byte of an already encoded envelope payload.
+void patch_relay_ttl(std::span<std::byte> payload, std::uint8_t ttl);
+
+/// The inner frame bytes of a validated envelope payload.
+[[nodiscard]] std::span<const std::byte> relay_inner(
+    const RelayHeader& hdr, std::span<const std::byte> payload) noexcept;
+
+}  // namespace xdaq::cluster

@@ -1,0 +1,45 @@
+#include "cluster/resolver.hpp"
+
+namespace xdaq::cluster {
+
+Result<i2o::Tid> Resolver::resolve(i2o::NodeId node, i2o::Tid remote_tid,
+                                   const std::string& name) {
+  if (node == i2o::kNullNode || node == self_) {
+    return {Errc::InvalidArgument, "resolve() is for remote nodes"};
+  }
+  const NextHop hop = routes_.next_hop(node);
+  switch (hop.kind) {
+    case NextHop::Kind::Direct:
+      return intern_(node, remote_tid, hop.via_pt, name);
+    case NextHop::Kind::Relay: {
+      // The relay hop must itself be directly reachable, or nothing we
+      // send can leave this node.
+      const NextHop via = routes_.next_hop(hop.relay_node);
+      if (via.kind != NextHop::Kind::Direct) {
+        return {Errc::Unavailable,
+                "relay hop for node " + std::to_string(node) +
+                    " is not directly reachable"};
+      }
+      // kNullTid marks the proxy relay-routed: frame_send re-consults the
+      // route table per frame and wraps in an envelope.
+      return intern_(node, remote_tid, i2o::kNullTid, name);
+    }
+    case NextHop::Kind::None:
+      break;
+  }
+  return {Errc::Unroutable, "no route to node " + std::to_string(node)};
+}
+
+Result<i2o::Tid> Resolver::resolve_via(i2o::NodeId node, i2o::Tid remote_tid,
+                                       i2o::Tid via_pt,
+                                       const std::string& name) {
+  if (node == i2o::kNullNode || node == self_) {
+    return {Errc::InvalidArgument, "resolve_via() is for remote nodes"};
+  }
+  if (via_pt == i2o::kNullTid) {
+    return {Errc::InvalidArgument, "resolve_via() needs a peer transport"};
+  }
+  return intern_(node, remote_tid, via_pt, name);
+}
+
+}  // namespace xdaq::cluster

@@ -1,0 +1,78 @@
+// resolver.hpp - the one place remote TiDs are resolved to proxies.
+//
+// The API-redesign facade: callers ask "give me a proxy for device T on
+// node N" and the resolver picks the route - a direct peer transport, a
+// relay next hop, or a failure when the node is unroutable. It replaces
+// every hand-wired (node, remote_tid, via_pt) triple in the tree; the
+// executive's register_remote/register_remote_via survive only as thin
+// deprecated shims over it.
+//
+// The resolver itself is route policy only. Interning (allocating the
+// proxy TiD in the AddressTable, optionally naming it) is injected as a
+// callback so this library stays free of core symbols.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cluster/hash_ring.hpp"
+#include "cluster/relay.hpp"
+#include "cluster/route_table.hpp"
+#include "i2o/types.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::cluster {
+
+class Resolver {
+ public:
+  /// Interns a proxy for (node, remote_tid) reachable through local peer
+  /// transport `via_pt`; via_pt == kNullTid marks a relay-routed proxy
+  /// (the send path re-consults the route table per frame). `name` may be
+  /// empty; otherwise it is registered for name lookup.
+  using InternFn = std::function<Result<i2o::Tid>(
+      i2o::NodeId node, i2o::Tid remote_tid, i2o::Tid via_pt,
+      const std::string& name)>;
+
+  Resolver(i2o::NodeId self, InternFn intern)
+      : self_(self), intern_(std::move(intern)) {}
+
+  [[nodiscard]] i2o::NodeId self() const noexcept { return self_; }
+
+  /// Resolves a proxy TiD for device `remote_tid` on `node`, choosing the
+  /// route from the route table. Fails with Errc::NotFound when no route
+  /// exists and Errc::Unavailable when the relay hop is itself unroutable.
+  Result<i2o::Tid> resolve(i2o::NodeId node, i2o::Tid remote_tid,
+                           const std::string& name = {});
+
+  /// Resolves with the route pinned to a specific local peer transport
+  /// (the paper's multiple-transports-in-parallel configuration) instead
+  /// of the table's next hop.
+  Result<i2o::Tid> resolve_via(i2o::NodeId node, i2o::Tid remote_tid,
+                               i2o::Tid via_pt, const std::string& name = {});
+
+  /// Routing state. The route table is shared with the executive's send
+  /// path; gossip and topology wiring mutate it through this accessor.
+  [[nodiscard]] RouteTable& routes() noexcept { return routes_; }
+  [[nodiscard]] const RouteTable& routes() const noexcept { return routes_; }
+  [[nodiscard]] NextHop next_hop(i2o::NodeId node) const {
+    return routes_.next_hop(node);
+  }
+
+  /// Consistent-hash placement of sharded device instances over member
+  /// nodes (daq/topology's hashed layout draws from this ring).
+  [[nodiscard]] HashRing& ring() noexcept { return ring_; }
+
+  /// TTL stamped into new relay envelopes.
+  [[nodiscard]] std::uint8_t initial_ttl() const noexcept { return ttl_; }
+  void set_initial_ttl(std::uint8_t ttl) noexcept { ttl_ = ttl; }
+
+ private:
+  i2o::NodeId self_;
+  InternFn intern_;
+  RouteTable routes_;
+  HashRing ring_;
+  std::uint8_t ttl_ = kDefaultRelayTtl;
+};
+
+}  // namespace xdaq::cluster

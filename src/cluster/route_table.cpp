@@ -1,0 +1,47 @@
+#include "cluster/route_table.hpp"
+
+namespace xdaq::cluster {
+
+void RouteTable::set_direct(i2o::NodeId node, i2o::Tid via_pt) {
+  const std::unique_lock lock(mutex_);
+  hops_[node] = NextHop{NextHop::Kind::Direct, via_pt, i2o::kNullNode};
+}
+
+void RouteTable::set_relay(i2o::NodeId node, i2o::NodeId relay_node) {
+  const std::unique_lock lock(mutex_);
+  hops_[node] = NextHop{NextHop::Kind::Relay, i2o::kNullTid, relay_node};
+}
+
+void RouteTable::erase(i2o::NodeId node) {
+  const std::unique_lock lock(mutex_);
+  hops_.erase(node);
+}
+
+void RouteTable::clear() {
+  const std::unique_lock lock(mutex_);
+  hops_.clear();
+}
+
+NextHop RouteTable::next_hop(i2o::NodeId node) const {
+  const std::shared_lock lock(mutex_);
+  const auto it = hops_.find(node);
+  return it == hops_.end() ? NextHop{} : it->second;
+}
+
+std::size_t RouteTable::size() const {
+  const std::shared_lock lock(mutex_);
+  return hops_.size();
+}
+
+std::vector<i2o::NodeId> RouteTable::direct_nodes() const {
+  const std::shared_lock lock(mutex_);
+  std::vector<i2o::NodeId> out;
+  for (const auto& [node, hop] : hops_) {
+    if (hop.kind == NextHop::Kind::Direct) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+}  // namespace xdaq::cluster

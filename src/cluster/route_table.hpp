@@ -1,0 +1,49 @@
+// route_table.hpp - NodeId -> next hop, the cluster's forwarding state.
+//
+// Replaces the executive's old flat `node -> via_pt` map. Each entry now
+// distinguishes a *direct* hop (a local peer transport reaches the node)
+// from a *relay* hop (frames must be wrapped in a relay envelope and sent
+// to an intermediate node that is itself routable). Read-mostly: every
+// proxy send consults it, membership changes mutate it rarely.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "i2o/types.hpp"
+
+namespace xdaq::cluster {
+
+struct NextHop {
+  enum class Kind : std::uint8_t { None = 0, Direct = 1, Relay = 2 };
+  Kind kind = Kind::None;
+  /// Direct: the local peer-transport TiD that reaches the node.
+  i2o::Tid via_pt = i2o::kNullTid;
+  /// Relay: the intermediate node the envelope is addressed to. The
+  /// relay node must itself resolve to a Direct hop.
+  i2o::NodeId relay_node = i2o::kNullNode;
+};
+
+class RouteTable {
+ public:
+  void set_direct(i2o::NodeId node, i2o::Tid via_pt);
+  void set_relay(i2o::NodeId node, i2o::NodeId relay_node);
+  void erase(i2o::NodeId node);
+  void clear();
+
+  /// The hop for `node`; Kind::None when unroutable.
+  [[nodiscard]] NextHop next_hop(i2o::NodeId node) const;
+  [[nodiscard]] std::size_t size() const;
+  /// Nodes with a Direct entry (relay candidates).
+  [[nodiscard]] std::vector<i2o::NodeId> direct_nodes() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<i2o::NodeId, NextHop> hops_;
+};
+
+}  // namespace xdaq::cluster

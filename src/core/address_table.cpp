@@ -26,7 +26,7 @@ Result<i2o::Tid> AddressTable::allocate_local(Device* device) {
   if (device == nullptr) {
     return {Errc::InvalidArgument, "null device"};
   }
-  const std::scoped_lock lock(mutex_);
+  const std::unique_lock lock(mutex_);
   auto tid = next_tid_locked();
   if (!tid.is_ok()) {
     return tid;
@@ -45,8 +45,19 @@ Result<i2o::Tid> AddressTable::intern_proxy(i2o::NodeId node,
   if (node == i2o::kNullNode || remote_tid == i2o::kNullTid) {
     return {Errc::InvalidArgument, "invalid proxy coordinates"};
   }
-  const std::scoped_lock lock(mutex_);
   const auto key = proxy_key(node, remote_tid, via_pt);
+  // Fast path: the proxy already exists - with N dispatch shards each
+  // interning the initiator of every delivered wire frame, this is the
+  // case that runs per message, and shared locks let the shards overlap.
+  {
+    const std::shared_lock lock(mutex_);
+    if (const auto it = proxy_index_.find(key); it != proxy_index_.end()) {
+      return it->second;
+    }
+  }
+  // Miss: re-check under the exclusive lock (another shard may have won
+  // the race between our two lock holds), then insert.
+  const std::unique_lock lock(mutex_);
   if (const auto it = proxy_index_.find(key); it != proxy_index_.end()) {
     return it->second;
   }
@@ -65,7 +76,7 @@ Result<i2o::Tid> AddressTable::intern_proxy(i2o::NodeId node,
 }
 
 Result<AddressEntry> AddressTable::lookup(i2o::Tid tid) const {
-  const std::scoped_lock lock(mutex_);
+  const std::shared_lock lock(mutex_);
   const auto it = entries_.find(tid);
   if (it == entries_.end()) {
     return {Errc::NotFound, "no address entry for TiD"};
@@ -76,7 +87,7 @@ Result<AddressEntry> AddressTable::lookup(i2o::Tid tid) const {
 std::optional<i2o::Tid> AddressTable::find_proxy(i2o::NodeId node,
                                                  i2o::Tid remote_tid,
                                                  i2o::Tid via_pt) const {
-  const std::scoped_lock lock(mutex_);
+  const std::shared_lock lock(mutex_);
   const auto it = proxy_index_.find(proxy_key(node, remote_tid, via_pt));
   if (it == proxy_index_.end()) {
     return std::nullopt;
@@ -85,7 +96,7 @@ std::optional<i2o::Tid> AddressTable::find_proxy(i2o::NodeId node,
 }
 
 Status AddressTable::release(i2o::Tid tid) {
-  const std::scoped_lock lock(mutex_);
+  const std::unique_lock lock(mutex_);
   const auto it = entries_.find(tid);
   if (it == entries_.end()) {
     return {Errc::NotFound, "releasing unknown TiD"};
@@ -102,12 +113,12 @@ Status AddressTable::release(i2o::Tid tid) {
 }
 
 std::size_t AddressTable::size() const {
-  const std::scoped_lock lock(mutex_);
+  const std::shared_lock lock(mutex_);
   return entries_.size();
 }
 
 std::size_t AddressTable::proxy_count() const {
-  const std::scoped_lock lock(mutex_);
+  const std::shared_lock lock(mutex_);
   return proxy_index_.size();
 }
 

@@ -13,6 +13,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "i2o/types.hpp"
@@ -47,7 +48,13 @@ class AddressTable {
   /// device through the same peer transport yields the same local TiD,
   /// while a different transport yields a distinct proxy — this is what
   /// lets one node "use multiple transports to send and receive in
-  /// parallel" (paper section 4).
+  /// parallel" (paper section 4). via_pt == kNullTid marks a
+  /// relay-routed proxy (no direct transport; the executive's send path
+  /// consults the cluster route table per frame).
+  ///
+  /// Hot path: every wire delivery re-interns the initiator, so the hit
+  /// case takes only a shared (read) lock; the table mutates under the
+  /// exclusive lock only on a genuine miss.
   Result<i2o::Tid> intern_proxy(i2o::NodeId node, i2o::Tid remote_tid,
                                 i2o::Tid via_pt);
 
@@ -81,7 +88,10 @@ class AddressTable {
  private:
   Result<i2o::Tid> next_tid_locked();
 
-  mutable std::mutex mutex_;
+  /// Read-mostly: dispatch-path lookups (proxy resolution, initiator
+  /// interning hits) share the lock; only allocation/interning-miss/
+  /// release paths take it exclusively.
+  mutable std::shared_mutex mutex_;
   std::map<i2o::Tid, AddressEntry> entries_;
   /// Flat TiD -> local device table mirroring the Local entries of
   /// `entries_` (null elsewhere). Written under mutex_, read lock-free.

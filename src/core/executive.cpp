@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "cluster/relay.hpp"
 #include "core/factory.hpp"
 #include "core/transport.hpp"
 #include "i2o/wire.hpp"
@@ -25,6 +26,12 @@ void patch_initiator(std::span<std::byte> frame, i2o::Tid tid) noexcept {
   word = (word & ~0x00FFF000u) | (static_cast<std::uint32_t>(tid) << 12);
   i2o::put_u32(frame, 4, word);
 }
+
+/// Bounds on the store-and-forward retry queue: envelopes beyond the queue
+/// cap or the per-envelope attempt cap are dropped and counted, never
+/// buffered without limit.
+constexpr std::size_t kMaxRelayRetryQueue = 128;
+constexpr std::uint32_t kMaxRelayRetryAttempts = 512;
 
 std::unique_ptr<mem::Pool> make_pool(const ExecutiveConfig& config) {
   if (config.pool_kind == ExecutiveConfig::PoolKind::Simple) {
@@ -163,9 +170,52 @@ Executive::Executive(ExecutiveConfig config)
                    static_cast<std::int64_t>(ps.hugepage_bytes)});
   });
 
+  // cluster.relay.* counters: the store-and-forward path's audit trail.
+  relay_origin_ = &metrics_.counter("cluster.relay.origin");
+  relay_forwarded_ = &metrics_.counter("cluster.relay.forwarded");
+  relay_delivered_ = &metrics_.counter("cluster.relay.delivered");
+  relay_dropped_ttl_ = &metrics_.counter("cluster.relay.dropped_ttl");
+  relay_dropped_noroute_ = &metrics_.counter("cluster.relay.dropped_noroute");
+  relay_dropped_queue_ = &metrics_.counter("cluster.relay.dropped_queue");
+  relay_requeued_ = &metrics_.counter("cluster.relay.requeued");
+
+  // The resolver owns route policy; interning proxies (and naming them)
+  // stays the executive's job, injected as a callback so the cluster
+  // library never links core.
+  resolver_ = std::make_unique<cluster::Resolver>(
+      config_.node_id,
+      [this](i2o::NodeId node, i2o::Tid remote_tid, i2o::Tid via_pt,
+             const std::string& name) -> Result<i2o::Tid> {
+        auto proxy = table_.intern_proxy(node, remote_tid, via_pt);
+        if (!proxy.is_ok()) {
+          return proxy;
+        }
+        if (!name.empty()) {
+          const std::scoped_lock lock(devices_mutex_);
+          names_[name] = proxy.value();
+        }
+        return proxy;
+      });
+
   // The kernel occupies TiD 1, like any other device ("even the executive
   // gets such a TiD").
   auto kernel = std::make_unique<KernelDevice>();
+  // Cluster-fabric frames are addressed to TiD 1 because every node has
+  // one: relay envelopes hop executive-to-executive, and gossip needs no
+  // per-device discovery.
+  kernel->bind(i2o::OrgId::kXdaq, cluster::kXfnRelay,
+               [this](const MessageContext& ctx) { handle_relay(ctx); });
+  kernel->bind(i2o::OrgId::kXdaq, cluster::kXfnGossip,
+               [this](const MessageContext& ctx) {
+                 std::function<void(std::span<const std::byte>)> sink;
+                 {
+                   const std::scoped_lock lock(gossip_mutex_);
+                   sink = gossip_sink_;
+                 }
+                 if (sink) {
+                   sink(ctx.payload);
+                 }
+               });
   auto tid = table_.allocate_local(kernel.get());
   // The very first allocation of a fresh table cannot fail or collide.
   kernel->attach(this, tid.value(), config_.name);
@@ -465,32 +515,14 @@ Status Executive::set_route(i2o::NodeId node, i2o::Tid pt_tid) {
   if (!pt.is_ok()) {
     return pt.status();
   }
-  const std::scoped_lock lock(devices_mutex_);
-  routes_[node] = pt_tid;
+  resolver_->routes().set_direct(node, pt_tid);
   return Status::ok();
 }
 
 Result<i2o::Tid> Executive::register_remote(i2o::NodeId node,
                                             i2o::Tid remote_tid,
                                             const std::string& name) {
-  i2o::Tid via = i2o::kNullTid;
-  {
-    const std::scoped_lock lock(devices_mutex_);
-    const auto it = routes_.find(node);
-    if (it == routes_.end()) {
-      return {Errc::Unroutable, "no route to node"};
-    }
-    via = it->second;
-  }
-  auto proxy = table_.intern_proxy(node, remote_tid, via);
-  if (!proxy.is_ok()) {
-    return proxy;
-  }
-  if (!name.empty()) {
-    const std::scoped_lock lock(devices_mutex_);
-    names_[name] = proxy.value();
-  }
-  return proxy;
+  return resolver_->resolve(node, remote_tid, name);
 }
 
 Result<i2o::Tid> Executive::register_remote_via(i2o::NodeId node,
@@ -501,29 +533,32 @@ Result<i2o::Tid> Executive::register_remote_via(i2o::NodeId node,
   if (!pt.is_ok()) {
     return pt.status();
   }
-  auto proxy = table_.intern_proxy(node, remote_tid, pt_tid);
-  if (!proxy.is_ok()) {
-    return proxy;
-  }
-  if (!name.empty()) {
-    const std::scoped_lock lock(devices_mutex_);
-    names_[name] = proxy.value();
-  }
-  return proxy;
+  return resolver_->resolve_via(node, remote_tid, pt_tid, name);
 }
 
 PeerState Executive::peer_state(i2o::NodeId node) const {
-  i2o::Tid via = i2o::kNullTid;
-  {
-    const std::scoped_lock lock(devices_mutex_);
-    const auto it = routes_.find(node);
-    if (it == routes_.end()) {
-      return PeerState::Unknown;
-    }
-    via = it->second;
+  const cluster::NextHop hop = resolver_->next_hop(node);
+  if (hop.kind != cluster::NextHop::Kind::Direct) {
+    // Relay-routed peers have no link-level heartbeat from here; gossip
+    // owns their liveness.
+    return PeerState::Unknown;
   }
-  auto pt = transport_for(via);
+  auto pt = transport_for(hop.via_pt);
   return pt.is_ok() ? pt.value()->peer_state(node) : PeerState::Unknown;
+}
+
+void Executive::add_peer_state_listener(PeerStateListener listener) {
+  if (!listener) {
+    return;
+  }
+  const std::scoped_lock lock(listeners_mutex_);
+  peer_listeners_.push_back(std::move(listener));
+}
+
+void Executive::set_gossip_sink(
+    std::function<void(std::span<const std::byte>)> sink) {
+  const std::scoped_lock lock(gossip_mutex_);
+  gossip_sink_ = std::move(sink);
 }
 
 void Executive::on_peer_state_change(i2o::NodeId node, PeerState from,
@@ -532,6 +567,14 @@ void Executive::on_peer_state_change(i2o::NodeId node, PeerState from,
   log_.info("peer ", node, " ", to_string(from), " -> ", to_string(to));
   if (to == PeerState::Down) {
     fail_inflight_to(node);
+  }
+  std::vector<PeerStateListener> listeners;
+  {
+    const std::scoped_lock lock(listeners_mutex_);
+    listeners = peer_listeners_;
+  }
+  for (const auto& listener : listeners) {
+    listener(node, from, to);
   }
 }
 
@@ -762,6 +805,12 @@ Status Executive::frame_send(mem::FrameRef frame) {
   // Proxy: rewrite the target to the remote node's local TiD and push the
   // encoded frame through the routed peer transport.
   const AddressEntry& proxy = entry.value();
+  if (proxy.via_pt == i2o::kNullTid) {
+    // Relay-routed proxy: no direct transport. Wrap the frame in an
+    // envelope and hand it to the current next hop - resolved per frame,
+    // so a route upgraded to Direct by gossip is used immediately.
+    return relay_send(std::move(frame), proxy, hdr.value());
+  }
   auto pt = transport_for(proxy.via_pt);
   if (!pt.is_ok()) {
     return {Errc::Unroutable, "proxy's peer transport is gone"};
@@ -880,6 +929,232 @@ Status Executive::deliver_from_wire(i2o::NodeId src_node, i2o::Tid pt_tid,
   }
   stats_.posted->add();
   return Status::ok();
+}
+
+// -------------------------------------------------------------- relay fabric
+
+Status Executive::relay_send(mem::FrameRef frame, const AddressEntry& proxy,
+                             const i2o::FrameHeader& hdr) {
+  const cluster::NextHop hop = resolver_->next_hop(proxy.node);
+  if (hop.kind == cluster::NextHop::Kind::Direct) {
+    // Gossip learned a direct link since the proxy was interned: skip the
+    // envelope entirely. The relay-routed proxy TiD keeps working; only
+    // the per-frame hop decision changes.
+    auto pt = transport_for(hop.via_pt);
+    if (!pt.is_ok()) {
+      return {Errc::Unroutable, "proxy's peer transport is gone"};
+    }
+    if (pt.value()->peer_state(proxy.node) == PeerState::Down) {
+      return {Errc::Unavailable, "peer node is down"};
+    }
+    patch_target(frame.bytes(), proxy.remote_tid);
+    Status sent =
+        pt.value()->transport_send_frame(proxy.node, std::move(frame));
+    if (sent.is_ok()) {
+      stats_.sent_remote->add();
+      record_hop(hdr, obs::Hop::TxWire);
+      if (!hdr.is_reply() && hdr.initiator != i2o::kNullTid) {
+        record_inflight(proxy.node, hdr);
+      }
+    }
+    return sent;
+  }
+  if (hop.kind != cluster::NextHop::Kind::Relay) {
+    relay_dropped_noroute_->add();
+    return {Errc::Unroutable, "no route to relay-proxied node"};
+  }
+
+  // Pre-patch the inner frame's target to its TiD on the destination node:
+  // intermediate hops forward the envelope without unwrapping, so the
+  // inner bytes must already be final here.
+  patch_target(frame.bytes(), proxy.remote_tid);
+  const std::span<const std::byte> inner = frame.bytes();
+  if (cluster::kRelayHeaderBytes + inner.size() > i2o::kMaxPayloadBytes) {
+    return {Errc::InvalidArgument, "frame too large to relay"};
+  }
+  auto env = alloc_frame(cluster::kRelayHeaderBytes + inner.size(),
+                         /*is_private=*/true);
+  if (!env.is_ok()) {
+    return env.status();
+  }
+  i2o::FrameHeader env_hdr;
+  env_hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+  env_hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kXdaq);
+  env_hdr.xfunction = cluster::kXfnRelay;
+  // Every node's kernel lives at TiD 1, so the envelope target needs no
+  // patching at any hop; null initiator = envelopes get no replies.
+  env_hdr.target = i2o::kExecutiveTid;
+  env_hdr.initiator = i2o::kNullTid;
+  auto bytes = env.value().bytes();
+  if (Status s = i2o::encode_header(env_hdr, bytes); !s.is_ok()) {
+    return s;
+  }
+  cluster::RelayHeader rh;
+  rh.src = config_.node_id;
+  rh.dst = proxy.node;
+  rh.ttl = resolver_->initial_ttl();
+  rh.inner_len = static_cast<std::uint32_t>(inner.size());
+  auto payload = bytes.subspan(i2o::kPrivateHeaderBytes);
+  cluster::encode_relay_header(rh, payload);
+  std::memcpy(payload.data() + cluster::kRelayHeaderBytes, inner.data(),
+              inner.size());
+  Status sent = send_envelope(proxy.node, std::move(env).value());
+  if (sent.is_ok()) {
+    relay_origin_->add();
+    stats_.sent_remote->add();
+    record_hop(hdr, obs::Hop::TxWire);
+    if (!hdr.is_reply() && hdr.initiator != i2o::kNullTid) {
+      record_inflight(proxy.node, hdr);
+    }
+  }
+  return sent;
+}
+
+Status Executive::send_envelope(i2o::NodeId dst, mem::FrameRef envelope) {
+  const cluster::NextHop hop = resolver_->next_hop(dst);
+  i2o::NodeId hop_node = dst;
+  i2o::Tid hop_pt = hop.via_pt;
+  if (hop.kind == cluster::NextHop::Kind::Relay) {
+    const cluster::NextHop via = resolver_->next_hop(hop.relay_node);
+    if (via.kind != cluster::NextHop::Kind::Direct) {
+      return {Errc::Unroutable, "relay hop is not directly reachable"};
+    }
+    hop_node = hop.relay_node;
+    hop_pt = via.via_pt;
+  } else if (hop.kind != cluster::NextHop::Kind::Direct) {
+    return {Errc::Unroutable, "no route to envelope destination"};
+  }
+  auto pt = transport_for(hop_pt);
+  if (!pt.is_ok()) {
+    return pt.status();
+  }
+  if (pt.value()->peer_state(hop_node) == PeerState::Down) {
+    return {Errc::Unavailable, "relay hop peer is down"};
+  }
+  return pt.value()->transport_send_frame(hop_node, std::move(envelope));
+}
+
+void Executive::handle_relay(const MessageContext& ctx) {
+  auto rh = cluster::decode_relay_header(ctx.payload);
+  if (!rh.is_ok()) {
+    stats_.dropped_malformed->add();
+    return;
+  }
+  if (rh.value().dst == config_.node_id) {
+    relay_delivered_->add();
+    (void)deliver_relayed(rh.value().src,
+                          cluster::relay_inner(rh.value(), ctx.payload));
+    return;
+  }
+  // Loop guard: an envelope bouncing between stale routes burns its TTL
+  // and dies here instead of circulating forever.
+  if (rh.value().ttl <= 1) {
+    relay_dropped_ttl_->add();
+    return;
+  }
+  // Forward zero-copy: bump the refcount on the delivered frame and patch
+  // the TTL byte in place (we are the frame's only owner at dispatch).
+  mem::FrameRef fwd = ctx.frame;
+  cluster::patch_relay_ttl(fwd.bytes().subspan(i2o::kPrivateHeaderBytes),
+                           static_cast<std::uint8_t>(rh.value().ttl - 1));
+  Status sent = send_envelope(rh.value().dst, std::move(fwd));
+  if (sent.is_ok()) {
+    relay_forwarded_->add();
+    return;
+  }
+  // Transient failure (backpressure, peer reconnecting): park the envelope
+  // in a bounded retry queue drained from shard 0's pump.
+  const std::scoped_lock lock(relay_mutex_);
+  if (relay_retry_.size() >= kMaxRelayRetryQueue) {
+    relay_dropped_queue_->add();
+    return;
+  }
+  relay_requeued_->add();
+  relay_retry_.push_back(PendingRelay{ctx.frame, 0});
+  relay_pending_.store(true, std::memory_order_release);
+}
+
+Status Executive::deliver_relayed(i2o::NodeId src_node,
+                                  std::span<const std::byte> wire) {
+  auto hdr = i2o::decode_header(wire);
+  if (!hdr.is_ok()) {
+    stats_.dropped_malformed->add();
+    return hdr.status();
+  }
+  auto frame = pool_->allocate(wire.size());
+  if (!frame.is_ok()) {
+    return frame.status();
+  }
+  std::memcpy(frame.value().bytes().data(), wire.data(), wire.size());
+
+  // The origin recorded the in-flight request against this node id, so a
+  // relayed reply settles it just like a direct wire reply would.
+  if (hdr.value().is_reply()) {
+    resolve_inflight(src_node, hdr.value());
+  }
+
+  // Reply routing for relayed traffic goes through the resolver: if we
+  // have a direct link back to the origin the proxy uses it, otherwise
+  // the reply relays through the route table like any other frame.
+  i2o::FrameHeader header = hdr.value();
+  if (header.initiator != i2o::kNullTid) {
+    auto proxy = resolver_->resolve(src_node, header.initiator);
+    if (!proxy.is_ok()) {
+      relay_dropped_noroute_->add();
+      return proxy.status();
+    }
+    patch_initiator(frame.value().bytes(), proxy.value());
+    header.initiator = proxy.value();
+  }
+
+  ScheduledItem in;
+  in.header = header;
+  in.frame = std::move(frame).value();
+  if (!shard_for(in.header.target).inbound.try_push(std::move(in))) {
+    return {Errc::ResourceExhausted, "inbound queue full"};
+  }
+  stats_.posted->add();
+  return Status::ok();
+}
+
+void Executive::drain_relay_queue() {
+  std::vector<PendingRelay> pending;
+  {
+    const std::scoped_lock lock(relay_mutex_);
+    pending.swap(relay_retry_);
+    relay_pending_.store(false, std::memory_order_release);
+  }
+  std::vector<PendingRelay> still_pending;
+  for (PendingRelay& p : pending) {
+    auto rh = cluster::decode_relay_header(
+        p.frame.bytes().subspan(i2o::kPrivateHeaderBytes));
+    if (!rh.is_ok()) {
+      continue;
+    }
+    mem::FrameRef fwd = p.frame;
+    if (send_envelope(rh.value().dst, std::move(fwd)).is_ok()) {
+      relay_forwarded_->add();
+      continue;
+    }
+    if (++p.attempts >= kMaxRelayRetryAttempts) {
+      relay_dropped_queue_->add();
+      continue;
+    }
+    still_pending.push_back(std::move(p));
+  }
+  if (!still_pending.empty()) {
+    const std::scoped_lock lock(relay_mutex_);
+    for (PendingRelay& p : still_pending) {
+      if (relay_retry_.size() >= kMaxRelayRetryQueue) {
+        relay_dropped_queue_->add();
+        continue;
+      }
+      relay_retry_.push_back(std::move(p));
+    }
+    if (!relay_retry_.empty()) {
+      relay_pending_.store(true, std::memory_order_release);
+    }
+  }
 }
 
 // -------------------------------------------------------------------- timers
@@ -1071,12 +1346,19 @@ bool Executive::pump(std::size_t idx, bool allow_block) {
   //    a polling transport's receive path stays single-threaded.
   bool have_polling = false;
   if (idx == 0) {
-    const std::scoped_lock lock(polling_mutex_);
-    for (TransportDevice* pt : polling_pts_) {
-      if (pt->state() == DeviceState::Enabled) {
-        have_polling = true;
-        pt->transport_pump();
+    {
+      const std::scoped_lock lock(polling_mutex_);
+      for (TransportDevice* pt : polling_pts_) {
+        if (pt->state() == DeviceState::Enabled) {
+          have_polling = true;
+          pt->transport_pump();
+        }
       }
+    }
+    // Retry parked relay envelopes once their next hop has drained or
+    // reconnected. Flag-gated so the common no-relay case costs one load.
+    if (relay_pending_.load(std::memory_order_acquire)) {
+      drain_relay_queue();
     }
   }
 

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/resolver.hpp"
 #include "core/address_table.hpp"
 #include "core/device.hpp"
 #include "core/probes.hpp"
@@ -250,21 +251,28 @@ class Executive {
 
   // --- remote addressing / transports --------------------------------------
 
+  /// The cluster resolver: route table + proxy resolution facade. All
+  /// remote addressing goes through resolver().resolve()/resolve_via();
+  /// routes (direct and relay) live in resolver().routes().
+  [[nodiscard]] cluster::Resolver& resolver() noexcept { return *resolver_; }
+  [[nodiscard]] const cluster::Resolver& resolver() const noexcept {
+    return *resolver_;
+  }
+
   /// Routes frames for `node` through the PT with `pt_tid` (which must be
-  /// an installed TransportDevice).
+  /// an installed TransportDevice). Shorthand for a validated
+  /// resolver().routes().set_direct().
   Status set_route(i2o::NodeId node, i2o::Tid pt_tid);
 
-  /// Interns a proxy TiD for a device on a remote node, using the route
-  /// configured for that node. Optionally registers `name` for tid_of().
+  /// Deprecated: use resolver().resolve(node, remote_tid, name). Thin
+  /// shim kept for one release.
   Result<i2o::Tid> register_remote(i2o::NodeId node, i2o::Tid remote_tid,
                                    const std::string& name = {});
 
-  /// Like register_remote, but pins the proxy to a specific peer
-  /// transport instead of the node's default route. Paper section 4: "it
-  /// is possible to configure each device instance with a route, we can
-  /// use multiple transports to send and receive in parallel." Because
-  /// proxies are keyed by (node, remote TiD), a pinned proxy must not
-  /// collide with an existing one for the same remote device.
+  /// Deprecated: use resolver().resolve_via(node, remote_tid, pt_tid,
+  /// name) to pin a proxy to a specific peer transport (paper section 4:
+  /// "we can use multiple transports to send and receive in parallel").
+  /// Thin shim kept for one release.
   Result<i2o::Tid> register_remote_via(i2o::NodeId node,
                                        i2o::Tid remote_tid, i2o::Tid pt_tid,
                                        const std::string& name = {});
@@ -281,6 +289,20 @@ class Executive {
   /// request to that node so waiters unblock immediately instead of
   /// burning their full timeout.
   [[nodiscard]] PeerState peer_state(i2o::NodeId node) const;
+
+  /// Additional peer-state observers (the gossip failure detector, test
+  /// probes). Invoked after the executive's own handling, on the
+  /// transport's thread; listeners must be thread-safe and quick.
+  using PeerStateListener =
+      std::function<void(i2o::NodeId, PeerState, PeerState)>;
+  void add_peer_state_listener(PeerStateListener listener);
+
+  // --- cluster fabric -------------------------------------------------------
+
+  /// Receiver for inbound gossip payloads (kXdaq/kXfnGossip frames
+  /// addressed to the kernel). The cluster harness wires the node's
+  /// GossipDevice here. Runs on the kernel's dispatch shard.
+  void set_gossip_sink(std::function<void(std::span<const std::byte>)> sink);
 
   // --- messaging ------------------------------------------------------------
 
@@ -504,6 +526,23 @@ class Executive {
   Result<TransportDevice*> transport_for(i2o::Tid pt_tid) const;
   void watchdog_main(std::chrono::nanoseconds deadline);
 
+  // Relay path (store-and-forward through intermediate nodes).
+  /// Sends a frame whose proxy has no direct transport: wraps it in a
+  /// kXfnRelay envelope and pushes it to the relay next hop.
+  Status relay_send(mem::FrameRef frame, const AddressEntry& proxy,
+                    const i2o::FrameHeader& hdr);
+  /// Kernel handler for inbound envelopes: delivers locally when this is
+  /// the destination, otherwise decrements the TTL and forwards.
+  void handle_relay(const MessageContext& ctx);
+  /// Validates + posts a relayed inner frame, interning the initiator
+  /// proxy through the resolver (so replies route back via relay).
+  Status deliver_relayed(i2o::NodeId src_node,
+                         std::span<const std::byte> wire);
+  /// Pushes an encoded envelope to the hop that reaches `dst`.
+  Status send_envelope(i2o::NodeId dst, mem::FrameRef envelope);
+  /// Retries queued envelopes whose next hop was unavailable (shard 0).
+  void drain_relay_queue();
+
   // Peer liveness plumbing (sink runs on transport threads).
   void on_peer_state_change(i2o::NodeId node, PeerState from, PeerState to);
   void record_inflight(i2o::NodeId node, const i2o::FrameHeader& hdr);
@@ -538,10 +577,13 @@ class Executive {
   std::array<std::atomic<std::uint8_t>, i2o::kMaxTid + 1> shard_of_{};
   std::size_t next_shard_ = 0;  ///< round-robin cursor (devices_mutex_)
 
+  /// Remote addressing: route table + resolution facade. Constructed
+  /// after table_ (its intern callback captures the table).
+  std::unique_ptr<cluster::Resolver> resolver_;
+
   mutable std::mutex devices_mutex_;
   std::map<i2o::Tid, std::unique_ptr<Device>> devices_;
   std::map<std::string, i2o::Tid> names_;
-  std::map<i2o::NodeId, i2o::Tid> routes_;
 
   /// Guarded separately from devices_mutex_: the dispatch loop scans the
   /// polling list every iteration and must not contend with senders doing
@@ -567,6 +609,34 @@ class Executive {
   /// caller's timeout).
   mutable std::mutex inflight_mutex_;
   std::map<i2o::NodeId, std::vector<i2o::FrameHeader>> inflight_;
+
+  /// Peer-state listener fan-out beyond the executive's own handling.
+  mutable std::mutex listeners_mutex_;
+  std::vector<PeerStateListener> peer_listeners_;
+
+  /// Inbound-gossip sink (kernel kXfnGossip handler forwards here).
+  mutable std::mutex gossip_mutex_;
+  std::function<void(std::span<const std::byte>)> gossip_sink_;
+
+  /// Bounded queue of relay envelopes whose next hop was not sendable at
+  /// forward time; shard 0 retries them each pump. The relaxed flag keeps
+  /// the empty-queue check off the pump's lock.
+  struct PendingRelay {
+    mem::FrameRef frame;
+    std::uint32_t attempts = 0;
+  };
+  std::mutex relay_mutex_;
+  std::vector<PendingRelay> relay_retry_;
+  std::atomic<bool> relay_pending_{false};
+
+  /// cluster.relay.* counters (wired in the constructor).
+  obs::Counter* relay_origin_ = nullptr;     ///< envelopes created here
+  obs::Counter* relay_forwarded_ = nullptr;  ///< envelopes passed through
+  obs::Counter* relay_delivered_ = nullptr;  ///< envelopes unwrapped here
+  obs::Counter* relay_dropped_ttl_ = nullptr;
+  obs::Counter* relay_dropped_noroute_ = nullptr;
+  obs::Counter* relay_dropped_queue_ = nullptr;
+  obs::Counter* relay_requeued_ = nullptr;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> instrument_{false};

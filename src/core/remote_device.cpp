@@ -38,9 +38,13 @@ Result<RemoteDevice> RemoteDevice::open(Requester& requester,
   auto kernel_entry = exec.address_table().lookup(kernel);
   if (kernel_entry.is_ok() &&
       kernel_entry.value().kind == AddressEntry::Kind::Proxy) {
-    auto proxy = exec.register_remote_via(kernel_entry.value().node,
-                                          resolved,
-                                          kernel_entry.value().via_pt);
+    const AddressEntry& ke = kernel_entry.value();
+    // Pin the device proxy to the kernel proxy's route; a relay-routed
+    // kernel (via_pt == kNullTid) resolves through the route table.
+    auto proxy = ke.via_pt != i2o::kNullTid
+                     ? exec.resolver().resolve_via(ke.node, resolved,
+                                                   ke.via_pt)
+                     : exec.resolver().resolve(ke.node, resolved);
     if (!proxy.is_ok()) {
       return proxy.status();
     }

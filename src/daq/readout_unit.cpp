@@ -21,6 +21,7 @@ Status ReadoutUnit::on_configure(const i2o::ParamList& params) {
   auto total_sources = total_sources_;
   auto batch = batch_;
   auto max_events = max_events_;
+  auto pace_ns = pace_ns_;
   for (const auto& [key, value] : params) {
     if (key == "evm_tid") {
       evm_tid = static_cast<i2o::Tid>(
@@ -46,6 +47,8 @@ Status ReadoutUnit::on_configure(const i2o::ParamList& params) {
           std::strtoul(value.c_str(), nullptr, 10));
     } else if (key == "max_events") {
       max_events = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "pace_ns") {
+      pace_ns = std::strtoull(value.c_str(), nullptr, 10);
     }
   }
   if (total_sources == 0 || source_id >= total_sources) {
@@ -64,6 +67,7 @@ Status ReadoutUnit::on_configure(const i2o::ParamList& params) {
   total_sources_ = total_sources;
   batch_ = batch;
   max_events_ = max_events;
+  pace_ns_ = pace_ns;
   return Status::ok();
 }
 
@@ -71,8 +75,29 @@ Status ReadoutUnit::on_enable() {
   if (evm_tid_ == i2o::kNullTid || bu_tids_.empty()) {
     return {Errc::FailedPrecondition, "evm_tid and bu_tids must be set"};
   }
-  request_assignments();
+  if (pace_ns_ == 0) {
+    request_assignments();
+  } else {
+    // Paced mode: the timer is the trigger; replies never re-request, so
+    // the offered load is pace-bound rather than round-trip-bound.
+    const auto period = std::chrono::nanoseconds(pace_ns_);
+    pace_timer_ = executive().arm_timer(tid(), period, period);
+  }
   return Status::ok();
+}
+
+Status ReadoutUnit::on_halt() {
+  if (pace_timer_ != 0) {
+    executive().cancel_timer(pace_timer_);
+    pace_timer_ = 0;
+  }
+  return Status::ok();
+}
+
+void ReadoutUnit::on_timer(std::uint32_t timer_id) {
+  if (timer_id == pace_timer_ && !finished()) {
+    request_assignments();
+  }
 }
 
 void ReadoutUnit::request_assignments() {
@@ -117,8 +142,11 @@ void ReadoutUnit::on_reply(const core::MessageContext& ctx) {
       send_failures_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  // Pipeline: immediately request the next batch until done.
-  request_assignments();
+  // Pipeline: immediately request the next batch until done. Paced RUs
+  // wait for their timer instead.
+  if (pace_ns_ == 0) {
+    request_assignments();
+  }
 }
 
 Status ReadoutUnit::send_fragment(std::uint64_t event_id,
@@ -158,6 +186,7 @@ i2o::ParamList ReadoutUnit::on_params_get() {
   params.emplace_back("send_failures", std::to_string(send_failures()));
   params.emplace_back("fragment_bytes", std::to_string(fragment_bytes_));
   params.emplace_back("max_events", std::to_string(max_events_));
+  params.emplace_back("pace_ns", std::to_string(pace_ns_));
   return params;
 }
 

@@ -14,6 +14,12 @@
 //   total_sources   - number of RUs (fragments per complete event)
 //   batch           - assignments requested per Allocate (default 8)
 //   max_events      - stop after this many events (0 = unlimited)
+//   pace_ns         - 0 (default): free-running, each Confirm triggers the
+//                     next Allocate immediately. > 0: a periodic timer
+//                     issues one Allocate every pace_ns, modelling a fixed
+//                     trigger rate - weak-scaling runs use this so the
+//                     offered load grows with the number of RUs instead of
+//                     saturating one shared core.
 #pragma once
 
 #include <atomic>
@@ -42,7 +48,9 @@ class ReadoutUnit : public core::Device {
  protected:
   Status on_configure(const i2o::ParamList& params) override;
   Status on_enable() override;
+  Status on_halt() override;
   void on_reply(const core::MessageContext& ctx) override;
+  void on_timer(std::uint32_t timer_id) override;
   i2o::ParamList on_params_get() override;
 
  private:
@@ -56,6 +64,8 @@ class ReadoutUnit : public core::Device {
   std::uint16_t total_sources_ = 1;
   std::uint32_t batch_ = 8;
   std::uint64_t max_events_ = 0;
+  std::uint64_t pace_ns_ = 0;
+  std::uint32_t pace_timer_ = 0;
 
   std::atomic<std::uint64_t> generated_{0};
   std::atomic<std::uint64_t> send_failures_{0};

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "cluster/hash_ring.hpp"
+
 namespace xdaq::daq {
 
 Result<EventBuilderTopology> EventBuilderTopology::build(
@@ -13,7 +15,40 @@ Result<EventBuilderTopology> EventBuilderTopology::build(
   }
   EventBuilderTopology topo;
   topo.params = p;
-  const std::size_t evm_node = p.readouts + p.builders;
+
+  // Role -> cluster-index map. Default: RUs on [0, n), BUs on [n, n+m),
+  // the EVM on n+m. Hash placement derives a deterministic permutation
+  // from the consistent-hash ring instead: each role key claims the node
+  // the ring assigns it, then retires that node (one instance per node).
+  std::vector<std::size_t> ru_slot(p.readouts);
+  std::vector<std::size_t> bu_slot(p.builders);
+  std::size_t evm_node = p.readouts + p.builders;
+  if (p.hash_placement) {
+    cluster::HashRing ring;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      ring.add_node(cluster.node_id(i));
+    }
+    const auto take = [&cluster, &ring](const std::string& key) {
+      const i2o::NodeId node = ring.lookup(key);
+      ring.remove_node(node);
+      // Cluster node ids are 1-based and dense: node_id(i) == i + 1.
+      return static_cast<std::size_t>(node - cluster.node_id(0));
+    };
+    evm_node = take("evm");
+    for (std::size_t j = 0; j < p.builders; ++j) {
+      bu_slot[j] = take("bu" + std::to_string(j));
+    }
+    for (std::size_t i = 0; i < p.readouts; ++i) {
+      ru_slot[i] = take("ru" + std::to_string(i));
+    }
+  } else {
+    for (std::size_t i = 0; i < p.readouts; ++i) {
+      ru_slot[i] = i;
+    }
+    for (std::size_t j = 0; j < p.builders; ++j) {
+      bu_slot[j] = p.readouts + j;
+    }
+  }
 
   // Event manager first, so its name resolves for connect().
   {
@@ -28,7 +63,7 @@ Result<EventBuilderTopology> EventBuilderTopology::build(
 
   // Builder units.
   for (std::size_t j = 0; j < p.builders; ++j) {
-    const std::size_t node = p.readouts + j;
+    const std::size_t node = bu_slot[j];
     auto evm_proxy = cluster.connect(node, evm_node, "evm");
     if (!evm_proxy.is_ok()) {
       return evm_proxy.status();
@@ -46,13 +81,14 @@ Result<EventBuilderTopology> EventBuilderTopology::build(
 
   // Readout units: each needs the EVM proxy plus a proxy per builder.
   for (std::size_t i = 0; i < p.readouts; ++i) {
-    auto evm_proxy = cluster.connect(i, evm_node, "evm");
+    const std::size_t ru_node = ru_slot[i];
+    auto evm_proxy = cluster.connect(ru_node, evm_node, "evm");
     if (!evm_proxy.is_ok()) {
       return evm_proxy.status();
     }
     std::ostringstream bu_tids;
     for (std::size_t j = 0; j < p.builders; ++j) {
-      auto bu_proxy = cluster.connect(i, p.readouts + j, "bu");
+      auto bu_proxy = cluster.connect(ru_node, bu_slot[j], "bu");
       if (!bu_proxy.is_ok()) {
         return bu_proxy.status();
       }
@@ -64,14 +100,15 @@ Result<EventBuilderTopology> EventBuilderTopology::build(
     auto ru = std::make_unique<ReadoutUnit>();
     topo.readouts.push_back(ru.get());
     auto tid = cluster.install(
-        i, std::move(ru), "ru",
+        ru_node, std::move(ru), "ru",
         {{"evm_tid", std::to_string(evm_proxy.value())},
          {"bu_tids", bu_tids.str()},
          {"fragment_bytes", std::to_string(p.fragment_bytes)},
          {"source_id", std::to_string(i)},
          {"total_sources", std::to_string(p.readouts)},
          {"batch", std::to_string(p.batch)},
-         {"max_events", std::to_string(p.max_events)}});
+         {"max_events", std::to_string(p.max_events)},
+         {"pace_ns", std::to_string(p.pace_ns)}});
     if (!tid.is_ok()) {
       return tid.status();
     }

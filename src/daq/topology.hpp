@@ -23,6 +23,13 @@ struct EventBuilderParams {
   std::uint64_t max_events = 1000;  ///< per-RU event count (0 = unlimited)
   std::uint32_t batch = 8;
   bool verify = true;
+  /// > 0: each RU issues one Allocate every pace_ns instead of
+  /// re-requesting on reply (fixed trigger rate; see ReadoutUnit).
+  std::uint64_t pace_ns = 0;
+  /// Place instances on nodes by consistent hashing over the cluster's
+  /// node ids (cluster::HashRing) instead of the fixed block layout.
+  /// Still one instance per node; only the role->node permutation moves.
+  bool hash_placement = false;
 };
 
 /// Installed devices (owned by their executives; raw pointers are views).

@@ -2,10 +2,17 @@
 
 #include <stdexcept>
 
+#include "pt/transport_factory.hpp"
+
 namespace xdaq::pt {
 
 Cluster::Cluster(ClusterConfig config)
     : fabric_(std::make_unique<gmsim::Fabric>(config.fabric)) {
+  if (config.peer.kind != cluster::PeerSpec::Kind::Gm) {
+    throw std::runtime_error(
+        "Cluster: the in-process harness is GM-based; got peer kind '" +
+        std::string(cluster::to_string(config.peer.kind)) + "'");
+  }
   execs_.reserve(config.nodes);
   pts_.reserve(config.nodes);
   for (std::size_t i = 0; i < config.nodes; ++i) {
@@ -14,10 +21,15 @@ Cluster::Cluster(ClusterConfig config)
     ec.name = "node" + std::to_string(ec.node_id);
     execs_.push_back(std::make_unique<core::Executive>(ec));
 
-    auto pt = std::make_unique<GmPeerTransport>(*fabric_, config.transport,
-                                                config.tuning);
-    GmPeerTransport* raw = pt.get();
-    auto tid = execs_[i]->install(std::move(pt), "pt_gm");
+    TransportContext tctx;
+    tctx.fabric = fabric_.get();
+    auto pt = make_transport(config.peer, tctx);
+    if (!pt.is_ok()) {
+      throw std::runtime_error("Cluster: PT construction failed: " +
+                               pt.status().to_string());
+    }
+    auto* raw = static_cast<core::TransportDevice*>(pt.value().get());
+    auto tid = execs_[i]->install(std::move(pt).value(), "pt_gm");
     if (!tid.is_ok()) {
       throw std::runtime_error("Cluster: PT install failed: " +
                                tid.status().to_string());
@@ -25,15 +37,53 @@ Cluster::Cluster(ClusterConfig config)
     pts_.push_back(raw);
   }
   // Full mesh: every node reaches every other node through its GM PT.
-  for (std::size_t i = 0; i < config.nodes; ++i) {
-    for (std::size_t j = 0; j < config.nodes; ++j) {
-      if (i == j) {
-        continue;
+  if (config.full_mesh) {
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      for (std::size_t j = 0; j < config.nodes; ++j) {
+        if (i == j) {
+          continue;
+        }
+        const Status st = execs_[i]->set_route(node_id(j), pts_[i]->tid());
+        if (!st.is_ok()) {
+          throw std::runtime_error("Cluster: route setup failed: " +
+                                   st.to_string());
+        }
       }
-      const Status st = execs_[i]->set_route(node_id(j), pts_[i]->tid());
-      if (!st.is_ok()) {
-        throw std::runtime_error("Cluster: route setup failed: " +
-                                 st.to_string());
+    }
+  }
+  if (config.gossip) {
+    gossips_.reserve(config.nodes);
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      cluster::GossipDevice::Config gc = config.gossip_config;
+      // Decorrelate the per-node fanout draws while keeping runs seeded.
+      gc.seed = config.gossip_config.seed + i;
+      auto dev = std::make_unique<cluster::GossipDevice>(node_id(i), gc);
+      cluster::GossipDevice* raw = dev.get();
+      auto tid = execs_[i]->install(std::move(dev), "gossip");
+      if (!tid.is_ok()) {
+        throw std::runtime_error("Cluster: gossip install failed: " +
+                                 tid.status().to_string());
+      }
+      execs_[i]->set_gossip_sink(
+          [raw](std::span<const std::byte> payload) {
+            raw->on_gossip(payload);
+          });
+      execs_[i]->add_peer_state_listener(
+          [raw](i2o::NodeId node, core::PeerState /*from*/,
+                core::PeerState to) {
+            if (to == core::PeerState::Down) {
+              raw->on_peer_down(node);
+            }
+          });
+      gossips_.push_back(raw);
+    }
+    // Seed membership: every node knows its full-mesh neighbours from
+    // the topology; gossip keeps the map fresh from here on.
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      for (std::size_t j = 0; j < config.nodes; ++j) {
+        if (i != j) {
+          gossips_[i]->map().note_alive(node_id(j));
+        }
       }
     }
   }
@@ -55,8 +105,8 @@ Result<i2o::Tid> Cluster::connect(std::size_t from, std::size_t to,
   if (!remote_tid.is_ok()) {
     return remote_tid;
   }
-  return execs_.at(from)->register_remote(node_id(to), remote_tid.value(),
-                                          local_name);
+  return execs_.at(from)->resolver().resolve(node_id(to), remote_tid.value(),
+                                             local_name);
 }
 
 Status Cluster::enable_all() {

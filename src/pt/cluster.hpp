@@ -10,21 +10,30 @@
 #include <string>
 #include <vector>
 
+#include "cluster/gossip.hpp"
+#include "cluster/peer_spec.hpp"
 #include "core/executive.hpp"
 #include "gmsim/gmsim.hpp"
-#include "pt/gm_pt.hpp"
 
 namespace xdaq::pt {
 
 struct ClusterConfig {
   std::size_t nodes = 2;
   gmsim::FabricConfig fabric;
-  GmTransportConfig transport;
-  /// Common transport tuning (retry spins, liveness knobs) applied to
-  /// every node's PT.
-  core::TransportConfig tuning;
+  /// One description for every node's peer transport: kind, mode, buffer
+  /// sizing and liveness tuning. This replaces the old per-transport
+  /// ad-hoc fields (GmTransportConfig + TransportConfig pairs); parse a
+  /// "gm:task"-style string or set fields directly.
+  cluster::PeerSpec peer;
   /// Template for each node's executive (node_id and name are overwritten).
   core::ExecutiveConfig exec;
+  /// Install a cluster::GossipDevice per node, wired to the executive's
+  /// gossip sink and peer-state listeners.
+  bool gossip = false;
+  cluster::GossipDevice::Config gossip_config;
+  /// Wire full-mesh direct routes in the constructor. Relay-topology
+  /// tests disable this and call set_route()/relay_route() by hand.
+  bool full_mesh = true;
 };
 
 class Cluster {
@@ -41,8 +50,19 @@ class Cluster {
   [[nodiscard]] i2o::NodeId node_id(std::size_t i) const {
     return static_cast<i2o::NodeId>(i + 1);
   }
-  [[nodiscard]] GmPeerTransport& transport(std::size_t i) {
+  [[nodiscard]] core::TransportDevice& transport(std::size_t i) {
     return *pts_.at(i);
+  }
+  /// The per-node gossip device; only valid when config.gossip is set.
+  [[nodiscard]] cluster::GossipDevice& gossip(std::size_t i) {
+    return *gossips_.at(i);
+  }
+
+  /// Declares that node `from` reaches node `to` by relaying through
+  /// node `via` (which must be directly routed from `from`).
+  void relay_route(std::size_t from, std::size_t to, std::size_t via) {
+    execs_.at(from)->resolver().routes().set_relay(node_id(to),
+                                                   node_id(via));
   }
 
   /// Installs a device on node `i` (thin forwarder).
@@ -67,7 +87,8 @@ class Cluster {
  private:
   std::unique_ptr<gmsim::Fabric> fabric_;
   std::vector<std::unique_ptr<core::Executive>> execs_;
-  std::vector<GmPeerTransport*> pts_;  ///< owned by their executives
+  std::vector<core::TransportDevice*> pts_;  ///< owned by their executives
+  std::vector<cluster::GossipDevice*> gossips_;  ///< owned by executives
 };
 
 }  // namespace xdaq::pt

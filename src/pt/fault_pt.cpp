@@ -11,6 +11,12 @@ FaultInjectingTransport::FaultInjectingTransport(core::TransportDevice& inner,
 
 FaultInjectingTransport::~FaultInjectingTransport() { transport_down(); }
 
+void FaultInjectingTransport::set_plan(FaultPlan plan) {
+  const std::scoped_lock lock(mutex_);
+  plan_ = plan;
+  rng_ = Rng(plan.seed);
+}
+
 std::int64_t FaultInjectingTransport::steady_ns() noexcept {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())

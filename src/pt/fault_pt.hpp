@@ -71,6 +71,11 @@ class FaultInjectingTransport final : public core::TransportDevice {
   };
   [[nodiscard]] InjectStats inject_stats() const;
 
+  /// Swaps the active fault plan mid-run (reseeding the RNG from
+  /// plan.seed). Partition tests use this to sever a link and later heal
+  /// it without reinstalling the decorator.
+  void set_plan(FaultPlan plan);
+
   /// Reports its own injection counters, then the wrapped transport's
   /// under the same prefix (the decorator is what the executive installed,
   /// so it speaks for both layers).

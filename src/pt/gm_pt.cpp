@@ -92,16 +92,22 @@ Status GmPeerTransport::transport_send(i2o::NodeId dst,
     return {Errc::FailedPrecondition, "GM port not open"};
   }
   // GM semantics: send needs a token; a real GM application retries after
-  // pumping completions. Yield periodically while starved - the consumer
-  // returning our tokens may need this core (machines with fewer cores
-  // than executives would otherwise livelock).
+  // pumping completions. Back off in stages while starved: stay hot
+  // briefly (tokens usually return within microseconds), then yield, then
+  // sleep outright - the consumer returning our tokens may need this core
+  // (a 64-node in-process run has far more executives than cores, and a
+  // send-side spin storm starves the very receivers that would drain it).
   const std::size_t retry_spins = transport_config().send_retry_spins;
   for (std::size_t spin = 0; spin < retry_spins; ++spin) {
     const Status st = port_->send(dst, frame);
     if (st.code() != Errc::ResourceExhausted) {
       return st;
     }
-    if ((spin & 0x3FF) == 0x3FF) {
+    if (spin >= 1024) {
+      if ((spin & 0x3F) == 0x3F) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    } else if ((spin & 0x3FF) == 0x3FF) {
       std::this_thread::yield();
     }
   }

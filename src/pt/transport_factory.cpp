@@ -1,0 +1,56 @@
+#include "pt/transport_factory.hpp"
+
+#include "pt/gm_pt.hpp"
+#include "pt/tcp_pt.hpp"
+
+namespace xdaq::pt {
+
+Result<std::unique_ptr<core::Device>> make_transport(
+    const cluster::PeerSpec& spec, const TransportContext& ctx) {
+  switch (spec.kind) {
+    case cluster::PeerSpec::Kind::Gm: {
+      if (ctx.fabric == nullptr) {
+        return {Errc::FailedPrecondition,
+                "PeerSpec kind gm needs TransportContext.fabric"};
+      }
+      GmTransportConfig gc;
+      gc.mode = spec.mode;
+      if (spec.receive_buffers != 0) {
+        gc.receive_buffers = spec.receive_buffers;
+      }
+      if (spec.buffer_bytes != 0) {
+        gc.buffer_bytes = spec.buffer_bytes;
+      }
+      return std::unique_ptr<core::Device>(
+          std::make_unique<GmPeerTransport>(*ctx.fabric, gc, spec.tuning));
+    }
+    case cluster::PeerSpec::Kind::LocalBus: {
+      if (ctx.bus == nullptr) {
+        return {Errc::FailedPrecondition,
+                "PeerSpec kind local needs TransportContext.bus"};
+      }
+      return std::unique_ptr<core::Device>(
+          std::make_unique<LocalBusTransport>(*ctx.bus));
+    }
+    case cluster::PeerSpec::Kind::Fifo: {
+      if (ctx.link == nullptr) {
+        return {Errc::FailedPrecondition,
+                "PeerSpec kind fifo needs TransportContext.link"};
+      }
+      if (ctx.fifo_endpoint != 0 && ctx.fifo_endpoint != 1) {
+        return {Errc::InvalidArgument, "fifo endpoint must be 0 or 1"};
+      }
+      return std::unique_ptr<core::Device>(
+          std::make_unique<FifoTransport>(*ctx.link, ctx.fifo_endpoint));
+    }
+    case cluster::PeerSpec::Kind::Tcp: {
+      TcpTransportConfig tc;
+      tc.listen_port = spec.port;
+      return std::unique_ptr<core::Device>(
+          std::make_unique<TcpPeerTransport>(tc, spec.tuning));
+    }
+  }
+  return {Errc::InvalidArgument, "unknown PeerSpec kind"};
+}
+
+}  // namespace xdaq::pt

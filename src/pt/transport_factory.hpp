@@ -1,0 +1,37 @@
+// transport_factory.hpp - turns a cluster::PeerSpec into a TransportDevice.
+//
+// The pt layer's half of the PeerSpec redesign: one factory accepts the
+// unified topology-level description and builds the matching concrete
+// transport. Kinds that attach to an in-process fabric (GM simulator,
+// FIFO link, local bus) take that fabric through TransportContext - a
+// spec string cannot carry a live object by value.
+#pragma once
+
+#include <memory>
+
+#include "cluster/peer_spec.hpp"
+#include "core/transport.hpp"
+#include "gmsim/gmsim.hpp"
+#include "pt/fifo_pt.hpp"
+#include "pt/local_bus.hpp"
+
+namespace xdaq::pt {
+
+/// External attachments a PeerSpec's kind may require. Supply the one
+/// matching the spec; make_transport fails with FailedPrecondition when
+/// it is missing.
+struct TransportContext {
+  gmsim::Fabric* fabric = nullptr;  ///< PeerSpec::Kind::Gm
+  FifoLink* link = nullptr;         ///< Kind::Fifo
+  int fifo_endpoint = 0;            ///< Kind::Fifo: 0 = host, 1 = IOP
+  LocalBus* bus = nullptr;          ///< Kind::LocalBus
+};
+
+/// Builds the transport a PeerSpec describes. The returned device is not
+/// yet installed in any executive. It is always a TransportDevice; the
+/// handle is Device because TransportDevice keeps its destructor
+/// protected (deletion goes through the Device base).
+Result<std::unique_ptr<core::Device>> make_transport(
+    const cluster::PeerSpec& spec, const TransportContext& ctx = {});
+
+}  // namespace xdaq::pt

@@ -52,8 +52,8 @@ ControlSession::ControlSession(core::Executive& host,
 }
 
 Status ControlSession::add_node(const std::string& name, i2o::NodeId node) {
-  auto proxy = host_.register_remote(node, i2o::kExecutiveTid,
-                                     "kernel@" + name);
+  auto proxy = host_.resolver().resolve(node, i2o::kExecutiveTid,
+                                        "kernel@" + name);
   if (!proxy.is_ok()) {
     return proxy.status();
   }
@@ -176,7 +176,7 @@ Result<i2o::Tid> ControlSession::device_proxy(const std::string& node,
   }
   const auto remote_tid = static_cast<i2o::Tid>(
       std::strtoul(tid_text.c_str(), nullptr, 10));
-  return host_.register_remote(info.value().node, remote_tid);
+  return host_.resolver().resolve(info.value().node, remote_tid);
 }
 
 Result<i2o::ParamList> ControlSession::param_get(

@@ -1,0 +1,358 @@
+// cluster_test.cpp - unit tests for the cluster fabric primitives:
+// member map (SWIM precedence, refutation, codec, version lattice),
+// consistent-hash ring, route table, resolver facade and PeerSpec
+// parsing. Everything here is pure xdaq_cluster - no executive.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "cluster/hash_ring.hpp"
+#include "cluster/member_map.hpp"
+#include "cluster/peer_spec.hpp"
+#include "cluster/relay.hpp"
+#include "cluster/resolver.hpp"
+#include "cluster/route_table.hpp"
+
+namespace xdaq::cluster {
+namespace {
+
+// ------------------------------------------------------------- member map
+
+TEST(MemberMap, StartsWithSelfAlive) {
+  MemberMap map(3);
+  EXPECT_EQ(map.size(), 1u);
+  const auto self = map.get(3);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->status, MemberStatus::Alive);
+  EXPECT_EQ(self->incarnation, 0u);
+  EXPECT_EQ(map.version(), 1u);
+}
+
+TEST(MemberMap, HigherIncarnationWins) {
+  MemberMap map(1);
+  EXPECT_TRUE(map.observe({2, 5, MemberStatus::Suspect}));
+  // A stale lower-incarnation Alive must not override.
+  EXPECT_FALSE(map.observe({2, 4, MemberStatus::Alive}));
+  EXPECT_EQ(map.get(2)->status, MemberStatus::Suspect);
+  // A higher-incarnation Alive refutes the suspicion.
+  EXPECT_TRUE(map.observe({2, 6, MemberStatus::Alive}));
+  EXPECT_EQ(map.get(2)->status, MemberStatus::Alive);
+}
+
+TEST(MemberMap, EqualIncarnationStrongerStatusWins) {
+  MemberMap map(1);
+  EXPECT_TRUE(map.observe({2, 3, MemberStatus::Alive}));
+  EXPECT_TRUE(map.observe({2, 3, MemberStatus::Suspect}));
+  EXPECT_TRUE(map.observe({2, 3, MemberStatus::Dead}));
+  // Weaker claims at the same incarnation are ignored.
+  EXPECT_FALSE(map.observe({2, 3, MemberStatus::Suspect}));
+  EXPECT_FALSE(map.observe({2, 3, MemberStatus::Alive}));
+  EXPECT_EQ(map.get(2)->status, MemberStatus::Dead);
+}
+
+TEST(MemberMap, RefutesRumoursAboutSelf) {
+  MemberMap map(7);
+  // Hearing "you are suspect at your own incarnation" must bump the
+  // incarnation past the rumour and stay Alive.
+  EXPECT_TRUE(map.observe({7, 0, MemberStatus::Suspect}));
+  const auto self = map.get(7);
+  EXPECT_EQ(self->status, MemberStatus::Alive);
+  EXPECT_GT(self->incarnation, 0u);
+  EXPECT_GE(map.self_incarnation(), 1u);
+}
+
+TEST(MemberMap, NoteAliveClearsSuspectButNotDead) {
+  MemberMap map(1);
+  map.observe({2, 1, MemberStatus::Suspect});
+  EXPECT_TRUE(map.note_alive(2));
+  EXPECT_EQ(map.get(2)->status, MemberStatus::Alive);
+  map.observe({3, 1, MemberStatus::Dead});
+  EXPECT_FALSE(map.note_alive(3));
+  EXPECT_EQ(map.get(3)->status, MemberStatus::Dead);
+  // Only refutation (higher incarnation) resurrects.
+  EXPECT_TRUE(map.observe({3, 2, MemberStatus::Alive}));
+  EXPECT_EQ(map.get(3)->status, MemberStatus::Alive);
+}
+
+TEST(MemberMap, EncodeDecodeRoundTrip) {
+  MemberMap map(1);
+  map.observe({2, 4, MemberStatus::Suspect});
+  map.observe({3, 9, MemberStatus::Dead});
+  const auto bytes = map.encode();
+  auto decoded = MemberMap::decode(bytes);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().version, map.version());
+  ASSERT_EQ(decoded.value().members.size(), 3u);
+  std::map<i2o::NodeId, Member> by_node;
+  for (const Member& m : decoded.value().members) {
+    by_node[m.node] = m;
+  }
+  EXPECT_EQ(by_node[2].incarnation, 4u);
+  EXPECT_EQ(by_node[2].status, MemberStatus::Suspect);
+  EXPECT_EQ(by_node[3].status, MemberStatus::Dead);
+}
+
+TEST(MemberMap, DecodeRejectsTruncated) {
+  MemberMap map(1);
+  map.observe({2, 1, MemberStatus::Alive});
+  auto bytes = map.encode();
+  bytes.pop_back();
+  EXPECT_FALSE(MemberMap::decode(bytes).is_ok());
+  EXPECT_FALSE(MemberMap::decode({}).is_ok());
+}
+
+TEST(MemberMap, VersionMonotonicAcrossMergeAndRejoin) {
+  MemberMap a(1);
+  MemberMap b(2);
+  // Drive b's version well past a's.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    b.observe({static_cast<i2o::NodeId>(10 + i), 1, MemberStatus::Alive});
+  }
+  const std::uint64_t vb = b.version();
+  ASSERT_GT(vb, 1u);
+
+  auto decoded = MemberMap::decode(b.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  const std::uint64_t before = a.version();
+  EXPECT_GT(a.merge(decoded.value()), 0u);
+  // Lattice: merged version exceeds both inputs when anything changed.
+  EXPECT_GT(a.version(), before);
+  EXPECT_GT(a.version(), vb);
+
+  // Rejoin cycle: node 2 dies, refutes, comes back - version never dips.
+  std::uint64_t last = a.version();
+  a.confirm_dead(2);
+  EXPECT_GE(a.version(), last);
+  last = a.version();
+  a.observe({2, 1, MemberStatus::Alive});  // rejoin with bumped incarnation
+  EXPECT_GE(a.version(), last);
+  EXPECT_EQ(a.get(2)->status, MemberStatus::Alive);
+
+  // Re-merging the same remote map is idempotent for the version lattice.
+  last = a.version();
+  a.merge(decoded.value());
+  EXPECT_EQ(a.version(), last);
+}
+
+TEST(MemberMap, PeersWithStatusExcludesSelf) {
+  MemberMap map(1);
+  map.observe({2, 1, MemberStatus::Alive});
+  map.observe({3, 1, MemberStatus::Suspect});
+  const auto alive = map.peers_with_status(MemberStatus::Alive);
+  ASSERT_EQ(alive.size(), 1u);
+  EXPECT_EQ(alive[0], 2u);
+}
+
+// -------------------------------------------------------------- hash ring
+
+TEST(HashRing, EmptyRingReturnsNullNode) {
+  HashRing ring;
+  EXPECT_EQ(ring.lookup("anything"), i2o::kNullNode);
+  EXPECT_EQ(ring.node_count(), 0u);
+}
+
+TEST(HashRing, LookupIsDeterministicAndCovered) {
+  HashRing ring;
+  for (i2o::NodeId n = 1; n <= 8; ++n) {
+    ring.add_node(n);
+  }
+  std::set<i2o::NodeId> owners;
+  for (int i = 0; i < 256; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const i2o::NodeId owner = ring.lookup(key);
+    EXPECT_EQ(owner, ring.lookup(key));  // deterministic
+    ASSERT_GE(owner, 1u);
+    ASSERT_LE(owner, 8u);
+    owners.insert(owner);
+  }
+  // With 64 vnodes per node, 256 keys should reach most of 8 nodes.
+  EXPECT_GE(owners.size(), 6u);
+}
+
+TEST(HashRing, RemovalOnlyRemapsOwnedKeys) {
+  HashRing ring;
+  for (i2o::NodeId n = 1; n <= 8; ++n) {
+    ring.add_node(n);
+  }
+  std::map<std::string, i2o::NodeId> before;
+  for (int i = 0; i < 256; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    before[key] = ring.lookup(key);
+  }
+  ring.remove_node(3);
+  EXPECT_FALSE(ring.contains(3));
+  for (const auto& [key, owner] : before) {
+    if (owner != 3) {
+      // Consistent hashing: keys not owned by the removed node stay put.
+      EXPECT_EQ(ring.lookup(key), owner) << key;
+    } else {
+      EXPECT_NE(ring.lookup(key), 3u) << key;
+    }
+  }
+}
+
+// ------------------------------------------------------------ route table
+
+TEST(RouteTable, DirectRelayAndErase) {
+  RouteTable routes;
+  EXPECT_EQ(routes.next_hop(5).kind, NextHop::Kind::None);
+  routes.set_direct(5, 42);
+  EXPECT_EQ(routes.next_hop(5).kind, NextHop::Kind::Direct);
+  EXPECT_EQ(routes.next_hop(5).via_pt, 42u);
+  routes.set_relay(6, 5);
+  EXPECT_EQ(routes.next_hop(6).kind, NextHop::Kind::Relay);
+  EXPECT_EQ(routes.next_hop(6).relay_node, 5u);
+  EXPECT_EQ(routes.size(), 2u);
+  const auto direct = routes.direct_nodes();
+  ASSERT_EQ(direct.size(), 1u);
+  EXPECT_EQ(direct[0], 5u);
+  routes.erase(5);
+  EXPECT_EQ(routes.next_hop(5).kind, NextHop::Kind::None);
+  routes.clear();
+  EXPECT_EQ(routes.size(), 0u);
+}
+
+// --------------------------------------------------------------- resolver
+
+TEST(Resolver, DirectRelayAndUnroutable) {
+  std::map<std::string, int> interned;  // "(node,tid,via)" -> count
+  i2o::Tid next = 100;
+  Resolver resolver(
+      1, [&](i2o::NodeId node, i2o::Tid remote, i2o::Tid via,
+             const std::string& name) -> Result<i2o::Tid> {
+        interned[std::to_string(node) + "," + std::to_string(remote) + "," +
+                 std::to_string(via) + "," + name]++;
+        return next++;
+      });
+
+  // No route: Unroutable, and the intern callback never fires.
+  auto none = resolver.resolve(9, 7);
+  ASSERT_FALSE(none.is_ok());
+  EXPECT_EQ(none.status().code(), Errc::Unroutable);
+  EXPECT_TRUE(interned.empty());
+
+  // Direct route: interned through the route's via_pt.
+  resolver.routes().set_direct(2, 40);
+  ASSERT_TRUE(resolver.resolve(2, 7, "echo").is_ok());
+  EXPECT_EQ(interned.at("2,7,40,echo"), 1);
+
+  // Relay route whose hop is reachable: interned with the kNullTid
+  // sentinel so the send path re-consults the route table per frame.
+  resolver.routes().set_relay(3, 2);
+  ASSERT_TRUE(resolver.resolve(3, 8).is_ok());
+  EXPECT_EQ(interned.at("3,8,0,"), 1);
+
+  // Relay route whose hop has no direct transport: Unavailable.
+  resolver.routes().set_relay(4, 9);
+  auto dark = resolver.resolve(4, 8);
+  ASSERT_FALSE(dark.is_ok());
+  EXPECT_EQ(dark.status().code(), Errc::Unavailable);
+
+  // Self/invalid targets are rejected.
+  EXPECT_FALSE(resolver.resolve(1, 7).is_ok());
+  EXPECT_FALSE(resolver.resolve(i2o::kNullNode, 7).is_ok());
+
+  // resolve_via pins the transport; kNullTid is reserved for relays.
+  ASSERT_TRUE(resolver.resolve_via(2, 7, 41).is_ok());
+  EXPECT_EQ(interned.at("2,7,41,"), 1);
+  EXPECT_FALSE(resolver.resolve_via(2, 7, i2o::kNullTid).is_ok());
+}
+
+TEST(Resolver, TtlConfigurable) {
+  Resolver resolver(1, [](i2o::NodeId, i2o::Tid, i2o::Tid,
+                          const std::string&) -> Result<i2o::Tid> {
+    return i2o::Tid{2};
+  });
+  EXPECT_EQ(resolver.initial_ttl(), kDefaultRelayTtl);
+  resolver.set_initial_ttl(3);
+  EXPECT_EQ(resolver.initial_ttl(), 3u);
+}
+
+// --------------------------------------------------------------- peer spec
+
+TEST(PeerSpec, ParsesEveryKind) {
+  auto gm = PeerSpec::parse("gm");
+  ASSERT_TRUE(gm.is_ok());
+  EXPECT_EQ(gm.value().kind, PeerSpec::Kind::Gm);
+  EXPECT_EQ(gm.value().mode, core::TransportDevice::Mode::Polling);
+
+  auto gm_task = PeerSpec::parse("gm:task");
+  ASSERT_TRUE(gm_task.is_ok());
+  EXPECT_EQ(gm_task.value().mode, core::TransportDevice::Mode::Task);
+
+  auto local = PeerSpec::parse("local");
+  ASSERT_TRUE(local.is_ok());
+  EXPECT_EQ(local.value().kind, PeerSpec::Kind::LocalBus);
+
+  auto fifo = PeerSpec::parse("fifo:/tmp/link0");
+  ASSERT_TRUE(fifo.is_ok());
+  EXPECT_EQ(fifo.value().kind, PeerSpec::Kind::Fifo);
+  EXPECT_EQ(fifo.value().path, "/tmp/link0");
+
+  auto tcp = PeerSpec::parse("tcp:hostA:9000");
+  ASSERT_TRUE(tcp.is_ok());
+  EXPECT_EQ(tcp.value().kind, PeerSpec::Kind::Tcp);
+  EXPECT_EQ(tcp.value().host, "hostA");
+  EXPECT_EQ(tcp.value().port, 9000);
+}
+
+TEST(PeerSpec, RejectsMalformed) {
+  EXPECT_FALSE(PeerSpec::parse("").is_ok());
+  EXPECT_FALSE(PeerSpec::parse("myrinet").is_ok());
+  EXPECT_FALSE(PeerSpec::parse("fifo:").is_ok());
+  EXPECT_FALSE(PeerSpec::parse("tcp:hostonly").is_ok());
+  EXPECT_FALSE(PeerSpec::parse("tcp:host:0").is_ok());
+  EXPECT_FALSE(PeerSpec::parse("tcp:host:99999").is_ok());
+}
+
+TEST(PeerSpec, DescribeRoundTrips) {
+  for (const char* text :
+       {"gm", "gm:task", "local", "local:task", "fifo:/tmp/x",
+        "tcp:node7:1234"}) {
+    auto spec = PeerSpec::parse(text);
+    ASSERT_TRUE(spec.is_ok()) << text;
+    EXPECT_EQ(spec.value().describe(), text);
+    auto again = PeerSpec::parse(spec.value().describe());
+    ASSERT_TRUE(again.is_ok()) << text;
+    EXPECT_EQ(again.value().kind, spec.value().kind);
+  }
+}
+
+// ------------------------------------------------------------ relay codec
+
+TEST(Relay, HeaderRoundTripAndGuards) {
+  std::vector<std::byte> payload(kRelayHeaderBytes + 8);
+  RelayHeader rh;
+  rh.src = 3;
+  rh.dst = 9;
+  rh.ttl = 5;
+  rh.inner_len = 8;
+  encode_relay_header(rh, payload);
+  auto decoded = decode_relay_header(payload);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().src, 3u);
+  EXPECT_EQ(decoded.value().dst, 9u);
+  EXPECT_EQ(decoded.value().ttl, 5u);
+  EXPECT_EQ(decoded.value().inner_len, 8u);
+  EXPECT_EQ(relay_inner(decoded.value(), payload).size(), 8u);
+
+  patch_relay_ttl(payload, 4);
+  EXPECT_EQ(decode_relay_header(payload).value().ttl, 4u);
+
+  // Truncated header / overlong inner_len / null destination all fail.
+  EXPECT_FALSE(
+      decode_relay_header(std::span(payload).first(kRelayHeaderBytes - 1))
+          .is_ok());
+  rh.inner_len = 64;
+  encode_relay_header(rh, payload);
+  EXPECT_FALSE(decode_relay_header(payload).is_ok());
+  rh.inner_len = 8;
+  rh.dst = i2o::kNullNode;
+  encode_relay_header(rh, payload);
+  EXPECT_FALSE(decode_relay_header(payload).is_ok());
+}
+
+}  // namespace
+}  // namespace xdaq::cluster

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "core/device.hpp"
 
 namespace xdaq::core {
@@ -147,6 +152,54 @@ TEST(AddressTable, TidSpaceExhaustion) {
   // Releasing one frees the space again.
   ASSERT_TRUE(t.release(100).is_ok());
   EXPECT_TRUE(t.allocate_local(&d).is_ok());
+}
+
+// The intern hit path takes only a shared lock, so readers race with
+// each other and with genuine-miss writers. Run under TSan (the
+// build-tsan tree) this is the proof the shared_mutex conversion is
+// sound: concurrent interning of the same triple converges on one TiD
+// while distinct triples stay distinct, with lookups mixed in.
+TEST(AddressTable, ConcurrentInterningIsRaceFree) {
+  AddressTable t;
+  DummyDevice d;
+  const auto local = t.allocate_local(&d).value();
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  std::array<i2o::Tid, kThreads> shared_tid{};
+  std::atomic<bool> failed{false};
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kIters; ++i) {
+        // Hot shared key: every thread must agree on its TiD.
+        auto hot = t.intern_proxy(7, 42, 3);
+        if (!hot.is_ok()) {
+          failed = true;
+          return;
+        }
+        shared_tid[static_cast<std::size_t>(w)] = hot.value();
+        // Per-thread key: exercises the exclusive-lock miss path once,
+        // the shared-lock hit path thereafter.
+        auto own = t.intern_proxy(static_cast<i2o::NodeId>(10 + w), 42, 3);
+        if (!own.is_ok() || !t.lookup(own.value()).is_ok() ||
+            t.local_device(local) != &d) {
+          failed = true;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  ASSERT_FALSE(failed.load());
+  for (int w = 1; w < kThreads; ++w) {
+    EXPECT_EQ(shared_tid[static_cast<std::size_t>(w)], shared_tid[0]);
+  }
+  // One proxy per distinct triple: the hot key plus one per thread.
+  EXPECT_EQ(t.size(), 1u + 1u + kThreads);
 }
 
 }  // namespace

@@ -111,9 +111,9 @@ set bu_tid [xdaq tid bu bu]
   const auto evm_tid = cluster.node(4).tid_of("evm").value();
   const auto bu_tid = cluster.node(3).tid_of("bu").value();
   for (const std::size_t ru_node : {1u, 2u}) {
-    auto evm_proxy = cluster.node(ru_node).register_remote(
+    auto evm_proxy = cluster.node(ru_node).resolver().resolve(
         cluster.node_id(4), evm_tid);
-    auto bu_proxy = cluster.node(ru_node).register_remote(
+    auto bu_proxy = cluster.node(ru_node).resolver().resolve(
         cluster.node_id(3), bu_tid);
     ASSERT_TRUE(evm_proxy.is_ok());
     ASSERT_TRUE(bu_proxy.is_ok());
@@ -166,8 +166,8 @@ TEST(Integration, SysTabSetViaMessage) {
   // Node 1 will receive a system table telling it how to reach the echo
   // device on node 3 by name.
   const auto kernel1 =
-      cluster.node(0).register_remote(cluster.node_id(1),
-                                      i2o::kExecutiveTid).value();
+      cluster.node(0).resolver().resolve(cluster.node_id(1),
+                                         i2o::kExecutiveTid).value();
   ASSERT_TRUE(cluster.enable_all().is_ok());
   cluster.start_all();
 
@@ -489,7 +489,7 @@ TEST(Integration, BulkOverTcpTransport) {
   Source* src = src_dev.get();
   ASSERT_TRUE(a.install(std::move(src_dev), "src").is_ok());
   const auto proxy =
-      a.register_remote(2, b.tid_of("sink").value()).value();
+      a.resolver().resolve(2, b.tid_of("sink").value()).value();
   ASSERT_TRUE(a.enable_all().is_ok());
   ASSERT_TRUE(b.enable_all().is_ok());
   a.start();

@@ -57,7 +57,7 @@ class ClusterModeP
 
 TEST_P(ClusterModeP, CrossNodeEchoRoundTrip) {
   ClusterConfig cfg;
-  cfg.transport.mode = GetParam();
+  cfg.peer.mode = GetParam();
   Cluster cluster(cfg);
   ASSERT_TRUE(
       cluster.install(1, std::make_unique<EchoDevice>(), "echo").is_ok());
