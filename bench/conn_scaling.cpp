@@ -1,0 +1,392 @@
+// conn_scaling.cpp - C1M front end: connection scaling and flat goodput
+// under admission overload.
+//
+// The epoll-reactor rewrite exists so one node can hold tens of
+// thousands of mostly idle connections (the old poll(2) backend rebuilt
+// its watch set every 20 ms wait - a few thousand sockets was the
+// ceiling). This bench stands up one TcpPeerTransport server and a
+// client PROCESS holding --conns loopback connections against it: both
+// endpoints of every connection burn an fd, so a single process could
+// hold only half the advertised count under a 20k RLIMIT_NOFILE - the
+// client side is forked before any thread exists and the two sides talk
+// over pipes. 10k+ connections run in CI; 100k+ needs raised fd limits
+// (see EXPERIMENTS.md).
+//
+// The QoS invariant rides along: with bounded admission configured, a
+// 10x offered-load overload on the data plane must not collapse
+// goodput. The run calibrates dispatch capacity C (unpaced flood),
+// measures goodput at an unloaded 0.4C offered rate, then offers 4C
+// (10x unloaded) and requires goodput >= 0.8x the unloaded figure -
+// the shed happens at the transport edge, before the frames can drown
+// the dispatcher. Exit is nonzero when the floor is missed or the
+// connection count is not sustained. BENCH_conn.json embeds the server
+// node's metrics snapshot next to the numbers.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/monitor_device.hpp"
+#include "i2o/frame.hpp"
+#include "i2o/wire.hpp"
+#include "netio/socket.hpp"
+#include "pt/tcp_pt.hpp"
+#include "util/cli.hpp"
+
+namespace xdaq::bench {
+namespace {
+
+/// Counts data-plane deliveries; never replies (goodput is measured at
+/// the dispatched handler, past every queue that overload could wedge).
+class SinkDevice final : public core::Device {
+ public:
+  SinkDevice() : Device("ConnSink") {
+    bind(i2o::OrgId::kBench, kXfnPing,
+         [this](const core::MessageContext&) {
+           delivered_.fetch_add(1, std::memory_order_relaxed);
+         });
+  }
+  [[nodiscard]] std::uint64_t delivered() const noexcept {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> delivered_{0};
+};
+
+/// Raise the soft fd limit to the hard cap; returns the resulting cap.
+std::size_t raise_fd_limit() {
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) {
+    return 0;
+  }
+  if (rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &rl);
+    (void)getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  return static_cast<std::size_t>(rl.rlim_cur);
+}
+
+// ---------------------------------------------------------- client child
+//
+// Holds the connections and offers load on command. Protocol (one line
+// each way): parent sends "PORT <port> <tid>", child answers
+// "READY <conns>"; parent sends "RUN <fps> <ms>" (fps 0 = unpaced
+// flood), child answers "SENT <frames>"; "QUIT" ends the child.
+
+int client_main(FILE* cmd, FILE* ack, std::size_t conns,
+                std::size_t senders, std::size_t payload_bytes) {
+  unsigned port = 0;
+  unsigned tid = 0;
+  if (std::fscanf(cmd, "PORT %u %u", &port, &tid) != 2) {
+    return 1;
+  }
+  std::vector<netio::TcpStream> socks;
+  socks.reserve(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    auto s = netio::TcpStream::connect(
+        "127.0.0.1", static_cast<std::uint16_t>(port));
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "client: connect %zu failed: %s\n", i,
+                   s.status().to_string().c_str());
+      break;
+    }
+    std::array<std::byte, 6> hello{};
+    i2o::put_u32(hello, 0, 0x58444151);  // "XDAQ"
+    i2o::put_u16(hello, 4,
+                 static_cast<std::uint16_t>(100 + (i % 60000)));
+    if (!s.value().write_all(hello).is_ok()) {
+      break;
+    }
+    socks.push_back(std::move(s).value());
+    if (socks.size() % 1000 == 0) {
+      // Brief yield so the server's accept drain keeps the backlog low.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::fprintf(ack, "READY %zu\n", socks.size());
+  std::fflush(ack);
+
+  // One length-prefixed data frame, reused for every send.
+  std::vector<std::byte> wire(4 + i2o::kPrivateHeaderBytes + payload_bytes);
+  {
+    i2o::FrameHeader hdr;
+    hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+    hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kBench);
+    hdr.xfunction = kXfnPing;
+    hdr.target = static_cast<i2o::Tid>(tid);
+    i2o::put_u32(wire, 0, static_cast<std::uint32_t>(wire.size() - 4));
+    const std::span<std::byte> body(wire.data() + 4, wire.size() - 4);
+    if (!i2o::encode_header(hdr, body).is_ok()) {
+      return 1;
+    }
+  }
+  const std::size_t nsend = std::min(senders, socks.size());
+  for (;;) {
+    char op[8] = {0};
+    if (std::fscanf(cmd, "%7s", op) != 1 || std::strcmp(op, "QUIT") == 0) {
+      break;
+    }
+    double fps = 0;
+    long ms = 0;
+    if (std::strcmp(op, "RUN") != 0 ||
+        std::fscanf(cmd, "%lf %ld", &fps, &ms) != 2 || nsend == 0) {
+      std::fprintf(ack, "SENT 0\n");
+      std::fflush(ack);
+      continue;
+    }
+    const std::uint64_t t0 = now_ns();
+    const std::uint64_t deadline =
+        t0 + static_cast<std::uint64_t>(ms) * 1000000ULL;
+    const double ns_per_frame = fps > 0 ? 1e9 / fps : 0.0;
+    std::uint64_t sent = 0;
+    std::uint64_t next = t0;
+    while (now_ns() < deadline) {
+      // One pacing check per burst keeps the token-bucket overhead off
+      // the send path; unpaced mode floods back-to-back bursts.
+      for (std::size_t k = 0; k < 16; ++k) {
+        if (!socks[sent % nsend].write_all(wire).is_ok()) {
+          std::fprintf(ack, "SENT %llu\n",
+                       static_cast<unsigned long long>(sent));
+          std::fflush(ack);
+          return 1;  // server went away mid-run
+        }
+        ++sent;
+      }
+      if (ns_per_frame > 0) {
+        next = t0 + static_cast<std::uint64_t>(
+                        static_cast<double>(sent) * ns_per_frame);
+        while (now_ns() < next && now_ns() < deadline) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+    }
+    std::fprintf(ack, "SENT %llu\n", static_cast<unsigned long long>(sent));
+    std::fflush(ack);
+  }
+  return 0;
+}
+
+// -------------------------------------------------------------- parent
+
+struct RunResult {
+  double offered_fps = 0;
+  double goodput_fps = 0;
+};
+
+int run(int argc, const char* const* argv) {
+  CliParser cli;
+  cli.flag("conns", "concurrent loopback connections", std::int64_t{10000})
+      .flag("senders", "connections that carry data traffic",
+            std::int64_t{32})
+      .flag("payload", "data frame payload bytes", std::int64_t{256})
+      .flag("admission", "server admission_limit (frames)",
+            std::int64_t{2048})
+      .flag("calib-ms", "capacity calibration window (ms)",
+            std::int64_t{500})
+      .flag("secs", "measurement window per arm (s)", std::int64_t{2});
+  if (Status st = cli.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n%s", st.to_string().c_str(),
+                 cli.usage("conn_scaling").c_str());
+    return 1;
+  }
+  const auto conns = static_cast<std::size_t>(cli.get_int("conns"));
+  const auto senders = static_cast<std::size_t>(cli.get_int("senders"));
+  const auto payload = static_cast<std::size_t>(cli.get_int("payload"));
+  const auto admission = static_cast<std::size_t>(cli.get_int("admission"));
+  const auto calib_ms = cli.get_int("calib-ms");
+  const long arm_ms = cli.get_int("secs") * 1000;
+
+  const std::size_t fd_cap = raise_fd_limit();
+  std::printf("=== Connection scaling: %zu loopback conns "
+              "(fd limit %zu/process, client forked), %zu senders, "
+              "%zu B payload ===\n\n",
+              conns, fd_cap, senders, payload);
+  if (fd_cap > 0 && conns + 64 > fd_cap) {
+    std::fprintf(stderr,
+                 "FAIL: %zu conns need ~%zu fds per process but the hard "
+                 "limit is %zu - raise `ulimit -n` (see EXPERIMENTS.md)\n",
+                 conns, conns + 64, fd_cap);
+    return 1;
+  }
+
+  // Pipes first, fork second - before any thread exists, so the child is
+  // a clean single-threaded image that only runs client_main().
+  int cmd_pipe[2];
+  int ack_pipe[2];
+  if (pipe(cmd_pipe) != 0 || pipe(ack_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  const pid_t child = fork();
+  if (child < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (child == 0) {
+    close(cmd_pipe[1]);
+    close(ack_pipe[0]);
+    FILE* cmd = fdopen(cmd_pipe[0], "r");
+    FILE* ack = fdopen(ack_pipe[1], "w");
+    const int rc =
+        (cmd && ack) ? client_main(cmd, ack, conns, senders, payload) : 1;
+    _exit(rc);
+  }
+  close(cmd_pipe[0]);
+  close(ack_pipe[1]);
+  FILE* cmd = fdopen(cmd_pipe[1], "w");
+  FILE* ack = fdopen(ack_pipe[0], "r");
+  if (cmd == nullptr || ack == nullptr) {
+    return 1;
+  }
+
+  core::Executive exec(core::ExecutiveConfig{.node_id = 1, .name = "c1m"});
+  core::TransportConfig tuning;
+  tuning.heartbeat_interval = std::chrono::nanoseconds(0);  // liveness off
+  tuning.admission_limit = admission;
+  auto t = std::make_unique<pt::TcpPeerTransport>(pt::TcpTransportConfig{},
+                                                  tuning);
+  pt::TcpPeerTransport* pt = t.get();
+  (void)exec.install(std::move(t), "pt_tcp");
+  auto sink = std::make_unique<SinkDevice>();
+  SinkDevice* sink_raw = sink.get();
+  (void)exec.install(std::move(sink), "sink");
+  auto monitor = std::make_unique<core::MonitorDevice>();
+  core::MonitorDevice* mon = monitor.get();
+  (void)exec.install(std::move(monitor), "monitor");
+  if (Status st = exec.enable_all(); !st.is_ok()) {
+    std::fprintf(stderr, "enable failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  exec.start();
+
+  std::fprintf(cmd, "PORT %u %u\n", pt->listen_port(),
+               exec.tid_of("sink").value());
+  std::fflush(cmd);
+  std::size_t ready = 0;
+  {
+    unsigned long n = 0;
+    if (std::fscanf(ack, "READY %lu", &n) != 1) {
+      std::fprintf(stderr, "FAIL: client process died during connect\n");
+      return 1;
+    }
+    ready = n;
+  }
+  // The accept drain may trail the last connect by a beat.
+  const auto accept_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (pt->connection_count() < ready &&
+         std::chrono::steady_clock::now() < accept_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const std::size_t held = pt->connection_count();
+  std::printf("connections: %zu requested, %zu client-side, %zu accepted "
+              "server-side\n",
+              conns, ready, held);
+  const bool conns_ok = held >= conns;
+
+  auto measure = [&](double fps, long ms) {
+    const std::uint64_t c0 = sink_raw->delivered();
+    const std::uint64_t t0 = now_ns();
+    std::fprintf(cmd, "RUN %.1f %ld\n", fps, ms);
+    std::fflush(cmd);
+    unsigned long long sent = 0;
+    (void)std::fscanf(ack, " SENT %llu", &sent);
+    const std::uint64_t t1 = now_ns();
+    // Let in-flight frames reach the sink before sampling.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::uint64_t c1 = sink_raw->delivered();
+    const double secs = static_cast<double>(t1 - t0) / 1e9;
+    RunResult r;
+    r.offered_fps = static_cast<double>(sent) / secs;
+    r.goodput_fps = static_cast<double>(c1 - c0) / secs;
+    return r;
+  };
+
+  std::printf("\n%12s %14s %14s %10s\n", "arm", "offered/s", "goodput/s",
+              "shed");
+  const RunResult cap = measure(0, calib_ms);
+  std::printf("%12s %14.0f %14.0f %10llu\n", "capacity", cap.offered_fps,
+              cap.goodput_fps,
+              static_cast<unsigned long long>(pt->qos_stats().rx_shed));
+  const double capacity = cap.goodput_fps;
+  const RunResult unloaded = measure(0.4 * capacity, arm_ms);
+  std::printf("%12s %14.0f %14.0f %10llu\n", "unloaded", unloaded.offered_fps,
+              unloaded.goodput_fps,
+              static_cast<unsigned long long>(pt->qos_stats().rx_shed));
+  const RunResult overload = measure(4.0 * capacity, arm_ms);
+  const std::uint64_t shed = pt->qos_stats().rx_shed;
+  std::printf("%12s %14.0f %14.0f %10llu\n", "overload", overload.offered_fps,
+              overload.goodput_fps, static_cast<unsigned long long>(shed));
+
+  const double ratio = unloaded.goodput_fps > 0
+                           ? overload.goodput_fps / unloaded.goodput_fps
+                           : 0.0;
+  std::printf("\ngoodput at 10x offered overload: %.2fx the unloaded "
+              "figure (floor 0.80x)\n",
+              ratio);
+
+  const std::string snapshot = mon->snapshot_json();
+  if (std::FILE* f = std::fopen("BENCH_conn.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"conns_requested\": %zu,\n"
+                 "  \"conns_held\": %zu,\n"
+                 "  \"senders\": %zu,\n"
+                 "  \"payload_bytes\": %zu,\n"
+                 "  \"admission_limit\": %zu,\n"
+                 "  \"capacity_fps\": %.0f,\n"
+                 "  \"unloaded_offered_fps\": %.0f,\n"
+                 "  \"unloaded_goodput_fps\": %.0f,\n"
+                 "  \"overload_offered_fps\": %.0f,\n"
+                 "  \"overload_goodput_fps\": %.0f,\n"
+                 "  \"overload_over_unloaded\": %.3f,\n"
+                 "  \"floor\": 0.8,\n"
+                 "  \"rx_shed\": %llu,\n"
+                 "  \"snapshot\": %s\n"
+                 "}\n",
+                 conns, held, senders, payload, admission, capacity,
+                 unloaded.offered_fps, unloaded.goodput_fps,
+                 overload.offered_fps, overload.goodput_fps, ratio,
+                 static_cast<unsigned long long>(shed),
+                 snapshot.empty() ? "{}" : snapshot.c_str());
+    std::fclose(f);
+    std::printf("wrote BENCH_conn.json\n");
+  }
+
+  std::fprintf(cmd, "QUIT\n");
+  std::fflush(cmd);
+  int wstatus = 0;
+  (void)waitpid(child, &wstatus, 0);
+  exec.stop();
+
+  if (!conns_ok) {
+    std::fprintf(stderr, "FAIL: sustained %zu connections, wanted %zu\n",
+                 held, conns);
+    return 1;
+  }
+  if (ratio < 0.8) {
+    std::fprintf(stderr,
+                 "FAIL: goodput collapsed under overload (%.2fx the "
+                 "unloaded figure, floor 0.80x)\n",
+                 ratio);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xdaq::bench
+
+int main(int argc, char** argv) {
+  return xdaq::bench::run(argc, argv);
+}

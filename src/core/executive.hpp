@@ -402,6 +402,14 @@ class Executive {
   [[nodiscard]] std::size_t shard_of(i2o::Tid tid) const noexcept {
     return shard_of_[tid & i2o::kMaxTid].load(std::memory_order_relaxed);
   }
+  /// Dispatch backlog of the shard owning `tid`: frames waiting in its
+  /// inbound queue plus frames already scheduled. Lock-free (relaxed
+  /// atomics on both legs), so transports consult it per inbound frame as
+  /// the bounded-admission signal without touching shard mutexes.
+  [[nodiscard]] std::size_t dispatch_backlog(i2o::Tid tid) const noexcept {
+    const Shard& s = *shards_[shards_.size() == 1 ? 0 : shard_of(tid)];
+    return s.inbound.size() + s.scheduler.pending();
+  }
 
   // --- diagnostics ---------------------------------------------------------------
 

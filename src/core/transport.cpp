@@ -107,6 +107,12 @@ Status TransportDevice::parse_transport_params(const i2o::ParamList& params) {
       cfg.pending_depth = static_cast<std::size_t>(n);
     } else if (key == "send_retry_spins") {
       cfg.send_retry_spins = static_cast<std::size_t>(n);
+    } else if (key == "credit_window") {
+      cfg.credit_window = static_cast<std::uint32_t>(n);
+    } else if (key == "admission_limit") {
+      cfg.admission_limit = static_cast<std::size_t>(n);
+    } else if (key == "tx_buffer_bytes") {
+      cfg.tx_buffer_bytes = static_cast<std::size_t>(n);
     }
   }
   return set_transport_config(cfg);

@@ -88,7 +88,45 @@ struct TransportConfig {
   /// Bounded retry budget when send tokens are exhausted (GM semantics;
   /// formerly GmTransportConfig::send_retry_spins).
   std::size_t send_retry_spins = 1 << 20;
+  /// Credit-based per-peer flow control: the transport-level
+  /// generalization of the paper's GM send tokens. Each side starts a
+  /// connection with this many credits; transmitting one DATA frame
+  /// (control frames, heartbeats and the grants themselves are exempt)
+  /// consumes one, and the receiver grants credits back on the wire as it
+  /// consumes frames. A receiver that stops consuming - parked on an
+  /// exhausted pool, or simply slow - stops granting, so the sender's
+  /// writer stalls at zero credits with its queue intact instead of
+  /// stuffing the kernel buffer of a consumer that cannot drain.
+  /// 0 disables credit flow control (seed behaviour).
+  std::uint32_t credit_window = 0;
+  /// Bounded admission: when the dispatch backlog of an inbound frame's
+  /// target shard reaches shed_threshold(admission_limit, priority), the
+  /// frame is dropped at the transport edge (counted, never parsed
+  /// further). Lower-priority traffic sheds first, so the seven I2O
+  /// priorities become a QoS surface under overload. 0 disables rx
+  /// shedding.
+  std::size_t admission_limit = 0;
+  /// Per-connection cap on queued outbound wire bytes. A send arriving
+  /// while the unsent backlog is at or past
+  /// shed_threshold(tx_buffer_bytes, priority) is refused with
+  /// Errc::ResourceExhausted (the connection stays up - this is overload
+  /// shedding, not failure; the backlog alone decides, so a frame is
+  /// never refused for its own size). Bounds the memory one slow or
+  /// stalled consumer can pin. 0 disables the cap (seed behaviour).
+  std::size_t tx_buffer_bytes = 0;
 };
+
+/// Priority-aware shed threshold: priority p (0 = most urgent, 6 = least,
+/// see i2o::kNumPriorities) is admitted until the relevant backlog reaches
+/// limit * (7 - p) / 7. Under overload the backlog settles between the
+/// data and control thresholds: lower-priority traffic is shed while
+/// control traffic still flows. Pure - tests assert the ladder directly.
+[[nodiscard]] constexpr std::size_t shed_threshold(std::size_t limit,
+                                                   unsigned priority) noexcept {
+  const auto np = static_cast<unsigned>(i2o::kNumPriorities);
+  const unsigned p = priority < np ? priority : np - 1;
+  return limit * (np - p) / np;
+}
 
 /// The redial delay before attempt `attempt` (1-based): capped exponential
 /// backoff with deterministic jitter derived from `jitter_word` (pass an
@@ -207,8 +245,9 @@ class TransportDevice : public Device {
 
   /// Applies the common TransportConfig parameter names from a device
   /// parameter list (heartbeat_ms, missed_heartbeat_limit, backoff_base_ms,
-  /// backoff_cap_ms, pending_depth, send_retry_spins); unknown keys are
-  /// ignored so subclasses can layer their own.
+  /// backoff_cap_ms, pending_depth, send_retry_spins, credit_window,
+  /// admission_limit, tx_buffer_bytes); unknown keys are ignored so
+  /// subclasses can layer their own.
   Status parse_transport_params(const i2o::ParamList& params);
 
  private:

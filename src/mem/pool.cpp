@@ -161,13 +161,16 @@ Result<FrameRef> SimplePool::allocate(std::size_t bytes) {
 }
 
 void SimplePool::recycle(BlockHeader* blk) noexcept {
-  const std::scoped_lock lock(mutex_);
-  blk->size = 0;
-  blk->next_free = free_head_;
-  free_head_ = blk;
-  ++free_count_;
-  ++stats_.frees;
-  --stats_.outstanding;
+  {
+    const std::scoped_lock lock(mutex_);
+    blk->size = 0;
+    blk->next_free = free_head_;
+    free_head_ = blk;
+    ++free_count_;
+    ++stats_.frees;
+    --stats_.outstanding;
+  }
+  notify_reclaim();  // outside the free-list lock
 }
 
 PoolStats SimplePool::stats() const {
@@ -482,14 +485,18 @@ void TablePool::recycle(BlockHeader* blk) noexcept {
       if (bin.size() < kThreadCacheDepth) {
         bin.push_back(blk);  // no allocation: bins are pre-reserved
         ++tc->total;
+        notify_reclaim();
         return;
       }
     }
   }
-  const std::scoped_lock lock(cls.mutex);
-  blk->next_free = cls.free_list;
-  cls.free_list = blk;
-  ++cls.free_count;
+  {
+    const std::scoped_lock lock(cls.mutex);
+    blk->next_free = cls.free_list;
+    cls.free_list = blk;
+    ++cls.free_count;
+  }
+  notify_reclaim();
 }
 
 void TablePool::recycle_batch(std::span<BlockHeader* const> blks) noexcept {
@@ -548,6 +555,7 @@ void TablePool::recycle_batch(std::span<BlockHeader* const> blks) noexcept {
     cls.free_list = chain.head;
     cls.free_count += chain.count;
   }
+  notify_reclaim();
 }
 
 PoolStats TablePool::stats() const {

@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <string>
@@ -241,6 +242,47 @@ class Pool {
     return views_.load(std::memory_order_relaxed);
   }
 
+  // -- reclaim notification -------------------------------------------------
+  // A consumer whose allocate() failed (pool exhausted) can park itself and
+  // arm a one-shot hook: the next recycle fires every registered listener,
+  // which re-arms the parked consumer (e.g. a TCP connection whose read
+  // interest was disarmed). The fast path costs ONE relaxed atomic load per
+  // recycle while nothing is armed. Listeners must be cheap, must not
+  // throw, and must not allocate from this pool or re-enter it.
+
+  /// Registers `fn` under `owner` (the deregistration key).
+  void add_reclaim_listener(const void* owner, std::function<void()> fn) {
+    const std::scoped_lock lock(reclaim_mutex_);
+    reclaim_listeners_.emplace_back(owner, std::move(fn));
+  }
+  /// Removes every listener registered under `owner`.
+  void remove_reclaim_listener(const void* owner) noexcept {
+    const std::scoped_lock lock(reclaim_mutex_);
+    std::erase_if(reclaim_listeners_,
+                  [owner](const auto& e) { return e.first == owner; });
+  }
+  /// Arms the one-shot notification (call after a failed allocate()).
+  void arm_reclaim() noexcept {
+    reclaim_armed_.store(true, std::memory_order_release);
+  }
+
+ protected:
+  /// Fires the armed listeners. Implementations call this at the end of
+  /// every recycle path, AFTER their free-list locks are released (the
+  /// listeners may take consumer-side locks).
+  void notify_reclaim() noexcept {
+    if (!reclaim_armed_.load(std::memory_order_relaxed)) {
+      return;  // fast path: nothing armed, no RMW
+    }
+    if (!reclaim_armed_.exchange(false, std::memory_order_acq_rel)) {
+      return;
+    }
+    const std::scoped_lock lock(reclaim_mutex_);
+    for (const auto& [owner, fn] : reclaim_listeners_) {
+      fn();
+    }
+  }
+
  private:
   friend class FrameRef;
   void note_view() noexcept {
@@ -248,6 +290,10 @@ class Pool {
   }
 
   std::atomic<std::uint64_t> views_{0};
+  std::atomic<bool> reclaim_armed_{false};
+  std::mutex reclaim_mutex_;
+  std::vector<std::pair<const void*, std::function<void()>>>
+      reclaim_listeners_;
 };
 
 /// Bin description for SimplePool provisioning.

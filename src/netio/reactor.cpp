@@ -1,0 +1,132 @@
+#include "netio/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace xdaq::netio {
+
+namespace {
+Status errno_status(Errc code, const char* what) {
+  return {code, std::string(what) + ": " + std::strerror(errno)};
+}
+
+std::uint32_t interest_mask(bool read, bool write) noexcept {
+  std::uint32_t ev = 0;
+  if (read) {
+    ev |= EPOLLIN;
+  }
+  if (write) {
+    ev |= EPOLLOUT;
+  }
+  return ev;
+}
+}  // namespace
+
+Status Reactor::init() {
+  close();
+  epfd_ = ::epoll_create1(0);
+  if (epfd_ < 0) {
+    return errno_status(Errc::IoError, "epoll_create1");
+  }
+  wakefd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wakefd_ < 0) {
+    const Status st = errno_status(Errc::IoError, "eventfd");
+    close();
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakefd_;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev) != 0) {
+    const Status st = errno_status(Errc::IoError, "epoll_ctl(wakefd)");
+    close();
+    return st;
+  }
+  return Status::ok();
+}
+
+Status Reactor::add(int fd, bool read, bool write) {
+  epoll_event ev{};
+  ev.events = interest_mask(read, write);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return errno_status(Errc::IoError, "epoll_ctl(add)");
+  }
+  return Status::ok();
+}
+
+Status Reactor::mod(int fd, bool read, bool write) {
+  epoll_event ev{};
+  ev.events = interest_mask(read, write);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return errno_status(Errc::IoError, "epoll_ctl(mod)");
+  }
+  return Status::ok();
+}
+
+Status Reactor::del(int fd) {
+  if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    return errno_status(Errc::IoError, "epoll_ctl(del)");
+  }
+  return Status::ok();
+}
+
+void Reactor::wake() noexcept {
+  if (wakefd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wakefd_, &one, sizeof(one));  // EAGAIN = already pending
+  }
+}
+
+Result<std::span<const Reactor::Event>> Reactor::wait(int timeout_ms) {
+  std::array<epoll_event, 256> evs;
+  int n;
+  for (;;) {
+    n = ::epoll_wait(epfd_, evs.data(), static_cast<int>(evs.size()),
+                     timeout_ms);
+    if (n >= 0) {
+      break;
+    }
+    if (errno != EINTR) {
+      return errno_status(Errc::IoError, "epoll_wait");
+    }
+  }
+  ready_.clear();
+  for (int i = 0; i < n; ++i) {
+    const epoll_event& ev = evs[static_cast<std::size_t>(i)];
+    if (ev.data.fd == wakefd_) {
+      std::uint64_t drained = 0;
+      [[maybe_unused]] const ssize_t r =
+          ::read(wakefd_, &drained, sizeof(drained));
+      continue;
+    }
+    Event out;
+    out.fd = ev.data.fd;
+    out.readable = (ev.events & EPOLLIN) != 0;
+    out.writable = (ev.events & EPOLLOUT) != 0;
+    out.error = (ev.events & (EPOLLERR | EPOLLHUP)) != 0;
+    ready_.push_back(out);
+  }
+  return std::span<const Event>(ready_);
+}
+
+void Reactor::close() noexcept {
+  if (wakefd_ >= 0) {
+    ::close(wakefd_);
+    wakefd_ = -1;
+  }
+  if (epfd_ >= 0) {
+    ::close(epfd_);
+    epfd_ = -1;
+  }
+  ready_.clear();
+}
+
+}  // namespace xdaq::netio

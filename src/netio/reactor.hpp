@@ -1,0 +1,81 @@
+// reactor.hpp - incremental epoll readiness multiplexer.
+//
+// The Poller in socket.hpp rebuilds a poll(2) watch array from scratch on
+// every wait, which is O(connections) per wakeup - fine for a handful of
+// well-known peers, fatal for a C1M-style front end. The Reactor keeps the
+// interest set IN THE KERNEL: fds are added, modified and deleted
+// incrementally (epoll_ctl), and a wait returns only the fds that are
+// actually ready, so idle connections cost nothing per iteration.
+//
+// Interest is explicit and edge-aware at the call level (the epoll itself
+// runs level-triggered, which composes with short reads): a consumer that
+// cannot make progress - e.g. the rx pool is exhausted - DISARMS its read
+// interest instead of spinning on a level-triggered wakeup, and re-arms
+// once it can drain again. Write interest is armed only while a partial
+// write is outstanding (EAGAIN), mirroring the classic reactor discipline.
+//
+// wake() makes any blocked wait() return early via an eventfd registered
+// in the same epoll - used for shutdown and for pool-reclaim re-arming.
+//
+// Thread contract: wait() is single-consumer (one owning reactor thread);
+// add/mod/del/wake are safe from any thread (epoll_ctl and eventfd writes
+// are kernel-serialized against a concurrent epoll_wait).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace xdaq::netio {
+
+class Reactor {
+ public:
+  /// One ready fd. `error` covers EPOLLERR | EPOLLHUP (the owner should
+  /// attempt a final drain - EOF surfaces through the read path - then
+  /// drop the connection).
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+  Reactor() = default;
+  ~Reactor() { close(); }
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Creates the epoll instance and the wakeup eventfd.
+  Status init();
+  [[nodiscard]] bool valid() const noexcept { return epfd_ >= 0; }
+
+  /// Registers `fd` with the given interest. One registration per fd.
+  Status add(int fd, bool read, bool write);
+  /// Replaces `fd`'s interest set (both flags false parks the fd: it stays
+  /// registered but never fires - the disarm half of edge-aware interest).
+  Status mod(int fd, bool read, bool write);
+  /// Deregisters `fd`. Safe to call for an fd the kernel already dropped
+  /// (close() auto-deregisters); errors are reported but harmless then.
+  Status del(int fd);
+
+  /// Makes a concurrent (or the next) wait() return immediately.
+  void wake() noexcept;
+
+  /// Waits up to timeout_ms (-1 = indefinitely) and returns the ready
+  /// events. The span aliases an internal buffer valid until the next
+  /// wait(). A wake() produces an empty (or shorter) ready set, never an
+  /// event for the eventfd itself.
+  Result<std::span<const Event>> wait(int timeout_ms);
+
+  void close() noexcept;
+
+ private:
+  int epfd_ = -1;
+  int wakefd_ = -1;
+  std::vector<Event> ready_;
+};
+
+}  // namespace xdaq::netio

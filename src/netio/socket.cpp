@@ -225,6 +225,49 @@ Status TcpStream::write_vec(std::span<const std::span<const std::byte>> parts) {
   return Status::ok();
 }
 
+Result<std::size_t> TcpStream::write_vec_some(
+    std::span<const std::span<const std::byte>> parts, std::size_t skip) {
+  iovec iov[64];
+  constexpr std::size_t kMaxIov = sizeof(iov) / sizeof(iov[0]);
+  std::size_t iovcnt = 0;
+  std::size_t rest = skip;
+  for (const auto& p : parts) {
+    if (rest >= p.size()) {
+      rest -= p.size();
+      continue;
+    }
+    if (iovcnt == kMaxIov) {
+      break;
+    }
+    iov[iovcnt++] = {const_cast<std::byte*>(p.data()) + rest,
+                     p.size() - rest};
+    rest = 0;
+  }
+  if (iovcnt == 0) {
+    return std::size_t{0};  // skip covered everything
+  }
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = iovcnt;
+  for (;;) {
+    const ssize_t n =
+        ::sendmsg(sock_.fd(), &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) {
+      return static_cast<std::size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status{Errc::Timeout, "socket buffer full"};
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return Status{Errc::ConnectionClosed, "peer closed"};
+    }
+    return errno_status(Errc::IoError, "sendmsg");
+  }
+}
+
 Result<TcpListener> TcpListener::bind(std::uint16_t port) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) {
@@ -240,7 +283,10 @@ Result<TcpListener> TcpListener::bind(std::uint16_t port) {
   if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
     return errno_status(Errc::IoError, "bind");
   }
-  if (::listen(sock.fd(), 64) != 0) {
+  // Deep backlog: a mass (re)connect of thousands of clients must not see
+  // RST because the accept loop is one epoll batch behind. The kernel
+  // clamps to net.core.somaxconn.
+  if (::listen(sock.fd(), 4096) != 0) {
     return errno_status(Errc::IoError, "listen");
   }
   socklen_t len = sizeof(sa);

@@ -97,6 +97,16 @@ class TcpStream {
   /// The spans may point into pooled frame memory - nothing is copied.
   Status write_vec(std::span<const std::span<const std::byte>> parts);
 
+  /// Non-blocking gathered write (MSG_DONTWAIT, single sendmsg): sends as
+  /// much of the concatenation of `parts` - starting `skip` bytes in - as
+  /// the socket buffer accepts and returns the byte count (possibly short).
+  /// Errc::Timeout when the buffer is full right now (the reactor arms
+  /// write interest and retries on EPOLLOUT); ConnectionClosed/IoError on
+  /// a dead socket. Never blocks, so a slow consumer cannot pin the
+  /// sending thread.
+  Result<std::size_t> write_vec_some(
+      std::span<const std::span<const std::byte>> parts, std::size_t skip);
+
   /// Severs the connection (SHUT_RDWR) without closing the fd, so threads
   /// polling or writing on it see EOF/EPIPE instead of a dangling number.
   /// Fault-injection and dead-peer teardown use this to "cut the cable".

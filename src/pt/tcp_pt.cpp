@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
-#include <unordered_map>
 
 #include "i2o/wire.hpp"
 #include "util/clock.hpp"
@@ -17,10 +16,14 @@ constexpr std::size_t kReadChunk = 64 * 1024;      // per-recv scratch size
 /// Length-prefix sentinel for a heartbeat (no body). Cannot collide with a
 /// real frame: lengths are bounded by max_frame_bytes.
 constexpr std::uint32_t kHeartbeatLen = 0xFFFFFFFF;
-/// When the combiner's pending buffer backs up past this, senders stop
-/// piggybacking and wait for the writer slot, so TCP backpressure reaches
-/// producers instead of growing the buffer without bound.
-constexpr std::size_t kPendingHighWater = 256 * 1024;
+/// Length-prefix sentinel for a credit grant; a u32 credit count follows.
+constexpr std::uint32_t kCreditGrantLen = 0xFFFFFFFE;
+constexpr std::size_t kCreditGrantBytes = 8;  // sentinel + count
+/// Reactor wait granularity; shutdown and reclaim re-arms cut it short
+/// via wake(), so it only bounds how stale a parked-connection retry can
+/// get when a wakeup is lost to a race (it cannot be, but belt and
+/// braces).
+constexpr int kReactorWaitMs = 100;
 }  // namespace
 
 TcpPeerTransport::TcpPeerTransport(TcpTransportConfig config,
@@ -58,6 +61,9 @@ Status TcpPeerTransport::on_configure(const i2o::ParamList& params) {
           static_cast<std::uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (key == "zero_copy") {
       config_.zero_copy = value != "0" && value != "false";
+    } else if (key == "reactor_threads") {
+      config_.reactor_threads =
+          static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (key.rfind("peer.", 0) == 0) {
       const auto node = static_cast<i2o::NodeId>(
           std::strtoul(key.c_str() + 5, nullptr, 10));
@@ -97,6 +103,11 @@ i2o::ParamList TcpPeerTransport::on_params_get() {
   params.emplace_back("failed_dials", std::to_string(fs.failed_dials));
   params.emplace_back("retransmitted", std::to_string(fs.retransmitted));
   params.emplace_back("dropped_pending", std::to_string(fs.dropped_pending));
+  const QosStats qs = qos_stats();
+  params.emplace_back("rx_parks", std::to_string(qs.rx_parks));
+  params.emplace_back("rx_shed", std::to_string(qs.rx_shed));
+  params.emplace_back("tx_shed", std::to_string(qs.tx_shed));
+  params.emplace_back("credit_stalls", std::to_string(qs.credit_stalls));
   {
     const std::scoped_lock lock(conns_mutex_);
     for (const auto& [node, info] : peers_) {
@@ -117,6 +128,8 @@ Status TcpPeerTransport::on_transport_start() {
     listener_ = std::move(listener).value();
     jitter_rng_ = Rng(config_.jitter_seed);
     peers_.clear();
+    conns_by_fd_.clear();
+    conns_by_node_.clear();
   }
   if (Status st = listener_.set_nonblocking(true); !st.is_ok()) {
     return st;
@@ -129,22 +142,95 @@ Status TcpPeerTransport::on_transport_start() {
   rx_copies_.store(0);
   tx_copies_.store(0);
   rx_splices_.store(0);
-  reader_thread_ = std::thread([this] { reader_loop(); });
+  rx_parks_.store(0);
+  rx_unparks_.store(0);
+  rx_shed_.store(0);
+  tx_shed_.store(0);
+  credit_stalls_.store(0);
+  credit_grants_sent_.store(0);
+  credit_grants_rx_.store(0);
+  pause_credit_grants_.store(false);
+  corked_.store(false);
+  {
+    const std::scoped_lock lock(cork_mutex_);
+    cork_list_.clear();
+  }
+  next_reactor_.store(0);
+  // Previous-generation shards (kept across stop so stale references stay
+  // valid) are recycled here, before the new interest set is built.
+  reactors_.clear();
+  std::size_t nthreads = config_.reactor_threads;
+  if (nthreads == 0) {
+    // Accept load spread over the same shard count the executive
+    // dispatches on: one reactor per dispatch shard.
+    nthreads = attached() ? executive().shard_count() : 1;
+  }
+  nthreads = std::max<std::size_t>(1, nthreads);
+  for (std::size_t i = 0; i < nthreads; ++i) {
+    auto shard = std::make_unique<ReactorShard>();
+    if (Status st = shard->reactor.init(); !st.is_ok()) {
+      reactors_.clear();
+      return st;
+    }
+    reactors_.push_back(std::move(shard));
+  }
+  // The listener lives on shard 0; accepted connections are handed out
+  // round-robin in register_connection.
+  if (Status st = reactors_[0]->reactor.add(listener_.fd(), true, false);
+      !st.is_ok()) {
+    reactors_.clear();
+    return st;
+  }
+  if (attached()) {
+    // Pool reclaim -> re-service parked connections. The hook only fires
+    // when a park armed it (armed flag), so steady-state recycles cost one
+    // relaxed load.
+    executive().pool().add_reclaim_listener(this, [this] {
+      for (const auto& shard : reactors_) {
+        shard->rearm_parked.store(true, std::memory_order_release);
+        shard->reactor.wake();
+      }
+    });
+  }
+  for (const auto& shard : reactors_) {
+    shard->thread =
+        std::thread([this, s = shard.get()] { reactor_loop(*s); });
+  }
   maintenance_thread_ = std::thread([this] { maintenance_loop(); });
   return Status::ok();
 }
 
 void TcpPeerTransport::on_transport_stop() {
+  if (attached()) {
+    executive().pool().remove_reclaim_listener(this);
+  }
   maintenance_cv_.notify_all();
-  if (reader_thread_.joinable()) {
-    reader_thread_.join();
+  for (const auto& shard : reactors_) {
+    shard->reactor.wake();
+  }
+  for (const auto& shard : reactors_) {
+    if (shard->thread.joinable()) {
+      shard->thread.join();
+    }
   }
   if (maintenance_thread_.joinable()) {
     maintenance_thread_.join();
   }
+  // The shards stay allocated (their epolls closed) so a sender that raced
+  // shutdown and still holds a connection can call set_interest harmlessly;
+  // the next transport_up recycles them.
+  for (const auto& shard : reactors_) {
+    shard->parked.clear();
+    shard->reactor.close();
+  }
+  {
+    const std::scoped_lock lock(cork_mutex_);
+    cork_list_.clear();
+  }
   const std::scoped_lock lock(conns_mutex_);
   listener_.close();
-  conns_.clear();
+  conns_by_fd_.clear();
+  conns_by_node_.clear();
   peers_.clear();
 }
 
@@ -155,7 +241,7 @@ std::uint16_t TcpPeerTransport::listen_port() const {
 
 std::size_t TcpPeerTransport::connection_count() const {
   const std::scoped_lock lock(conns_mutex_);
-  return conns_.size();
+  return conns_by_fd_.size();
 }
 
 void TcpPeerTransport::append_metrics(const std::string& prefix,
@@ -182,6 +268,19 @@ void TcpPeerTransport::append_metrics(const std::string& prefix,
   out.push_back({prefix + ".rx_splices",
                  static_cast<std::int64_t>(
                      rx_splices_.load(std::memory_order_relaxed))});
+  const QosStats qs = qos_stats();
+  out.push_back(
+      {prefix + ".rx_parks", static_cast<std::int64_t>(qs.rx_parks)});
+  out.push_back(
+      {prefix + ".rx_unparks", static_cast<std::int64_t>(qs.rx_unparks)});
+  out.push_back({prefix + ".rx_shed", static_cast<std::int64_t>(qs.rx_shed)});
+  out.push_back({prefix + ".tx_shed", static_cast<std::int64_t>(qs.tx_shed)});
+  out.push_back({prefix + ".credit_stalls",
+                 static_cast<std::int64_t>(qs.credit_stalls)});
+  out.push_back({prefix + ".credit_grants_sent",
+                 static_cast<std::int64_t>(qs.credit_grants_sent)});
+  out.push_back({prefix + ".credit_grants_rx",
+                 static_cast<std::int64_t>(qs.credit_grants_rx)});
 }
 
 TcpPeerTransport::FaultStats TcpPeerTransport::fault_stats() const {
@@ -194,6 +293,19 @@ TcpPeerTransport::FaultStats TcpPeerTransport::fault_stats() const {
   return fs;
 }
 
+TcpPeerTransport::QosStats TcpPeerTransport::qos_stats() const {
+  QosStats qs;
+  qs.rx_parks = rx_parks_.load(std::memory_order_relaxed);
+  qs.rx_unparks = rx_unparks_.load(std::memory_order_relaxed);
+  qs.rx_shed = rx_shed_.load(std::memory_order_relaxed);
+  qs.tx_shed = tx_shed_.load(std::memory_order_relaxed);
+  qs.credit_stalls = credit_stalls_.load(std::memory_order_relaxed);
+  qs.credit_grants_sent =
+      credit_grants_sent_.load(std::memory_order_relaxed);
+  qs.credit_grants_rx = credit_grants_rx_.load(std::memory_order_relaxed);
+  return qs;
+}
+
 core::PeerState TcpPeerTransport::peer_state(i2o::NodeId node) const {
   const std::scoped_lock lock(conns_mutex_);
   const auto it = peers_.find(node);
@@ -202,11 +314,11 @@ core::PeerState TcpPeerTransport::peer_state(i2o::NodeId node) const {
 
 void TcpPeerTransport::disrupt_peer(i2o::NodeId node) {
   // Sever (not close) every connection to the node: the fd stays valid so
-  // the reader/writer threads observe EOF/EPIPE instead of racing a reused
-  // descriptor, and the normal failure path (Suspect, redial) takes over.
+  // the reactor observes EOF/EPIPE instead of racing a reused descriptor,
+  // and the normal failure path (Suspect, redial) takes over.
   const std::scoped_lock lock(conns_mutex_);
-  for (const auto& conn : conns_) {
-    if (conn->node == node) {
+  for (const auto& [fd, conn] : conns_by_fd_) {
+    if (conn->node.load(std::memory_order_relaxed) == node) {
       conn->stream.shutdown();
     }
   }
@@ -258,7 +370,8 @@ Result<std::shared_ptr<TcpPeerTransport::Connection>> TcpPeerTransport::dial(
   (void)stream.value().set_nodelay(true);
   auto conn = std::make_shared<Connection>();
   conn->stream = std::move(stream).value();
-  conn->node = node;
+  conn->node.store(node, std::memory_order_relaxed);
+  conn->credits = transport_config().credit_window;
   const std::int64_t now = steady_ns();
   conn->last_rx_ns.store(now, std::memory_order_relaxed);
   conn->last_tx_ns.store(now, std::memory_order_relaxed);
@@ -268,21 +381,41 @@ Result<std::shared_ptr<TcpPeerTransport::Connection>> TcpPeerTransport::dial(
   return conn;
 }
 
+void TcpPeerTransport::register_connection(
+    const std::shared_ptr<Connection>& conn) {
+  {
+    const std::scoped_lock lock(conns_mutex_);
+    if (reactors_.empty()) {
+      return;  // shutting down; RAII closes the socket
+    }
+    conn->reactor_idx = next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+                        static_cast<std::uint32_t>(reactors_.size());
+    conns_by_fd_[conn->stream.fd()] = conn;
+    const auto node = conn->node.load(std::memory_order_relaxed);
+    if (node != i2o::kNullNode) {
+      conns_by_node_.emplace(node, conn);
+    }
+  }
+  // Index entries must exist before the fd can fire: the reactor routes a
+  // ready event through conns_by_fd_.
+  (void)reactors_[conn->reactor_idx]->reactor.add(conn->stream.fd(), true,
+                                                  false);
+}
+
 Result<std::shared_ptr<TcpPeerTransport::Connection>>
 TcpPeerTransport::connection_to(i2o::NodeId node) {
   TcpPeer peer;
   {
     const std::scoped_lock lock(conns_mutex_);
-    for (const auto& conn : conns_) {
-      if (conn->node == node) {
-        return conn;
-      }
+    const auto it = conns_by_node_.find(node);
+    if (it != conns_by_node_.end()) {
+      return it->second;
     }
-    const auto it = config_.peers.find(node);
-    if (it == config_.peers.end()) {
+    const auto ep = config_.peers.find(node);
+    if (ep == config_.peers.end()) {
       return {Errc::Unroutable, "no TCP endpoint configured for node"};
     }
-    peer = it->second;
+    peer = ep->second;
   }
   // Dial and handshake unlocked: a slow or unreachable peer must not block
   // sends to other nodes behind the registry mutex.
@@ -296,29 +429,87 @@ TcpPeerTransport::connection_to(i2o::NodeId node) {
     const std::scoped_lock lock(conns_mutex_);
     // Another sender may have dialed the same node while we were
     // connecting; keep theirs and drop our socket (RAII closes it).
-    for (const auto& existing : conns_) {
-      if (existing->node == node) {
-        return existing;
-      }
+    const auto it = conns_by_node_.find(node);
+    if (it != conns_by_node_.end()) {
+      return it->second;
     }
-    conns_.push_back(conn);
+    if (reactors_.empty()) {
+      return {Errc::FailedPrecondition, "TCP transport not enabled"};
+    }
+    conn->reactor_idx = next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+                        static_cast<std::uint32_t>(reactors_.size());
+    conns_by_fd_[conn->stream.fd()] = conn;
+    conns_by_node_.emplace(node, conn);
     t = set_state_locked(node, core::PeerState::Up);
   }
+  (void)reactors_[conn->reactor_idx]->reactor.add(conn->stream.fd(), true,
+                                                  false);
   fire(t);
   return conn;
 }
 
+void TcpPeerTransport::set_interest(Connection& conn,
+                                    std::optional<bool> read,
+                                    std::optional<bool> write) {
+  const std::scoped_lock lock(conn.interest_mutex);
+  const bool r = read.value_or(conn.want_read);
+  const bool w = write.value_or(conn.want_write);
+  if (r == conn.want_read && w == conn.want_write) {
+    return;
+  }
+  conn.want_read = r;
+  conn.want_write = w;
+  if (conn.reactor_idx < reactors_.size()) {
+    // Failure is benign: the fd was already deregistered by a concurrent
+    // drop (or the transport stopped) and will never fire again anyway.
+    (void)reactors_[conn.reactor_idx]->reactor.mod(conn.stream.fd(), r, w);
+  }
+}
+
 Status TcpPeerTransport::flush_pending(Connection& conn,
                                        std::unique_lock<std::mutex>& lk) {
-  while (!conn.pending.empty()) {
-    conn.flush_buf.clear();
-    std::swap(conn.pending, conn.flush_buf);
-    conn.pending_bytes = 0;
+  const std::uint32_t window = transport_config().credit_window;
+  for (;;) {
+    // Refill the writer-owned batch from pending, spending one credit per
+    // data entry (control frames, heartbeats and grants ride for free).
+    while (!conn.pending.empty()) {
+      PendingSend& head = conn.pending.front();
+      if (window > 0 && head.data) {
+        if (conn.credits == 0) {
+          // The data prefix is credit-stalled, but exempt entries queued
+          // behind it (heartbeats, credit grants) must still go out - a
+          // stalled sender that cannot heartbeat would look dead to the
+          // very receiver whose grant is supposed to revive it.
+          for (auto it = conn.pending.begin(); it != conn.pending.end();) {
+            if (it->data) {
+              ++it;
+              continue;
+            }
+            conn.flush_bytes += it->wire_bytes();
+            conn.flush_buf.push_back(std::move(*it));
+            it = conn.pending.erase(it);
+          }
+          break;
+        }
+        --conn.credits;
+      }
+      conn.flush_bytes += head.wire_bytes();
+      conn.flush_buf.push_back(std::move(head));
+      conn.pending.pop_front();
+    }
+    if (conn.flush_buf.empty()) {
+      if (!conn.pending.empty() && !conn.credit_stalled) {
+        // Out of credits with frames queued: stall (queue intact, no
+        // thread blocked). apply_credit_grant restarts the drain.
+        conn.credit_stalled = true;
+        credit_stalls_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
     // flush_buf is writer-owned, so the socket write needs no lock and
     // other senders keep appending to pending meanwhile. Bodies go to the
     // wire straight from wherever they live (pooled frame memory for the
     // zero-copy path) - the gathered iovec list is the only thing built.
-    lk.unlock();
     conn.iov_parts.clear();
     for (const PendingSend& e : conn.flush_buf) {
       conn.iov_parts.emplace_back(e.prefix.data(), e.prefix.size());
@@ -327,56 +518,92 @@ Status TcpPeerTransport::flush_pending(Connection& conn,
         conn.iov_parts.push_back(body);
       }
     }
-    const Status st = conn.stream.write_vec(conn.iov_parts);
+    lk.unlock();
+    auto wrote = conn.stream.write_vec_some(conn.iov_parts, conn.flush_off);
     lk.lock();
-    // Only now - after the kernel accepted every byte - do the FrameRefs
-    // queued in flush_buf drop back to their pools.
-    conn.flush_buf.clear();
-    if (!st.is_ok()) {
+    if (!wrote.is_ok()) {
+      if (wrote.status().code() == Errc::Timeout) {
+        // Kernel buffer full: arm write interest and hand the rest of the
+        // drain to the reactor. No sender thread ever blocks on a slow
+        // consumer.
+        set_interest(conn, std::nullopt, true);
+        return Status::ok();
+      }
       conn.pending.clear();  // connection is dead; drop queued sends
+      conn.flush_buf.clear();
       conn.pending_bytes = 0;
-      return st;
+      conn.flush_off = 0;
+      conn.flush_bytes = 0;
+      return wrote.status();
     }
+    conn.pending_bytes -= wrote.value();
+    conn.flush_off += wrote.value();
+    conn.last_tx_ns.store(steady_ns(), std::memory_order_relaxed);
+    // Retire fully accepted head entries: their FrameRefs drop back to the
+    // pool now, and the next gather starts near the front.
+    while (!conn.flush_buf.empty()) {
+      const std::size_t head_bytes = conn.flush_buf.front().wire_bytes();
+      if (conn.flush_off < head_bytes) {
+        break;
+      }
+      conn.flush_off -= head_bytes;
+      conn.flush_bytes -= head_bytes;
+      conn.flush_buf.pop_front();
+    }
+    if (conn.flush_buf.empty() && conn.pending.empty()) {
+      break;
+    }
+    // A partial head (or a capped iovec batch) loops: the retry either
+    // makes progress or comes back as Timeout above.
   }
-  conn.last_tx_ns.store(steady_ns(), std::memory_order_relaxed);
+  // Fully drained (or credit-stalled with nothing in flight): write
+  // readiness is no longer interesting.
+  set_interest(conn, std::nullopt, false);
   return Status::ok();
 }
 
-Status TcpPeerTransport::write_entry(Connection& conn, PendingSend entry,
-                                     std::size_t wire_bytes) {
-  std::unique_lock lk(conn.write_mutex);
-  conn.pending.push_back(std::move(entry));
-  conn.pending_bytes += wire_bytes;
-  if (conn.writer_active) {
-    if (wire_bytes <= config_.coalesce_bytes &&
-        conn.pending_bytes < kPendingHighWater) {
-      // Small send: the active writer gathers it into the same syscall as
-      // its own (errors on piggybacked sends surface as a dropped
-      // connection, like any wire loss).
-      return Status::ok();
-    }
-    // Large send or backed up: park until the writer drains. The previous
-    // writer may flush our entry for us; the loop below then finds
-    // pending empty and returns immediately.
-    conn.write_cv.wait(lk, [&conn] { return !conn.writer_active; });
-  } else if (wire_bytes <= config_.coalesce_bytes &&
-             conn.pending_bytes < config_.coalesce_bytes && attached() &&
-             executive().dispatch_active()) {
+Status TcpPeerTransport::write_entry(const std::shared_ptr<Connection>& conn,
+                                     PendingSend entry,
+                                     std::size_t wire_bytes,
+                                     unsigned shed_priority) {
+  std::unique_lock lk(conn->write_mutex);
+  const std::size_t cap = transport_config().tx_buffer_bytes;
+  // The backlog alone decides: a frame is never refused for its own size
+  // (an idle connection accepts any frame the transport accepts), only
+  // for the unsent bytes already queued ahead of it.
+  if (cap > 0 && shed_priority > 0 &&
+      conn->pending_bytes >= core::shed_threshold(cap, shed_priority)) {
+    // Overload shedding, not failure: the connection stays up, the caller
+    // sees ResourceExhausted. Priority 0 (heartbeats, credit grants) is
+    // exempt - shedding those would wedge liveness or flow control, and
+    // their volume is bounded by the tick rate.
+    tx_shed_.fetch_add(1, std::memory_order_relaxed);
+    return {Errc::ResourceExhausted, "tx queue full (overload shed)"};
+  }
+  conn->pending.push_back(std::move(entry));
+  conn->pending_bytes += wire_bytes;
+  if (conn->writer_active) {
+    // The active writer gathers it into its batch (errors on piggybacked
+    // sends surface as a dropped connection, like any wire loss).
+    return Status::ok();
+  }
+  if (wire_bytes <= config_.coalesce_bytes && attached() &&
+      executive().dispatch_active()) {
     // Handler send mid-dispatch-batch: cork it. The executive's
     // end-of-batch transport_flush() (or the maintenance tick, if this
     // send raced the tail of the batch) puts it on the wire in one
-    // gathered syscall with the rest of the batch's replies. With a
-    // sharded executive the flush may come from a sibling shard's
-    // end-of-batch; corked_ is an atomic and the drain runs under
-    // write_mutex, so who flushes does not matter.
+    // gathered syscall with the rest of the batch's replies.
+    if (!conn->cork_listed) {
+      conn->cork_listed = true;
+      const std::scoped_lock cl(cork_mutex_);
+      cork_list_.push_back(conn);
+    }
     corked_.store(true, std::memory_order_release);
     return Status::ok();
   }
-  conn.writer_active = true;
-  const Status st = flush_pending(conn, lk);
-  conn.writer_active = false;
-  lk.unlock();
-  conn.write_cv.notify_all();
+  conn->writer_active = true;
+  const Status st = flush_pending(*conn, lk);
+  conn->writer_active = false;
   return st;
 }
 
@@ -384,13 +611,16 @@ void TcpPeerTransport::on_transport_flush() {
   if (!corked_.exchange(false, std::memory_order_acq_rel)) {
     return;
   }
-  std::vector<std::shared_ptr<Connection>> conns;
+  // Only connections that actually corked something are visited, so the
+  // end-of-batch flush costs O(dirty), not O(connections).
+  std::vector<std::shared_ptr<Connection>> dirty;
   {
-    const std::scoped_lock lock(conns_mutex_);
-    conns = conns_;
+    const std::scoped_lock lock(cork_mutex_);
+    dirty.swap(cork_list_);
   }
-  for (const auto& conn : conns) {
+  for (const auto& conn : dirty) {
     std::unique_lock lk(conn->write_mutex);
+    conn->cork_listed = false;
     if (conn->pending.empty() || conn->writer_active) {
       continue;  // nothing corked here, or an active writer drains it
     }
@@ -398,44 +628,99 @@ void TcpPeerTransport::on_transport_flush() {
     const Status st = flush_pending(*conn, lk);
     conn->writer_active = false;
     lk.unlock();
-    conn->write_cv.notify_all();
     if (!st.is_ok()) {
       drop_connection(conn);
     }
   }
 }
 
-Status TcpPeerTransport::send_heartbeat(Connection& conn) {
+Status TcpPeerTransport::send_heartbeat(
+    const std::shared_ptr<Connection>& conn) {
   PendingSend hb;
   i2o::put_u32(hb.prefix, 0, kHeartbeatLen);
-  const Status st = write_entry(conn, std::move(hb), 4);
+  const Status st = write_entry(conn, std::move(hb), hb.prefix.size(), 0);
   if (st.is_ok()) {
     heartbeats_sent_.fetch_add(1);
   }
   return st;
 }
 
-Status TcpPeerTransport::write_frame(Connection& conn,
+Status TcpPeerTransport::write_frame(const std::shared_ptr<Connection>& conn,
                                      std::vector<std::byte> frame) {
   PendingSend entry;
   i2o::put_u32(entry.prefix, 0, static_cast<std::uint32_t>(frame.size()));
   const std::size_t wire_bytes = entry.prefix.size() + frame.size();
+  const bool control = is_control_frame(frame);
+  entry.data = !control;
   entry.owned = std::move(frame);
-  return write_entry(conn, std::move(entry), wire_bytes);
+  return write_entry(conn, std::move(entry), wire_bytes,
+                     control ? static_cast<unsigned>(i2o::kControlPriority)
+                             : static_cast<unsigned>(i2o::kDefaultPriority));
+}
+
+Status TcpPeerTransport::apply_credit_grant(
+    const std::shared_ptr<Connection>& conn, std::uint32_t count) {
+  std::unique_lock lk(conn->write_mutex);
+  credit_grants_rx_.fetch_add(1, std::memory_order_relaxed);
+  conn->credits += count;
+  conn->credit_stalled = false;
+  if (conn->writer_active || conn->pending.empty()) {
+    return Status::ok();  // an active writer picks the credits up itself
+  }
+  conn->writer_active = true;
+  const Status st = flush_pending(*conn, lk);
+  conn->writer_active = false;
+  return st;
+}
+
+void TcpPeerTransport::maybe_send_grant(
+    const std::shared_ptr<Connection>& conn) {
+  const std::uint32_t window = transport_config().credit_window;
+  if (window == 0 || conn->grant_debt == 0) {
+    return;
+  }
+  if (conn->grant_debt < std::max<std::uint32_t>(1, window / 2)) {
+    return;  // grant at half-window granularity, not per frame
+  }
+  if (pause_credit_grants_.load(std::memory_order_relaxed)) {
+    return;  // test hook: starve the peer of credits
+  }
+  PendingSend grant;
+  i2o::put_u32(grant.prefix, 0, kCreditGrantLen);
+  grant.owned.resize(4);
+  i2o::put_u32(grant.owned, 0, conn->grant_debt);
+  conn->grant_debt = 0;
+  if (write_entry(conn, std::move(grant), kCreditGrantBytes, 0).is_ok()) {
+    credit_grants_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void TcpPeerTransport::drop_connection(
     const std::shared_ptr<Connection>& conn) {
+  if (conn->dead.exchange(true, std::memory_order_acq_rel)) {
+    return;  // another thread already dropped it
+  }
+  // Deregister first so the reactor cannot see new events for the fd, then
+  // sever. The shared_ptr keeps the fd alive (and thus un-reused) until
+  // every in-flight reference is gone.
+  if (conn->reactor_idx < reactors_.size()) {
+    (void)reactors_[conn->reactor_idx]->reactor.del(conn->stream.fd());
+  }
   conn->stream.shutdown();
   Transition t;
   {
     const std::scoped_lock lock(conns_mutex_);
-    const auto it = std::find(conns_.begin(), conns_.end(), conn);
-    if (it == conns_.end()) {
-      return;  // another thread already dropped it
+    const auto fit = conns_by_fd_.find(conn->stream.fd());
+    if (fit != conns_by_fd_.end() && fit->second == conn) {
+      conns_by_fd_.erase(fit);
     }
-    conns_.erase(it);
-    const i2o::NodeId node = conn->node;
+    const i2o::NodeId node = conn->node.load(std::memory_order_relaxed);
+    if (node != i2o::kNullNode) {
+      const auto nit = conns_by_node_.find(node);
+      if (nit != conns_by_node_.end() && nit->second == conn) {
+        conns_by_node_.erase(nit);
+      }
+    }
     if (node == i2o::kNullNode ||
         transport_config().heartbeat_interval.count() <= 0) {
       return;  // never identified, or liveness disabled (seed behaviour)
@@ -474,7 +759,10 @@ void TcpPeerTransport::retransmit_queued(
   for (auto& frame : queued) {
     // The queue owned the bytes already; moving them into the entry keeps
     // the retransmit copy-free.
-    if (Status st = write_frame(*conn, std::move(frame)); !st.is_ok()) {
+    if (Status st = write_frame(conn, std::move(frame)); !st.is_ok()) {
+      if (st.code() == Errc::ResourceExhausted) {
+        continue;  // shed, not a dead wire; the connection stays up
+      }
       log_.warn("retransmit to peer ", node, " failed: ", st.message());
       drop_connection(conn);
       return;
@@ -507,6 +795,7 @@ Status TcpPeerTransport::send_common(i2o::NodeId dst,
   if (frame.size() > config_.max_frame_bytes) {
     return {Errc::InvalidArgument, "frame exceeds TCP transport maximum"};
   }
+  const bool control = is_control_frame(frame);
   // Liveness gate: Down fails fast; Suspect queues control-plane frames
   // for retransmission after the reconnect and refuses data frames.
   {
@@ -518,7 +807,7 @@ Status TcpPeerTransport::send_common(i2o::NodeId dst,
                 "peer " + std::to_string(dst) + " is down"};
       }
       if (it->second.state == core::PeerState::Suspect) {
-        if (!is_control_frame(frame)) {
+        if (!control) {
           return {Errc::Unavailable,
                   "peer " + std::to_string(dst) +
                       " is suspect; data frame not queued"};
@@ -558,7 +847,7 @@ Status TcpPeerTransport::send_common(i2o::NodeId dst,
             core::backoff_delay(transport_config(), 1, jitter_rng_.next())
                 .count();
       }
-      if (info.state == core::PeerState::Suspect && is_control_frame(frame) &&
+      if (info.state == core::PeerState::Suspect && control &&
           info.queued.size() < transport_config().pending_depth) {
         info.queued.emplace_back(frame.begin(), frame.end());
         queued = true;
@@ -574,6 +863,7 @@ Status TcpPeerTransport::send_common(i2o::NodeId dst,
   PendingSend entry;
   i2o::put_u32(entry.prefix, 0, static_cast<std::uint32_t>(frame.size()));
   const std::size_t wire_bytes = entry.prefix.size() + frame.size();
+  entry.data = !control;
   if (ref.valid()) {
     // Zero-copy: the queue holds the live reference; the writer gathers
     // the body straight from pooled memory.
@@ -582,8 +872,14 @@ Status TcpPeerTransport::send_common(i2o::NodeId dst,
     entry.owned.assign(frame.begin(), frame.end());
     tx_copies_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (Status st = write_entry(*conn, std::move(entry), wire_bytes);
+  const unsigned prio = control
+                            ? static_cast<unsigned>(i2o::kControlPriority)
+                            : static_cast<unsigned>(i2o::kDefaultPriority);
+  if (Status st = write_entry(conn, std::move(entry), wire_bytes, prio);
       !st.is_ok()) {
+    if (st.code() == Errc::ResourceExhausted) {
+      return st;  // overload shed: the connection is fine, the send is not
+    }
     drop_connection(conn);
     return {Errc::Unavailable,
             "send to peer " + std::to_string(dst) + " failed: " +
@@ -592,62 +888,99 @@ Status TcpPeerTransport::send_common(i2o::NodeId dst,
   return Status::ok();
 }
 
-bool TcpPeerTransport::service_connection(Connection& conn) {
+bool TcpPeerTransport::shed_inbound(std::span<const std::byte> frame,
+                                    bool control) {
+  const std::size_t limit = transport_config().admission_limit;
+  if (limit == 0 || frame.size() < 8 || !attached()) {
+    return false;
+  }
+  // Word 1 carries the target TiD in its low 12 bits; the backlog of that
+  // TiD's dispatch shard is the admission signal.
+  const std::uint32_t w1 = i2o::get_u32(frame, 4);
+  const auto target = static_cast<i2o::Tid>(w1 & i2o::kMaxTid);
+  const unsigned prio = control
+                            ? static_cast<unsigned>(i2o::kControlPriority)
+                            : static_cast<unsigned>(i2o::kDefaultPriority);
+  if (executive().dispatch_backlog(target) <
+      core::shed_threshold(limit, prio)) {
+    return false;
+  }
+  rx_shed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+TcpPeerTransport::ServiceResult TcpPeerTransport::service_connection(
+    const std::shared_ptr<Connection>& conn) {
+  Connection& c = *conn;
   if (!config_.zero_copy) {
-    return service_connection_legacy(conn);
+    const ServiceResult r = service_connection_legacy(c);
+    if (r == ServiceResult::kOk) {
+      maybe_send_grant(conn);
+    }
+    return r;
   }
   // Zero-copy receive: the kernel writes straight into a pooled block;
   // complete frames are handed to the executive as views of that block
   // (no per-frame allocation, no memcpy). The block is rolled only when
   // its writable tail runs out - a partial frame straddling the roll pays
   // the one splice copy.
+  c.rx_block_wanted = false;
   bool got_bytes = false;
   for (;;) {
-    if (!conn.rx_block.valid() &&
-        !roll_rx_block(conn, /*need_hint=*/kReadChunk)) {
-      // Pool exhausted: leave the kernel buffer queued; poll() is
-      // level-triggered, so the data re-wakes us once blocks are free.
-      return true;
+    if (!c.rx_block.valid() && !roll_rx_block(c, /*need_hint=*/kReadChunk)) {
+      break;  // pool exhausted: park below
     }
-    auto tail = conn.rx_block.bytes().subspan(conn.rx_filled);
+    auto tail = c.rx_block.bytes().subspan(c.rx_filled);
     if (tail.empty()) {
-      if (!roll_rx_block(conn, /*need_hint=*/kReadChunk)) {
-        return true;
+      if (!roll_rx_block(c, /*need_hint=*/kReadChunk)) {
+        break;
       }
-      tail = conn.rx_block.bytes().subspan(conn.rx_filled);
+      tail = c.rx_block.bytes().subspan(c.rx_filled);
     }
-    auto n = conn.stream.read_available(tail);
+    auto n = c.stream.read_available(tail);
     if (!n.is_ok()) {
       if (n.status().code() == Errc::Timeout) {
         break;  // kernel buffer drained
       }
-      return false;  // EOF or error
+      return ServiceResult::kDrop;  // EOF or error
     }
     got_bytes = true;
-    conn.rx_filled += n.value();
-    if (!parse_rx_block(conn)) {
-      return false;
+    c.rx_filled += n.value();
+    if (!parse_rx_block(c, conn)) {
+      return ServiceResult::kDrop;
+    }
+    if (c.rx_block_wanted) {
+      break;  // a straddle roll failed mid-parse: park below
     }
     if (n.value() < tail.size()) {
-      break;  // short read; any rest re-wakes us
+      break;  // short read; any rest re-wakes us (level-triggered)
     }
   }
   if (got_bytes) {
-    conn.last_rx_ns.store(steady_ns(), std::memory_order_relaxed);
+    c.last_rx_ns.store(steady_ns(), std::memory_order_relaxed);
+  }
+  maybe_send_grant(conn);
+  if (c.rx_block_wanted) {
+    // Pool exhausted: the caller disarms read interest instead of letting
+    // the level-triggered readiness spin the reactor; a pool reclaim
+    // re-arms it.
+    return ServiceResult::kParked;
   }
   // Quiescent and fully parsed: hand the block back so the pool drains to
   // zero outstanding between bursts (undelivered views may still pin it).
   // The next burst grabs a fresh block - a lock-free or one-mutex pool hit
   // per wakeup, amortized over the whole burst.
-  if (conn.rx_block.valid() && conn.rx_consumed == conn.rx_filled) {
-    conn.rx_block.reset();
-    conn.rx_filled = 0;
-    conn.rx_consumed = 0;
+  if (c.rx_block.valid() && c.rx_consumed == c.rx_filled) {
+    c.rx_block.reset();
+    c.rx_filled = 0;
+    c.rx_consumed = 0;
   }
-  return true;
+  return ServiceResult::kOk;
 }
 
-bool TcpPeerTransport::parse_rx_block(Connection& conn) {
+bool TcpPeerTransport::parse_rx_block(
+    Connection& conn, const std::shared_ptr<Connection>& self) {
+  const std::uint32_t window = transport_config().credit_window;
   for (;;) {
     // Discard phase for frames too large for any pool block.
     if (conn.rx_skip > 0) {
@@ -662,7 +995,7 @@ bool TcpPeerTransport::parse_rx_block(Connection& conn) {
     }
     const std::size_t avail = conn.rx_filled - conn.rx_consumed;
     const std::byte* base = conn.rx_block.bytes().data() + conn.rx_consumed;
-    if (conn.node == i2o::kNullNode) {
+    if (conn.node.load(std::memory_order_relaxed) == i2o::kNullNode) {
       // First bytes on an accepted connection must be the hello.
       if (avail < kHelloBytes) {
         return true;
@@ -672,8 +1005,17 @@ bool TcpPeerTransport::parse_rx_block(Connection& conn) {
         log_.warn("rejecting connection with bad hello magic");
         return false;
       }
-      conn.node = i2o::get_u16(hello, 4);
+      conn.node.store(i2o::get_u16(hello, 4), std::memory_order_relaxed);
       conn.rx_consumed += kHelloBytes;
+      {
+        // Index by node NOW, not at end-of-service: a handler on a
+        // dispatch shard may reply to a frame from this very burst before
+        // the service pass finishes, and that reply routes through
+        // conns_by_node_.
+        const std::scoped_lock lock(conns_mutex_);
+        conns_by_node_.emplace(conn.node.load(std::memory_order_relaxed),
+                               self);
+      }
       continue;
     }
     if (avail < 4) {
@@ -683,6 +1025,18 @@ bool TcpPeerTransport::parse_rx_block(Connection& conn) {
         i2o::get_u32(std::span<const std::byte>(base, 4), 0);
     if (len == kHeartbeatLen) {
       conn.rx_consumed += 4;  // liveness ping; last_rx_ns stamped by caller
+      continue;
+    }
+    if (len == kCreditGrantLen) {
+      if (avail < kCreditGrantBytes) {
+        return true;  // count still in flight
+      }
+      const std::uint32_t count = i2o::get_u32(
+          std::span<const std::byte>(base, kCreditGrantBytes), 4);
+      conn.rx_consumed += kCreditGrantBytes;
+      if (!apply_credit_grant(self, count).is_ok()) {
+        return false;  // the restarted drain hit a dead wire
+      }
       continue;
     }
     if (len == 0 || len > config_.max_frame_bytes) {
@@ -701,16 +1055,27 @@ bool TcpPeerTransport::parse_rx_block(Connection& conn) {
     }
     if (avail < need) {
       // Frame still in flight. If it can never complete in this block's
-      // remaining bytes, splice the partial tail to a fresh block now.
-      if (conn.rx_consumed + need > conn.rx_block.size() &&
-          !roll_rx_block(conn, need)) {
-        return true;  // pool exhausted; retry on the next wakeup
+      // remaining bytes, splice the partial tail to a fresh block now (a
+      // failed roll flags rx_block_wanted and the caller parks).
+      if (conn.rx_consumed + need > conn.rx_block.size()) {
+        (void)roll_rx_block(conn, need);
       }
       return true;
     }
-    mem::FrameRef view = conn.rx_block.view(conn.rx_consumed + 4, len);
-    (void)executive().deliver_from_wire(conn.node, tid(), std::move(view),
-                                        rdtsc());
+    const std::span<const std::byte> fb(base + 4, len);
+    const bool control = is_control_frame(fb);
+    if (window > 0 && !control) {
+      // One credit consumed per data frame; granted back at half-window
+      // granularity from maybe_send_grant. Shed frames count too - the
+      // transport did consume them off the wire.
+      ++conn.grant_debt;
+    }
+    if (!shed_inbound(fb, control)) {
+      mem::FrameRef view = conn.rx_block.view(conn.rx_consumed + 4, len);
+      (void)executive().deliver_from_wire(
+          conn.node.load(std::memory_order_relaxed), tid(), std::move(view),
+          rdtsc());
+    }
     conn.rx_consumed += need;
   }
 }
@@ -727,7 +1092,15 @@ bool TcpPeerTransport::roll_rx_block(Connection& conn,
   auto fresh = executive().pool().allocate(std::min(want,
                                                     mem::kMaxBlockBytes));
   if (!fresh.is_ok()) {
-    return false;
+    // Arm the reclaim hook BEFORE the final retry: a block recycled after
+    // the arm re-wakes the reactor shards, so the park that follows a
+    // failed retry cannot miss the release that would have satisfied it.
+    executive().pool().arm_reclaim();
+    fresh = executive().pool().allocate(std::min(want, mem::kMaxBlockBytes));
+    if (!fresh.is_ok()) {
+      conn.rx_block_wanted = true;
+      return false;
+    }
   }
   if (tail_bytes > 0) {
     // A partial frame straddles the block boundary: the one splice copy
@@ -743,11 +1116,12 @@ bool TcpPeerTransport::roll_rx_block(Connection& conn,
   return true;
 }
 
-bool TcpPeerTransport::service_connection_legacy(Connection& conn) {
-  // Pull everything the kernel has buffered (the socket stays blocking for
-  // writes; MSG_DONTWAIT bounds the reads), then parse every complete
-  // message. One poll wakeup therefore delivers a whole burst instead of
-  // one frame.
+TcpPeerTransport::ServiceResult TcpPeerTransport::service_connection_legacy(
+    Connection& conn) {
+  // Pull everything the kernel has buffered, then parse every complete
+  // message. One reactor wakeup therefore delivers a whole burst instead
+  // of one frame.
+  const std::uint32_t window = transport_config().credit_window;
   std::array<std::byte, kReadChunk> chunk;
   bool got_bytes = false;
   for (;;) {
@@ -756,12 +1130,12 @@ bool TcpPeerTransport::service_connection_legacy(Connection& conn) {
       if (n.status().code() == Errc::Timeout) {
         break;  // kernel buffer drained
       }
-      return false;  // EOF or error
+      return ServiceResult::kDrop;  // EOF or error
     }
     got_bytes = true;
     conn.rx.insert(conn.rx.end(), chunk.begin(), chunk.begin() + n.value());
     if (n.value() < chunk.size()) {
-      break;  // short read; poll() is level-triggered, any rest re-wakes us
+      break;  // short read; epoll is level-triggered, any rest re-wakes us
     }
   }
   if (got_bytes) {
@@ -771,7 +1145,7 @@ bool TcpPeerTransport::service_connection_legacy(Connection& conn) {
   std::size_t off = conn.rx_off;
   for (;;) {
     const std::size_t avail = conn.rx.size() - off;
-    if (conn.node == i2o::kNullNode) {
+    if (conn.node.load(std::memory_order_relaxed) == i2o::kNullNode) {
       // First bytes on an accepted connection must be the hello.
       if (avail < kHelloBytes) {
         break;
@@ -780,10 +1154,20 @@ bool TcpPeerTransport::service_connection_legacy(Connection& conn) {
                                              kHelloBytes);
       if (i2o::get_u32(hello, 0) != kHelloMagic) {
         log_.warn("rejecting connection with bad hello magic");
-        return false;
+        return ServiceResult::kDrop;
       }
-      conn.node = i2o::get_u16(hello, 4);
+      conn.node.store(i2o::get_u16(hello, 4), std::memory_order_relaxed);
       off += kHelloBytes;
+      {
+        // Same early-index rule as the zero-copy path: replies to this
+        // burst may route before the service pass finishes.
+        const std::scoped_lock lock(conns_mutex_);
+        const auto it = conns_by_fd_.find(conn.stream.fd());
+        if (it != conns_by_fd_.end()) {
+          conns_by_node_.emplace(
+              conn.node.load(std::memory_order_relaxed), it->second);
+        }
+      }
       continue;
     }
     if (avail < 4) {
@@ -795,22 +1179,50 @@ bool TcpPeerTransport::service_connection_legacy(Connection& conn) {
       off += 4;  // liveness ping; last_rx_ns already stamped
       continue;
     }
+    if (len == kCreditGrantLen) {
+      if (avail < kCreditGrantBytes) {
+        break;  // count still in flight
+      }
+      const std::uint32_t count = i2o::get_u32(
+          std::span<const std::byte>(conn.rx.data() + off, kCreditGrantBytes),
+          4);
+      off += kCreditGrantBytes;
+      // The legacy path only runs single-connection ablation setups; the
+      // self shared_ptr is recovered from the registry for the restart.
+      std::shared_ptr<Connection> self;
+      {
+        const std::scoped_lock lock(conns_mutex_);
+        const auto it = conns_by_fd_.find(conn.stream.fd());
+        if (it != conns_by_fd_.end()) {
+          self = it->second;
+        }
+      }
+      if (self && !apply_credit_grant(self, count).is_ok()) {
+        return ServiceResult::kDrop;
+      }
+      continue;
+    }
     if (len == 0 || len > config_.max_frame_bytes) {
       log_.warn("dropping connection announcing bad frame length ", len);
-      return false;
+      return ServiceResult::kDrop;
     }
     if (avail < 4 + static_cast<std::size_t>(len)) {
       break;  // frame still in flight
     }
-    (void)executive().deliver_from_wire(
-        conn.node, tid(),
-        std::span<const std::byte>(conn.rx.data() + off + 4, len), rdtsc());
-    rx_copies_.fetch_add(1, std::memory_order_relaxed);
+    const std::span<const std::byte> fb(conn.rx.data() + off + 4, len);
+    const bool control = is_control_frame(fb);
+    if (window > 0 && !control) {
+      ++conn.grant_debt;
+    }
+    if (!shed_inbound(fb, control)) {
+      (void)executive().deliver_from_wire(
+          conn.node.load(std::memory_order_relaxed), tid(), fb, rdtsc());
+      rx_copies_.fetch_add(1, std::memory_order_relaxed);
+    }
     off += 4 + static_cast<std::size_t>(len);
   }
-  // Consumed-offset bookkeeping: the old per-pass front erase memmoved
-  // every unconsumed byte on every wakeup. Compact only when the buffer
-  // is quiescent (fully parsed) or the dead prefix is large.
+  // Consumed-offset bookkeeping: compact only when the buffer is quiescent
+  // (fully parsed) or the dead prefix is large.
   conn.rx_off = off;
   if (conn.rx_off == conn.rx.size()) {
     conn.rx.clear();
@@ -820,69 +1232,166 @@ bool TcpPeerTransport::service_connection_legacy(Connection& conn) {
                   conn.rx.begin() + static_cast<std::ptrdiff_t>(conn.rx_off));
     conn.rx_off = 0;
   }
-  return true;
+  return ServiceResult::kOk;
 }
 
-void TcpPeerTransport::reader_loop() {
-  while (transport_running()) {
-    // Snapshot the fd set, keyed by fd for O(1) routing of ready events;
-    // shared_ptrs keep connections alive through the unlocked service
-    // phase.
-    netio::Poller poller;
-    std::unordered_map<int, std::shared_ptr<Connection>> by_fd;
-    int listener_fd = -1;
-    {
-      const std::scoped_lock lock(conns_mutex_);
-      listener_fd = listener_.fd();
-      poller.watch(listener_fd);
-      by_fd.reserve(conns_.size());
-      for (const auto& conn : conns_) {
-        poller.watch(conn->stream.fd());
-        by_fd.emplace(conn->stream.fd(), conn);
-      }
+void TcpPeerTransport::handle_accept() {
+  // Drain the whole accept backlog in one wakeup: under a mass connect
+  // (the conn_scaling bench opens tens of thousands of sockets) one event
+  // must not cost one loop iteration per connection.
+  for (;;) {
+    auto accepted = listener_.try_accept();
+    if (!accepted.is_ok() || !accepted.value().has_value()) {
+      return;
     }
-    auto ready = poller.wait_readable(20);
+    auto conn = std::make_shared<Connection>();
+    conn->stream = std::move(*accepted.value());
+    (void)conn->stream.set_nodelay(true);
+    (void)conn->stream.set_nonblocking(true);
+    conn->credits = transport_config().credit_window;
+    const std::int64_t now = steady_ns();
+    conn->last_rx_ns.store(now, std::memory_order_relaxed);
+    conn->last_tx_ns.store(now, std::memory_order_relaxed);
+    register_connection(conn);
+  }
+}
+
+void TcpPeerTransport::hello_completed(
+    const std::shared_ptr<Connection>& conn) {
+  // Hello just completed on an accepted connection: the peer is alive
+  // (again). Index it, mark it Up and replay anything queued for it.
+  const i2o::NodeId node = conn->node.load(std::memory_order_relaxed);
+  Transition t;
+  {
+    const std::scoped_lock lock(conns_mutex_);
+    conns_by_node_.emplace(node, conn);  // a racing dial keeps the first
+    t = set_state_locked(node, core::PeerState::Up);
+  }
+  fire(t);
+  if (t.from == core::PeerState::Suspect) {
+    reconnects_.fetch_add(1);
+    retransmit_queued(node, conn);
+  }
+}
+
+void TcpPeerTransport::park_connection(
+    ReactorShard& shard, const std::shared_ptr<Connection>& conn) {
+  if (conn->parked) {
+    return;
+  }
+  conn->parked = true;
+  rx_parks_.fetch_add(1, std::memory_order_relaxed);
+  set_interest(*conn, false, std::nullopt);
+  shard.parked.push_back(conn);
+}
+
+void TcpPeerTransport::unpark_all(ReactorShard& shard) {
+  if (shard.parked.empty()) {
+    return;
+  }
+  auto parked = std::move(shard.parked);
+  shard.parked.clear();
+  for (const auto& conn : parked) {
+    if (conn->dead.load(std::memory_order_acquire)) {
+      continue;
+    }
+    conn->parked = false;
+    const bool had_node =
+        conn->node.load(std::memory_order_relaxed) != i2o::kNullNode;
+    const ServiceResult r = service_connection(conn);
+    if (r == ServiceResult::kDrop) {
+      drop_connection(conn);
+      continue;
+    }
+    if (!had_node &&
+        conn->node.load(std::memory_order_relaxed) != i2o::kNullNode) {
+      hello_completed(conn);
+    }
+    if (r == ServiceResult::kParked) {
+      park_connection(shard, conn);  // still starved; stays parked
+      continue;
+    }
+    rx_unparks_.fetch_add(1, std::memory_order_relaxed);
+    set_interest(*conn, true, std::nullopt);
+  }
+}
+
+void TcpPeerTransport::writable_event(
+    const std::shared_ptr<Connection>& conn) {
+  std::unique_lock lk(conn->write_mutex);
+  if (conn->writer_active) {
+    return;  // the active writer drains; it re-arms if it must
+  }
+  if (conn->pending.empty() && conn->flush_buf.empty()) {
+    // Spurious (e.g. the drain completed on a sender thread between the
+    // event and this lock): disarm so it does not fire again.
+    lk.unlock();
+    set_interest(*conn, std::nullopt, false);
+    return;
+  }
+  conn->writer_active = true;
+  const Status st = flush_pending(*conn, lk);
+  conn->writer_active = false;
+  lk.unlock();
+  if (!st.is_ok()) {
+    drop_connection(conn);
+  }
+}
+
+void TcpPeerTransport::reactor_loop(ReactorShard& shard) {
+  const bool accept_shard = !reactors_.empty() && reactors_[0].get() == &shard;
+  const int listener_fd = accept_shard ? listener_.fd() : -1;
+  while (transport_running()) {
+    auto ready = shard.reactor.wait(kReactorWaitMs);
+    if (!transport_running()) {
+      break;
+    }
+    if (shard.rearm_parked.exchange(false, std::memory_order_acq_rel)) {
+      unpark_all(shard);
+    }
     if (!ready.is_ok()) {
       continue;
     }
-    for (const int fd : ready.value()) {
-      if (fd == listener_fd) {
-        auto accepted = listener_.try_accept();
-        if (accepted.is_ok() && accepted.value().has_value()) {
-          auto conn = std::make_shared<Connection>();
-          conn->stream = std::move(*accepted.value());
-          (void)conn->stream.set_nodelay(true);
-          const std::int64_t now = steady_ns();
-          conn->last_rx_ns.store(now, std::memory_order_relaxed);
-          conn->last_tx_ns.store(now, std::memory_order_relaxed);
-          const std::scoped_lock lock(conns_mutex_);
-          conns_.push_back(std::move(conn));
-        }
+    for (const auto& ev : ready.value()) {
+      if (ev.fd == listener_fd) {
+        handle_accept();
         continue;
       }
-      const auto it = by_fd.find(fd);
-      if (it == by_fd.end()) {
+      std::shared_ptr<Connection> conn;
+      {
+        const std::scoped_lock lock(conns_mutex_);
+        const auto it = conns_by_fd_.find(ev.fd);
+        if (it != conns_by_fd_.end()) {
+          conn = it->second;
+        }
+      }
+      if (!conn || conn->dead.load(std::memory_order_acquire)) {
+        continue;  // dropped while the event was in flight
+      }
+      if (ev.writable) {
+        writable_event(conn);
+      }
+      if (!ev.readable && !ev.error) {
         continue;
       }
-      const bool had_node = it->second->node != i2o::kNullNode;
-      if (!service_connection(*it->second)) {
-        drop_connection(it->second);
+      if (conn->parked) {
+        // EPOLLERR/EPOLLHUP fire regardless of interest; the unpark pass
+        // discovers the EOF once a block is available again.
         continue;
       }
-      if (!had_node && it->second->node != i2o::kNullNode) {
-        // Hello just completed on an accepted connection: the peer is
-        // alive (again). Mark it Up and replay anything queued for it.
-        const i2o::NodeId node = it->second->node;
-        Transition t;
-        {
-          const std::scoped_lock lock(conns_mutex_);
-          t = set_state_locked(node, core::PeerState::Up);
-        }
-        fire(t);
-        if (t.from == core::PeerState::Suspect) {
-          reconnects_.fetch_add(1);
-          retransmit_queued(node, it->second);
-        }
+      const bool had_node =
+          conn->node.load(std::memory_order_relaxed) != i2o::kNullNode;
+      const ServiceResult r = service_connection(conn);
+      if (r == ServiceResult::kDrop) {
+        drop_connection(conn);
+        continue;
+      }
+      if (!had_node &&
+          conn->node.load(std::memory_order_relaxed) != i2o::kNullNode) {
+        hello_completed(conn);
+      }
+      if (r == ServiceResult::kParked) {
+        park_connection(shard, conn);
       }
     }
   }
@@ -924,23 +1433,23 @@ void TcpPeerTransport::maintenance_tick(std::int64_t now_ns) {
   {
     const std::scoped_lock lock(conns_mutex_);
     if (hb_ns > 0) {
-      for (const auto& conn : conns_) {
-        if (conn->node == i2o::kNullNode) {
+      for (const auto& [fd, conn] : conns_by_fd_) {
+        const i2o::NodeId node = conn->node.load(std::memory_order_relaxed);
+        if (node == i2o::kNullNode) {
           continue;
         }
         const std::int64_t idle_rx =
             now_ns - conn->last_rx_ns.load(std::memory_order_relaxed);
         const std::int64_t idle_tx =
             now_ns - conn->last_tx_ns.load(std::memory_order_relaxed);
-        auto& info = peers_[conn->node];
+        auto& info = peers_[node];
         if (idle_rx >=
             hb_ns * static_cast<std::int64_t>(cfg.missed_heartbeat_limit)) {
           // Peer went silent past the limit: declare it dead and sever the
           // connection; the redial path takes over.
           to_drop.push_back(conn);
-          transitions.push_back(
-              set_state_locked(conn->node, core::PeerState::Down));
-          if (config_.peers.count(conn->node) != 0) {
+          transitions.push_back(set_state_locked(node, core::PeerState::Down));
+          if (config_.peers.count(node) != 0) {
             info.dial_attempts = 0;
             info.next_dial_ns =
                 now_ns +
@@ -950,12 +1459,11 @@ void TcpPeerTransport::maintenance_tick(std::int64_t now_ns) {
         }
         if (idle_rx >= hb_ns && info.state == core::PeerState::Up) {
           transitions.push_back(
-              set_state_locked(conn->node, core::PeerState::Suspect));
+              set_state_locked(node, core::PeerState::Suspect));
         } else if (idle_rx < hb_ns &&
                    info.state == core::PeerState::Suspect) {
           // Traffic resumed on the live connection.
-          transitions.push_back(
-              set_state_locked(conn->node, core::PeerState::Up));
+          transitions.push_back(set_state_locked(node, core::PeerState::Up));
         }
         if (idle_tx >= hb_ns) {
           need_heartbeat.push_back(conn);
@@ -969,12 +1477,7 @@ void TcpPeerTransport::maintenance_tick(std::int64_t now_ns) {
             info.dialing || now_ns < info.next_dial_ns) {
           continue;
         }
-        const bool connected =
-            std::any_of(conns_.begin(), conns_.end(),
-                        [node = node](const auto& c) {
-                          return c->node == node;
-                        });
-        if (connected) {
+        if (conns_by_node_.count(node) != 0) {
           continue;
         }
         const auto ep = config_.peers.find(node);
@@ -990,13 +1493,29 @@ void TcpPeerTransport::maintenance_tick(std::int64_t now_ns) {
     fire(t);
   }
   for (const auto& conn : to_drop) {
+    // The Down transition was recorded above; this is the sever-without-
+    // re-transition half of drop_connection.
+    if (conn->dead.exchange(true, std::memory_order_acq_rel)) {
+      continue;
+    }
+    if (conn->reactor_idx < reactors_.size()) {
+      (void)reactors_[conn->reactor_idx]->reactor.del(conn->stream.fd());
+    }
     conn->stream.shutdown();
     const std::scoped_lock lock(conns_mutex_);
-    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
-                 conns_.end());
+    const auto fit = conns_by_fd_.find(conn->stream.fd());
+    if (fit != conns_by_fd_.end() && fit->second == conn) {
+      conns_by_fd_.erase(fit);
+    }
+    const i2o::NodeId node = conn->node.load(std::memory_order_relaxed);
+    const auto nit = conns_by_node_.find(node);
+    if (nit != conns_by_node_.end() && nit->second == conn) {
+      conns_by_node_.erase(nit);
+    }
   }
   for (const auto& conn : need_heartbeat) {
-    if (Status st = send_heartbeat(*conn); !st.is_ok()) {
+    if (Status st = send_heartbeat(conn);
+        !st.is_ok() && st.code() != Errc::ResourceExhausted) {
       drop_connection(conn);
     }
   }
@@ -1004,6 +1523,7 @@ void TcpPeerTransport::maintenance_tick(std::int64_t now_ns) {
     auto dialed = dial(node, peer);
     Transition t;
     std::shared_ptr<Connection> conn;
+    bool fresh = false;
     {
       const std::scoped_lock lock(conns_mutex_);
       auto& info = peers_[node];
@@ -1022,20 +1542,24 @@ void TcpPeerTransport::maintenance_tick(std::int64_t now_ns) {
         }
       } else {
         conn = std::move(dialed).value();
-        bool duplicate = false;
-        for (const auto& existing : conns_) {
-          if (existing->node == node) {
-            duplicate = true;  // peer dialed us first; keep theirs
-            conn = existing;
-            break;
-          }
-        }
-        if (!duplicate) {
-          conns_.push_back(conn);
+        const auto it = conns_by_node_.find(node);
+        if (it != conns_by_node_.end()) {
+          conn = it->second;  // peer dialed us first; keep theirs
+        } else if (!reactors_.empty()) {
+          conn->reactor_idx =
+              next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+              static_cast<std::uint32_t>(reactors_.size());
+          conns_by_fd_[conn->stream.fd()] = conn;
+          conns_by_node_.emplace(node, conn);
+          fresh = true;
         }
         t = set_state_locked(node, core::PeerState::Up);
         reconnects_.fetch_add(1);
       }
+    }
+    if (fresh) {
+      (void)reactors_[conn->reactor_idx]->reactor.add(conn->stream.fd(), true,
+                                                      false);
     }
     fire(t);
     if (conn) {

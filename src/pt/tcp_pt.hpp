@@ -1,12 +1,20 @@
-// tcp_pt.hpp - peer transport over TCP sockets, with liveness tracking.
+// tcp_pt.hpp - peer transport over TCP sockets, with liveness tracking,
+// an epoll reactor backend, credit-based flow control and overload
+// shedding.
 //
 // The paper runs a TCP PT alongside the Myrinet/GM PT ("Another PT thread
 // was handling TCP communication for configuration and control purposes")
 // and warns that polling a TCP socket in polling mode would negate the
-// benefits of a lightweight interface - hence this transport is task mode:
-// one reader thread multiplexes the listening socket and all peer
-// connections with poll(2), and one maintenance thread owns heartbeats,
-// dead-peer detection and backoff reconnects.
+// benefits of a lightweight interface - hence this transport is task mode.
+// The original backend rebuilt a poll(2) watch set over every connection
+// on every 20 ms wait; that caps a node at a few thousand sockets. The
+// C1M front end replaces it with netio::Reactor shards: the interest set
+// lives in the kernel and is updated incrementally on connect, drop and
+// interest change, accepted connections are load-balanced round-robin
+// across one reactor thread per executive dispatch shard, and a
+// connection whose rx pool allocation failed *disarms* its read interest
+// (parking) instead of hot-spinning the level-triggered wakeup - it is
+// re-armed by a pool reclaim notification.
 //
 // Wire protocol per connection:
 //   on connect: hello { u32 magic, u16 node_id }
@@ -14,6 +22,27 @@
 //   heartbeat:   { u32 0xFFFFFFFF } (no body; the length sentinel cannot
 //                collide with a real frame, whose length is bounded by
 //                max_frame_bytes)
+//   credit grant: { u32 0xFFFFFFFE, u32 count } - the receiver returns
+//                `count` send credits to the peer (see below); like the
+//                heartbeat, the sentinel cannot collide with a length
+//
+// Flow control (TransportConfig::credit_window > 0): the paper's GM send
+// tokens generalized to a transport-level credit window carried on the
+// wire. Each side starts with `credit_window` credits; transmitting one
+// DATA frame consumes one (control frames, heartbeats and grants are
+// exempt), and the receiver grants credits back as it consumes frames
+// (at half-window granularity, piggybacked at rx-burst end). A slow or
+// parked receiver stops granting, so the sender's writer stalls at zero
+// credits - with its queue intact and its sending thread unblocked -
+// instead of flooding a consumer that cannot drain.
+//
+// Overload shedding: outbound, a send that would grow a connection's
+// queued wire bytes past shed_threshold(tx_buffer_bytes, priority) is
+// refused with Errc::ResourceExhausted (connection stays up). Inbound,
+// when the target shard's dispatch backlog reaches
+// shed_threshold(admission_limit, priority) the frame is dropped at the
+// transport edge. Both thresholds scale with the I2O priority, so control
+// traffic survives overloads that shed data.
 //
 // Liveness (per configured peer, reported through notify_peer_state):
 //   * a connection with no inbound traffic for one heartbeat_interval
@@ -36,12 +65,15 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/executive.hpp"
 #include "core/transport.hpp"
+#include "netio/reactor.hpp"
 #include "netio/socket.hpp"
 #include "util/random.hpp"
 
@@ -58,9 +90,7 @@ struct TcpTransportConfig {
   std::size_t max_frame_bytes = 300 * 1024;
   /// Sends whose wire size (4-byte length prefix included) stays at or
   /// under this may piggyback on an already-active writer and return
-  /// immediately; the writer gathers them into its sendmsg. Larger sends
-  /// wait for the writer slot so TCP backpressure reaches the producer.
-  /// 0 disables piggybacking entirely.
+  /// immediately; the writer gathers them into its sendmsg.
   std::size_t coalesce_bytes = 4096;
   /// Seed for the reconnect-jitter RNG (deterministic tests).
   std::uint64_t jitter_seed = 0x7C75D902C2A15F27ULL;
@@ -70,6 +100,10 @@ struct TcpTransportConfig {
   /// per inbound frame, one tx copy into the coalesce buffer) - kept for
   /// the zerocopy_ablation benchmark and as a fallback.
   bool zero_copy = true;
+  /// Reactor threads (each owns one epoll instance; accepted connections
+  /// are assigned round-robin). 0 = one per executive dispatch shard, the
+  /// accept-load-balancing the multi-core executive expects.
+  std::size_t reactor_threads = 0;
 };
 
 class TcpPeerTransport final : public core::TransportDevice {
@@ -107,6 +141,25 @@ class TcpPeerTransport final : public core::TransportDevice {
   };
   [[nodiscard]] FaultStats fault_stats() const;
 
+  /// QoS counters (cumulative since transport_up).
+  struct QosStats {
+    std::uint64_t rx_parks = 0;      ///< read interest disarmed (pool empty)
+    std::uint64_t rx_unparks = 0;    ///< read interest re-armed by reclaim
+    std::uint64_t rx_shed = 0;       ///< inbound frames dropped (admission)
+    std::uint64_t tx_shed = 0;       ///< sends refused (tx buffer cap)
+    std::uint64_t credit_stalls = 0;   ///< writer stalls at zero credits
+    std::uint64_t credit_grants_sent = 0;
+    std::uint64_t credit_grants_rx = 0;
+  };
+  [[nodiscard]] QosStats qos_stats() const;
+
+  /// Test hook: while paused, the receive side accumulates grant debt but
+  /// sends no credit grants - the peer's writer runs out of credits and
+  /// stalls. Unpausing resumes granting on the next rx burst.
+  void pause_credit_grants(bool on) noexcept {
+    pause_credit_grants_.store(on, std::memory_order_relaxed);
+  }
+
   void append_metrics(const std::string& prefix,
                       std::vector<obs::Sample>& out) const override;
 
@@ -123,52 +176,84 @@ class TcpPeerTransport final : public core::TransportDevice {
  private:
   /// One queued send: the 4-byte length prefix plus the body, either as a
   /// live pooled reference (zero-copy) or as owned bytes (span fallback,
-  /// heartbeats, retransmits). The writer gathers prefix+body of a whole
-  /// batch into one sendmsg; the FrameRef is dropped only after the
-  /// kernel accepted the bytes.
+  /// heartbeats, grants, retransmits). The writer gathers prefix+body of
+  /// a whole batch into one sendmsg; the FrameRef is dropped only after
+  /// the kernel accepted the bytes.
   struct PendingSend {
     std::array<std::byte, 4> prefix{};
     mem::FrameRef frame;           ///< zero-copy body (may be invalid)
     std::vector<std::byte> owned;  ///< copied/owned body (used if no frame)
+    bool data = false;  ///< consumes one send credit when credits are on
 
     [[nodiscard]] std::span<const std::byte> body() const noexcept {
       return frame.valid() ? frame.bytes()
                            : std::span<const std::byte>(owned);
     }
+    [[nodiscard]] std::size_t wire_bytes() const noexcept {
+      return prefix.size() + body().size();
+    }
   };
 
   /// Lives only in shared_ptrs (never moved), so the synchronization
   /// members can be held by value.
+  ///
+  /// Lock order within one connection: write_mutex -> interest_mutex.
   struct Connection {
     netio::TcpStream stream;
-    i2o::NodeId node = i2o::kNullNode;  ///< kNullNode until hello received
+    /// kNullNode until the hello is received (atomic: the owning reactor
+    /// thread writes it once; senders and maintenance read it).
+    std::atomic<i2o::NodeId> node{i2o::kNullNode};
+    std::uint32_t reactor_idx = 0;  ///< owning reactor shard
+    std::atomic<bool> dead{false};  ///< drop_connection ran (once)
+
+    // -- reactor interest (guarded by interest_mutex) ---------------------
+    std::mutex interest_mutex;
+    bool want_read = true;
+    bool want_write = false;
 
     // -- write combiner (guarded by write_mutex) --------------------------
     // Every send appends one PendingSend; whichever sender finds no writer
-    // active becomes the writer and gathers the whole queue into iovecs
-    // for one write_vec, so concurrent sends share a syscall and bodies go
-    // to the wire straight from pooled memory. Senders above
-    // coalesce_bytes (and everyone past the high-water mark) wait for the
-    // writer slot instead of piggybacking.
+    // active becomes the writer and drains via non-blocking gathered
+    // sendmsg. On EAGAIN (or a partial batch) the writer arms EPOLLOUT
+    // and returns - the reactor resumes the drain on writability, so NO
+    // sender thread ever blocks on a slow consumer. At zero credits the
+    // writer parks the queue; a credit grant restarts it.
     std::mutex write_mutex;
-    std::condition_variable write_cv;  ///< signalled when writer_active drops
     bool writer_active = false;
+    bool cork_listed = false;     ///< on the flush dirty list
+    bool credit_stalled = false;  ///< drain stopped at zero credits
+    std::uint32_t credits = 0;    ///< send credits remaining
     std::deque<PendingSend> pending;    ///< queued sends (FIFO)
-    std::deque<PendingSend> flush_buf;  ///< writer-owned swap target
+    std::deque<PendingSend> flush_buf;  ///< writer-owned drain target
+    std::size_t flush_bytes = 0;  ///< wire bytes across flush_buf
+    std::size_t flush_off = 0;    ///< bytes of flush_buf already accepted
     std::vector<std::span<const std::byte>> iov_parts;  ///< writer-owned
-    std::size_t pending_bytes = 0;      ///< wire bytes queued in `pending`
+    std::size_t pending_bytes = 0;  ///< unwritten wire bytes (both queues)
 
-    // -- read reassembly (reader thread only) -----------------------------
+    // -- read reassembly (owning reactor thread only) ---------------------
     std::vector<std::byte> rx;    ///< legacy path: unparsed bytes
     std::size_t rx_off = 0;       ///< legacy path: consumed offset into rx
     mem::FrameRef rx_block;       ///< zero-copy path: pooled receive block
     std::size_t rx_filled = 0;    ///< bytes read into rx_block
     std::size_t rx_consumed = 0;  ///< bytes parsed out of rx_block
     std::size_t rx_skip = 0;      ///< oversized-frame bytes left to discard
+    bool rx_block_wanted = false;  ///< roll failed: pool exhausted
+    bool parked = false;           ///< read interest disarmed
+    std::uint32_t grant_debt = 0;  ///< data frames consumed, not yet granted
 
     // -- liveness stamps (steady-clock ns) --------------------------------
     std::atomic<std::int64_t> last_rx_ns{0};
     std::atomic<std::int64_t> last_tx_ns{0};
+  };
+
+  /// One reactor thread: an epoll instance plus the conns it parked.
+  struct ReactorShard {
+    netio::Reactor reactor;
+    std::thread thread;
+    /// Pool reclaim fired (or shutdown): re-service parked connections.
+    std::atomic<bool> rearm_parked{false};
+    /// Connections with read interest disarmed; owning thread only.
+    std::vector<std::shared_ptr<Connection>> parked;
   };
 
   /// Liveness bookkeeping for a configured peer (guarded by conns_mutex_).
@@ -180,46 +265,84 @@ class TcpPeerTransport final : public core::TransportDevice {
     std::deque<std::vector<std::byte>> queued;  ///< control frames to resend
   };
 
-  void reader_loop();
+  enum class ServiceResult { kOk, kParked, kDrop };
+
+  void reactor_loop(ReactorShard& shard);
   void maintenance_loop();
   /// One maintenance pass: heartbeats, miss detection, due redials.
   void maintenance_tick(std::int64_t now_ns);
+  /// Accept-drain on the listening socket (reactor shard 0).
+  void handle_accept();
+  /// Inserts `conn` into the fd/node indexes, assigns it a reactor shard
+  /// round-robin and registers its fd with that shard's epoll.
+  void register_connection(const std::shared_ptr<Connection>& conn);
+  /// Updates epoll interest; nullopt leaves that half unchanged.
+  void set_interest(Connection& conn, std::optional<bool> read,
+                    std::optional<bool> write);
+  /// Reactor writability event: resume the suspended drain.
+  void writable_event(const std::shared_ptr<Connection>& conn);
+  /// Disarms read interest and records `conn` on the shard's parked list.
+  void park_connection(ReactorShard& shard,
+                       const std::shared_ptr<Connection>& conn);
+  /// Re-services every parked connection after a pool reclaim.
+  void unpark_all(ReactorShard& shard);
+  /// Hello just completed on an accepted connection: index it by node,
+  /// mark the peer Up and replay its queued frames.
+  void hello_completed(const std::shared_ptr<Connection>& conn);
   /// Returns the connection for `node`, dialing it if necessary. The dial
   /// and handshake run outside conns_mutex_ so a slow connect cannot stall
-  /// sends to other nodes (or the reader's registry snapshot).
+  /// sends to other nodes.
   Result<std::shared_ptr<Connection>> connection_to(i2o::NodeId node);
   /// Dials `peer`, completing the hello. Does not touch the registry.
   Result<std::shared_ptr<Connection>> dial(i2o::NodeId node,
                                            const TcpPeer& peer);
   Status send_hello(Connection& conn);
-  Status send_heartbeat(Connection& conn);
-  /// Queues one encoded entry (`wire_bytes` = prefix + body size) through
-  /// the combiner: piggybacks on an active writer when small, otherwise
-  /// claims the writer slot and flushes.
-  Status write_entry(Connection& conn, PendingSend entry,
-                     std::size_t wire_bytes);
+  Status send_heartbeat(const std::shared_ptr<Connection>& conn);
+  /// Queues one encoded entry through the combiner. `shed_priority`
+  /// selects the tx_buffer_bytes shed rung (0 = most urgent). Returns
+  /// Errc::ResourceExhausted - connection intact - when shed.
+  Status write_entry(const std::shared_ptr<Connection>& conn,
+                     PendingSend entry, std::size_t wire_bytes,
+                     unsigned shed_priority);
   /// Writes one length-prefixed frame through the combiner (owned copy).
-  Status write_frame(Connection& conn, std::vector<std::byte> frame);
+  Status write_frame(const std::shared_ptr<Connection>& conn,
+                     std::vector<std::byte> frame);
   /// Shared liveness gating + enqueue for both send flavours; `body` must
   /// stay valid for the call (it aliases `ref` when one is passed).
   Status send_common(i2o::NodeId dst, std::span<const std::byte> body,
                      mem::FrameRef ref);
-  /// Drains every complete frame available on a readable connection;
-  /// false = drop it.
-  bool service_connection(Connection& conn);
+  /// Drains every complete frame available on a readable connection.
+  ServiceResult service_connection(const std::shared_ptr<Connection>& conn);
   /// Legacy copy path (config.zero_copy == false).
-  bool service_connection_legacy(Connection& conn);
+  ServiceResult service_connection_legacy(Connection& conn);
   /// Parses [rx_consumed, rx_filled) of conn.rx_block in place, handing
-  /// complete frames to the executive as views. false = protocol error.
-  bool parse_rx_block(Connection& conn);
+  /// complete frames to the executive as views (`self` is the same
+  /// connection, needed to restart a credit-stalled writer on a grant).
+  /// false = protocol error.
+  bool parse_rx_block(Connection& conn,
+                      const std::shared_ptr<Connection>& self);
   /// Makes the rx block writable again: reuse in place when quiescent,
   /// otherwise hand off to a fresh block (splicing a partial frame tail).
+  /// On pool exhaustion arms the reclaim hook, retries once, then flags
+  /// rx_block_wanted and returns false (the caller parks).
   bool roll_rx_block(Connection& conn, std::size_t need_hint);
-  /// Writes out conn.pending until empty; call with lk holding
-  /// conn.write_mutex and conn.writer_active set by the caller.
+  /// Returns true when this inbound frame should be dropped at the edge
+  /// (bounded admission; counts rx_shed).
+  bool shed_inbound(std::span<const std::byte> frame, bool control);
+  /// Applies a received credit grant; restarts a credit-stalled writer.
+  Status apply_credit_grant(const std::shared_ptr<Connection>& conn,
+                            std::uint32_t count);
+  /// Sends a credit grant when at least half a window of debt accrued.
+  void maybe_send_grant(const std::shared_ptr<Connection>& conn);
+  /// Writes out conn.pending/flush_buf as far as credits and the socket
+  /// buffer allow; never blocks. Call with lk holding conn.write_mutex
+  /// and conn.writer_active set by the caller. Ok with bytes still queued
+  /// means a re-drive is armed (EPOLLOUT or a future credit grant).
   Status flush_pending(Connection& conn, std::unique_lock<std::mutex>& lk);
   /// Removes `conn` from the registry and downgrades its peer to Suspect
-  /// (scheduling a redial). Safe to call from any thread.
+  /// (scheduling a redial). Safe to call from any thread, idempotent, and
+  /// safe against a concurrently iterating reactor (the fd is
+  /// deregistered first; in-flight events find the index entry gone).
   void drop_connection(const std::shared_ptr<Connection>& conn);
   /// Transitions `node` (must hold conns_mutex_); the notification is
   /// returned for the caller to fire after unlocking.
@@ -247,11 +370,24 @@ class TcpPeerTransport final : public core::TransportDevice {
 
   mutable std::mutex conns_mutex_;
   netio::TcpListener listener_;
-  /// shared_ptr so a send in flight keeps its connection alive while the
-  /// reader thread drops it from the registry.
-  std::vector<std::shared_ptr<Connection>> conns_;
+  /// Connection indexes (conns_mutex_): by fd for O(1) reactor routing
+  /// and O(1) drop, by node for O(1) send lookup. shared_ptr so a send or
+  /// reactor event in flight keeps its connection alive while another
+  /// thread drops it from the registry. A node with racing dial+accept
+  /// may briefly own two fds; by-node keeps the first.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_by_fd_;
+  std::unordered_map<i2o::NodeId, std::shared_ptr<Connection>>
+      conns_by_node_;
   std::map<i2o::NodeId, PeerInfo> peers_;
   Rng jitter_rng_{0};  ///< reseeded at transport_up (conns_mutex_)
+
+  std::vector<std::unique_ptr<ReactorShard>> reactors_;
+  std::atomic<std::uint32_t> next_reactor_{0};
+
+  /// End-of-batch cork dirty list: flush cost scales with corked peers,
+  /// not total peers.
+  std::mutex cork_mutex_;
+  std::vector<std::shared_ptr<Connection>> cork_list_;
 
   std::atomic<std::uint64_t> heartbeats_sent_{0};
   std::atomic<std::uint64_t> reconnects_{0};
@@ -263,12 +399,22 @@ class TcpPeerTransport final : public core::TransportDevice {
   std::atomic<std::uint64_t> rx_copies_{0};   ///< inbound frames memcpy'd
   std::atomic<std::uint64_t> tx_copies_{0};   ///< outbound bodies memcpy'd
   std::atomic<std::uint64_t> rx_splices_{0};  ///< block-straddle fallbacks
+
+  // QoS counters.
+  std::atomic<std::uint64_t> rx_parks_{0};
+  std::atomic<std::uint64_t> rx_unparks_{0};
+  std::atomic<std::uint64_t> rx_shed_{0};
+  std::atomic<std::uint64_t> tx_shed_{0};
+  std::atomic<std::uint64_t> credit_stalls_{0};
+  std::atomic<std::uint64_t> credit_grants_sent_{0};
+  std::atomic<std::uint64_t> credit_grants_rx_{0};
+  std::atomic<bool> pause_credit_grants_{false};
+
   /// Set when a dispatch-batch send was corked in some connection's
   /// pending queue; cleared by the end-of-batch flush (or the
   /// maintenance backstop) that drains it.
   std::atomic<bool> corked_{false};
 
-  std::thread reader_thread_;
   std::thread maintenance_thread_;
   std::condition_variable_any maintenance_cv_;
 };
