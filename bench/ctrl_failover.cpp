@@ -1,0 +1,260 @@
+// ctrl_failover.cpp - measures the replicated control plane:
+//
+//   1. Steady state: committed-write (Put) and linearizable-read (Get)
+//      latency against a healthy 5-voter group, from a non-voter client
+//      node. A Put returns only after the command is on a majority, so
+//      this is the price of a durable config change.
+//   2. Failover: the leader's node is symmetrically partitioned away
+//      (FaultInjectingTransport partition plan) and we time how long
+//      until the next client write commits on the surviving majority -
+//      detection + re-election + first replicated append, as a client
+//      experiences it.
+//
+// Results go to stdout and BENCH_ctrl.json. Seeded: --seed replays the
+// same elections and partitions.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "ctrl/client.hpp"
+#include "ctrl/replica.hpp"
+#include "pt/cluster.hpp"
+#include "pt/fault_pt.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+namespace xdaq::bench {
+namespace {
+
+using ctrl::ControlClient;
+using ctrl::ControlReplicaDevice;
+using ctrl::Role;
+
+constexpr std::size_t kVoters = 5;
+
+double to_ms(std::chrono::nanoseconds d) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             d)
+      .count();
+}
+
+/// Five voters plus one client node, every transport wrapped in a fault
+/// decorator; replica ticks are driven from this thread (the bench owns
+/// the logical clock, like the chaos tests).
+struct ControlBench {
+  explicit ControlBench(std::uint64_t seed) {
+    pt::ClusterConfig cfg;
+    cfg.nodes = kVoters + 1;
+    cluster = std::make_unique<pt::Cluster>(cfg);
+    std::vector<i2o::NodeId> voters;
+    for (std::size_t i = 0; i < kVoters; ++i) {
+      voters.push_back(cluster->node_id(i));
+    }
+    for (std::size_t i = 0; i < cfg.nodes; ++i) {
+      pt::FaultPlan plan;
+      plan.seed = seed + i;
+      auto fault = std::make_unique<pt::FaultInjectingTransport>(
+          cluster->transport(i), plan);
+      faults.push_back(fault.get());
+      const auto tid = cluster->install(i, std::move(fault), "pt_fault");
+      for (std::size_t j = 0; j < cfg.nodes; ++j) {
+        if (j != i) {
+          (void)cluster->node(i).set_route(cluster->node_id(j), tid.value());
+        }
+      }
+    }
+    i2o::Tid replica_tid = i2o::kNullTid;
+    for (std::size_t i = 0; i < kVoters; ++i) {
+      ControlReplicaDevice::Config rc;
+      rc.voters = voters;
+      rc.seed = seed + 100 + i;
+      rc.snapshot_threshold = 128;
+      auto replica = std::make_unique<ControlReplicaDevice>(rc);
+      replicas.push_back(replica.get());
+      replica_tid = cluster->install(i, std::move(replica), "ctrl").value();
+    }
+    ControlClient::Config cc;
+    cc.voters = voters;
+    cc.replica_tid = replica_tid;
+    cc.call_timeout = std::chrono::milliseconds(300);
+    cc.retry_delay = std::chrono::milliseconds(2);
+    cc.max_attempts = 64;
+    auto c = std::make_unique<ControlClient>(cc);
+    client = c.get();
+    (void)cluster->install(kVoters, std::move(c), "ctrlc");
+    (void)cluster->enable_all();
+    cluster->start_all();
+    ticker = std::thread([this] {
+      while (running.load(std::memory_order_acquire)) {
+        for (pt::FaultInjectingTransport* f : faults) {
+          f->advance_tick();
+        }
+        for (ControlReplicaDevice* r : replicas) {
+          r->tick();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  ~ControlBench() {
+    running.store(false, std::memory_order_release);
+    if (ticker.joinable()) {
+      ticker.join();
+    }
+    cluster->stop_all();
+  }
+
+  [[nodiscard]] int leader_index() const {
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      if (replicas[i]->role() == Role::Leader) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  bool wait_leader(std::chrono::nanoseconds budget) const {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (leader_index() < 0) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+  }
+
+  /// Partitions `victim` (a voter node id) away from everything else.
+  void isolate(i2o::NodeId victim) {
+    std::vector<i2o::NodeId> rest;
+    for (std::size_t i = 0; i <= kVoters; ++i) {
+      if (cluster->node_id(i) != victim) {
+        rest.push_back(cluster->node_id(i));
+      }
+    }
+    const std::uint64_t from = faults.front()->chaos_tick();
+    for (pt::FaultInjectingTransport* f : faults) {
+      f->set_partition({{victim}, rest}, from, from + 100000);
+    }
+  }
+
+  void heal() {
+    for (pt::FaultInjectingTransport* f : faults) {
+      f->clear_partition();
+    }
+  }
+
+  std::unique_ptr<pt::Cluster> cluster;
+  std::vector<pt::FaultInjectingTransport*> faults;
+  std::vector<ControlReplicaDevice*> replicas;
+  ControlClient* client = nullptr;
+  std::atomic<bool> running{true};
+  std::thread ticker;
+};
+
+}  // namespace
+}  // namespace xdaq::bench
+
+int main(int argc, char** argv) {
+  using namespace xdaq;
+  using namespace xdaq::bench;
+  CliParser cli;
+  cli.flag("writes", "steady-state committed writes", std::int64_t{200});
+  cli.flag("trials", "leader-kill failover trials", std::int64_t{5});
+  cli.flag("seed", "chaos/election seed", std::int64_t{1});
+  if (Status st = cli.parse(argc, argv); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n%s", st.to_string().c_str(),
+                 cli.usage(argv[0]).c_str());
+    return 1;
+  }
+  const int writes = static_cast<int>(cli.get_int("writes"));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::printf("== replicated control plane: latency + failover ==\n");
+  std::printf("voters %zu, writes %d, failover trials %d, seed %llu\n\n",
+              kVoters, writes, trials, static_cast<unsigned long long>(seed));
+
+  ControlBench bench(seed);
+  if (!bench.wait_leader(std::chrono::seconds(10))) {
+    std::printf("no leader elected - aborting\n");
+    return 1;
+  }
+
+  // -- steady state ---------------------------------------------------------
+  Sampler put_ms;
+  Sampler get_ms;
+  for (int i = 0; i < writes; ++i) {
+    const std::string key = "bench/k" + std::to_string(i % 32);
+    auto t0 = std::chrono::steady_clock::now();
+    if (!bench.client->put(key, "v" + std::to_string(i)).is_ok()) {
+      continue;
+    }
+    put_ms.add(to_ms(std::chrono::steady_clock::now() - t0));
+    t0 = std::chrono::steady_clock::now();
+    if (bench.client->get(key).is_ok()) {
+      get_ms.add(to_ms(std::chrono::steady_clock::now() - t0));
+    }
+  }
+  std::printf("%-34s %8.2f median, %8.2f p90, %8.2f max ms\n",
+              "committed put", put_ms.median(), put_ms.percentile(90.0),
+              put_ms.max());
+  std::printf("%-34s %8.2f median, %8.2f p90, %8.2f max ms\n",
+              "linearizable get", get_ms.median(), get_ms.percentile(90.0),
+              get_ms.max());
+
+  // -- failover -------------------------------------------------------------
+  Sampler failover_ms;
+  int recovered = 0;
+  for (int t = 0; t < trials; ++t) {
+    const int leader = bench.leader_index();
+    if (leader < 0) {
+      break;
+    }
+    bench.isolate(bench.cluster->node_id(static_cast<std::size_t>(leader)));
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = bench.client->put("bench/failover", std::to_string(t));
+    if (r.is_ok()) {
+      failover_ms.add(to_ms(std::chrono::steady_clock::now() - t0));
+      ++recovered;
+    }
+    bench.heal();
+    // Let the deposed leader rejoin before the next trial.
+    if (!bench.wait_leader(std::chrono::seconds(10))) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("%-34s %8.2f median, %8.2f p90, %8.2f max ms (%d/%d)\n",
+              "leader-kill to next commit", failover_ms.median(),
+              failover_ms.percentile(90.0), failover_ms.max(), recovered,
+              trials);
+  std::printf("\nshape check: every trial recovered -> %s\n",
+              recovered == trials ? "PASS" : "CHECK");
+
+  if (std::FILE* f = std::fopen("BENCH_ctrl.json", "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"voters\": %zu,\n"
+        "  \"seed\": %llu,\n"
+        "  \"writes\": %d,\n"
+        "  \"put_ms\": {\"median\": %.2f, \"p90\": %.2f, \"max\": %.2f},\n"
+        "  \"get_ms\": {\"median\": %.2f, \"p90\": %.2f, \"max\": %.2f},\n"
+        "  \"failover_trials\": %d,\n"
+        "  \"failover_recovered\": %d,\n"
+        "  \"failover_ms\": {\"median\": %.2f, \"p90\": %.2f, "
+        "\"max\": %.2f}\n"
+        "}\n",
+        kVoters, static_cast<unsigned long long>(seed), writes,
+        put_ms.median(), put_ms.percentile(90.0), put_ms.max(),
+        get_ms.median(), get_ms.percentile(90.0), get_ms.max(), trials,
+        recovered, failover_ms.median(), failover_ms.percentile(90.0),
+        failover_ms.max());
+    std::fclose(f);
+    std::printf("wrote BENCH_ctrl.json\n");
+  }
+  return 0;
+}

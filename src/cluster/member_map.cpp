@@ -28,7 +28,7 @@ std::uint32_t MemberMap::self_incarnation() const {
 
 bool MemberMap::wins(const Member& challenger, const Member& incumbent) {
   if (challenger.incarnation != incumbent.incarnation) {
-    return challenger.incarnation > incumbent.incarnation;
+    return incarnation_newer(challenger.incarnation, incumbent.incarnation);
   }
   return static_cast<std::uint8_t>(challenger.status) >
          static_cast<std::uint8_t>(incumbent.status);
@@ -43,8 +43,18 @@ bool MemberMap::observe_locked(const Member& claim) {
     // ahead of it) is refuted by overtaking the rumour's incarnation.
     Member& me = members_[self_];
     if (claim.status != MemberStatus::Alive &&
-        claim.incarnation >= me.incarnation) {
+        !incarnation_newer(me.incarnation, claim.incarnation)) {
       me.incarnation = claim.incarnation + 1;
+      me.status = MemberStatus::Alive;
+      ++version_;
+      return true;
+    }
+    // Rejoin catch-up: the cluster remembers a higher incarnation of us
+    // than our (possibly stale) checkpoint does. Adopt it, or every
+    // future self-claim we gossip would be discarded as stale.
+    if (claim.status == MemberStatus::Alive &&
+        incarnation_newer(claim.incarnation, me.incarnation)) {
+      me.incarnation = claim.incarnation;
       me.status = MemberStatus::Alive;
       ++version_;
       return true;
@@ -224,6 +234,15 @@ std::size_t MemberMap::merge(const Decoded& remote) {
     version_ = floor;
   }
   return changed;
+}
+
+bool MemberMap::raise_version(std::uint64_t floor) {
+  const std::scoped_lock lock(mutex_);
+  if (version_ >= floor) {
+    return false;
+  }
+  version_ = floor;
+  return true;
 }
 
 }  // namespace xdaq::cluster

@@ -96,6 +96,21 @@ class MemberMap {
   /// changed). Returns the number of entries that changed.
   std::size_t merge(const Decoded& remote);
 
+  /// Raises the map version to at least `floor`. Used by the replicated
+  /// control plane to re-anchor a rejoining node's map at the committed
+  /// cluster-wide version, so its gossip never re-announces a stale map.
+  /// Returns true when the version moved.
+  bool raise_version(std::uint64_t floor);
+
+  /// Wraparound-safe incarnation precedence (RFC 1982 serial-number
+  /// compare): `a` is newer than `b` when the signed distance is
+  /// positive. A node that lived long enough to wrap its u32 incarnation
+  /// must still refute rumours pinned just below the wrap point.
+  [[nodiscard]] static bool incarnation_newer(std::uint32_t a,
+                                              std::uint32_t b) noexcept {
+    return static_cast<std::int32_t>(a - b) > 0;
+  }
+
  private:
   static bool wins(const Member& challenger, const Member& incumbent);
   bool observe_locked(const Member& claim);

@@ -178,6 +178,7 @@ Executive::Executive(ExecutiveConfig config)
   relay_dropped_noroute_ = &metrics_.counter("cluster.relay.dropped_noroute");
   relay_dropped_queue_ = &metrics_.counter("cluster.relay.dropped_queue");
   relay_requeued_ = &metrics_.counter("cluster.relay.requeued");
+  relay_retry_drops_ = &metrics_.counter("cluster.relay.retry_drops");
 
   // The resolver owns route policy; interning proxies (and naming them)
   // stays the executive's job, injected as a callback so the cluster
@@ -1064,14 +1065,85 @@ void Executive::handle_relay(const MessageContext& ctx) {
   }
   // Transient failure (backpressure, peer reconnecting): park the envelope
   // in a bounded retry queue drained from shard 0's pump.
-  const std::scoped_lock lock(relay_mutex_);
-  if (relay_retry_.size() >= kMaxRelayRetryQueue) {
-    relay_dropped_queue_->add();
+  {
+    const std::scoped_lock lock(relay_mutex_);
+    if (relay_retry_.size() < kMaxRelayRetryQueue) {
+      relay_requeued_->add();
+      relay_retry_.push_back(PendingRelay{ctx.frame, 0});
+      relay_pending_.store(true, std::memory_order_release);
+      return;
+    }
+  }
+  relay_dropped_queue_->add();
+  fail_relayed_envelope(ctx.frame);
+}
+
+void Executive::fail_relayed_envelope(const mem::FrameRef& envelope) {
+  relay_retry_drops_->add();
+  const auto env_payload =
+      envelope.bytes().subspan(i2o::kPrivateHeaderBytes);
+  auto rh = cluster::decode_relay_header(env_payload);
+  if (!rh.is_ok()) {
     return;
   }
-  relay_requeued_->add();
-  relay_retry_.push_back(PendingRelay{ctx.frame, 0});
-  relay_pending_.store(true, std::memory_order_release);
+  auto inner_hdr =
+      i2o::decode_header(cluster::relay_inner(rh.value(), env_payload));
+  if (!inner_hdr.is_ok() || inner_hdr.value().is_reply() ||
+      inner_hdr.value().initiator == i2o::kNullTid) {
+    return;  // nothing awaits this envelope; the drop stays a drop
+  }
+  i2o::FrameHeader reply_hdr =
+      i2o::make_reply_header(inner_hdr.value(), /*failed=*/true);
+  reply_hdr.sgl_offset_words = 0;
+  const i2o::ParamList params{
+      {"error", std::string(to_string(Errc::ResourceExhausted)) +
+                    ": relay retry queue overflow at node " +
+                    std::to_string(config_.node_id)}};
+  auto reply = alloc_frame(i2o::param_list_bytes(params),
+                           reply_hdr.is_private());
+  if (!reply.is_ok()) {
+    return;
+  }
+  auto reply_bytes = reply.value().bytes();
+  if (!i2o::encode_header(reply_hdr, reply_bytes).is_ok() ||
+      !i2o::encode_param_list(
+           params, reply_bytes.subspan(reply_hdr.header_bytes()))
+           .is_ok()) {
+    return;
+  }
+  const std::span<const std::byte> wire = reply.value().bytes();
+  if (cluster::kRelayHeaderBytes + wire.size() > i2o::kMaxPayloadBytes) {
+    return;
+  }
+  auto env = alloc_frame(cluster::kRelayHeaderBytes + wire.size(),
+                         /*is_private=*/true);
+  if (!env.is_ok()) {
+    return;
+  }
+  i2o::FrameHeader env_hdr;
+  env_hdr.function = static_cast<std::uint8_t>(i2o::Function::Private);
+  env_hdr.organization = static_cast<std::uint16_t>(i2o::OrgId::kXdaq);
+  env_hdr.xfunction = cluster::kXfnRelay;
+  env_hdr.target = i2o::kExecutiveTid;
+  env_hdr.initiator = i2o::kNullTid;
+  auto env_bytes = env.value().bytes();
+  if (!i2o::encode_header(env_hdr, env_bytes).is_ok()) {
+    return;
+  }
+  cluster::RelayHeader back;
+  // The reply envelope claims the unreachable DESTINATION as its source:
+  // that is the node the initiator's executive recorded the request
+  // in-flight against, so resolve_inflight and the reply's initiator
+  // proxy both line up at the origin.
+  back.src = rh.value().dst;
+  back.dst = rh.value().src;
+  back.ttl = resolver_->initial_ttl();
+  back.inner_len = static_cast<std::uint32_t>(wire.size());
+  auto back_payload = env_bytes.subspan(i2o::kPrivateHeaderBytes);
+  cluster::encode_relay_header(back, back_payload);
+  std::memcpy(back_payload.data() + cluster::kRelayHeaderBytes, wire.data(),
+              wire.size());
+  (void)send_envelope(back.dst, std::move(env).value());
 }
 
 Status Executive::deliver_relayed(i2o::NodeId src_node,
@@ -1138,15 +1210,19 @@ void Executive::drain_relay_queue() {
     }
     if (++p.attempts >= kMaxRelayRetryAttempts) {
       relay_dropped_queue_->add();
+      fail_relayed_envelope(p.frame);
       continue;
     }
     still_pending.push_back(std::move(p));
   }
+  // Overflow victims are failed outside relay_mutex_: the FAIL synthesis
+  // allocates and sends, neither of which belongs under the queue lock.
+  std::vector<PendingRelay> overflow;
   if (!still_pending.empty()) {
     const std::scoped_lock lock(relay_mutex_);
     for (PendingRelay& p : still_pending) {
       if (relay_retry_.size() >= kMaxRelayRetryQueue) {
-        relay_dropped_queue_->add();
+        overflow.push_back(std::move(p));
         continue;
       }
       relay_retry_.push_back(std::move(p));
@@ -1154,6 +1230,10 @@ void Executive::drain_relay_queue() {
     if (!relay_retry_.empty()) {
       relay_pending_.store(true, std::memory_order_release);
     }
+  }
+  for (PendingRelay& p : overflow) {
+    relay_dropped_queue_->add();
+    fail_relayed_envelope(p.frame);
   }
 }
 

@@ -550,6 +550,13 @@ class Executive {
   Status send_envelope(i2o::NodeId dst, mem::FrameRef envelope);
   /// Retries queued envelopes whose next hop was unavailable (shard 0).
   void drain_relay_queue();
+  /// Best-effort FAIL synthesis for an envelope dropped from the bounded
+  /// relay retry queue: instead of vanishing silently, the inner
+  /// request's initiator receives a ResourceExhausted FAIL relayed back
+  /// (the reply envelope impersonates the unreachable destination so the
+  /// origin's in-flight bookkeeping settles exactly as a real relayed
+  /// reply would). Bumps cluster.relay.retry_drops.
+  void fail_relayed_envelope(const mem::FrameRef& envelope);
 
   // Peer liveness plumbing (sink runs on transport threads).
   void on_peer_state_change(i2o::NodeId node, PeerState from, PeerState to);
@@ -645,6 +652,8 @@ class Executive {
   obs::Counter* relay_dropped_noroute_ = nullptr;
   obs::Counter* relay_dropped_queue_ = nullptr;
   obs::Counter* relay_requeued_ = nullptr;
+  /// Retry-queue drops that synthesized a FAIL back to the initiator.
+  obs::Counter* relay_retry_drops_ = nullptr;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> instrument_{false};

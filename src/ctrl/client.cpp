@@ -1,0 +1,237 @@
+#include "ctrl/client.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "core/executive.hpp"
+
+namespace xdaq::ctrl {
+
+void ControlClient::plugin() {
+  bind(i2o::OrgId::kXdaq, kXfnCtrlEvent,
+       [this](const core::MessageContext& ctx) { handle_event(ctx); });
+}
+
+Result<std::uint64_t> ControlClient::put(std::string_view key,
+                                         std::string_view value) {
+  CtrlRequest req;
+  req.op = CtrlOp::Put;
+  req.key = std::string(key);
+  req.value = std::string(value);
+  auto rep = request(req);
+  if (!rep.is_ok()) {
+    return rep.status();
+  }
+  return rep.value().version;
+}
+
+Result<std::uint64_t> ControlClient::del(std::string_view key) {
+  CtrlRequest req;
+  req.op = CtrlOp::Del;
+  req.key = std::string(key);
+  auto rep = request(req);
+  if (!rep.is_ok()) {
+    return rep.status();
+  }
+  return rep.value().version;
+}
+
+Result<ControlClient::Value> ControlClient::get(std::string_view key,
+                                                bool stale_ok) {
+  CtrlRequest req;
+  req.op = CtrlOp::Get;
+  req.key = std::string(key);
+  if (stale_ok) {
+    req.flags |= kCtrlFlagStaleOk;
+  }
+  auto rep = request(req);
+  if (!rep.is_ok()) {
+    return rep.status();
+  }
+  if (!rep.value().ok) {
+    return {Errc::NotFound, "no live entry for key"};
+  }
+  return Value{std::move(rep).value().value, rep.value().version};
+}
+
+Status ControlClient::watch(std::string_view prefix, WatchCallback cb) {
+  {
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    watches_.emplace_back(std::string(prefix), std::move(cb));
+  }
+  CtrlRequest req;
+  req.op = CtrlOp::Watch;
+  req.key = std::string(prefix);
+  auto rep = request(req);
+  return rep.is_ok() ? Status::ok() : rep.status();
+}
+
+Status ControlClient::reconcile_routes() {
+  core::Executive* exec = &executive();
+  return watch(kRoutePrefix, [exec](const WatchEvent& ev) {
+    if (ev.key.size() <= kRoutePrefix.size()) {
+      return;
+    }
+    const i2o::NodeId dst = static_cast<i2o::NodeId>(
+        std::strtoul(ev.key.c_str() + kRoutePrefix.size(), nullptr, 10));
+    auto& routes = exec->resolver().routes();
+    if (ev.deleted) {
+      // Only clear entries the control plane itself placed (relay);
+      // a direct attachment outlives its placement record.
+      if (routes.next_hop(dst).kind == cluster::NextHop::Kind::Relay) {
+        routes.erase(dst);
+      }
+      return;
+    }
+    constexpr std::string_view kRelay = "relay:";
+    if (ev.value.compare(0, kRelay.size(), kRelay) == 0) {
+      const i2o::NodeId via = static_cast<i2o::NodeId>(
+          std::strtoul(ev.value.c_str() + kRelay.size(), nullptr, 10));
+      // Never shadow a live direct attachment with a relay placement.
+      if (routes.next_hop(dst).kind != cluster::NextHop::Kind::Direct) {
+        routes.set_relay(dst, via);
+      }
+    }
+  });
+}
+
+i2o::NodeId ControlClient::known_leader() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return leader_;
+}
+
+void ControlClient::on_reply(const core::MessageContext& ctx) {
+  const std::uint32_t txn = ctx.header.transaction_context;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = pending_.find(txn);
+  if (it == pending_.end()) {
+    return;  // a late reply whose caller already timed out
+  }
+  if (ctx.header.is_failed()) {
+    // FAIL synthesis (peer died) or a handler-level rejection: the
+    // caller treats it like a lost message and tries elsewhere.
+    it->second.transport_failed = true;
+  } else if (auto rep = CtrlReply::decode(ctx.payload); rep.is_ok()) {
+    it->second.reply = std::move(rep).value();
+  } else {
+    it->second.transport_failed = true;
+  }
+  it->second.done = true;
+  cv_.notify_all();
+}
+
+void ControlClient::handle_event(const core::MessageContext& ctx) {
+  auto ev = WatchEvent::decode(ctx.payload);
+  if (!ev.is_ok()) {
+    return;
+  }
+  std::vector<WatchCallback> matched;
+  {
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    for (const auto& [prefix, cb] : watches_) {
+      if (ev.value().key.compare(0, prefix.size(), prefix) == 0) {
+        matched.push_back(cb);
+      }
+    }
+  }
+  for (const auto& cb : matched) {
+    cb(ev.value());
+  }
+}
+
+Result<CtrlReply> ControlClient::call_node(i2o::NodeId node,
+                                           const CtrlRequest& req) {
+  auto proxy = executive().resolver().resolve(node, cfg_.replica_tid);
+  if (!proxy.is_ok()) {
+    return proxy.status();
+  }
+  std::uint32_t txn = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    txn = next_txn_++;
+    if (txn == 0) {
+      txn = next_txn_++;
+    }
+    pending_.emplace(txn, PendingCall{});
+  }
+  const auto payload = req.encode();
+  auto frame = make_private_frame(proxy.value(), i2o::OrgId::kXdaq,
+                                  kXfnCtrl, payload, txn);
+  Status sent = frame.is_ok() ? frame_send(std::move(frame).value())
+                              : frame.status();
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!sent.is_ok()) {
+    pending_.erase(txn);
+    return sent;
+  }
+  const bool done = cv_.wait_for(lock, cfg_.call_timeout, [&] {
+    const auto it = pending_.find(txn);
+    return it != pending_.end() && it->second.done;
+  });
+  const auto it = pending_.find(txn);
+  if (!done || it == pending_.end()) {
+    pending_.erase(txn);
+    return {Errc::Timeout, "control call timed out"};
+  }
+  PendingCall call = std::move(it->second);
+  pending_.erase(it);
+  if (call.transport_failed) {
+    return {Errc::Unavailable, "control replica unreachable"};
+  }
+  return std::move(call.reply);
+}
+
+Result<CtrlReply> ControlClient::request(const CtrlRequest& req) {
+  Status last{Errc::Unavailable, "no control replica reachable"};
+  for (std::uint32_t attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+    i2o::NodeId target = i2o::kNullNode;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (leader_ != i2o::kNullNode) {
+        target = leader_;
+      } else if (!cfg_.voters.empty()) {
+        target = cfg_.voters[rr_cursor_++ % cfg_.voters.size()];
+      }
+    }
+    if (target == i2o::kNullNode) {
+      return {Errc::FailedPrecondition, "client has no voter list"};
+    }
+    auto rep = call_node(target, req);
+    if (!rep.is_ok()) {
+      last = rep.status();
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (leader_ == target) {
+        leader_ = i2o::kNullNode;  // stickiness ends when the leader dies
+      }
+      continue;
+    }
+    if (rep.value().redirect) {
+      const i2o::NodeId hint = rep.value().leader_node;
+      bool backoff = false;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (hint != i2o::kNullNode && hint != target) {
+          leader_ = hint;
+        } else {
+          // Mid-election: nobody knows a leader yet. Back off a beat
+          // and round-robin.
+          leader_ = i2o::kNullNode;
+          backoff = true;
+        }
+      }
+      last = Status{Errc::Unavailable, "control plane has no leader"};
+      if (backoff) {
+        std::this_thread::sleep_for(cfg_.retry_delay);
+      }
+      continue;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      leader_ = target;
+    }
+    return rep;
+  }
+  return last;
+}
+
+}  // namespace xdaq::ctrl

@@ -1,0 +1,111 @@
+// client.hpp - the executive-side face of the replicated control plane.
+//
+// ControlClient is how every other node talks to the voter group: a
+// blocking Requester-style device that discovers the leader, follows
+// redirect-on-follower replies, retries around elections with a bounded
+// backoff, and surfaces watch pushes as callbacks. Everything rides the
+// normal proxy-TiD path - the client resolves the replica device on a
+// voter node and sends ordinary kXfnCtrl frames, so control traffic
+// crosses the same transports, relays and fault machinery as data.
+//
+// Linearizable by default: Get is served by the leader under its lease
+// (pass stale_ok to read any replica's applied state instead). Put/Del
+// return only after the write is committed on a majority - a returned
+// version is durable across any minority of node deaths.
+//
+// Like Requester, blocking calls must not run on a dispatch thread.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/device.hpp"
+#include "ctrl/wire.hpp"
+
+namespace xdaq::ctrl {
+
+class ControlClient : public core::Device {
+ public:
+  struct Config {
+    /// The voter nodes hosting ControlReplicaDevices.
+    std::vector<i2o::NodeId> voters;
+    /// TiD of the replica device on each voter node.
+    i2o::Tid replica_tid = i2o::kNullTid;
+    /// Per-attempt reply timeout.
+    std::chrono::nanoseconds call_timeout = std::chrono::milliseconds(500);
+    /// Attempts across redirects/timeouts/elections before giving up.
+    std::uint32_t max_attempts = 8;
+    /// Backoff when no leader is known (mid-election).
+    std::chrono::nanoseconds retry_delay = std::chrono::milliseconds(20);
+  };
+
+  using WatchCallback = std::function<void(const WatchEvent&)>;
+
+  explicit ControlClient(Config cfg)
+      : Device("ControlClient"), cfg_(std::move(cfg)) {}
+
+  struct Value {
+    std::string value;
+    std::uint64_t version = 0;
+  };
+
+  /// Committed write; the returned version is the Raft log index that
+  /// applied it.
+  Result<std::uint64_t> put(std::string_view key, std::string_view value);
+  Result<std::uint64_t> del(std::string_view key);
+  /// Leader-lease read, or any-replica read with stale_ok. NotFound when
+  /// the key has no live entry.
+  Result<Value> get(std::string_view key, bool stale_ok = false);
+
+  /// Subscribes `cb` to every entry under `prefix` on one replica: the
+  /// replica first replays existing entries as events (snapshot), then
+  /// streams subsequent commits. The callback runs on the dispatch
+  /// thread - keep it quick.
+  Status watch(std::string_view prefix, WatchCallback cb);
+
+  /// Restart reconciliation: watches kRoutePrefix and replays committed
+  /// "relay:<via>" placements into this executive's RouteTable (direct
+  /// attachments are local facts the transports re-declare themselves).
+  /// The snapshot replay makes the table catch up without enumeration.
+  Status reconcile_routes();
+
+  /// The leader as of the last successful call (kNullNode when unknown).
+  [[nodiscard]] i2o::NodeId known_leader() const;
+
+ protected:
+  void plugin() override;
+  void on_reply(const core::MessageContext& ctx) override;
+
+ private:
+  struct PendingCall {
+    bool done = false;
+    bool transport_failed = false;  ///< FAIL synthesis / malformed reply
+    CtrlReply reply;
+  };
+
+  void handle_event(const core::MessageContext& ctx);
+  /// One request/response round against `node`; does not redirect.
+  Result<CtrlReply> call_node(i2o::NodeId node, const CtrlRequest& req);
+  /// Full client policy: leader stickiness, redirects, bounded retries.
+  Result<CtrlReply> request(const CtrlRequest& req);
+
+  Config cfg_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint32_t, PendingCall> pending_;
+  std::uint32_t next_txn_ = 1;
+  i2o::NodeId leader_ = i2o::kNullNode;
+  std::size_t rr_cursor_ = 0;  ///< voter round-robin when leaderless
+
+  std::mutex watch_mutex_;
+  std::vector<std::pair<std::string, WatchCallback>> watches_;
+};
+
+}  // namespace xdaq::ctrl

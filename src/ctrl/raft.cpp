@@ -1,0 +1,692 @@
+#include "ctrl/raft.hpp"
+
+#include <algorithm>
+
+#include "i2o/wire.hpp"
+
+namespace xdaq::ctrl {
+
+namespace {
+
+// RaftMsg header layout (little-endian):
+//   [u8 type][u8 granted][u16 from][u64 term][u64 last_index][u64 last_term]
+//   [u64 prev_index][u64 prev_term][u64 commit][u64 match]
+//   [u32 entry_count][u32 snap_len]
+// then per entry [u64 term][u32 len][cmd], then the snapshot bytes.
+constexpr std::size_t kMsgHeaderBytes = 68;
+constexpr std::size_t kEntryHeaderBytes = 12;
+
+bool fits(std::span<const std::byte> bytes, std::size_t off,
+          std::size_t len) noexcept {
+  return off <= bytes.size() && len <= bytes.size() - off;
+}
+
+}  // namespace
+
+std::string_view to_string(Role r) noexcept {
+  switch (r) {
+    case Role::Follower:
+      return "follower";
+    case Role::Candidate:
+      return "candidate";
+    case Role::Leader:
+      return "leader";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(RaftMsg::Type t) noexcept {
+  switch (t) {
+    case RaftMsg::Type::VoteRequest:
+      return "vote-request";
+    case RaftMsg::Type::VoteReply:
+      return "vote-reply";
+    case RaftMsg::Type::Append:
+      return "append";
+    case RaftMsg::Type::AppendReply:
+      return "append-reply";
+    case RaftMsg::Type::Snapshot:
+      return "snapshot";
+    case RaftMsg::Type::SnapshotReply:
+      return "snapshot-reply";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> RaftMsg::encode() const {
+  std::size_t size = kMsgHeaderBytes + snapshot.size();
+  for (const auto& e : entries) {
+    size += kEntryHeaderBytes + e.cmd.size();
+  }
+  std::vector<std::byte> out(size);
+  i2o::put_u8(out, 0, static_cast<std::uint8_t>(type));
+  i2o::put_u8(out, 1, granted ? 1 : 0);
+  i2o::put_u16(out, 2, from);
+  i2o::put_u64(out, 4, term);
+  i2o::put_u64(out, 12, last_index);
+  i2o::put_u64(out, 20, last_term);
+  i2o::put_u64(out, 28, prev_index);
+  i2o::put_u64(out, 36, prev_term);
+  i2o::put_u64(out, 44, commit);
+  i2o::put_u64(out, 52, match);
+  i2o::put_u32(out, 60, static_cast<std::uint32_t>(entries.size()));
+  i2o::put_u32(out, 64, static_cast<std::uint32_t>(snapshot.size()));
+  std::size_t off = kMsgHeaderBytes;
+  for (const auto& e : entries) {
+    i2o::put_u64(out, off, e.term);
+    i2o::put_u32(out, off + 8, static_cast<std::uint32_t>(e.cmd.size()));
+    std::copy(e.cmd.begin(), e.cmd.end(), out.begin() + off + 12);
+    off += kEntryHeaderBytes + e.cmd.size();
+  }
+  std::copy(snapshot.begin(), snapshot.end(), out.begin() + off);
+  return out;
+}
+
+Result<RaftMsg> RaftMsg::decode(std::span<const std::byte> bytes) {
+  if (bytes.size() < kMsgHeaderBytes) {
+    return {Errc::InvalidArgument, "raft message truncated"};
+  }
+  const std::uint8_t type = i2o::get_u8(bytes, 0);
+  if (type < static_cast<std::uint8_t>(Type::VoteRequest) ||
+      type > static_cast<std::uint8_t>(Type::SnapshotReply)) {
+    return {Errc::InvalidArgument, "raft message carries unknown type"};
+  }
+  RaftMsg msg;
+  msg.type = static_cast<Type>(type);
+  msg.granted = i2o::get_u8(bytes, 1) != 0;
+  msg.from = i2o::get_u16(bytes, 2);
+  msg.term = i2o::get_u64(bytes, 4);
+  msg.last_index = i2o::get_u64(bytes, 12);
+  msg.last_term = i2o::get_u64(bytes, 20);
+  msg.prev_index = i2o::get_u64(bytes, 28);
+  msg.prev_term = i2o::get_u64(bytes, 36);
+  msg.commit = i2o::get_u64(bytes, 44);
+  msg.match = i2o::get_u64(bytes, 52);
+  const std::size_t count = i2o::get_u32(bytes, 60);
+  const std::size_t snap_len = i2o::get_u32(bytes, 64);
+  std::size_t off = kMsgHeaderBytes;
+  msg.entries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!fits(bytes, off, kEntryHeaderBytes)) {
+      return {Errc::InvalidArgument, "raft entry header overruns payload"};
+    }
+    LogEntry e;
+    e.term = i2o::get_u64(bytes, off);
+    const std::size_t len = i2o::get_u32(bytes, off + 8);
+    if (!fits(bytes, off + kEntryHeaderBytes, len)) {
+      return {Errc::InvalidArgument, "raft entry body overruns payload"};
+    }
+    e.cmd.assign(bytes.begin() + off + kEntryHeaderBytes,
+                 bytes.begin() + off + kEntryHeaderBytes + len);
+    msg.entries.push_back(std::move(e));
+    off += kEntryHeaderBytes + len;
+  }
+  if (!fits(bytes, off, snap_len)) {
+    return {Errc::InvalidArgument, "raft snapshot overruns payload"};
+  }
+  msg.snapshot.assign(bytes.begin() + off, bytes.begin() + off + snap_len);
+  return msg;
+}
+
+RaftCore::RaftCore(RaftConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed ^ cfg_.self) {
+  cursors_.resize(cfg_.voters.size());
+  reset_election_timer();
+}
+
+std::uint64_t RaftCore::replication_lag(i2o::NodeId peer) const {
+  if (role_ != Role::Leader) {
+    return 0;
+  }
+  for (std::size_t i = 0; i < cfg_.voters.size(); ++i) {
+    if (cfg_.voters[i] == peer) {
+      const std::uint64_t match = cursors_[i].match;
+      return match < last_log_index() ? last_log_index() - match : 0;
+    }
+  }
+  return 0;
+}
+
+bool RaftCore::has_lease() const {
+  if (role_ != Role::Leader) {
+    return false;
+  }
+  // Count voters whose last AppendEntries ack (or election-time vote) is
+  // younger than the minimum election timeout: none of them can have
+  // granted a rival election inside that window.
+  std::size_t fresh = 1;  // self
+  for (std::size_t i = 0; i < cfg_.voters.size(); ++i) {
+    if (cfg_.voters[i] == cfg_.self) {
+      continue;
+    }
+    if (cursors_[i].last_ack_tick + cfg_.election_timeout_min > now_) {
+      ++fresh;
+    }
+  }
+  return fresh >= majority();
+}
+
+void RaftCore::tick() {
+  ++now_;
+  if (role_ == Role::Leader) {
+    broadcast_appends(/*force=*/false);
+    return;
+  }
+  if (now_ >= election_deadline_) {
+    become_candidate();
+  }
+}
+
+void RaftCore::handle(const RaftMsg& msg) {
+  if (msg.from == cfg_.self) {
+    return;
+  }
+  if (msg.term > term_) {
+    become_follower(msg.term,
+                    msg.type == RaftMsg::Type::Append ||
+                            msg.type == RaftMsg::Type::Snapshot
+                        ? msg.from
+                        : i2o::kNullNode);
+  }
+  if (msg.term < term_) {
+    // A stale sender: tell it about the newer term so it steps down.
+    // Stale replies carry no information worth a response.
+    if (msg.type == RaftMsg::Type::VoteRequest) {
+      RaftMsg reply;
+      reply.type = RaftMsg::Type::VoteReply;
+      reply.granted = false;
+      send(msg.from, std::move(reply));
+    } else if (msg.type == RaftMsg::Type::Append ||
+               msg.type == RaftMsg::Type::Snapshot) {
+      RaftMsg reply;
+      reply.type = msg.type == RaftMsg::Type::Append
+                       ? RaftMsg::Type::AppendReply
+                       : RaftMsg::Type::SnapshotReply;
+      reply.granted = false;
+      reply.match = last_log_index();
+      send(msg.from, std::move(reply));
+    }
+    return;
+  }
+  switch (msg.type) {
+    case RaftMsg::Type::VoteRequest:
+      handle_vote_request(msg);
+      break;
+    case RaftMsg::Type::VoteReply:
+      handle_vote_reply(msg);
+      break;
+    case RaftMsg::Type::Append:
+      handle_append(msg);
+      break;
+    case RaftMsg::Type::AppendReply:
+      handle_append_reply(msg);
+      break;
+    case RaftMsg::Type::Snapshot:
+      handle_snapshot(msg);
+      break;
+    case RaftMsg::Type::SnapshotReply:
+      handle_snapshot_reply(msg);
+      break;
+  }
+}
+
+Result<std::uint64_t> RaftCore::propose(std::vector<std::byte> cmd) {
+  if (role_ != Role::Leader) {
+    return {Errc::Unavailable, "not the leader"};
+  }
+  log_.push_back(LogEntry{term_, std::move(cmd)});
+  const std::uint64_t index = last_log_index();
+  if (cfg_.voters.size() == 1) {
+    advance_commit();
+  } else {
+    broadcast_appends(/*force=*/true);
+  }
+  return index;
+}
+
+void RaftCore::peer_down(i2o::NodeId peer) {
+  // PR-2 failure detection as an election accelerant: a follower that
+  // just lost its leader's transport does not wait out the randomized
+  // timeout - it goes to election at the next tick. Randomization still
+  // applies across *other* followers, so split votes stay unlikely.
+  if (role_ == Role::Follower && peer == leader_ &&
+      leader_ != i2o::kNullNode) {
+    leader_ = i2o::kNullNode;
+    election_deadline_ = now_;
+  }
+}
+
+std::vector<std::pair<i2o::NodeId, RaftMsg>> RaftCore::take_outbox() {
+  return std::exchange(outbox_, {});
+}
+
+std::vector<std::pair<std::uint64_t, std::vector<std::byte>>>
+RaftCore::take_committed() {
+  std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> out;
+  while (applied_ < commit_) {
+    ++applied_;
+    const LogEntry* e = entry_at(applied_);
+    if (e == nullptr) {
+      // Covered by an installed snapshot; the host restores from the
+      // snapshot blob instead (take_installed_snapshot).
+      continue;
+    }
+    out.emplace_back(applied_, e->cmd);
+  }
+  return out;
+}
+
+std::optional<std::pair<std::uint64_t, std::vector<std::byte>>>
+RaftCore::take_installed_snapshot() {
+  return std::exchange(installed_, std::nullopt);
+}
+
+Status RaftCore::compact(std::uint64_t applied_index,
+                         std::vector<std::byte> state) {
+  if (applied_index > applied_) {
+    return {Errc::InvalidArgument, "cannot compact past the applied cursor"};
+  }
+  if (applied_index <= snap_index_) {
+    return Status::ok();
+  }
+  snap_term_ = term_at(applied_index);
+  log_.erase(log_.begin(),
+             log_.begin() + static_cast<std::ptrdiff_t>(applied_index -
+                                                        snap_index_));
+  snap_index_ = applied_index;
+  snap_state_ = std::move(state);
+  return Status::ok();
+}
+
+std::vector<std::byte> RaftCore::encode_hard_state() const {
+  std::size_t size = 8 + 2 + 8 + 8 + 4 + snap_state_.size() + 4;
+  for (const auto& e : log_) {
+    size += 12 + e.cmd.size();
+  }
+  std::vector<std::byte> out(size);
+  i2o::put_u64(out, 0, term_);
+  i2o::put_u16(out, 8, voted_for_);
+  i2o::put_u64(out, 10, snap_index_);
+  i2o::put_u64(out, 18, snap_term_);
+  i2o::put_u32(out, 26, static_cast<std::uint32_t>(snap_state_.size()));
+  std::size_t off = 30;
+  std::copy(snap_state_.begin(), snap_state_.end(), out.begin() + off);
+  off += snap_state_.size();
+  i2o::put_u32(out, off, static_cast<std::uint32_t>(log_.size()));
+  off += 4;
+  for (const auto& e : log_) {
+    i2o::put_u64(out, off, e.term);
+    i2o::put_u32(out, off + 8, static_cast<std::uint32_t>(e.cmd.size()));
+    std::copy(e.cmd.begin(), e.cmd.end(), out.begin() + off + 12);
+    off += 12 + e.cmd.size();
+  }
+  return out;
+}
+
+Result<RaftCore> RaftCore::restore(RaftConfig cfg,
+                                   std::span<const std::byte> hard) {
+  if (hard.empty()) {
+    // Fresh disk: nothing persisted yet, boot a pristine follower.
+    return RaftCore(std::move(cfg));
+  }
+  if (hard.size() < 34) {
+    return {Errc::InvalidArgument, "hard state truncated"};
+  }
+  RaftCore core(std::move(cfg));
+  core.term_ = i2o::get_u64(hard, 0);
+  core.voted_for_ = i2o::get_u16(hard, 8);
+  core.snap_index_ = i2o::get_u64(hard, 10);
+  core.snap_term_ = i2o::get_u64(hard, 18);
+  const std::size_t snap_len = i2o::get_u32(hard, 26);
+  if (!fits(hard, 30, snap_len)) {
+    return {Errc::InvalidArgument, "hard-state snapshot overruns blob"};
+  }
+  core.snap_state_.assign(hard.begin() + 30, hard.begin() + 30 + snap_len);
+  std::size_t off = 30 + snap_len;
+  if (!fits(hard, off, 4)) {
+    return {Errc::InvalidArgument, "hard-state log count overruns blob"};
+  }
+  const std::size_t count = i2o::get_u32(hard, off);
+  off += 4;
+  core.log_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!fits(hard, off, 12)) {
+      return {Errc::InvalidArgument, "hard-state entry header overruns blob"};
+    }
+    LogEntry e;
+    e.term = i2o::get_u64(hard, off);
+    const std::size_t len = i2o::get_u32(hard, off + 8);
+    if (!fits(hard, off + 12, len)) {
+      return {Errc::InvalidArgument, "hard-state entry body overruns blob"};
+    }
+    e.cmd.assign(hard.begin() + off + 12, hard.begin() + off + 12 + len);
+    core.log_.push_back(std::move(e));
+    off += 12 + len;
+  }
+  // The snapshot prefix is committed by definition; the host restores its
+  // state machine from it right away.
+  core.commit_ = core.snap_index_;
+  core.applied_ = core.snap_index_;
+  if (!core.snap_state_.empty() || core.snap_index_ > 0) {
+    core.installed_ = {{core.snap_index_, core.snap_state_}};
+  }
+  return core;
+}
+
+std::uint64_t RaftCore::term_at(std::uint64_t index) const {
+  if (index == snap_index_) {
+    return snap_term_;
+  }
+  const LogEntry* e = entry_at(index);
+  return e != nullptr ? e->term : 0;
+}
+
+const LogEntry* RaftCore::entry_at(std::uint64_t index) const {
+  if (index <= snap_index_ || index > last_log_index()) {
+    return nullptr;
+  }
+  return &log_[index - snap_index_ - 1];
+}
+
+void RaftCore::reset_election_timer(bool expire_now) {
+  election_deadline_ =
+      expire_now ? now_
+                 : now_ + rng_.between(cfg_.election_timeout_min,
+                                       cfg_.election_timeout_max);
+}
+
+void RaftCore::become_follower(std::uint64_t term, i2o::NodeId leader) {
+  if (term > term_) {
+    term_ = term;
+    voted_for_ = i2o::kNullNode;
+  }
+  role_ = Role::Follower;
+  leader_ = leader;
+  votes_.clear();
+  reset_election_timer();
+}
+
+void RaftCore::become_candidate() {
+  role_ = Role::Candidate;
+  ++term_;
+  ++elections_;
+  voted_for_ = cfg_.self;
+  votes_.assign(1, cfg_.self);
+  leader_ = i2o::kNullNode;
+  reset_election_timer();
+  if (votes_.size() >= majority()) {
+    become_leader();
+    return;
+  }
+  RaftMsg req;
+  req.type = RaftMsg::Type::VoteRequest;
+  req.last_index = last_log_index();
+  req.last_term = term_at(last_log_index());
+  for (i2o::NodeId peer : cfg_.voters) {
+    if (peer != cfg_.self) {
+      send(peer, req);
+    }
+  }
+}
+
+void RaftCore::become_leader() {
+  role_ = Role::Leader;
+  leader_ = cfg_.self;
+  for (std::size_t i = 0; i < cfg_.voters.size(); ++i) {
+    cursors_[i].next = last_log_index() + 1;
+    cursors_[i].match = 0;
+    cursors_[i].snapshot_in_flight = false;
+    // A vote granted in this election counts as a lease-fresh ack: the
+    // voter promised not to elect anyone else for a full timeout.
+    const bool voted =
+        std::find(votes_.begin(), votes_.end(), cfg_.voters[i]) !=
+        votes_.end();
+    cursors_[i].last_ack_tick = voted ? now_ : 0;
+  }
+  advance_commit();
+  broadcast_appends(/*force=*/true);
+}
+
+void RaftCore::send(i2o::NodeId to, RaftMsg msg) {
+  msg.from = cfg_.self;
+  msg.term = term_;
+  outbox_.emplace_back(to, std::move(msg));
+}
+
+void RaftCore::broadcast_appends(bool force) {
+  if (!force && now_ < last_broadcast_ + cfg_.heartbeat_interval) {
+    return;
+  }
+  last_broadcast_ = now_;
+  for (i2o::NodeId peer : cfg_.voters) {
+    if (peer != cfg_.self) {
+      send_append(peer);
+    }
+  }
+}
+
+void RaftCore::send_append(i2o::NodeId peer) {
+  std::size_t slot = 0;
+  for (std::size_t i = 0; i < cfg_.voters.size(); ++i) {
+    if (cfg_.voters[i] == peer) {
+      slot = i;
+      break;
+    }
+  }
+  PeerCursor& cur = cursors_[slot];
+  if (cur.next <= snap_index_) {
+    // The follower's cursor fell behind the compacted log: ship the
+    // snapshot instead (at most one in flight per follower).
+    if (cur.snapshot_in_flight) {
+      return;
+    }
+    cur.snapshot_in_flight = true;
+    RaftMsg snap;
+    snap.type = RaftMsg::Type::Snapshot;
+    snap.prev_index = snap_index_;
+    snap.prev_term = snap_term_;
+    snap.commit = commit_;
+    snap.snapshot = snap_state_;
+    send(peer, std::move(snap));
+    return;
+  }
+  RaftMsg app;
+  app.type = RaftMsg::Type::Append;
+  app.prev_index = cur.next - 1;
+  app.prev_term = term_at(app.prev_index);
+  app.commit = commit_;
+  for (std::uint64_t idx = cur.next;
+       idx <= last_log_index() &&
+       app.entries.size() < cfg_.max_append_entries;
+       ++idx) {
+    app.entries.push_back(*entry_at(idx));
+  }
+  send(peer, std::move(app));
+}
+
+void RaftCore::advance_commit() {
+  if (role_ != Role::Leader) {
+    return;
+  }
+  for (std::uint64_t n = last_log_index(); n > commit_; --n) {
+    // Only entries from the current term commit by counting (Raft §5.4.2);
+    // earlier-term entries commit transitively with them.
+    if (term_at(n) != term_) {
+      break;
+    }
+    std::size_t replicas = 1;  // self
+    for (std::size_t i = 0; i < cfg_.voters.size(); ++i) {
+      if (cfg_.voters[i] != cfg_.self && cursors_[i].match >= n) {
+        ++replicas;
+      }
+    }
+    if (replicas >= majority()) {
+      commit_ = n;
+      break;
+    }
+  }
+}
+
+void RaftCore::handle_vote_request(const RaftMsg& msg) {
+  const std::uint64_t my_last = last_log_index();
+  const std::uint64_t my_last_term = term_at(my_last);
+  const bool up_to_date =
+      msg.last_term > my_last_term ||
+      (msg.last_term == my_last_term && msg.last_index >= my_last);
+  const bool free_to_vote =
+      voted_for_ == i2o::kNullNode || voted_for_ == msg.from;
+  RaftMsg reply;
+  reply.type = RaftMsg::Type::VoteReply;
+  reply.granted = up_to_date && free_to_vote && role_ != Role::Leader;
+  if (reply.granted) {
+    voted_for_ = msg.from;
+    reset_election_timer();
+  }
+  send(msg.from, std::move(reply));
+}
+
+void RaftCore::handle_vote_reply(const RaftMsg& msg) {
+  if (role_ != Role::Candidate || !msg.granted) {
+    return;
+  }
+  if (std::find(votes_.begin(), votes_.end(), msg.from) != votes_.end()) {
+    return;
+  }
+  votes_.push_back(msg.from);
+  if (votes_.size() >= majority()) {
+    become_leader();
+  }
+}
+
+void RaftCore::handle_append(const RaftMsg& msg) {
+  // Same term, so msg.from is the legitimate leader: yield candidacy.
+  role_ = Role::Follower;
+  leader_ = msg.from;
+  votes_.clear();
+  reset_election_timer();
+
+  RaftMsg reply;
+  reply.type = RaftMsg::Type::AppendReply;
+
+  if (msg.prev_index > last_log_index()) {
+    // Gap: ask the leader to back up to our log end.
+    reply.granted = false;
+    reply.match = last_log_index();
+    send(msg.from, std::move(reply));
+    return;
+  }
+  if (msg.prev_index >= snap_index_ &&
+      term_at(msg.prev_index) != msg.prev_term) {
+    // Conflict: back up past the whole conflicting term in one round.
+    std::uint64_t hint = msg.prev_index;
+    const std::uint64_t bad_term = term_at(msg.prev_index);
+    while (hint > snap_index_ + 1 && term_at(hint - 1) == bad_term) {
+      --hint;
+    }
+    reply.granted = false;
+    reply.match = hint - 1;
+    send(msg.from, std::move(reply));
+    return;
+  }
+
+  std::uint64_t index = msg.prev_index;
+  for (const LogEntry& e : msg.entries) {
+    ++index;
+    if (index <= snap_index_) {
+      continue;  // already covered by our snapshot (committed)
+    }
+    const LogEntry* mine = entry_at(index);
+    if (mine != nullptr && mine->term == e.term) {
+      continue;  // already have it
+    }
+    if (mine != nullptr) {
+      // Divergence: everything from here on is uncommitted garbage.
+      log_.resize(index - snap_index_ - 1);
+    }
+    log_.push_back(e);
+  }
+  const std::uint64_t match = msg.prev_index + msg.entries.size();
+  if (msg.commit > commit_) {
+    commit_ = std::min(msg.commit, match);
+  }
+  reply.granted = true;
+  reply.match = match;
+  send(msg.from, std::move(reply));
+}
+
+void RaftCore::handle_append_reply(const RaftMsg& msg) {
+  if (role_ != Role::Leader) {
+    return;
+  }
+  for (std::size_t i = 0; i < cfg_.voters.size(); ++i) {
+    if (cfg_.voters[i] != msg.from) {
+      continue;
+    }
+    PeerCursor& cur = cursors_[i];
+    cur.last_ack_tick = now_;
+    if (msg.granted) {
+      cur.match = std::max(cur.match, msg.match);
+      cur.next = cur.match + 1;
+      advance_commit();
+      if (cur.next <= last_log_index()) {
+        send_append(msg.from);  // keep a lagging follower streaming
+      }
+    } else {
+      // msg.match is the follower's back-up hint.
+      cur.next = std::max<std::uint64_t>(msg.match + 1, 1);
+      send_append(msg.from);
+    }
+    return;
+  }
+}
+
+void RaftCore::handle_snapshot(const RaftMsg& msg) {
+  role_ = Role::Follower;
+  leader_ = msg.from;
+  votes_.clear();
+  reset_election_timer();
+
+  RaftMsg reply;
+  reply.type = RaftMsg::Type::SnapshotReply;
+  reply.granted = true;
+
+  if (msg.prev_index <= commit_) {
+    // We already have everything the snapshot covers.
+    reply.match = last_log_index();
+    send(msg.from, std::move(reply));
+    return;
+  }
+  // Replace our state wholesale; anything we had past prev_index is from
+  // a stale divergent history or absent entirely.
+  log_.clear();
+  snap_index_ = msg.prev_index;
+  snap_term_ = msg.prev_term;
+  snap_state_ = msg.snapshot;
+  commit_ = snap_index_;
+  applied_ = snap_index_;
+  installed_ = {{snap_index_, snap_state_}};
+  reply.match = snap_index_;
+  send(msg.from, std::move(reply));
+}
+
+void RaftCore::handle_snapshot_reply(const RaftMsg& msg) {
+  if (role_ != Role::Leader) {
+    return;
+  }
+  for (std::size_t i = 0; i < cfg_.voters.size(); ++i) {
+    if (cfg_.voters[i] != msg.from) {
+      continue;
+    }
+    PeerCursor& cur = cursors_[i];
+    cur.last_ack_tick = now_;
+    cur.snapshot_in_flight = false;
+    if (msg.granted) {
+      cur.match = std::max(cur.match, msg.match);
+      cur.next = cur.match + 1;
+      advance_commit();
+    }
+    return;
+  }
+}
+
+}  // namespace xdaq::ctrl

@@ -1,0 +1,261 @@
+// raft.hpp - the replicated-log consensus core of the control plane.
+//
+// ROADMAP item 5 / DAOS rdb shape: a small voter group (3-5 replicas)
+// keeps cluster config behind a leader-elected replicated log. This class
+// is the *pure* consensus state machine: no threads, no clock, no wire.
+// Time is a logical tick (the hosting ControlReplicaDevice maps executive
+// timer fires onto tick()); the network is an outbox of (peer, RaftMsg)
+// pairs the host drains onto real peer transports. That purity is what
+// makes the chaos harness deterministic - a seeded run replays the exact
+// same elections, partitions and commits every time, under TSan or not.
+//
+// The protocol is standard Raft:
+//   * randomized election timeouts (seeded Rng, [timeout_min, timeout_max]
+//     ticks) with term-monotonic voting and the log-up-to-date check;
+//   * log replication with per-follower next/match cursors, commit on
+//     majority match within the current term;
+//   * snapshot installation for followers whose cursor fell behind the
+//     compacted log (the restart-rejoin path);
+//   * a leader lease for linearizable local reads: the leader serves a
+//     read without a log round trip only while a majority acked an
+//     AppendEntries within the last election_timeout_min ticks - inside
+//     that window no rival can have been elected, because an election
+//     needs a majority that stayed quiet for at least that long.
+//
+// Durability: term, vote and log survive a restart through
+// encode_hard_state()/restore() (the host persists the blob; the chaos
+// harness keeps it across simulated node deaths, and a node restarted
+// *without* it rejoins empty and is caught up by snapshot + log replay).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "i2o/types.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::ctrl {
+
+enum class Role : std::uint8_t { Follower = 0, Candidate = 1, Leader = 2 };
+
+std::string_view to_string(Role r) noexcept;
+
+struct LogEntry {
+  std::uint64_t term = 0;
+  std::vector<std::byte> cmd;
+};
+
+struct RaftConfig {
+  i2o::NodeId self = i2o::kNullNode;
+  /// The voter group, self included. Fixed for the life of the core
+  /// (membership change is config data, not consensus membership).
+  std::vector<i2o::NodeId> voters;
+  /// Election timeout drawn uniformly from [min, max] ticks at every
+  /// reset; also the lease width (min). max > min keeps split votes rare.
+  std::uint32_t election_timeout_min = 10;
+  std::uint32_t election_timeout_max = 20;
+  /// Leader heartbeat/replication period in ticks.
+  std::uint32_t heartbeat_interval = 3;
+  /// Entries per AppendEntries message (bounds frame size).
+  std::size_t max_append_entries = 32;
+  /// Compact the log once more than this many applied entries are
+  /// retained (0 = the host compacts explicitly via compact()).
+  std::size_t snapshot_threshold = 0;
+  std::uint64_t seed = 1;
+};
+
+/// One consensus message. A single tagged struct instead of six classes:
+/// the codec, the fault injectors and the chaos journal all want to
+/// treat messages uniformly.
+struct RaftMsg {
+  enum class Type : std::uint8_t {
+    VoteRequest = 1,
+    VoteReply = 2,
+    Append = 3,       ///< AppendEntries (empty = heartbeat)
+    AppendReply = 4,
+    Snapshot = 5,     ///< InstallSnapshot (whole state, small by design)
+    SnapshotReply = 6,
+  };
+
+  Type type = Type::VoteRequest;
+  i2o::NodeId from = i2o::kNullNode;
+  std::uint64_t term = 0;
+
+  // VoteRequest: candidate's last log position.
+  std::uint64_t last_index = 0;
+  std::uint64_t last_term = 0;
+  // Append: the entry preceding `entries` and the leader commit index.
+  // Snapshot: prev_index/prev_term double as the snapshot's last
+  // included position.
+  std::uint64_t prev_index = 0;
+  std::uint64_t prev_term = 0;
+  std::uint64_t commit = 0;
+  // VoteReply.granted / AppendReply+SnapshotReply.success.
+  bool granted = false;
+  // AppendReply: follower's match index on success, or its conflict hint
+  // (first index of the conflicting term) on failure. SnapshotReply: the
+  // installed snapshot index.
+  std::uint64_t match = 0;
+  std::vector<LogEntry> entries;
+  std::vector<std::byte> snapshot;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Result<RaftMsg> decode(std::span<const std::byte> bytes);
+};
+
+std::string_view to_string(RaftMsg::Type t) noexcept;
+
+class RaftCore {
+ public:
+  explicit RaftCore(RaftConfig cfg);
+
+  // --- observation ---------------------------------------------------------
+
+  [[nodiscard]] const RaftConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] Role role() const noexcept { return role_; }
+  [[nodiscard]] std::uint64_t term() const noexcept { return term_; }
+  /// The leader of the current term as far as this replica knows
+  /// (kNullNode during elections).
+  [[nodiscard]] i2o::NodeId leader_hint() const noexcept { return leader_; }
+  [[nodiscard]] std::uint64_t commit_index() const noexcept {
+    return commit_;
+  }
+  [[nodiscard]] std::uint64_t last_log_index() const noexcept {
+    return snap_index_ + log_.size();
+  }
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return now_; }
+  /// Elections this replica has started (candidacy transitions).
+  [[nodiscard]] std::uint64_t elections_started() const noexcept {
+    return elections_;
+  }
+  /// Leader only: replication lag (last_log_index - match) of `peer`.
+  [[nodiscard]] std::uint64_t replication_lag(i2o::NodeId peer) const;
+
+  /// Linearizable-read gate: true only on a leader whose majority acked
+  /// within the last election_timeout_min ticks.
+  [[nodiscard]] bool has_lease() const;
+
+  // --- inputs --------------------------------------------------------------
+
+  /// One logical tick: election timers, heartbeats, lease bookkeeping.
+  void tick();
+
+  /// One inbound consensus message from a peer.
+  void handle(const RaftMsg& msg);
+
+  /// Leader appends a command; returns its log index (the host resolves
+  /// client acks when commit passes it). Fails on non-leaders.
+  Result<std::uint64_t> propose(std::vector<std::byte> cmd);
+
+  /// Transport-liveness hint (PR-2 failure detection reused): the peer is
+  /// gone. A follower that loses its leader this way expires its election
+  /// timer at the next tick instead of waiting out the full timeout.
+  void peer_down(i2o::NodeId peer);
+
+  // --- outputs -------------------------------------------------------------
+
+  /// Messages generated since the last drain, in emit order.
+  [[nodiscard]] std::vector<std::pair<i2o::NodeId, RaftMsg>> take_outbox();
+
+  /// Committed-but-unapplied entries, oldest first; advances the applied
+  /// cursor. The host feeds these to its state machine in order.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::vector<std::byte>>>
+  take_committed();
+
+  /// Set after a Snapshot message replaced this replica's log: the host
+  /// must restore its state machine from the blob. One-shot.
+  [[nodiscard]] std::optional<std::pair<std::uint64_t, std::vector<std::byte>>>
+  take_installed_snapshot();
+
+  // --- compaction ----------------------------------------------------------
+
+  /// Drops log entries up to `applied_index` (which must be <= the
+  /// applied cursor), retaining `state` as the snapshot lagging followers
+  /// are sent. The host calls this after applying, with its state
+  /// machine's encoding.
+  Status compact(std::uint64_t applied_index, std::vector<std::byte> state);
+
+  /// True when the retained log has outgrown cfg.snapshot_threshold and
+  /// the host should compact.
+  [[nodiscard]] bool wants_compaction() const noexcept {
+    return cfg_.snapshot_threshold > 0 &&
+           applied_ > snap_index_ &&
+           applied_ - snap_index_ > cfg_.snapshot_threshold;
+  }
+
+  // --- durability ----------------------------------------------------------
+  // [u64 term][u16 voted_for][u64 snap_index][u64 snap_term]
+  // [u32 snap_len][snap][u32 count] then per entry [u64 term][u32 len][cmd].
+
+  [[nodiscard]] std::vector<std::byte> encode_hard_state() const;
+  /// Restores term/vote/log/snapshot into a fresh core; volatile state
+  /// (role, commit, leader) restarts conservatively as a follower. The
+  /// host re-applies the snapshot + committed prefix to its state machine
+  /// as commit advances again.
+  static Result<RaftCore> restore(RaftConfig cfg,
+                                  std::span<const std::byte> hard);
+
+ private:
+  [[nodiscard]] std::size_t majority() const noexcept {
+    return cfg_.voters.size() / 2 + 1;
+  }
+  [[nodiscard]] std::uint64_t term_at(std::uint64_t index) const;
+  [[nodiscard]] const LogEntry* entry_at(std::uint64_t index) const;
+  void reset_election_timer(bool expire_now = false);
+  void become_follower(std::uint64_t term, i2o::NodeId leader);
+  void become_candidate();
+  void become_leader();
+  void send(i2o::NodeId to, RaftMsg msg);
+  void broadcast_appends(bool force);
+  void send_append(i2o::NodeId peer);
+  void advance_commit();
+  void handle_vote_request(const RaftMsg& msg);
+  void handle_vote_reply(const RaftMsg& msg);
+  void handle_append(const RaftMsg& msg);
+  void handle_append_reply(const RaftMsg& msg);
+  void handle_snapshot(const RaftMsg& msg);
+  void handle_snapshot_reply(const RaftMsg& msg);
+
+  RaftConfig cfg_;
+  Rng rng_;
+
+  // Durable state.
+  std::uint64_t term_ = 0;
+  i2o::NodeId voted_for_ = i2o::kNullNode;
+  /// Entries after the snapshot: log index (snap_index_ + i + 1) lives at
+  /// log_[i]. Index 0 is "before the first entry" everywhere.
+  std::vector<LogEntry> log_;
+  std::uint64_t snap_index_ = 0;
+  std::uint64_t snap_term_ = 0;
+  std::vector<std::byte> snap_state_;
+
+  // Volatile state.
+  Role role_ = Role::Follower;
+  i2o::NodeId leader_ = i2o::kNullNode;
+  std::uint64_t commit_ = 0;
+  std::uint64_t applied_ = 0;
+  std::uint64_t now_ = 0;
+  std::uint64_t election_deadline_ = 0;
+  std::uint64_t last_broadcast_ = 0;
+  std::uint64_t elections_ = 0;
+  std::vector<i2o::NodeId> votes_;
+
+  // Leader bookkeeping, indexed as cfg_.voters.
+  struct PeerCursor {
+    std::uint64_t next = 1;
+    std::uint64_t match = 0;
+    std::uint64_t last_ack_tick = 0;
+    bool snapshot_in_flight = false;
+  };
+  std::vector<PeerCursor> cursors_;
+
+  std::vector<std::pair<i2o::NodeId, RaftMsg>> outbox_;
+  std::optional<std::pair<std::uint64_t, std::vector<std::byte>>> installed_;
+};
+
+}  // namespace xdaq::ctrl

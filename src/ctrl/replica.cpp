@@ -1,0 +1,419 @@
+#include "ctrl/replica.hpp"
+
+#include <utility>
+
+#include "core/executive.hpp"
+#include "core/transport.hpp"
+
+namespace xdaq::ctrl {
+
+namespace {
+
+RaftConfig make_raft_config(const ControlReplicaDevice::Config& cfg,
+                            i2o::NodeId self) {
+  RaftConfig rc;
+  rc.self = self;
+  rc.voters = cfg.voters;
+  rc.election_timeout_min = cfg.election_timeout_min;
+  rc.election_timeout_max = cfg.election_timeout_max;
+  rc.heartbeat_interval = cfg.heartbeat_interval;
+  rc.snapshot_threshold = cfg.snapshot_threshold;
+  rc.seed = cfg.seed;
+  return rc;
+}
+
+RaftCore make_core(const ControlReplicaDevice::Config& cfg,
+                   i2o::NodeId self) {
+  RaftConfig rc = make_raft_config(cfg, self);
+  if (!cfg.hard_state.empty()) {
+    auto restored = RaftCore::restore(rc, cfg.hard_state);
+    if (restored.is_ok()) {
+      return std::move(restored).value();
+    }
+    // A corrupt blob degrades to a fresh (empty) voter rather than
+    // refusing to start; snapshot install catches it up.
+  }
+  return RaftCore(std::move(rc));
+}
+
+}  // namespace
+
+ControlReplicaDevice::ControlReplicaDevice(Config cfg)
+    : Device("ControlReplica"),
+      cfg_(std::move(cfg)),
+      core_(RaftConfig{}) {
+  // The real core is built in plugin() when the node id is known; until
+  // then hold a placeholder (RaftCore has no default constructor).
+}
+
+void ControlReplicaDevice::plugin() {
+  core_ = make_core(cfg_, executive().node_id());
+  if (auto snap = core_.take_installed_snapshot(); snap.has_value()) {
+    if (auto restored = ConfigStore::restore(snap->second);
+        restored.is_ok()) {
+      store_ = std::move(restored).value();
+    }
+  }
+
+  bind(i2o::OrgId::kXdaq, kXfnRaft,
+       [this](const core::MessageContext& ctx) { handle_raft(ctx); });
+  bind(i2o::OrgId::kXdaq, kXfnCtrl,
+       [this](const core::MessageContext& ctx) { handle_ctrl(ctx); });
+
+  auto& reg = executive().metrics();
+  term_gauge_ = &reg.gauge("raft.term");
+  role_gauge_ = &reg.gauge("raft.role");
+  commit_gauge_ = &reg.gauge("raft.commit_index");
+  elections_ = &reg.counter("raft.elections");
+  proposals_ = &reg.counter("raft.proposals");
+  redirects_ = &reg.counter("raft.redirects");
+  lag_ = &reg.histogram("raft.replication_lag", 0, 256, 32);
+
+  // PR-2 liveness as failure detection: Down transitions queue here (the
+  // listener runs on transport threads) and feed core_.peer_down at the
+  // next tick on the dispatch path.
+  executive().add_peer_state_listener(
+      [this](i2o::NodeId node, core::PeerState, core::PeerState to) {
+        if (to == core::PeerState::Down) {
+          const std::lock_guard<std::mutex> lock(down_mutex_);
+          pending_down_.push_back(node);
+        }
+      });
+}
+
+Status ControlReplicaDevice::on_enable() {
+  if (cfg_.tick_period.count() > 0) {
+    timer_id_ = executive().arm_timer(tid(), cfg_.tick_period,
+                                      cfg_.tick_period);
+  }
+  return Status::ok();
+}
+
+Status ControlReplicaDevice::on_halt() {
+  if (timer_id_ != 0) {
+    executive().cancel_timer(timer_id_);
+    timer_id_ = 0;
+  }
+  return Status::ok();
+}
+
+void ControlReplicaDevice::on_timer(std::uint32_t timer_id) {
+  (void)timer_id;
+  tick();
+}
+
+void ControlReplicaDevice::tick() {
+  std::vector<i2o::NodeId> down;
+  {
+    const std::lock_guard<std::mutex> lock(down_mutex_);
+    down.swap(pending_down_);
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (i2o::NodeId node : down) {
+    core_.peer_down(node);
+  }
+  core_.tick();
+  if (core_.role() == Role::Leader && lag_ != nullptr) {
+    for (i2o::NodeId peer : cfg_.voters) {
+      if (peer != core_.config().self) {
+        lag_->add(static_cast<double>(core_.replication_lag(peer)));
+      }
+    }
+  }
+  step_locked();
+}
+
+Role ControlReplicaDevice::role() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return core_.role();
+}
+
+std::uint64_t ControlReplicaDevice::term() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return core_.term();
+}
+
+i2o::NodeId ControlReplicaDevice::leader_hint() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return core_.leader_hint();
+}
+
+std::uint64_t ControlReplicaDevice::commit_index() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return core_.commit_index();
+}
+
+std::uint64_t ControlReplicaDevice::applied_index() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_.applied_index();
+}
+
+bool ControlReplicaDevice::has_lease() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return core_.has_lease();
+}
+
+std::optional<ConfigStore::Entry> ControlReplicaDevice::lookup(
+    std::string_view key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_.get(key);
+}
+
+std::vector<std::byte> ControlReplicaDevice::hard_state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return core_.encode_hard_state();
+}
+
+void ControlReplicaDevice::handle_raft(const core::MessageContext& ctx) {
+  auto msg = RaftMsg::decode(ctx.payload);
+  if (!msg.is_ok()) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  core_.handle(msg.value());
+  step_locked();
+}
+
+void ControlReplicaDevice::handle_ctrl(const core::MessageContext& ctx) {
+  auto req = CtrlRequest::decode(ctx.payload);
+  if (!req.is_ok()) {
+    (void)frame_reply(ctx, {}, /*failed=*/true);
+    return;
+  }
+  switch (req.value().op) {
+    case CtrlOp::Get:
+      handle_get(ctx, req.value());
+      break;
+    case CtrlOp::Put:
+    case CtrlOp::Del:
+      handle_write(ctx, req.value());
+      break;
+    case CtrlOp::Watch:
+      handle_watch(ctx, req.value());
+      break;
+  }
+}
+
+void ControlReplicaDevice::handle_get(const core::MessageContext& ctx,
+                                      const CtrlRequest& req) {
+  CtrlReply rep;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const bool stale_ok = (req.flags & kCtrlFlagStaleOk) != 0;
+    if (!stale_ok &&
+        (core_.role() != Role::Leader || !core_.has_lease())) {
+      // Not entitled to a linearizable answer: redirect to the leader
+      // (or to nowhere while an election runs - the client backs off).
+      rep.redirect = true;
+      rep.leader_node = core_.leader_hint();
+      if (redirects_ != nullptr) {
+        redirects_->add();
+      }
+    } else if (auto entry = store_.get(req.key); entry.has_value()) {
+      rep.ok = true;
+      rep.version = entry->version;
+      rep.value = std::move(entry)->value;
+    } else {
+      rep.version = store_.applied_index();  // "absent as of" bound
+    }
+  }
+  const auto payload = rep.encode();
+  (void)frame_reply(ctx, payload);
+}
+
+void ControlReplicaDevice::handle_write(const core::MessageContext& ctx,
+                                        const CtrlRequest& req) {
+  CtrlReply rep;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (core_.role() == Role::Leader) {
+      Command cmd;
+      cmd.op = req.op;
+      cmd.key = req.key;
+      cmd.value = req.value;
+      const auto bytes = cmd.encode();
+      auto proposed = core_.propose({bytes.begin(), bytes.end()});
+      if (proposed.is_ok()) {
+        if (proposals_ != nullptr) {
+          proposals_->add();
+        }
+        // The ack is deferred to commit time: remember the request
+        // header and answer from apply_locked.
+        pending_[proposed.value()] =
+            PendingWrite{ctx.header, core_.term()};
+        step_locked();
+        return;
+      }
+    }
+    rep.redirect = true;
+    rep.leader_node = core_.leader_hint();
+    if (redirects_ != nullptr) {
+      redirects_->add();
+    }
+  }
+  const auto payload = rep.encode();
+  (void)frame_reply(ctx, payload);
+}
+
+void ControlReplicaDevice::handle_watch(const core::MessageContext& ctx,
+                                        const CtrlRequest& req) {
+  CtrlReply rep;
+  std::vector<std::pair<std::string, ConfigStore::Entry>> existing;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Re-subscribing with the same reply path replaces the old prefix.
+    bool replaced = false;
+    for (auto& w : watchers_) {
+      if (w.tid == ctx.header.initiator) {
+        w.prefix = req.key;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      watchers_.push_back(Watcher{ctx.header.initiator, req.key});
+    }
+    rep.ok = true;
+    rep.version = store_.applied_index();
+    existing = store_.list(req.key);
+  }
+  const auto payload = rep.encode();
+  (void)frame_reply(ctx, payload);
+  // Snapshot-then-stream: replay what already exists under the prefix so
+  // the subscriber needs no separate enumeration round.
+  for (auto& [key, entry] : existing) {
+    WatchEvent ev;
+    ev.version = entry.version;
+    ev.key = key;
+    ev.value = std::move(entry.value);
+    push_event(ctx.header.initiator, ev);
+  }
+}
+
+void ControlReplicaDevice::step_locked() {
+  for (auto& [to, msg] : core_.take_outbox()) {
+    send_raft(to, msg);
+  }
+  if (auto snap = core_.take_installed_snapshot(); snap.has_value()) {
+    if (auto restored = ConfigStore::restore(snap->second);
+        restored.is_ok()) {
+      store_ = std::move(restored).value();
+      fail_pending_locked();  // our log was replaced wholesale
+    }
+  }
+  for (auto& [index, bytes] : core_.take_committed()) {
+    auto cmd = Command::decode(bytes);
+    if (cmd.is_ok()) {
+      apply_locked(index, cmd.value());
+    }
+  }
+  if (core_.role() != Role::Leader && !pending_.empty()) {
+    fail_pending_locked();
+  }
+  if (core_.wants_compaction()) {
+    (void)core_.compact(store_.applied_index(), store_.encode());
+  }
+  update_metrics_locked();
+}
+
+void ControlReplicaDevice::apply_locked(std::uint64_t index,
+                                        const Command& cmd) {
+  store_.apply(cmd, index);
+
+  if (const auto it = pending_.find(index); it != pending_.end()) {
+    const PendingWrite pw = it->second;
+    pending_.erase(it);
+    CtrlReply rep;
+    // Ack only when the entry that committed is still OUR proposal: a
+    // leader never overwrites its own log, so being leader in the
+    // proposal's term is the guarantee. Anything else means a rival
+    // leader replaced the entry at this index - redirect, never a false
+    // ack.
+    if (core_.role() == Role::Leader && core_.term() == pw.term) {
+      rep.ok = true;
+      rep.version = index;
+    } else {
+      rep.redirect = true;
+      rep.leader_node = core_.leader_hint();
+    }
+    reply_ctrl(pw.request, rep);
+  }
+
+  if (watchers_.empty()) {
+    return;
+  }
+  WatchEvent ev;
+  ev.deleted = cmd.op == CtrlOp::Del;
+  ev.version = index;
+  ev.key = cmd.key;
+  ev.value = cmd.value;
+  for (const Watcher& w : watchers_) {
+    if (cmd.key.compare(0, w.prefix.size(), w.prefix) == 0) {
+      push_event(w.tid, ev);
+    }
+  }
+}
+
+void ControlReplicaDevice::fail_pending_locked() {
+  if (pending_.empty()) {
+    return;
+  }
+  CtrlReply rep;
+  rep.redirect = true;
+  rep.leader_node = core_.leader_hint();
+  for (const auto& [index, pw] : pending_) {
+    reply_ctrl(pw.request, rep);
+  }
+  pending_.clear();
+}
+
+void ControlReplicaDevice::send_raft(i2o::NodeId to, const RaftMsg& msg) {
+  const i2o::Tid remote =
+      cfg_.peer_tid != i2o::kNullTid ? cfg_.peer_tid : tid();
+  auto proxy = executive().resolver().resolve(to, remote);
+  if (!proxy.is_ok()) {
+    return;  // unroutable peer: Raft treats it as message loss
+  }
+  const auto bytes = msg.encode();
+  auto frame = make_private_frame(proxy.value(), i2o::OrgId::kXdaq,
+                                  kXfnRaft, bytes);
+  if (frame.is_ok()) {
+    (void)frame_send(std::move(frame).value());
+  }
+}
+
+void ControlReplicaDevice::push_event(i2o::Tid watcher,
+                                      const WatchEvent& ev) {
+  const auto bytes = ev.encode();
+  auto frame = make_private_frame(watcher, i2o::OrgId::kXdaq,
+                                  kXfnCtrlEvent, bytes);
+  if (frame.is_ok()) {
+    (void)frame_send(std::move(frame).value());
+  }
+}
+
+void ControlReplicaDevice::reply_ctrl(const i2o::FrameHeader& request,
+                                      const CtrlReply& rep) {
+  // Deferred reply: frame_reply only consults the request header, so a
+  // saved header stands in for the original MessageContext.
+  core::MessageContext ctx;
+  ctx.header = request;
+  const auto payload = rep.encode();
+  (void)frame_reply(ctx, payload);
+}
+
+void ControlReplicaDevice::update_metrics_locked() {
+  if (term_gauge_ == nullptr) {
+    return;
+  }
+  term_gauge_->set(static_cast<std::int64_t>(core_.term()));
+  role_gauge_->set(static_cast<std::int64_t>(core_.role()));
+  commit_gauge_->set(static_cast<std::int64_t>(core_.commit_index()));
+  const std::uint64_t started = core_.elections_started();
+  if (started > reported_elections_) {
+    elections_->add(started - reported_elections_);
+    reported_elections_ = started;
+  }
+}
+
+}  // namespace xdaq::ctrl

@@ -1,0 +1,147 @@
+// replica.hpp - one voter of the replicated control service.
+//
+// ControlReplicaDevice hosts a RaftCore inside an ordinary device: Raft
+// messages travel as kXfnRaft private frames between the voters' proxy
+// TiDs (any fault-tolerant peer transport, relay routes included), client
+// operations arrive as kXfnCtrl frames, and committed commands apply to
+// the ConfigStore. Election timing runs on the executive core timer
+// (Config::tick_period), or on manual tick() calls when a deterministic
+// harness drives the clock itself.
+//
+// Client operations:
+//   * Put/Del on the leader append to the replicated log; the reply is
+//     DEFERRED until the entry commits (the saved request header is
+//     answered from the apply loop), so an acknowledged write is by
+//     construction on a majority. Losing leadership fails the pending
+//     window with a redirect reply - never a false ack.
+//   * Get on the leader answers locally while the leader lease holds
+//     (linearizable without a log round trip); otherwise it redirects.
+//     kCtrlFlagStaleOk reads any replica's store (bounded-stale).
+//   * Watch registers the caller (its reply-path proxy TiD) for pushed
+//     kXfnCtrlEvent frames; registration first replays every existing
+//     entry under the prefix as synthetic events, so subscribe-then-apply
+//     yields a complete snapshot + stream.
+//
+// Failure detection is the PR-2 transport liveness feed: a peer-state
+// Down transition for the current leader expires the election timer at
+// the next tick instead of waiting out the randomized timeout.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/device.hpp"
+#include "ctrl/raft.hpp"
+#include "ctrl/store.hpp"
+#include "ctrl/wire.hpp"
+#include "obs/metrics.hpp"
+
+namespace xdaq::ctrl {
+
+class ControlReplicaDevice : public core::Device {
+ public:
+  struct Config {
+    /// The voter group, this node included.
+    std::vector<i2o::NodeId> voters;
+    /// TiD of the replica device on peer nodes. kNullTid = same TiD as
+    /// this instance (symmetric install order, the common case).
+    i2o::Tid peer_tid = i2o::kNullTid;
+    std::uint32_t election_timeout_min = 10;
+    std::uint32_t election_timeout_max = 20;
+    std::uint32_t heartbeat_interval = 3;
+    /// Compact the applied log beyond this many entries (0 = never).
+    std::size_t snapshot_threshold = 64;
+    std::uint64_t seed = 1;
+    /// Period of the self-armed tick timer; zero means the host drives
+    /// tick() manually (deterministic tests).
+    std::chrono::nanoseconds tick_period{};
+    /// Durable Raft state from a previous incarnation (term/vote/log/
+    /// snapshot, as returned by hard_state()). Empty = fresh start; a
+    /// voter restarted empty is caught up by snapshot install.
+    std::vector<std::byte> hard_state;
+  };
+
+  explicit ControlReplicaDevice(Config cfg);
+
+  /// One logical Raft tick + output drain. Thread-safe; the timer path
+  /// calls this too.
+  void tick();
+
+  // Observers (thread-safe; tests and the metrics probes use them).
+  [[nodiscard]] Role role() const;
+  [[nodiscard]] std::uint64_t term() const;
+  [[nodiscard]] i2o::NodeId leader_hint() const;
+  [[nodiscard]] std::uint64_t commit_index() const;
+  [[nodiscard]] std::uint64_t applied_index() const;
+  [[nodiscard]] bool has_lease() const;
+  [[nodiscard]] std::optional<ConfigStore::Entry> lookup(
+      std::string_view key) const;
+  /// Durable state for the next incarnation (what Config::hard_state
+  /// accepts back).
+  [[nodiscard]] std::vector<std::byte> hard_state() const;
+
+ protected:
+  void plugin() override;
+  Status on_enable() override;
+  Status on_halt() override;
+  void on_timer(std::uint32_t timer_id) override;
+
+ private:
+  struct Watcher {
+    i2o::Tid tid = i2o::kNullTid;  ///< reply-path (proxy) TiD to push to
+    std::string prefix;
+  };
+
+  void handle_raft(const core::MessageContext& ctx);
+  void handle_ctrl(const core::MessageContext& ctx);
+  void handle_get(const core::MessageContext& ctx, const CtrlRequest& req);
+  void handle_write(const core::MessageContext& ctx, const CtrlRequest& req);
+  void handle_watch(const core::MessageContext& ctx, const CtrlRequest& req);
+
+  /// Drains the core's outbox/commit/snapshot outputs. mutex_ held.
+  void step_locked();
+  void apply_locked(std::uint64_t index, const Command& cmd);
+  void fail_pending_locked();
+  void send_raft(i2o::NodeId to, const RaftMsg& msg);
+  void push_event(i2o::Tid watcher, const WatchEvent& ev);
+  void reply_ctrl(const i2o::FrameHeader& request, const CtrlReply& rep);
+  void update_metrics_locked();
+
+  Config cfg_;
+  mutable std::mutex mutex_;  ///< guards core_, store_, pending_, watchers_
+  RaftCore core_;
+  ConfigStore store_;
+  /// Log index -> the unanswered Put/Del request appended at it, plus the
+  /// term it was proposed in (a committed index from a *different* term
+  /// means our proposal was overwritten - fail, do not ack).
+  struct PendingWrite {
+    i2o::FrameHeader request;
+    std::uint64_t term = 0;
+  };
+  std::map<std::uint64_t, PendingWrite> pending_;
+  std::vector<Watcher> watchers_;
+
+  /// Down transitions recorded by the (transport-thread) peer-state
+  /// listener, consumed at the next tick on the dispatch path.
+  std::mutex down_mutex_;
+  std::vector<i2o::NodeId> pending_down_;
+
+  std::uint32_t timer_id_ = 0;
+  std::uint64_t reported_elections_ = 0;
+
+  // raft.* instruments (registered at plugin()).
+  obs::Gauge* term_gauge_ = nullptr;
+  obs::Gauge* role_gauge_ = nullptr;
+  obs::Gauge* commit_gauge_ = nullptr;
+  obs::Counter* elections_ = nullptr;
+  obs::Counter* proposals_ = nullptr;
+  obs::Counter* redirects_ = nullptr;
+  obs::Histogram* lag_ = nullptr;
+};
+
+}  // namespace xdaq::ctrl

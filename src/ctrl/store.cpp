@@ -1,0 +1,104 @@
+#include "ctrl/store.hpp"
+
+#include <algorithm>
+
+#include "i2o/wire.hpp"
+
+namespace xdaq::ctrl {
+
+namespace {
+
+bool fits(std::span<const std::byte> bytes, std::size_t off,
+          std::size_t len) noexcept {
+  return off <= bytes.size() && len <= bytes.size() - off;
+}
+
+}  // namespace
+
+void ConfigStore::apply(const Command& cmd, std::uint64_t index) {
+  applied_ = index;
+  if (cmd.op == CtrlOp::Del) {
+    map_.erase(cmd.key);
+    return;
+  }
+  map_[cmd.key] = Entry{cmd.value, index};
+}
+
+std::optional<ConfigStore::Entry> ConfigStore::get(
+    std::string_view key) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<std::pair<std::string, ConfigStore::Entry>> ConfigStore::list(
+    std::string_view prefix) const {
+  std::vector<std::pair<std::string, Entry>> out;
+  for (auto it = map_.lower_bound(prefix); it != map_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+std::vector<std::byte> ConfigStore::encode() const {
+  std::size_t size = 12;
+  for (const auto& [key, entry] : map_) {
+    size += 14 + key.size() + entry.value.size();
+  }
+  std::vector<std::byte> out(size);
+  i2o::put_u64(out, 0, applied_);
+  i2o::put_u32(out, 8, static_cast<std::uint32_t>(map_.size()));
+  std::size_t off = 12;
+  for (const auto& [key, entry] : map_) {
+    i2o::put_u64(out, off, entry.version);
+    i2o::put_u16(out, off + 8, static_cast<std::uint16_t>(key.size()));
+    i2o::put_u32(out, off + 10, static_cast<std::uint32_t>(
+                                    entry.value.size()));
+    off += 14;
+    std::copy(key.begin(), key.end(),
+              reinterpret_cast<char*>(out.data()) + off);
+    off += key.size();
+    std::copy(entry.value.begin(), entry.value.end(),
+              reinterpret_cast<char*>(out.data()) + off);
+    off += entry.value.size();
+  }
+  return out;
+}
+
+Result<ConfigStore> ConfigStore::restore(std::span<const std::byte> bytes) {
+  if (bytes.size() < 12) {
+    return {Errc::InvalidArgument, "store snapshot truncated"};
+  }
+  ConfigStore store;
+  store.applied_ = i2o::get_u64(bytes, 0);
+  const std::size_t count = i2o::get_u32(bytes, 8);
+  std::size_t off = 12;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!fits(bytes, off, 14)) {
+      return {Errc::InvalidArgument, "store entry header overruns snapshot"};
+    }
+    Entry entry;
+    entry.version = i2o::get_u64(bytes, off);
+    const std::size_t key_len = i2o::get_u16(bytes, off + 8);
+    const std::size_t val_len = i2o::get_u32(bytes, off + 10);
+    off += 14;
+    if (!fits(bytes, off, key_len) || !fits(bytes, off + key_len, val_len)) {
+      return {Errc::InvalidArgument, "store entry body overruns snapshot"};
+    }
+    std::string key(reinterpret_cast<const char*>(bytes.data()) + off,
+                    key_len);
+    entry.value.assign(
+        reinterpret_cast<const char*>(bytes.data()) + off + key_len,
+        val_len);
+    off += key_len + val_len;
+    store.map_.emplace(std::move(key), std::move(entry));
+  }
+  return store;
+}
+
+}  // namespace xdaq::ctrl

@@ -1,0 +1,58 @@
+// store.hpp - the state machine behind the replicated control log.
+//
+// A versioned key/value map holding cluster config, device placement
+// ("route/<node>" entries) and the member-map version. Every replica
+// applies the same committed Command stream, so every replica holds the
+// same map; `version` of an entry is the Raft log index of the command
+// that wrote it, which makes "has this client seen at least commit X"
+// comparisons trivial for watches and stale-read bounds.
+//
+// encode()/restore() is the Raft snapshot format - what a lagging or
+// freshly restarted replica installs instead of replaying history.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ctrl/wire.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::ctrl {
+
+class ConfigStore {
+ public:
+  struct Entry {
+    std::string value;
+    std::uint64_t version = 0;  ///< log index of the writing command
+  };
+
+  /// Applies one committed command at its log index. Del of a missing
+  /// key is a no-op (idempotent replay).
+  void apply(const Command& cmd, std::uint64_t index);
+
+  [[nodiscard]] std::optional<Entry> get(std::string_view key) const;
+  /// All live entries with the given key prefix, in key order.
+  [[nodiscard]] std::vector<std::pair<std::string, Entry>> list(
+      std::string_view prefix) const;
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  /// Log index of the last applied command.
+  [[nodiscard]] std::uint64_t applied_index() const noexcept {
+    return applied_;
+  }
+
+  // Snapshot format: [u64 applied][u32 count] then per entry
+  // [u64 version][u16 key_len][u32 val_len][key][val].
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Result<ConfigStore> restore(std::span<const std::byte> bytes);
+
+ private:
+  std::map<std::string, Entry, std::less<>> map_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace xdaq::ctrl

@@ -1,0 +1,151 @@
+#include "ctrl/wire.hpp"
+
+#include "i2o/wire.hpp"
+
+namespace xdaq::ctrl {
+
+namespace {
+
+/// Bounds a decoded length field against what the buffer actually holds.
+bool fits(std::span<const std::byte> bytes, std::size_t off,
+          std::size_t len) noexcept {
+  return off <= bytes.size() && len <= bytes.size() - off;
+}
+
+std::string take_string(std::span<const std::byte> bytes, std::size_t off,
+                        std::size_t len) {
+  return {reinterpret_cast<const char*>(bytes.data()) + off, len};
+}
+
+void put_string(std::span<std::byte> out, std::size_t off,
+                const std::string& s) {
+  std::memcpy(out.data() + off, s.data(), s.size());
+}
+
+}  // namespace
+
+std::vector<std::byte> CtrlRequest::encode() const {
+  std::vector<std::byte> out(12 + key.size() + value.size());
+  i2o::put_u8(out, 0, static_cast<std::uint8_t>(op));
+  i2o::put_u8(out, 1, flags);
+  i2o::put_u16(out, 2, 0);
+  i2o::put_u32(out, 4, static_cast<std::uint32_t>(key.size()));
+  i2o::put_u32(out, 8, static_cast<std::uint32_t>(value.size()));
+  put_string(out, 12, key);
+  put_string(out, 12 + key.size(), value);
+  return out;
+}
+
+Result<CtrlRequest> CtrlRequest::decode(std::span<const std::byte> bytes) {
+  if (bytes.size() < 12) {
+    return {Errc::InvalidArgument, "ctrl request truncated"};
+  }
+  CtrlRequest req;
+  const std::uint8_t op = i2o::get_u8(bytes, 0);
+  if (op < static_cast<std::uint8_t>(CtrlOp::Put) ||
+      op > static_cast<std::uint8_t>(CtrlOp::Watch)) {
+    return {Errc::InvalidArgument, "ctrl request carries unknown op"};
+  }
+  req.op = static_cast<CtrlOp>(op);
+  req.flags = i2o::get_u8(bytes, 1);
+  const std::size_t key_len = i2o::get_u32(bytes, 4);
+  const std::size_t val_len = i2o::get_u32(bytes, 8);
+  if (!fits(bytes, 12, key_len) || !fits(bytes, 12 + key_len, val_len)) {
+    return {Errc::InvalidArgument, "ctrl request lengths overrun payload"};
+  }
+  req.key = take_string(bytes, 12, key_len);
+  req.value = take_string(bytes, 12 + key_len, val_len);
+  return req;
+}
+
+std::vector<std::byte> CtrlReply::encode() const {
+  std::vector<std::byte> out(16 + value.size());
+  i2o::put_u8(out, 0, ok ? 1 : 0);
+  i2o::put_u8(out, 1, redirect ? 1 : 0);
+  i2o::put_u16(out, 2, leader_node);
+  i2o::put_u64(out, 4, version);
+  i2o::put_u32(out, 12, static_cast<std::uint32_t>(value.size()));
+  put_string(out, 16, value);
+  return out;
+}
+
+Result<CtrlReply> CtrlReply::decode(std::span<const std::byte> bytes) {
+  if (bytes.size() < 16) {
+    return {Errc::InvalidArgument, "ctrl reply truncated"};
+  }
+  CtrlReply rep;
+  rep.ok = i2o::get_u8(bytes, 0) != 0;
+  rep.redirect = i2o::get_u8(bytes, 1) != 0;
+  rep.leader_node = i2o::get_u16(bytes, 2);
+  rep.version = i2o::get_u64(bytes, 4);
+  const std::size_t val_len = i2o::get_u32(bytes, 12);
+  if (!fits(bytes, 16, val_len)) {
+    return {Errc::InvalidArgument, "ctrl reply value overruns payload"};
+  }
+  rep.value = take_string(bytes, 16, val_len);
+  return rep;
+}
+
+std::vector<std::byte> WatchEvent::encode() const {
+  std::vector<std::byte> out(20 + key.size() + value.size());
+  i2o::put_u8(out, 0, deleted ? 1 : 0);
+  i2o::put_u8(out, 1, 0);
+  i2o::put_u16(out, 2, 0);
+  i2o::put_u64(out, 4, version);
+  i2o::put_u32(out, 12, static_cast<std::uint32_t>(key.size()));
+  i2o::put_u32(out, 16, static_cast<std::uint32_t>(value.size()));
+  put_string(out, 20, key);
+  put_string(out, 20 + key.size(), value);
+  return out;
+}
+
+Result<WatchEvent> WatchEvent::decode(std::span<const std::byte> bytes) {
+  if (bytes.size() < 20) {
+    return {Errc::InvalidArgument, "watch event truncated"};
+  }
+  WatchEvent ev;
+  ev.deleted = i2o::get_u8(bytes, 0) != 0;
+  ev.version = i2o::get_u64(bytes, 4);
+  const std::size_t key_len = i2o::get_u32(bytes, 12);
+  const std::size_t val_len = i2o::get_u32(bytes, 16);
+  if (!fits(bytes, 20, key_len) || !fits(bytes, 20 + key_len, val_len)) {
+    return {Errc::InvalidArgument, "watch event lengths overrun payload"};
+  }
+  ev.key = take_string(bytes, 20, key_len);
+  ev.value = take_string(bytes, 20 + key_len, val_len);
+  return ev;
+}
+
+std::vector<std::byte> Command::encode() const {
+  std::vector<std::byte> out(8 + key.size() + value.size());
+  i2o::put_u8(out, 0, static_cast<std::uint8_t>(op));
+  i2o::put_u8(out, 1, 0);
+  i2o::put_u16(out, 2, static_cast<std::uint16_t>(key.size()));
+  i2o::put_u32(out, 4, static_cast<std::uint32_t>(value.size()));
+  put_string(out, 8, key);
+  put_string(out, 8 + key.size(), value);
+  return out;
+}
+
+Result<Command> Command::decode(std::span<const std::byte> bytes) {
+  if (bytes.size() < 8) {
+    return {Errc::InvalidArgument, "ctrl command truncated"};
+  }
+  Command cmd;
+  const std::uint8_t op = i2o::get_u8(bytes, 0);
+  if (op != static_cast<std::uint8_t>(CtrlOp::Put) &&
+      op != static_cast<std::uint8_t>(CtrlOp::Del)) {
+    return {Errc::InvalidArgument, "ctrl command must be Put or Del"};
+  }
+  cmd.op = static_cast<CtrlOp>(op);
+  const std::size_t key_len = i2o::get_u16(bytes, 2);
+  const std::size_t val_len = i2o::get_u32(bytes, 4);
+  if (!fits(bytes, 8, key_len) || !fits(bytes, 8 + key_len, val_len)) {
+    return {Errc::InvalidArgument, "ctrl command lengths overrun payload"};
+  }
+  cmd.key = take_string(bytes, 8, key_len);
+  cmd.value = take_string(bytes, 8 + key_len, val_len);
+  return cmd;
+}
+
+}  // namespace xdaq::ctrl

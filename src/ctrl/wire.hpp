@@ -1,0 +1,110 @@
+// wire.hpp - the control plane's I2O wire surface.
+//
+// ROADMAP item 5: the paper's "dynamic download" configuration flows from
+// a single primary host, a SPOF the replicated control service removes.
+// Every control-plane exchange is an ordinary private kXdaq frame, so the
+// service is reachable through the normal proxy-TiD path - replica-to-
+// replica Raft traffic, client requests, and watch pushes all cross the
+// same fault-tolerant peer transports as application data.
+//
+//   kXfnRaft      replica <-> replica  (RaftMsg encoding, raft.hpp)
+//   kXfnCtrl      client  -> replica   (CtrlRequest; reply = CtrlReply)
+//   kXfnCtrlEvent replica -> client    (watch notification push)
+//
+// CtrlRequest payload (little-endian):
+//   [u8 op][u8 flags][u16 rsvd][u32 key_len][u32 val_len][key][val]
+// CtrlReply payload:
+//   [u8 ok][u8 redirect][u16 leader_node][u64 version][u32 val_len][val]
+// Watch push payload:
+//   [u8 deleted][u8 rsvd][u16 rsvd][u64 version][u32 key_len][u32 val_len]
+//   [key][val]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "i2o/types.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::ctrl {
+
+/// kXdaq private xfunctions owned by the control plane (0x0003/0x0004 are
+/// gossip/relay, 0x0010/0x0011 the monitor; ctrl takes 0x0005-0x0007).
+inline constexpr std::uint16_t kXfnRaft = 0x0005;
+inline constexpr std::uint16_t kXfnCtrl = 0x0006;
+inline constexpr std::uint16_t kXfnCtrlEvent = 0x0007;
+
+/// Reserved key through which the control plane owns the cluster-wide
+/// member-map version (PR 7): committed writes to it floor every node's
+/// gossip MemberMap version on rejoin.
+inline constexpr std::string_view kMemberMapVersionKey =
+    "cluster/member-map/version";
+/// Per-node route entries ("route/<node>" -> "direct:<node>" |
+/// "relay:<via>") that ControlClient::reconcile_routes replays into the
+/// local Resolver after a restart.
+inline constexpr std::string_view kRoutePrefix = "route/";
+
+enum class CtrlOp : std::uint8_t {
+  Put = 1,
+  Get = 2,
+  Del = 3,
+  Watch = 4,
+};
+
+/// Request flags.
+inline constexpr std::uint8_t kCtrlFlagStaleOk = 0x01;  ///< Get may be served
+                                                        ///< by a follower
+
+struct CtrlRequest {
+  CtrlOp op = CtrlOp::Get;
+  std::uint8_t flags = 0;
+  std::string key;
+  std::string value;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Result<CtrlRequest> decode(std::span<const std::byte> bytes);
+};
+
+struct CtrlReply {
+  bool ok = false;
+  /// Set when this replica is not the leader: retry at `leader_node`
+  /// (kNullNode when no leader is known - back off and retry anywhere).
+  bool redirect = false;
+  i2o::NodeId leader_node = i2o::kNullNode;
+  /// Commit version of the answered operation (the Raft log index that
+  /// applied it; for Get, the version of the returned value).
+  std::uint64_t version = 0;
+  std::string value;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Result<CtrlReply> decode(std::span<const std::byte> bytes);
+};
+
+struct WatchEvent {
+  bool deleted = false;
+  std::uint64_t version = 0;
+  std::string key;
+  std::string value;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Result<WatchEvent> decode(std::span<const std::byte> bytes);
+};
+
+// --- replicated commands ----------------------------------------------------
+// What the Raft log carries: [u8 op][u8 rsvd][u16 key_len][u32 val_len]
+// [key][val]. Only Put/Del are ever proposed.
+
+struct Command {
+  CtrlOp op = CtrlOp::Put;
+  std::string key;
+  std::string value;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Result<Command> decode(std::span<const std::byte> bytes);
+};
+
+}  // namespace xdaq::ctrl

@@ -1,5 +1,7 @@
 #include "pt/fault_pt.hpp"
 
+#include "core/executive.hpp"
+
 namespace xdaq::pt {
 
 FaultInjectingTransport::FaultInjectingTransport(core::TransportDevice& inner,
@@ -15,6 +17,55 @@ void FaultInjectingTransport::set_plan(FaultPlan plan) {
   const std::scoped_lock lock(mutex_);
   plan_ = plan;
   rng_ = Rng(plan.seed);
+}
+
+void FaultInjectingTransport::set_partition(
+    std::vector<std::vector<i2o::NodeId>> groups, std::uint64_t from_tick,
+    std::uint64_t to_tick) {
+  const std::scoped_lock lock(mutex_);
+  partition_groups_ = std::move(groups);
+  partition_from_ = from_tick;
+  partition_to_ = to_tick;
+}
+
+void FaultInjectingTransport::clear_partition() {
+  const std::scoped_lock lock(mutex_);
+  partition_groups_.clear();
+  partition_from_ = 0;
+  partition_to_ = 0;
+}
+
+void FaultInjectingTransport::advance_tick(std::uint64_t n) {
+  const std::scoped_lock lock(mutex_);
+  tick_ += n;
+}
+
+std::uint64_t FaultInjectingTransport::chaos_tick() const {
+  const std::scoped_lock lock(mutex_);
+  return tick_;
+}
+
+bool FaultInjectingTransport::partitioned_now(i2o::NodeId dst) const {
+  const std::scoped_lock lock(mutex_);
+  if (partition_groups_.empty() || tick_ < partition_from_ ||
+      tick_ >= partition_to_ || !attached()) {
+    return false;
+  }
+  const i2o::NodeId self = executive().node_id();
+  int self_group = -1;
+  int dst_group = -1;
+  for (std::size_t g = 0; g < partition_groups_.size(); ++g) {
+    for (i2o::NodeId n : partition_groups_[g]) {
+      if (n == self) {
+        self_group = static_cast<int>(g);
+      }
+      if (n == dst) {
+        dst_group = static_cast<int>(g);
+      }
+    }
+  }
+  // A node outside every group is unconstrained by the plan.
+  return self_group >= 0 && dst_group >= 0 && self_group != dst_group;
 }
 
 std::int64_t FaultInjectingTransport::steady_ns() noexcept {
@@ -45,6 +96,7 @@ i2o::ParamList FaultInjectingTransport::on_params_get() {
   params.emplace_back("delayed", std::to_string(s.delayed));
   params.emplace_back("duplicated", std::to_string(s.duplicated));
   params.emplace_back("disconnects", std::to_string(s.disconnects));
+  params.emplace_back("partitioned", std::to_string(s.partitioned));
   return params;
 }
 
@@ -56,6 +108,7 @@ FaultInjectingTransport::InjectStats FaultInjectingTransport::inject_stats()
   s.delayed = delayed_count_.load();
   s.duplicated = duplicated_.load();
   s.disconnects = disconnects_.load();
+  s.partitioned = partitioned_.load();
   return s;
 }
 
@@ -72,6 +125,10 @@ FaultInjectingTransport::Draw FaultInjectingTransport::draw_faults() {
 Status FaultInjectingTransport::transport_send(
     i2o::NodeId dst, std::span<const std::byte> frame) {
   sends_.fetch_add(1);
+  if (partitioned_now(dst)) {
+    partitioned_.fetch_add(1);
+    return Status::ok();  // cut links look like wire loss, not errors
+  }
   const Draw d = draw_faults();
   if (d.disconnect) {
     disconnects_.fetch_add(1);
@@ -104,6 +161,10 @@ Status FaultInjectingTransport::transport_send(
 Status FaultInjectingTransport::transport_send_frame(i2o::NodeId dst,
                                                      mem::FrameRef frame) {
   sends_.fetch_add(1);
+  if (partitioned_now(dst)) {
+    partitioned_.fetch_add(1);
+    return Status::ok();  // dropping the ref recycles the block
+  }
   const Draw d = draw_faults();
   if (d.disconnect) {
     disconnects_.fetch_add(1);

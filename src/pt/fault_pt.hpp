@@ -68,6 +68,7 @@ class FaultInjectingTransport final : public core::TransportDevice {
     std::uint64_t delayed = 0;
     std::uint64_t duplicated = 0;
     std::uint64_t disconnects = 0;
+    std::uint64_t partitioned = 0;  ///< frames cut by the partition plan
   };
   [[nodiscard]] InjectStats inject_stats() const;
 
@@ -75,6 +76,27 @@ class FaultInjectingTransport final : public core::TransportDevice {
   /// plan.seed). Partition tests use this to sever a link and later heal
   /// it without reinstalling the decorator.
   void set_plan(FaultPlan plan);
+
+  // --- symmetric partition plans -------------------------------------------
+  // Chaos scripts used to hand-roll per-direction drop plans; a symmetric
+  // split is one call instead. While the decorator's chaos tick t is in
+  // [from_tick, to_tick), a frame whose {self, dst} pair lands in two
+  // DIFFERENT groups is dropped (count: `partitioned`). Install the same
+  // plan on every node's decorator and the cut is symmetric by
+  // construction. Nodes absent from every group are unaffected. The
+  // probabilistic set_plan faults still apply to frames the partition
+  // lets through.
+
+  /// Replaces the partition plan. Empty `groups` clears it.
+  void set_partition(std::vector<std::vector<i2o::NodeId>> groups,
+                     std::uint64_t from_tick, std::uint64_t to_tick);
+  void clear_partition();
+
+  /// The decorator's logical chaos clock. Deterministic harnesses advance
+  /// it in lockstep with whatever they call a tick; wall time is never
+  /// consulted.
+  void advance_tick(std::uint64_t n = 1);
+  [[nodiscard]] std::uint64_t chaos_tick() const;
 
   /// Reports its own injection counters, then the wrapped transport's
   /// under the same prefix (the decorator is what the executive installed,
@@ -92,6 +114,8 @@ class FaultInjectingTransport final : public core::TransportDevice {
                    static_cast<std::int64_t>(s.duplicated)});
     out.push_back({prefix + ".inject_disconnects",
                    static_cast<std::int64_t>(s.disconnects)});
+    out.push_back({prefix + ".inject_partitioned",
+                   static_cast<std::int64_t>(s.partitioned)});
     inner_->append_metrics(prefix, out);
   }
 
@@ -131,14 +155,21 @@ class FaultInjectingTransport final : public core::TransportDevice {
   };
   Draw draw_faults();
 
+  /// True when the partition plan cuts self->dst at the current tick.
+  [[nodiscard]] bool partitioned_now(i2o::NodeId dst) const;
+
   void delay_loop();
   [[nodiscard]] static std::int64_t steady_ns() noexcept;
 
   core::TransportDevice* inner_;
   FaultPlan plan_;
 
-  mutable std::mutex mutex_;  ///< guards rng_ and delayed_
+  mutable std::mutex mutex_;  ///< guards rng_, delayed_, and the partition
   Rng rng_;
+  std::vector<std::vector<i2o::NodeId>> partition_groups_;
+  std::uint64_t partition_from_ = 0;
+  std::uint64_t partition_to_ = 0;
+  std::uint64_t tick_ = 0;
   std::deque<Delayed> delayed_;
   std::condition_variable delay_cv_;
   std::thread delay_thread_;
@@ -148,6 +179,7 @@ class FaultInjectingTransport final : public core::TransportDevice {
   std::atomic<std::uint64_t> delayed_count_{0};
   std::atomic<std::uint64_t> duplicated_{0};
   std::atomic<std::uint64_t> disconnects_{0};
+  std::atomic<std::uint64_t> partitioned_{0};
 };
 
 }  // namespace xdaq::pt

@@ -136,6 +136,111 @@ TEST(MemberMap, VersionMonotonicAcrossMergeAndRejoin) {
   EXPECT_EQ(a.version(), last);
 }
 
+// A node that lived through ~4 billion refutations wraps its u32
+// incarnation. Serial-number comparison keeps precedence working across
+// the wrap: an incarnation just past 0 beats one just below UINT32_MAX,
+// while far-apart values still compare in the intuitive direction.
+TEST(MemberMap, IncarnationWraparound) {
+  MemberMap map(1);
+  constexpr std::uint32_t kNearMax = 0xFFFFFFFFu - 2;
+  map.observe({2, kNearMax, MemberStatus::Alive});
+
+  // Pre-wrap ordering is unchanged.
+  EXPECT_FALSE(map.observe({2, kNearMax - 1, MemberStatus::Dead}));
+  EXPECT_TRUE(map.observe({2, kNearMax + 1, MemberStatus::Suspect}));
+
+  // The wrap itself: incarnation 1 (post-wrap) supersedes 0xFFFFFFFF.
+  EXPECT_TRUE(map.observe({2, 0xFFFFFFFFu, MemberStatus::Dead}));
+  EXPECT_TRUE(map.observe({2, 1, MemberStatus::Alive}));
+  EXPECT_EQ(map.get(2)->status, MemberStatus::Alive);
+  EXPECT_EQ(map.get(2)->incarnation, 1u);
+  // And a stale claim from before the wrap is rejected.
+  EXPECT_FALSE(map.observe({2, 0xFFFFFFFFu, MemberStatus::Dead}));
+
+  // Static sanity on the comparator itself.
+  EXPECT_TRUE(MemberMap::incarnation_newer(1, 0xFFFFFFFFu));
+  EXPECT_FALSE(MemberMap::incarnation_newer(0xFFFFFFFFu, 1));
+  EXPECT_TRUE(MemberMap::incarnation_newer(5, 4));
+  EXPECT_FALSE(MemberMap::incarnation_newer(4, 4));
+}
+
+// Self-refutation across the wrap. Serial-number comparison only orders
+// values within half the u32 range of each other, so the test walks the
+// node's incarnation up in < 2^31 steps (as real refutation history
+// would) until it sits at the boundary, then wraps it.
+TEST(MemberMap, RefutationCrossesIncarnationWrap) {
+  MemberMap map(7);
+  map.observe({7, 100, MemberStatus::Dead});
+  EXPECT_EQ(map.self_incarnation(), 101u);
+  map.observe({7, 0x7FFFFF00u, MemberStatus::Dead});
+  EXPECT_EQ(map.self_incarnation(), 0x7FFFFF01u);
+  map.observe({7, 0xFFFFFF00u, MemberStatus::Dead});
+  EXPECT_EQ(map.self_incarnation(), 0xFFFFFF01u);
+
+  // A rumour at exactly UINT32_MAX: the refutation wraps to 0, and that
+  // post-wrap incarnation still wins everywhere (the old plain `>=`
+  // comparison would have pinned refutation below the wrap forever).
+  map.observe({7, 0xFFFFFFFFu, MemberStatus::Suspect});
+  EXPECT_EQ(map.self_incarnation(), 0u);
+  EXPECT_EQ(map.get(7)->status, MemberStatus::Alive);
+
+  MemberMap peer(1);
+  peer.observe({7, 0xFFFFFFFFu, MemberStatus::Suspect});
+  auto refutation = MemberMap::decode(map.encode());
+  ASSERT_TRUE(refutation.is_ok());
+  EXPECT_GT(peer.merge(refutation.value()), 0u);
+  EXPECT_EQ(peer.get(7)->status, MemberStatus::Alive);
+  EXPECT_EQ(peer.get(7)->incarnation, 0u);
+}
+
+// Rejoin race: a node restarts carrying a STALE map (low version, old
+// self-incarnation) while the cluster still holds an in-flight
+// refutation of its previous life. The merged outcome must keep the
+// refutation's precedence and never drop the version floor.
+TEST(MemberMap, StaleRejoinWhileRefutationInFlight) {
+  // The cluster's view: node 2's old incarnation 4 was refuted (it
+  // bumped to 5, Alive) and the map version ran ahead.
+  MemberMap cluster_view(1);
+  cluster_view.observe({2, 4, MemberStatus::Suspect});
+  cluster_view.observe({2, 5, MemberStatus::Alive});  // in-flight refutation
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    cluster_view.observe(
+        {static_cast<i2o::NodeId>(20 + i), 1, MemberStatus::Alive});
+  }
+  const std::uint64_t cluster_version = cluster_view.version();
+
+  // Node 2 rejoins from a stale checkpoint: it thinks its incarnation is
+  // 3 and its map version is ancient.
+  MemberMap rejoined(2);
+  // (fresh map: version 1, self incarnation 0 - strictly behind)
+  auto remote = MemberMap::decode(cluster_view.encode());
+  ASSERT_TRUE(remote.is_ok());
+  EXPECT_GT(rejoined.merge(remote.value()), 0u);
+
+  // Merging the refutation of its own old life triggers a self-refute
+  // that overtakes it: the rejoined node comes back Alive at > 5.
+  EXPECT_EQ(rejoined.get(2)->status, MemberStatus::Alive);
+  EXPECT_TRUE(MemberMap::incarnation_newer(rejoined.self_incarnation(), 4));
+  // And its version is floored at the cluster's, never its stale one.
+  EXPECT_GE(rejoined.version(), cluster_version);
+
+  // The reverse direction: the cluster merges the rejoined node's map
+  // (which still carries nothing newer) - no regression, version holds.
+  auto back = MemberMap::decode(rejoined.encode());
+  ASSERT_TRUE(back.is_ok());
+  cluster_view.merge(back.value());
+  EXPECT_GE(cluster_view.version(), cluster_version);
+  EXPECT_EQ(cluster_view.get(2)->status, MemberStatus::Alive);
+
+  // Control-plane floor (raise_version): a committed floor from the
+  // replicated config service re-anchors a fresh map immediately.
+  MemberMap fresh(2);
+  EXPECT_TRUE(fresh.raise_version(cluster_version));
+  EXPECT_EQ(fresh.version(), cluster_version);
+  EXPECT_FALSE(fresh.raise_version(1));
+  EXPECT_EQ(fresh.version(), cluster_version);
+}
+
 TEST(MemberMap, PeersWithStatusExcludesSelf) {
   MemberMap map(1);
   map.observe({2, 1, MemberStatus::Alive});

@@ -1,0 +1,447 @@
+// ctrl_chaos_test.cpp - the replicated control plane end to end, under
+// seeded chaos. Five ControlReplicaDevices run on an in-process cluster
+// whose every transport is wrapped in a FaultInjectingTransport; the
+// harness drives replica ticks and the decorators' chaos clock in
+// lockstep, so set_partition() plans cut the fabric at scripted ticks.
+// A ControlClient on a sixth (non-voter) node exercises the full client
+// policy - leader discovery, redirect-on-follower, retry-around-election
+// - while the partitions play out.
+//
+// These tests carry the `chaos` ctest label and are part of the default
+// suite; reproduce a failure by re-running with the seed logged below
+// (kChaosSeed - the schedules are pure functions of it).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "cluster/member_map.hpp"
+#include "cluster/route_table.hpp"
+#include "ctrl/client.hpp"
+#include "ctrl/replica.hpp"
+#include "pt/cluster.hpp"
+#include "pt/fault_pt.hpp"
+
+namespace xdaq::ctrl {
+namespace {
+
+constexpr std::uint64_t kChaosSeed = 0xDA0C0DE;
+constexpr std::size_t kVoters = 5;
+
+/// Voter group + optional client node on a pt::Cluster, every node's
+/// traffic routed through a FaultInjectingTransport. Ticks advance the
+/// replicas' logical clocks and every decorator's chaos clock together.
+class ControlFixture {
+ public:
+  explicit ControlFixture(bool with_client, std::uint64_t seed = kChaosSeed)
+      : cluster_(make_config(with_client)) {
+    const std::size_t nodes = cluster_.size();
+    std::vector<i2o::NodeId> voters;
+    for (std::size_t i = 0; i < kVoters; ++i) {
+      voters.push_back(cluster_.node_id(i));
+    }
+    // Wrap every node's transport; re-point the full-mesh routes at the
+    // decorator so all frames cross the chaos layer.
+    for (std::size_t i = 0; i < nodes; ++i) {
+      pt::FaultPlan plan;
+      plan.seed = seed + i;
+      auto fault = std::make_unique<pt::FaultInjectingTransport>(
+          cluster_.transport(i), plan);
+      faults_.push_back(fault.get());
+      auto tid = cluster_.install(i, std::move(fault), "pt_fault");
+      EXPECT_TRUE(tid.is_ok());
+      for (std::size_t j = 0; j < nodes; ++j) {
+        if (j != i) {
+          EXPECT_TRUE(cluster_.node(i)
+                          .set_route(cluster_.node_id(j), tid.value())
+                          .is_ok());
+        }
+      }
+    }
+    for (std::size_t i = 0; i < kVoters; ++i) {
+      ControlReplicaDevice::Config rc;
+      rc.voters = voters;
+      rc.seed = seed + 100 + i;
+      rc.snapshot_threshold = 16;
+      // Manual ticks: the test owns the clock.
+      auto replica = std::make_unique<ControlReplicaDevice>(rc);
+      replicas_.push_back(replica.get());
+      auto tid = cluster_.install(i, std::move(replica), "ctrl");
+      EXPECT_TRUE(tid.is_ok());
+      replica_tid_ = tid.value();
+    }
+    if (with_client) {
+      ControlClient::Config cc;
+      cc.voters = voters;
+      cc.replica_tid = replica_tid_;
+      cc.call_timeout = std::chrono::milliseconds(400);
+      cc.retry_delay = std::chrono::milliseconds(5);
+      cc.max_attempts = 16;
+      auto client = std::make_unique<ControlClient>(cc);
+      client_ = client.get();
+      EXPECT_TRUE(
+          cluster_.install(nodes - 1, std::move(client), "ctrlc").is_ok());
+    }
+    EXPECT_TRUE(cluster_.enable_all().is_ok());
+    cluster_.start_all();
+  }
+
+  ~ControlFixture() { cluster_.stop_all(); }
+
+  pt::Cluster& cluster() { return cluster_; }
+  ControlReplicaDevice& replica(std::size_t i) { return *replicas_.at(i); }
+  ControlClient& client() { return *client_; }
+
+  /// One chaos tick: every decorator's clock, then every replica's Raft
+  /// clock, then a beat for the fabric threads to deliver.
+  void tick() {
+    for (pt::FaultInjectingTransport* f : faults_) {
+      f->advance_tick();
+    }
+    for (ControlReplicaDevice* r : replicas_) {
+      r->tick();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  void run(int ticks) {
+    for (int i = 0; i < ticks; ++i) {
+      tick();
+    }
+  }
+
+  /// Index into replicas_ of the current leader, or -1.
+  [[nodiscard]] int leader_index() const {
+    int found = -1;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i]->role() == Role::Leader) {
+        EXPECT_EQ(found, -1) << "two live leaders visible at once";
+        found = static_cast<int>(i);
+      }
+    }
+    return found;
+  }
+
+  int elect(int max_ticks = 400) {
+    for (int i = 0; i < max_ticks; ++i) {
+      tick();
+      const int l = leader_index();
+      if (l >= 0) {
+        return l;
+      }
+    }
+    ADD_FAILURE() << "no leader within " << max_ticks << " chaos ticks";
+    return -1;
+  }
+
+  /// Installs the same symmetric partition plan on every decorator,
+  /// cutting `groups` from the current tick for `duration` ticks.
+  void partition(std::vector<std::vector<i2o::NodeId>> groups,
+                 std::uint64_t duration) {
+    const std::uint64_t from = faults_.front()->chaos_tick();
+    for (pt::FaultInjectingTransport* f : faults_) {
+      f->set_partition(groups, from, from + duration);
+    }
+  }
+
+  void heal() {
+    for (pt::FaultInjectingTransport* f : faults_) {
+      f->clear_partition();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t partitioned_frames() const {
+    std::uint64_t total = 0;
+    for (pt::FaultInjectingTransport* f : faults_) {
+      total += f->inject_stats().partitioned;
+    }
+    return total;
+  }
+
+ private:
+  static pt::ClusterConfig make_config(bool with_client) {
+    pt::ClusterConfig cfg;
+    cfg.nodes = with_client ? kVoters + 1 : kVoters;
+    return cfg;
+  }
+
+  pt::Cluster cluster_;
+  std::vector<pt::FaultInjectingTransport*> faults_;
+  std::vector<ControlReplicaDevice*> replicas_;
+  ControlClient* client_ = nullptr;
+  i2o::Tid replica_tid_ = i2o::kNullTid;
+};
+
+// A write acknowledged before any fault must be readable on every
+// replica after elections and partitions - committed means durable on a
+// majority, and the healed group converges on it.
+TEST(CtrlChaos, AckedWritesSurviveLeaderPartition) {
+  ControlFixture fx(/*with_client=*/true);
+  const int leader = fx.elect();
+  ASSERT_GE(leader, 0);
+
+  auto v1 = fx.client().put("cluster/name", "daq-west");
+  ASSERT_TRUE(v1.is_ok()) << v1.status().to_string();
+
+  // Cut the leader (plus one follower) off from the rest AND the client.
+  const i2o::NodeId leader_node = fx.cluster().node_id(leader);
+  std::vector<i2o::NodeId> minority{leader_node};
+  std::vector<i2o::NodeId> majority;
+  for (std::size_t i = 0; i < kVoters; ++i) {
+    const i2o::NodeId id = fx.cluster().node_id(i);
+    if (id == leader_node) {
+      continue;
+    }
+    if (minority.size() < 2) {
+      minority.push_back(id);
+    } else {
+      majority.push_back(id);
+    }
+  }
+  // The client node travels with the majority side.
+  majority.push_back(fx.cluster().node_id(fx.cluster().size() - 1));
+  fx.partition({minority, majority}, 1000);
+
+  // The majority side must re-elect and accept new writes.
+  int new_leader = -1;
+  for (int i = 0; i < 600 && new_leader < 0; ++i) {
+    fx.tick();
+    for (std::size_t r = 0; r < kVoters; ++r) {
+      const i2o::NodeId id = fx.cluster().node_id(r);
+      if (static_cast<int>(r) != leader &&
+          fx.replica(r).role() == Role::Leader &&
+          std::find(minority.begin(), minority.end(), id) ==
+              minority.end()) {
+        new_leader = static_cast<int>(r);
+      }
+    }
+  }
+  ASSERT_GE(new_leader, 0) << "majority never re-elected a leader";
+  EXPECT_GT(fx.partitioned_frames(), 0u);
+
+  auto v2 = fx.client().put("cluster/epoch", "2");
+  ASSERT_TRUE(v2.is_ok()) << v2.status().to_string();
+  EXPECT_GT(v2.value(), v1.value());
+
+  // Heal; the deposed leader rejoins and both writes converge everywhere.
+  fx.heal();
+  fx.run(60);
+  for (std::size_t r = 0; r < kVoters; ++r) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto name = fx.replica(r).lookup("cluster/name");
+      const auto epoch = fx.replica(r).lookup("cluster/epoch");
+      if (name && epoch) {
+        break;
+      }
+      fx.tick();
+    }
+    const auto name = fx.replica(r).lookup("cluster/name");
+    ASSERT_TRUE(name.has_value()) << "replica " << r << " missing write";
+    EXPECT_EQ(name->value, "daq-west");
+    const auto epoch = fx.replica(r).lookup("cluster/epoch");
+    ASSERT_TRUE(epoch.has_value());
+    EXPECT_EQ(epoch->value, "2");
+  }
+}
+
+// Follower reads: linearizable Get is served only by the leased leader
+// (followers redirect), while stale_ok reads any replica's applied map.
+TEST(CtrlChaos, LinearizableAndStaleReads) {
+  ControlFixture fx(/*with_client=*/true);
+  const int leader = fx.elect();
+  ASSERT_GE(leader, 0);
+  ASSERT_TRUE(fx.client().put("k", "v").is_ok());
+
+  auto lin = fx.client().get("k");
+  ASSERT_TRUE(lin.is_ok()) << lin.status().to_string();
+  EXPECT_EQ(lin.value().value, "v");
+  // The client learned the leader on the way.
+  EXPECT_EQ(fx.client().known_leader(), fx.cluster().node_id(leader));
+
+  // Let replication settle, then stale reads hit follower state.
+  fx.run(10);
+  auto stale = fx.client().get("k", /*stale_ok=*/true);
+  ASSERT_TRUE(stale.is_ok()) << stale.status().to_string();
+  EXPECT_EQ(stale.value().value, "v");
+
+  auto missing = fx.client().get("absent");
+  EXPECT_FALSE(missing.is_ok());
+  EXPECT_EQ(missing.status().code(), Errc::NotFound);
+}
+
+// Watch streams: subscribe first (snapshot replay of the existing
+// prefix), then subsequent commits push events; deletes are flagged.
+TEST(CtrlChaos, WatchReplaysSnapshotThenStreams) {
+  ControlFixture fx(/*with_client=*/true);
+  ASSERT_GE(fx.elect(), 0);
+  ASSERT_TRUE(fx.client().put("route/7", "relay:3").is_ok());
+
+  std::mutex mu;
+  std::vector<WatchEvent> events;
+  ASSERT_TRUE(fx.client()
+                  .watch("route/",
+                         [&](const WatchEvent& ev) {
+                           const std::scoped_lock lock(mu);
+                           events.push_back(ev);
+                         })
+                  .is_ok());
+  // The pre-existing entry replays as the subscription snapshot.
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const std::scoped_lock lock(mu);
+      if (!events.empty()) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const std::scoped_lock lock(mu);
+    ASSERT_FALSE(events.empty()) << "snapshot replay never arrived";
+    EXPECT_EQ(events[0].key, "route/7");
+    EXPECT_EQ(events[0].value, "relay:3");
+    EXPECT_FALSE(events[0].deleted);
+  }
+
+  // A new commit under the prefix streams; one outside it does not.
+  ASSERT_TRUE(fx.client().put("route/9", "relay:2").is_ok());
+  ASSERT_TRUE(fx.client().put("other/x", "y").is_ok());
+  ASSERT_TRUE(fx.client().del("route/7").is_ok());
+  fx.run(10);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::scoped_lock lock(mu);
+    if (events.size() >= 3) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const std::scoped_lock lock(mu);
+  ASSERT_GE(events.size(), 3u);
+  bool saw_stream = false;
+  bool saw_delete = false;
+  for (const WatchEvent& ev : events) {
+    EXPECT_EQ(ev.key.compare(0, 6, "route/"), 0) << ev.key;
+    if (ev.key == "route/9") {
+      saw_stream = true;
+      EXPECT_EQ(ev.value, "relay:2");
+    }
+    if (ev.key == "route/7" && ev.deleted) {
+      saw_delete = true;
+    }
+  }
+  EXPECT_TRUE(saw_stream);
+  EXPECT_TRUE(saw_delete);
+}
+
+// Restart reconciliation: committed "route/<node>" placements replay
+// into the RouteTable through reconcile_routes(), without shadowing
+// direct attachments, and deletes clear only relay placements.
+TEST(CtrlChaos, ReconcileRoutesRebuildsRelayPlacements) {
+  ControlFixture fx(/*with_client=*/true);
+  ASSERT_GE(fx.elect(), 0);
+  // Placements for two fictional far nodes, committed before the client
+  // node "restarts" (subscribes).
+  ASSERT_TRUE(fx.client().put("route/41", "relay:2").is_ok());
+  ASSERT_TRUE(fx.client().put("route/42", "relay:3").is_ok());
+
+  ASSERT_TRUE(fx.client().reconcile_routes().is_ok());
+  auto& routes = fx.cluster()
+                     .node(fx.cluster().size() - 1)
+                     .resolver()
+                     .routes();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline &&
+         (routes.next_hop(41).kind != cluster::NextHop::Kind::Relay ||
+          routes.next_hop(42).kind != cluster::NextHop::Kind::Relay)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(routes.next_hop(41).kind, cluster::NextHop::Kind::Relay);
+  EXPECT_EQ(routes.next_hop(41).relay_node, 2);
+  ASSERT_EQ(routes.next_hop(42).kind, cluster::NextHop::Kind::Relay);
+  EXPECT_EQ(routes.next_hop(42).relay_node, 3);
+
+  // Deleting the placement clears the relay entry.
+  ASSERT_TRUE(fx.client().del("route/41").is_ok());
+  const auto gone =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < gone &&
+         routes.next_hop(41).kind != cluster::NextHop::Kind::None) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(routes.next_hop(41).kind, cluster::NextHop::Kind::None);
+  // A direct route is never shadowed nor erased by placements.
+  EXPECT_EQ(routes.next_hop(42).kind, cluster::NextHop::Kind::Relay);
+}
+
+// The control plane owns the cluster member-map version (PR 7): a
+// committed floor write re-anchors a rejoining node's gossip map so it
+// cannot re-announce a stale view.
+TEST(CtrlChaos, MemberMapVersionFloorFromControlPlane) {
+  ControlFixture fx(/*with_client=*/true);
+  ASSERT_GE(fx.elect(), 0);
+  ASSERT_TRUE(
+      fx.client().put(std::string(kMemberMapVersionKey), "4711").is_ok());
+  auto read = fx.client().get(std::string(kMemberMapVersionKey));
+  ASSERT_TRUE(read.is_ok());
+
+  cluster::MemberMap map(/*self=*/9);
+  ASSERT_LT(map.version(), 4711u);
+  EXPECT_TRUE(map.raise_version(std::strtoull(
+      read.value().value.c_str(), nullptr, 10)));
+  EXPECT_EQ(map.version(), 4711u);
+  // Monotonic: an older committed floor never lowers it.
+  EXPECT_FALSE(map.raise_version(10));
+  EXPECT_EQ(map.version(), 4711u);
+}
+
+// raft.* metrics flow into each node's obs registry (and from there to
+// MonitorDevice / `xdaq metrics`): term, role, commit index, election
+// count and the replication-lag histogram all report live values.
+TEST(CtrlChaos, RaftMetricsExposedInRegistry) {
+  ControlFixture fx(/*with_client=*/true);
+  const int leader = fx.elect();
+  ASSERT_GE(leader, 0);
+  ASSERT_TRUE(fx.client().put("m", "1").is_ok());
+  fx.run(10);
+
+  const auto snap = fx.cluster().node(leader).metrics().snapshot();
+  std::int64_t term = -1;
+  std::int64_t role = -1;
+  std::int64_t commit = -1;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "raft.term") {
+      term = value;
+    } else if (name == "raft.role") {
+      role = value;
+    } else if (name == "raft.commit_index") {
+      commit = value;
+    }
+  }
+  EXPECT_EQ(term, static_cast<std::int64_t>(fx.replica(leader).term()));
+  EXPECT_EQ(role, static_cast<std::int64_t>(Role::Leader));
+  EXPECT_GE(commit, 1);
+  bool lag_histogram = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "raft.replication_lag") {
+      lag_histogram = true;
+    }
+  }
+  EXPECT_TRUE(lag_histogram);
+  bool elections = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "raft.elections") {
+      elections = true;
+    }
+  }
+  EXPECT_TRUE(elections);
+}
+
+}  // namespace
+}  // namespace xdaq::ctrl

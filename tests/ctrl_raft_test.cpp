@@ -1,0 +1,684 @@
+// ctrl_raft_test.cpp - the pure consensus core under a simulated network.
+//
+// RaftCore has no threads, clock or wire, so these tests drive a whole
+// voter group from a single loop: tick every core, shuttle the outboxes,
+// and check the Raft invariants the control plane stands on - at most
+// one leader per term, log matching, no lost acknowledged writes, and
+// recovery through hard-state restore and snapshot install. Every
+// scenario is seeded and deterministic: a failure replays identically.
+#include "ctrl/raft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include "ctrl/store.hpp"
+#include "ctrl/wire.hpp"
+
+namespace xdaq::ctrl {
+namespace {
+
+std::vector<std::byte> cmd_bytes(std::string_view s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return std::vector<std::byte>(p, p + s.size());
+}
+
+std::string cmd_str(const std::vector<std::byte>& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+RaftConfig make_cfg(i2o::NodeId self, std::vector<i2o::NodeId> voters,
+                    std::uint64_t seed = 1) {
+  RaftConfig cfg;
+  cfg.self = self;
+  cfg.voters = std::move(voters);
+  cfg.election_timeout_min = 10;
+  cfg.election_timeout_max = 20;
+  cfg.heartbeat_interval = 3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// In-memory voter group: lockstep ticks, immediate delivery, optional
+/// symmetric partition, per-node kill/restart with preserved hard state.
+/// Election safety (<= 1 leader per term) is asserted on every step.
+class SimNet {
+ public:
+  explicit SimNet(std::vector<i2o::NodeId> ids, std::uint64_t seed = 1)
+      : ids_(std::move(ids)) {
+    for (const i2o::NodeId id : ids_) {
+      cores_.emplace(id,
+                     std::make_unique<RaftCore>(make_cfg(id, ids_, seed)));
+    }
+  }
+
+  RaftCore& core(i2o::NodeId id) { return *cores_.at(id); }
+  [[nodiscard]] bool alive(i2o::NodeId id) const {
+    return cores_.count(id) > 0;
+  }
+
+  void set_partition(std::vector<std::vector<i2o::NodeId>> groups) {
+    groups_ = std::move(groups);
+  }
+  void heal() { groups_.clear(); }
+
+  void kill(i2o::NodeId id) {
+    hard_state_[id] = cores_.at(id)->encode_hard_state();
+    cores_.erase(id);
+  }
+
+  /// Restarts a killed node from its saved blob (or empty when
+  /// `with_state` is false - the snapshot-catch-up path).
+  void restart(i2o::NodeId id, bool with_state = true) {
+    std::vector<std::byte> blob =
+        with_state ? hard_state_.at(id) : std::vector<std::byte>{};
+    auto restored = RaftCore::restore(make_cfg(id, ids_), blob);
+    ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+    cores_.erase(id);
+    cores_.emplace(id, std::make_unique<RaftCore>(std::move(restored).value()));
+    applied_[id].clear();  // a restarted state machine re-applies from zero
+  }
+
+  /// One lockstep round: tick everyone, deliver until the wires drain,
+  /// harvest commits, check election safety.
+  void step() {
+    for (auto& [id, core] : cores_) {
+      core->tick();
+    }
+    deliver();
+    for (auto& [id, core] : cores_) {
+      if (auto snap = core->take_installed_snapshot()) {
+        // State-machine restore: the applied map restarts at the
+        // snapshot (entries before it are inside the blob).
+        applied_[id].clear();
+      }
+      for (auto& [index, cmd] : core->take_committed()) {
+        applied_[id][index] = cmd_str(cmd);
+      }
+      if (core->role() == Role::Leader) {
+        const auto it = leaders_.emplace(core->term(), id).first;
+        ASSERT_EQ(it->second, id)
+            << "two leaders in term " << core->term();
+      }
+    }
+  }
+
+  void run(int steps) {
+    for (int i = 0; i < steps; ++i) {
+      step();
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+
+  /// Steps until some live node is leader; returns it (asserts a bound).
+  i2o::NodeId elect(int max_steps = 200) {
+    for (int i = 0; i < max_steps; ++i) {
+      step();
+      for (auto& [id, core] : cores_) {
+        if (core->role() == Role::Leader) {
+          return id;
+        }
+      }
+    }
+    ADD_FAILURE() << "no leader elected within " << max_steps << " steps";
+    return i2o::kNullNode;
+  }
+
+  /// Proposes on `leader` and steps until the entry is applied there
+  /// while it is still leader in the same term - the ack condition the
+  /// replica device uses. Returns the acked index (0 = not acked).
+  std::uint64_t propose_acked(i2o::NodeId leader, const std::string& cmd,
+                              int max_steps = 100) {
+    RaftCore& l = core(leader);
+    const std::uint64_t term = l.term();
+    auto index = l.propose(cmd_bytes(cmd));
+    if (!index.is_ok()) {
+      return 0;
+    }
+    for (int i = 0; i < max_steps; ++i) {
+      step();
+      if (!alive(leader)) {
+        return 0;
+      }
+      RaftCore& now = core(leader);
+      if (now.role() != Role::Leader || now.term() != term) {
+        return 0;
+      }
+      const auto& log = applied_[leader];
+      if (auto it = log.find(index.value()); it != log.end()) {
+        EXPECT_EQ(it->second, cmd);
+        acked_[index.value()] = cmd;
+        return index.value();
+      }
+    }
+    return 0;
+  }
+
+  /// Every acked write must be present, unchanged, at its index on every
+  /// live node that has applied that far.
+  void check_no_lost_writes() {
+    for (const auto& [index, cmd] : acked_) {
+      for (auto& [id, log] : applied_) {
+        if (!alive(id)) {
+          continue;
+        }
+        const auto it = log.find(index);
+        if (it != log.end()) {
+          EXPECT_EQ(it->second, cmd)
+              << "node " << id << " diverged at index " << index;
+        }
+      }
+    }
+  }
+
+  /// Log matching across live nodes: indices applied by several nodes
+  /// must agree byte for byte.
+  void check_log_match() {
+    for (auto& [a_id, a_log] : applied_) {
+      if (!alive(a_id)) {
+        continue;
+      }
+      for (auto& [b_id, b_log] : applied_) {
+        if (!alive(b_id) || b_id <= a_id) {
+          continue;
+        }
+        for (const auto& [index, cmd] : a_log) {
+          const auto it = b_log.find(index);
+          if (it != b_log.end()) {
+            EXPECT_EQ(it->second, cmd) << "nodes " << a_id << "/" << b_id
+                                       << " diverge at index " << index;
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const std::map<std::uint64_t, std::string>& acked() const {
+    return acked_;
+  }
+  [[nodiscard]] std::map<std::uint64_t, std::string>& applied(
+      i2o::NodeId id) {
+    return applied_[id];
+  }
+
+ private:
+  [[nodiscard]] bool cut(i2o::NodeId a, i2o::NodeId b) const {
+    if (groups_.empty()) {
+      return false;
+    }
+    int ga = -1;
+    int gb = -1;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      for (const i2o::NodeId n : groups_[g]) {
+        if (n == a) {
+          ga = static_cast<int>(g);
+        }
+        if (n == b) {
+          gb = static_cast<int>(g);
+        }
+      }
+    }
+    return ga >= 0 && gb >= 0 && ga != gb;
+  }
+
+  void deliver() {
+    // Bounded rounds: replies beget appends beget replies, but each
+    // round strictly consumes the previous round's sends.
+    for (int round = 0; round < 16; ++round) {
+      bool moved = false;
+      for (auto& [id, core] : cores_) {
+        for (auto& [to, msg] : core->take_outbox()) {
+          if (cut(id, to) || cores_.count(to) == 0) {
+            continue;  // partitioned or dead: the wire eats it
+          }
+          // Wire round trip: codec fidelity is exercised on every hop.
+          auto decoded = RaftMsg::decode(msg.encode());
+          ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+          cores_.at(to)->handle(decoded.value());
+          moved = true;
+        }
+      }
+      if (!moved) {
+        return;
+      }
+    }
+  }
+
+  std::vector<i2o::NodeId> ids_;
+  std::map<i2o::NodeId, std::unique_ptr<RaftCore>> cores_;
+  std::vector<std::vector<i2o::NodeId>> groups_;
+  std::map<i2o::NodeId, std::vector<std::byte>> hard_state_;
+  std::map<i2o::NodeId, std::map<std::uint64_t, std::string>> applied_;
+  std::map<std::uint64_t, i2o::NodeId> leaders_;  ///< term -> sole leader
+  std::map<std::uint64_t, std::string> acked_;
+};
+
+// ----------------------------------------------------------------- codec
+
+TEST(RaftMsgCodec, RoundTripsEveryField) {
+  RaftMsg m;
+  m.type = RaftMsg::Type::Append;
+  m.from = 3;
+  m.term = 7;
+  m.prev_index = 41;
+  m.prev_term = 6;
+  m.commit = 40;
+  m.granted = true;
+  m.match = 12;
+  m.entries.push_back(LogEntry{6, cmd_bytes("alpha")});
+  m.entries.push_back(LogEntry{7, cmd_bytes("")});
+  m.snapshot = cmd_bytes("snap-bytes");
+  auto rt = RaftMsg::decode(m.encode());
+  ASSERT_TRUE(rt.is_ok()) << rt.status().to_string();
+  EXPECT_EQ(rt.value().type, m.type);
+  EXPECT_EQ(rt.value().from, m.from);
+  EXPECT_EQ(rt.value().term, m.term);
+  EXPECT_EQ(rt.value().prev_index, m.prev_index);
+  EXPECT_EQ(rt.value().prev_term, m.prev_term);
+  EXPECT_EQ(rt.value().commit, m.commit);
+  EXPECT_EQ(rt.value().granted, m.granted);
+  EXPECT_EQ(rt.value().match, m.match);
+  ASSERT_EQ(rt.value().entries.size(), 2u);
+  EXPECT_EQ(rt.value().entries[0].term, 6u);
+  EXPECT_EQ(cmd_str(rt.value().entries[0].cmd), "alpha");
+  EXPECT_EQ(rt.value().entries[1].term, 7u);
+  EXPECT_TRUE(rt.value().entries[1].cmd.empty());
+  EXPECT_EQ(cmd_str(rt.value().snapshot), "snap-bytes");
+}
+
+TEST(RaftMsgCodec, RejectsTruncatedBytes) {
+  RaftMsg m;
+  m.entries.push_back(LogEntry{1, cmd_bytes("x")});
+  const auto wire = m.encode();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(
+        RaftMsg::decode(std::span(wire.data(), cut)).is_ok())
+        << "accepted a " << cut << "-byte prefix";
+  }
+}
+
+// -------------------------------------------------------------- election
+
+TEST(RaftCoreTest, SingleVoterLeadsImmediately) {
+  RaftCore core(make_cfg(1, {1}));
+  for (int i = 0; i < 25 && core.role() != Role::Leader; ++i) {
+    core.tick();
+  }
+  EXPECT_EQ(core.role(), Role::Leader);
+  EXPECT_TRUE(core.has_lease());
+  auto idx = core.propose(cmd_bytes("solo"));
+  ASSERT_TRUE(idx.is_ok());
+  core.tick();
+  const auto committed = core.take_committed();
+  ASSERT_EQ(committed.size(), 1u);
+  EXPECT_EQ(committed[0].first, idx.value());
+}
+
+TEST(RaftCoreTest, FiveVotersElectOneLeaderWithLease) {
+  SimNet net({1, 2, 3, 4, 5});
+  const i2o::NodeId leader = net.elect();
+  ASSERT_NE(leader, i2o::kNullNode);
+  net.run(5);  // heartbeats ack -> lease
+  EXPECT_TRUE(net.core(leader).has_lease());
+  int leaders = 0;
+  for (const i2o::NodeId id : {1, 2, 3, 4, 5}) {
+    if (net.core(id).role() == Role::Leader) {
+      ++leaders;
+    } else {
+      EXPECT_EQ(net.core(id).leader_hint(), leader);
+    }
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(RaftCoreTest, ProposalsCommitEverywhereInOrder) {
+  SimNet net({1, 2, 3});
+  const i2o::NodeId leader = net.elect();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_NE(net.propose_acked(leader, "cmd-" + std::to_string(i)), 0u);
+  }
+  net.run(10);
+  for (const i2o::NodeId id : {1, 2, 3}) {
+    EXPECT_EQ(net.applied(id).size(), 8u) << "node " << id;
+  }
+  net.check_log_match();
+  net.check_no_lost_writes();
+}
+
+TEST(RaftCoreTest, NonLeaderRejectsProposals) {
+  SimNet net({1, 2, 3});
+  const i2o::NodeId leader = net.elect();
+  for (const i2o::NodeId id : {1, 2, 3}) {
+    if (id != leader) {
+      EXPECT_FALSE(net.core(id).propose(cmd_bytes("nope")).is_ok());
+    }
+  }
+}
+
+// ------------------------------------------------------------ partitions
+
+TEST(RaftCoreTest, MinorityLeaderCannotCommitAndStepsDownOnHeal) {
+  SimNet net({1, 2, 3, 4, 5});
+  const i2o::NodeId old_leader = net.elect();
+  ASSERT_NE(net.propose_acked(old_leader, "before-split"), 0u);
+
+  // Cut the leader plus one follower away from the other three.
+  std::vector<i2o::NodeId> minority{old_leader};
+  std::vector<i2o::NodeId> majority;
+  for (const i2o::NodeId id : {1, 2, 3, 4, 5}) {
+    if (id == old_leader) {
+      continue;
+    }
+    if (minority.size() < 2) {
+      minority.push_back(id);
+    } else {
+      majority.push_back(id);
+    }
+  }
+  net.set_partition({minority, majority});
+
+  // A write proposed on the stranded leader must never become acked.
+  RaftCore& stranded = net.core(old_leader);
+  const std::uint64_t stranded_term = stranded.term();
+  auto doomed = stranded.propose(cmd_bytes("doomed"));
+  ASSERT_TRUE(doomed.is_ok());
+
+  // The majority side elects a fresh leader and keeps committing.
+  i2o::NodeId new_leader = i2o::kNullNode;
+  for (int i = 0; i < 300 && new_leader == i2o::kNullNode; ++i) {
+    net.step();
+    for (const i2o::NodeId id : majority) {
+      if (net.core(id).role() == Role::Leader &&
+          net.core(id).term() > stranded_term) {
+        new_leader = id;
+      }
+    }
+  }
+  ASSERT_NE(new_leader, i2o::kNullNode) << "majority never re-elected";
+  ASSERT_NE(net.propose_acked(new_leader, "after-split"), 0u);
+
+  // The stranded leader has no quorum: no lease, no commit progress.
+  EXPECT_FALSE(net.core(old_leader).has_lease());
+  EXPECT_LT(net.core(old_leader).commit_index(), doomed.value());
+
+  net.heal();
+  net.run(60);
+  // Healed: the old leader stepped down, the doomed write is gone, and
+  // every node converged on the majority's history.
+  EXPECT_NE(net.core(old_leader).role(), Role::Leader);
+  EXPECT_GE(net.core(old_leader).term(), net.core(new_leader).term());
+  net.check_log_match();
+  net.check_no_lost_writes();
+  const auto& healed = net.applied(old_leader);
+  for (const auto& [index, cmd] : healed) {
+    EXPECT_NE(cmd, "doomed");
+  }
+}
+
+TEST(RaftCoreTest, LeaderLeaseLapsesWithoutQuorumAcks) {
+  SimNet net({1, 2, 3});
+  const i2o::NodeId leader = net.elect();
+  net.run(5);
+  ASSERT_TRUE(net.core(leader).has_lease());
+  // Isolate the leader; its lease must lapse within election_timeout_min.
+  std::vector<i2o::NodeId> others;
+  for (const i2o::NodeId id : {1, 2, 3}) {
+    if (id != leader) {
+      others.push_back(id);
+    }
+  }
+  net.set_partition({{leader}, others});
+  net.run(make_cfg(1, {1}).election_timeout_min + 2);
+  EXPECT_FALSE(net.core(leader).has_lease());
+}
+
+// ----------------------------------------------------- restart + snapshot
+
+TEST(RaftCoreTest, HardStateSurvivesRestart) {
+  SimNet net({1, 2, 3});
+  const i2o::NodeId leader = net.elect();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_NE(net.propose_acked(leader, "w" + std::to_string(i)), 0u);
+  }
+  // Kill and restart a follower with its blob: it re-applies the same
+  // committed prefix and keeps matching.
+  i2o::NodeId follower = 0;
+  for (const i2o::NodeId id : {1, 2, 3}) {
+    if (id != leader) {
+      follower = id;
+      break;
+    }
+  }
+  net.kill(follower);
+  net.run(10);
+  net.restart(follower);
+  net.run(30);
+  EXPECT_EQ(net.applied(follower).size(), 5u);
+  net.check_log_match();
+  net.check_no_lost_writes();
+}
+
+TEST(RaftCoreTest, CompactedLeaderCatchesUpEmptyFollowerViaSnapshot) {
+  SimNet net({1, 2, 3});
+  const i2o::NodeId leader = net.elect();
+  ConfigStore model;
+  for (int i = 0; i < 10; ++i) {
+    Command cmd;
+    cmd.op = CtrlOp::Put;
+    cmd.key = "k" + std::to_string(i);
+    cmd.value = "v" + std::to_string(i);
+    const std::uint64_t index =
+        net.propose_acked(leader, cmd_str(cmd.encode()));
+    ASSERT_NE(index, 0u);
+    model.apply(cmd, index);
+  }
+  // Host-style compaction: everything applied folds into a snapshot.
+  RaftCore& l = net.core(leader);
+  ASSERT_TRUE(l.compact(l.commit_index(), model.encode()).is_ok());
+
+  // A follower that lost its disk restarts empty; the compacted leader
+  // can only catch it up by installing the snapshot.
+  i2o::NodeId follower = 0;
+  for (const i2o::NodeId id : {1, 2, 3}) {
+    if (id != leader) {
+      follower = id;
+      break;
+    }
+  }
+  net.kill(follower);
+  net.run(5);
+  net.restart(follower, /*with_state=*/false);
+  net.run(60);
+  EXPECT_GE(net.core(follower).commit_index(), 10u);
+  // Snapshot contents reached the follower inside Snapshot messages; the
+  // SimNet applied_ map cleared on install, so verify via the core's
+  // state instead: its log is rooted at the snapshot index.
+  EXPECT_GE(net.core(follower).last_log_index(), 10u);
+  net.check_no_lost_writes();
+}
+
+// ----------------------------------------------------------- chaos script
+
+// The full scripted sequence from the ISSUE acceptance list, at the core
+// level where it is perfectly deterministic: elect, write, kill the
+// leader, re-elect within bound, split 2/3, heal, rolling restarts -
+// asserting election safety, log matching and no lost acked writes
+// throughout (SimNet::step checks 1-leader-per-term on every tick).
+TEST(RaftChaos, ScriptedKillSplitHealRollingRestart) {
+  SimNet net({1, 2, 3, 4, 5}, /*seed=*/0xC0FFEE);
+  i2o::NodeId leader = net.elect();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_NE(net.propose_acked(leader, "pre-" + std::to_string(i)), 0u);
+  }
+
+  // -- leader kill: a new leader within 10 * election_timeout_max ticks.
+  net.kill(leader);
+  const i2o::NodeId dead = leader;
+  i2o::NodeId new_leader = i2o::kNullNode;
+  int steps = 0;
+  for (; steps < 200 && new_leader == i2o::kNullNode; ++steps) {
+    net.step();
+    for (const i2o::NodeId id : {1, 2, 3, 4, 5}) {
+      if (net.alive(id) && net.core(id).role() == Role::Leader) {
+        new_leader = id;
+      }
+    }
+  }
+  ASSERT_NE(new_leader, i2o::kNullNode);
+  EXPECT_LE(steps, 10 * 20) << "re-election exceeded the tick bound";
+  leader = new_leader;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_NE(net.propose_acked(leader, "mid-" + std::to_string(i)), 0u);
+  }
+
+  // -- the dead node returns with its hard state and catches up.
+  net.restart(dead);
+  net.run(40);
+
+  // -- symmetric 2/3 split; the majority keeps serving.
+  std::vector<i2o::NodeId> majority{leader};
+  std::vector<i2o::NodeId> minority;
+  for (const i2o::NodeId id : {1, 2, 3, 4, 5}) {
+    if (id == leader) {
+      continue;
+    }
+    (majority.size() < 3 ? majority : minority).push_back(id);
+  }
+  net.set_partition({majority, minority});
+  net.run(50);
+  for (int i = 0; i < 3; ++i) {
+    // The leader may have to re-earn its quorum from the majority side.
+    i2o::NodeId who = i2o::kNullNode;
+    for (const i2o::NodeId id : {1, 2, 3, 4, 5}) {
+      if (net.alive(id) && net.core(id).role() == Role::Leader &&
+          net.core(id).has_lease()) {
+        who = id;
+      }
+    }
+    if (who == i2o::kNullNode) {
+      net.run(20);
+      continue;
+    }
+    ASSERT_NE(net.propose_acked(who, "split-" + std::to_string(i)), 0u);
+    leader = who;
+  }
+
+  // -- heal; everyone converges on one history.
+  net.heal();
+  net.run(60);
+  net.check_log_match();
+  net.check_no_lost_writes();
+
+  // -- rolling restart: one node at a time, hard state preserved.
+  for (const i2o::NodeId id : {1, 2, 3, 4, 5}) {
+    net.kill(id);
+    net.run(30);
+    net.restart(id);
+    net.run(30);
+  }
+  net.run(60);
+  net.check_log_match();
+  net.check_no_lost_writes();
+  ASSERT_FALSE(net.acked().empty());
+}
+
+// ------------------------------------------------------------------ store
+
+TEST(ConfigStoreTest, ApplyGetDelAndPrefixList) {
+  ConfigStore store;
+  Command put;
+  put.op = CtrlOp::Put;
+  put.key = "route/7";
+  put.value = "relay:3";
+  store.apply(put, 1);
+  const auto hit = store.get("route/7");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->value, "relay:3");
+  EXPECT_EQ(hit->version, 1u);
+
+  Command other;
+  other.op = CtrlOp::Put;
+  other.key = "placement/evb";
+  other.value = "node-4";
+  store.apply(other, 2);
+  EXPECT_EQ(store.list("route/").size(), 1u);
+  EXPECT_EQ(store.applied_index(), 2u);
+
+  Command del;
+  del.op = CtrlOp::Del;
+  del.key = "route/7";
+  store.apply(del, 3);
+  EXPECT_FALSE(store.get("route/7").has_value());
+  // Idempotent delete of a missing key still advances the cursor.
+  store.apply(del, 4);
+  EXPECT_EQ(store.applied_index(), 4u);
+}
+
+TEST(ConfigStoreTest, SnapshotRoundTrip) {
+  ConfigStore store;
+  for (int i = 0; i < 6; ++i) {
+    Command put;
+    put.op = CtrlOp::Put;
+    put.key = "k" + std::to_string(i);
+    put.value = std::string(i * 17, 'x');
+    store.apply(put, static_cast<std::uint64_t>(i + 1));
+  }
+  auto copy = ConfigStore::restore(store.encode());
+  ASSERT_TRUE(copy.is_ok()) << copy.status().to_string();
+  EXPECT_EQ(copy.value().size(), store.size());
+  EXPECT_EQ(copy.value().applied_index(), store.applied_index());
+  for (int i = 0; i < 6; ++i) {
+    const auto key = "k" + std::to_string(i);
+    ASSERT_TRUE(copy.value().get(key).has_value());
+    EXPECT_EQ(copy.value().get(key)->value, store.get(key)->value);
+    EXPECT_EQ(copy.value().get(key)->version, store.get(key)->version);
+  }
+}
+
+TEST(CtrlWireCodec, RequestReplyEventRoundTrip) {
+  CtrlRequest req;
+  req.op = CtrlOp::Watch;
+  req.key = "route/";
+  req.value = "ignored-for-watch";
+  req.flags = kCtrlFlagStaleOk;
+  auto req_rt = CtrlRequest::decode(req.encode());
+  ASSERT_TRUE(req_rt.is_ok());
+  EXPECT_EQ(req_rt.value().op, req.op);
+  EXPECT_EQ(req_rt.value().key, req.key);
+  EXPECT_EQ(req_rt.value().value, req.value);
+  EXPECT_EQ(req_rt.value().flags, req.flags);
+
+  CtrlReply rep;
+  rep.ok = true;
+  rep.redirect = true;
+  rep.leader_node = 4;
+  rep.version = 99;
+  rep.value = "payload";
+  auto rep_rt = CtrlReply::decode(rep.encode());
+  ASSERT_TRUE(rep_rt.is_ok());
+  EXPECT_EQ(rep_rt.value().ok, rep.ok);
+  EXPECT_EQ(rep_rt.value().redirect, rep.redirect);
+  EXPECT_EQ(rep_rt.value().leader_node, rep.leader_node);
+  EXPECT_EQ(rep_rt.value().version, rep.version);
+  EXPECT_EQ(rep_rt.value().value, rep.value);
+
+  WatchEvent ev;
+  ev.key = "route/9";
+  ev.value = "relay:2";
+  ev.version = 12;
+  ev.deleted = true;
+  auto ev_rt = WatchEvent::decode(ev.encode());
+  ASSERT_TRUE(ev_rt.is_ok());
+  EXPECT_EQ(ev_rt.value().key, ev.key);
+  EXPECT_EQ(ev_rt.value().value, ev.value);
+  EXPECT_EQ(ev_rt.value().version, ev.version);
+  EXPECT_EQ(ev_rt.value().deleted, ev.deleted);
+}
+
+}  // namespace
+}  // namespace xdaq::ctrl
