@@ -22,6 +22,9 @@ Result<std::uint64_t> ControlClient::put(std::string_view key,
   if (!rep.is_ok()) {
     return rep.status();
   }
+  if (!rep.value().ok) {
+    return {Errc::Internal, "write rejected by the control plane"};
+  }
   return rep.value().version;
 }
 
@@ -32,6 +35,9 @@ Result<std::uint64_t> ControlClient::del(std::string_view key) {
   auto rep = request(req);
   if (!rep.is_ok()) {
     return rep.status();
+  }
+  if (!rep.value().ok) {
+    return {Errc::Internal, "write rejected by the control plane"};
   }
   return rep.value().version;
 }

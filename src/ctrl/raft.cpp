@@ -151,9 +151,16 @@ bool RaftCore::has_lease() const {
   if (role_ != Role::Leader) {
     return false;
   }
+  // Raft §8: until the term-start no-op commits, writes acked by a prior
+  // leader may sit committed-but-uncountable above commit_ - serving a
+  // read now could miss an acknowledged write.
+  if (commit_ < term_start_index_) {
+    return false;
+  }
   // Count voters whose last AppendEntries ack (or election-time vote) is
-  // younger than the minimum election timeout: none of them can have
-  // granted a rival election inside that window.
+  // younger than the minimum election timeout, anchored at the tick the
+  // acked round was SENT: none of them can have granted a rival election
+  // inside that window.
   std::size_t fresh = 1;  // self
   for (std::size_t i = 0; i < cfg_.voters.size(); ++i) {
     if (cfg_.voters[i] == cfg_.self) {
@@ -203,6 +210,7 @@ void RaftCore::handle(const RaftMsg& msg) {
                        ? RaftMsg::Type::AppendReply
                        : RaftMsg::Type::SnapshotReply;
       reply.granted = false;
+      reply.last_index = msg.last_index;  // echo the send tick
       reply.match = last_log_index();
       send(msg.from, std::move(reply));
     }
@@ -270,6 +278,9 @@ RaftCore::take_committed() {
       // Covered by an installed snapshot; the host restores from the
       // snapshot blob instead (take_installed_snapshot).
       continue;
+    }
+    if (e->cmd.empty()) {
+      continue;  // term-start no-op barrier, not a state-machine command
     }
     out.emplace_back(applied_, e->cmd);
   }
@@ -413,6 +424,7 @@ void RaftCore::become_candidate() {
   voted_for_ = cfg_.self;
   votes_.assign(1, cfg_.self);
   leader_ = i2o::kNullNode;
+  campaign_started_ = now_;
   reset_election_timer();
   if (votes_.size() >= majority()) {
     become_leader();
@@ -432,16 +444,25 @@ void RaftCore::become_candidate() {
 void RaftCore::become_leader() {
   role_ = Role::Leader;
   leader_ = cfg_.self;
+  // Raft §8 no-op barrier: advance_commit() only counts current-term
+  // entries, so prior-term entries (possibly acked by the old leader)
+  // commit transitively once this barrier replicates. has_lease() is
+  // withheld until then.
+  log_.push_back(LogEntry{term_, {}});
+  term_start_index_ = last_log_index();
   for (std::size_t i = 0; i < cfg_.voters.size(); ++i) {
-    cursors_[i].next = last_log_index() + 1;
+    // Optimistic cursor at the barrier: an up-to-date follower accepts
+    // the very first append; laggards back off via the conflict hint.
+    cursors_[i].next = term_start_index_;
     cursors_[i].match = 0;
     cursors_[i].snapshot_in_flight = false;
     // A vote granted in this election counts as a lease-fresh ack: the
-    // voter promised not to elect anyone else for a full timeout.
+    // voter promised not to elect anyone else for a full timeout,
+    // starting no earlier than the candidacy's VoteRequest send tick.
     const bool voted =
         std::find(votes_.begin(), votes_.end(), cfg_.voters[i]) !=
         votes_.end();
-    cursors_[i].last_ack_tick = voted ? now_ : 0;
+    cursors_[i].last_ack_tick = voted ? campaign_started_ : 0;
   }
   advance_commit();
   broadcast_appends(/*force=*/true);
@@ -483,6 +504,7 @@ void RaftCore::send_append(i2o::NodeId peer) {
     cur.snapshot_in_flight = true;
     RaftMsg snap;
     snap.type = RaftMsg::Type::Snapshot;
+    snap.last_index = now_;  // send tick, echoed back as the lease anchor
     snap.prev_index = snap_index_;
     snap.prev_term = snap_term_;
     snap.commit = commit_;
@@ -492,6 +514,7 @@ void RaftCore::send_append(i2o::NodeId peer) {
   }
   RaftMsg app;
   app.type = RaftMsg::Type::Append;
+  app.last_index = now_;  // send tick, echoed back as the lease anchor
   app.prev_index = cur.next - 1;
   app.prev_term = term_at(app.prev_index);
   app.commit = commit_;
@@ -567,6 +590,7 @@ void RaftCore::handle_append(const RaftMsg& msg) {
 
   RaftMsg reply;
   reply.type = RaftMsg::Type::AppendReply;
+  reply.last_index = msg.last_index;  // echo the leader's send tick
 
   if (msg.prev_index > last_log_index()) {
     // Gap: ask the leader to back up to our log end.
@@ -606,9 +630,9 @@ void RaftCore::handle_append(const RaftMsg& msg) {
     log_.push_back(e);
   }
   const std::uint64_t match = msg.prev_index + msg.entries.size();
-  if (msg.commit > commit_) {
-    commit_ = std::min(msg.commit, match);
-  }
+  // Clamped against the current value: a duplicated or delayed older
+  // Append (small prev_index, few entries) must never regress commit_.
+  commit_ = std::max(commit_, std::min(msg.commit, match));
   reply.granted = true;
   reply.match = match;
   send(msg.from, std::move(reply));
@@ -623,7 +647,11 @@ void RaftCore::handle_append_reply(const RaftMsg& msg) {
       continue;
     }
     PeerCursor& cur = cursors_[i];
-    cur.last_ack_tick = now_;
+    // Lease anchor: the echoed SEND tick of the acked round, not the
+    // receipt tick - a delayed reply must not extend the lease past the
+    // point a rival could be elected. min() guards a corrupt echo.
+    cur.last_ack_tick =
+        std::max(cur.last_ack_tick, std::min(msg.last_index, now_));
     if (msg.granted) {
       cur.match = std::max(cur.match, msg.match);
       cur.next = cur.match + 1;
@@ -649,6 +677,7 @@ void RaftCore::handle_snapshot(const RaftMsg& msg) {
   RaftMsg reply;
   reply.type = RaftMsg::Type::SnapshotReply;
   reply.granted = true;
+  reply.last_index = msg.last_index;  // echo the leader's send tick
 
   if (msg.prev_index <= commit_) {
     // We already have everything the snapshot covers.
@@ -678,7 +707,8 @@ void RaftCore::handle_snapshot_reply(const RaftMsg& msg) {
       continue;
     }
     PeerCursor& cur = cursors_[i];
-    cur.last_ack_tick = now_;
+    cur.last_ack_tick =
+        std::max(cur.last_ack_tick, std::min(msg.last_index, now_));
     cur.snapshot_in_flight = false;
     if (msg.granted) {
       cur.match = std::max(cur.match, msg.match);

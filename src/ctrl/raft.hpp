@@ -16,11 +16,19 @@
 //     majority match within the current term;
 //   * snapshot installation for followers whose cursor fell behind the
 //     compacted log (the restart-rejoin path);
+//   * a no-op barrier entry appended at every term start (Raft §8): a
+//     new leader cannot count replicas of prior-term entries toward
+//     commit, so it commits an entry of its own term first; the barrier
+//     transitively commits every acked write of earlier terms before the
+//     leader is allowed to serve reads;
 //   * a leader lease for linearizable local reads: the leader serves a
-//     read without a log round trip only while a majority acked an
-//     AppendEntries within the last election_timeout_min ticks - inside
-//     that window no rival can have been elected, because an election
-//     needs a majority that stayed quiet for at least that long.
+//     read without a log round trip only while (a) its term-start no-op
+//     has committed and (b) a majority acked an AppendEntries within the
+//     last election_timeout_min ticks, measured from the tick the append
+//     was SENT (the follower's election-suppression window starts at
+//     receipt, which is never earlier than the send) - inside that window
+//     no rival can have been elected, because an election needs a
+//     majority that stayed quiet for at least that long.
 //
 // Durability: term, vote and log survive a restart through
 // encode_hard_state()/restore() (the host persists the blob; the chaos
@@ -87,6 +95,9 @@ struct RaftMsg {
   std::uint64_t term = 0;
 
   // VoteRequest: candidate's last log position.
+  // Append/Snapshot: last_index instead carries the leader's send tick,
+  // echoed verbatim in the matching reply - the lease anchor (a majority
+  // ack is only as fresh as the round's SEND time, not its receipt).
   std::uint64_t last_index = 0;
   std::uint64_t last_term = 0;
   // Append: the entry preceding `entries` and the leader commit index.
@@ -136,8 +147,10 @@ class RaftCore {
   /// Leader only: replication lag (last_log_index - match) of `peer`.
   [[nodiscard]] std::uint64_t replication_lag(i2o::NodeId peer) const;
 
-  /// Linearizable-read gate: true only on a leader whose majority acked
-  /// within the last election_timeout_min ticks.
+  /// Linearizable-read gate: true only on a leader that has committed
+  /// its term-start no-op barrier (so every earlier acked write is
+  /// applied here) AND whose majority acked within the last
+  /// election_timeout_min ticks, anchored at append-send time.
   [[nodiscard]] bool has_lease() const;
 
   // --- inputs --------------------------------------------------------------
@@ -164,6 +177,8 @@ class RaftCore {
 
   /// Committed-but-unapplied entries, oldest first; advances the applied
   /// cursor. The host feeds these to its state machine in order.
+  /// Term-start no-op barriers (empty commands) are consumed internally
+  /// and never surface here.
   [[nodiscard]] std::vector<std::pair<std::uint64_t, std::vector<std::byte>>>
   take_committed();
 
@@ -243,6 +258,13 @@ class RaftCore {
   std::uint64_t election_deadline_ = 0;
   std::uint64_t last_broadcast_ = 0;
   std::uint64_t elections_ = 0;
+  /// Tick at which the current candidacy started; election-time votes
+  /// anchor the lease here (the voters' suppression windows opened no
+  /// earlier than the VoteRequest send).
+  std::uint64_t campaign_started_ = 0;
+  /// Index of the no-op barrier appended when this node last became
+  /// leader; the lease is withheld until commit_ reaches it.
+  std::uint64_t term_start_index_ = 0;
   std::vector<i2o::NodeId> votes_;
 
   // Leader bookkeeping, indexed as cfg_.voters.

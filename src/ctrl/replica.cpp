@@ -67,6 +67,7 @@ void ControlReplicaDevice::plugin() {
   elections_ = &reg.counter("raft.elections");
   proposals_ = &reg.counter("raft.proposals");
   redirects_ = &reg.counter("raft.redirects");
+  apply_errors_ = &reg.counter("raft.apply_errors");
   lag_ = &reg.histogram("raft.replication_lag", 0, 256, 32);
 
   // PR-2 liveness as failure detection: Down transitions queue here (the
@@ -111,6 +112,7 @@ void ControlReplicaDevice::tick() {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (i2o::NodeId node : down) {
     core_.peer_down(node);
+    prune_watchers_locked(node);
   }
   core_.tick();
   if (core_.role() == Role::Leader && lag_ != nullptr) {
@@ -157,6 +159,11 @@ std::optional<ConfigStore::Entry> ControlReplicaDevice::lookup(
     std::string_view key) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return store_.get(key);
+}
+
+std::size_t ControlReplicaDevice::watcher_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return watchers_.size();
 }
 
 std::vector<std::byte> ControlReplicaDevice::hard_state() const {
@@ -286,7 +293,7 @@ void ControlReplicaDevice::handle_watch(const core::MessageContext& ctx,
     ev.version = entry.version;
     ev.key = key;
     ev.value = std::move(entry.value);
-    push_event(ctx.header.initiator, ev);
+    (void)push_event(ctx.header.initiator, ev);
   }
 }
 
@@ -305,6 +312,19 @@ void ControlReplicaDevice::step_locked() {
     auto cmd = Command::decode(bytes);
     if (cmd.is_ok()) {
       apply_locked(index, cmd.value());
+      continue;
+    }
+    // A committed entry that fails to decode is corruption every replica
+    // skips identically (state machines stay convergent) - but never
+    // silently: count it and fail the pending client ack outright
+    // (ok=false, no redirect - retrying elsewhere cannot help).
+    if (apply_errors_ != nullptr) {
+      apply_errors_->add();
+    }
+    if (const auto it = pending_.find(index); it != pending_.end()) {
+      const PendingWrite pw = it->second;
+      pending_.erase(it);
+      reply_ctrl(pw.request, CtrlReply{});
     }
   }
   if (core_.role() != Role::Leader && !pending_.empty()) {
@@ -347,9 +367,22 @@ void ControlReplicaDevice::apply_locked(std::uint64_t index,
   ev.version = index;
   ev.key = cmd.key;
   ev.value = cmd.value;
-  for (const Watcher& w : watchers_) {
-    if (cmd.key.compare(0, w.prefix.size(), w.prefix) == 0) {
-      push_event(w.tid, ev);
+  // Push with failure accounting: a crashed or departed subscriber whose
+  // frames no longer route is dropped after kWatcherFailLimit consecutive
+  // misses instead of accumulating forever.
+  for (std::size_t i = 0; i < watchers_.size();) {
+    Watcher& w = watchers_[i];
+    if (cmd.key.compare(0, w.prefix.size(), w.prefix) != 0) {
+      ++i;
+      continue;
+    }
+    if (push_event(w.tid, ev)) {
+      w.failures = 0;
+      ++i;
+    } else if (++w.failures >= kWatcherFailLimit) {
+      watchers_.erase(watchers_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
     }
   }
 }
@@ -367,6 +400,24 @@ void ControlReplicaDevice::fail_pending_locked() {
   pending_.clear();
 }
 
+void ControlReplicaDevice::prune_watchers_locked(i2o::NodeId node) {
+  if (watchers_.empty()) {
+    return;
+  }
+  auto& table = executive().address_table();
+  for (std::size_t i = 0; i < watchers_.size();) {
+    auto entry = table.lookup(watchers_[i].tid);
+    const bool dead = entry.is_ok() &&
+                      entry.value().kind == core::AddressEntry::Kind::Proxy &&
+                      entry.value().node == node;
+    if (dead) {
+      watchers_.erase(watchers_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
 void ControlReplicaDevice::send_raft(i2o::NodeId to, const RaftMsg& msg) {
   const i2o::Tid remote =
       cfg_.peer_tid != i2o::kNullTid ? cfg_.peer_tid : tid();
@@ -382,14 +433,15 @@ void ControlReplicaDevice::send_raft(i2o::NodeId to, const RaftMsg& msg) {
   }
 }
 
-void ControlReplicaDevice::push_event(i2o::Tid watcher,
+bool ControlReplicaDevice::push_event(i2o::Tid watcher,
                                       const WatchEvent& ev) {
   const auto bytes = ev.encode();
   auto frame = make_private_frame(watcher, i2o::OrgId::kXdaq,
                                   kXfnCtrlEvent, bytes);
-  if (frame.is_ok()) {
-    (void)frame_send(std::move(frame).value());
+  if (!frame.is_ok()) {
+    return false;
   }
+  return frame_send(std::move(frame).value()).is_ok();
 }
 
 void ControlReplicaDevice::reply_ctrl(const i2o::FrameHeader& request,

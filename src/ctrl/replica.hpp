@@ -20,7 +20,10 @@
 //   * Watch registers the caller (its reply-path proxy TiD) for pushed
 //     kXfnCtrlEvent frames; registration first replays every existing
 //     entry under the prefix as synthetic events, so subscribe-then-apply
-//     yields a complete snapshot + stream.
+//     yields a complete snapshot + stream. A watcher whose pushes fail
+//     kWatcherFailLimit times in a row, or whose node the peer-state
+//     listener reports Down, is pruned (a surviving client re-subscribes
+//     on reconnect).
 //
 // Failure detection is the PR-2 transport liveness feed: a peer-state
 // Down transition for the current leader expires the election timer at
@@ -81,6 +84,8 @@ class ControlReplicaDevice : public core::Device {
   [[nodiscard]] bool has_lease() const;
   [[nodiscard]] std::optional<ConfigStore::Entry> lookup(
       std::string_view key) const;
+  /// Live watch subscriptions (tests observe pruning through this).
+  [[nodiscard]] std::size_t watcher_count() const;
   /// Durable state for the next incarnation (what Config::hard_state
   /// accepts back).
   [[nodiscard]] std::vector<std::byte> hard_state() const;
@@ -92,9 +97,13 @@ class ControlReplicaDevice : public core::Device {
   void on_timer(std::uint32_t timer_id) override;
 
  private:
+  /// Consecutive failed event pushes before a watcher is dropped.
+  static constexpr int kWatcherFailLimit = 3;
+
   struct Watcher {
     i2o::Tid tid = i2o::kNullTid;  ///< reply-path (proxy) TiD to push to
     std::string prefix;
+    int failures = 0;  ///< consecutive push_event failures
   };
 
   void handle_raft(const core::MessageContext& ctx);
@@ -107,8 +116,10 @@ class ControlReplicaDevice : public core::Device {
   void step_locked();
   void apply_locked(std::uint64_t index, const Command& cmd);
   void fail_pending_locked();
+  /// Drops watchers whose push TiD proxies to `node` (reported Down).
+  void prune_watchers_locked(i2o::NodeId node);
   void send_raft(i2o::NodeId to, const RaftMsg& msg);
-  void push_event(i2o::Tid watcher, const WatchEvent& ev);
+  [[nodiscard]] bool push_event(i2o::Tid watcher, const WatchEvent& ev);
   void reply_ctrl(const i2o::FrameHeader& request, const CtrlReply& rep);
   void update_metrics_locked();
 
@@ -141,6 +152,7 @@ class ControlReplicaDevice : public core::Device {
   obs::Counter* elections_ = nullptr;
   obs::Counter* proposals_ = nullptr;
   obs::Counter* redirects_ = nullptr;
+  obs::Counter* apply_errors_ = nullptr;
   obs::Histogram* lag_ = nullptr;
 };
 

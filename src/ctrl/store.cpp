@@ -48,7 +48,7 @@ std::vector<std::pair<std::string, ConfigStore::Entry>> ConfigStore::list(
 std::vector<std::byte> ConfigStore::encode() const {
   std::size_t size = 12;
   for (const auto& [key, entry] : map_) {
-    size += 14 + key.size() + entry.value.size();
+    size += 16 + key.size() + entry.value.size();
   }
   std::vector<std::byte> out(size);
   i2o::put_u64(out, 0, applied_);
@@ -56,10 +56,10 @@ std::vector<std::byte> ConfigStore::encode() const {
   std::size_t off = 12;
   for (const auto& [key, entry] : map_) {
     i2o::put_u64(out, off, entry.version);
-    i2o::put_u16(out, off + 8, static_cast<std::uint16_t>(key.size()));
-    i2o::put_u32(out, off + 10, static_cast<std::uint32_t>(
+    i2o::put_u32(out, off + 8, static_cast<std::uint32_t>(key.size()));
+    i2o::put_u32(out, off + 12, static_cast<std::uint32_t>(
                                     entry.value.size()));
-    off += 14;
+    off += 16;
     std::copy(key.begin(), key.end(),
               reinterpret_cast<char*>(out.data()) + off);
     off += key.size();
@@ -79,14 +79,14 @@ Result<ConfigStore> ConfigStore::restore(std::span<const std::byte> bytes) {
   const std::size_t count = i2o::get_u32(bytes, 8);
   std::size_t off = 12;
   for (std::size_t i = 0; i < count; ++i) {
-    if (!fits(bytes, off, 14)) {
+    if (!fits(bytes, off, 16)) {
       return {Errc::InvalidArgument, "store entry header overruns snapshot"};
     }
     Entry entry;
     entry.version = i2o::get_u64(bytes, off);
-    const std::size_t key_len = i2o::get_u16(bytes, off + 8);
-    const std::size_t val_len = i2o::get_u32(bytes, off + 10);
-    off += 14;
+    const std::size_t key_len = i2o::get_u32(bytes, off + 8);
+    const std::size_t val_len = i2o::get_u32(bytes, off + 12);
+    off += 16;
     if (!fits(bytes, off, key_len) || !fits(bytes, off + key_len, val_len)) {
       return {Errc::InvalidArgument, "store entry body overruns snapshot"};
     }

@@ -46,7 +46,8 @@ class ConfigStore {
   }
 
   // Snapshot format: [u64 applied][u32 count] then per entry
-  // [u64 version][u16 key_len][u32 val_len][key][val].
+  // [u64 version][u32 key_len][u32 val_len][key][val] (u32 key widths
+  // match Command/CtrlRequest - no truncation through compaction).
   [[nodiscard]] std::vector<std::byte> encode() const;
   static Result<ConfigStore> restore(std::span<const std::byte> bytes);
 

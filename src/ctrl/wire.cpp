@@ -117,18 +117,19 @@ Result<WatchEvent> WatchEvent::decode(std::span<const std::byte> bytes) {
 }
 
 std::vector<std::byte> Command::encode() const {
-  std::vector<std::byte> out(8 + key.size() + value.size());
+  std::vector<std::byte> out(12 + key.size() + value.size());
   i2o::put_u8(out, 0, static_cast<std::uint8_t>(op));
   i2o::put_u8(out, 1, 0);
-  i2o::put_u16(out, 2, static_cast<std::uint16_t>(key.size()));
-  i2o::put_u32(out, 4, static_cast<std::uint32_t>(value.size()));
-  put_string(out, 8, key);
-  put_string(out, 8 + key.size(), value);
+  i2o::put_u16(out, 2, 0);
+  i2o::put_u32(out, 4, static_cast<std::uint32_t>(key.size()));
+  i2o::put_u32(out, 8, static_cast<std::uint32_t>(value.size()));
+  put_string(out, 12, key);
+  put_string(out, 12 + key.size(), value);
   return out;
 }
 
 Result<Command> Command::decode(std::span<const std::byte> bytes) {
-  if (bytes.size() < 8) {
+  if (bytes.size() < 12) {
     return {Errc::InvalidArgument, "ctrl command truncated"};
   }
   Command cmd;
@@ -138,13 +139,13 @@ Result<Command> Command::decode(std::span<const std::byte> bytes) {
     return {Errc::InvalidArgument, "ctrl command must be Put or Del"};
   }
   cmd.op = static_cast<CtrlOp>(op);
-  const std::size_t key_len = i2o::get_u16(bytes, 2);
-  const std::size_t val_len = i2o::get_u32(bytes, 4);
-  if (!fits(bytes, 8, key_len) || !fits(bytes, 8 + key_len, val_len)) {
+  const std::size_t key_len = i2o::get_u32(bytes, 4);
+  const std::size_t val_len = i2o::get_u32(bytes, 8);
+  if (!fits(bytes, 12, key_len) || !fits(bytes, 12 + key_len, val_len)) {
     return {Errc::InvalidArgument, "ctrl command lengths overrun payload"};
   }
-  cmd.key = take_string(bytes, 8, key_len);
-  cmd.value = take_string(bytes, 8 + key_len, val_len);
+  cmd.key = take_string(bytes, 12, key_len);
+  cmd.value = take_string(bytes, 12 + key_len, val_len);
   return cmd;
 }
 

@@ -95,8 +95,11 @@ struct WatchEvent {
 };
 
 // --- replicated commands ----------------------------------------------------
-// What the Raft log carries: [u8 op][u8 rsvd][u16 key_len][u32 val_len]
-// [key][val]. Only Put/Del are ever proposed.
+// What the Raft log carries: [u8 op][u8 rsvd][u16 rsvd][u32 key_len]
+// [u32 val_len][key][val] - the same u32 widths as CtrlRequest, so any
+// key a client can send replicates without truncation. Only Put/Del are
+// ever proposed; an empty log entry is a term-start no-op barrier, not
+// a Command.
 
 struct Command {
   CtrlOp op = CtrlOp::Put;

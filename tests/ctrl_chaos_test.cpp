@@ -21,6 +21,7 @@
 #include "cluster/route_table.hpp"
 #include "ctrl/client.hpp"
 #include "ctrl/replica.hpp"
+#include "i2o/wire.hpp"
 #include "pt/cluster.hpp"
 #include "pt/fault_pt.hpp"
 
@@ -441,6 +442,104 @@ TEST(CtrlChaos, RaftMetricsExposedInRegistry) {
     }
   }
   EXPECT_TRUE(elections);
+}
+
+/// Sends kXfnCtrl requests to a replica on the same node, optionally
+/// forging the initiator TiD - the stand-in for a subscriber that has
+/// since crashed (its reply path no longer routes anywhere).
+class CtrlProbeDevice : public core::Device {
+ public:
+  CtrlProbeDevice() : core::Device("CtrlProbe") {}
+
+  void send_watch(i2o::Tid replica, i2o::Tid forged_initiator) {
+    CtrlRequest req;
+    req.op = CtrlOp::Watch;
+    req.key = "";
+    send_req(replica, req, forged_initiator);
+  }
+
+  void send_put(i2o::Tid replica, const std::string& key,
+                const std::string& value) {
+    CtrlRequest req;
+    req.op = CtrlOp::Put;
+    req.key = key;
+    req.value = value;
+    send_req(replica, req, i2o::kNullTid);
+  }
+
+ private:
+  void send_req(i2o::Tid replica, const CtrlRequest& req,
+                i2o::Tid forged_initiator) {
+    const auto payload = req.encode();
+    auto frame = make_private_frame(replica, i2o::OrgId::kXdaq, kXfnCtrl,
+                                    payload);
+    ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+    if (forged_initiator != i2o::kNullTid) {
+      auto hdr = i2o::decode_header(frame.value().bytes());
+      ASSERT_TRUE(hdr.is_ok());
+      i2o::FrameHeader forged = hdr.value();
+      forged.initiator = forged_initiator;
+      ASSERT_TRUE(i2o::encode_header(forged, frame.value().bytes()).is_ok());
+    }
+    ASSERT_TRUE(frame_send(std::move(frame).value()).is_ok());
+  }
+};
+
+// The REVIEW.md watcher-leak finding: a subscriber whose event pushes no
+// longer route (crashed / departed client) must be pruned after a few
+// consecutive push failures instead of receiving kXfnCtrlEvent frames
+// forever.
+TEST(CtrlChaos, DeadWatcherIsPrunedAfterRepeatedPushFailures) {
+  pt::ClusterConfig cfg;
+  cfg.nodes = 1;
+  pt::Cluster cluster(cfg);
+
+  ControlReplicaDevice::Config rc;
+  rc.voters = {cluster.node_id(0)};
+  rc.seed = 7;
+  auto replica_owner = std::make_unique<ControlReplicaDevice>(rc);
+  ControlReplicaDevice* replica = replica_owner.get();
+  auto replica_tid = cluster.install(0, std::move(replica_owner), "ctrl");
+  ASSERT_TRUE(replica_tid.is_ok());
+
+  auto probe_owner = std::make_unique<CtrlProbeDevice>();
+  CtrlProbeDevice* probe = probe_owner.get();
+  ASSERT_TRUE(cluster.install(0, std::move(probe_owner), "probe").is_ok());
+
+  ASSERT_TRUE(cluster.enable_all().is_ok());
+  cluster.start_all();
+
+  for (int i = 0; i < 100 && replica->role() != Role::Leader; ++i) {
+    replica->tick();
+  }
+  ASSERT_EQ(replica->role(), Role::Leader);
+
+  // Subscribe with an initiator TiD nothing resolves: every push fails.
+  probe->send_watch(replica_tid.value(), /*forged_initiator=*/0x0ABC);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline &&
+         replica->watcher_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(replica->watcher_count(), 1u);
+
+  // Each committed put attempts the push; the third straight failure
+  // prunes the dead watcher.
+  for (int i = 0; i < 3; ++i) {
+    probe->send_put(replica_tid.value(), "k" + std::to_string(i), "v");
+  }
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline &&
+         replica->watcher_count() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(replica->watcher_count(), 0u);
+  // The writes themselves applied normally.
+  const auto k0 = replica->lookup("k0");
+  ASSERT_TRUE(k0.has_value());
+  EXPECT_EQ(k0->value, "v");
+
+  cluster.stop_all();
 }
 
 }  // namespace

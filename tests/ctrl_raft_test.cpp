@@ -103,6 +103,15 @@ class SimNet {
         ASSERT_EQ(it->second, id)
             << "two leaders in term " << core->term();
       }
+      // Linearizability gate: a leader holding the read lease must have
+      // every acknowledged write committed locally - otherwise a lease
+      // read could miss an acked write (the Raft §8 no-op barrier).
+      if (core->role() == Role::Leader && core->has_lease() &&
+          !acked_.empty()) {
+        EXPECT_GE(core->commit_index(), acked_.rbegin()->first)
+            << "leased leader " << id
+            << " would serve reads missing acked writes";
+      }
     }
   }
 
@@ -420,6 +429,119 @@ TEST(RaftCoreTest, MinorityLeaderCannotCommitAndStepsDownOnHeal) {
   }
 }
 
+// The REVIEW.md high finding: a write acked by the old leader sits
+// replicated-but-uncommitted on the followers; the new leader must not
+// hand out its read lease until its term-start no-op barrier commits,
+// which transitively commits (and applies) the acked write.
+TEST(RaftCoreTest, NewLeaderWithholdsLeaseUntilTermBarrierCommits) {
+  SimNet net({1, 2, 3});
+  const i2o::NodeId leader = net.elect();
+  ASSERT_NE(net.propose_acked(leader, "acked-before-kill"), 0u);
+  const std::uint64_t acked_index = net.acked().rbegin()->first;
+  // propose_acked returns right after the LEADER applies; the followers
+  // hold the entry but have not yet learned the commit index. Kill the
+  // leader in exactly that window.
+  net.kill(leader);
+
+  i2o::NodeId new_leader = i2o::kNullNode;
+  for (int i = 0; i < 300 && new_leader == i2o::kNullNode; ++i) {
+    net.step();  // step() asserts the lease/commit invariant throughout
+    for (const i2o::NodeId id : {1, 2, 3}) {
+      if (net.alive(id) && net.core(id).role() == Role::Leader &&
+          net.core(id).has_lease()) {
+        new_leader = id;
+      }
+    }
+  }
+  ASSERT_NE(new_leader, i2o::kNullNode) << "no leased leader re-elected";
+  // By lease time the barrier has committed, carrying the acked write
+  // with it: a linearizable read on the new leader sees it.
+  EXPECT_GE(net.core(new_leader).commit_index(), acked_index);
+  const auto& log = net.applied(new_leader);
+  const auto it = log.find(acked_index);
+  ASSERT_NE(it, log.end()) << "acked write unapplied on the leased leader";
+  EXPECT_EQ(it->second, "acked-before-kill");
+  net.check_no_lost_writes();
+}
+
+// The REVIEW.md medium finding: lease freshness must be anchored at the
+// tick an AppendEntries round was SENT, not when its ack arrived - a
+// delayed ack must not stretch the lease past the point a rival could
+// already have been elected.
+TEST(RaftCoreTest, DelayedAckAnchorsLeaseAtSendTick) {
+  SimNet net({1, 2, 3});
+  const i2o::NodeId leader = net.elect();
+  net.run(5);
+  RaftCore& l = net.core(leader);
+  ASSERT_TRUE(l.has_lease());
+
+  // Stop lockstep delivery; capture exactly one heartbeat round.
+  std::vector<std::pair<i2o::NodeId, RaftMsg>> held;
+  while (held.empty()) {
+    l.tick();
+    held = l.take_outbox();
+  }
+  const std::uint64_t sent_tick = l.ticks();
+  // The wire sits on the round for 9 ticks (later heartbeats are lost).
+  for (int i = 0; i < 9; ++i) {
+    l.tick();
+    (void)l.take_outbox();
+  }
+  // Deliver the stale round and bounce the acks straight back.
+  for (auto& [to, msg] : held) {
+    net.core(to).handle(msg);
+    for (auto& [back, reply] : net.core(to).take_outbox()) {
+      if (back == leader) {
+        l.handle(reply);
+      }
+    }
+  }
+  // The acks are anchored at sent_tick: once election_timeout_min ticks
+  // have passed since the SEND, a rival quorum could exist, so the lease
+  // must be gone - even though the acks arrived only 1 tick ago.
+  const std::uint32_t timeout_min = l.config().election_timeout_min;
+  while (l.ticks() < sent_tick + timeout_min) {
+    l.tick();
+    (void)l.take_outbox();
+  }
+  EXPECT_FALSE(l.has_lease())
+      << "delayed ack receipt extended the lease past the send anchor";
+}
+
+// The REVIEW.md commit-regression finding: a duplicated or delayed old
+// Append (small prev_index, no entries, newer leader commit) must never
+// move a follower's commit index backwards.
+TEST(RaftCoreTest, DuplicatedOldAppendNeverRegressesFollowerCommit) {
+  RaftCore follower(make_cfg(2, {1, 2, 3}));
+  RaftMsg app;
+  app.type = RaftMsg::Type::Append;
+  app.from = 1;
+  app.term = 1;
+  app.prev_index = 0;
+  app.prev_term = 0;
+  app.commit = 3;
+  for (int i = 1; i <= 5; ++i) {
+    app.entries.push_back(LogEntry{1, cmd_bytes("e" + std::to_string(i))});
+  }
+  follower.handle(app);
+  ASSERT_EQ(follower.commit_index(), 3u);
+  (void)follower.take_outbox();
+  (void)follower.take_committed();
+
+  // FaultInjectingTransport can duplicate+delay: the same leader's old
+  // empty heartbeat arrives again, now carrying a higher commit but
+  // matching nothing past index 0.
+  RaftMsg dup;
+  dup.type = RaftMsg::Type::Append;
+  dup.from = 1;
+  dup.term = 1;
+  dup.prev_index = 0;
+  dup.prev_term = 0;
+  dup.commit = 5;
+  follower.handle(dup);
+  EXPECT_EQ(follower.commit_index(), 3u) << "commit index regressed";
+}
+
 TEST(RaftCoreTest, LeaderLeaseLapsesWithoutQuorumAcks) {
   SimNet net({1, 2, 3});
   const i2o::NodeId leader = net.elect();
@@ -678,6 +800,35 @@ TEST(CtrlWireCodec, RequestReplyEventRoundTrip) {
   EXPECT_EQ(ev_rt.value().value, ev.value);
   EXPECT_EQ(ev_rt.value().version, ev.version);
   EXPECT_EQ(ev_rt.value().deleted, ev.deleted);
+}
+
+// The REVIEW.md truncation finding: a key longer than 65535 bytes (the
+// old u16 field) must replicate and decode intact - a corrupt committed
+// command would be skipped on every replica and the client ack lost.
+TEST(CtrlWireCodec, CommandRoundTripsOversizedKey) {
+  Command cmd;
+  cmd.op = CtrlOp::Put;
+  cmd.key = std::string(70000, 'k');
+  cmd.value = "v";
+  auto rt = Command::decode(cmd.encode());
+  ASSERT_TRUE(rt.is_ok()) << rt.status().to_string();
+  EXPECT_EQ(rt.value().op, cmd.op);
+  EXPECT_EQ(rt.value().key, cmd.key);
+  EXPECT_EQ(rt.value().value, cmd.value);
+}
+
+TEST(ConfigStoreTest, SnapshotRoundTripsOversizedKey) {
+  ConfigStore store;
+  Command put;
+  put.op = CtrlOp::Put;
+  put.key = std::string(70000, 'q');
+  put.value = "wide";
+  store.apply(put, 1);
+  auto copy = ConfigStore::restore(store.encode());
+  ASSERT_TRUE(copy.is_ok()) << copy.status().to_string();
+  const auto hit = copy.value().get(put.key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->value, "wide");
 }
 
 }  // namespace
