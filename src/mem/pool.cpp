@@ -437,6 +437,7 @@ Result<FrameRef> TablePool::allocate(std::size_t bytes) {
       }
     }
   }
+  bool grew = false;
   if (blk == nullptr) {
     const std::scoped_lock lock(cls.mutex);
     blk = cls.free_list;
@@ -450,6 +451,7 @@ Result<FrameRef> TablePool::allocate(std::size_t bytes) {
       // one heap block at a time as before.
       if (hugepages_ && hugepages_ok_.load(std::memory_order_relaxed)) {
         blk = carve_from_arena(cls, static_cast<std::uint32_t>(idx));
+        grew = blk != nullptr;
       }
       if (blk == nullptr) {
         blk = new_raw_block(this, cls.block_bytes,
@@ -459,11 +461,15 @@ Result<FrameRef> TablePool::allocate(std::size_t bytes) {
           return {Errc::ResourceExhausted, "out of memory growing pool"};
         }
         cls.storage.push_back(blk);
+        grew = true;
         stats_.grows.fetch_add(1, std::memory_order_relaxed);
         stats_.bytes_reserved.fetch_add(cls.block_bytes,
                                         std::memory_order_relaxed);
       }
     }
+  }
+  if (grew) {
+    notify_grow();  // outside the class lock, like notify_reclaim
   }
   blk->next_free = nullptr;
   blk->size = static_cast<std::uint32_t>(bytes);

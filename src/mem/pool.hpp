@@ -266,7 +266,44 @@ class Pool {
     reclaim_armed_.store(true, std::memory_order_release);
   }
 
+  // -- growth notification --------------------------------------------------
+  // Consumers that register pool memory with an external party (the
+  // io_uring engine provides pool blocks to the kernel as rx buffers) need
+  // to hear when the pool gains capacity, not only when blocks come back:
+  // a pool that GROWS can satisfy an allocation that previously failed
+  // even though nothing was recycled. Growth is rare (TablePool creates a
+  // block/arena the first time a class needs it), so listeners fire
+  // unconditionally - no arming protocol. Same rules as reclaim listeners:
+  // cheap, non-throwing, no re-entry into the pool.
+
+  /// Registers `fn` under `owner` (the deregistration key).
+  void add_grow_listener(const void* owner, std::function<void()> fn) {
+    const std::scoped_lock lock(reclaim_mutex_);
+    grow_listeners_.emplace_back(owner, std::move(fn));
+    has_grow_listeners_.store(true, std::memory_order_release);
+  }
+  /// Removes every grow listener registered under `owner`.
+  void remove_grow_listener(const void* owner) noexcept {
+    const std::scoped_lock lock(reclaim_mutex_);
+    std::erase_if(grow_listeners_,
+                  [owner](const auto& e) { return e.first == owner; });
+    has_grow_listeners_.store(!grow_listeners_.empty(),
+                              std::memory_order_release);
+  }
+
  protected:
+  /// Fires the grow listeners. Implementations call this after creating
+  /// new block storage, AFTER their free-list locks are released.
+  void notify_grow() noexcept {
+    if (!has_grow_listeners_.load(std::memory_order_acquire)) {
+      return;  // fast path: nobody listening
+    }
+    const std::scoped_lock lock(reclaim_mutex_);
+    for (const auto& [owner, fn] : grow_listeners_) {
+      fn();
+    }
+  }
+
   /// Fires the armed listeners. Implementations call this at the end of
   /// every recycle path, AFTER their free-list locks are released (the
   /// listeners may take consumer-side locks).
@@ -291,9 +328,12 @@ class Pool {
 
   std::atomic<std::uint64_t> views_{0};
   std::atomic<bool> reclaim_armed_{false};
+  std::atomic<bool> has_grow_listeners_{false};
   std::mutex reclaim_mutex_;
   std::vector<std::pair<const void*, std::function<void()>>>
       reclaim_listeners_;
+  std::vector<std::pair<const void*, std::function<void()>>>
+      grow_listeners_;
 };
 
 /// Bin description for SimplePool provisioning.

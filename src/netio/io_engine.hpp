@@ -1,0 +1,132 @@
+// io_engine.hpp - the wire-engine seam between the TCP transport and the
+// kernel event API.
+//
+// Two backends implement it:
+//  * Reactor (reactor.hpp)      - epoll readiness. Events say "fd is
+//    readable/writable"; the owner performs the recv/sendmsg syscalls.
+//  * UringEngine (uring_engine.hpp) - io_uring completions. Events carry
+//    the received bytes themselves (a pooled block filled by the kernel via
+//    a provided-buffer ring) and tx completions for SQEs the owner
+//    submitted; the owner makes no data syscalls at all.
+//
+// The interface is deliberately the union of both models rather than a
+// lowest common denominator: a readiness backend leaves the completion
+// fields defaulted and ignores submit_tx/flush_submissions, and the owner
+// branches on completion_mode() exactly once per event. This keeps the
+// PR-8 lifecycle machinery (credit flow control, shedding, parking,
+// heartbeats, reconnect) backend-agnostic - only the innermost rx/tx hops
+// differ.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "mem/pool.hpp"
+#include "util/status.hpp"
+
+namespace xdaq::netio {
+
+class IoEngine {
+ public:
+  enum class Backend { kEpoll, kUring };
+
+  /// One ready fd (readiness backend) or one completion (completion
+  /// backend). `error` covers EPOLLERR/EPOLLHUP and fatal rx errors / EOF;
+  /// on a readiness backend the owner should attempt a final drain, on a
+  /// completion backend all preceding data already arrived as rx events.
+  struct Event {
+    int fd = -1;
+    // -- readiness (epoll) --
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+    // -- completions (uring) --
+    /// Received bytes in a pooled block (size() == byte count). The block
+    /// came from the engine's provided-buffer ring; ownership transfers to
+    /// the event consumer.
+    mem::FrameRef rx;
+    /// The fd's multishot recv stopped because the buffer ring starved
+    /// (pool exhausted). The owner parks the connection and re-arms via
+    /// mod(fd, read=true) once the pool reclaims.
+    bool rx_stopped = false;
+    /// A submit_tx() for this fd completed.
+    bool tx_done = false;
+    /// Bytes accepted by the kernel, or a negative errno.
+    std::int64_t tx_res = 0;
+  };
+
+  virtual ~IoEngine() = default;
+
+  [[nodiscard]] virtual Backend backend() const noexcept = 0;
+
+  virtual Status init() = 0;
+  [[nodiscard]] virtual bool valid() const noexcept = 0;
+  virtual void close() noexcept = 0;
+
+  /// Registers `fd` with the given interest. One registration per fd. On a
+  /// completion backend `read` arms multishot recv into pooled buffers.
+  virtual Status add(int fd, bool read, bool write) = 0;
+  /// Readiness-only registration (listening sockets): fires `readable`,
+  /// never rx completions, on both backends.
+  virtual Status add_poll(int fd) { return add(fd, true, false); }
+  /// Replaces `fd`'s interest. Both flags false parks the fd (on a
+  /// completion backend this cancels the in-flight multishot recv);
+  /// read=true re-arms it. Write interest is meaningful only on a
+  /// readiness backend - completion backends resume tx by resubmission.
+  virtual Status mod(int fd, bool read, bool write) = 0;
+  /// Deregisters `fd`. In-flight operations are cancelled; their
+  /// completions are absorbed internally.
+  virtual Status del(int fd) = 0;
+
+  /// Makes a concurrent (or the next) wait() return immediately. Safe from
+  /// any thread. Wakes already pending are absorbed (see wakes_coalesced).
+  virtual void wake() noexcept = 0;
+
+  /// Waits up to timeout_ms (-1 = indefinitely) and returns the ready
+  /// events. The span aliases an internal buffer valid until the next
+  /// wait(). A wake() produces an empty (or shorter) ready set, never an
+  /// event of its own. Single-consumer: one owning engine thread.
+  virtual Result<std::span<Event>> wait(int timeout_ms) = 0;
+
+  // -- completion-backend hooks (no-ops on readiness backends) --------------
+
+  /// True when rx/tx flow through completions (submit_tx / Event::rx)
+  /// instead of readiness + caller syscalls.
+  [[nodiscard]] virtual bool completion_mode() const noexcept {
+    return false;
+  }
+
+  /// Queues one gathered send for `fd` covering `parts` minus the first
+  /// `skip` bytes. At most one tx may be in flight per fd; completion
+  /// arrives as a tx_done event. `pin` is held by the engine until that
+  /// completion, keeping the buffers behind `parts` alive. Nothing reaches
+  /// the kernel until flush_submissions() (end-of-batch coalescing).
+  /// Engine-thread only.
+  virtual Status submit_tx(int fd,
+                           std::span<const std::span<const std::byte>> parts,
+                           std::size_t skip, std::shared_ptr<void> pin) {
+    (void)fd;
+    (void)parts;
+    (void)skip;
+    (void)pin;
+    return {Errc::Unsupported, "submit_tx: readiness backend"};
+  }
+
+  /// Submits every queued SQE in one kernel entry. Engine-thread only.
+  virtual void flush_submissions() noexcept {}
+
+  // -- accounting -----------------------------------------------------------
+
+  /// Kernel transitions this engine has made (epoll_wait/epoll_ctl/eventfd
+  /// syscalls, or io_uring_enter/eventfd syscalls). The transport adds its
+  /// own recv/sendmsg calls on a readiness backend; the sum is the
+  /// numerator of the syscalls-per-frame gauge.
+  [[nodiscard]] virtual std::uint64_t kernel_entries() const noexcept = 0;
+
+  /// Cross-thread wakes absorbed because a wake was already pending.
+  [[nodiscard]] virtual std::uint64_t wakes_coalesced() const noexcept = 0;
+};
+
+}  // namespace xdaq::netio

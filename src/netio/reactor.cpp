@@ -47,6 +47,7 @@ Status Reactor::init() {
     close();
     return st;
   }
+  wake_pending_.store(false, std::memory_order_relaxed);
   return Status::ok();
 }
 
@@ -54,6 +55,7 @@ Status Reactor::add(int fd, bool read, bool write) {
   epoll_event ev{};
   ev.events = interest_mask(read, write);
   ev.data.fd = fd;
+  entries_.fetch_add(1, std::memory_order_relaxed);
   if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
     return errno_status(Errc::IoError, "epoll_ctl(add)");
   }
@@ -64,6 +66,7 @@ Status Reactor::mod(int fd, bool read, bool write) {
   epoll_event ev{};
   ev.events = interest_mask(read, write);
   ev.data.fd = fd;
+  entries_.fetch_add(1, std::memory_order_relaxed);
   if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
     return errno_status(Errc::IoError, "epoll_ctl(mod)");
   }
@@ -71,6 +74,7 @@ Status Reactor::mod(int fd, bool read, bool write) {
 }
 
 Status Reactor::del(int fd) {
+  entries_.fetch_add(1, std::memory_order_relaxed);
   if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
     return errno_status(Errc::IoError, "epoll_ctl(del)");
   }
@@ -78,17 +82,28 @@ Status Reactor::del(int fd) {
 }
 
 void Reactor::wake() noexcept {
-  if (wakefd_ >= 0) {
-    const std::uint64_t one = 1;
-    [[maybe_unused]] const ssize_t n =
-        ::write(wakefd_, &one, sizeof(one));  // EAGAIN = already pending
+  if (wakefd_ < 0) {
+    return;
   }
+  // Pending-wake latch: the first caller of a burst writes the eventfd,
+  // later callers see the latch still set and ride that write. The waiter
+  // clears the latch before draining, so a caller can never observe the
+  // latch set after its wake has already been consumed.
+  if (wake_pending_.exchange(true, std::memory_order_acq_rel)) {
+    wakes_coalesced_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t one = 1;
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  [[maybe_unused]] const ssize_t n =
+      ::write(wakefd_, &one, sizeof(one));  // EAGAIN = already pending
 }
 
-Result<std::span<const Reactor::Event>> Reactor::wait(int timeout_ms) {
+Result<std::span<Reactor::Event>> Reactor::wait(int timeout_ms) {
   std::array<epoll_event, 256> evs;
   int n;
   for (;;) {
+    entries_.fetch_add(1, std::memory_order_relaxed);
     n = ::epoll_wait(epfd_, evs.data(), static_cast<int>(evs.size()),
                      timeout_ms);
     if (n >= 0) {
@@ -102,7 +117,12 @@ Result<std::span<const Reactor::Event>> Reactor::wait(int timeout_ms) {
   for (int i = 0; i < n; ++i) {
     const epoll_event& ev = evs[static_cast<std::size_t>(i)];
     if (ev.data.fd == wakefd_) {
+      // Clear the latch BEFORE draining: a wake that lands after this
+      // store writes the eventfd again (next wait returns immediately); a
+      // wake that landed before is covered by this very wakeup.
+      wake_pending_.store(false, std::memory_order_release);
       std::uint64_t drained = 0;
+      entries_.fetch_add(1, std::memory_order_relaxed);
       [[maybe_unused]] const ssize_t r =
           ::read(wakefd_, &drained, sizeof(drained));
       continue;
@@ -114,7 +134,7 @@ Result<std::span<const Reactor::Event>> Reactor::wait(int timeout_ms) {
     out.error = (ev.events & (EPOLLERR | EPOLLHUP)) != 0;
     ready_.push_back(out);
   }
-  return std::span<const Event>(ready_);
+  return std::span<Event>(ready_);
 }
 
 void Reactor::close() noexcept {

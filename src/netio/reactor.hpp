@@ -15,67 +15,85 @@
 // write is outstanding (EAGAIN), mirroring the classic reactor discipline.
 //
 // wake() makes any blocked wait() return early via an eventfd registered
-// in the same epoll - used for shutdown and for pool-reclaim re-arming.
+// in the same epoll - used for shutdown and for pool-reclaim re-arming. A
+// burst of wakes is coalesced: a pending-wake latch means the first caller
+// writes the eventfd and the rest ride the same write (counted in
+// wakes_coalesced), so N cross-thread add/mod/del calls cost one syscall.
 //
 // Thread contract: wait() is single-consumer (one owning reactor thread);
 // add/mod/del/wake are safe from any thread (epoll_ctl and eventfd writes
 // are kernel-serialized against a concurrent epoll_wait).
+//
+// Reactor is the readiness implementation of IoEngine; the completion
+// implementation is UringEngine (uring_engine.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "netio/io_engine.hpp"
 #include "util/status.hpp"
 
 namespace xdaq::netio {
 
-class Reactor {
+class Reactor final : public IoEngine {
  public:
-  /// One ready fd. `error` covers EPOLLERR | EPOLLHUP (the owner should
-  /// attempt a final drain - EOF surfaces through the read path - then
-  /// drop the connection).
-  struct Event {
-    int fd = -1;
-    bool readable = false;
-    bool writable = false;
-    bool error = false;
-  };
+  using Event = IoEngine::Event;
 
   Reactor() = default;
-  ~Reactor() { close(); }
+  ~Reactor() override { close(); }
 
   Reactor(const Reactor&) = delete;
   Reactor& operator=(const Reactor&) = delete;
 
+  [[nodiscard]] Backend backend() const noexcept override {
+    return Backend::kEpoll;
+  }
+
   /// Creates the epoll instance and the wakeup eventfd.
-  Status init();
-  [[nodiscard]] bool valid() const noexcept { return epfd_ >= 0; }
+  Status init() override;
+  [[nodiscard]] bool valid() const noexcept override { return epfd_ >= 0; }
 
   /// Registers `fd` with the given interest. One registration per fd.
-  Status add(int fd, bool read, bool write);
+  Status add(int fd, bool read, bool write) override;
   /// Replaces `fd`'s interest set (both flags false parks the fd: it stays
   /// registered but never fires - the disarm half of edge-aware interest).
-  Status mod(int fd, bool read, bool write);
+  Status mod(int fd, bool read, bool write) override;
   /// Deregisters `fd`. Safe to call for an fd the kernel already dropped
   /// (close() auto-deregisters); errors are reported but harmless then.
-  Status del(int fd);
+  Status del(int fd) override;
 
   /// Makes a concurrent (or the next) wait() return immediately.
-  void wake() noexcept;
+  void wake() noexcept override;
 
   /// Waits up to timeout_ms (-1 = indefinitely) and returns the ready
   /// events. The span aliases an internal buffer valid until the next
   /// wait(). A wake() produces an empty (or shorter) ready set, never an
   /// event for the eventfd itself.
-  Result<std::span<const Event>> wait(int timeout_ms);
+  Result<std::span<Event>> wait(int timeout_ms) override;
 
-  void close() noexcept;
+  void close() noexcept override;
+
+  [[nodiscard]] std::uint64_t kernel_entries() const noexcept override {
+    return entries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t wakes_coalesced() const noexcept override {
+    return wakes_coalesced_.load(std::memory_order_relaxed);
+  }
 
  private:
   int epfd_ = -1;
   int wakefd_ = -1;
   std::vector<Event> ready_;
+  /// True while an eventfd write is pending / being consumed: set by the
+  /// winning wake(), cleared by wait() *before* it drains the eventfd, so a
+  /// wake arriving mid-drain either sees false (and writes again) or rides
+  /// the in-progress wakeup - never lost, never double-paid.
+  std::atomic<bool> wake_pending_{false};
+  std::atomic<std::uint64_t> wakes_coalesced_{0};
+  std::atomic<std::uint64_t> entries_{0};  ///< syscalls made by this engine
 };
 
 }  // namespace xdaq::netio

@@ -1,0 +1,1109 @@
+#include "netio/uring_engine.hpp"
+
+#if __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <sys/syscall.h>
+#endif
+
+// The engine needs the modern io_uring surface: multishot recv (6.0+
+// headers) and provided-buffer rings (5.19+). Older trees compile the stub
+// at the bottom of this file and UringEngine::supported() reports why;
+// runtime kernel support is probed separately (see run_probe).
+#if defined(IORING_RECV_MULTISHOT) && defined(IORING_POLL_ADD_MULTI) && \
+    defined(__NR_io_uring_setup)
+#define XDAQ_URING_IMPL 1
+#endif
+
+#ifdef XDAQ_URING_IMPL
+
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+namespace xdaq::netio {
+
+namespace {
+
+Status errno_status(Errc code, const char* what) {
+  return {code, std::string(what) + ": " + std::strerror(errno)};
+}
+
+int sys_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_uring_register(int fd, unsigned opcode, const void* arg,
+                       unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+int sys_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags, const void* arg, std::size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+// user_data layout: kind(8) | generation(24) | fd(32). The generation lets
+// a completion that outlives its registration (fd dropped, number reused)
+// be told apart from the current occupant of the same fd.
+enum UdKind : std::uint64_t {
+  kUdWake = 1,
+  kUdRecv = 2,
+  kUdSend = 3,
+  kUdPoll = 4,
+  kUdCancel = 5,
+};
+
+constexpr std::uint64_t make_ud(UdKind kind, std::uint32_t gen,
+                                int fd) noexcept {
+  return (static_cast<std::uint64_t>(kind) << 56) |
+         (static_cast<std::uint64_t>(gen & 0xFFFFFFU) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+constexpr UdKind ud_kind(std::uint64_t ud) noexcept {
+  return static_cast<UdKind>(ud >> 56);
+}
+constexpr std::uint32_t ud_gen(std::uint64_t ud) noexcept {
+  return static_cast<std::uint32_t>(ud >> 32) & 0xFFFFFFU;
+}
+constexpr int ud_fd(std::uint64_t ud) noexcept {
+  return static_cast<int>(static_cast<std::uint32_t>(ud));
+}
+
+// The ring indices live in kernel-shared mmaps as plain integers; all
+// cross-side ordering goes through atomic_ref acquire/release on them.
+template <typename T>
+T atomic_load_acquire(const T* p) noexcept {
+  return std::atomic_ref<const T>(*p).load(std::memory_order_acquire);
+}
+template <typename T>
+void atomic_store_release(T* p, T v) noexcept {
+  std::atomic_ref<T>(*p).store(v, std::memory_order_release);
+}
+
+}  // namespace
+
+/// Everything that talks to the kernel. Engine-thread-only after init(),
+/// except the fields UringEngine itself guards (op queue, wake latch).
+struct UringEngine::Ring {
+  UringEngine* eng = nullptr;
+
+  int fd = -1;
+  int wakefd = -1;
+
+  // mmap'd submission/completion rings. With IORING_FEAT_SINGLE_MMAP the
+  // cq pointers alias sq_mmap and cq_mmap stays null.
+  void* sq_mmap = nullptr;
+  std::size_t sq_mmap_sz = 0;
+  void* cq_mmap = nullptr;
+  std::size_t cq_mmap_sz = 0;
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_sz = 0;
+
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned sq_entries = 0;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+
+  unsigned to_submit = 0;  ///< SQEs published but not yet entered
+
+  // Provided-buffer ring: slot i pins a pool block via slots[i]; consumed
+  // slots are re-provided (same bid, fresh block) as completions drain.
+  io_uring_buf_ring* br = nullptr;
+  // Entry array at the ring base. Never address entries through br->bufs:
+  // under C++ the __DECLARE_FLEX_ARRAY compatibility wrapper places bufs[]
+  // at offset 8 (empty-struct member + alignment), while the kernel reads
+  // io_uring_buf entries from ring_addr + i * 16. Only the tail word
+  // (offset 14, overlaying bufs[0].resv) is shared with the header.
+  io_uring_buf* br_entries = nullptr;
+  std::size_t br_sz = 0;
+  unsigned br_mask = 0;
+  std::uint16_t br_tail = 0;
+  std::vector<mem::FrameRef> slots;
+  unsigned slots_missing = 0;
+
+  struct TxBuf {
+    std::vector<iovec> iov;
+    msghdr mh{};
+    std::shared_ptr<void> pin;  ///< keeps the sent bytes alive until CQE
+    std::uint64_t ud = 0;
+  };
+
+  struct FdState {
+    std::uint32_t gen = 0;
+    bool poll_only = false;
+    bool want_read = false;
+    bool rx_armed = false;
+    bool tx_inflight = false;
+    bool dying = false;  ///< del'd but a tx CQE is still outstanding
+    std::uint64_t recv_ud = 0;
+    std::unique_ptr<TxBuf> tx;
+    std::vector<Op> deferred;  ///< ops for a reused fd number, applied
+                               ///< once the dying state retires
+  };
+
+  std::unordered_map<int, FdState> fds;
+  std::uint32_t gen_counter = 0;
+  std::vector<Event> events;
+
+  bool map_rings(const io_uring_params& p, Status* st) noexcept;
+  /// A park/del may have left the provided-buffer ring serving nobody;
+  /// checked (and cleared) by release_captive_slots.
+  bool release_check = false;
+
+  io_uring_sqe* get_sqe() noexcept;
+  void flush() noexcept;
+  bool provide_slot(unsigned bid) noexcept;
+  void replenish_slots() noexcept;
+  void release_captive_slots() noexcept;
+  bool arm_recv(int sock, FdState& st) noexcept;
+  void arm_wake_poll() noexcept;
+  void arm_poll(int sock, FdState& st) noexcept;
+  void push_cancel(std::uint64_t target_ud) noexcept;
+  void apply_op(const Op& op) noexcept;
+  void drain_ops() noexcept;
+  void retire_dying(int sock) noexcept;
+  void handle_cqe(const io_uring_cqe& cqe) noexcept;
+  void harvest() noexcept;
+  void unmap() noexcept;
+};
+
+bool UringEngine::Ring::map_rings(const io_uring_params& p,
+                                  Status* st) noexcept {
+  sq_mmap_sz = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  cq_mmap_sz = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  const bool single = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single) {
+    sq_mmap_sz = cq_mmap_sz = std::max(sq_mmap_sz, cq_mmap_sz);
+  }
+  sq_mmap = ::mmap(nullptr, sq_mmap_sz, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (sq_mmap == MAP_FAILED) {
+    sq_mmap = nullptr;
+    *st = errno_status(Errc::IoError, "mmap(sq ring)");
+    return false;
+  }
+  if (!single) {
+    cq_mmap = ::mmap(nullptr, cq_mmap_sz, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+    if (cq_mmap == MAP_FAILED) {
+      cq_mmap = nullptr;
+      *st = errno_status(Errc::IoError, "mmap(cq ring)");
+      return false;
+    }
+  }
+  sqes_sz = p.sq_entries * sizeof(io_uring_sqe);
+  void* sqes_mem = ::mmap(nullptr, sqes_sz, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+  if (sqes_mem == MAP_FAILED) {
+    *st = errno_status(Errc::IoError, "mmap(sqes)");
+    return false;
+  }
+  sqes = static_cast<io_uring_sqe*>(sqes_mem);
+
+  auto* sq = static_cast<std::byte*>(sq_mmap);
+  auto* cq = static_cast<std::byte*>(single ? sq_mmap : cq_mmap);
+  sq_head = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+  sq_tail = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+  sq_mask = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+  sq_entries = p.sq_entries;
+  sq_array = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+  cq_head = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+  cq_tail = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+  cq_mask = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+  cqes = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+  return true;
+}
+
+void UringEngine::Ring::unmap() noexcept {
+  if (br != nullptr) {
+    ::munmap(br, br_sz);
+    br = nullptr;
+  }
+  if (sqes != nullptr) {
+    ::munmap(sqes, sqes_sz);
+    sqes = nullptr;
+  }
+  if (cq_mmap != nullptr) {
+    ::munmap(cq_mmap, cq_mmap_sz);
+    cq_mmap = nullptr;
+  }
+  if (sq_mmap != nullptr) {
+    ::munmap(sq_mmap, sq_mmap_sz);
+    sq_mmap = nullptr;
+  }
+}
+
+io_uring_sqe* UringEngine::Ring::get_sqe() noexcept {
+  unsigned head = atomic_load_acquire(sq_head);
+  if (*sq_tail - head >= sq_entries) {
+    flush();  // make room: hand queued SQEs to the kernel
+    head = atomic_load_acquire(sq_head);
+    if (*sq_tail - head >= sq_entries) {
+      return nullptr;  // kernel refused (CQ overflow backpressure)
+    }
+  }
+  const unsigned tail = *sq_tail;
+  const unsigned idx = tail & sq_mask;
+  io_uring_sqe* sqe = &sqes[idx];
+  std::memset(sqe, 0, sizeof(*sqe));
+  sq_array[idx] = idx;
+  atomic_store_release(sq_tail, tail + 1);
+  ++to_submit;
+  return sqe;
+}
+
+void UringEngine::Ring::flush() noexcept {
+  if (to_submit == 0) {
+    return;
+  }
+  eng->enter_calls_.fetch_add(1, std::memory_order_relaxed);
+  const int n = sys_uring_enter(fd, to_submit, 0, 0, nullptr, 0);
+  if (n > 0) {
+    eng->sqe_batches_.fetch_add(1, std::memory_order_relaxed);
+    eng->sqes_submitted_.fetch_add(static_cast<unsigned>(n),
+                                   std::memory_order_relaxed);
+    to_submit -= std::min(to_submit, static_cast<unsigned>(n));
+  }
+  // n < 0 (EBUSY: CQ overflow) leaves to_submit for the next wait(),
+  // which harvests completions first and retries.
+}
+
+bool UringEngine::Ring::provide_slot(unsigned bid) noexcept {
+  auto res = eng->pool_.allocate(eng->cfg_.rx_slot_bytes);
+  if (!res.is_ok()) {
+    eng->pool_.arm_reclaim();
+    return false;
+  }
+  mem::FrameRef ref = std::move(res.value());
+  io_uring_buf& slot = br_entries[br_tail & br_mask];
+  slot.addr = reinterpret_cast<std::uint64_t>(ref.bytes().data());
+  slot.len = static_cast<std::uint32_t>(eng->cfg_.rx_slot_bytes);
+  slot.bid = static_cast<std::uint16_t>(bid);
+  slots[bid] = std::move(ref);
+  ++br_tail;
+  atomic_store_release(&br->tail, br_tail);
+  eng->slot_refills_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void UringEngine::Ring::replenish_slots() noexcept {
+  if (slots_missing == 0) {
+    return;
+  }
+  for (unsigned bid = 0; bid < slots.size() && slots_missing > 0; ++bid) {
+    if (slots[bid].valid()) {
+      continue;
+    }
+    if (!provide_slot(bid)) {
+      return;  // pool exhausted; reclaim listener will wake us to retry
+    }
+    --slots_missing;
+  }
+}
+
+void UringEngine::Ring::release_captive_slots() noexcept {
+  // With every multishot recv disarmed and no fd wanting one, the blocks
+  // provided to the kernel serve nobody - and on a fully consumed pool
+  // they are exactly the reclaim a parked connection's roll is waiting
+  // for. Unregister the ring (resetting the kernel's head), hand the
+  // blocks back to the pool, and re-register empty; the next unpark's
+  // arm_recv replenishes from the recovered pool.
+  bool provided = false;
+  for (const auto& s : slots) {
+    if (s.valid()) {
+      provided = true;
+      break;
+    }
+  }
+  if (!provided) {
+    release_check = false;
+    return;
+  }
+  for (const auto& [sock, st] : fds) {
+    if (st.poll_only || st.dying) {
+      continue;
+    }
+    if (st.rx_armed || st.want_read) {
+      return;  // someone still reads; slots stay armed for them
+    }
+  }
+  io_uring_buf_reg unreg{};
+  unreg.bgid = eng->cfg_.buf_group;
+  if (sys_uring_register(fd, IORING_UNREGISTER_PBUF_RING, &unreg, 1) < 0) {
+    release_check = false;
+    return;
+  }
+  std::memset(br, 0, br_sz);
+  br_tail = 0;
+  io_uring_buf_reg reg{};
+  reg.ring_addr = reinterpret_cast<std::uint64_t>(br);
+  reg.ring_entries = eng->cfg_.rx_slots;
+  reg.bgid = eng->cfg_.buf_group;
+  [[maybe_unused]] const int rc =
+      sys_uring_register(fd, IORING_REGISTER_PBUF_RING, &reg, 1);
+  for (auto& s : slots) {
+    if (s.valid()) {
+      s.reset();  // back to the pool -> armed reclaim listeners fire
+      ++slots_missing;
+    }
+  }
+  release_check = false;
+}
+
+bool UringEngine::Ring::arm_recv(int sock, FdState& st) noexcept {
+  io_uring_sqe* sqe = get_sqe();
+  if (sqe == nullptr) {
+    return false;
+  }
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = sock;
+  sqe->ioprio = IORING_RECV_MULTISHOT;
+  sqe->flags = IOSQE_BUFFER_SELECT;
+  sqe->buf_group = eng->cfg_.buf_group;
+  st.recv_ud = make_ud(kUdRecv, st.gen, sock);
+  sqe->user_data = st.recv_ud;
+  st.rx_armed = true;
+  return true;
+}
+
+void UringEngine::Ring::arm_wake_poll() noexcept {
+  io_uring_sqe* sqe = get_sqe();
+  if (sqe == nullptr) {
+    return;
+  }
+  sqe->opcode = IORING_OP_POLL_ADD;
+  sqe->fd = wakefd;
+  sqe->len = IORING_POLL_ADD_MULTI;
+  sqe->poll32_events = POLLIN;
+  sqe->user_data = make_ud(kUdWake, 0, wakefd);
+}
+
+void UringEngine::Ring::arm_poll(int sock, FdState& st) noexcept {
+  io_uring_sqe* sqe = get_sqe();
+  if (sqe == nullptr) {
+    return;
+  }
+  sqe->opcode = IORING_OP_POLL_ADD;
+  sqe->fd = sock;
+  sqe->len = IORING_POLL_ADD_MULTI;
+  sqe->poll32_events = POLLIN;
+  sqe->user_data = make_ud(kUdPoll, st.gen, sock);
+  st.rx_armed = true;
+}
+
+void UringEngine::Ring::push_cancel(std::uint64_t target_ud) noexcept {
+  io_uring_sqe* sqe = get_sqe();
+  if (sqe == nullptr) {
+    return;
+  }
+  sqe->opcode = IORING_OP_ASYNC_CANCEL;
+  sqe->fd = -1;
+  sqe->addr = target_ud;
+  sqe->user_data = make_ud(kUdCancel, 0, 0);
+}
+
+void UringEngine::Ring::apply_op(const Op& op) noexcept {
+  auto it = fds.find(op.fd);
+  if (it != fds.end() && it->second.dying) {
+    // The fd number was dropped and reused while a tx CQE is still in
+    // flight for the old occupant; apply this op once it retires.
+    it->second.deferred.push_back(op);
+    return;
+  }
+  switch (op.kind) {
+    case Op::Kind::kAdd:
+    case Op::Kind::kAddPoll: {
+      FdState st;
+      st.gen = ++gen_counter;
+      st.poll_only = op.kind == Op::Kind::kAddPoll;
+      st.want_read = op.read;
+      FdState& ref = fds[op.fd] = std::move(st);
+      if (op.read) {
+        if (ref.poll_only) {
+          arm_poll(op.fd, ref);
+        } else {
+          replenish_slots();
+          arm_recv(op.fd, ref);
+        }
+      }
+      break;
+    }
+    case Op::Kind::kMod: {
+      if (it == fds.end()) {
+        break;
+      }
+      FdState& st = it->second;
+      st.want_read = op.read;
+      if (!op.read && !st.poll_only) {
+        release_check = true;  // last reader parked? free captive slots
+      }
+      if (!op.read && st.rx_armed) {
+        push_cancel(st.recv_ud);  // park: stop the multishot recv
+      } else if (op.read && !st.rx_armed && !st.poll_only) {
+        replenish_slots();
+        if (arm_recv(op.fd, st)) {
+          eng->multishot_rearms_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Write interest has no meaning here: tx resumes by resubmission.
+      break;
+    }
+    case Op::Kind::kDel: {
+      if (it == fds.end()) {
+        break;
+      }
+      FdState& st = it->second;
+      if (!st.poll_only) {
+        release_check = true;
+      }
+      if (st.rx_armed) {
+        push_cancel(st.recv_ud);
+      }
+      if (st.tx_inflight) {
+        // Keep the state (and the pinned tx buffers) until the tx CQE
+        // retires it; meanwhile the fd number may be reused - ops for the
+        // new occupant queue on `deferred`.
+        st.dying = true;
+        st.want_read = false;
+        push_cancel(st.tx->ud);
+      } else {
+        fds.erase(it);
+      }
+      break;
+    }
+  }
+}
+
+void UringEngine::Ring::drain_ops() noexcept {
+  std::vector<Op> ops;
+  {
+    const std::scoped_lock lock(eng->ops_mutex_);
+    ops.swap(eng->ops_);
+  }
+  for (const Op& op : ops) {
+    apply_op(op);
+  }
+}
+
+void UringEngine::Ring::retire_dying(int sock) noexcept {
+  auto it = fds.find(sock);
+  if (it == fds.end() || !it->second.dying) {
+    return;
+  }
+  std::vector<Op> deferred = std::move(it->second.deferred);
+  fds.erase(it);
+  for (const Op& op : deferred) {
+    apply_op(op);
+  }
+}
+
+void UringEngine::Ring::handle_cqe(const io_uring_cqe& cqe) noexcept {
+  const std::uint64_t ud = cqe.user_data;
+  switch (ud_kind(ud)) {
+    case kUdWake: {
+      // Clear the latch BEFORE draining, mirroring Reactor::wait.
+      eng->wake_pending_.store(false, std::memory_order_release);
+      std::uint64_t drained = 0;
+      eng->eventfd_syscalls_.fetch_add(1, std::memory_order_relaxed);
+      [[maybe_unused]] const ssize_t n =
+          ::read(wakefd, &drained, sizeof(drained));
+      if ((cqe.flags & IORING_CQE_F_MORE) == 0) {
+        arm_wake_poll();
+      }
+      break;
+    }
+    case kUdPoll: {
+      auto it = fds.find(ud_fd(ud));
+      if (it == fds.end() || it->second.gen != ud_gen(ud)) {
+        break;
+      }
+      Event ev;
+      ev.fd = ud_fd(ud);
+      if (cqe.res < 0) {
+        ev.error = true;
+      } else {
+        const auto mask = static_cast<unsigned>(cqe.res);
+        ev.readable = (mask & POLLIN) != 0;
+        ev.error = (mask & (POLLERR | POLLHUP)) != 0;
+      }
+      events.push_back(std::move(ev));
+      if ((cqe.flags & IORING_CQE_F_MORE) == 0) {
+        it->second.rx_armed = false;
+        if (it->second.want_read) {
+          arm_poll(ud_fd(ud), it->second);
+        }
+      }
+      break;
+    }
+    case kUdRecv: {
+      // Reclaim the consumed ring slot first, whatever the fd's fate: the
+      // buffer belongs to the engine, not the (possibly gone) connection.
+      mem::FrameRef blk;
+      if ((cqe.flags & IORING_CQE_F_BUFFER) != 0) {
+        const unsigned bid = cqe.flags >> IORING_CQE_BUFFER_SHIFT;
+        if (bid < slots.size()) {
+          blk = std::move(slots[bid]);
+          if (!provide_slot(bid)) {
+            ++slots_missing;
+          }
+        }
+      }
+      const int sock = ud_fd(ud);
+      auto it = fds.find(sock);
+      const bool live = it != fds.end() && it->second.gen == ud_gen(ud) &&
+                        !it->second.poll_only;
+      if (cqe.res > 0 && blk.valid() && live) {
+        blk.resize(static_cast<std::size_t>(cqe.res));
+        eng->registered_buffer_hits_.fetch_add(1, std::memory_order_relaxed);
+        Event ev;
+        ev.fd = sock;
+        ev.rx = std::move(blk);
+        events.push_back(std::move(ev));
+      }
+      if (live && (cqe.flags & IORING_CQE_F_MORE) == 0) {
+        FdState& st = it->second;
+        st.rx_armed = false;
+        if (cqe.res == -ENOBUFS) {
+          // Buffer ring starved. Two distinct causes share this errno: a
+          // completion burst that outran the per-CQE re-provision cycle
+          // (the pool is fine - refill and re-arm right here), and real
+          // pool exhaustion (provide_slot failed and armed the reclaim
+          // listener - surface rx_stopped so the owner parks until the
+          // pool wakes us). Telling them apart matters: a park with no
+          // armed reclaim never gets its wake.
+          eng->buffer_starvations_.fetch_add(1, std::memory_order_relaxed);
+          if (st.want_read) {
+            replenish_slots();
+            bool ring_has_buffers = false;
+            for (const auto& s : slots) {
+              if (s.valid()) {
+                ring_has_buffers = true;
+                break;
+              }
+            }
+            if (ring_has_buffers && arm_recv(sock, st)) {
+              eng->multishot_rearms_.fetch_add(1,
+                                               std::memory_order_relaxed);
+            } else {
+              Event ev;
+              ev.fd = sock;
+              ev.rx_stopped = true;
+              events.push_back(std::move(ev));
+            }
+          }
+        } else if (cqe.res == 0 || (cqe.res < 0 && cqe.res != -ECANCELED)) {
+          // EOF or a hard error; all preceding data already arrived as
+          // completions, so the owner can drop straight away.
+          Event ev;
+          ev.fd = sock;
+          ev.error = true;
+          events.push_back(std::move(ev));
+        } else if (st.want_read) {
+          // Benign termination (data without F_MORE, or our own cancel
+          // racing an unpark): keep receiving.
+          replenish_slots();
+          if (arm_recv(sock, st)) {
+            eng->multishot_rearms_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      break;
+    }
+    case kUdSend: {
+      const int sock = ud_fd(ud);
+      auto it = fds.find(sock);
+      if (it == fds.end() || it->second.tx == nullptr ||
+          it->second.tx->ud != ud) {
+        break;  // completion for a registration that already retired
+      }
+      FdState& st = it->second;
+      st.tx_inflight = false;
+      st.tx->pin.reset();  // sent bytes may be released
+      if (st.dying) {
+        retire_dying(sock);
+        break;
+      }
+      Event ev;
+      ev.fd = sock;
+      ev.tx_done = true;
+      ev.tx_res = cqe.res;
+      events.push_back(std::move(ev));
+      break;
+    }
+    case kUdCancel:
+      break;  // the cancelled op reports through its own CQE
+  }
+}
+
+void UringEngine::Ring::harvest() noexcept {
+  unsigned head = *cq_head;
+  const unsigned tail = atomic_load_acquire(cq_tail);
+  while (head != tail) {
+    const io_uring_cqe& cqe = cqes[head & cq_mask];
+    ++head;
+    // Publish progressively so a long burst frees CQ room as it drains.
+    atomic_store_release(cq_head, head);
+    handle_cqe(cqe);
+  }
+}
+
+// -- UringEngine ------------------------------------------------------------
+
+UringEngine::UringEngine(mem::Pool& pool, UringConfig cfg)
+    : pool_(pool), cfg_(cfg) {}
+
+UringEngine::~UringEngine() { close(); }
+
+bool UringEngine::valid() const noexcept {
+  return ring_ != nullptr && ring_->fd >= 0;
+}
+
+std::uint64_t UringEngine::kernel_entries() const noexcept {
+  return enter_calls_.load(std::memory_order_relaxed) +
+         eventfd_syscalls_.load(std::memory_order_relaxed);
+}
+
+UringStats UringEngine::stats() const noexcept {
+  UringStats s;
+  s.enter_calls = enter_calls_.load(std::memory_order_relaxed);
+  s.sqe_batches = sqe_batches_.load(std::memory_order_relaxed);
+  s.sqes_submitted = sqes_submitted_.load(std::memory_order_relaxed);
+  s.multishot_rearms = multishot_rearms_.load(std::memory_order_relaxed);
+  s.registered_buffer_hits =
+      registered_buffer_hits_.load(std::memory_order_relaxed);
+  s.buffer_starvations = buffer_starvations_.load(std::memory_order_relaxed);
+  s.slot_refills = slot_refills_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status UringEngine::init() {
+  close();
+  if (cfg_.rx_slots == 0 || (cfg_.rx_slots & (cfg_.rx_slots - 1)) != 0) {
+    return {Errc::InvalidArgument, "rx_slots must be a power of two"};
+  }
+  ring_ = std::make_unique<Ring>();
+  Ring& r = *ring_;
+  r.eng = this;
+
+  io_uring_params p{};
+  r.fd = sys_uring_setup(cfg_.sq_entries, &p);
+  if (r.fd < 0) {
+    const Status st = errno_status(Errc::Unsupported, "io_uring_setup");
+    ring_.reset();
+    return st;
+  }
+  if ((p.features & IORING_FEAT_EXT_ARG) == 0) {
+    close();
+    return {Errc::Unsupported, "io_uring lacks IORING_FEAT_EXT_ARG"};
+  }
+  Status st = Status::ok();
+  if (!r.map_rings(p, &st)) {
+    close();
+    return st;
+  }
+
+  // Provided-buffer ring (the registered pooled rx buffers).
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  r.br_sz = (cfg_.rx_slots * sizeof(io_uring_buf) + page - 1) & ~(page - 1);
+  void* br = ::mmap(nullptr, r.br_sz, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (br == MAP_FAILED) {
+    close();
+    return errno_status(Errc::IoError, "mmap(buf ring)");
+  }
+  r.br = static_cast<io_uring_buf_ring*>(br);
+  r.br_entries = static_cast<io_uring_buf*>(br);
+  r.br_mask = cfg_.rx_slots - 1;
+  io_uring_buf_reg reg{};
+  reg.ring_addr = reinterpret_cast<std::uint64_t>(r.br);
+  reg.ring_entries = cfg_.rx_slots;
+  reg.bgid = cfg_.buf_group;
+  if (sys_uring_register(r.fd, IORING_REGISTER_PBUF_RING, &reg, 1) < 0) {
+    const Status rst =
+        errno_status(Errc::Unsupported, "io_uring_register(PBUF_RING)");
+    close();
+    return rst;
+  }
+  r.slots.resize(cfg_.rx_slots);
+  r.slots_missing = cfg_.rx_slots;
+  r.replenish_slots();
+
+  r.wakefd = ::eventfd(0, EFD_NONBLOCK);
+  if (r.wakefd < 0) {
+    const Status wst = errno_status(Errc::IoError, "eventfd");
+    close();
+    return wst;
+  }
+  wake_pending_.store(false, std::memory_order_relaxed);
+  r.arm_wake_poll();
+  r.flush();
+  return Status::ok();
+}
+
+void UringEngine::close() noexcept {
+  if (!ring_) {
+    return;
+  }
+  Ring& r = *ring_;
+  if (r.br != nullptr && r.fd >= 0) {
+    io_uring_buf_reg reg{};
+    reg.bgid = cfg_.buf_group;
+    (void)sys_uring_register(r.fd, IORING_UNREGISTER_PBUF_RING, &reg, 1);
+  }
+  if (r.wakefd >= 0) {
+    ::close(r.wakefd);
+  }
+  if (r.fd >= 0) {
+    ::close(r.fd);
+  }
+  r.unmap();
+  ring_.reset();
+}
+
+void UringEngine::enqueue_op(Op op) noexcept {
+  {
+    const std::scoped_lock lock(ops_mutex_);
+    ops_.push_back(op);
+  }
+  wake();
+}
+
+Status UringEngine::add(int fd, bool read, bool write) {
+  enqueue_op({Op::Kind::kAdd, fd, read, write});
+  return Status::ok();
+}
+
+Status UringEngine::add_poll(int fd) {
+  enqueue_op({Op::Kind::kAddPoll, fd, true, false});
+  return Status::ok();
+}
+
+Status UringEngine::mod(int fd, bool read, bool write) {
+  enqueue_op({Op::Kind::kMod, fd, read, write});
+  return Status::ok();
+}
+
+Status UringEngine::del(int fd) {
+  enqueue_op({Op::Kind::kDel, fd, false, false});
+  return Status::ok();
+}
+
+Status UringEngine::submit_tx(
+    int fd, std::span<const std::span<const std::byte>> parts,
+    std::size_t skip, std::shared_ptr<void> pin) {
+  Ring& r = *ring_;
+  r.drain_ops();  // a just-registered fd may still sit in the op queue
+  auto it = r.fds.find(fd);
+  if (it == r.fds.end() || it->second.dying) {
+    return {Errc::NotFound, "submit_tx: fd not registered"};
+  }
+  Ring::FdState& st = it->second;
+  if (st.tx_inflight) {
+    return {Errc::InvalidArgument, "submit_tx: tx already in flight"};
+  }
+  if (!st.tx) {
+    st.tx = std::make_unique<Ring::TxBuf>();
+  }
+  Ring::TxBuf& tx = *st.tx;
+  tx.iov.clear();
+  std::size_t remaining_skip = skip;
+  for (const auto& part : parts) {
+    if (remaining_skip >= part.size()) {
+      remaining_skip -= part.size();
+      continue;
+    }
+    iovec iov{};
+    iov.iov_base = const_cast<std::byte*>(part.data()) + remaining_skip;
+    iov.iov_len = part.size() - remaining_skip;
+    remaining_skip = 0;
+    tx.iov.push_back(iov);
+  }
+  if (tx.iov.empty()) {
+    return {Errc::InvalidArgument, "submit_tx: nothing past skip"};
+  }
+  io_uring_sqe* sqe = r.get_sqe();
+  if (sqe == nullptr) {
+    return {Errc::ResourceExhausted, "submission queue full"};
+  }
+  tx.mh = msghdr{};
+  tx.mh.msg_iov = tx.iov.data();
+  tx.mh.msg_iovlen = tx.iov.size();
+  tx.pin = std::move(pin);
+  tx.ud = make_ud(kUdSend, st.gen, fd);
+  sqe->opcode = IORING_OP_SENDMSG;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(&tx.mh);
+  sqe->len = 1;
+  sqe->msg_flags = MSG_NOSIGNAL;
+  sqe->user_data = tx.ud;
+  st.tx_inflight = true;
+  return Status::ok();
+}
+
+void UringEngine::flush_submissions() noexcept {
+  if (ring_) {
+    ring_->flush();
+  }
+}
+
+void UringEngine::wake() noexcept {
+  if (!ring_ || ring_->wakefd < 0) {
+    return;
+  }
+  // Same pending-wake latch as Reactor::wake: one eventfd write covers a
+  // burst of cross-thread wakes.
+  if (wake_pending_.exchange(true, std::memory_order_acq_rel)) {
+    wakes_coalesced_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t one = 1;
+  eventfd_syscalls_.fetch_add(1, std::memory_order_relaxed);
+  [[maybe_unused]] const ssize_t n =
+      ::write(ring_->wakefd, &one, sizeof(one));
+}
+
+Result<std::span<IoEngine::Event>> UringEngine::wait(int timeout_ms) {
+  Ring& r = *ring_;
+  r.events.clear();
+  r.drain_ops();
+  r.replenish_slots();
+  r.harvest();
+  if (r.release_check) {
+    r.release_captive_slots();
+  }
+  if (!r.events.empty()) {
+    r.flush();
+    return std::span<Event>(r.events);
+  }
+  // Nothing ready: submit whatever is queued and block for one completion.
+  __kernel_timespec ts{};
+  io_uring_getevents_arg arg{};
+  const void* argp = nullptr;
+  std::size_t argsz = 0;
+  unsigned flags = IORING_ENTER_GETEVENTS;
+  if (timeout_ms >= 0) {
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+    arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+    argp = &arg;
+    argsz = sizeof(arg);
+    flags |= IORING_ENTER_EXT_ARG;
+  }
+  const unsigned to_submit = r.to_submit;
+  enter_calls_.fetch_add(1, std::memory_order_relaxed);
+  const int n = sys_uring_enter(r.fd, to_submit, 1, flags, argp, argsz);
+  if (n >= 0) {
+    if (n > 0 && to_submit > 0) {
+      sqe_batches_.fetch_add(1, std::memory_order_relaxed);
+      sqes_submitted_.fetch_add(static_cast<unsigned>(n),
+                                std::memory_order_relaxed);
+    }
+    r.to_submit -= std::min(r.to_submit, static_cast<unsigned>(n));
+  } else if (errno != ETIME && errno != EINTR && errno != EBUSY) {
+    return errno_status(Errc::IoError, "io_uring_enter");
+  }
+  r.harvest();
+  return std::span<Event>(r.events);
+}
+
+// -- runtime capability probe ----------------------------------------------
+
+namespace {
+
+struct ProbeResult {
+  bool ok = false;
+  std::string reason;
+};
+
+/// End-to-end smoke of exactly the features the engine uses: setup + ring
+/// mmaps, a provided-buffer ring, a multishot recv that actually selects a
+/// buffer, EXT_ARG timed waits. Run once per process.
+ProbeResult run_probe() {
+  ProbeResult out;
+  if (const char* dis = std::getenv("XDAQ_URING_DISABLE");
+      dis != nullptr && dis[0] != '\0' && dis[0] != '0') {
+    out.reason = "disabled by XDAQ_URING_DISABLE";
+    return out;
+  }
+  io_uring_params p{};
+  const int ring_fd = sys_uring_setup(8, &p);
+  if (ring_fd < 0) {
+    out.reason = std::string("io_uring_setup: ") + std::strerror(errno);
+    return out;
+  }
+  UringEngine::Ring r;
+  r.fd = ring_fd;
+  Status st = Status::ok();
+  void* br_mem = nullptr;
+  int sp[2] = {-1, -1};
+  const auto cleanup = [&] {
+    if (sp[0] >= 0) {
+      ::close(sp[0]);
+    }
+    if (sp[1] >= 0) {
+      ::close(sp[1]);
+    }
+    if (br_mem != nullptr) {
+      ::munmap(br_mem, 4096);
+    }
+    r.unmap();
+    ::close(ring_fd);
+  };
+  if ((p.features & IORING_FEAT_EXT_ARG) == 0) {
+    out.reason = "kernel lacks IORING_FEAT_EXT_ARG";
+    cleanup();
+    return out;
+  }
+  if (!r.map_rings(p, &st)) {
+    out.reason = std::string(st.message());
+    cleanup();
+    return out;
+  }
+  br_mem = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (br_mem == MAP_FAILED) {
+    br_mem = nullptr;
+    out.reason = "mmap(buf ring) failed";
+    cleanup();
+    return out;
+  }
+  auto* br = static_cast<io_uring_buf_ring*>(br_mem);
+  io_uring_buf_reg reg{};
+  reg.ring_addr = reinterpret_cast<std::uint64_t>(br);
+  reg.ring_entries = 4;
+  reg.bgid = 0;
+  if (sys_uring_register(ring_fd, IORING_REGISTER_PBUF_RING, &reg, 1) < 0) {
+    out.reason = std::string("kernel lacks provided-buffer rings: ") +
+                 std::strerror(errno);
+    cleanup();
+    return out;
+  }
+  static char probe_buf[256];
+  // Entries live at the ring base (see Ring::br_entries for why br->bufs
+  // cannot be used from C++).
+  auto* entries = static_cast<io_uring_buf*>(br_mem);
+  entries[0].addr = reinterpret_cast<std::uint64_t>(probe_buf);
+  entries[0].len = sizeof(probe_buf);
+  entries[0].bid = 0;
+  atomic_store_release(&br->tail, static_cast<std::uint16_t>(1));
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sp) != 0) {
+    out.reason = "socketpair failed";
+    cleanup();
+    return out;
+  }
+  const unsigned idx = *r.sq_tail & r.sq_mask;
+  io_uring_sqe* sqe = &r.sqes[idx];
+  std::memset(sqe, 0, sizeof(*sqe));
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = sp[0];
+  sqe->ioprio = IORING_RECV_MULTISHOT;
+  sqe->flags = IOSQE_BUFFER_SELECT;
+  sqe->buf_group = 0;
+  sqe->user_data = 0x7e57;
+  r.sq_array[idx] = idx;
+  atomic_store_release(r.sq_tail, *r.sq_tail + 1);
+  const char msg[] = "uring-probe";
+  [[maybe_unused]] const ssize_t w = ::write(sp[1], msg, sizeof(msg));
+  __kernel_timespec ts{};
+  ts.tv_nsec = 200 * 1000000;
+  io_uring_getevents_arg arg{};
+  arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+  (void)sys_uring_enter(ring_fd, 1, 1,
+                        IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG, &arg,
+                        sizeof(arg));
+  const unsigned tail = atomic_load_acquire(r.cq_tail);
+  bool got = false;
+  for (unsigned head = *r.cq_head; head != tail; ++head) {
+    const io_uring_cqe& cqe = r.cqes[head & r.cq_mask];
+    if (cqe.user_data == 0x7e57 && cqe.res > 0 &&
+        (cqe.flags & IORING_CQE_F_BUFFER) != 0) {
+      got = true;
+    }
+  }
+  if (!got) {
+    out.reason = "multishot recv with provided buffers did not complete";
+    cleanup();
+    return out;
+  }
+  out.ok = true;
+  cleanup();
+  return out;
+}
+
+}  // namespace
+
+bool UringEngine::supported(std::string* reason) {
+  static const ProbeResult probe = run_probe();
+  if (!probe.ok && reason != nullptr) {
+    *reason = probe.reason;
+  }
+  return probe.ok;
+}
+
+}  // namespace xdaq::netio
+
+#else  // !XDAQ_URING_IMPL: headers too old - compile a stub that reports so.
+
+namespace xdaq::netio {
+
+struct UringEngine::Ring {};
+
+UringEngine::UringEngine(mem::Pool& pool, UringConfig cfg)
+    : pool_(pool), cfg_(cfg) {}
+UringEngine::~UringEngine() = default;
+
+bool UringEngine::supported(std::string* reason) {
+  if (reason != nullptr) {
+    *reason = "built without io_uring support (<linux/io_uring.h> too old)";
+  }
+  return false;
+}
+
+Status UringEngine::init() {
+  return {Errc::Unsupported, "io_uring support not compiled in"};
+}
+bool UringEngine::valid() const noexcept { return false; }
+void UringEngine::close() noexcept {}
+Status UringEngine::add(int, bool, bool) {
+  return {Errc::Unsupported, "io_uring support not compiled in"};
+}
+Status UringEngine::add_poll(int) {
+  return {Errc::Unsupported, "io_uring support not compiled in"};
+}
+Status UringEngine::mod(int, bool, bool) {
+  return {Errc::Unsupported, "io_uring support not compiled in"};
+}
+Status UringEngine::del(int) {
+  return {Errc::Unsupported, "io_uring support not compiled in"};
+}
+void UringEngine::wake() noexcept {}
+Result<std::span<IoEngine::Event>> UringEngine::wait(int) {
+  return Status{Errc::Unsupported, "io_uring support not compiled in"};
+}
+Status UringEngine::submit_tx(int,
+                              std::span<const std::span<const std::byte>>,
+                              std::size_t, std::shared_ptr<void>) {
+  return {Errc::Unsupported, "io_uring support not compiled in"};
+}
+void UringEngine::flush_submissions() noexcept {}
+std::uint64_t UringEngine::kernel_entries() const noexcept { return 0; }
+UringStats UringEngine::stats() const noexcept { return {}; }
+void UringEngine::enqueue_op(Op) noexcept {}
+
+}  // namespace xdaq::netio
+
+#endif  // XDAQ_URING_IMPL

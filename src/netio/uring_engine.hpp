@@ -1,0 +1,153 @@
+// uring_engine.hpp - io_uring completion engine for the TCP data path.
+//
+// Where the epoll Reactor reports *readiness* and leaves the recv/sendmsg
+// syscalls to the caller, this engine completes the I/O itself:
+//
+//  * rx: each data fd carries ONE multishot recv SQE selecting from a
+//    provided-buffer ring whose slots are mem::Pool blocks (registered
+//    with the kernel via IORING_REGISTER_PBUF_RING - the modern form of
+//    buffer registration that composes with multishot recv, which the
+//    fixed-buffer table io_uring_register_buffers cannot). A whole rx
+//    burst lands directly in pooled blocks with zero recv syscalls; the
+//    caller parses each block in place and cuts FrameRef views from it,
+//    exactly as the PR-4 zero-copy pipeline does for epoll rx. When the
+//    pool starves the ring (ENOBUFS) the multishot stops and the caller
+//    parks the connection; a pool reclaim/grow replenishes the slots and
+//    mod(fd, read=true) re-arms the recv - the uring spelling of the
+//    PR-8 disarm-to-park discipline.
+//  * tx: submit_tx() queues a gathered IORING_OP_SENDMSG SQE over live
+//    frame bytes; flush_submissions() publishes the whole batch with ONE
+//    io_uring_enter, mirroring the PR-4 end-of-batch corking. Short sends
+//    surface as tx completions and are resumed by resubmission - there is
+//    no EPOLLOUT equivalent to arm.
+//  * wake: a nonblocking eventfd watched by a multishot POLL SQE, with the
+//    same pending-wake coalescing latch as the Reactor.
+//
+// The implementation talks to the kernel directly (io_uring_setup/enter/
+// register raw syscalls + mmap'd rings) so it works without liburing; when
+// CMake finds liburing it is still not required. All engine state is owned
+// by the single engine thread; add/mod/del/wake from other threads go
+// through a small op queue drained at the top of every wait().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mem/pool.hpp"
+#include "netio/io_engine.hpp"
+
+namespace xdaq::netio {
+
+struct UringConfig {
+  unsigned sq_entries = 512;  ///< submission queue depth (CQ is 2x)
+  /// Provided-buffer ring geometry: rx_slots pooled blocks of
+  /// rx_slot_bytes each, re-provided as completions consume them. Must be
+  /// a power of two. Sized so a sender flood drains completions for a
+  /// full wait cycle before starving the ring: every ENOBUFS tears down
+  /// and re-arms that fd's multishot recv, stalling its rx for a cycle.
+  unsigned rx_slots = 64;
+  std::size_t rx_slot_bytes = 256 * 1024;
+  std::uint16_t buf_group = 7;  ///< provided-buffer group id (bgid)
+};
+
+struct UringStats {
+  std::uint64_t enter_calls = 0;    ///< io_uring_enter syscalls
+  std::uint64_t sqe_batches = 0;    ///< enters that submitted >=1 SQE
+  std::uint64_t sqes_submitted = 0;
+  std::uint64_t multishot_rearms = 0;
+  /// rx completions served from the registered pooled buffer ring
+  /// (IORING_CQE_F_BUFFER set) - every zero-syscall receive.
+  std::uint64_t registered_buffer_hits = 0;
+  std::uint64_t buffer_starvations = 0;  ///< multishot stops on ENOBUFS
+  std::uint64_t slot_refills = 0;        ///< pool blocks (re)provided
+};
+
+class UringEngine final : public IoEngine {
+ public:
+  /// `pool` backs the provided-buffer ring slots; it must outlive the
+  /// engine. Register the engine's replenish path with the pool's
+  /// reclaim/grow listeners externally (the transport does) - the engine
+  /// itself retries missing slots at the top of every wait().
+  explicit UringEngine(mem::Pool& pool, UringConfig cfg = {});
+  ~UringEngine() override;
+
+  UringEngine(const UringEngine&) = delete;
+  UringEngine& operator=(const UringEngine&) = delete;
+
+  /// Whether this kernel supports everything the engine needs (io_uring
+  /// with provided-buffer rings + multishot recv, verified by actually
+  /// running a loopback receive once per process). On false, `reason`
+  /// (when non-null) says what was missing.
+  static bool supported(std::string* reason = nullptr);
+
+  [[nodiscard]] Backend backend() const noexcept override {
+    return Backend::kUring;
+  }
+  Status init() override;
+  [[nodiscard]] bool valid() const noexcept override;
+  void close() noexcept override;
+
+  Status add(int fd, bool read, bool write) override;
+  Status add_poll(int fd) override;
+  Status mod(int fd, bool read, bool write) override;
+  Status del(int fd) override;
+  void wake() noexcept override;
+  Result<std::span<Event>> wait(int timeout_ms) override;
+
+  [[nodiscard]] bool completion_mode() const noexcept override {
+    return true;
+  }
+  Status submit_tx(int fd,
+                   std::span<const std::span<const std::byte>> parts,
+                   std::size_t skip, std::shared_ptr<void> pin) override;
+  void flush_submissions() noexcept override;
+
+  [[nodiscard]] std::uint64_t kernel_entries() const noexcept override;
+  [[nodiscard]] std::uint64_t wakes_coalesced() const noexcept override {
+    return wakes_coalesced_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] UringStats stats() const noexcept;
+
+  /// Kernel-facing state; opaque here so <linux/io_uring.h> stays out of
+  /// the header (and out of every includer).
+  struct Ring;
+
+ private:
+  struct Op {
+    enum class Kind { kAdd, kAddPoll, kMod, kDel };
+    Kind kind;
+    int fd = -1;
+    bool read = false;
+    bool write = false;
+  };
+
+  void enqueue_op(Op op) noexcept;
+
+  mem::Pool& pool_;
+  UringConfig cfg_;
+  std::unique_ptr<Ring> ring_;
+
+  std::mutex ops_mutex_;
+  std::vector<Op> ops_;
+
+  std::atomic<bool> wake_pending_{false};
+  std::atomic<std::uint64_t> wakes_coalesced_{0};
+
+  // Stats live here (not in Ring) so cross-thread reads stay in bounds.
+  std::atomic<std::uint64_t> enter_calls_{0};
+  std::atomic<std::uint64_t> sqe_batches_{0};
+  std::atomic<std::uint64_t> sqes_submitted_{0};
+  std::atomic<std::uint64_t> multishot_rearms_{0};
+  std::atomic<std::uint64_t> registered_buffer_hits_{0};
+  std::atomic<std::uint64_t> buffer_starvations_{0};
+  std::atomic<std::uint64_t> slot_refills_{0};
+  std::atomic<std::uint64_t> eventfd_syscalls_{0};
+};
+
+}  // namespace xdaq::netio

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 #include "i2o/wire.hpp"
+#include "netio/reactor.hpp"
 #include "util/clock.hpp"
 
 namespace xdaq::pt {
@@ -61,6 +65,14 @@ Status TcpPeerTransport::on_configure(const i2o::ParamList& params) {
           static_cast<std::uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (key == "zero_copy") {
       config_.zero_copy = value != "0" && value != "false";
+    } else if (key == "backend") {
+      if (value == "uring") {
+        config_.backend = netio::IoEngine::Backend::kUring;
+      } else if (value == "epoll") {
+        config_.backend = netio::IoEngine::Backend::kEpoll;
+      } else {
+        return {Errc::InvalidArgument, "backend must be epoll or uring"};
+      }
     } else if (key == "reactor_threads") {
       config_.reactor_threads =
           static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
@@ -155,7 +167,37 @@ Status TcpPeerTransport::on_transport_start() {
     const std::scoped_lock lock(cork_mutex_);
     cork_list_.clear();
   }
+  io_syscalls_.store(0);
+  rx_frames_.store(0);
+  tx_frames_.store(0);
   next_reactor_.store(0);
+  // Backend selection. The config asks; the kernel decides. A uring
+  // request degrades to epoll - never the other way - with the reason
+  // logged once, so a fleet config can name uring and still roll out
+  // across mixed kernels.
+  netio::IoEngine::Backend backend = config_.backend;
+  if (const char* env = std::getenv("XDAQ_TCP_BACKEND")) {
+    if (std::string_view(env) == "uring") {
+      backend = netio::IoEngine::Backend::kUring;
+    } else if (std::string_view(env) == "epoll") {
+      backend = netio::IoEngine::Backend::kEpoll;
+    }
+  }
+  if (backend == netio::IoEngine::Backend::kUring) {
+    std::string reason;
+    if (!attached()) {
+      backend = netio::IoEngine::Backend::kEpoll;
+      reason = "no executive pool to register rx buffers from";
+    } else if (!netio::UringEngine::supported(&reason)) {
+      backend = netio::IoEngine::Backend::kEpoll;
+    }
+    if (backend != netio::IoEngine::Backend::kUring) {
+      log_.warn("io_uring backend unavailable (", reason,
+                "); falling back to epoll");
+    }
+  }
+  const bool use_uring = backend == netio::IoEngine::Backend::kUring;
+  uring_active_.store(use_uring, std::memory_order_relaxed);
   // Previous-generation shards (kept across stop so stale references stay
   // valid) are recycled here, before the new interest set is built.
   reactors_.clear();
@@ -168,15 +210,54 @@ Status TcpPeerTransport::on_transport_start() {
   nthreads = std::max<std::size_t>(1, nthreads);
   for (std::size_t i = 0; i < nthreads; ++i) {
     auto shard = std::make_unique<ReactorShard>();
-    if (Status st = shard->reactor.init(); !st.is_ok()) {
-      reactors_.clear();
-      return st;
+    if (use_uring) {
+      // Acquired before engine init so the deadlock reserve wins over the
+      // buffer ring's initial slot provisioning on a tight pool.
+      if (auto res = executive().pool().allocate(mem::kMaxBlockBytes);
+          res.is_ok()) {
+        shard->rx_reserve = std::move(res).value();
+      }
+      shard->engine = std::make_unique<netio::UringEngine>(executive().pool());
+    } else {
+      shard->engine = std::make_unique<netio::Reactor>();
+    }
+    if (Status st = shard->engine->init(); !st.is_ok()) {
+      if (use_uring) {
+        // Probe passed but this instance failed (e.g. RLIMIT_MEMLOCK or
+        // fd pressure): degrade the whole transport to epoll rather than
+        // run mixed-backend shards.
+        log_.warn("io_uring engine init failed (", st.message(),
+                  "); falling back to epoll");
+        uring_active_.store(false, std::memory_order_relaxed);
+        shard->rx_reserve.reset();
+        shard->engine = std::make_unique<netio::Reactor>();
+        if (Status st2 = shard->engine->init(); !st2.is_ok()) {
+          reactors_.clear();
+          return st2;
+        }
+        for (auto& built : reactors_) {
+          built->engine->close();
+          built->rx_reserve.reset();
+          built->engine = std::make_unique<netio::Reactor>();
+          if (Status st2 = built->engine->init(); !st2.is_ok()) {
+            reactors_.clear();
+            return st2;
+          }
+        }
+      } else {
+        reactors_.clear();
+        return st;
+      }
     }
     reactors_.push_back(std::move(shard));
   }
+  log_.info("wire engine: ",
+            uring_active() ? "io_uring (completion)" : "epoll (readiness)",
+            " x", reactors_.size(), " shard(s)");
   // The listener lives on shard 0; accepted connections are handed out
-  // round-robin in register_connection.
-  if (Status st = reactors_[0]->reactor.add(listener_.fd(), true, false);
+  // round-robin in register_connection. add_poll: readable events only,
+  // on both backends (an accept socket never carries data).
+  if (Status st = reactors_[0]->engine->add_poll(listener_.fd());
       !st.is_ok()) {
     reactors_.clear();
     return st;
@@ -184,13 +265,17 @@ Status TcpPeerTransport::on_transport_start() {
   if (attached()) {
     // Pool reclaim -> re-service parked connections. The hook only fires
     // when a park armed it (armed flag), so steady-state recycles cost one
-    // relaxed load.
-    executive().pool().add_reclaim_listener(this, [this] {
+    // relaxed load. Pool *growth* re-arms too: the completion backend's
+    // buffer ring can starve against a pool that then grows rather than
+    // recycles, and the wake doubles as the slot re-provisioning signal.
+    const auto rearm = [this] {
       for (const auto& shard : reactors_) {
         shard->rearm_parked.store(true, std::memory_order_release);
-        shard->reactor.wake();
+        shard->engine->wake();
       }
-    });
+    };
+    executive().pool().add_reclaim_listener(this, rearm);
+    executive().pool().add_grow_listener(this, rearm);
   }
   for (const auto& shard : reactors_) {
     shard->thread =
@@ -203,10 +288,11 @@ Status TcpPeerTransport::on_transport_start() {
 void TcpPeerTransport::on_transport_stop() {
   if (attached()) {
     executive().pool().remove_reclaim_listener(this);
+    executive().pool().remove_grow_listener(this);
   }
   maintenance_cv_.notify_all();
   for (const auto& shard : reactors_) {
-    shard->reactor.wake();
+    shard->engine->wake();
   }
   for (const auto& shard : reactors_) {
     if (shard->thread.joinable()) {
@@ -216,12 +302,17 @@ void TcpPeerTransport::on_transport_stop() {
   if (maintenance_thread_.joinable()) {
     maintenance_thread_.join();
   }
-  // The shards stay allocated (their epolls closed) so a sender that raced
+  // The shards stay allocated (their engines closed) so a sender that raced
   // shutdown and still holds a connection can call set_interest harmlessly;
   // the next transport_up recycles them.
   for (const auto& shard : reactors_) {
     shard->parked.clear();
-    shard->reactor.close();
+    shard->rx_reserve.reset();
+    {
+      const std::scoped_lock tl(shard->tx_mutex);
+      shard->tx_ready.clear();
+    }
+    shard->engine->close();
   }
   {
     const std::scoped_lock lock(cork_mutex_);
@@ -281,6 +372,65 @@ void TcpPeerTransport::append_metrics(const std::string& prefix,
                  static_cast<std::int64_t>(qs.credit_grants_sent)});
   out.push_back({prefix + ".credit_grants_rx",
                  static_cast<std::int64_t>(qs.credit_grants_rx)});
+  const IoStats is = io_stats();
+  out.push_back({prefix + ".wake_coalesced",
+                 static_cast<std::int64_t>(is.wake_coalesced)});
+  out.push_back({prefix + ".io_syscalls",
+                 static_cast<std::int64_t>(is.io_syscalls +
+                                           is.engine_entries)});
+  // Gauge: total kernel transitions per thousand wire frames (rx + tx).
+  // The headline the io_uring path moves - multishot recv plus batched
+  // submission push it toward the floor of one enter per burst.
+  out.push_back({prefix + ".syscalls_per_kframe",
+                 static_cast<std::int64_t>(is.syscalls_per_frame() * 1000.0)});
+  out.push_back({prefix + ".uring.active",
+                 static_cast<std::int64_t>(is.uring ? 1 : 0)});
+  if (is.uring) {
+    out.push_back({prefix + ".uring.enter_calls",
+                   static_cast<std::int64_t>(is.uring_stats.enter_calls)});
+    out.push_back({prefix + ".uring.sqe_batches",
+                   static_cast<std::int64_t>(is.uring_stats.sqe_batches)});
+    out.push_back({prefix + ".uring.sqes_submitted",
+                   static_cast<std::int64_t>(is.uring_stats.sqes_submitted)});
+    out.push_back(
+        {prefix + ".uring.multishot_rearms",
+         static_cast<std::int64_t>(is.uring_stats.multishot_rearms)});
+    out.push_back(
+        {prefix + ".uring.registered_buffer_hits",
+         static_cast<std::int64_t>(is.uring_stats.registered_buffer_hits)});
+    out.push_back(
+        {prefix + ".uring.buffer_starvations",
+         static_cast<std::int64_t>(is.uring_stats.buffer_starvations)});
+    out.push_back({prefix + ".uring.slot_refills",
+                   static_cast<std::int64_t>(is.uring_stats.slot_refills)});
+  }
+}
+
+TcpPeerTransport::IoStats TcpPeerTransport::io_stats() const {
+  IoStats s;
+  s.uring = uring_active();
+  s.io_syscalls = io_syscalls_.load(std::memory_order_relaxed);
+  s.rx_frames = rx_frames_.load(std::memory_order_relaxed);
+  s.tx_frames = tx_frames_.load(std::memory_order_relaxed);
+  for (const auto& shard : reactors_) {
+    s.engine_entries += shard->engine->kernel_entries();
+    s.wake_coalesced += shard->engine->wakes_coalesced();
+    if (s.uring) {
+      const auto* ue =
+          dynamic_cast<const netio::UringEngine*>(shard->engine.get());
+      if (ue != nullptr) {
+        const netio::UringStats us = ue->stats();
+        s.uring_stats.enter_calls += us.enter_calls;
+        s.uring_stats.sqe_batches += us.sqe_batches;
+        s.uring_stats.sqes_submitted += us.sqes_submitted;
+        s.uring_stats.multishot_rearms += us.multishot_rearms;
+        s.uring_stats.registered_buffer_hits += us.registered_buffer_hits;
+        s.uring_stats.buffer_starvations += us.buffer_starvations;
+        s.uring_stats.slot_refills += us.slot_refills;
+      }
+    }
+  }
+  return s;
 }
 
 TcpPeerTransport::FaultStats TcpPeerTransport::fault_stats() const {
@@ -398,7 +548,7 @@ void TcpPeerTransport::register_connection(
   }
   // Index entries must exist before the fd can fire: the reactor routes a
   // ready event through conns_by_fd_.
-  (void)reactors_[conn->reactor_idx]->reactor.add(conn->stream.fd(), true,
+  (void)reactors_[conn->reactor_idx]->engine->add(conn->stream.fd(), true,
                                                   false);
 }
 
@@ -442,7 +592,7 @@ TcpPeerTransport::connection_to(i2o::NodeId node) {
     conns_by_node_.emplace(node, conn);
     t = set_state_locked(node, core::PeerState::Up);
   }
-  (void)reactors_[conn->reactor_idx]->reactor.add(conn->stream.fd(), true,
+  (void)reactors_[conn->reactor_idx]->engine->add(conn->stream.fd(), true,
                                                   false);
   fire(t);
   return conn;
@@ -462,41 +612,75 @@ void TcpPeerTransport::set_interest(Connection& conn,
   if (conn.reactor_idx < reactors_.size()) {
     // Failure is benign: the fd was already deregistered by a concurrent
     // drop (or the transport stopped) and will never fire again anyway.
-    (void)reactors_[conn.reactor_idx]->reactor.mod(conn.stream.fd(), r, w);
+    (void)reactors_[conn.reactor_idx]->engine->mod(conn.stream.fd(), r, w);
+  }
+}
+
+void TcpPeerTransport::refill_flush_buf_locked(Connection& conn) {
+  const std::uint32_t window = transport_config().credit_window;
+  // Refill the writer-owned batch from pending, spending one credit per
+  // data entry (control frames, heartbeats and grants ride for free).
+  while (!conn.pending.empty()) {
+    PendingSend& head = conn.pending.front();
+    if (window > 0 && head.data) {
+      if (conn.credits == 0) {
+        // The data prefix is credit-stalled, but exempt entries queued
+        // behind it (heartbeats, credit grants) must still go out - a
+        // stalled sender that cannot heartbeat would look dead to the
+        // very receiver whose grant is supposed to revive it.
+        for (auto it = conn.pending.begin(); it != conn.pending.end();) {
+          if (it->data) {
+            ++it;
+            continue;
+          }
+          conn.flush_bytes += it->wire_bytes();
+          conn.flush_buf.push_back(std::move(*it));
+          it = conn.pending.erase(it);
+        }
+        return;
+      }
+      --conn.credits;
+    }
+    conn.flush_bytes += head.wire_bytes();
+    conn.flush_buf.push_back(std::move(head));
+    conn.pending.pop_front();
+  }
+}
+
+void TcpPeerTransport::retire_flushed_locked(Connection& conn) noexcept {
+  // Retire fully accepted head entries: their FrameRefs drop back to the
+  // pool now, and the next gather starts near the front.
+  while (!conn.flush_buf.empty()) {
+    const std::size_t head_bytes = conn.flush_buf.front().wire_bytes();
+    if (conn.flush_off < head_bytes) {
+      break;
+    }
+    conn.flush_off -= head_bytes;
+    conn.flush_bytes -= head_bytes;
+    conn.flush_buf.pop_front();
+    tx_frames_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TcpPeerTransport::gather_iov_locked(Connection& conn) {
+  // flush_buf is writer-owned, so the socket write needs no lock and
+  // other senders keep appending to pending meanwhile. Bodies go to the
+  // wire straight from wherever they live (pooled frame memory for the
+  // zero-copy path) - the gathered iovec list is the only thing built.
+  conn.iov_parts.clear();
+  for (const PendingSend& e : conn.flush_buf) {
+    conn.iov_parts.emplace_back(e.prefix.data(), e.prefix.size());
+    const auto body = e.body();
+    if (!body.empty()) {
+      conn.iov_parts.push_back(body);
+    }
   }
 }
 
 Status TcpPeerTransport::flush_pending(Connection& conn,
                                        std::unique_lock<std::mutex>& lk) {
-  const std::uint32_t window = transport_config().credit_window;
   for (;;) {
-    // Refill the writer-owned batch from pending, spending one credit per
-    // data entry (control frames, heartbeats and grants ride for free).
-    while (!conn.pending.empty()) {
-      PendingSend& head = conn.pending.front();
-      if (window > 0 && head.data) {
-        if (conn.credits == 0) {
-          // The data prefix is credit-stalled, but exempt entries queued
-          // behind it (heartbeats, credit grants) must still go out - a
-          // stalled sender that cannot heartbeat would look dead to the
-          // very receiver whose grant is supposed to revive it.
-          for (auto it = conn.pending.begin(); it != conn.pending.end();) {
-            if (it->data) {
-              ++it;
-              continue;
-            }
-            conn.flush_bytes += it->wire_bytes();
-            conn.flush_buf.push_back(std::move(*it));
-            it = conn.pending.erase(it);
-          }
-          break;
-        }
-        --conn.credits;
-      }
-      conn.flush_bytes += head.wire_bytes();
-      conn.flush_buf.push_back(std::move(head));
-      conn.pending.pop_front();
-    }
+    refill_flush_buf_locked(conn);
     if (conn.flush_buf.empty()) {
       if (!conn.pending.empty() && !conn.credit_stalled) {
         // Out of credits with frames queued: stall (queue intact, no
@@ -506,19 +690,9 @@ Status TcpPeerTransport::flush_pending(Connection& conn,
       }
       break;
     }
-    // flush_buf is writer-owned, so the socket write needs no lock and
-    // other senders keep appending to pending meanwhile. Bodies go to the
-    // wire straight from wherever they live (pooled frame memory for the
-    // zero-copy path) - the gathered iovec list is the only thing built.
-    conn.iov_parts.clear();
-    for (const PendingSend& e : conn.flush_buf) {
-      conn.iov_parts.emplace_back(e.prefix.data(), e.prefix.size());
-      const auto body = e.body();
-      if (!body.empty()) {
-        conn.iov_parts.push_back(body);
-      }
-    }
+    gather_iov_locked(conn);
     lk.unlock();
+    io_syscalls_.fetch_add(1, std::memory_order_relaxed);
     auto wrote = conn.stream.write_vec_some(conn.iov_parts, conn.flush_off);
     lk.lock();
     if (!wrote.is_ok()) {
@@ -539,17 +713,7 @@ Status TcpPeerTransport::flush_pending(Connection& conn,
     conn.pending_bytes -= wrote.value();
     conn.flush_off += wrote.value();
     conn.last_tx_ns.store(steady_ns(), std::memory_order_relaxed);
-    // Retire fully accepted head entries: their FrameRefs drop back to the
-    // pool now, and the next gather starts near the front.
-    while (!conn.flush_buf.empty()) {
-      const std::size_t head_bytes = conn.flush_buf.front().wire_bytes();
-      if (conn.flush_off < head_bytes) {
-        break;
-      }
-      conn.flush_off -= head_bytes;
-      conn.flush_bytes -= head_bytes;
-      conn.flush_buf.pop_front();
-    }
+    retire_flushed_locked(conn);
     if (conn.flush_buf.empty() && conn.pending.empty()) {
       break;
     }
@@ -592,13 +756,24 @@ Status TcpPeerTransport::write_entry(const std::shared_ptr<Connection>& conn,
     // Handler send mid-dispatch-batch: cork it. The executive's
     // end-of-batch transport_flush() (or the maintenance tick, if this
     // send raced the tail of the batch) puts it on the wire in one
-    // gathered syscall with the rest of the batch's replies.
+    // gathered syscall - one sendmsg on epoll, one SQE inside the
+    // shard's single io_uring_enter on uring - with the rest of the
+    // batch's replies.
     if (!conn->cork_listed) {
       conn->cork_listed = true;
       const std::scoped_lock cl(cork_mutex_);
       cork_list_.push_back(conn);
     }
     corked_.store(true, std::memory_order_release);
+    return Status::ok();
+  }
+  if (uring_active()) {
+    // Completion backend: SQE submission is engine-thread-only, so the
+    // sender hands the queue to the owning shard (coalesced wake) instead
+    // of draining it here. Wire errors surface asynchronously as a
+    // dropped connection, exactly like piggybacked sends on epoll.
+    lk.unlock();
+    enlist_tx(conn);
     return Status::ok();
   }
   conn->writer_active = true;
@@ -618,11 +793,19 @@ void TcpPeerTransport::on_transport_flush() {
     const std::scoped_lock lock(cork_mutex_);
     dirty.swap(cork_list_);
   }
+  const bool uring = uring_active();
   for (const auto& conn : dirty) {
     std::unique_lock lk(conn->write_mutex);
     conn->cork_listed = false;
     if (conn->pending.empty() || conn->writer_active) {
       continue;  // nothing corked here, or an active writer drains it
+    }
+    if (uring) {
+      // The shard's engine thread gathers the corked batch into one SQE
+      // and its pump publishes every dirty conn with one io_uring_enter.
+      lk.unlock();
+      enlist_tx(conn);
+      continue;
     }
     conn->writer_active = true;
     const Status st = flush_pending(*conn, lk);
@@ -664,6 +847,17 @@ Status TcpPeerTransport::apply_credit_grant(
   credit_grants_rx_.fetch_add(1, std::memory_order_relaxed);
   conn->credits += count;
   conn->credit_stalled = false;
+  if (uring_active()) {
+    // A grant arriving mid-parse re-lists the connection; the same
+    // engine-loop iteration's pump picks the fresh credits up, so a
+    // credit-stall resume joins the current submission batch.
+    const bool work = !conn->pending.empty() || !conn->flush_buf.empty();
+    lk.unlock();
+    if (work) {
+      enlist_tx(conn);
+    }
+    return Status::ok();
+  }
   if (conn->writer_active || conn->pending.empty()) {
     return Status::ok();  // an active writer picks the credits up itself
   }
@@ -704,7 +898,7 @@ void TcpPeerTransport::drop_connection(
   // sever. The shared_ptr keeps the fd alive (and thus un-reused) until
   // every in-flight reference is gone.
   if (conn->reactor_idx < reactors_.size()) {
-    (void)reactors_[conn->reactor_idx]->reactor.del(conn->stream.fd());
+    (void)reactors_[conn->reactor_idx]->engine->del(conn->stream.fd());
   }
   conn->stream.shutdown();
   Transition t;
@@ -937,6 +1131,7 @@ TcpPeerTransport::ServiceResult TcpPeerTransport::service_connection(
       }
       tail = c.rx_block.bytes().subspan(c.rx_filled);
     }
+    io_syscalls_.fetch_add(1, std::memory_order_relaxed);
     auto n = c.stream.read_available(tail);
     if (!n.is_ok()) {
       if (n.status().code() == Errc::Timeout) {
@@ -1072,6 +1267,7 @@ bool TcpPeerTransport::parse_rx_block(
     }
     if (!shed_inbound(fb, control)) {
       mem::FrameRef view = conn.rx_block.view(conn.rx_consumed + 4, len);
+      rx_frames_.fetch_add(1, std::memory_order_relaxed);
       (void)executive().deliver_from_wire(
           conn.node.load(std::memory_order_relaxed), tid(), std::move(view),
           rdtsc());
@@ -1097,20 +1293,49 @@ bool TcpPeerTransport::roll_rx_block(Connection& conn,
     // failed retry cannot miss the release that would have satisfied it.
     executive().pool().arm_reclaim();
     fresh = executive().pool().allocate(std::min(want, mem::kMaxBlockBytes));
-    if (!fresh.is_ok()) {
-      conn.rx_block_wanted = true;
-      return false;
+  }
+  if (!fresh.is_ok()) {
+    // The max-size ask above is a throughput choice; under pool pressure
+    // it must not become a liveness one. Retry at the exact bytes the
+    // straddling frame needs (its length prefix is in the tail once four
+    // bytes have arrived) so a recycled smaller block can carry the parse
+    // forward.
+    std::uint64_t exact = tail_bytes + sizeof(std::uint32_t);
+    if (tail_bytes >= sizeof(std::uint32_t)) {
+      exact = sizeof(std::uint32_t) +
+              static_cast<std::uint64_t>(i2o::get_u32(
+                  conn.rx_block.bytes().subspan(conn.rx_consumed), 0));
     }
+    const auto ask = static_cast<std::size_t>(std::min<std::uint64_t>(
+        std::max<std::uint64_t>(exact, tail_bytes + 1), mem::kMaxBlockBytes));
+    if (ask < want) {
+      fresh = executive().pool().allocate(ask);
+    }
+  }
+  mem::FrameRef block;
+  if (fresh.is_ok()) {
+    block = std::move(fresh).value();
+  } else if (conn.reactor_idx < reactors_.size() &&
+             reactors_[conn.reactor_idx]->rx_reserve.valid()) {
+    // Completion backend under total pool consumption: every free block
+    // may be pinned behind this very roll (ring slots + parked backlog),
+    // so the reclaim armed above could never fire. Absorb through the
+    // shard reserve; the backlog block this releases re-primes the pool
+    // and unpark_all re-arms the reserve from it.
+    block = std::move(reactors_[conn.reactor_idx]->rx_reserve);
+  } else {
+    conn.rx_block_wanted = true;
+    return false;
   }
   if (tail_bytes > 0) {
     // A partial frame straddles the block boundary: the one splice copy
     // of the zero-copy pipeline.
-    std::memcpy(fresh.value().bytes().data(),
+    std::memcpy(block.bytes().data(),
                 conn.rx_block.bytes().data() + conn.rx_consumed, tail_bytes);
     rx_splices_.fetch_add(1, std::memory_order_relaxed);
     rx_copies_.fetch_add(1, std::memory_order_relaxed);
   }
-  conn.rx_block = std::move(fresh).value();
+  conn.rx_block = std::move(block);
   conn.rx_filled = tail_bytes;
   conn.rx_consumed = 0;
   return true;
@@ -1125,6 +1350,7 @@ TcpPeerTransport::ServiceResult TcpPeerTransport::service_connection_legacy(
   std::array<std::byte, kReadChunk> chunk;
   bool got_bytes = false;
   for (;;) {
+    io_syscalls_.fetch_add(1, std::memory_order_relaxed);
     auto n = conn.stream.read_available(chunk);
     if (!n.is_ok()) {
       if (n.status().code() == Errc::Timeout) {
@@ -1215,6 +1441,7 @@ TcpPeerTransport::ServiceResult TcpPeerTransport::service_connection_legacy(
       ++conn.grant_debt;
     }
     if (!shed_inbound(fb, control)) {
+      rx_frames_.fetch_add(1, std::memory_order_relaxed);
       (void)executive().deliver_from_wire(
           conn.node.load(std::memory_order_relaxed), tid(), fb, rdtsc());
       rx_copies_.fetch_add(1, std::memory_order_relaxed);
@@ -1286,6 +1513,15 @@ void TcpPeerTransport::park_connection(
 }
 
 void TcpPeerTransport::unpark_all(ReactorShard& shard) {
+  const bool completion = shard.engine->completion_mode();
+  if (completion && !shard.rx_reserve.valid()) {
+    // A roll consumed the deadlock reserve; re-arm it now that the pool
+    // has recycled something (this runs on reclaim/grow wakes).
+    if (auto res = executive().pool().allocate(mem::kMaxBlockBytes);
+        res.is_ok()) {
+      shard.rx_reserve = std::move(res).value();
+    }
+  }
   if (shard.parked.empty()) {
     return;
   }
@@ -1298,7 +1534,12 @@ void TcpPeerTransport::unpark_all(ReactorShard& shard) {
     conn->parked = false;
     const bool had_node =
         conn->node.load(std::memory_order_relaxed) != i2o::kNullNode;
-    const ServiceResult r = service_connection(conn);
+    // Completion backend: there is no socket to re-read - drain what the
+    // multishot had already completed before the park's cancel landed,
+    // then re-arm the recv (set_interest below replenishes the buffer
+    // ring and posts a fresh multishot SQE).
+    const ServiceResult r =
+        completion ? drain_rx_backlog(conn) : service_connection(conn);
     if (r == ServiceResult::kDrop) {
       drop_connection(conn);
       continue;
@@ -1338,61 +1579,321 @@ void TcpPeerTransport::writable_event(
   }
 }
 
+TcpPeerTransport::ServiceResult TcpPeerTransport::absorb_rx_block(
+    const std::shared_ptr<Connection>& conn, mem::FrameRef blk) {
+  Connection& c = *conn;
+  c.rx_block_wanted = false;
+  std::size_t off = 0;
+  const std::size_t total = blk.size();
+  while (off < total) {
+    if (!c.rx_block.valid() || c.rx_consumed == c.rx_filled) {
+      // Quiescent: adopt the engine's block in place - the kernel
+      // already wrote the burst into pool memory, parse it where it
+      // lies. resize() exposes the block's full capacity so a partial
+      // frame tail can be appended to (not rolled) by the next event.
+      const std::size_t n = total - off;
+      c.rx_block = off == 0 ? std::move(blk) : blk.view(off, n);
+      (void)c.rx_block.resize(c.rx_block.capacity());
+      c.rx_filled = n;
+      c.rx_consumed = 0;
+      off = total;
+    } else {
+      // A partial frame straddles engine blocks: append into the current
+      // block's free tail (this copy is the completion-backend spelling
+      // of the splice fallback). Copy ONLY what completes the straddling
+      // frame - once it parses, rx_consumed catches rx_filled and the
+      // next iteration adopts the block remainder in place. Copying the
+      // whole block here would re-copy nearly every burst byte: at small
+      // frame sizes almost every engine block ends mid-frame.
+      const std::size_t tail = c.rx_filled - c.rx_consumed;
+      std::size_t need;
+      if (tail < sizeof(std::uint32_t)) {
+        need = sizeof(std::uint32_t) - tail;  // finish the length prefix
+      } else {
+        const std::uint64_t frame =
+            sizeof(std::uint32_t) +
+            i2o::get_u32(c.rx_block.bytes().subspan(c.rx_consumed), 0);
+        need = frame > tail ? static_cast<std::size_t>(frame - tail)
+                            : std::size_t{1};
+      }
+      std::size_t room = c.rx_block.size() - c.rx_filled;
+      if (room == 0) {
+        if (!roll_rx_block(c, (c.rx_filled - c.rx_consumed) +
+                                  (total - off))) {
+          break;  // pool exhausted: stash the remainder below
+        }
+        room = c.rx_block.size() - c.rx_filled;
+      }
+      const std::size_t take = std::min({room, total - off, need});
+      std::memcpy(c.rx_block.bytes().data() + c.rx_filled,
+                  blk.bytes().data() + off, take);
+      rx_splices_.fetch_add(1, std::memory_order_relaxed);
+      rx_copies_.fetch_add(1, std::memory_order_relaxed);
+      c.rx_filled += take;
+      off += take;
+    }
+    if (!parse_rx_block(c, conn)) {
+      return ServiceResult::kDrop;
+    }
+    if (c.rx_block_wanted) {
+      break;  // a straddle roll failed mid-parse
+    }
+  }
+  if (total > 0) {
+    c.last_rx_ns.store(steady_ns(), std::memory_order_relaxed);
+  }
+  maybe_send_grant(conn);
+  if (c.rx_block_wanted || off < total) {
+    if (off < total) {
+      // Unabsorbed bytes stay at the backlog front so the unpark drain
+      // resumes in stream order (byte-identical delivery).
+      c.rx_backlog.push_front(blk.view(off, total - off));
+    }
+    return ServiceResult::kParked;
+  }
+  // Quiescent and fully parsed: hand the block back so the pool drains to
+  // zero outstanding between bursts (undelivered views may still pin it).
+  if (c.rx_block.valid() && c.rx_consumed == c.rx_filled) {
+    c.rx_block.reset();
+    c.rx_filled = 0;
+    c.rx_consumed = 0;
+  }
+  return ServiceResult::kOk;
+}
+
+TcpPeerTransport::ServiceResult TcpPeerTransport::drain_rx_backlog(
+    const std::shared_ptr<Connection>& conn) {
+  Connection& c = *conn;
+  if (c.rx_block.valid() && c.rx_consumed < c.rx_filled) {
+    // A straddle parse stalled on pool exhaustion; re-attempt the roll.
+    c.rx_block_wanted = false;
+    if (!parse_rx_block(c, conn)) {
+      return ServiceResult::kDrop;
+    }
+    if (c.rx_block_wanted) {
+      return ServiceResult::kParked;
+    }
+  }
+  while (!c.rx_backlog.empty()) {
+    mem::FrameRef blk = std::move(c.rx_backlog.front());
+    c.rx_backlog.pop_front();
+    const ServiceResult r = absorb_rx_block(conn, std::move(blk));
+    if (r != ServiceResult::kOk) {
+      return r;  // kParked already re-stashed the remainder at the front
+    }
+  }
+  return ServiceResult::kOk;
+}
+
+void TcpPeerTransport::enlist_tx(const std::shared_ptr<Connection>& conn) {
+  if (conn->reactor_idx >= reactors_.size()) {
+    return;  // transport stopping; queued bytes die with the connection
+  }
+  ReactorShard& shard = *reactors_[conn->reactor_idx];
+  {
+    const std::scoped_lock lock(shard.tx_mutex);
+    if (conn->tx_listed) {
+      return;  // already dirty; the pending wake covers this enlist too
+    }
+    conn->tx_listed = true;
+    shard.tx_ready.push_back(conn);
+  }
+  shard.engine->wake();  // coalesced: concurrent enlists ride one eventfd
+}
+
+void TcpPeerTransport::pump_tx_ready(ReactorShard& shard) {
+  std::vector<std::shared_ptr<Connection>> ready;
+  {
+    const std::scoped_lock lock(shard.tx_mutex);
+    ready.swap(shard.tx_ready);
+    for (const auto& conn : ready) {
+      conn->tx_listed = false;
+    }
+  }
+  if (ready.empty()) {
+    return;
+  }
+  bool submitted = false;
+  for (const auto& conn : ready) {
+    if (conn->dead.load(std::memory_order_acquire)) {
+      continue;
+    }
+    std::unique_lock lk(conn->write_mutex);
+    if (conn->tx_inflight) {
+      continue;  // its tx_done completion re-enlists whatever is left
+    }
+    refill_flush_buf_locked(*conn);
+    if (conn->flush_buf.empty()) {
+      if (!conn->pending.empty() && !conn->credit_stalled) {
+        conn->credit_stalled = true;
+        credit_stalls_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;  // nothing sendable until a credit grant re-lists us
+    }
+    gather_iov_locked(*conn);
+    // The engine holds `conn` (as the pin) until the CQE, so the iovecs
+    // and the pooled frame bytes they point into stay alive even if the
+    // connection drops from the registry mid-flight.
+    const Status st = shard.engine->submit_tx(
+        conn->stream.fd(), conn->iov_parts, conn->flush_off, conn);
+    if (!st.is_ok()) {
+      // Registration race: the fd's add op is still queued (drained at
+      // the top of the next wait). Retry next iteration.
+      lk.unlock();
+      enlist_tx(conn);
+      continue;
+    }
+    conn->tx_inflight = true;
+    submitted = true;
+  }
+  if (submitted) {
+    shard.engine->flush_submissions();  // the whole round, one enter
+  }
+}
+
+void TcpPeerTransport::tx_complete(const std::shared_ptr<Connection>& conn,
+                                   std::int64_t res) {
+  bool drop = false;
+  {
+    std::unique_lock lk(conn->write_mutex);
+    conn->tx_inflight = false;
+    if (res < 0) {
+      if (res == -EAGAIN || res == -EINTR) {
+        lk.unlock();
+        enlist_tx(conn);  // spurious; resubmit the same gather
+        return;
+      }
+      conn->pending.clear();  // connection is dead; drop queued sends
+      conn->flush_buf.clear();
+      conn->pending_bytes = 0;
+      conn->flush_off = 0;
+      conn->flush_bytes = 0;
+      drop = true;
+    } else {
+      conn->pending_bytes -= static_cast<std::size_t>(res);
+      conn->flush_off += static_cast<std::size_t>(res);
+      conn->last_tx_ns.store(steady_ns(), std::memory_order_relaxed);
+      retire_flushed_locked(*conn);
+      if (!conn->flush_buf.empty() || !conn->pending.empty()) {
+        // Short write, or senders queued more while this SQE flew:
+        // resume by resubmission in this iteration's pump.
+        lk.unlock();
+        enlist_tx(conn);
+        return;
+      }
+    }
+  }
+  if (drop) {
+    drop_connection(conn);
+  }
+}
+
 void TcpPeerTransport::reactor_loop(ReactorShard& shard) {
   const bool accept_shard = !reactors_.empty() && reactors_[0].get() == &shard;
   const int listener_fd = accept_shard ? listener_.fd() : -1;
+  const bool completion = shard.engine->completion_mode();
   while (transport_running()) {
-    auto ready = shard.reactor.wait(kReactorWaitMs);
+    auto ready = shard.engine->wait(kReactorWaitMs);
     if (!transport_running()) {
       break;
     }
     if (shard.rearm_parked.exchange(false, std::memory_order_acq_rel)) {
       unpark_all(shard);
     }
-    if (!ready.is_ok()) {
-      continue;
-    }
-    for (const auto& ev : ready.value()) {
-      if (ev.fd == listener_fd) {
-        handle_accept();
-        continue;
-      }
-      std::shared_ptr<Connection> conn;
-      {
-        const std::scoped_lock lock(conns_mutex_);
-        const auto it = conns_by_fd_.find(ev.fd);
-        if (it != conns_by_fd_.end()) {
-          conn = it->second;
+    if (ready.is_ok()) {
+      for (auto& ev : ready.value()) {
+        if (ev.fd == listener_fd) {
+          handle_accept();
+          continue;
+        }
+        std::shared_ptr<Connection> conn;
+        {
+          const std::scoped_lock lock(conns_mutex_);
+          const auto it = conns_by_fd_.find(ev.fd);
+          if (it != conns_by_fd_.end()) {
+            conn = it->second;
+          }
+        }
+        if (!conn || conn->dead.load(std::memory_order_acquire)) {
+          continue;  // dropped while the event was in flight
+        }
+        if (completion) {
+          if (ev.tx_done) {
+            tx_complete(conn, ev.tx_res);
+            if (conn->dead.load(std::memory_order_acquire)) {
+              continue;
+            }
+          }
+          if (ev.rx.valid()) {
+            if (conn->parked) {
+              // The multishot filled this before the park's cancel
+              // landed; keep it in order for the unpark drain.
+              conn->rx_backlog.push_back(std::move(ev.rx));
+            } else {
+              const bool had_node = conn->node.load(
+                                        std::memory_order_relaxed) !=
+                                    i2o::kNullNode;
+              const ServiceResult r =
+                  absorb_rx_block(conn, std::move(ev.rx));
+              if (r == ServiceResult::kDrop) {
+                drop_connection(conn);
+                continue;
+              }
+              if (!had_node && conn->node.load(std::memory_order_relaxed) !=
+                                   i2o::kNullNode) {
+                hello_completed(conn);
+              }
+              if (r == ServiceResult::kParked) {
+                park_connection(shard, conn);
+              }
+            }
+          }
+          if (ev.rx_stopped && !conn->parked) {
+            // ENOBUFS with the pool truly exhausted: the multishot recv
+            // shut itself down. Park; the reclaim/grow wake re-arms it.
+            // Re-arm the reclaim hook ourselves - the engine armed it at
+            // provide-failure time, but an unrelated recycle may have
+            // consumed that arm before this park registered.
+            park_connection(shard, conn);
+            executive().pool().arm_reclaim();
+          }
+          if (ev.error) {
+            drop_connection(conn);  // all preceding rx already absorbed
+          }
+          continue;
+        }
+        if (ev.writable) {
+          writable_event(conn);
+        }
+        if (!ev.readable && !ev.error) {
+          continue;
+        }
+        if (conn->parked) {
+          // EPOLLERR/EPOLLHUP fire regardless of interest; the unpark pass
+          // discovers the EOF once a block is available again.
+          continue;
+        }
+        const bool had_node =
+            conn->node.load(std::memory_order_relaxed) != i2o::kNullNode;
+        const ServiceResult r = service_connection(conn);
+        if (r == ServiceResult::kDrop) {
+          drop_connection(conn);
+          continue;
+        }
+        if (!had_node &&
+            conn->node.load(std::memory_order_relaxed) != i2o::kNullNode) {
+          hello_completed(conn);
+        }
+        if (r == ServiceResult::kParked) {
+          park_connection(shard, conn);
         }
       }
-      if (!conn || conn->dead.load(std::memory_order_acquire)) {
-        continue;  // dropped while the event was in flight
-      }
-      if (ev.writable) {
-        writable_event(conn);
-      }
-      if (!ev.readable && !ev.error) {
-        continue;
-      }
-      if (conn->parked) {
-        // EPOLLERR/EPOLLHUP fire regardless of interest; the unpark pass
-        // discovers the EOF once a block is available again.
-        continue;
-      }
-      const bool had_node =
-          conn->node.load(std::memory_order_relaxed) != i2o::kNullNode;
-      const ServiceResult r = service_connection(conn);
-      if (r == ServiceResult::kDrop) {
-        drop_connection(conn);
-        continue;
-      }
-      if (!had_node &&
-          conn->node.load(std::memory_order_relaxed) != i2o::kNullNode) {
-        hello_completed(conn);
-      }
-      if (r == ServiceResult::kParked) {
-        park_connection(shard, conn);
-      }
+    }
+    if (completion) {
+      // End of iteration: submit every tx gathered this round (rx-burst
+      // replies, credit-grant resumes, short-write continuations) with
+      // one io_uring_enter.
+      pump_tx_ready(shard);
     }
   }
 }
@@ -1499,7 +2000,7 @@ void TcpPeerTransport::maintenance_tick(std::int64_t now_ns) {
       continue;
     }
     if (conn->reactor_idx < reactors_.size()) {
-      (void)reactors_[conn->reactor_idx]->reactor.del(conn->stream.fd());
+      (void)reactors_[conn->reactor_idx]->engine->del(conn->stream.fd());
     }
     conn->stream.shutdown();
     const std::scoped_lock lock(conns_mutex_);
@@ -1558,7 +2059,7 @@ void TcpPeerTransport::maintenance_tick(std::int64_t now_ns) {
       }
     }
     if (fresh) {
-      (void)reactors_[conn->reactor_idx]->reactor.add(conn->stream.fd(), true,
+      (void)reactors_[conn->reactor_idx]->engine->add(conn->stream.fd(), true,
                                                       false);
     }
     fire(t);

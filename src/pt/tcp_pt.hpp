@@ -73,8 +73,9 @@
 
 #include "core/executive.hpp"
 #include "core/transport.hpp"
-#include "netio/reactor.hpp"
+#include "netio/io_engine.hpp"
 #include "netio/socket.hpp"
+#include "netio/uring_engine.hpp"
 #include "util/random.hpp"
 
 namespace xdaq::pt {
@@ -104,6 +105,15 @@ struct TcpTransportConfig {
   /// are assigned round-robin). 0 = one per executive dispatch shard, the
   /// accept-load-balancing the multi-core executive expects.
   std::size_t reactor_threads = 0;
+  /// Wire-engine backend per reactor shard. kUring runs the io_uring
+  /// completion path: rx bursts land straight in registered pooled
+  /// buffers via multishot recv and tx batches submit as gathered
+  /// sendmsg SQEs with one io_uring_enter per dispatch batch. Falls back
+  /// to epoll with a logged reason when the kernel (or build) lacks
+  /// support. The XDAQ_TCP_BACKEND environment variable ("epoll" /
+  /// "uring") overrides this at transport start - the ctest backend
+  /// matrix uses it to re-run the suite per backend.
+  netio::IoEngine::Backend backend = netio::IoEngine::Backend::kEpoll;
 };
 
 class TcpPeerTransport final : public core::TransportDevice {
@@ -152,6 +162,34 @@ class TcpPeerTransport final : public core::TransportDevice {
     std::uint64_t credit_grants_rx = 0;
   };
   [[nodiscard]] QosStats qos_stats() const;
+
+  /// Data-path efficiency counters (cumulative since transport_up). The
+  /// syscall figures are the numerator of the syscalls-per-frame gauge:
+  /// engine kernel entries (epoll_wait/epoll_ctl/eventfd or
+  /// io_uring_enter) plus the transport's own recv/sendmsg calls - zero
+  /// of the latter on the completion backend.
+  struct IoStats {
+    bool uring = false;            ///< completion backend active
+    std::uint64_t io_syscalls = 0;  ///< transport recv/sendmsg calls
+    std::uint64_t engine_entries = 0;
+    std::uint64_t wake_coalesced = 0;
+    std::uint64_t rx_frames = 0;  ///< data frames delivered off the wire
+    std::uint64_t tx_frames = 0;  ///< wire entries fully transmitted
+    netio::UringStats uring_stats;  ///< zeros on the epoll backend
+    [[nodiscard]] double syscalls_per_frame() const noexcept {
+      const std::uint64_t frames = rx_frames + tx_frames;
+      return frames == 0 ? 0.0
+                         : static_cast<double>(io_syscalls + engine_entries) /
+                               static_cast<double>(frames);
+    }
+  };
+  [[nodiscard]] IoStats io_stats() const;
+
+  /// Backend actually selected at the last transport start (the config
+  /// may have asked for uring and been downgraded).
+  [[nodiscard]] bool uring_active() const noexcept {
+    return uring_active_.load(std::memory_order_relaxed);
+  }
 
   /// Test hook: while paused, the receive side accumulates grant debt but
   /// sends no credit grants - the peer's writer runs out of credits and
@@ -222,6 +260,13 @@ class TcpPeerTransport final : public core::TransportDevice {
     bool writer_active = false;
     bool cork_listed = false;     ///< on the flush dirty list
     bool credit_stalled = false;  ///< drain stopped at zero credits
+    /// Completion backend: a submit_tx SQE is outstanding for this fd (at
+    /// most one); the tx_done completion clears it and resubmits whatever
+    /// is left (short-write resume).
+    bool tx_inflight = false;
+    /// Completion backend: listed on the owning shard's tx_ready list
+    /// (guarded by that shard's tx_mutex, not write_mutex).
+    bool tx_listed = false;
     std::uint32_t credits = 0;    ///< send credits remaining
     std::deque<PendingSend> pending;    ///< queued sends (FIFO)
     std::deque<PendingSend> flush_buf;  ///< writer-owned drain target
@@ -239,6 +284,10 @@ class TcpPeerTransport final : public core::TransportDevice {
     std::size_t rx_skip = 0;      ///< oversized-frame bytes left to discard
     bool rx_block_wanted = false;  ///< roll failed: pool exhausted
     bool parked = false;           ///< read interest disarmed
+    /// Completion backend: rx blocks that completed while parked (the
+    /// multishot recv had already filled them before the cancel landed).
+    /// Drained in order ahead of re-arming; bounded by the CQ depth.
+    std::deque<mem::FrameRef> rx_backlog;
     std::uint32_t grant_debt = 0;  ///< data frames consumed, not yet granted
 
     // -- liveness stamps (steady-clock ns) --------------------------------
@@ -246,14 +295,29 @@ class TcpPeerTransport final : public core::TransportDevice {
     std::atomic<std::int64_t> last_tx_ns{0};
   };
 
-  /// One reactor thread: an epoll instance plus the conns it parked.
+  /// One reactor thread: a wire engine (epoll Reactor or UringEngine)
+  /// plus the conns it parked and, on the completion backend, the conns
+  /// with tx work queued for the engine thread to submit.
   struct ReactorShard {
-    netio::Reactor reactor;
+    std::unique_ptr<netio::IoEngine> engine;
     std::thread thread;
-    /// Pool reclaim fired (or shutdown): re-service parked connections.
+    /// Pool reclaim/grow fired (or shutdown): re-service parked conns.
     std::atomic<bool> rearm_parked{false};
     /// Connections with read interest disarmed; owning thread only.
     std::vector<std::shared_ptr<Connection>> parked;
+    /// Completion backend: one max-size block held back from the provided
+    /// buffer ring. Unlike epoll - where unabsorbed backpressure stays in
+    /// the kernel socket buffer - the uring path parks rx overflow in
+    /// pooled backlog blocks, so the pool can be consumed entirely by rx
+    /// itself and the reclaim a parked roll waits for would never arrive.
+    /// This block bootstraps the first backlog absorb; the fully-consumed
+    /// block that absorb releases re-primes the pool. Owning thread only.
+    mem::FrameRef rx_reserve;
+    /// Completion backend: conns whose pending queue needs a submit_tx.
+    /// Senders enlist + wake (coalesced); the engine thread swaps the
+    /// list and submits the whole round as one SQE batch.
+    std::mutex tx_mutex;
+    std::vector<std::shared_ptr<Connection>> tx_ready;
   };
 
   /// Liveness bookkeeping for a configured peer (guarded by conns_mutex_).
@@ -286,6 +350,28 @@ class TcpPeerTransport final : public core::TransportDevice {
                        const std::shared_ptr<Connection>& conn);
   /// Re-services every parked connection after a pool reclaim.
   void unpark_all(ReactorShard& shard);
+  /// Completion backend: folds one engine-received block into the
+  /// connection's rx pipeline - adopted in place when the previous block
+  /// is quiescent (zero copy), appended to a straddling partial frame
+  /// otherwise - and parses it. kParked stashes the unabsorbed remainder
+  /// at the front of rx_backlog.
+  ServiceResult absorb_rx_block(const std::shared_ptr<Connection>& conn,
+                                mem::FrameRef blk);
+  /// Completion backend: resumes a stalled straddle parse, then absorbs
+  /// the parked-arrival backlog in order.
+  ServiceResult drain_rx_backlog(const std::shared_ptr<Connection>& conn);
+  /// Completion backend: marks `conn` dirty on its shard's tx_ready list
+  /// and wakes the shard (coalesced). Idempotent while listed.
+  void enlist_tx(const std::shared_ptr<Connection>& conn);
+  /// Completion backend, engine thread: submits one gathered sendmsg SQE
+  /// per dirty connection, then publishes the whole round with a single
+  /// flush_submissions (one io_uring_enter per dispatch batch).
+  void pump_tx_ready(ReactorShard& shard);
+  /// Completion backend, engine thread: a submit_tx completed; retire
+  /// what the kernel accepted and resubmit the remainder (short-write
+  /// resume) or wait for a credit grant.
+  void tx_complete(const std::shared_ptr<Connection>& conn,
+                   std::int64_t res);
   /// Hello just completed on an accepted connection: index it by node,
   /// mark the peer Up and replay its queued frames.
   void hello_completed(const std::shared_ptr<Connection>& conn);
@@ -334,10 +420,23 @@ class TcpPeerTransport final : public core::TransportDevice {
                             std::uint32_t count);
   /// Sends a credit grant when at least half a window of debt accrued.
   void maybe_send_grant(const std::shared_ptr<Connection>& conn);
+  /// Moves sendable entries from pending into the writer-owned flush_buf,
+  /// spending one credit per data entry; at zero credits exempt entries
+  /// (heartbeats, grants) are still extracted past the stalled data
+  /// prefix. Call with write_mutex held.
+  void refill_flush_buf_locked(Connection& conn);
+  /// Pops flush_buf heads fully covered by flush_off (their FrameRefs
+  /// drop back to the pool). Call with write_mutex held.
+  void retire_flushed_locked(Connection& conn) noexcept;
+  /// Rebuilds conn.iov_parts as the prefix+body gather over flush_buf.
+  /// Call with write_mutex held.
+  static void gather_iov_locked(Connection& conn);
   /// Writes out conn.pending/flush_buf as far as credits and the socket
   /// buffer allow; never blocks. Call with lk holding conn.write_mutex
   /// and conn.writer_active set by the caller. Ok with bytes still queued
   /// means a re-drive is armed (EPOLLOUT or a future credit grant).
+  /// Readiness backend only - the completion backend drains through
+  /// pump_tx_ready/tx_complete on the engine thread instead.
   Status flush_pending(Connection& conn, std::unique_lock<std::mutex>& lk);
   /// Removes `conn` from the registry and downgrades its peer to Suspect
   /// (scheduling a redial). Safe to call from any thread, idempotent, and
@@ -399,6 +498,12 @@ class TcpPeerTransport final : public core::TransportDevice {
   std::atomic<std::uint64_t> rx_copies_{0};   ///< inbound frames memcpy'd
   std::atomic<std::uint64_t> tx_copies_{0};   ///< outbound bodies memcpy'd
   std::atomic<std::uint64_t> rx_splices_{0};  ///< block-straddle fallbacks
+
+  // Syscalls-per-frame accounting (the io_uring data path's scoreboard).
+  std::atomic<bool> uring_active_{false};
+  std::atomic<std::uint64_t> io_syscalls_{0};  ///< recv/sendmsg calls made
+  std::atomic<std::uint64_t> rx_frames_{0};
+  std::atomic<std::uint64_t> tx_frames_{0};
 
   // QoS counters.
   std::atomic<std::uint64_t> rx_parks_{0};

@@ -309,6 +309,20 @@ TEST(PtReactor, OverloadShedsDataBeforeControl) {
   EXPECT_GE(accepted, 4);  // at least the credit window got through
   EXPECT_GE(pt_a->qos_stats().tx_shed, 1u);
 
+  // Freeze the backlog before probing further: the writer may still be
+  // draining the initial credit window, and those departures can dip the
+  // backlog back under the data rung. Once it stalls at zero credits the
+  // queue is frozen (grants are paused), so top the backlog back over the
+  // rung and the remaining expectations are deterministic.
+  ASSERT_TRUE(wait_until([&] { return pt_a->qos_stats().credit_stalls >= 1; },
+                         std::chrono::seconds(5)));
+  for (int i = 0; i < 8; ++i) {
+    if (!pt_a->transport_send(2, data).is_ok()) {
+      break;
+    }
+  }
+  ASSERT_EQ(pt_a->transport_send(2, data).code(), Errc::ResourceExhausted);
+
   // Control still flows: exempt from credits, and its 6/7 rung sits well
   // above the backlog that data is already refused at.
   std::vector<std::byte> control(i2o::kStdHeaderBytes);
